@@ -1,0 +1,128 @@
+// §V-D reproduction: lazy data loading. The paper reports, on a production
+// Batch ETL sample: "lazy loading reduces data fetched by 78%, cells loaded
+// by 22% and total CPU time by 14%". This harness runs a selective-filter
+// scan over a wide storc table with lazy reads on and off and prints the
+// same three reductions.
+//
+//   ./build/bench/bench_lazy_loading [rows]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "vector/block_builder.h"
+
+using namespace presto;         // NOLINT
+using namespace presto::bench;  // NOLINT
+
+namespace {
+
+struct RunStats {
+  int64_t bytes_fetched = 0;
+  int64_t cells_loaded = 0;
+  int64_t cpu_ms = 0;
+};
+
+// A wide table: one selective filter column plus many payload columns that
+// are only needed for the few surviving rows' aggregates.
+RunStats RunScan(bool lazy, int64_t rows) {
+  EngineOptions options;
+  options.cluster.num_workers = 2;
+  options.cluster.executor.threads = 2;
+  PrestoEngine engine(options);
+  HiveConfig config;
+  config.lazy_reads = lazy;
+  config.dfs = {10, 8LL << 30, 0};
+  auto hive = std::make_shared<HiveConnector>("hive", config);
+
+  RowSchema schema;
+  schema.Add("k", TypeKind::kBigint);
+  for (int c = 0; c < 8; ++c) {
+    schema.Add("payload" + std::to_string(c), TypeKind::kDouble);
+  }
+  schema.Add("label", TypeKind::kVarchar);
+  PRESTO_CHECK(hive->CreateTable("wide", schema).ok());
+  Random rng(11);
+  std::vector<Page> pages;
+  const int64_t page_rows = 8192;
+  for (int64_t start = 0; start < rows; start += page_rows) {
+    int64_t n = std::min(page_rows, rows - start);
+    std::vector<BlockPtr> blocks;
+    std::vector<int64_t> keys;
+    for (int64_t i = 0; i < n; ++i) keys.push_back(start + i);
+    blocks.push_back(MakeBigintBlock(std::move(keys)));
+    for (int c = 0; c < 8; ++c) {
+      std::vector<double> payload;
+      for (int64_t i = 0; i < n; ++i) payload.push_back(rng.NextDouble());
+      blocks.push_back(MakeDoubleBlock(std::move(payload)));
+    }
+    std::vector<std::string> labels;
+    for (int64_t i = 0; i < n; ++i) {
+      // Matches are clustered in the first ~2% of rows so most stripes have
+      // zero survivors — but the suffix varies, so min/max stripe stats
+      // cannot prune (pruning would mask the lazy-loading effect).
+      int64_t row = start + i;
+      bool hot = row < rows / 50;
+      labels.push_back((hot ? "hot" : "cold") +
+                       std::to_string(rng.NextUint64(1000)));
+    }
+    blocks.push_back(MakeVarcharBlock(labels));
+    pages.push_back(Page(std::move(blocks), n));
+  }
+  PRESTO_CHECK(hive->LoadTable("wide", pages).ok());
+  engine.catalog().Register(hive);
+
+  hive->dfs().ResetStats();
+  Stopwatch watch;
+  // Highly selective, non-pushable filter: the label column is read
+  // everywhere, but the eight payload columns materialize only in stripes
+  // that contain surviving rows.
+  auto result = engine.Execute(
+      "SELECT sum(payload0), sum(payload3), sum(payload7), max(k) "
+      "FROM hive.wide WHERE substr(label, 1, 3) = 'hot'");
+  PRESTO_CHECK(result.ok());
+  auto rows_out = result->FetchAllRows();
+  PRESTO_CHECK(rows_out.ok());
+  RunStats stats;
+  stats.cpu_ms = result->execution().total_cpu_nanos() / 1000000;
+  stats.bytes_fetched = hive->dfs().total_bytes_read();
+  stats.cells_loaded = hive->lazy_stats().cells_loaded.load();
+  (void)watch;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t rows = argc > 1 ? std::atoll(argv[1]) : 200000;
+  std::printf("Section V-D: lazy data loading (%lld-row wide table, "
+              "selective filter)\n\n",
+              static_cast<long long>(rows));
+  RunStats eager = RunScan(/*lazy=*/false, rows);
+  RunStats lazy = RunScan(/*lazy=*/true, rows);
+  auto pct = [](int64_t eager_v, int64_t lazy_v) {
+    if (eager_v == 0) return 0.0;
+    return 100.0 * (1.0 - static_cast<double>(lazy_v) /
+                              static_cast<double>(eager_v));
+  };
+  std::printf("%-16s %14s %14s %12s\n", "mode", "bytes_fetched",
+              "cells_loaded", "cpu_ms");
+  std::printf("%-16s %14lld %14lld %12lld\n", "eager",
+              static_cast<long long>(eager.bytes_fetched),
+              static_cast<long long>(eager.cells_loaded),
+              static_cast<long long>(eager.cpu_ms));
+  std::printf("%-16s %14lld %14lld %12lld\n", "lazy",
+              static_cast<long long>(lazy.bytes_fetched),
+              static_cast<long long>(lazy.cells_loaded),
+              static_cast<long long>(lazy.cpu_ms));
+  std::printf("\nreductions with lazy loading:\n");
+  std::printf("  data fetched: %+.0f%%   (paper: -78%%)\n",
+              -pct(eager.bytes_fetched, lazy.bytes_fetched));
+  std::printf("  cells loaded: %+.0f%%   (paper: -22%%)\n",
+              -pct(eager.cells_loaded, lazy.cells_loaded));
+  std::printf("  cpu time:     %+.0f%%   (paper: -14%%)\n",
+              -pct(eager.cpu_ms, lazy.cpu_ms));
+  return 0;
+}

@@ -1,0 +1,193 @@
+#include "bench/bench_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "connector/scan_util.h"
+#include "vector/block_builder.h"
+
+namespace presto::bench {
+
+std::unique_ptr<PrestoEngine> MakeTpchEngine(double scale,
+                                             EngineOptions options) {
+  auto engine = std::make_unique<PrestoEngine>(options);
+  auto tpch = std::make_shared<TpchConnector>("tpch", scale);
+  engine->catalog().Register(tpch);
+  engine->catalog().SetDefault("tpch");
+  return engine;
+}
+
+Status LoadHiveFromTpch(TpchConnector* tpch, HiveConnector* hive,
+                        const std::vector<std::string>& tables) {
+  for (const auto& table : tables) {
+    PRESTO_ASSIGN_OR_RETURN(auto pages, ReadAllPages(tpch, table));
+    PRESTO_ASSIGN_OR_RETURN(TableHandlePtr handle,
+                            tpch->metadata().GetTable(table));
+    PRESTO_RETURN_IF_ERROR(hive->CreateTable(table, handle->schema()));
+    PRESTO_RETURN_IF_ERROR(hive->LoadTable(table, pages));
+  }
+  return Status::OK();
+}
+
+Status LoadRaptorFromTpch(TpchConnector* tpch, RaptorConnector* raptor,
+                          const std::vector<std::string>& tables,
+                          const std::string& bucket_column, int buckets) {
+  for (const auto& table : tables) {
+    PRESTO_ASSIGN_OR_RETURN(auto pages, ReadAllPages(tpch, table));
+    PRESTO_ASSIGN_OR_RETURN(TableHandlePtr handle,
+                            tpch->metadata().GetTable(table));
+    // Fall back to the first column when the bucket column is absent.
+    std::string bucket = bucket_column;
+    if (!handle->schema().IndexOf(bucket).has_value()) {
+      bucket = handle->schema().at(0).name;
+    }
+    PRESTO_RETURN_IF_ERROR(
+        raptor->CreateTable(table, handle->schema(), bucket, buckets));
+    PRESTO_RETURN_IF_ERROR(raptor->LoadTable(table, pages));
+  }
+  return Status::OK();
+}
+
+Status LoadAppEvents(ShardedStoreConnector* store, int64_t rows,
+                     int64_t num_apps) {
+  RowSchema schema;
+  schema.Add("app_id", TypeKind::kBigint);
+  schema.Add("day", TypeKind::kBigint);
+  schema.Add("metric", TypeKind::kVarchar);
+  schema.Add("value", TypeKind::kDouble);
+  PRESTO_RETURN_IF_ERROR(
+      store->CreateTable("app_events", schema, "app_id", {"app_id", "day"}));
+  Random rng(7);
+  const char* metrics[] = {"impressions", "clicks", "spend"};
+  std::vector<int64_t> app, day;
+  std::vector<std::string> metric;
+  std::vector<double> value;
+  for (int64_t i = 0; i < rows; ++i) {
+    app.push_back(static_cast<int64_t>(rng.NextSkewed(
+        static_cast<uint64_t>(num_apps))));
+    day.push_back(static_cast<int64_t>(rng.NextUint64(90)));
+    metric.push_back(metrics[rng.NextUint64(3)]);
+    value.push_back(rng.NextDouble() * 1000.0);
+  }
+  return store->LoadTable("app_events",
+                          {Page({MakeBigintBlock(app), MakeBigintBlock(day),
+                                 MakeVarcharBlock(metric),
+                                 MakeDoubleBlock(value)})});
+}
+
+int64_t TimeQuery(PrestoEngine* engine, const std::string& sql) {
+  Stopwatch watch;
+  auto rows = engine->ExecuteAndFetch(sql);
+  PRESTO_CHECK(rows.ok());
+  return watch.ElapsedMicros();
+}
+
+Status RunQuery(PrestoEngine* engine, const std::string& sql) {
+  PRESTO_ASSIGN_OR_RETURN(QueryResult result, engine->Execute(sql));
+  PRESTO_ASSIGN_OR_RETURN(auto rows, result.FetchAllRows());
+  (void)rows;
+  return Status::OK();
+}
+
+std::vector<LabeledQuery> Fig6Queries(const std::string& catalog) {
+  auto t = [&](const std::string& name) { return catalog + "." + name; };
+  std::vector<LabeledQuery> out;
+  // Scan-heavy aggregations.
+  out.push_back({"q09",
+                 "SELECT returnflag, linestatus, sum(quantity), "
+                 "sum(extendedprice), avg(discount), count(*) FROM " +
+                     t("lineitem") +
+                     " WHERE shipdate <= DATE '1998-09-02' "
+                     "GROUP BY returnflag, linestatus"});
+  out.push_back({"q18",
+                 "SELECT orderpriority, count(*) FROM " + t("orders") +
+                     " WHERE orderdate >= DATE '1993-07-01' AND orderdate < "
+                     "DATE '1994-10-01' GROUP BY orderpriority"});
+  out.push_back({"q20",
+                 "SELECT shipmode, sum(CASE WHEN orderpriority = '1-URGENT' "
+                 "THEN 1 ELSE 0 END) FROM " +
+                     t("lineitem") + " l JOIN " + t("orders") +
+                     " o ON l.orderkey = o.orderkey GROUP BY shipmode"});
+  out.push_back({"q26",
+                 "SELECT avg(quantity), avg(extendedprice) FROM " +
+                     t("lineitem") + " WHERE shipinstruct = 'DELIVER IN "
+                                     "PERSON' AND quantity < 10"});
+  out.push_back({"q28",
+                 "SELECT count(DISTINCT suppkey) FROM " + t("lineitem") +
+                     " WHERE discount > 0.05"});
+  // Multi-join queries (the CBO payoff: small dimensions last in syntax).
+  out.push_back({"q35",
+                 "SELECT n.name, count(*) FROM " + t("lineitem") + " l JOIN " +
+                     t("orders") + " o ON l.orderkey = o.orderkey JOIN " +
+                     t("customer") + " c ON o.custkey = c.custkey JOIN " +
+                     t("nation") +
+                     " n ON c.nationkey = n.nationkey GROUP BY n.name"});
+  out.push_back({"q37",
+                 "SELECT c.mktsegment, sum(o.totalprice) FROM " + t("orders") +
+                     " o JOIN " + t("customer") +
+                     " c ON o.custkey = c.custkey GROUP BY c.mktsegment"});
+  out.push_back({"q44",
+                 "SELECT s.name, count(*) FROM " + t("lineitem") + " l JOIN " +
+                     t("supplier") +
+                     " s ON l.suppkey = s.suppkey GROUP BY s.name "
+                     "ORDER BY 2 DESC LIMIT 10"});
+  out.push_back({"q50",
+                 "SELECT n.name, avg(c.acctbal) FROM " + t("customer") +
+                     " c JOIN " + t("nation") +
+                     " n ON c.nationkey = n.nationkey GROUP BY n.name"});
+  out.push_back({"q54",
+                 "SELECT count(*) FROM " + t("lineitem") + " l JOIN " +
+                     t("part") + " p ON l.partkey = p.partkey WHERE p.brand "
+                                 "= 'Brand#23'"});
+  // Selective filters (stripe pruning / index-friendly).
+  out.push_back({"q60",
+                 "SELECT * FROM " + t("orders") +
+                     " WHERE orderkey = 1042 ORDER BY orderkey LIMIT 5"});
+  out.push_back({"q64",
+                 "SELECT count(*), sum(extendedprice) FROM " + t("lineitem") +
+                     " WHERE orderkey BETWEEN 100 AND 200"});
+  out.push_back({"q69",
+                 "SELECT orderstatus, count(*) FROM " + t("orders") +
+                     " WHERE totalprice > 250000 GROUP BY orderstatus"});
+  // Windowed / ordered analytics.
+  out.push_back({"q71",
+                 "SELECT custkey, totalprice, row_number() OVER (PARTITION "
+                 "BY custkey ORDER BY totalprice DESC) AS rn FROM " +
+                     t("orders") + " WHERE custkey < 50"});
+  out.push_back({"q73",
+                 "SELECT orderdate, sum(totalprice) FROM " + t("orders") +
+                     " GROUP BY orderdate ORDER BY 2 DESC LIMIT 20"});
+  // Wide aggregations.
+  out.push_back({"q76",
+                 "SELECT orderkey, sum(quantity) FROM " + t("lineitem") +
+                     " GROUP BY orderkey HAVING sum(quantity) > 150"});
+  out.push_back({"q78",
+                 "SELECT partkey, count(*), avg(extendedprice) FROM " +
+                     t("lineitem") + " GROUP BY partkey ORDER BY 2 DESC "
+                                     "LIMIT 25"});
+  out.push_back({"q80",
+                 "SELECT c.mktsegment, n.name, count(*) FROM " + t("orders") +
+                     " o JOIN " + t("customer") +
+                     " c ON o.custkey = c.custkey JOIN " + t("nation") +
+                     " n ON c.nationkey = n.nationkey WHERE o.totalprice > "
+                     "100000 GROUP BY c.mktsegment, n.name"});
+  out.push_back({"q82",
+                 "SELECT count(DISTINCT custkey) FROM " + t("orders") +
+                     " WHERE orderdate >= DATE '1995-01-01'"});
+  return out;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  auto lo = static_cast<size_t>(std::floor(rank));
+  auto hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - std::floor(rank);
+  return values[lo] * (1 - frac) + values[hi] * frac;
+}
+
+}  // namespace presto::bench

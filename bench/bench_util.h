@@ -1,0 +1,55 @@
+#ifndef PRESTOCPP_BENCH_BENCH_UTIL_H_
+#define PRESTOCPP_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "connectors/hive/hive_connector.h"
+#include "connectors/raptor/raptor_connector.h"
+#include "connectors/shardedstore/sharded_store.h"
+#include "connectors/tpch/tpch_connector.h"
+#include "engine/engine.h"
+
+namespace presto::bench {
+
+/// Builds an engine with a tpch catalog at `scale`.
+std::unique_ptr<PrestoEngine> MakeTpchEngine(double scale,
+                                             EngineOptions options = {});
+
+/// Copies tpch tables into a hive connector (remote-DFS warehouse).
+Status LoadHiveFromTpch(TpchConnector* tpch, HiveConnector* hive,
+                        const std::vector<std::string>& tables);
+
+/// Copies tpch tables into raptor, bucketed on `bucket_column`.
+Status LoadRaptorFromTpch(TpchConnector* tpch, RaptorConnector* raptor,
+                          const std::vector<std::string>& tables,
+                          const std::string& bucket_column, int buckets);
+
+/// Loads the Developer/Advertiser analytics table into a sharded store:
+/// app_events(app_id, day, metric, value) sharded+indexed on app_id.
+Status LoadAppEvents(ShardedStoreConnector* store, int64_t rows,
+                     int64_t num_apps);
+
+/// Runs a query and returns wall microseconds (asserts success).
+int64_t TimeQuery(PrestoEngine* engine, const std::string& sql);
+
+/// Runs a query, discards results, returns status.
+Status RunQuery(PrestoEngine* engine, const std::string& sql);
+
+/// The 19 Fig. 6 workload queries (labels q09..q82 match the figure's
+/// x-axis; shapes — scan-heavy aggregates, multi-joins, selective filters —
+/// approximate the TPC-DS subset on our TPC-H-style schema). `catalog` is
+/// prefixed to every table name.
+struct LabeledQuery {
+  std::string label;
+  std::string sql;
+};
+std::vector<LabeledQuery> Fig6Queries(const std::string& catalog);
+
+/// Percentile of a sorted vector (p in [0,100]).
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace presto::bench
+
+#endif  // PRESTOCPP_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,84 @@
+// Interactive Analytics (§II-A): exploratory queries over the warehouse —
+// short one-off aggregations, early LIMIT cancellation, and EXPLAIN-driven
+// inspection, mirroring how Facebook engineers "examine small amounts of
+// data, test hypotheses, and build visualizations".
+//
+//   ./build/examples/interactive_analytics
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "connector/scan_util.h"
+#include "connectors/hive/hive_connector.h"
+#include "connectors/tpch/tpch_connector.h"
+#include "engine/engine.h"
+
+using namespace presto;  // NOLINT
+
+int main() {
+  EngineOptions options;
+  options.cluster.num_workers = 4;
+  PrestoEngine engine(options);
+
+  auto tpch = std::make_shared<TpchConnector>("tpch", 1.0);
+  auto hive = std::make_shared<HiveConnector>("hive");
+  for (const char* table : {"orders", "lineitem", "customer", "nation"}) {
+    auto pages = ReadAllPages(tpch.get(), table);
+    if (!pages.ok()) return 1;
+    RowSchema schema = (*tpch->metadata().GetTable(table))->schema();
+    hive->CreateTable(table, schema);
+    hive->LoadTable(table, *pages);
+    hive->AnalyzeTable(table);  // interactive clusters keep stats fresh
+  }
+  engine.catalog().Register(hive);
+  engine.catalog().SetDefault("hive");
+
+  const char* dashboard[] = {
+      // Daily revenue trend.
+      "SELECT orderdate, sum(totalprice) AS revenue FROM orders "
+      "WHERE orderdate >= DATE '1995-01-01' AND orderdate < DATE "
+      "'1995-02-01' GROUP BY orderdate ORDER BY orderdate",
+      // Top customers by spend.
+      "SELECT c.name, sum(o.totalprice) AS spend FROM customer c "
+      "JOIN orders o ON c.custkey = o.custkey "
+      "GROUP BY c.name ORDER BY spend DESC LIMIT 10",
+      // Return rates by ship mode.
+      "SELECT shipmode, count(*) AS lines, "
+      "sum(CASE WHEN returnflag = 'R' THEN 1 ELSE 0 END) AS returns "
+      "FROM lineitem GROUP BY shipmode ORDER BY lines DESC",
+      // Market segments per nation (joins + group by).
+      "SELECT n.name, c.mktsegment, count(*) FROM customer c "
+      "JOIN nation n ON c.nationkey = n.nationkey "
+      "GROUP BY n.name, c.mktsegment ORDER BY 3 DESC LIMIT 15",
+  };
+
+  for (const char* sql : dashboard) {
+    Stopwatch watch;
+    auto rows = engine.ExecuteAndFetch(sql);
+    if (!rows.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   rows.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[%6.1f ms, %3zu rows] %.72s...\n",
+                static_cast<double>(watch.ElapsedMicros()) / 1000.0,
+                rows->size(), sql);
+  }
+
+  // Exploratory pattern: fetch one page, then abandon the query — the
+  // engine cancels the still-running upstream stages (§IV-D3: "queries are
+  // often canceled ... or use LIMIT").
+  {
+    Stopwatch watch;
+    auto result = engine.Execute("SELECT * FROM lineitem");
+    if (!result.ok()) return 1;
+    auto first = result->Next();
+    if (first.ok() && first->has_value()) {
+      std::printf("[%6.1f ms] peeked %lld rows of SELECT *, cancelling\n",
+                  static_cast<double>(watch.ElapsedMicros()) / 1000.0,
+                  static_cast<long long>((*first)->num_rows()));
+    }
+    result->Cancel();
+  }
+  return 0;
+}

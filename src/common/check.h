@@ -1,0 +1,39 @@
+#ifndef PRESTOCPP_COMMON_CHECK_H_
+#define PRESTOCPP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace presto::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "PRESTO_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace presto::internal
+
+/// Internal invariant check; aborts the process on failure. Used for
+/// programmer errors only — user-visible failures flow through Status.
+#define PRESTO_CHECK(cond)                                    \
+  do {                                                        \
+    if (!(cond))                                              \
+      ::presto::internal::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+/// Marks code paths that are impossible by construction (e.g. exhaustive
+/// switches over enums). Aborts if ever reached.
+#define PRESTO_UNREACHABLE() \
+  ::presto::internal::CheckFailed(__FILE__, __LINE__, "unreachable")
+
+#ifndef NDEBUG
+#define PRESTO_DCHECK(cond) PRESTO_CHECK(cond)
+#else
+#define PRESTO_DCHECK(cond)    \
+  do {                         \
+    if (false) { (void)(cond); } \
+  } while (0)
+#endif
+
+#endif  // PRESTOCPP_COMMON_CHECK_H_

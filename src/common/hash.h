@@ -1,0 +1,51 @@
+#ifndef PRESTOCPP_COMMON_HASH_H_
+#define PRESTOCPP_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace presto {
+
+/// 64-bit finalizer from MurmurHash3. Good avalanche for integer keys; used
+/// for hash partitioning (shuffles) and hash tables (joins, aggregations).
+inline uint64_t HashInt64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// FNV-1a over bytes; adequate for VARCHAR keys at our scale.
+inline uint64_t HashBytes(const void* data, size_t len) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ULL;
+  }
+  return HashInt64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+inline uint64_t HashDouble(double d) {
+  // Normalize -0.0 to 0.0 so equal values hash equally.
+  if (d == 0.0) d = 0.0;
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return HashInt64(bits);
+}
+
+/// boost::hash_combine-style mixing for multi-column keys.
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (value + 0x9E3779B97F4A7C15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_COMMON_HASH_H_

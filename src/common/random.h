@@ -1,0 +1,75 @@
+#ifndef PRESTOCPP_COMMON_RANDOM_H_
+#define PRESTOCPP_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace presto {
+
+/// Deterministic xorshift64* generator. All synthetic data (TPC-H-style
+/// tables, workload arrival processes) is derived from seeded instances so
+/// every test, example, and benchmark is reproducible run to run.
+class Random {
+ public:
+  explicit Random(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ULL) {}
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t NextUint64(uint64_t n) { return NextUint64() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t NextInt64(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(NextUint64(
+                    static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean (used for Poisson
+  /// arrival processes in the Fig. 8 multi-tenancy harness).
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    if (u >= 1.0) u = 0.9999999999;
+    // -mean * ln(1-u)
+    double x = 1.0 - u;
+    // ln via series-free call
+    return -mean * __builtin_log(x);
+  }
+
+  /// Random lowercase ASCII string of length `len`.
+  std::string NextString(int len) {
+    std::string s(static_cast<size_t>(len), 'a');
+    for (auto& c : s) c = static_cast<char>('a' + NextUint64(26));
+    return s;
+  }
+
+  /// Zipfian-ish skewed pick in [0, n): lower indices are more likely.
+  uint64_t NextSkewed(uint64_t n) {
+    double u = NextDouble();
+    double v = u * u * u;  // cube concentrates mass near 0
+    auto idx = static_cast<uint64_t>(v * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_COMMON_RANDOM_H_

@@ -1,0 +1,130 @@
+#ifndef PRESTOCPP_COMMON_STATUS_H_
+#define PRESTOCPP_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace presto {
+
+/// Error categories surfaced by the engine. Mirrors the classes of failure
+/// the paper distinguishes: user errors (bad SQL), resource exhaustion
+/// (memory limits, §IV-F2), cancellation, and internal invariant failures.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // malformed SQL, unknown table/column, type errors
+  kNotFound,          // missing catalog object or file
+  kResourceExhausted, // memory/cpu limits exceeded; query killed
+  kCancelled,         // query cancelled by client
+  kUnsupported,       // recognized but unimplemented SQL feature
+  kIOError,           // simulated storage/network failure
+  kInternal,          // engine invariant violation
+};
+
+/// Returns a short human-readable name for `code` ("OK", "Invalid argument"...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. Fallible public APIs return Status or
+/// Result<T> instead of throwing; exceptions never cross module boundaries.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Value-or-error holder, analogous to arrow::Result. A Result is in exactly
+/// one of two states: a valid value (status().ok()) or an error status.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call sites
+  /// terse: `return 42;` / `return Status::InvalidArgument(...)`.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(data_);
+  }
+
+  /// Precondition: ok().
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define PRESTO_RETURN_IF_ERROR(expr)           \
+  do {                                         \
+    ::presto::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result expression; on error returns its Status, otherwise
+/// assigns the value to `lhs`. `lhs` may declare a new variable.
+#define PRESTO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value();
+
+#define PRESTO_ASSIGN_OR_RETURN_CONCAT(x, y) x##y
+#define PRESTO_ASSIGN_OR_RETURN_NAME(x, y) PRESTO_ASSIGN_OR_RETURN_CONCAT(x, y)
+#define PRESTO_ASSIGN_OR_RETURN(lhs, expr) \
+  PRESTO_ASSIGN_OR_RETURN_IMPL(            \
+      PRESTO_ASSIGN_OR_RETURN_NAME(_result_, __LINE__), lhs, expr)
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_COMMON_STATUS_H_

@@ -1,0 +1,35 @@
+#ifndef PRESTOCPP_COMMON_STOPWATCH_H_
+#define PRESTOCPP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace presto {
+
+/// Wall-clock stopwatch used for scheduling quanta, query timing, and the
+/// benchmark harnesses.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+  int64_t ElapsedMicros() const { return ElapsedNanos() / 1000; }
+  int64_t ElapsedMillis() const { return ElapsedNanos() / 1000000; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_COMMON_STOPWATCH_H_

@@ -1,0 +1,92 @@
+#include "common/string_utils.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace presto {
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+
+// Recursive matcher over (value[vi:], pattern[pi:]).
+bool LikeMatchImpl(std::string_view v, size_t vi, std::string_view p,
+                   size_t pi) {
+  while (pi < p.size()) {
+    char pc = p[pi];
+    if (pc == '%') {
+      // Collapse consecutive %.
+      while (pi < p.size() && p[pi] == '%') ++pi;
+      if (pi == p.size()) return true;
+      for (size_t k = vi; k <= v.size(); ++k) {
+        if (LikeMatchImpl(v, k, p, pi)) return true;
+      }
+      return false;
+    }
+    if (vi >= v.size()) return false;
+    if (pc != '_' && pc != v[vi]) return false;
+    ++vi;
+    ++pi;
+  }
+  return vi == v.size();
+}
+
+}  // namespace
+
+bool LikeMatch(std::string_view value, std::string_view pattern) {
+  return LikeMatchImpl(value, 0, pattern, 0);
+}
+
+std::string FormatBytes(int64_t bytes) {
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", v, units[u]);
+  return buf;
+}
+
+}  // namespace presto

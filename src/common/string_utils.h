@@ -1,0 +1,34 @@
+#ifndef PRESTOCPP_COMMON_STRING_UTILS_H_
+#define PRESTOCPP_COMMON_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace presto {
+
+/// Lowercases ASCII characters; SQL identifiers and keywords are
+/// case-insensitive in the dialect we implement.
+std::string ToLowerAscii(std::string_view s);
+
+/// Uppercases ASCII characters.
+std::string ToUpperAscii(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `sep` (single char); keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// SQL LIKE match with % and _ wildcards (no escape support).
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// Formats a byte count as "12.3 MB" style text for logs and benches.
+std::string FormatBytes(int64_t bytes);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_COMMON_STRING_UTILS_H_

@@ -1,0 +1,45 @@
+#ifndef PRESTOCPP_COMMON_THREAD_POOL_H_
+#define PRESTOCPP_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace presto {
+
+/// Fixed-size FIFO thread pool for auxiliary parallel work (data generation,
+/// file loading). Query execution does NOT use this: workers run tasks under
+/// the MLFQ TaskExecutor in src/schedule, which implements the cooperative
+/// time-slicing the paper describes.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `fn` for execution on some pool thread.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until all submitted work has completed.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,71 @@
+#include "connector/connector.h"
+
+#include "common/check.h"
+
+namespace presto {
+
+std::string ColumnPredicate::ToString() const {
+  const char* op_text = "?";
+  switch (op) {
+    case Op::kEq:
+      op_text = "=";
+      break;
+    case Op::kNeq:
+      op_text = "<>";
+      break;
+    case Op::kLt:
+      op_text = "<";
+      break;
+    case Op::kLte:
+      op_text = "<=";
+      break;
+    case Op::kGt:
+      op_text = ">";
+      break;
+    case Op::kGte:
+      op_text = ">=";
+      break;
+    case Op::kIn:
+      op_text = "IN";
+      break;
+  }
+  std::string out = column;
+  out += " ";
+  out += op_text;
+  out += " ";
+  if (op == Op::kIn) {
+    out += "(";
+    for (size_t i = 0; i < values.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += values[i].ToString();
+    }
+    out += ")";
+  } else if (!values.empty()) {
+    out += values[0].ToString();
+  }
+  return out;
+}
+
+void Catalog::Register(ConnectorPtr connector) {
+  PRESTO_CHECK(connector != nullptr);
+  std::string name = connector->name();
+  if (default_name_.empty()) default_name_ = name;
+  connectors_[name] = std::move(connector);
+}
+
+Result<Connector*> Catalog::Get(const std::string& name) const {
+  auto it = connectors_.find(name);
+  if (it == connectors_.end()) {
+    return Status::NotFound("unknown catalog: " + name);
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> Catalog::ConnectorNames() const {
+  std::vector<std::string> names;
+  names.reserve(connectors_.size());
+  for (const auto& [name, _] : connectors_) names.push_back(name);
+  return names;
+}
+
+}  // namespace presto

@@ -1,0 +1,210 @@
+#ifndef PRESTOCPP_CONNECTOR_CONNECTOR_H_
+#define PRESTOCPP_CONNECTOR_CONNECTOR_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/row_schema.h"
+#include "types/value.h"
+#include "vector/page.h"
+
+namespace presto {
+
+// ---------------------------------------------------------------------------
+// The Connector API (§III): Metadata API, Data Location API (splits +
+// layouts), Data Source API, and Data Sink API. Every storage system in this
+// repository — hive (minidfs+storc), raptor, shardedstore, tpch, memcon —
+// implements these interfaces, and the engine is written only against them.
+// ---------------------------------------------------------------------------
+
+/// Table and column statistics reported by connectors (§IV-C: "cost-based
+/// optimizations that take table and column statistics into account").
+struct ColumnStats {
+  int64_t distinct_values = -1;  // -1 = unknown
+  double null_fraction = 0.0;
+  Value min;  // null Value = unknown
+  Value max;
+};
+
+struct TableStats {
+  int64_t row_count = -1;  // -1 = unknown
+  std::map<std::string, ColumnStats> columns;
+
+  bool valid() const { return row_count >= 0; }
+};
+
+/// A physical data layout exposed through the Data Layout API (§IV-C1):
+/// partitioning/bucketing (enables co-located joins and shuffle elision),
+/// sort order (enables range pruning) and indexes (enables index joins and
+/// exact predicate pushdown).
+struct DataLayout {
+  std::string id;
+  std::vector<std::string> partition_columns;  // bucketed-by columns
+  int bucket_count = 0;
+  std::vector<std::string> sort_columns;
+  std::vector<std::string> index_columns;
+};
+
+/// Opaque connector table handle; concrete connectors subclass.
+class TableHandle {
+ public:
+  virtual ~TableHandle() = default;
+  virtual const std::string& name() const = 0;
+  virtual const RowSchema& schema() const = 0;
+};
+using TableHandlePtr = std::shared_ptr<const TableHandle>;
+
+/// A simple conjunct of the form `column OP literal(s)` that the optimizer
+/// offers to connectors for pushdown (§IV-C2).
+struct ColumnPredicate {
+  enum class Op : uint8_t { kEq, kNeq, kLt, kLte, kGt, kGte, kIn };
+  std::string column;
+  Op op;
+  std::vector<Value> values;  // one value, or several for kIn
+
+  std::string ToString() const;
+};
+
+/// How completely a connector enforces a pushed-down predicate.
+enum class PushdownSupport : uint8_t {
+  kUnsupported,  // connector ignores it; engine must filter
+  kInexact,      // connector prunes (e.g. stripe stats) but may leak rows
+  kExact,        // connector guarantees only matching rows are produced
+};
+
+/// An opaque handle to an addressable chunk of data in an external system
+/// (§III). Concrete connectors subclass; the scheduler only looks at the
+/// affinity fields.
+class Split {
+ public:
+  virtual ~Split() = default;
+  /// Preferred worker for shared-nothing/locality-constrained connectors
+  /// (§IV-D2 "workers be co-located with storage nodes"); -1 = any worker.
+  virtual int preferred_worker() const { return -1; }
+  /// True if the split MUST run on preferred_worker() (shared-nothing).
+  virtual bool hard_affinity() const { return false; }
+  /// Debug label.
+  virtual std::string ToString() const = 0;
+};
+using SplitPtr = std::shared_ptr<const Split>;
+
+/// Lazily enumerates splits in small batches (§IV-D3 "Presto asks
+/// connectors to enumerate small batches of splits, and assigns them to
+/// tasks lazily").
+class SplitSource {
+ public:
+  virtual ~SplitSource() = default;
+  /// Returns up to `max_batch` more splits; empty vector = exhausted.
+  virtual Result<std::vector<SplitPtr>> NextBatch(int max_batch) = 0;
+};
+
+/// Streaming page reader for one split (Data Source API).
+class DataSource {
+ public:
+  virtual ~DataSource() = default;
+  /// Next page of data, or nullopt at end of split.
+  virtual Result<std::optional<Page>> NextPage() = 0;
+  /// Bytes fetched from (simulated) storage so far, for stats.
+  virtual int64_t bytes_read() const { return 0; }
+};
+
+/// Streaming page writer (Data Sink API).
+class DataSink {
+ public:
+  virtual ~DataSink() = default;
+  virtual Status Append(const Page& page) = 0;
+  /// Flushes and commits; returns rows written by this sink.
+  virtual Result<int64_t> Finish() = 0;
+};
+
+/// Everything a connector tells the engine about its tables.
+class ConnectorMetadata {
+ public:
+  virtual ~ConnectorMetadata() = default;
+  virtual std::vector<std::string> ListTables() const = 0;
+  virtual Result<TableHandlePtr> GetTable(const std::string& name) const = 0;
+  virtual Result<TableStats> GetStats(const TableHandle& table) const {
+    (void)table;
+    return TableStats{};
+  }
+  virtual std::vector<DataLayout> GetLayouts(const TableHandle& table) const {
+    (void)table;
+    return {};
+  }
+  /// Which pushdown level the connector provides for `pred` on `table`.
+  virtual PushdownSupport GetPushdownSupport(
+      const TableHandle& table, const ColumnPredicate& pred) const {
+    (void)table;
+    (void)pred;
+    return PushdownSupport::kUnsupported;
+  }
+  /// Starts a CREATE TABLE AS; returns the handle future sinks write into.
+  virtual Result<TableHandlePtr> BeginCreateTable(const std::string& name,
+                                                  const RowSchema& schema) {
+    (void)name;
+    (void)schema;
+    return Status::Unsupported("connector does not support CREATE TABLE");
+  }
+  /// Commits a CTAS/INSERT once all sinks finished.
+  virtual Status FinishWrite(const TableHandle& table) {
+    (void)table;
+    return Status::OK();
+  }
+};
+
+/// A connector instance registered in the catalog under a name ("hive",
+/// "raptor", "mysql", "tpch", "memory").
+class Connector {
+ public:
+  virtual ~Connector() = default;
+
+  virtual const std::string& name() const = 0;
+  virtual ConnectorMetadata& metadata() = 0;
+
+  /// Data Location API: split enumeration for a scan. `predicates` are the
+  /// conjuncts the optimizer pushed down (already filtered to those the
+  /// connector said it supports); `layout_id` selects among GetLayouts().
+  virtual Result<std::unique_ptr<SplitSource>> GetSplits(
+      const TableHandle& table, const std::string& layout_id,
+      const std::vector<ColumnPredicate>& predicates,
+      int num_workers) = 0;
+
+  /// Data Source API: page reader for one split, projecting `columns`
+  /// (ordinals into the table schema).
+  virtual Result<std::unique_ptr<DataSource>> CreateDataSource(
+      const Split& split, const TableHandle& table,
+      const std::vector<int>& columns,
+      const std::vector<ColumnPredicate>& predicates) = 0;
+
+  /// Data Sink API: writer `writer_id` for a CTAS/INSERT target.
+  virtual Result<std::unique_ptr<DataSink>> CreateDataSink(
+      const TableHandle& table, int writer_id) {
+    (void)table;
+    (void)writer_id;
+    return Status::Unsupported("connector does not support writes");
+  }
+};
+using ConnectorPtr = std::shared_ptr<Connector>;
+
+/// Catalog: the set of registered connectors plus a default for unqualified
+/// table names. A single query may touch several connectors (federation).
+class Catalog {
+ public:
+  void Register(ConnectorPtr connector);
+  Result<Connector*> Get(const std::string& name) const;
+  void SetDefault(const std::string& name) { default_name_ = name; }
+  const std::string& default_name() const { return default_name_; }
+  std::vector<std::string> ConnectorNames() const;
+
+ private:
+  std::map<std::string, ConnectorPtr> connectors_;
+  std::string default_name_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_CONNECTOR_CONNECTOR_H_

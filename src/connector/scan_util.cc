@@ -1,0 +1,33 @@
+#include "connector/scan_util.h"
+
+namespace presto {
+
+Result<std::vector<Page>> ReadAllPages(Connector* connector,
+                                       const std::string& table_name) {
+  PRESTO_ASSIGN_OR_RETURN(TableHandlePtr table,
+                          connector->metadata().GetTable(table_name));
+  std::vector<int> columns;
+  for (size_t c = 0; c < table->schema().size(); ++c) {
+    columns.push_back(static_cast<int>(c));
+  }
+  PRESTO_ASSIGN_OR_RETURN(auto splits,
+                          connector->GetSplits(*table, "", {}, 1));
+  std::vector<Page> pages;
+  for (;;) {
+    PRESTO_ASSIGN_OR_RETURN(auto batch, splits->NextBatch(64));
+    if (batch.empty()) break;
+    for (const auto& split : batch) {
+      PRESTO_ASSIGN_OR_RETURN(
+          auto source,
+          connector->CreateDataSource(*split, *table, columns, {}));
+      for (;;) {
+        PRESTO_ASSIGN_OR_RETURN(auto page, source->NextPage());
+        if (!page.has_value()) break;
+        pages.push_back(std::move(*page));
+      }
+    }
+  }
+  return pages;
+}
+
+}  // namespace presto

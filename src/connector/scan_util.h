@@ -1,0 +1,20 @@
+#ifndef PRESTOCPP_CONNECTOR_SCAN_UTIL_H_
+#define PRESTOCPP_CONNECTOR_SCAN_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+
+namespace presto {
+
+/// Reads an entire table through the connector API into pages (single
+/// threaded). Used to copy data between connectors (e.g. loading the hive
+/// and raptor substrates from the tpch generator) in tests, examples, and
+/// benchmark setup.
+Result<std::vector<Page>> ReadAllPages(Connector* connector,
+                                       const std::string& table_name);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_CONNECTOR_SCAN_UTIL_H_

@@ -1,0 +1,85 @@
+#include "connectors/hive/minidfs.h"
+
+#include <thread>
+
+namespace presto {
+
+void MiniDfs::SimulateRead(int64_t bytes) const {
+  reads_.fetch_add(1);
+  bytes_read_.fetch_add(bytes);
+  int64_t micros = config_.read_latency_micros;
+  if (config_.bytes_per_second > 0) {
+    micros += bytes * 1000000 / config_.bytes_per_second;
+  }
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+Status MiniDfs::Write(const std::string& path, std::string data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] = std::move(data);
+  return Status::OK();
+}
+
+Status MiniDfs::Append(const std::string& path, const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_[path] += data;
+  return Status::OK();
+}
+
+Result<int64_t> MiniDfs::FileSize(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) return Status::NotFound("no such file: " + path);
+  return static_cast<int64_t>(it->second.size());
+}
+
+Result<std::string> MiniDfs::ReadRange(const std::string& path,
+                                       int64_t offset, int64_t length) const {
+  std::string data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound("no such file: " + path);
+    if (offset < 0 || offset + length > static_cast<int64_t>(it->second.size())) {
+      return Status::IOError("read past end of " + path);
+    }
+    data = it->second.substr(static_cast<size_t>(offset),
+                             static_cast<size_t>(length));
+  }
+  SimulateRead(length);
+  return data;
+}
+
+Result<std::string> MiniDfs::ReadAll(const std::string& path) const {
+  PRESTO_ASSIGN_OR_RETURN(int64_t size, FileSize(path));
+  return ReadRange(path, 0, size);
+}
+
+std::vector<std::string> MiniDfs::List(const std::string& prefix) const {
+  if (config_.list_latency_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.list_latency_micros));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (auto it = files_.lower_bound(prefix); it != files_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.push_back(it->first);
+  }
+  return out;
+}
+
+bool MiniDfs::Exists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status MiniDfs::Delete(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(path);
+  return Status::OK();
+}
+
+}  // namespace presto

@@ -1,0 +1,66 @@
+#ifndef PRESTOCPP_CONNECTORS_HIVE_MINIDFS_H_
+#define PRESTOCPP_CONNECTORS_HIVE_MINIDFS_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace presto {
+
+/// Simulated shared-storage characteristics. The defaults model a remote
+/// distributed filesystem (the paper's HDFS-like warehouse): every read
+/// pays a network round trip plus bandwidth-limited transfer. Raptor-style
+/// local flash uses near-zero latency instead — this asymmetry is exactly
+/// what Fig. 6 measures.
+struct DfsConfig {
+  int64_t read_latency_micros = 300;
+  int64_t bytes_per_second = 2LL << 30;  // 2 GB/s
+  int64_t list_latency_micros = 1000;    // metastore-ish listing cost
+};
+
+/// An in-memory blob store standing in for HDFS (§II-A "data is stored in a
+/// distributed filesystem"). Thread-safe; read calls sleep according to the
+/// simulated latency/bandwidth and are counted for the lazy-loading
+/// experiment (§V-D).
+class MiniDfs {
+ public:
+  explicit MiniDfs(DfsConfig config = {}) : config_(config) {}
+
+  const DfsConfig& config() const { return config_; }
+
+  Status Write(const std::string& path, std::string data);
+  Status Append(const std::string& path, const std::string& data);
+  Result<int64_t> FileSize(const std::string& path) const;
+  /// Reads [offset, offset+length); applies simulated latency + bandwidth.
+  Result<std::string> ReadRange(const std::string& path, int64_t offset,
+                                int64_t length) const;
+  Result<std::string> ReadAll(const std::string& path) const;
+  /// Paths with the given prefix (applies listing latency).
+  std::vector<std::string> List(const std::string& prefix) const;
+  bool Exists(const std::string& path) const;
+  Status Delete(const std::string& path);
+
+  int64_t total_reads() const { return reads_.load(); }
+  int64_t total_bytes_read() const { return bytes_read_.load(); }
+  void ResetStats() {
+    reads_.store(0);
+    bytes_read_.store(0);
+  }
+
+ private:
+  void SimulateRead(int64_t bytes) const;
+
+  DfsConfig config_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> files_;
+  mutable std::atomic<int64_t> reads_{0};
+  mutable std::atomic<int64_t> bytes_read_{0};
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_CONNECTORS_HIVE_MINIDFS_H_

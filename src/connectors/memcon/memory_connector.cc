@@ -1,0 +1,311 @@
+#include "connectors/memcon/memory_connector.h"
+
+#include <set>
+
+#include "common/check.h"
+#include "vector/block_builder.h"
+
+namespace presto {
+
+namespace {
+
+class MemoryTableHandle final : public TableHandle {
+ public:
+  MemoryTableHandle(std::string name, RowSchema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+  const std::string& name() const override { return name_; }
+  const RowSchema& schema() const override { return schema_; }
+
+ private:
+  std::string name_;
+  RowSchema schema_;
+};
+
+class MemorySplit final : public Split {
+ public:
+  MemorySplit(std::string table, size_t begin, size_t end)
+      : table_(std::move(table)), begin_(begin), end_(end) {}
+  size_t begin() const { return begin_; }
+  size_t end() const { return end_; }
+  std::string ToString() const override {
+    return "memory:" + table_ + "[" + std::to_string(begin_) + "," +
+           std::to_string(end_) + ")";
+  }
+
+ private:
+  std::string table_;
+  size_t begin_;
+  size_t end_;
+};
+
+class VectorSplitSource final : public SplitSource {
+ public:
+  explicit VectorSplitSource(std::vector<SplitPtr> splits)
+      : splits_(std::move(splits)) {}
+  Result<std::vector<SplitPtr>> NextBatch(int max_batch) override {
+    std::vector<SplitPtr> out;
+    while (pos_ < splits_.size() && static_cast<int>(out.size()) < max_batch) {
+      out.push_back(splits_[pos_++]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<SplitPtr> splits_;
+  size_t pos_ = 0;
+};
+
+class MemoryDataSource final : public DataSource {
+ public:
+  MemoryDataSource(std::shared_ptr<const std::vector<Page>> pages,
+                   size_t begin, size_t end, std::vector<int> columns)
+      : pages_(std::move(pages)),
+        pos_(begin),
+        end_(end),
+        columns_(std::move(columns)) {}
+
+  Result<std::optional<Page>> NextPage() override {
+    if (pos_ >= end_) return std::optional<Page>{};
+    const Page& page = (*pages_)[pos_++];
+    std::vector<BlockPtr> blocks;
+    blocks.reserve(columns_.size());
+    for (int c : columns_) {
+      blocks.push_back(page.block(static_cast<size_t>(c)));
+    }
+    bytes_ += page.SizeInBytes();
+    return std::optional<Page>(Page(std::move(blocks), page.num_rows()));
+  }
+
+  int64_t bytes_read() const override { return bytes_; }
+
+ private:
+  std::shared_ptr<const std::vector<Page>> pages_;
+  size_t pos_;
+  size_t end_;
+  std::vector<int> columns_;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace
+
+class MemoryConnector::Metadata final : public ConnectorMetadata {
+ public:
+  explicit Metadata(MemoryConnector* parent) : parent_(parent) {}
+
+  std::vector<std::string> ListTables() const override {
+    std::lock_guard<std::mutex> lock(parent_->mu_);
+    std::vector<std::string> names;
+    for (const auto& [name, _] : parent_->tables_) names.push_back(name);
+    return names;
+  }
+
+  Result<TableHandlePtr> GetTable(const std::string& name) const override {
+    std::lock_guard<std::mutex> lock(parent_->mu_);
+    auto it = parent_->tables_.find(name);
+    if (it == parent_->tables_.end()) {
+      return Status::NotFound("memory table not found: " + name);
+    }
+    return TableHandlePtr(
+        std::make_shared<MemoryTableHandle>(name, it->second->schema));
+  }
+
+  Result<TableStats> GetStats(const TableHandle& table) const override {
+    std::shared_ptr<TableData> data;
+    {
+      std::lock_guard<std::mutex> lock(parent_->mu_);
+      auto it = parent_->tables_.find(table.name());
+      if (it == parent_->tables_.end()) {
+        return Status::NotFound("memory table not found: " + table.name());
+      }
+      data = it->second;
+    }
+    TableStats stats;
+    stats.row_count = 0;
+    const RowSchema& schema = data->schema;
+    std::vector<std::set<std::string>> distinct(schema.size());
+    std::vector<int64_t> nulls(schema.size(), 0);
+    std::vector<Value> mins(schema.size());
+    std::vector<Value> maxs(schema.size());
+    for (const auto& page : data->pages) {
+      stats.row_count += page.num_rows();
+      for (size_t c = 0; c < schema.size(); ++c) {
+        const auto& block = page.block(c);
+        for (int64_t r = 0; r < page.num_rows(); ++r) {
+          Value v = block->GetValue(r);
+          if (v.is_null()) {
+            ++nulls[c];
+            continue;
+          }
+          if (distinct[c].size() < 100000) distinct[c].insert(v.ToString());
+          if (mins[c].is_null() || v.Compare(mins[c]) < 0) mins[c] = v;
+          if (maxs[c].is_null() || v.Compare(maxs[c]) > 0) maxs[c] = v;
+        }
+      }
+    }
+    for (size_t c = 0; c < schema.size(); ++c) {
+      ColumnStats cs;
+      cs.distinct_values = static_cast<int64_t>(distinct[c].size());
+      cs.null_fraction =
+          stats.row_count == 0
+              ? 0.0
+              : static_cast<double>(nulls[c]) /
+                    static_cast<double>(stats.row_count);
+      cs.min = mins[c];
+      cs.max = maxs[c];
+      stats.columns[schema.at(c).name] = std::move(cs);
+    }
+    return stats;
+  }
+
+  Result<TableHandlePtr> BeginCreateTable(const std::string& name,
+                                          const RowSchema& schema) override {
+    std::lock_guard<std::mutex> lock(parent_->mu_);
+    auto data = std::make_shared<TableData>();
+    data->schema = schema;
+    data->pending = true;
+    parent_->tables_[name] = data;
+    return TableHandlePtr(std::make_shared<MemoryTableHandle>(name, schema));
+  }
+
+  Status FinishWrite(const TableHandle& table) override {
+    std::lock_guard<std::mutex> lock(parent_->mu_);
+    auto it = parent_->tables_.find(table.name());
+    if (it == parent_->tables_.end()) {
+      return Status::NotFound("memory table not found: " + table.name());
+    }
+    it->second->pending = false;
+    return Status::OK();
+  }
+
+ private:
+  MemoryConnector* parent_;
+};
+
+namespace {
+
+class MemoryDataSink final : public DataSink {
+ public:
+  MemoryDataSink(std::mutex* mu, std::vector<Page>* pages)
+      : mu_(mu), pages_(pages) {}
+
+  Status Append(const Page& page) override {
+    rows_ += page.num_rows();
+    std::lock_guard<std::mutex> lock(*mu_);
+    pages_->push_back(page.Flatten());
+    return Status::OK();
+  }
+
+  Result<int64_t> Finish() override { return rows_; }
+
+ private:
+  std::mutex* mu_;
+  std::vector<Page>* pages_;
+  int64_t rows_ = 0;
+};
+
+}  // namespace
+
+MemoryConnector::MemoryConnector(std::string name)
+    : name_(std::move(name)),
+      metadata_(std::make_unique<Metadata>(this)) {}
+
+MemoryConnector::~MemoryConnector() = default;
+
+ConnectorMetadata& MemoryConnector::metadata() { return *metadata_; }
+
+Status MemoryConnector::CreateTable(const std::string& table_name,
+                                    RowSchema schema,
+                                    std::vector<Page> pages) {
+  for (const auto& page : pages) {
+    if (page.num_columns() != schema.size()) {
+      return Status::InvalidArgument("page width does not match schema");
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto data = std::make_shared<TableData>();
+  data->schema = std::move(schema);
+  data->pages = std::move(pages);
+  tables_[table_name] = std::move(data);
+  return Status::OK();
+}
+
+Result<int64_t> MemoryConnector::RowCount(const std::string& table_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("memory table not found: " + table_name);
+  }
+  int64_t rows = 0;
+  for (const auto& page : it->second->pages) rows += page.num_rows();
+  return rows;
+}
+
+Result<std::vector<Page>> MemoryConnector::GetPages(
+    const std::string& table_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) {
+    return Status::NotFound("memory table not found: " + table_name);
+  }
+  return it->second->pages;
+}
+
+Result<std::unique_ptr<SplitSource>> MemoryConnector::GetSplits(
+    const TableHandle& table, const std::string& layout_id,
+    const std::vector<ColumnPredicate>& predicates, int num_workers) {
+  (void)layout_id;
+  (void)predicates;
+  (void)num_workers;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table.name());
+  if (it == tables_.end()) {
+    return Status::NotFound("memory table not found: " + table.name());
+  }
+  // One split per page keeps scheduling exercised even for small tables.
+  std::vector<SplitPtr> splits;
+  size_t count = it->second->pages.size();
+  for (size_t i = 0; i < count; ++i) {
+    splits.push_back(std::make_shared<MemorySplit>(table.name(), i, i + 1));
+  }
+  return std::unique_ptr<SplitSource>(
+      new VectorSplitSource(std::move(splits)));
+}
+
+Result<std::unique_ptr<DataSource>> MemoryConnector::CreateDataSource(
+    const Split& split, const TableHandle& table,
+    const std::vector<int>& columns,
+    const std::vector<ColumnPredicate>& predicates) {
+  (void)predicates;
+  const auto* mem_split = dynamic_cast<const MemorySplit*>(&split);
+  if (mem_split == nullptr) {
+    return Status::InvalidArgument("not a memory split");
+  }
+  std::shared_ptr<TableData> data;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = tables_.find(table.name());
+    if (it == tables_.end()) {
+      return Status::NotFound("memory table not found: " + table.name());
+    }
+    data = it->second;
+  }
+  // Snapshot the pages pointer: TableData::pages is stable while reads run
+  // (writers only create new tables).
+  auto pages = std::shared_ptr<const std::vector<Page>>(data, &data->pages);
+  return std::unique_ptr<DataSource>(new MemoryDataSource(
+      std::move(pages), mem_split->begin(), mem_split->end(), columns));
+}
+
+Result<std::unique_ptr<DataSink>> MemoryConnector::CreateDataSink(
+    const TableHandle& table, int writer_id) {
+  (void)writer_id;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(table.name());
+  if (it == tables_.end()) {
+    return Status::NotFound("memory table not found: " + table.name());
+  }
+  return std::unique_ptr<DataSink>(
+      new MemoryDataSink(&mu_, &it->second->pages));
+}
+
+}  // namespace presto

@@ -1,0 +1,67 @@
+#ifndef PRESTOCPP_CONNECTORS_MEMCON_MEMORY_CONNECTOR_H_
+#define PRESTOCPP_CONNECTORS_MEMCON_MEMORY_CONNECTOR_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+
+namespace presto {
+
+/// A minimal in-memory connector: tables are vectors of pages. Used by the
+/// quickstart example and as the fixture connector in unit tests. Computes
+/// exact table/column statistics on demand so the cost-based optimizer can
+/// be exercised without the hive substrate.
+class MemoryConnector final : public Connector {
+ public:
+  explicit MemoryConnector(std::string name = "memory");
+  ~MemoryConnector() override;
+
+  const std::string& name() const override { return name_; }
+  ConnectorMetadata& metadata() override;
+
+  /// Registers (or replaces) a table with the given data.
+  Status CreateTable(const std::string& table_name, RowSchema schema,
+                     std::vector<Page> pages);
+
+  /// Total rows in a table (testing convenience).
+  Result<int64_t> RowCount(const std::string& table_name) const;
+
+  /// All pages of a table (testing convenience).
+  Result<std::vector<Page>> GetPages(const std::string& table_name) const;
+
+  Result<std::unique_ptr<SplitSource>> GetSplits(
+      const TableHandle& table, const std::string& layout_id,
+      const std::vector<ColumnPredicate>& predicates,
+      int num_workers) override;
+
+  Result<std::unique_ptr<DataSource>> CreateDataSource(
+      const Split& split, const TableHandle& table,
+      const std::vector<int>& columns,
+      const std::vector<ColumnPredicate>& predicates) override;
+
+  Result<std::unique_ptr<DataSink>> CreateDataSink(const TableHandle& table,
+                                                   int writer_id) override;
+
+ private:
+  class Metadata;
+  friend class Metadata;
+
+  struct TableData {
+    RowSchema schema;
+    std::vector<Page> pages;
+    bool pending = false;  // CTAS target not yet committed
+  };
+
+  std::string name_;
+  std::unique_ptr<Metadata> metadata_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<TableData>> tables_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_CONNECTORS_MEMCON_MEMORY_CONNECTOR_H_

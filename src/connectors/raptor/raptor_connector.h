@@ -1,0 +1,84 @@
+#ifndef PRESTOCPP_CONNECTORS_RAPTOR_RAPTOR_CONNECTOR_H_
+#define PRESTOCPP_CONNECTORS_RAPTOR_RAPTOR_CONNECTOR_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+#include "connectors/hive/minidfs.h"
+#include "connectors/hive/storc.h"
+
+namespace presto {
+
+/// Raptor configuration: local flash — near-zero latency, high bandwidth.
+struct RaptorConfig {
+  DfsConfig storage{/*read_latency_micros=*/5,
+                    /*bytes_per_second=*/8LL << 30,
+                    /*list_latency_micros=*/0};
+  int64_t stripe_rows = 16384;
+};
+
+/// The Raptor-style storage engine (§IV-D2): "a storage engine optimized
+/// for Presto with a shared-nothing architecture that stores ORC files on
+/// flash disks and metadata in MySQL". Tables are bucketed by one column;
+/// each bucket is a storc file pinned to a specific worker (hard split
+/// affinity), optionally sorted within buckets. Bucketed layouts are
+/// exposed through the Data Layout API, enabling co-located joins (§IV-C3)
+/// for the A/B-testing workload. Statistics are maintained at load time.
+class RaptorConnector final : public Connector {
+ public:
+  explicit RaptorConnector(std::string name = "raptor",
+                           RaptorConfig config = {});
+  ~RaptorConnector() override;
+
+  const std::string& name() const override { return name_; }
+  ConnectorMetadata& metadata() override;
+  MiniDfs& storage() { return storage_; }
+
+  /// Creates a bucketed (and optionally sorted) table.
+  Status CreateTable(const std::string& table_name, RowSchema schema,
+                     const std::string& bucket_column, int bucket_count,
+                     const std::string& sort_column = "");
+
+  /// Loads pages: rows are hashed into buckets; buckets are (re)written as
+  /// storc files with fresh statistics.
+  Status LoadTable(const std::string& table_name,
+                   const std::vector<Page>& pages);
+
+  Result<std::unique_ptr<SplitSource>> GetSplits(
+      const TableHandle& table, const std::string& layout_id,
+      const std::vector<ColumnPredicate>& predicates,
+      int num_workers) override;
+
+  Result<std::unique_ptr<DataSource>> CreateDataSource(
+      const Split& split, const TableHandle& table,
+      const std::vector<int>& columns,
+      const std::vector<ColumnPredicate>& predicates) override;
+
+ private:
+  class Metadata;
+  friend class Metadata;
+
+  struct TableInfo {
+    RowSchema schema;
+    std::string bucket_column;
+    int bucket_count = 0;
+    std::string sort_column;
+    std::vector<std::string> bucket_files;  // file per bucket ("" = empty)
+    TableStats stats;
+  };
+
+  std::string name_;
+  RaptorConfig config_;
+  MiniDfs storage_;
+  std::unique_ptr<Metadata> metadata_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<TableInfo>> tables_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_CONNECTORS_RAPTOR_RAPTOR_CONNECTOR_H_

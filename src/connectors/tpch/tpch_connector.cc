@@ -1,0 +1,476 @@
+#include "connectors/tpch/tpch_connector.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "vector/block_builder.h"
+
+namespace presto {
+
+namespace {
+
+// Base row counts at scale 1.0 (1/100 of official TPC-H).
+constexpr int64_t kCustomers = 1500;
+constexpr int64_t kOrdersPerCustomer = 10;
+constexpr int64_t kLinesPerOrder = 4;
+constexpr int64_t kParts = 2000;
+constexpr int64_t kSuppliers = 100;
+constexpr int64_t kNations = 25;
+constexpr int64_t kRegions = 5;
+
+// Deterministic per-row randomness.
+uint64_t Mix(uint64_t table_seed, int64_t row, uint64_t salt) {
+  return HashInt64(table_seed * 0x9E3779B97F4A7C15ULL +
+                   static_cast<uint64_t>(row) + salt * 0xC2B2AE3D27D4EB4FULL);
+}
+
+int64_t EpochDay(int year, int month, int day) {
+  int64_t out = 0;
+  PRESTO_CHECK(ParseDate(
+      std::to_string(year) + "-" + (month < 10 ? "0" : "") +
+          std::to_string(month) + "-" + (day < 10 ? "0" : "") +
+          std::to_string(day),
+      &out));
+  return out;
+}
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "HOUSEHOLD", "MACHINERY"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"AIR", "FOB", "MAIL", "RAIL",
+                            "REG AIR", "SHIP", "TRUCK"};
+const char* kShipInstructs[] = {"COLLECT COD", "DELIVER IN PERSON",
+                                "NONE", "TAKE BACK RETURN"};
+const char* kNationNames[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                              "MIDDLE EAST"};
+const char* kBrands[] = {"Brand#11", "Brand#12", "Brand#13", "Brand#21",
+                         "Brand#22", "Brand#23", "Brand#31", "Brand#32",
+                         "Brand#33", "Brand#41"};
+const char* kTypes[] = {"ECONOMY ANODIZED", "ECONOMY BRUSHED",
+                        "LARGE BURNISHED", "LARGE PLATED",
+                        "MEDIUM POLISHED",  "PROMO ANODIZED",
+                        "SMALL BRUSHED",    "STANDARD PLATED"};
+
+struct TableDef {
+  std::string table;
+  RowSchema schema;
+  int64_t rows;  // at the connector's scale
+};
+
+class TpchTableHandle final : public TableHandle {
+ public:
+  TpchTableHandle(TableDef def) : def_(std::move(def)) {}
+  const std::string& name() const override { return def_.table; }
+  const RowSchema& schema() const override { return def_.schema; }
+  const TableDef& def() const { return def_; }
+
+ private:
+  TableDef def_;
+};
+
+class TpchSplit final : public Split {
+ public:
+  TpchSplit(std::string table, int64_t begin, int64_t end)
+      : table_(std::move(table)), begin_(begin), end_(end) {}
+  const std::string& table() const { return table_; }
+  int64_t begin() const { return begin_; }
+  int64_t end() const { return end_; }
+  std::string ToString() const override {
+    return "tpch:" + table_ + "[" + std::to_string(begin_) + "," +
+           std::to_string(end_) + ")";
+  }
+
+ private:
+  std::string table_;
+  int64_t begin_;
+  int64_t end_;
+};
+
+class VectorSplitSource final : public SplitSource {
+ public:
+  explicit VectorSplitSource(std::vector<SplitPtr> splits)
+      : splits_(std::move(splits)) {}
+  Result<std::vector<SplitPtr>> NextBatch(int max_batch) override {
+    std::vector<SplitPtr> out;
+    while (pos_ < splits_.size() && static_cast<int>(out.size()) < max_batch) {
+      out.push_back(splits_[pos_++]);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<SplitPtr> splits_;
+  size_t pos_ = 0;
+};
+
+// Generates one cell. The generator lives here so the data source only
+// produces the requested columns — column pruning skips work end to end.
+Value GenerateCell(const std::string& table, const std::string& column,
+                   int64_t row, int64_t total_customers, int64_t total_parts,
+                   int64_t total_suppliers) {
+  uint64_t table_seed = HashString(table);
+  auto pick = [&](uint64_t salt, int64_t n) {
+    return static_cast<int64_t>(Mix(table_seed, row, salt) %
+                                static_cast<uint64_t>(n));
+  };
+  int64_t start_1992 = EpochDay(1992, 1, 1);
+  if (table == "orders") {
+    if (column == "orderkey") return Value::Bigint(row);
+    if (column == "custkey") {
+      return Value::Bigint(pick(1, total_customers));
+    }
+    if (column == "orderstatus") {
+      const char* status[] = {"F", "O", "P"};
+      int64_t r = pick(2, 10);
+      return Value::Varchar(status[r < 5 ? 1 : (r < 9 ? 0 : 2)]);
+    }
+    if (column == "totalprice") {
+      return Value::Double(1000.0 +
+                           static_cast<double>(pick(3, 450000)) / 1.7);
+    }
+    if (column == "orderdate") {
+      return Value::Date(start_1992 + pick(4, 2400));
+    }
+    if (column == "orderpriority") return Value::Varchar(kPriorities[pick(5, 5)]);
+    if (column == "shippriority") return Value::Bigint(0);
+  } else if (table == "lineitem") {
+    int64_t orderkey = row / kLinesPerOrder;
+    if (column == "orderkey") return Value::Bigint(orderkey);
+    if (column == "linenumber") return Value::Bigint(row % kLinesPerOrder + 1);
+    if (column == "partkey") return Value::Bigint(pick(1, total_parts));
+    if (column == "suppkey") return Value::Bigint(pick(2, total_suppliers));
+    if (column == "quantity") return Value::Bigint(1 + pick(3, 50));
+    if (column == "extendedprice") {
+      return Value::Double(900.0 + static_cast<double>(pick(4, 95000)) / 1.1);
+    }
+    if (column == "discount") {
+      return Value::Double(static_cast<double>(pick(5, 11)) / 100.0);
+    }
+    if (column == "tax") {
+      return Value::Double(static_cast<double>(pick(6, 9)) / 100.0);
+    }
+    if (column == "returnflag") {
+      const char* flags[] = {"A", "N", "R"};
+      return Value::Varchar(flags[pick(7, 3)]);
+    }
+    if (column == "linestatus") {
+      return Value::Varchar(pick(8, 2) == 0 ? "F" : "O");
+    }
+    if (column == "shipdate") return Value::Date(start_1992 + pick(9, 2500));
+    if (column == "commitdate") return Value::Date(start_1992 + pick(10, 2500));
+    if (column == "receiptdate") {
+      return Value::Date(start_1992 + pick(9, 2500) + 1 + pick(11, 30));
+    }
+    if (column == "shipinstruct") {
+      return Value::Varchar(kShipInstructs[pick(12, 4)]);
+    }
+    if (column == "shipmode") return Value::Varchar(kShipModes[pick(13, 7)]);
+  } else if (table == "customer") {
+    if (column == "custkey") return Value::Bigint(row);
+    if (column == "name") {
+      return Value::Varchar("Customer#" + std::to_string(row));
+    }
+    if (column == "nationkey") return Value::Bigint(pick(1, kNations));
+    if (column == "mktsegment") return Value::Varchar(kSegments[pick(2, 5)]);
+    if (column == "acctbal") {
+      return Value::Double(-999.0 + static_cast<double>(pick(3, 10999)));
+    }
+  } else if (table == "part") {
+    if (column == "partkey") return Value::Bigint(row);
+    if (column == "name") return Value::Varchar("part " + std::to_string(row));
+    if (column == "brand") return Value::Varchar(kBrands[pick(1, 10)]);
+    if (column == "type") return Value::Varchar(kTypes[pick(2, 8)]);
+    if (column == "size") return Value::Bigint(1 + pick(3, 50));
+    if (column == "retailprice") {
+      return Value::Double(900.0 + static_cast<double>(row % 1000));
+    }
+  } else if (table == "supplier") {
+    if (column == "suppkey") return Value::Bigint(row);
+    if (column == "name") {
+      return Value::Varchar("Supplier#" + std::to_string(row));
+    }
+    if (column == "nationkey") return Value::Bigint(pick(1, kNations));
+    if (column == "acctbal") {
+      return Value::Double(-999.0 + static_cast<double>(pick(2, 10999)));
+    }
+  } else if (table == "partsupp") {
+    if (column == "partkey") return Value::Bigint(row / 4);
+    if (column == "suppkey") {
+      return Value::Bigint((row / 4 + (row % 4) * (total_suppliers / 4 + 1)) %
+                           total_suppliers);
+    }
+    if (column == "availqty") return Value::Bigint(1 + pick(1, 9999));
+    if (column == "supplycost") {
+      return Value::Double(1.0 + static_cast<double>(pick(2, 99900)) / 100.0);
+    }
+  } else if (table == "nation") {
+    if (column == "nationkey") return Value::Bigint(row);
+    if (column == "name") {
+      return Value::Varchar(kNationNames[row % kNations]);
+    }
+    if (column == "regionkey") return Value::Bigint(row % kRegions);
+  } else if (table == "region") {
+    if (column == "regionkey") return Value::Bigint(row);
+    if (column == "name") return Value::Varchar(kRegionNames[row % kRegions]);
+  }
+  PRESTO_UNREACHABLE();
+}
+
+class TpchDataSource final : public DataSource {
+ public:
+  TpchDataSource(TableDef def, int64_t begin, int64_t end,
+                 std::vector<int> columns, int64_t total_customers,
+                 int64_t total_parts, int64_t total_suppliers)
+      : def_(std::move(def)),
+        pos_(begin),
+        end_(end),
+        columns_(std::move(columns)),
+        total_customers_(total_customers),
+        total_parts_(total_parts),
+        total_suppliers_(total_suppliers) {}
+
+  Result<std::optional<Page>> NextPage() override {
+    if (pos_ >= end_) return std::optional<Page>();
+    int64_t batch = std::min<int64_t>(4096, end_ - pos_);
+    std::vector<TypeKind> types;
+    for (int c : columns_) {
+      types.push_back(def_.schema.at(static_cast<size_t>(c)).type);
+    }
+    PageBuilder builder(types);
+    for (int64_t r = pos_; r < pos_ + batch; ++r) {
+      for (size_t i = 0; i < columns_.size(); ++i) {
+        const std::string& column =
+            def_.schema.at(static_cast<size_t>(columns_[i])).name;
+        builder.column(i).AppendValue(
+            GenerateCell(def_.table, column, r, total_customers_,
+                         total_parts_, total_suppliers_));
+      }
+      builder.CommitRow();
+    }
+    pos_ += batch;
+    bytes_ += batch * 32;
+    return std::optional<Page>(builder.Build());
+  }
+
+  int64_t bytes_read() const override { return bytes_; }
+
+ private:
+  TableDef def_;
+  int64_t pos_;
+  int64_t end_;
+  std::vector<int> columns_;
+  int64_t total_customers_;
+  int64_t total_parts_;
+  int64_t total_suppliers_;
+  int64_t bytes_ = 0;
+};
+
+}  // namespace
+
+class TpchConnector::Metadata final : public ConnectorMetadata {
+ public:
+  explicit Metadata(TpchConnector* parent) : parent_(parent) {
+    double sf = parent_->scale_;
+    auto scaled = [sf](int64_t base) {
+      return std::max<int64_t>(1, static_cast<int64_t>(
+                                      static_cast<double>(base) * sf));
+    };
+    int64_t customers = scaled(kCustomers);
+    int64_t orders = customers * kOrdersPerCustomer;
+    int64_t parts = scaled(kParts);
+    int64_t suppliers = scaled(kSuppliers);
+    auto add = [this](const std::string& table,
+                      std::vector<std::pair<std::string, TypeKind>> cols,
+                      int64_t rows) {
+      TableDef def;
+      def.table = table;
+      for (auto& [n, t] : cols) def.schema.Add(n, t);
+      def.rows = rows;
+      tables_[table] = std::move(def);
+    };
+    using TK = TypeKind;
+    add("orders",
+        {{"orderkey", TK::kBigint},
+         {"custkey", TK::kBigint},
+         {"orderstatus", TK::kVarchar},
+         {"totalprice", TK::kDouble},
+         {"orderdate", TK::kDate},
+         {"orderpriority", TK::kVarchar},
+         {"shippriority", TK::kBigint}},
+        orders);
+    add("lineitem",
+        {{"orderkey", TK::kBigint},
+         {"partkey", TK::kBigint},
+         {"suppkey", TK::kBigint},
+         {"linenumber", TK::kBigint},
+         {"quantity", TK::kBigint},
+         {"extendedprice", TK::kDouble},
+         {"discount", TK::kDouble},
+         {"tax", TK::kDouble},
+         {"returnflag", TK::kVarchar},
+         {"linestatus", TK::kVarchar},
+         {"shipdate", TK::kDate},
+         {"commitdate", TK::kDate},
+         {"receiptdate", TK::kDate},
+         {"shipinstruct", TK::kVarchar},
+         {"shipmode", TK::kVarchar}},
+        orders * kLinesPerOrder);
+    add("customer",
+        {{"custkey", TK::kBigint},
+         {"name", TK::kVarchar},
+         {"nationkey", TK::kBigint},
+         {"mktsegment", TK::kVarchar},
+         {"acctbal", TK::kDouble}},
+        customers);
+    add("part",
+        {{"partkey", TK::kBigint},
+         {"name", TK::kVarchar},
+         {"brand", TK::kVarchar},
+         {"type", TK::kVarchar},
+         {"size", TK::kBigint},
+         {"retailprice", TK::kDouble}},
+        parts);
+    add("supplier",
+        {{"suppkey", TK::kBigint},
+         {"name", TK::kVarchar},
+         {"nationkey", TK::kBigint},
+         {"acctbal", TK::kDouble}},
+        suppliers);
+    add("partsupp",
+        {{"partkey", TK::kBigint},
+         {"suppkey", TK::kBigint},
+         {"availqty", TK::kBigint},
+         {"supplycost", TK::kDouble}},
+        parts * 4);
+    add("nation",
+        {{"nationkey", TK::kBigint},
+         {"name", TK::kVarchar},
+         {"regionkey", TK::kBigint}},
+        kNations);
+    add("region", {{"regionkey", TK::kBigint}, {"name", TK::kVarchar}},
+        kRegions);
+  }
+
+  std::vector<std::string> ListTables() const override {
+    std::vector<std::string> names;
+    for (const auto& [name, _] : tables_) names.push_back(name);
+    return names;
+  }
+
+  Result<TableHandlePtr> GetTable(const std::string& name) const override {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("tpch table not found: " + name);
+    }
+    return TableHandlePtr(std::make_shared<TpchTableHandle>(it->second));
+  }
+
+  Result<TableStats> GetStats(const TableHandle& table) const override {
+    auto it = tables_.find(table.name());
+    if (it == tables_.end()) {
+      return Status::NotFound("tpch table not found: " + table.name());
+    }
+    const TableDef& def = it->second;
+    TableStats stats;
+    stats.row_count = def.rows;
+    // Analytic NDV estimates.
+    for (const auto& col : def.schema.columns()) {
+      ColumnStats cs;
+      if (col.name == "orderkey" && def.table == "orders") {
+        cs.distinct_values = def.rows;
+      } else if (col.name == "orderkey") {
+        cs.distinct_values = def.rows / kLinesPerOrder;
+      } else if (col.name == "custkey" || col.name == "partkey" ||
+                 col.name == "suppkey" || col.name == "nationkey" ||
+                 col.name == "regionkey") {
+        auto parent = tables_.find(
+            col.name == "custkey"
+                ? "customer"
+                : col.name == "partkey"
+                      ? "part"
+                      : col.name == "suppkey"
+                            ? "supplier"
+                            : col.name == "nationkey" ? "nation" : "region");
+        cs.distinct_values =
+            std::min(def.rows, parent != tables_.end() ? parent->second.rows
+                                                       : def.rows);
+      } else if (col.type == TypeKind::kVarchar) {
+        cs.distinct_values = 8;
+      } else if (col.type == TypeKind::kDate) {
+        cs.distinct_values = 2500;
+      } else {
+        cs.distinct_values = std::min<int64_t>(def.rows, 100000);
+      }
+      stats.columns[col.name] = std::move(cs);
+    }
+    return stats;
+  }
+
+  const std::map<std::string, TableDef>& tables() const { return tables_; }
+
+ private:
+  TpchConnector* parent_;
+  std::map<std::string, TableDef> tables_;
+};
+
+TpchConnector::TpchConnector(std::string name, double scale)
+    : name_(std::move(name)),
+      scale_(scale),
+      metadata_(std::make_unique<Metadata>(this)) {}
+
+TpchConnector::~TpchConnector() = default;
+
+ConnectorMetadata& TpchConnector::metadata() { return *metadata_; }
+
+Result<int64_t> TpchConnector::RowCount(const std::string& table) const {
+  auto it = metadata_->tables().find(table);
+  if (it == metadata_->tables().end()) {
+    return Status::NotFound("tpch table not found: " + table);
+  }
+  return it->second.rows;
+}
+
+Result<std::unique_ptr<SplitSource>> TpchConnector::GetSplits(
+    const TableHandle& table, const std::string& layout_id,
+    const std::vector<ColumnPredicate>& predicates, int num_workers) {
+  (void)layout_id;
+  (void)predicates;
+  const auto* handle = dynamic_cast<const TpchTableHandle*>(&table);
+  if (handle == nullptr) return Status::InvalidArgument("not a tpch table");
+  int64_t rows = handle->def().rows;
+  int64_t per_split =
+      std::max<int64_t>(4096, rows / std::max(1, num_workers * 4));
+  std::vector<SplitPtr> splits;
+  for (int64_t begin = 0; begin < rows; begin += per_split) {
+    splits.push_back(std::make_shared<TpchSplit>(
+        table.name(), begin, std::min(rows, begin + per_split)));
+  }
+  return std::unique_ptr<SplitSource>(
+      new VectorSplitSource(std::move(splits)));
+}
+
+Result<std::unique_ptr<DataSource>> TpchConnector::CreateDataSource(
+    const Split& split, const TableHandle& table,
+    const std::vector<int>& columns,
+    const std::vector<ColumnPredicate>& predicates) {
+  (void)predicates;
+  const auto* tpch_split = dynamic_cast<const TpchSplit*>(&split);
+  const auto* handle = dynamic_cast<const TpchTableHandle*>(&table);
+  if (tpch_split == nullptr || handle == nullptr) {
+    return Status::InvalidArgument("not a tpch split/table");
+  }
+  const auto& tables = metadata_->tables();
+  return std::unique_ptr<DataSource>(new TpchDataSource(
+      handle->def(), tpch_split->begin(), tpch_split->end(), columns,
+      tables.at("customer").rows, tables.at("part").rows,
+      tables.at("supplier").rows));
+}
+
+}  // namespace presto

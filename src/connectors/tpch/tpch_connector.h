@@ -1,0 +1,55 @@
+#ifndef PRESTOCPP_CONNECTORS_TPCH_TPCH_CONNECTOR_H_
+#define PRESTOCPP_CONNECTORS_TPCH_TPCH_CONNECTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+
+namespace presto {
+
+/// Deterministic TPC-H-style data generator connector (the dbgen
+/// substitute). All eight tables are synthesized on the fly from the row
+/// index — no storage — so the same scale factor always produces identical
+/// data. Used to populate the hive/raptor substrates for the Fig. 6
+/// experiment and as a workload source in examples and benchmarks.
+///
+/// Scale factor 1.0 corresponds to 1/100 of official TPC-H sizes (orders =
+/// 15,000 rows) so laptop-scale runs stay fast; distributions (key
+/// relationships, skew, value ranges) follow the TPC-H shapes.
+class TpchConnector final : public Connector {
+ public:
+  explicit TpchConnector(std::string name = "tpch", double scale = 1.0);
+  ~TpchConnector() override;
+
+  const std::string& name() const override { return name_; }
+  ConnectorMetadata& metadata() override;
+  double scale() const { return scale_; }
+
+  /// Rows in a table at this scale.
+  Result<int64_t> RowCount(const std::string& table) const;
+
+  Result<std::unique_ptr<SplitSource>> GetSplits(
+      const TableHandle& table, const std::string& layout_id,
+      const std::vector<ColumnPredicate>& predicates,
+      int num_workers) override;
+
+  Result<std::unique_ptr<DataSource>> CreateDataSource(
+      const Split& split, const TableHandle& table,
+      const std::vector<int>& columns,
+      const std::vector<ColumnPredicate>& predicates) override;
+
+ private:
+  class Metadata;
+  friend class Metadata;
+
+  std::string name_;
+  double scale_;
+  std::unique_ptr<Metadata> metadata_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_CONNECTORS_TPCH_TPCH_CONNECTOR_H_

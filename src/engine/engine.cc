@@ -1,0 +1,109 @@
+#include "engine/engine.h"
+
+#include "fragment/fragmenter.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+
+namespace presto {
+
+Result<std::optional<Page>> QueryResult::Next() {
+  PRESTO_ASSIGN_OR_RETURN(std::optional<Page> page,
+                          execution_->results().Next());
+  if (!page.has_value() && write_connector_ != nullptr && !write_committed_) {
+    // Stream completed successfully: commit the CTAS/INSERT target.
+    write_committed_ = true;
+    PRESTO_RETURN_IF_ERROR(
+        write_connector_->metadata().FinishWrite(*write_target_));
+  }
+  return page;
+}
+
+Result<std::vector<Page>> QueryResult::FetchAll() {
+  std::vector<Page> pages;
+  for (;;) {
+    PRESTO_ASSIGN_OR_RETURN(std::optional<Page> page, Next());
+    if (!page.has_value()) break;
+    pages.push_back(std::move(*page));
+  }
+  PRESTO_RETURN_IF_ERROR(Wait());
+  return pages;
+}
+
+Result<std::vector<std::vector<Value>>> QueryResult::FetchAllRows() {
+  PRESTO_ASSIGN_OR_RETURN(std::vector<Page> pages, FetchAll());
+  std::vector<std::vector<Value>> rows;
+  for (const auto& page : pages) {
+    for (int64_t r = 0; r < page.num_rows(); ++r) {
+      rows.push_back(page.GetRow(r));
+    }
+  }
+  return rows;
+}
+
+void QueryResult::Cancel() {
+  execution_->Cancel(Status::Cancelled("cancelled by client"));
+}
+
+PrestoEngine::PrestoEngine(EngineOptions options)
+    : options_(std::move(options)),
+      cluster_(std::make_unique<Cluster>(options_.cluster)),
+      coordinator_(std::make_unique<Coordinator>(cluster_.get(), &catalog_)) {
+}
+
+Result<std::string> PrestoEngine::Explain(const std::string& sql) {
+  PRESTO_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+  Planner planner(&catalog_);
+  PRESTO_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.Plan(*stmt));
+  Optimizer optimizer(&catalog_, options_.optimizer);
+  PRESTO_ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
+  Fragmenter fragmenter;
+  PRESTO_ASSIGN_OR_RETURN(FragmentedPlan fragments,
+                          fragmenter.Fragment(plan));
+  return fragments.ToString();
+}
+
+Result<QueryResult> PrestoEngine::Execute(const std::string& sql) {
+  PRESTO_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+  if (stmt->explain) {
+    // EXPLAIN executes no tasks; return nothing through a Values plan.
+    return Status::Unsupported(
+        "use PrestoEngine::Explain for EXPLAIN statements");
+  }
+  Planner planner(&catalog_);
+  PRESTO_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.Plan(*stmt));
+  Optimizer optimizer(&catalog_, options_.optimizer);
+  PRESTO_ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
+  Fragmenter fragmenter;
+  PRESTO_ASSIGN_OR_RETURN(FragmentedPlan fragments,
+                          fragmenter.Fragment(plan));
+  std::string query_id =
+      "query_" + std::to_string(next_query_id_.fetch_add(1));
+  PRESTO_ASSIGN_OR_RETURN(std::shared_ptr<QueryExecution> execution,
+                          coordinator_->Execute(query_id,
+                                                std::move(fragments)));
+  QueryResult result;
+  result.execution_ = std::move(execution);
+  // CTAS/INSERT: remember the target for commit after completion.
+  if (stmt->kind == sql::StatementKind::kCreateTableAs ||
+      stmt->kind == sql::StatementKind::kInsert) {
+    std::string connector_name = stmt->target_name.size() == 2
+                                     ? stmt->target_name[0]
+                                     : catalog_.default_name();
+    std::string table_name = stmt->target_name.back();
+    PRESTO_ASSIGN_OR_RETURN(Connector * connector,
+                            catalog_.Get(connector_name));
+    PRESTO_ASSIGN_OR_RETURN(TableHandlePtr target,
+                            connector->metadata().GetTable(table_name));
+    result.write_connector_ = connector;
+    result.write_target_ = std::move(target);
+  }
+  return result;
+}
+
+Result<std::vector<std::vector<Value>>> PrestoEngine::ExecuteAndFetch(
+    const std::string& sql) {
+  PRESTO_ASSIGN_OR_RETURN(QueryResult result, Execute(sql));
+  return result.FetchAllRows();
+}
+
+}  // namespace presto

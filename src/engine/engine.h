@@ -1,0 +1,89 @@
+#ifndef PRESTOCPP_ENGINE_ENGINE_H_
+#define PRESTOCPP_ENGINE_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+#include "optimizer/optimizer.h"
+#include "schedule/cluster.h"
+#include "schedule/coordinator.h"
+
+namespace presto {
+
+/// Engine-wide options: the simulated cluster plus optimizer settings.
+struct EngineOptions {
+  ClusterConfig cluster;
+  OptimizerOptions optimizer;
+};
+
+/// A client-held handle to a running query: streams result pages as they
+/// are produced (§IV-E: "Presto is capable of returning results before all
+/// the data is processed").
+class QueryResult {
+ public:
+  const RowSchema& schema() const { return execution_->schema(); }
+  const std::string& query_id() const { return execution_->query_id(); }
+
+  /// Next result page; nullopt at end; error if the query failed.
+  Result<std::optional<Page>> Next();
+
+  /// Drains the remaining pages into one vector (waits for completion).
+  Result<std::vector<Page>> FetchAll();
+
+  /// Drains and boxes every row (testing convenience).
+  Result<std::vector<std::vector<Value>>> FetchAllRows();
+
+  /// Cancels the query (client abandons it; e.g. after enough rows).
+  void Cancel();
+
+  /// Blocks until all tasks finished; the query's final status.
+  Status Wait() { return execution_->Wait(); }
+
+  QueryExecution& execution() { return *execution_; }
+
+ private:
+  friend class PrestoEngine;
+  std::shared_ptr<QueryExecution> execution_;
+  // CTAS/INSERT target to commit once the stream completes successfully.
+  Connector* write_connector_ = nullptr;
+  TableHandlePtr write_target_;
+  bool write_committed_ = false;
+};
+
+/// The embedded engine: catalog + simulated cluster + the full query
+/// pipeline (parse -> analyze/plan -> optimize -> fragment -> schedule ->
+/// execute).
+class PrestoEngine {
+ public:
+  explicit PrestoEngine(EngineOptions options = {});
+
+  Catalog& catalog() { return catalog_; }
+  Cluster& cluster() { return *cluster_; }
+  Coordinator& coordinator() { return *coordinator_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Runs a statement; for EXPLAIN the result contains a single VARCHAR
+  /// column with the distributed plan text.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Returns the optimized, fragmented plan text for a statement.
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Convenience: executes and drains all rows.
+  Result<std::vector<std::vector<Value>>> ExecuteAndFetch(
+      const std::string& sql);
+
+ private:
+  EngineOptions options_;
+  Catalog catalog_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Coordinator> coordinator_;
+  std::atomic<int64_t> next_query_id_{0};
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_ENGINE_ENGINE_H_

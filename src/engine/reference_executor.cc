@@ -1,0 +1,452 @@
+#include "engine/reference_executor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "expr/evaluator.h"
+#include "vector/block_builder.h"
+
+namespace presto {
+
+namespace {
+
+using Rows = std::vector<std::vector<Value>>;
+
+// Materializes boxed rows into a page for expression evaluation.
+Page RowsToPage(const RowSchema& schema, const Rows& rows) {
+  std::vector<TypeKind> types;
+  for (const auto& col : schema.columns()) types.push_back(col.type);
+  PageBuilder builder(types);
+  for (const auto& row : rows) builder.AppendRow(row);
+  return builder.Build();
+}
+
+struct RowLess {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const {
+    for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+      int c = a[i].Compare(b[i]);
+      if (c != 0) return c < 0;
+    }
+    return a.size() < b.size();
+  }
+};
+
+class ReferenceExecutor {
+ public:
+  explicit ReferenceExecutor(const Catalog& catalog) : catalog_(catalog) {}
+
+  Result<Rows> Run(const PlanNodePtr& node) {
+    switch (node->kind()) {
+      case PlanNodeKind::kOutput:
+        return Run(node->child());
+      case PlanNodeKind::kValues: {
+        const auto& values = static_cast<const ValuesNode&>(*node);
+        return values.rows();
+      }
+      case PlanNodeKind::kTableScan:
+        return RunScan(static_cast<const TableScanNode&>(*node));
+      case PlanNodeKind::kFilter:
+        return RunFilter(static_cast<const FilterNode&>(*node));
+      case PlanNodeKind::kProject:
+        return RunProject(static_cast<const ProjectNode&>(*node));
+      case PlanNodeKind::kAggregate:
+        return RunAggregate(static_cast<const AggregateNode&>(*node));
+      case PlanNodeKind::kJoin:
+        return RunJoin(static_cast<const JoinNode&>(*node));
+      case PlanNodeKind::kSort:
+      case PlanNodeKind::kTopN:
+        return RunSort(*node);
+      case PlanNodeKind::kLimit: {
+        const auto& limit = static_cast<const LimitNode&>(*node);
+        PRESTO_ASSIGN_OR_RETURN(Rows rows, Run(node->child()));
+        if (static_cast<int64_t>(rows.size()) > limit.n()) {
+          rows.resize(static_cast<size_t>(limit.n()));
+        }
+        return rows;
+      }
+      case PlanNodeKind::kUnionAll: {
+        Rows all;
+        for (const auto& child : node->children()) {
+          PRESTO_ASSIGN_OR_RETURN(Rows rows, Run(child));
+          for (auto& row : rows) all.push_back(std::move(row));
+        }
+        return all;
+      }
+      case PlanNodeKind::kWindow:
+        return RunWindow(static_cast<const WindowNode&>(*node));
+      default:
+        return Status::Unsupported(
+            "reference executor does not support node: " + node->Label());
+    }
+  }
+
+ private:
+  Result<Rows> RunScan(const TableScanNode& scan) {
+    PRESTO_ASSIGN_OR_RETURN(Connector * connector,
+                            catalog_.Get(scan.connector()));
+    PRESTO_ASSIGN_OR_RETURN(
+        auto splits, connector->GetSplits(*scan.table(), scan.layout_id(),
+                                          scan.predicates(), 1));
+    Rows rows;
+    for (;;) {
+      PRESTO_ASSIGN_OR_RETURN(auto batch, splits->NextBatch(64));
+      if (batch.empty()) break;
+      for (const auto& split : batch) {
+        PRESTO_ASSIGN_OR_RETURN(
+            auto source, connector->CreateDataSource(
+                             *split, *scan.table(), scan.columns(),
+                             scan.predicates()));
+        for (;;) {
+          PRESTO_ASSIGN_OR_RETURN(auto page, source->NextPage());
+          if (!page.has_value()) break;
+          for (int64_t r = 0; r < page->num_rows(); ++r) {
+            rows.push_back(page->GetRow(r));
+          }
+        }
+      }
+    }
+    return rows;
+  }
+
+  Result<Rows> RunFilter(const FilterNode& filter) {
+    PRESTO_ASSIGN_OR_RETURN(Rows rows, Run(filter.child()));
+    Page page = RowsToPage(filter.child()->output(), rows);
+    Rows out;
+    for (int64_t r = 0; r < page.num_rows(); ++r) {
+      PRESTO_ASSIGN_OR_RETURN(Value keep,
+                              EvalExprRow(*filter.predicate(), page, r));
+      if (!keep.is_null() && keep.AsBoolean()) {
+        out.push_back(rows[static_cast<size_t>(r)]);
+      }
+    }
+    return out;
+  }
+
+  Result<Rows> RunProject(const ProjectNode& project) {
+    PRESTO_ASSIGN_OR_RETURN(Rows rows, Run(project.child()));
+    Page page = RowsToPage(project.child()->output(), rows);
+    Rows out;
+    out.reserve(rows.size());
+    for (int64_t r = 0; r < page.num_rows(); ++r) {
+      std::vector<Value> row;
+      row.reserve(project.expressions().size());
+      for (size_t e = 0; e < project.expressions().size(); ++e) {
+        PRESTO_ASSIGN_OR_RETURN(
+            Value v, EvalExprRow(*project.expressions()[e], page, r));
+        // Normalize to the declared output type.
+        TypeKind want = project.output().at(e).type;
+        if (!v.is_null() && v.type() != want) v = CastValue(want, v);
+        if (v.is_null()) v = Value::Null(want);
+        row.push_back(std::move(v));
+      }
+      out.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  Result<Rows> RunAggregate(const AggregateNode& agg) {
+    PRESTO_ASSIGN_OR_RETURN(Rows input, Run(agg.child()));
+    if (agg.step() != AggregationStep::kSingle) {
+      return Status::Unsupported("reference executor needs logical plans");
+    }
+    // Group rows.
+    std::map<std::vector<Value>, std::vector<size_t>, RowLess> groups;
+    for (size_t r = 0; r < input.size(); ++r) {
+      std::vector<Value> key;
+      for (int k : agg.group_keys()) {
+        key.push_back(input[r][static_cast<size_t>(k)]);
+      }
+      groups[std::move(key)].push_back(r);
+    }
+    if (agg.group_keys().empty() && groups.empty()) {
+      groups[{}] = {};
+    }
+    Rows out;
+    for (const auto& [key, members] : groups) {
+      std::vector<Value> row = key;
+      for (const auto& call : agg.aggregates()) {
+        // Reuse the engine accumulators in single-group mode.
+        auto acc = CreateAccumulator(call.signature);
+        acc->Resize(1);
+        std::vector<int32_t> gid(members.size(), 0);
+        std::vector<Value> args;
+        args.reserve(members.size());
+        for (size_t m : members) {
+          args.push_back(call.arg_column >= 0
+                             ? input[m][static_cast<size_t>(call.arg_column)]
+                             : Value::Bigint(1));
+        }
+        BlockPtr arg_block =
+            call.arg_column >= 0
+                ? MakeBlockFromValues(call.signature.arg_type, args)
+                : nullptr;
+        if (!members.empty()) {
+          acc->Add(gid.data(), arg_block,
+                   static_cast<int64_t>(members.size()));
+        }
+        row.push_back(acc->BuildFinal(1)->GetValue(0));
+      }
+      out.push_back(std::move(row));
+    }
+    return out;
+  }
+
+  Result<Rows> RunJoin(const JoinNode& join) {
+    PRESTO_ASSIGN_OR_RETURN(Rows left, Run(join.child(0)));
+    PRESTO_ASSIGN_OR_RETURN(Rows right, Run(join.child(1)));
+    size_t left_width = join.child(0)->output().size();
+    size_t right_width = join.child(1)->output().size();
+    Rows out;
+    std::vector<bool> right_matched(right.size(), false);
+    Page combined_probe;  // for residual eval we build pages ad hoc
+
+    auto keys_match = [&](const std::vector<Value>& l,
+                          const std::vector<Value>& r) {
+      for (size_t k = 0; k < join.left_keys().size(); ++k) {
+        const Value& lv = l[static_cast<size_t>(join.left_keys()[k])];
+        const Value& rv = r[static_cast<size_t>(join.right_keys()[k])];
+        if (!lv.SqlEquals(rv)) return false;
+      }
+      return true;
+    };
+    auto residual_ok = [&](const std::vector<Value>& row) -> Result<bool> {
+      if (join.residual_filter() == nullptr) return true;
+      Page page = RowsToPage(join.output(), {row});
+      PRESTO_ASSIGN_OR_RETURN(Value v,
+                              EvalExprRow(*join.residual_filter(), page, 0));
+      return !v.is_null() && v.AsBoolean();
+    };
+
+    for (size_t l = 0; l < left.size(); ++l) {
+      bool matched = false;
+      for (size_t r = 0; r < right.size(); ++r) {
+        if (!join.left_keys().empty() && !keys_match(left[l], right[r])) {
+          continue;
+        }
+        std::vector<Value> row = left[l];
+        row.insert(row.end(), right[r].begin(), right[r].end());
+        PRESTO_ASSIGN_OR_RETURN(bool ok, residual_ok(row));
+        if (!ok) continue;
+        matched = true;
+        right_matched[r] = true;
+        out.push_back(std::move(row));
+      }
+      if (!matched && (join.join_type() == sql::JoinType::kLeft ||
+                       join.join_type() == sql::JoinType::kFull)) {
+        std::vector<Value> row = left[l];
+        for (size_t c = 0; c < right_width; ++c) {
+          row.push_back(Value::Null(
+              join.output().at(left_width + c).type));
+        }
+        out.push_back(std::move(row));
+      }
+    }
+    if (join.join_type() == sql::JoinType::kRight ||
+        join.join_type() == sql::JoinType::kFull) {
+      for (size_t r = 0; r < right.size(); ++r) {
+        if (right_matched[r]) continue;
+        std::vector<Value> row;
+        for (size_t c = 0; c < left_width; ++c) {
+          row.push_back(Value::Null(join.output().at(c).type));
+        }
+        row.insert(row.end(), right[r].begin(), right[r].end());
+        out.push_back(std::move(row));
+      }
+    }
+    (void)combined_probe;
+    return out;
+  }
+
+  Result<Rows> RunSort(const PlanNode& node) {
+    const std::vector<SortKey>& keys =
+        node.kind() == PlanNodeKind::kSort
+            ? static_cast<const SortNode&>(node).keys()
+            : static_cast<const TopNNode&>(node).keys();
+    PRESTO_ASSIGN_OR_RETURN(Rows rows, Run(node.child()));
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&keys](const std::vector<Value>& a,
+                             const std::vector<Value>& b) {
+                       for (const auto& key : keys) {
+                         int c = a[static_cast<size_t>(key.column)].Compare(
+                             b[static_cast<size_t>(key.column)]);
+                         if (c != 0) return (key.ascending ? c : -c) < 0;
+                       }
+                       return false;
+                     });
+    if (node.kind() == PlanNodeKind::kTopN) {
+      auto n = static_cast<size_t>(static_cast<const TopNNode&>(node).n());
+      if (rows.size() > n) rows.resize(n);
+    }
+    return rows;
+  }
+
+  Result<Rows> RunWindow(const WindowNode& window) {
+    PRESTO_ASSIGN_OR_RETURN(Rows rows, Run(window.child()));
+    // Sort by partition keys + order keys.
+    std::vector<SortKey> keys;
+    for (int p : window.partition_keys()) keys.push_back({p, true});
+    for (const auto& k : window.order_keys()) keys.push_back(k);
+    std::vector<size_t> order(rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                       for (const auto& key : keys) {
+                         int c = rows[a][static_cast<size_t>(key.column)]
+                                     .Compare(
+                                         rows[b][static_cast<size_t>(
+                                             key.column)]);
+                         if (c != 0) return (key.ascending ? c : -c) < 0;
+                       }
+                       return false;
+                     });
+    auto same = [&](const std::vector<SortKey>& ks, size_t a, size_t b) {
+      for (const auto& key : ks) {
+        if (rows[a][static_cast<size_t>(key.column)].Compare(
+                rows[b][static_cast<size_t>(key.column)]) != 0) {
+          return false;
+        }
+      }
+      return true;
+    };
+    std::vector<SortKey> part_keys;
+    for (int p : window.partition_keys()) part_keys.push_back({p, true});
+
+    Rows out;
+    size_t start = 0;
+    while (start < order.size()) {
+      size_t end = start + 1;
+      while (end < order.size() &&
+             (part_keys.empty() || same(part_keys, order[start], order[end]))) {
+        ++end;
+      }
+      for (size_t i = start; i < end; ++i) {
+        std::vector<Value> row = rows[order[i]];
+        for (const auto& fn : window.functions()) {
+          switch (fn.kind) {
+            case WindowFunction::Kind::kRowNumber:
+              row.push_back(Value::Bigint(static_cast<int64_t>(i - start + 1)));
+              break;
+            case WindowFunction::Kind::kRank:
+            case WindowFunction::Kind::kDenseRank: {
+              int64_t rank = 1;
+              int64_t dense = 1;
+              for (size_t j = start + 1; j <= i; ++j) {
+                if (!same(window.order_keys(), order[j - 1], order[j])) {
+                  rank = static_cast<int64_t>(j - start + 1);
+                  ++dense;
+                }
+              }
+              row.push_back(Value::Bigint(
+                  fn.kind == WindowFunction::Kind::kRank ? rank : dense));
+              break;
+            }
+            case WindowFunction::Kind::kAggregate: {
+              // Frame: whole partition without ORDER BY; otherwise rows up
+              // to and including the current peer group.
+              size_t frame_end = end;
+              if (!window.order_keys().empty()) {
+                frame_end = i + 1;
+                while (frame_end < end &&
+                       same(window.order_keys(), order[i],
+                            order[frame_end])) {
+                  ++frame_end;
+                }
+              }
+              int64_t count = 0;
+              double sum = 0;
+              Value min_v, max_v;
+              for (size_t j = start; j < frame_end; ++j) {
+                Value v = fn.arg_column >= 0
+                              ? rows[order[j]][static_cast<size_t>(
+                                    fn.arg_column)]
+                              : Value::Bigint(1);
+                if (fn.arg_column >= 0 && v.is_null()) continue;
+                ++count;
+                if (v.type() != TypeKind::kVarchar &&
+                    v.type() != TypeKind::kBoolean) {
+                  sum += v.AsDouble();
+                }
+                if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
+                if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+              }
+              switch (fn.signature.kind) {
+                case AggKind::kCount:
+                case AggKind::kCountAll:
+                  row.push_back(Value::Bigint(count));
+                  break;
+                case AggKind::kSum:
+                  if (count == 0) {
+                    row.push_back(Value::Null(fn.result_type));
+                  } else if (fn.result_type == TypeKind::kBigint) {
+                    row.push_back(Value::Bigint(static_cast<int64_t>(sum)));
+                  } else {
+                    row.push_back(Value::Double(sum));
+                  }
+                  break;
+                case AggKind::kAvg:
+                  row.push_back(count == 0
+                                    ? Value::Null(TypeKind::kDouble)
+                                    : Value::Double(
+                                          sum / static_cast<double>(count)));
+                  break;
+                case AggKind::kMin:
+                  row.push_back(min_v);
+                  break;
+                case AggKind::kMax:
+                  row.push_back(max_v);
+                  break;
+                default:
+                  row.push_back(Value::Null(fn.result_type));
+              }
+              break;
+            }
+          }
+        }
+        out.push_back(std::move(row));
+      }
+      start = end;
+    }
+    return out;
+  }
+
+  const Catalog& catalog_;
+};
+
+}  // namespace
+
+Result<std::vector<std::vector<Value>>> ExecuteReference(
+    const Catalog& catalog, const PlanNodePtr& plan) {
+  ReferenceExecutor executor(catalog);
+  return executor.Run(plan);
+}
+
+bool SameRowsIgnoringOrder(const std::vector<std::vector<Value>>& a,
+                           const std::vector<std::vector<Value>>& b) {
+  if (a.size() != b.size()) return false;
+  auto key = [](const std::vector<Value>& row) {
+    std::string out;
+    for (const auto& v : row) {
+      // Round doubles to tolerate accumulation-order differences.
+      if (!v.is_null() && v.type() == TypeKind::kDouble) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", v.AsDouble());
+        out += buf;
+      } else {
+        out += v.ToString();
+      }
+      out += "|";
+    }
+    return out;
+  };
+  std::vector<std::string> ka, kb;
+  ka.reserve(a.size());
+  kb.reserve(b.size());
+  for (const auto& row : a) ka.push_back(key(row));
+  for (const auto& row : b) kb.push_back(key(row));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  return ka == kb;
+}
+
+}  // namespace presto

@@ -1,0 +1,26 @@
+#ifndef PRESTOCPP_ENGINE_REFERENCE_EXECUTOR_H_
+#define PRESTOCPP_ENGINE_REFERENCE_EXECUTOR_H_
+
+#include <vector>
+
+#include "connector/connector.h"
+#include "plan/plan_node.h"
+
+namespace presto {
+
+/// Single-threaded, row-at-a-time execution of a *logical* plan (before
+/// fragmentation) using the boxed interpreter. Deliberately simple and
+/// independent of the vectorized distributed engine; integration tests run
+/// every query through both and compare results (differential testing).
+Result<std::vector<std::vector<Value>>> ExecuteReference(
+    const Catalog& catalog, const PlanNodePtr& plan);
+
+/// Order-insensitive multiset comparison of row sets (for tests). Returns
+/// true when both contain the same rows (using Value::Compare semantics,
+/// treating NULLs as equal for comparison purposes).
+bool SameRowsIgnoringOrder(const std::vector<std::vector<Value>>& a,
+                           const std::vector<std::vector<Value>>& b);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_ENGINE_REFERENCE_EXECUTOR_H_

@@ -1,0 +1,114 @@
+#include "exchange/exchange.h"
+
+#include <thread>
+
+namespace presto {
+
+bool ExchangeBuffer::TryEnqueue(Page page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (buffered_bytes_ > 0 && buffered_bytes_ >= capacity_bytes_) {
+    return false;
+  }
+  int64_t bytes = page.SizeInBytes();
+  buffered_bytes_ += bytes;
+  total_bytes_.fetch_add(bytes);
+  total_rows_.fetch_add(page.num_rows());
+  pages_.push_back(std::move(page));
+  return true;
+}
+
+void ExchangeBuffer::NoMorePages() {
+  std::lock_guard<std::mutex> lock(mu_);
+  no_more_ = true;
+}
+
+std::optional<Page> ExchangeBuffer::Poll(bool* finished) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pages_.empty()) {
+    *finished = no_more_;
+    return std::nullopt;
+  }
+  Page page = std::move(pages_.front());
+  pages_.pop_front();
+  buffered_bytes_ -= page.SizeInBytes();
+  *finished = false;
+  return page;
+}
+
+double ExchangeBuffer::utilization() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_bytes_ <= 0) return 0;
+  double u = static_cast<double>(buffered_bytes_) /
+             static_cast<double>(capacity_bytes_);
+  return u > 1.0 ? 1.0 : u;
+}
+
+bool ExchangeBuffer::finished() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return no_more_ && pages_.empty();
+}
+
+int64_t ExchangeBuffer::buffered_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffered_bytes_;
+}
+
+void ExchangeManager::CreateOutputBuffers(const std::string& query_id,
+                                          int fragment, int task,
+                                          int partitions,
+                                          int64_t capacity_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int p = 0; p < partitions; ++p) {
+    StreamId id{query_id, fragment, task, p};
+    if (buffers_.find(id) == buffers_.end()) {
+      buffers_[id] = std::make_shared<ExchangeBuffer>(capacity_bytes);
+    }
+  }
+}
+
+std::shared_ptr<ExchangeBuffer> ExchangeManager::GetBuffer(
+    const StreamId& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = buffers_.find(id);
+  return it == buffers_.end() ? nullptr : it->second;
+}
+
+double ExchangeManager::OutputUtilization(const std::string& query_id,
+                                          int fragment, int task) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Maximum across partitions: a single full buffer stalls the producer
+  // (and is the §IV-E3 writer-scaling trigger).
+  double max_utilization = 0;
+  StreamId lo{query_id, fragment, task, 0};
+  for (auto it = buffers_.lower_bound(lo); it != buffers_.end(); ++it) {
+    if (it->first.query_id != query_id || it->first.fragment != fragment ||
+        it->first.task != task) {
+      break;
+    }
+    max_utilization = std::max(max_utilization, it->second->utilization());
+  }
+  return max_utilization;
+}
+
+void ExchangeManager::RemoveQuery(const std::string& query_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    if (it->first.query_id == query_id) {
+      it = buffers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ExchangeManager::SimulateTransfer(int64_t bytes) const {
+  int64_t micros = network_.latency_micros;
+  if (network_.bytes_per_second > 0) {
+    micros += bytes * 1000000 / network_.bytes_per_second;
+  }
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+}  // namespace presto

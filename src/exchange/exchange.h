@@ -1,0 +1,112 @@
+#ifndef PRESTOCPP_EXCHANGE_EXCHANGE_H_
+#define PRESTOCPP_EXCHANGE_EXCHANGE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/page.h"
+
+namespace presto {
+
+/// Simulated network characteristics applied on the consumer side of every
+/// remote page transfer. Stands in for the HTTP long-polling transport of
+/// §IV-E2; latency/bandwidth let benchmarks model slow clients and
+/// cross-rack links.
+struct NetworkConfig {
+  int64_t latency_micros = 50;
+  int64_t bytes_per_second = 4LL << 30;  // 4 GB/s
+};
+
+/// A bounded single-producer buffer for one (producer task, consumer
+/// partition) pair. Producers block (backpressure) when the buffer is full;
+/// consumers acknowledge implicitly by dequeuing (the paper's token
+/// protocol: "the server retains data until the client requests the next
+/// segment using a token").
+class ExchangeBuffer {
+ public:
+  explicit ExchangeBuffer(int64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Producer side: returns false when the buffer is full (§IV-E2 "full
+  /// output buffers cause split execution to stall").
+  bool TryEnqueue(Page page);
+  void NoMorePages();
+
+  /// Consumer side: nullopt when empty; *finished set when the stream ended
+  /// and everything was consumed.
+  std::optional<Page> Poll(bool* finished);
+
+  /// Fraction of capacity in use (drives concurrency reduction, §IV-E2).
+  double utilization() const;
+  bool finished() const;
+  int64_t buffered_bytes() const;
+  int64_t total_bytes_sent() const { return total_bytes_.load(); }
+  int64_t total_rows_sent() const { return total_rows_.load(); }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Page> pages_;
+  int64_t buffered_bytes_ = 0;
+  int64_t capacity_bytes_;
+  bool no_more_ = false;
+  std::atomic<int64_t> total_bytes_{0};
+  std::atomic<int64_t> total_rows_{0};
+};
+
+/// Identifies one directed stream: query/fragment/task on the producing
+/// side, partition on the consuming side.
+struct StreamId {
+  std::string query_id;
+  int fragment = 0;
+  int task = 0;
+  int partition = 0;
+
+  bool operator<(const StreamId& other) const {
+    return std::tie(query_id, fragment, task, partition) <
+           std::tie(other.query_id, other.fragment, other.task,
+                    other.partition);
+  }
+};
+
+/// Process-wide shuffle registry: producers create their output buffers up
+/// front; consumers look them up by stream id. Replaces Presto's HTTP
+/// exchange endpoints.
+class ExchangeManager {
+ public:
+  explicit ExchangeManager(NetworkConfig network = {}) : network_(network) {}
+
+  const NetworkConfig& network() const { return network_; }
+
+  /// Creates buffers for all partitions of (query, fragment, task).
+  void CreateOutputBuffers(const std::string& query_id, int fragment,
+                           int task, int partitions, int64_t capacity_bytes);
+
+  /// Buffer for a stream; nullptr if not (yet) created.
+  std::shared_ptr<ExchangeBuffer> GetBuffer(const StreamId& id) const;
+
+  /// Maximum output-buffer utilization across partitions of one task.
+  double OutputUtilization(const std::string& query_id, int fragment,
+                           int task) const;
+
+  /// Drops all buffers of a query (cleanup / kill).
+  void RemoveQuery(const std::string& query_id);
+
+  /// Applies the simulated network cost for transferring `bytes`.
+  void SimulateTransfer(int64_t bytes) const;
+
+ private:
+  NetworkConfig network_;
+  mutable std::mutex mu_;
+  std::map<StreamId, std::shared_ptr<ExchangeBuffer>> buffers_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXCHANGE_EXCHANGE_H_

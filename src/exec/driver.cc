@@ -1,0 +1,58 @@
+#include "exec/driver.h"
+
+#include "common/stopwatch.h"
+
+namespace presto {
+
+Result<Driver::State> Driver::Process(int64_t quantum_nanos,
+                                      int64_t* cpu_nanos) {
+  Stopwatch watch;
+  for (;;) {
+    bool progress = false;
+    // Move pages between all adjacent operator pairs (§IV-E1 "every
+    // iteration of the loop moves data between all pairs of operators that
+    // can make progress").
+    for (size_t i = 0; i + 1 < operators_.size(); ++i) {
+      Operator& producer = *operators_[i];
+      Operator& consumer = *operators_[i + 1];
+      if (consumer.IsFinished()) continue;
+      // Note: a "blocked" producer is still polled — GetOutput is the call
+      // that re-evaluates (and clears) its blocked state.
+      if (consumer.needs_input()) {
+        PRESTO_ASSIGN_OR_RETURN(std::optional<Page> page,
+                                producer.GetOutput());
+        if (page.has_value()) {
+          PRESTO_RETURN_IF_ERROR(consumer.AddInput(std::move(*page)));
+          progress = true;
+          continue;
+        }
+      }
+      if (producer.IsFinished() && !no_more_signaled_[i + 1]) {
+        consumer.NoMoreInput();
+        no_more_signaled_[i + 1] = true;
+        progress = true;
+      }
+    }
+    // Drive the sink (flush buffered output, propagate completion).
+    Operator& sink = *operators_.back();
+    if (!sink.IsFinished()) {
+      PRESTO_ASSIGN_OR_RETURN(std::optional<Page> page, sink.GetOutput());
+      // Sinks produce no pages; a single-operator pipeline's "sink" may.
+      (void)page;
+    }
+    if (sink.IsFinished()) {
+      *cpu_nanos += watch.ElapsedNanos();
+      return State::kFinished;
+    }
+    if (!progress) {
+      *cpu_nanos += watch.ElapsedNanos();
+      return State::kBlocked;
+    }
+    if (watch.ElapsedNanos() >= quantum_nanos) {
+      *cpu_nanos += watch.ElapsedNanos();
+      return State::kYielded;
+    }
+  }
+}
+
+}  // namespace presto

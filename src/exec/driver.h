@@ -1,0 +1,45 @@
+#ifndef PRESTOCPP_EXEC_DRIVER_H_
+#define PRESTOCPP_EXEC_DRIVER_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/operator.h"
+
+namespace presto {
+
+/// The Presto driver loop (§IV-E1): owns one instance of a pipeline's
+/// operator chain and moves pages between every pair of operators that can
+/// make progress. More flexible than the Volcano pull model: the driver can
+/// be brought to a known state quickly (yield points between iterations)
+/// which makes cooperative multitasking practical.
+class Driver {
+ public:
+  explicit Driver(std::vector<std::unique_ptr<Operator>> operators)
+      : operators_(std::move(operators)),
+        no_more_signaled_(operators_.size(), false) {}
+
+  enum class State {
+    kYielded,   // quantum expired with progress still possible
+    kBlocked,   // no operator can make progress right now
+    kFinished,  // the sink finished
+    kFailed,
+  };
+
+  /// Runs the loop until the deadline (steady-clock nanos budget), a block,
+  /// or completion. CPU time consumed is added to *cpu_nanos.
+  Result<State> Process(int64_t quantum_nanos, int64_t* cpu_nanos);
+
+  Operator& sink() { return *operators_.back(); }
+  const std::vector<std::unique_ptr<Operator>>& operators() const {
+    return operators_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Operator>> operators_;
+  std::vector<bool> no_more_signaled_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXEC_DRIVER_H_

@@ -1,0 +1,242 @@
+#ifndef PRESTOCPP_EXEC_EXEC_CONTEXT_H_
+#define PRESTOCPP_EXEC_EXEC_CONTEXT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "connector/connector.h"
+#include "exchange/exchange.h"
+#include "expr/evaluator.h"
+#include "memory/memory.h"
+#include "vector/page.h"
+
+namespace presto {
+
+/// Queue of splits assigned (incrementally, §IV-D3) to a leaf task.
+class SplitQueue {
+ public:
+  void Add(SplitPtr split) {
+    std::lock_guard<std::mutex> lock(mu_);
+    splits_.push_back(std::move(split));
+  }
+  void NoMoreSplits() {
+    std::lock_guard<std::mutex> lock(mu_);
+    no_more_ = true;
+  }
+  /// nullopt + *done=false means "wait, more may come".
+  std::optional<SplitPtr> Poll(bool* done) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (splits_.empty()) {
+      *done = no_more_;
+      return std::nullopt;
+    }
+    SplitPtr split = std::move(splits_.front());
+    splits_.pop_front();
+    *done = false;
+    return split;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return splits_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<SplitPtr> splits_;
+  bool no_more_ = false;
+};
+
+/// Bounded result stream from the root fragment to the client. A slow
+/// client exerts backpressure all the way down (§IV-E2).
+class ResultQueue {
+ public:
+  explicit ResultQueue(int64_t capacity_bytes = 16LL << 20)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Producer: false when the queue is full (retry later).
+  bool TryPush(Page page) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buffered_bytes_ > 0 && buffered_bytes_ >= capacity_bytes_) {
+      return false;
+    }
+    buffered_bytes_ += page.SizeInBytes();
+    pages_.push_back(std::move(page));
+    cv_.notify_all();
+    return true;
+  }
+
+  void Finish(Status status) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) return;
+    status_ = std::move(status);
+    finished_ = true;
+    cv_.notify_all();
+  }
+
+  /// Client: blocks until a page arrives or the stream ends. Returns
+  /// nullopt at end; error status if the query failed.
+  Result<std::optional<Page>> Next() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !pages_.empty() || finished_; });
+    if (!pages_.empty()) {
+      Page page = std::move(pages_.front());
+      pages_.pop_front();
+      buffered_bytes_ -= page.SizeInBytes();
+      return std::optional<Page>(std::move(page));
+    }
+    if (!status_.ok()) return status_;
+    return std::optional<Page>();
+  }
+
+  bool finished() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return finished_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Page> pages_;
+  int64_t buffered_bytes_ = 0;
+  int64_t capacity_bytes_;
+  bool finished_ = false;
+  Status status_;
+};
+
+/// In-task bounded page queue joining pipelines (local shuffles, §IV-C4).
+class LocalExchangeQueue {
+ public:
+  explicit LocalExchangeQueue(int producers, int64_t capacity_bytes = 8 << 20)
+      : producers_(producers), capacity_bytes_(capacity_bytes) {}
+
+  bool TryPush(Page page) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (buffered_bytes_ > 0 && buffered_bytes_ >= capacity_bytes_) {
+      return false;
+    }
+    buffered_bytes_ += page.SizeInBytes();
+    pages_.push_back(std::move(page));
+    return true;
+  }
+
+  void ProducerFinished() {
+    std::lock_guard<std::mutex> lock(mu_);
+    --producers_;
+  }
+
+  std::optional<Page> Poll(bool* done) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pages_.empty()) {
+      *done = producers_ == 0;
+      return std::nullopt;
+    }
+    Page page = std::move(pages_.front());
+    pages_.pop_front();
+    buffered_bytes_ -= page.SizeInBytes();
+    *done = false;
+    return page;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Page> pages_;
+  int64_t buffered_bytes_ = 0;
+  int producers_;
+  int64_t capacity_bytes_;
+};
+
+/// Static description of one task of a fragment.
+struct TaskSpec {
+  std::string query_id;
+  int fragment_id = 0;
+  int task_index = 0;
+  int num_tasks = 1;            // tasks in this fragment
+  int consumer_partitions = 1;  // task count of the consumer fragment
+  int worker_id = 0;
+  /// Producer task counts per source fragment (for RemoteSource readers).
+  std::map<int, int> source_task_counts;
+};
+
+/// Shared services every operator of a task can reach.
+struct TaskRuntime {
+  QueryMemory* query_memory = nullptr;
+  WorkerMemory* worker_memory = nullptr;
+  ExchangeManager* exchange = nullptr;
+  const Catalog* catalog = nullptr;
+  EvalMode eval_mode = EvalMode::kCompiled;
+  int64_t exchange_buffer_bytes = 4 << 20;
+  /// Driver instances per parallelizable pipeline (intra-node parallelism,
+  /// §IV-C4).
+  int max_drivers_per_pipeline = 2;
+  /// Per-scan-node split queues (a co-located join has two scans in one
+  /// task); owned by the TaskExec. Keyed by TableScanNode id.
+  std::map<int, SplitQueue>* split_queues = nullptr;
+  ResultQueue* results = nullptr;           // root fragment only
+  /// Number of round-robin output partitions currently accepting data
+  /// (adaptive writer scaling, §IV-E3); null when not applicable.
+  std::atomic<int>* active_output_partitions = nullptr;
+  /// Aggregate CPU nanoseconds consumed by this task (MLFQ input).
+  std::atomic<int64_t>* task_cpu_nanos = nullptr;
+};
+
+/// Per-operator context: memory accounting against the worker pools plus
+/// basic stats. SetMemoryUsage is diff-based: operators report their total
+/// retained bytes and the context reconciles with the pools.
+class OperatorContext {
+ public:
+  OperatorContext(TaskRuntime runtime, TaskSpec spec, std::string label)
+      : runtime_(runtime), spec_(std::move(spec)), label_(std::move(label)) {}
+
+  ~OperatorContext() { (void)SetMemoryUsage(0, /*user=*/true); }
+
+  const TaskRuntime& runtime() const { return runtime_; }
+  const TaskSpec& spec() const { return spec_; }
+  const std::string& label() const { return label_; }
+
+  /// Updates this operator's retained user-memory footprint.
+  Status SetMemoryUsage(int64_t bytes, bool user = true) {
+    if (runtime_.worker_memory == nullptr ||
+        runtime_.query_memory == nullptr) {
+      return Status::OK();
+    }
+    int64_t delta = bytes - current_bytes_;
+    if (delta > 0) {
+      PRESTO_RETURN_IF_ERROR(runtime_.worker_memory->Reserve(
+          runtime_.query_memory, delta, user));
+    } else if (delta < 0) {
+      runtime_.worker_memory->Release(runtime_.query_memory, -delta, user);
+    }
+    current_bytes_ = bytes;
+    return Status::OK();
+  }
+
+  /// Fails fast when the query was killed elsewhere.
+  Status CheckNotKilled() const {
+    if (runtime_.query_memory != nullptr && runtime_.query_memory->killed()) {
+      return runtime_.query_memory->kill_reason();
+    }
+    return Status::OK();
+  }
+
+  // Stats.
+  std::atomic<int64_t> rows_in{0};
+  std::atomic<int64_t> rows_out{0};
+
+ private:
+  TaskRuntime runtime_;
+  TaskSpec spec_;
+  std::string label_;
+  int64_t current_bytes_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,188 @@
+#include "exec/group_by_hash.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "vector/block_builder.h"
+
+namespace presto {
+
+namespace {
+
+constexpr size_t kInitialBuckets = 1024;  // power of two
+
+// Appends the serialized key for row `row` of the decoded key columns.
+void SerializeKey(const std::vector<DecodedBlock>& keys,
+                  const std::vector<TypeKind>& types, int64_t row,
+                  std::string* out) {
+  for (size_t k = 0; k < keys.size(); ++k) {
+    if (keys[k].IsNull(row)) {
+      out->push_back(1);
+      continue;
+    }
+    out->push_back(0);
+    switch (types[k]) {
+      case TypeKind::kBoolean: {
+        out->push_back(static_cast<char>(keys[k].ValueAt<uint8_t>(row)));
+        break;
+      }
+      case TypeKind::kBigint:
+      case TypeKind::kDate: {
+        int64_t v = keys[k].ValueAt<int64_t>(row);
+        out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case TypeKind::kDouble: {
+        double v = keys[k].ValueAt<double>(row);
+        if (v == 0.0) v = 0.0;  // normalize -0.0
+        out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+        break;
+      }
+      case TypeKind::kVarchar: {
+        std::string_view s = keys[k].StringAt(row);
+        auto len = static_cast<uint32_t>(s.size());
+        out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+        out->append(s.data(), s.size());
+        break;
+      }
+      default:
+        PRESTO_UNREACHABLE();
+    }
+  }
+}
+
+}  // namespace
+
+GroupByHash::GroupByHash(std::vector<TypeKind> key_types)
+    : key_types_(std::move(key_types)),
+      table_(kInitialBuckets, -1),
+      mask_(kInitialBuckets - 1) {}
+
+void GroupByHash::ComputeGroupIds(const std::vector<BlockPtr>& keys,
+                                  int64_t rows,
+                                  std::vector<int32_t>* group_ids) {
+  PRESTO_DCHECK(keys.size() == key_types_.size());
+  std::vector<DecodedBlock> decoded(keys.size());
+  for (size_t k = 0; k < keys.size(); ++k) decoded[k].Decode(keys[k]);
+  group_ids->resize(static_cast<size_t>(rows));
+  std::string scratch;
+  for (int64_t i = 0; i < rows; ++i) {
+    scratch.clear();
+    SerializeKey(decoded, key_types_, i, &scratch);
+    uint64_t hash = HashBytes(scratch.data(), scratch.size());
+    (*group_ids)[static_cast<size_t>(i)] = static_cast<int32_t>(
+        Probe(hash, scratch.data(), scratch.size()));
+  }
+}
+
+int64_t GroupByHash::Probe(uint64_t hash, const char* key, size_t len) {
+  if (size() * 2 >= static_cast<int64_t>(table_.size())) Rehash();
+  auto bucket = static_cast<size_t>(hash & static_cast<uint64_t>(mask_));
+  for (;;) {
+    int32_t group = table_[bucket];
+    if (group < 0) {
+      // New group.
+      auto id = static_cast<int32_t>(group_offsets_.size());
+      group_offsets_.push_back(static_cast<int64_t>(arena_.size()));
+      group_lengths_.push_back(static_cast<int32_t>(len));
+      group_hashes_.push_back(hash);
+      arena_.append(key, len);
+      table_[bucket] = id;
+      return id;
+    }
+    if (group_hashes_[static_cast<size_t>(group)] == hash &&
+        group_lengths_[static_cast<size_t>(group)] ==
+            static_cast<int32_t>(len) &&
+        std::memcmp(arena_.data() +
+                        group_offsets_[static_cast<size_t>(group)],
+                    key, len) == 0) {
+      return group;
+    }
+    bucket = (bucket + 1) & static_cast<size_t>(mask_);
+  }
+}
+
+void GroupByHash::Rehash() {
+  size_t new_size = table_.size() * 2;
+  table_.assign(new_size, -1);
+  mask_ = static_cast<int64_t>(new_size) - 1;
+  for (size_t g = 0; g < group_hashes_.size(); ++g) {
+    auto bucket =
+        static_cast<size_t>(group_hashes_[g] & static_cast<uint64_t>(mask_));
+    while (table_[bucket] >= 0) {
+      bucket = (bucket + 1) & static_cast<size_t>(mask_);
+    }
+    table_[bucket] = static_cast<int32_t>(g);
+  }
+}
+
+std::vector<BlockPtr> GroupByHash::BuildKeyBlocks(int64_t from,
+                                                  int64_t to) const {
+  std::vector<BlockBuilder> builders;
+  builders.reserve(key_types_.size());
+  for (TypeKind t : key_types_) builders.emplace_back(t);
+  for (int64_t g = from; g < to; ++g) {
+    const char* p = arena_.data() + group_offsets_[static_cast<size_t>(g)];
+    for (size_t k = 0; k < key_types_.size(); ++k) {
+      char null_tag = *p++;
+      if (null_tag) {
+        builders[k].AppendNull();
+        continue;
+      }
+      switch (key_types_[k]) {
+        case TypeKind::kBoolean:
+          builders[k].AppendBoolean(*p++ != 0);
+          break;
+        case TypeKind::kBigint:
+        case TypeKind::kDate: {
+          int64_t v;
+          std::memcpy(&v, p, sizeof(v));
+          p += sizeof(v);
+          builders[k].AppendBigint(v);
+          break;
+        }
+        case TypeKind::kDouble: {
+          double v;
+          std::memcpy(&v, p, sizeof(v));
+          p += sizeof(v);
+          builders[k].AppendDouble(v);
+          break;
+        }
+        case TypeKind::kVarchar: {
+          uint32_t len;
+          std::memcpy(&len, p, sizeof(len));
+          p += sizeof(len);
+          builders[k].AppendString(std::string_view(p, len));
+          p += len;
+          break;
+        }
+        default:
+          PRESTO_UNREACHABLE();
+      }
+    }
+  }
+  std::vector<BlockPtr> out;
+  out.reserve(builders.size());
+  for (auto& b : builders) out.push_back(b.Build());
+  return out;
+}
+
+int64_t GroupByHash::MemoryBytes() const {
+  return static_cast<int64_t>(arena_.size() +
+                              group_offsets_.size() * sizeof(int64_t) +
+                              group_lengths_.size() * sizeof(int32_t) +
+                              group_hashes_.size() * sizeof(uint64_t) +
+                              table_.size() * sizeof(int32_t));
+}
+
+void GroupByHash::Clear() {
+  arena_.clear();
+  group_offsets_.clear();
+  group_lengths_.clear();
+  group_hashes_.clear();
+  table_.assign(kInitialBuckets, -1);
+  mask_ = kInitialBuckets - 1;
+}
+
+}  // namespace presto

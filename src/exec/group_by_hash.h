@@ -1,0 +1,55 @@
+#ifndef PRESTOCPP_EXEC_GROUP_BY_HASH_H_
+#define PRESTOCPP_EXEC_GROUP_BY_HASH_H_
+
+#include <string>
+#include <vector>
+
+#include "types/type.h"
+#include "vector/block.h"
+#include "vector/decoded_block.h"
+
+namespace presto {
+
+/// Group-by hash table over serialized keys. Keys are normalized into a
+/// flat byte arena (null tag + fixed-width value or length-prefixed bytes)
+/// so one memcmp-based code path handles any combination of key types —
+/// flat memory in the critical path per §V-A. Group ids are dense, in
+/// insertion order, so accumulators can use plain arrays.
+class GroupByHash {
+ public:
+  explicit GroupByHash(std::vector<TypeKind> key_types);
+
+  /// Maps each row of `keys` to its group id, creating groups as needed.
+  /// `keys` are the key columns (any encoding), all with `rows` rows.
+  void ComputeGroupIds(const std::vector<BlockPtr>& keys, int64_t rows,
+                       std::vector<int32_t>* group_ids);
+
+  int64_t size() const { return static_cast<int64_t>(group_offsets_.size()); }
+
+  /// Rebuilds the key columns for group ids [from, to).
+  std::vector<BlockPtr> BuildKeyBlocks(int64_t from, int64_t to) const;
+
+  int64_t MemoryBytes() const;
+
+  /// Drops all groups (used by partial-aggregation flushes and spills).
+  void Clear();
+
+ private:
+  int64_t Probe(uint64_t hash, const char* key, size_t len);
+  void Rehash();
+
+  std::vector<TypeKind> key_types_;
+  // Arena of serialized keys; group i occupies
+  // [group_offsets_[i], group_offsets_[i] + group_lengths_[i]).
+  std::string arena_;
+  std::vector<int64_t> group_offsets_;
+  std::vector<int32_t> group_lengths_;
+  std::vector<uint64_t> group_hashes_;
+  // Open-addressing table of group ids (-1 empty).
+  std::vector<int32_t> table_;
+  int64_t mask_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXEC_GROUP_BY_HASH_H_

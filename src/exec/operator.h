@@ -1,0 +1,55 @@
+#ifndef PRESTOCPP_EXEC_OPERATOR_H_
+#define PRESTOCPP_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <optional>
+
+#include "exec/exec_context.h"
+#include "vector/page.h"
+
+namespace presto {
+
+/// A single well-defined computation over pages (§IV-D "a pipeline consists
+/// of a chain of operators"). The driver loop moves pages between adjacent
+/// operators; unlike the Volcano pull model, operators expose their
+/// readiness (needs_input / IsBlocked / IsFinished) so the driver can be
+/// quickly brought to a known state before yielding its thread (§IV-E1).
+class Operator {
+ public:
+  explicit Operator(std::unique_ptr<OperatorContext> ctx)
+      : ctx_(std::move(ctx)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  OperatorContext& ctx() { return *ctx_; }
+
+  /// True if AddInput may be called now.
+  virtual bool needs_input() const = 0;
+
+  /// Pushes a page of input. Only valid when needs_input().
+  virtual Status AddInput(Page page) = 0;
+
+  /// Signals that no more input will arrive.
+  virtual void NoMoreInput() { no_more_input_ = true; }
+
+  /// Produces output if available; nullopt when none is ready now.
+  virtual Result<std::optional<Page>> GetOutput() = 0;
+
+  /// True when the operator has produced all output.
+  virtual bool IsFinished() = 0;
+
+  /// True when the operator cannot make progress (waiting on a shuffle
+  /// buffer, a split, or a join build). Blocked drivers relinquish their
+  /// thread (§IV-F1).
+  virtual bool IsBlocked() { return false; }
+
+ protected:
+  std::unique_ptr<OperatorContext> ctx_;
+  bool no_more_input_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXEC_OPERATOR_H_

@@ -1,0 +1,285 @@
+#include "exec/operators.h"
+
+#include "common/hash.h"
+#include "expr/evaluator.h"
+#include "vector/decoded_block.h"
+#include "vector/encoded_block.h"
+
+namespace presto {
+
+namespace {
+
+// Combined hash of the key columns at `row` (0 if any key is null, with a
+// null flag out-param: null keys never join).
+uint64_t HashKeys(const std::vector<BlockPtr>& columns,
+                  const std::vector<int>& keys, int64_t row, bool* any_null) {
+  uint64_t h = 0;
+  *any_null = false;
+  for (int k : keys) {
+    const auto& col = columns[static_cast<size_t>(k)];
+    if (col->IsNull(row)) {
+      *any_null = true;
+      return 0;
+    }
+    h = HashCombine(h, col->HashAt(row));
+  }
+  return h;
+}
+
+uint64_t NextPowerOfTwo(uint64_t n) {
+  uint64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+// ---- HashBuildOperator ----
+
+HashBuildOperator::HashBuildOperator(std::unique_ptr<OperatorContext> ctx,
+                                     std::shared_ptr<JoinBridge> bridge,
+                                     std::vector<TypeKind> types,
+                                     std::vector<int> key_columns,
+                                     bool track_matched)
+    : Operator(std::move(ctx)),
+      bridge_(std::move(bridge)),
+      index_(std::move(types)),
+      key_columns_(std::move(key_columns)),
+      track_matched_(track_matched) {}
+
+Status HashBuildOperator::AddInput(Page page) {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  ctx_->rows_in.fetch_add(page.num_rows());
+  index_.AddPage(page);
+  return ctx_->SetMemoryUsage(index_.bytes());
+}
+
+void HashBuildOperator::NoMoreInput() {
+  Operator::NoMoreInput();
+  // Build the table and publish the bridge (the hash-build pipeline of
+  // Fig. 4 completing). num_rows() excludes the appended null sentinel,
+  // which lives at column index `rows`.
+  index_.Finish(/*extra_null_row=*/true);
+  int64_t rows = index_.num_rows();
+  bridge_->columns = index_.columns();
+  bridge_->key_columns = key_columns_;
+  bridge_->rows = rows;
+  if (!key_columns_.empty() && rows > 0) {
+    uint64_t buckets = NextPowerOfTwo(static_cast<uint64_t>(rows) * 2);
+    bridge_->heads.assign(buckets, -1);
+    bridge_->next.assign(static_cast<size_t>(rows), -1);
+    bridge_->mask = buckets - 1;
+    for (int64_t r = 0; r < rows; ++r) {
+      bool any_null = false;
+      uint64_t h = HashKeys(bridge_->columns, key_columns_, r, &any_null);
+      if (any_null) continue;  // null keys never match
+      auto bucket = static_cast<size_t>(h & bridge_->mask);
+      bridge_->next[static_cast<size_t>(r)] = bridge_->heads[bucket];
+      bridge_->heads[bucket] = static_cast<int32_t>(r);
+    }
+  }
+  if (track_matched_ && rows > 0) {
+    bridge_->matched =
+        std::make_unique<std::atomic<uint8_t>[]>(static_cast<size_t>(rows));
+    for (int64_t r = 0; r < rows; ++r) bridge_->matched[r] = 0;
+  }
+  int64_t bytes = 0;
+  for (const auto& col : bridge_->columns) bytes += col->SizeInBytes();
+  (void)ctx_->SetMemoryUsage(
+      bytes + static_cast<int64_t>(bridge_->heads.size() * 4 +
+                                   bridge_->next.size() * 4));
+  bridge_->ready.store(true);
+}
+
+// ---- HashProbeOperator ----
+
+HashProbeOperator::HashProbeOperator(std::unique_ptr<OperatorContext> ctx,
+                                     std::shared_ptr<const JoinNode> node,
+                                     std::shared_ptr<JoinBridge> bridge,
+                                     bool emit_unmatched_build)
+    : Operator(std::move(ctx)),
+      node_(std::move(node)),
+      bridge_(std::move(bridge)),
+      emit_unmatched_build_(emit_unmatched_build) {}
+
+Status HashProbeOperator::AddInput(Page page) {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  ctx_->rows_in.fetch_add(page.num_rows());
+  probe_page_ = std::move(page);
+  probe_row_ = 0;
+  return Status::OK();
+}
+
+Result<std::optional<Page>> HashProbeOperator::BuildOutput(
+    const std::vector<int32_t>& probe_positions,
+    const std::vector<int32_t>& build_positions) {
+  if (probe_positions.empty()) return std::optional<Page>();
+  auto rows = static_cast<int64_t>(probe_positions.size());
+  std::vector<BlockPtr> blocks;
+  // Probe columns: copy the matching positions.
+  Page probe_cols =
+      probe_page_->CopyPositions(probe_positions.data(), rows);
+  for (const auto& b : probe_cols.blocks()) blocks.push_back(b);
+  // Build columns: dictionary blocks over the build-side data — the paper's
+  // compressed intermediate results for joins (§V-E). The trailing null
+  // sentinel row represents non-matches in outer joins.
+  for (size_t c = 0; c < bridge_->columns.size(); ++c) {
+    blocks.push_back(std::make_shared<DictionaryBlock>(
+        bridge_->columns[c], build_positions));
+  }
+  Page out(std::move(blocks), rows);
+  // Residual filter (only on inner/cross joins; enforced at plan time).
+  if (node_->residual_filter() != nullptr) {
+    ExprEvaluator eval(node_->residual_filter(),
+                       ctx_->runtime().eval_mode);
+    PRESTO_ASSIGN_OR_RETURN(BlockPtr mask, eval.Eval(out));
+    DecodedBlock d;
+    d.Decode(mask);
+    std::vector<int32_t> selected;
+    for (int64_t i = 0; i < rows; ++i) {
+      if (!d.IsNull(i) && d.ValueAt<uint8_t>(i) != 0) {
+        selected.push_back(static_cast<int32_t>(i));
+      }
+    }
+    if (selected.empty()) return std::optional<Page>();
+    out = out.CopyPositions(selected.data(),
+                            static_cast<int64_t>(selected.size()));
+  }
+  ctx_->rows_out.fetch_add(out.num_rows());
+  return std::optional<Page>(std::move(out));
+}
+
+Result<std::optional<Page>> HashProbeOperator::EmitUnmatchedBuild() {
+  unmatched_emitted_ = true;
+  if (bridge_->rows == 0 || bridge_->matched == nullptr) {
+    return std::optional<Page>();
+  }
+  std::vector<int32_t> build_positions;
+  for (int64_t r = 0; r < bridge_->rows; ++r) {
+    if (bridge_->matched[static_cast<size_t>(r)].load() == 0) {
+      build_positions.push_back(static_cast<int32_t>(r));
+    }
+  }
+  if (build_positions.empty()) return std::optional<Page>();
+  auto rows = static_cast<int64_t>(build_positions.size());
+  std::vector<BlockPtr> blocks;
+  size_t probe_width =
+      node_->output().size() - bridge_->columns.size();
+  for (size_t c = 0; c < probe_width; ++c) {
+    blocks.push_back(
+        MakeAllNullBlock(node_->output().at(c).type, rows));
+  }
+  for (const auto& col : bridge_->columns) {
+    blocks.push_back(std::make_shared<DictionaryBlock>(col, build_positions));
+  }
+  ctx_->rows_out.fetch_add(rows);
+  return std::optional<Page>(Page(std::move(blocks), rows));
+}
+
+Result<std::optional<Page>> HashProbeOperator::GetOutput() {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  if (!bridge_->ready.load()) return std::optional<Page>();
+  const bool preserve_probe = node_->join_type() == sql::JoinType::kLeft ||
+                              node_->join_type() == sql::JoinType::kFull;
+  const auto null_sentinel = static_cast<int32_t>(bridge_->rows);
+  if (probe_page_.has_value()) {
+    std::vector<int32_t> probe_positions;
+    std::vector<int32_t> build_positions;
+    const int64_t batch_limit = 8192;
+    const auto& probe_blocks = probe_page_->blocks();
+    while (probe_row_ < probe_page_->num_rows() &&
+           static_cast<int64_t>(probe_positions.size()) < batch_limit) {
+      int64_t row = probe_row_++;
+      if (node_->left_keys().empty()) {
+        // Cross join: match every build row.
+        for (int64_t b = 0; b < bridge_->rows; ++b) {
+          probe_positions.push_back(static_cast<int32_t>(row));
+          build_positions.push_back(static_cast<int32_t>(b));
+        }
+        if (bridge_->rows == 0 && preserve_probe) {
+          probe_positions.push_back(static_cast<int32_t>(row));
+          build_positions.push_back(null_sentinel);
+        }
+        continue;
+      }
+      bool any_null = false;
+      uint64_t h = 0;
+      {
+        // Hash the probe keys directly off the probe page blocks.
+        bool null_flag = false;
+        uint64_t combined = 0;
+        for (int k : node_->left_keys()) {
+          const auto& col = probe_blocks[static_cast<size_t>(k)];
+          if (col->IsNull(row)) {
+            null_flag = true;
+            break;
+          }
+          combined = HashCombine(combined, col->HashAt(row));
+        }
+        any_null = null_flag;
+        h = combined;
+      }
+      bool matched = false;
+      if (!any_null && bridge_->rows > 0 && !bridge_->heads.empty()) {
+        auto bucket = static_cast<size_t>(h & bridge_->mask);
+        for (int32_t b = bridge_->heads[bucket]; b >= 0;
+             b = bridge_->next[static_cast<size_t>(b)]) {
+          bool equal = true;
+          for (size_t k = 0; k < node_->left_keys().size(); ++k) {
+            const auto& probe_col =
+                probe_blocks[static_cast<size_t>(node_->left_keys()[k])];
+            const auto& build_col =
+                bridge_->columns[static_cast<size_t>(
+                    bridge_->key_columns[k])];
+            if (!probe_col->EqualsAt(row, *build_col, b)) {
+              equal = false;
+              break;
+            }
+          }
+          if (equal) {
+            matched = true;
+            probe_positions.push_back(static_cast<int32_t>(row));
+            build_positions.push_back(b);
+            if (bridge_->matched != nullptr) {
+              bridge_->matched[static_cast<size_t>(b)].store(1);
+            }
+          }
+        }
+      }
+      if (!matched && preserve_probe) {
+        probe_positions.push_back(static_cast<int32_t>(row));
+        build_positions.push_back(null_sentinel);
+      }
+    }
+    PRESTO_ASSIGN_OR_RETURN(
+        std::optional<Page> out,
+        BuildOutput(probe_positions, build_positions));
+    if (probe_row_ >= probe_page_->num_rows() && out.has_value()) {
+      // Keep the page until BuildOutput no longer references it.
+      probe_page_.reset();
+      probe_row_ = 0;
+    } else if (probe_row_ >= probe_page_->num_rows()) {
+      probe_page_.reset();
+      probe_row_ = 0;
+    }
+    if (out.has_value()) return out;
+    // Fall through: batch produced nothing (e.g. all filtered); try again
+    // next call.
+    return std::optional<Page>();
+  }
+  if (no_more_input_) {
+    if (emit_unmatched_build_ && !unmatched_emitted_) {
+      return EmitUnmatchedBuild();
+    }
+    finished_ = true;
+  }
+  return std::optional<Page>();
+}
+
+bool HashProbeOperator::IsFinished() {
+  return finished_ ||
+         (no_more_input_ && !probe_page_.has_value() &&
+          (!emit_unmatched_build_ || unmatched_emitted_));
+}
+
+}  // namespace presto

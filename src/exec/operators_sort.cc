@@ -1,0 +1,414 @@
+#include "exec/operators.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace presto {
+
+// ---- OrderByOperator ----
+
+OrderByOperator::OrderByOperator(std::unique_ptr<OperatorContext> ctx,
+                                 std::shared_ptr<const SortNode> node)
+    : Operator(std::move(ctx)),
+      node_(std::move(node)),
+      types_([this] {
+        std::vector<TypeKind> types;
+        for (const auto& col : node_->output().columns()) {
+          types.push_back(col.type);
+        }
+        return types;
+      }()),
+      index_(types_) {
+  if (ctx_->runtime().worker_memory != nullptr &&
+      ctx_->runtime().query_memory != nullptr &&
+      ctx_->runtime().query_memory->config().enable_spill) {
+    ctx_->runtime().worker_memory->RegisterRevocable(
+        ctx_->runtime().query_memory, this);
+    revocable_registered_ = true;
+  }
+}
+
+OrderByOperator::~OrderByOperator() {
+  if (revocable_registered_) {
+    ctx_->runtime().worker_memory->UnregisterRevocable(this);
+  }
+}
+
+Status OrderByOperator::AddInput(Page page) {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  if (!error_.ok()) return error_;
+  std::lock_guard<std::recursive_mutex> lock(revoke_mu_);
+  ctx_->rows_in.fetch_add(page.num_rows());
+  index_.AddPage(page);
+  return ctx_->SetMemoryUsage(index_.bytes());
+}
+
+int64_t OrderByOperator::Revoke() {
+  std::unique_lock<std::recursive_mutex> lock(revoke_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return 0;  // busy on another thread: skip
+  if (sorted_ready_ || index_.num_rows() == 0) return 0;
+  // Sort the in-memory rows and spill them as a sorted run.
+  index_.Finish(false);
+  std::vector<int32_t> order(static_cast<size_t>(index_.num_rows()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [this](int32_t a, int32_t b) {
+                     return index_.CompareRows(node_->keys(), a, b) < 0;
+                   });
+  Page sorted = Page(index_.columns(), index_.num_rows())
+                    .CopyPositions(order.data(),
+                                   static_cast<int64_t>(order.size()));
+  int64_t freed = index_.bytes();
+  auto r = spiller_.SpillRun({sorted});
+  if (!r.ok()) {
+    error_ = r.status();
+    return 0;
+  }
+  index_.Clear();
+  index_ = PagesIndex(types_);
+  (void)ctx_->SetMemoryUsage(0);
+  return freed;
+}
+
+void OrderByOperator::NoMoreInput() { Operator::NoMoreInput(); }
+
+Result<std::optional<Page>> OrderByOperator::GetOutput() {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  if (!error_.ok()) return error_;
+  if (!no_more_input_ || output_done_) return std::optional<Page>();
+  std::lock_guard<std::recursive_mutex> lock(revoke_mu_);
+  if (!sorted_ready_) {
+    index_.Finish(false);
+    sorted_.resize(static_cast<size_t>(index_.num_rows()));
+    std::iota(sorted_.begin(), sorted_.end(), 0);
+    std::stable_sort(sorted_.begin(), sorted_.end(),
+                     [this](int32_t a, int32_t b) {
+                       return index_.CompareRows(node_->keys(), a, b) < 0;
+                     });
+    // Load spilled runs for the k-way merge.
+    for (int run = 0; run < spiller_.num_runs(); ++run) {
+      PRESTO_ASSIGN_OR_RETURN(std::vector<Page> pages, spiller_.ReadRun(run));
+      runs_.push_back(RunCursor{std::move(pages), 0, 0});
+    }
+    sorted_ready_ = true;
+  }
+  // Merge: in-memory sorted rows + sorted runs.
+  const int64_t batch = 4096;
+  std::vector<TypeKind> types = types_;
+  PageBuilder builder(types);
+  auto in_memory_row = [this]() -> int64_t {
+    return emit_pos_ < sorted_.size() ? sorted_[emit_pos_] : -1;
+  };
+  while (builder.num_rows() < batch) {
+    // Candidates: the in-memory cursor and each run cursor.
+    int best_run = -2;  // -1 = in-memory, -2 = none
+    // Compare using a boxed row comparison through the sort keys.
+    auto better = [this](const std::vector<Value>& a,
+                         const std::vector<Value>& b) {
+      for (const auto& key : node_->keys()) {
+        int c = a[static_cast<size_t>(key.column)].Compare(
+            b[static_cast<size_t>(key.column)]);
+        if (c != 0) return (key.ascending ? c : -c) < 0;
+      }
+      return false;
+    };
+    std::vector<Value> best_row;
+    if (in_memory_row() >= 0) {
+      best_run = -1;
+      best_row = Page(index_.columns(), index_.num_rows())
+                     .GetRow(in_memory_row());
+    }
+    for (size_t r = 0; r < runs_.size(); ++r) {
+      RunCursor& cursor = runs_[r];
+      while (cursor.page < cursor.pages.size() &&
+             cursor.row >= cursor.pages[cursor.page].num_rows()) {
+        ++cursor.page;
+        cursor.row = 0;
+      }
+      if (cursor.page >= cursor.pages.size()) continue;
+      std::vector<Value> row = cursor.pages[cursor.page].GetRow(cursor.row);
+      if (best_run == -2 || better(row, best_row)) {
+        best_run = static_cast<int>(r);
+        best_row = std::move(row);
+      }
+    }
+    if (best_run == -2) break;
+    builder.AppendRow(best_row);
+    if (best_run == -1) {
+      ++emit_pos_;
+    } else {
+      ++runs_[static_cast<size_t>(best_run)].row;
+    }
+  }
+  if (builder.num_rows() == 0) {
+    output_done_ = true;
+    return std::optional<Page>();
+  }
+  Page out = builder.Build();
+  ctx_->rows_out.fetch_add(out.num_rows());
+  return std::optional<Page>(std::move(out));
+}
+
+// ---- TopNOperator ----
+
+TopNOperator::TopNOperator(std::unique_ptr<OperatorContext> ctx,
+                           std::shared_ptr<const TopNNode> node)
+    : Operator(std::move(ctx)), node_(std::move(node)) {}
+
+void TopNOperator::Prune(size_t target) {
+  auto cmp = [this](const std::vector<Value>& a,
+                    const std::vector<Value>& b) {
+    for (const auto& key : node_->keys()) {
+      int c = a[static_cast<size_t>(key.column)].Compare(
+          b[static_cast<size_t>(key.column)]);
+      if (c != 0) return (key.ascending ? c : -c) < 0;
+    }
+    return false;
+  };
+  if (rows_.size() <= target) return;
+  std::nth_element(rows_.begin(),
+                   rows_.begin() + static_cast<ptrdiff_t>(target),
+                   rows_.end(), cmp);
+  rows_.resize(target);
+}
+
+Status TopNOperator::AddInput(Page page) {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  ctx_->rows_in.fetch_add(page.num_rows());
+  for (int64_t r = 0; r < page.num_rows(); ++r) {
+    rows_.push_back(page.GetRow(r));
+  }
+  auto n = static_cast<size_t>(node_->n());
+  if (rows_.size() > 2 * n + 1024) Prune(n);
+  return ctx_->SetMemoryUsage(static_cast<int64_t>(rows_.size()) * 64);
+}
+
+Result<std::optional<Page>> TopNOperator::GetOutput() {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  if (!no_more_input_ || output_done_) return std::optional<Page>();
+  output_done_ = true;
+  Prune(static_cast<size_t>(node_->n()));
+  auto cmp = [this](const std::vector<Value>& a,
+                    const std::vector<Value>& b) {
+    for (const auto& key : node_->keys()) {
+      int c = a[static_cast<size_t>(key.column)].Compare(
+          b[static_cast<size_t>(key.column)]);
+      if (c != 0) return (key.ascending ? c : -c) < 0;
+    }
+    return false;
+  };
+  std::stable_sort(rows_.begin(), rows_.end(), cmp);
+  if (rows_.empty()) return std::optional<Page>();
+  std::vector<TypeKind> types;
+  for (const auto& col : node_->output().columns()) types.push_back(col.type);
+  PageBuilder builder(types);
+  for (const auto& row : rows_) builder.AppendRow(row);
+  ctx_->rows_out.fetch_add(builder.num_rows());
+  return std::optional<Page>(builder.Build());
+}
+
+// ---- LimitOperator ----
+
+Status LimitOperator::AddInput(Page page) {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  ctx_->rows_in.fetch_add(page.num_rows());
+  if (page.num_rows() <= remaining_) {
+    remaining_ -= page.num_rows();
+    pending_ = std::move(page);
+  } else {
+    std::vector<int32_t> positions;
+    for (int64_t i = 0; i < remaining_; ++i) {
+      positions.push_back(static_cast<int32_t>(i));
+    }
+    pending_ = page.CopyPositions(positions.data(), remaining_);
+    remaining_ = 0;
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Page>> LimitOperator::GetOutput() {
+  if (!pending_.has_value()) return std::optional<Page>();
+  Page out = std::move(*pending_);
+  pending_.reset();
+  ctx_->rows_out.fetch_add(out.num_rows());
+  return std::optional<Page>(std::move(out));
+}
+
+// ---- WindowOperator ----
+
+WindowOperator::WindowOperator(std::unique_ptr<OperatorContext> ctx,
+                               std::shared_ptr<const WindowNode> node)
+    : Operator(std::move(ctx)),
+      node_(std::move(node)),
+      input_types_([this] {
+        std::vector<TypeKind> types;
+        const auto& input = node_->child()->output();
+        for (const auto& col : input.columns()) types.push_back(col.type);
+        return types;
+      }()),
+      index_(input_types_) {}
+
+Status WindowOperator::AddInput(Page page) {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  ctx_->rows_in.fetch_add(page.num_rows());
+  index_.AddPage(page);
+  return ctx_->SetMemoryUsage(index_.bytes());
+}
+
+Result<std::optional<Page>> WindowOperator::GetOutput() {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  if (!no_more_input_ || output_done_) return std::optional<Page>();
+  output_done_ = true;
+  index_.Finish(false);
+  int64_t rows = index_.num_rows();
+  if (rows == 0) return std::optional<Page>();
+
+  // Order rows by (partition keys, order keys).
+  std::vector<SortKey> sort_keys;
+  for (int p : node_->partition_keys()) sort_keys.push_back({p, true});
+  for (const auto& k : node_->order_keys()) sort_keys.push_back(k);
+  std::vector<int32_t> order(static_cast<size_t>(rows));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](int32_t a, int32_t b) {
+                     return index_.CompareRows(sort_keys, a, b) < 0;
+                   });
+
+  auto same_keys = [&](const std::vector<SortKey>& keys, int32_t a,
+                       int32_t b) { return index_.CompareRows(keys, a, b) == 0; };
+  std::vector<SortKey> partition_keys;
+  for (int p : node_->partition_keys()) partition_keys.push_back({p, true});
+  const auto& order_keys = node_->order_keys();
+
+  // Compute each window function into a builder aligned with `order`.
+  std::vector<BlockBuilder> builders;
+  for (const auto& fn : node_->functions()) {
+    builders.emplace_back(fn.result_type);
+  }
+
+  size_t start = 0;
+  auto n = static_cast<size_t>(rows);
+  while (start < n) {
+    size_t end = start + 1;
+    while (end < n && (partition_keys.empty() ||
+                       same_keys(partition_keys, order[start], order[end]))) {
+      ++end;
+    }
+    // Partition [start, end) in sorted order.
+    for (size_t f = 0; f < node_->functions().size(); ++f) {
+      const WindowFunction& fn = node_->functions()[f];
+      BlockBuilder& builder = builders[f];
+      switch (fn.kind) {
+        case WindowFunction::Kind::kRowNumber: {
+          for (size_t i = start; i < end; ++i) {
+            builder.AppendBigint(static_cast<int64_t>(i - start + 1));
+          }
+          break;
+        }
+        case WindowFunction::Kind::kRank:
+        case WindowFunction::Kind::kDenseRank: {
+          int64_t rank = 0;
+          int64_t dense = 0;
+          for (size_t i = start; i < end; ++i) {
+            if (i == start || !same_keys(order_keys, order[i - 1], order[i])) {
+              rank = static_cast<int64_t>(i - start + 1);
+              ++dense;
+            }
+            builder.AppendBigint(
+                fn.kind == WindowFunction::Kind::kRank ? rank : dense);
+          }
+          break;
+        }
+        case WindowFunction::Kind::kAggregate: {
+          // Default SQL frame: RANGE UNBOUNDED PRECEDING .. CURRENT ROW
+          // (including peers); with no ORDER BY the frame is the whole
+          // partition.
+          bool whole_partition = order_keys.empty();
+          int64_t count = 0;
+          double sum = 0;
+          bool sum_valid = false;
+          Value min_v, max_v;
+          auto accumulate = [&](size_t i) {
+            if (fn.arg_column < 0) {
+              ++count;
+              return;
+            }
+            Value v = index_.columns()[static_cast<size_t>(fn.arg_column)]
+                          ->GetValue(order[i]);
+            if (v.is_null()) return;
+            ++count;
+            if (v.type() != TypeKind::kVarchar &&
+                v.type() != TypeKind::kBoolean) {
+              sum += v.AsDouble();
+              sum_valid = true;
+            }
+            if (min_v.is_null() || v.Compare(min_v) < 0) min_v = v;
+            if (max_v.is_null() || v.Compare(max_v) > 0) max_v = v;
+          };
+          auto emit_current = [&](int64_t repeat) {
+            for (int64_t r = 0; r < repeat; ++r) {
+              switch (fn.signature.kind) {
+                case AggKind::kCountAll:
+                case AggKind::kCount:
+                  builder.AppendBigint(count);
+                  break;
+                case AggKind::kSum:
+                  if (!sum_valid) {
+                    builder.AppendNull();
+                  } else if (fn.result_type == TypeKind::kBigint) {
+                    builder.AppendBigint(static_cast<int64_t>(sum));
+                  } else {
+                    builder.AppendDouble(sum);
+                  }
+                  break;
+                case AggKind::kAvg:
+                  if (count == 0) {
+                    builder.AppendNull();
+                  } else {
+                    builder.AppendDouble(sum / static_cast<double>(count));
+                  }
+                  break;
+                case AggKind::kMin:
+                  builder.AppendValue(min_v);
+                  break;
+                case AggKind::kMax:
+                  builder.AppendValue(max_v);
+                  break;
+                default:
+                  builder.AppendNull();
+              }
+            }
+          };
+          if (whole_partition) {
+            for (size_t i = start; i < end; ++i) accumulate(i);
+            emit_current(static_cast<int64_t>(end - start));
+          } else {
+            size_t i = start;
+            while (i < end) {
+              // Peer group [i, j).
+              size_t j = i + 1;
+              while (j < end && same_keys(order_keys, order[i], order[j])) {
+                ++j;
+              }
+              for (size_t k = i; k < j; ++k) accumulate(k);
+              emit_current(static_cast<int64_t>(j - i));
+              i = j;
+            }
+          }
+          break;
+        }
+      }
+    }
+    start = end;
+  }
+
+  // Assemble output: input columns in sorted order + function columns.
+  Page input_sorted = Page(index_.columns(), rows)
+                          .CopyPositions(order.data(), rows);
+  std::vector<BlockPtr> blocks = input_sorted.blocks();
+  for (auto& builder : builders) blocks.push_back(builder.Build());
+  ctx_->rows_out.fetch_add(rows);
+  return std::optional<Page>(Page(std::move(blocks), rows));
+}
+
+}  // namespace presto

@@ -1,0 +1,158 @@
+#include "exec/operators.h"
+
+#include "vector/block_builder.h"
+
+namespace presto {
+
+// ---- ValuesOperator ----
+
+ValuesOperator::ValuesOperator(std::unique_ptr<OperatorContext> ctx,
+                               std::shared_ptr<const ValuesNode> node)
+    : Operator(std::move(ctx)), node_(std::move(node)) {}
+
+Status ValuesOperator::AddInput(Page) {
+  return Status::Internal("Values takes no input");
+}
+
+Result<std::optional<Page>> ValuesOperator::GetOutput() {
+  if (done_) return std::optional<Page>();
+  done_ = true;
+  std::vector<TypeKind> types;
+  for (const auto& col : node_->output().columns()) types.push_back(col.type);
+  PageBuilder builder(types);
+  for (const auto& row : node_->rows()) builder.AppendRow(row);
+  ctx_->rows_out.fetch_add(builder.num_rows());
+  return std::optional<Page>(builder.Build());
+}
+
+// ---- TableScanOperator ----
+
+TableScanOperator::TableScanOperator(std::unique_ptr<OperatorContext> ctx,
+                                     std::shared_ptr<const TableScanNode> node)
+    : Operator(std::move(ctx)), node_(std::move(node)) {
+  auto connector = ctx_->runtime().catalog->Get(node_->connector());
+  PRESTO_CHECK(connector.ok());
+  connector_ = *connector;
+}
+
+Status TableScanOperator::AddInput(Page) {
+  return Status::Internal("TableScan takes no input");
+}
+
+Result<std::optional<Page>> TableScanOperator::GetOutput() {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  auto queue_it = ctx_->runtime().split_queues->find(node_->id());
+  PRESTO_CHECK(queue_it != ctx_->runtime().split_queues->end());
+  SplitQueue& queue = queue_it->second;
+  for (;;) {
+    if (current_ == nullptr) {
+      bool done = false;
+      auto split = queue.Poll(&done);
+      if (!split.has_value()) {
+        blocked_ = !done;
+        finished_ = done;
+        return std::optional<Page>();
+      }
+      blocked_ = false;
+      PRESTO_ASSIGN_OR_RETURN(
+          current_, connector_->CreateDataSource(**split, *node_->table(),
+                                                 node_->columns(),
+                                                 node_->predicates()));
+      ++splits_processed_;
+    }
+    PRESTO_ASSIGN_OR_RETURN(std::optional<Page> page, current_->NextPage());
+    if (!page.has_value()) {
+      bytes_read_ += current_->bytes_read();
+      current_.reset();
+      continue;
+    }
+    ctx_->rows_out.fetch_add(page->num_rows());
+    return page;
+  }
+}
+
+// ---- RemoteSourceOperator ----
+
+RemoteSourceOperator::RemoteSourceOperator(
+    std::unique_ptr<OperatorContext> ctx, int source_fragment,
+    int producer_tasks)
+    : Operator(std::move(ctx)),
+      source_fragment_(source_fragment),
+      producer_tasks_(producer_tasks),
+      buffers_(static_cast<size_t>(producer_tasks)),
+      done_(static_cast<size_t>(producer_tasks), false) {}
+
+Status RemoteSourceOperator::AddInput(Page) {
+  return Status::Internal("RemoteSource takes no input");
+}
+
+Result<std::optional<Page>> RemoteSourceOperator::GetOutput() {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  ExchangeManager* exchange = ctx_->runtime().exchange;
+  const TaskSpec& spec = ctx_->spec();
+  bool all_done = true;
+  for (int attempt = 0; attempt < producer_tasks_; ++attempt) {
+    size_t i = next_;
+    next_ = (next_ + 1) % static_cast<size_t>(producer_tasks_);
+    if (done_[i]) continue;
+    all_done = false;
+    auto& buffer = buffers_[i];
+    if (buffer == nullptr) {
+      buffer = exchange->GetBuffer({spec.query_id, source_fragment_,
+                                    static_cast<int>(i), spec.task_index});
+      if (buffer == nullptr) continue;  // producer not started yet
+    }
+    bool finished = false;
+    auto page = buffer->Poll(&finished);
+    if (finished) {
+      done_[i] = true;
+      continue;
+    }
+    if (page.has_value()) {
+      exchange->SimulateTransfer(page->SizeInBytes());
+      ctx_->rows_out.fetch_add(page->num_rows());
+      blocked_ = false;
+      return std::optional<Page>(std::move(*page));
+    }
+  }
+  // Re-check completion over all producers.
+  all_done = true;
+  for (bool d : done_) {
+    if (!d) {
+      all_done = false;
+      break;
+    }
+  }
+  finished_ = all_done;
+  blocked_ = !all_done;
+  return std::optional<Page>();
+}
+
+// ---- FilterProjectOperator ----
+
+FilterProjectOperator::FilterProjectOperator(
+    std::unique_ptr<OperatorContext> ctx, ExprPtr filter,
+    std::vector<ExprPtr> projections)
+    : Operator(std::move(ctx)),
+      processor_(std::move(filter), std::move(projections),
+                 ctx_->runtime().eval_mode) {}
+
+Status FilterProjectOperator::AddInput(Page page) {
+  PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  ctx_->rows_in.fetch_add(page.num_rows());
+  PRESTO_ASSIGN_OR_RETURN(Page out, processor_.Process(page));
+  if (out.num_rows() > 0) {
+    ctx_->rows_out.fetch_add(out.num_rows());
+    pending_ = std::move(out);
+  }
+  return Status::OK();
+}
+
+Result<std::optional<Page>> FilterProjectOperator::GetOutput() {
+  if (!pending_.has_value()) return std::optional<Page>();
+  Page out = std::move(*pending_);
+  pending_.reset();
+  return std::optional<Page>(std::move(out));
+}
+
+}  // namespace presto

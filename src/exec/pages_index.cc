@@ -1,0 +1,23 @@
+#include "exec/pages_index.h"
+
+namespace presto {
+
+void PagesIndex::Finish(bool extra_null_row) {
+  if (finished_) return;
+  columns_.clear();
+  for (size_t c = 0; c < types_.size(); ++c) {
+    BlockBuilder builder(types_[c]);
+    for (const auto& page : pages_) {
+      const auto& block = *page.block(c);
+      for (int64_t r = 0; r < page.num_rows(); ++r) {
+        builder.AppendFrom(block, r);
+      }
+    }
+    if (extra_null_row) builder.AppendNull();
+    columns_.push_back(builder.Build());
+  }
+  pages_.clear();
+  finished_ = true;
+}
+
+}  // namespace presto

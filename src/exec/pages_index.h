@@ -1,0 +1,70 @@
+#ifndef PRESTOCPP_EXEC_PAGES_INDEX_H_
+#define PRESTOCPP_EXEC_PAGES_INDEX_H_
+
+#include <vector>
+
+#include "plan/plan_node.h"
+#include "vector/block_builder.h"
+#include "vector/page.h"
+
+namespace presto {
+
+/// Accumulates pages and, on Finish(), concatenates them into one flat
+/// block per column for random access by row number. Backs hash-join build
+/// sides, sorting, and window evaluation.
+class PagesIndex {
+ public:
+  explicit PagesIndex(std::vector<TypeKind> types)
+      : types_(std::move(types)) {}
+
+  void AddPage(const Page& page) {
+    rows_ += page.num_rows();
+    bytes_ += page.SizeInBytes();
+    pages_.push_back(page);
+  }
+
+  int64_t num_rows() const { return rows_; }
+  int64_t bytes() const { return bytes_; }
+  const std::vector<TypeKind>& types() const { return types_; }
+  const std::vector<Page>& pages() const { return pages_; }
+
+  /// Concatenates into per-column blocks; `extra_null_row` appends one
+  /// all-null row at index num_rows() (the outer-join null sentinel used by
+  /// dictionary-encoded join output, §V-E).
+  void Finish(bool extra_null_row);
+
+  bool finished() const { return finished_; }
+  const std::vector<BlockPtr>& columns() const { return columns_; }
+
+  /// Three-way comparison of rows by sort keys (columns must be finished).
+  int CompareRows(const std::vector<SortKey>& keys, int64_t a,
+                  int64_t b) const {
+    for (const auto& key : keys) {
+      const auto& col = columns_[static_cast<size_t>(key.column)];
+      int c = col->CompareAt(a, *col, b);
+      if (c != 0) return key.ascending ? c : -c;
+    }
+    return 0;
+  }
+
+  /// Releases all state (spill).
+  void Clear() {
+    pages_.clear();
+    columns_.clear();
+    rows_ = 0;
+    bytes_ = 0;
+    finished_ = false;
+  }
+
+ private:
+  std::vector<TypeKind> types_;
+  std::vector<Page> pages_;
+  std::vector<BlockPtr> columns_;
+  int64_t rows_ = 0;
+  int64_t bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXEC_PAGES_INDEX_H_

@@ -1,0 +1,60 @@
+#include "exec/spiller.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <unistd.h>
+
+#include "vector/page_serde.h"
+
+namespace presto {
+
+namespace {
+std::atomic<int64_t> g_spill_file_counter{0};
+}  // namespace
+
+Spiller::Spiller() = default;
+
+Spiller::~Spiller() {
+  for (const auto& file : files_) {
+    std::remove(file.c_str());
+  }
+}
+
+Result<int> Spiller::SpillRun(const std::vector<Page>& pages) {
+  std::string path = "/tmp/prestocpp-spill-" + std::to_string(getpid()) +
+                     "-" + std::to_string(g_spill_file_counter.fetch_add(1)) +
+                     ".bin";
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return Status::IOError("cannot create spill file " + path);
+  }
+  for (const auto& page : pages) {
+    std::string data = SerializePage(page);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    spilled_bytes_ += static_cast<int64_t>(data.size());
+  }
+  out.close();
+  if (!out.good()) return Status::IOError("failed writing spill file " + path);
+  files_.push_back(std::move(path));
+  return static_cast<int>(files_.size()) - 1;
+}
+
+Result<std::vector<Page>> Spiller::ReadRun(int index) const {
+  const std::string& path = files_[static_cast<size_t>(index)];
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::IOError("cannot open spill file " + path);
+  }
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::vector<Page> pages;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    PRESTO_ASSIGN_OR_RETURN(Page page, DeserializePage(data, &offset));
+    pages.push_back(std::move(page));
+  }
+  return pages;
+}
+
+}  // namespace presto

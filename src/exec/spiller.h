@@ -1,0 +1,39 @@
+#ifndef PRESTOCPP_EXEC_SPILLER_H_
+#define PRESTOCPP_EXEC_SPILLER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "vector/page.h"
+
+namespace presto {
+
+/// Writes runs of pages to local disk during memory revocation (§IV-F2) and
+/// reads them back during finalization. One Spiller owns a set of run files
+/// deleted on destruction.
+class Spiller {
+ public:
+  Spiller();
+  ~Spiller();
+
+  Spiller(const Spiller&) = delete;
+  Spiller& operator=(const Spiller&) = delete;
+
+  /// Writes `pages` as a new run; returns the run index.
+  Result<int> SpillRun(const std::vector<Page>& pages);
+
+  int num_runs() const { return static_cast<int>(files_.size()); }
+  int64_t spilled_bytes() const { return spilled_bytes_; }
+
+  /// Reads back all pages of run `index`.
+  Result<std::vector<Page>> ReadRun(int index) const;
+
+ private:
+  std::vector<std::string> files_;
+  int64_t spilled_bytes_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXEC_SPILLER_H_

@@ -1,0 +1,332 @@
+#include "exec/task.h"
+
+#include "exec/operators.h"
+
+namespace presto {
+
+namespace {
+
+// Forced-single-driver plan nodes (stateful across all input rows).
+bool IsSingleDriverNode(const PlanNode& node) {
+  switch (node.kind()) {
+    case PlanNodeKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      return agg.step() != AggregationStep::kPartial;
+    }
+    case PlanNodeKind::kSort:
+    case PlanNodeKind::kWindow:
+    case PlanNodeKind::kTableWrite:
+      return true;
+    case PlanNodeKind::kTopN:
+      return !static_cast<const TopNNode&>(node).partial();
+    case PlanNodeKind::kLimit:
+      return !static_cast<const LimitNode&>(node).partial();
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+// Pre-creates a split queue per scan node in the fragment.
+void CollectScanNodes(const PlanNode& node, std::map<int, SplitQueue>* out) {
+  if (node.kind() == PlanNodeKind::kTableScan) {
+    (*out)[node.id()];  // default-construct
+  }
+  for (const auto& c : node.children()) CollectScanNodes(*c, out);
+}
+
+}  // namespace
+
+TaskExec::TaskExec(TaskSpec spec, TaskRuntime runtime,
+                   const PlanFragment* fragment)
+    : spec_(std::move(spec)), runtime_(runtime), fragment_(fragment) {
+  CollectScanNodes(*fragment_->root, &split_queues_);
+  runtime_.split_queues = &split_queues_;
+  runtime_.task_cpu_nanos = &cpu_nanos_;
+}
+
+std::unique_ptr<OperatorContext> TaskExec::MakeContext(
+    const std::string& label) {
+  return std::make_unique<OperatorContext>(runtime_, spec_, label);
+}
+
+Status TaskExec::Initialize() {
+  PipelineBuild root;
+  PRESTO_RETURN_IF_ERROR(BuildPipeline(fragment_->root, &root));
+  FinishPipeline(std::move(root), /*is_root=*/true);
+  return Status::OK();
+}
+
+void TaskExec::FinishPipeline(PipelineBuild build, bool is_root) {
+  // Root pipelines get the fragment's output sink appended.
+  if (is_root) {
+    if (fragment_->consumer < 0) {
+      build.factories.push_back([this] {
+        return std::make_unique<OutputSinkOperator>(MakeContext("output"));
+      });
+    } else {
+      int drivers = build.parallel_safe && build.has_scan
+                        ? std::max(1, runtime_.max_drivers_per_pipeline)
+                        : 1;
+      auto live_sinks = std::make_shared<std::atomic<int>>(drivers);
+      ExchangeKind kind = fragment_->output_kind;
+      std::vector<int> keys = fragment_->output_keys;
+      build.factories.push_back([this, kind, keys, live_sinks] {
+        return std::make_unique<ExchangeSinkOperator>(
+            MakeContext("exchange_sink"), kind, keys, live_sinks);
+      });
+    }
+  }
+  int drivers = build.parallel_safe && build.has_scan
+                    ? std::max(1, runtime_.max_drivers_per_pipeline)
+                    : 1;
+  for (int d = 0; d < drivers; ++d) {
+    std::vector<std::unique_ptr<Operator>> ops;
+    ops.reserve(build.factories.size());
+    for (auto& factory : build.factories) ops.push_back(factory());
+    drivers_.push_back(std::make_unique<Driver>(std::move(ops)));
+  }
+  ++num_pipelines_;
+}
+
+Status TaskExec::BuildPipeline(const PlanNodePtr& node,
+                               PipelineBuild* current) {
+  switch (node->kind()) {
+    case PlanNodeKind::kValues: {
+      auto values = std::static_pointer_cast<const ValuesNode>(node);
+      current->factories.push_back([this, values] {
+        return std::make_unique<ValuesOperator>(MakeContext("values"),
+                                                values);
+      });
+      current->parallel_safe = false;
+      return Status::OK();
+    }
+    case PlanNodeKind::kTableScan: {
+      auto scan = std::static_pointer_cast<const TableScanNode>(node);
+      current->factories.push_back([this, scan] {
+        return std::make_unique<TableScanOperator>(MakeContext("scan"),
+                                                   scan);
+      });
+      current->has_scan = true;
+      return Status::OK();
+    }
+    case PlanNodeKind::kRemoteSource: {
+      auto source = std::static_pointer_cast<const RemoteSourceNode>(node);
+      auto it = spec_.source_task_counts.find(source->source_fragment());
+      int producers = it != spec_.source_task_counts.end() ? it->second : 1;
+      int fragment = source->source_fragment();
+      current->factories.push_back([this, fragment, producers] {
+        return std::make_unique<RemoteSourceOperator>(
+            MakeContext("remote_source"), fragment, producers);
+      });
+      current->parallel_safe = false;
+      return Status::OK();
+    }
+    case PlanNodeKind::kFilter: {
+      PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
+      const auto& filter = static_cast<const FilterNode&>(*node);
+      ExprPtr predicate = filter.predicate();
+      // Identity projections of all child columns.
+      std::vector<ExprPtr> projections;
+      for (size_t i = 0; i < node->output().size(); ++i) {
+        projections.push_back(Expr::MakeColumn(
+            static_cast<int>(i), node->output().at(i).type));
+      }
+      current->factories.push_back([this, predicate, projections] {
+        return std::make_unique<FilterProjectOperator>(
+            MakeContext("filter"), predicate, projections);
+      });
+      return Status::OK();
+    }
+    case PlanNodeKind::kProject: {
+      PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
+      const auto& project = static_cast<const ProjectNode&>(*node);
+      std::vector<ExprPtr> exprs = project.expressions();
+      current->factories.push_back([this, exprs] {
+        return std::make_unique<FilterProjectOperator>(MakeContext("project"),
+                                                       nullptr, exprs);
+      });
+      return Status::OK();
+    }
+    case PlanNodeKind::kAggregate: {
+      PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
+      auto agg = std::static_pointer_cast<const AggregateNode>(node);
+      if (IsSingleDriverNode(*node) && current->has_scan &&
+          runtime_.max_drivers_per_pipeline > 1 && current->parallel_safe) {
+        // Intra-node parallelism (§IV-C4): parallel scan drivers feed the
+        // single-driver section through a local shuffle.
+        int producers = runtime_.max_drivers_per_pipeline;
+        auto queue = std::make_shared<LocalExchangeQueue>(producers);
+        current->factories.push_back([this, queue] {
+          return std::make_unique<LocalExchangeSinkOperator>(
+              MakeContext("local_sink"), queue);
+        });
+        FinishPipeline(std::move(*current), /*is_root=*/false);
+        *current = PipelineBuild{};
+        current->parallel_safe = false;
+        current->factories.push_back([this, queue] {
+          return std::make_unique<LocalExchangeSourceOperator>(
+              MakeContext("local_source"), queue);
+        });
+      }
+      current->factories.push_back([this, agg] {
+        return std::make_unique<HashAggregationOperator>(
+            MakeContext("aggregate"), agg);
+      });
+      if (IsSingleDriverNode(*node)) current->parallel_safe = false;
+      return Status::OK();
+    }
+    case PlanNodeKind::kJoin: {
+      auto join = std::static_pointer_cast<const JoinNode>(node);
+      bool track_matched = join->join_type() == sql::JoinType::kRight ||
+                           join->join_type() == sql::JoinType::kFull;
+      if (join->residual_filter() != nullptr &&
+          join->join_type() != sql::JoinType::kInner &&
+          join->join_type() != sql::JoinType::kCross) {
+        return Status::Unsupported(
+            "non-equi conditions on outer joins are not supported");
+      }
+      auto bridge = std::make_shared<JoinBridge>();
+      // Build side: its own pipeline ending in HashBuild (Fig. 4).
+      PipelineBuild build_pipeline;
+      PRESTO_RETURN_IF_ERROR(
+          BuildPipeline(join->child(1), &build_pipeline));
+      std::vector<TypeKind> build_types;
+      for (const auto& col : join->child(1)->output().columns()) {
+        build_types.push_back(col.type);
+      }
+      std::vector<int> build_keys = join->right_keys();
+      if (build_pipeline.has_scan && build_pipeline.parallel_safe &&
+          runtime_.max_drivers_per_pipeline > 1) {
+        // Parallel build-side scan into a local shuffle, then a single
+        // HashBuild driver — exactly the pipeline split of Fig. 4.
+        int producers = runtime_.max_drivers_per_pipeline;
+        auto queue = std::make_shared<LocalExchangeQueue>(producers);
+        build_pipeline.factories.push_back([this, queue] {
+          return std::make_unique<LocalExchangeSinkOperator>(
+              MakeContext("local_sink"), queue);
+        });
+        FinishPipeline(std::move(build_pipeline), /*is_root=*/false);
+        PipelineBuild collector;
+        collector.parallel_safe = false;
+        collector.factories.push_back([this, queue] {
+          return std::make_unique<LocalExchangeSourceOperator>(
+              MakeContext("local_source"), queue);
+        });
+        collector.factories.push_back(
+            [this, bridge, build_types, build_keys, track_matched] {
+              return std::make_unique<HashBuildOperator>(
+                  MakeContext("hash_build"), bridge, build_types, build_keys,
+                  track_matched);
+            });
+        FinishPipeline(std::move(collector), /*is_root=*/false);
+      } else {
+        build_pipeline.parallel_safe = false;
+        build_pipeline.factories.push_back(
+            [this, bridge, build_types, build_keys, track_matched] {
+              return std::make_unique<HashBuildOperator>(
+                  MakeContext("hash_build"), bridge, build_types, build_keys,
+                  track_matched);
+            });
+        FinishPipeline(std::move(build_pipeline), /*is_root=*/false);
+      }
+      // Probe side continues the current pipeline.
+      PRESTO_RETURN_IF_ERROR(BuildPipeline(join->child(0), current));
+      bool emit_unmatched = track_matched;
+      current->factories.push_back([this, join, bridge, emit_unmatched] {
+        return std::make_unique<HashProbeOperator>(MakeContext("hash_probe"),
+                                                   join, bridge,
+                                                   emit_unmatched);
+      });
+      if (emit_unmatched) current->parallel_safe = false;
+      return Status::OK();
+    }
+    case PlanNodeKind::kSort: {
+      PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
+      auto sort = std::static_pointer_cast<const SortNode>(node);
+      current->factories.push_back([this, sort] {
+        return std::make_unique<OrderByOperator>(MakeContext("order_by"),
+                                                 sort);
+      });
+      current->parallel_safe = false;
+      return Status::OK();
+    }
+    case PlanNodeKind::kTopN: {
+      PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
+      auto topn = std::static_pointer_cast<const TopNNode>(node);
+      current->factories.push_back([this, topn] {
+        return std::make_unique<TopNOperator>(MakeContext("topn"), topn);
+      });
+      if (!topn->partial()) current->parallel_safe = false;
+      return Status::OK();
+    }
+    case PlanNodeKind::kLimit: {
+      PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
+      const auto& limit = static_cast<const LimitNode&>(*node);
+      int64_t n = limit.n();
+      current->factories.push_back([this, n] {
+        return std::make_unique<LimitOperator>(MakeContext("limit"), n);
+      });
+      if (!limit.partial()) current->parallel_safe = false;
+      return Status::OK();
+    }
+    case PlanNodeKind::kWindow: {
+      PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
+      auto window = std::static_pointer_cast<const WindowNode>(node);
+      current->factories.push_back([this, window] {
+        return std::make_unique<WindowOperator>(MakeContext("window"),
+                                                window);
+      });
+      current->parallel_safe = false;
+      return Status::OK();
+    }
+    case PlanNodeKind::kUnionAll: {
+      // Each input becomes its own pipeline feeding a local queue.
+      auto queue = std::make_shared<LocalExchangeQueue>(
+          static_cast<int>(node->children().size()));
+      for (const auto& child : node->children()) {
+        PipelineBuild input;
+        PRESTO_RETURN_IF_ERROR(BuildPipeline(child, &input));
+        input.parallel_safe = false;
+        input.factories.push_back([this, queue] {
+          return std::make_unique<LocalExchangeSinkOperator>(
+              MakeContext("union_sink"), queue);
+        });
+        FinishPipeline(std::move(input), /*is_root=*/false);
+      }
+      current->parallel_safe = false;
+      current->factories.push_back([this, queue] {
+        return std::make_unique<LocalExchangeSourceOperator>(
+            MakeContext("union_source"), queue);
+      });
+      return Status::OK();
+    }
+    case PlanNodeKind::kTableWrite: {
+      PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
+      auto write = std::static_pointer_cast<const TableWriteNode>(node);
+      current->factories.push_back([this, write] {
+        return std::make_unique<TableWriterOperator>(MakeContext("writer"),
+                                                     write);
+      });
+      current->parallel_safe = false;
+      return Status::OK();
+    }
+    case PlanNodeKind::kOutput:
+      return BuildPipeline(node->child(), current);
+    default:
+      return Status::Internal("unexpected node in fragment: " +
+                              node->Label());
+  }
+}
+
+bool TaskExec::AllDriversFinished() const {
+  for (const auto& driver : drivers_) {
+    if (!driver->sink().IsFinished()) return false;
+  }
+  return true;
+}
+
+}  // namespace presto

@@ -1,0 +1,67 @@
+#ifndef PRESTOCPP_EXEC_TASK_H_
+#define PRESTOCPP_EXEC_TASK_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "exec/driver.h"
+#include "exec/exec_context.h"
+#include "fragment/fragmenter.h"
+
+namespace presto {
+
+/// A single processing unit of a stage running on one worker (§IV-D): it
+/// instantiates the fragment's operator tree as pipelines of drivers.
+/// Pipelines split at hash-join build sides (Fig. 4), at UNION ALL inputs,
+/// and — for intra-node parallelism (§IV-C4) — between parallelizable scan
+/// sections and single-driver operators (final aggregation, sort, window),
+/// joined by local in-memory shuffles.
+class TaskExec {
+ public:
+  TaskExec(TaskSpec spec, TaskRuntime runtime, const PlanFragment* fragment);
+
+  /// Builds pipelines and drivers. Must be called once before execution.
+  Status Initialize();
+
+  const TaskSpec& spec() const { return spec_; }
+  TaskRuntime& runtime() { return runtime_; }
+  /// Split queue for a TableScanNode of this fragment (by node id).
+  SplitQueue* splits(int scan_node_id) {
+    auto it = split_queues_.find(scan_node_id);
+    return it == split_queues_.end() ? nullptr : &it->second;
+  }
+  std::map<int, SplitQueue>& split_queues() { return split_queues_; }
+  std::atomic<int64_t>& cpu_nanos() { return cpu_nanos_; }
+
+  std::vector<std::unique_ptr<Driver>>& drivers() { return drivers_; }
+
+  bool AllDriversFinished() const;
+
+  int num_pipelines() const { return num_pipelines_; }
+
+ private:
+  using OperatorFactory = std::function<std::unique_ptr<Operator>()>;
+
+  struct PipelineBuild {
+    std::vector<OperatorFactory> factories;
+    bool parallel_safe = true;
+    bool has_scan = false;
+  };
+
+  std::unique_ptr<OperatorContext> MakeContext(const std::string& label);
+  Status BuildPipeline(const PlanNodePtr& node, PipelineBuild* current);
+  void FinishPipeline(PipelineBuild build, bool is_root);
+
+  TaskSpec spec_;
+  TaskRuntime runtime_;
+  const PlanFragment* fragment_;
+  std::map<int, SplitQueue> split_queues_;
+  std::atomic<int64_t> cpu_nanos_{0};
+  std::vector<std::unique_ptr<Driver>> drivers_;
+  int num_pipelines_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXEC_TASK_H_

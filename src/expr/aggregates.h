@@ -1,0 +1,86 @@
+#ifndef PRESTOCPP_EXPR_AGGREGATES_H_
+#define PRESTOCPP_EXPR_AGGREGATES_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "types/type.h"
+#include "vector/block.h"
+
+namespace presto {
+
+/// Supported aggregate functions. kCountAll is COUNT(*); kCountDistinct is
+/// COUNT(DISTINCT x); kApproxDistinct is the HyperLogLog sketch Presto uses
+/// for cardinality estimation.
+enum class AggKind : uint8_t {
+  kCountAll,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kCountDistinct,
+  kApproxDistinct,
+  kStddev,
+  kVariance,
+};
+
+/// A resolved aggregate call: function, argument type (kUnknown for
+/// COUNT(*)), and result type.
+struct AggregateSignature {
+  AggKind kind;
+  TypeKind arg_type;
+  TypeKind result_type;
+  /// Type of the partial-aggregation (intermediate) state column shipped
+  /// across the shuffle between AggregatePartial and AggregateFinal.
+  TypeKind intermediate_type;
+};
+
+/// Resolves an aggregate by SQL name ("count", "sum", ...). `arg` is
+/// nullopt for COUNT(*). `distinct` is only supported for COUNT.
+Result<AggregateSignature> ResolveAggregate(const std::string& name,
+                                            std::optional<TypeKind> arg,
+                                            bool distinct);
+
+/// Per-aggregate grouped accumulator. State lives in flat per-group arrays
+/// (§V-A: flat memory structures in the critical path). Group ids are dense
+/// [0, n) assigned by the aggregation hash table.
+///
+/// Lifecycle: Resize(n) whenever new groups appear, then either Add (raw
+/// input) or Merge (intermediate states from partial aggregation), finally
+/// BuildIntermediate or BuildFinal.
+class Accumulator {
+ public:
+  virtual ~Accumulator() = default;
+
+  /// Ensures state exists for groups [0, num_groups).
+  virtual void Resize(int64_t num_groups) = 0;
+
+  /// Accumulates raw input rows: row i goes to group group_ids[i]. `arg` is
+  /// null for COUNT(*).
+  virtual void Add(const int32_t* group_ids, const BlockPtr& arg,
+                   int64_t rows) = 0;
+
+  /// Merges intermediate states produced by BuildIntermediate.
+  virtual Status Merge(const int32_t* group_ids, const BlockPtr& state,
+                       int64_t rows) = 0;
+
+  /// Serializes per-group state for the partial->final shuffle.
+  virtual BlockPtr BuildIntermediate(int64_t num_groups) = 0;
+
+  /// Produces the final per-group result column.
+  virtual BlockPtr BuildFinal(int64_t num_groups) = 0;
+
+  /// Approximate state footprint for memory accounting.
+  virtual int64_t MemoryBytes() const = 0;
+};
+
+/// Creates the accumulator implementing `sig`.
+std::unique_ptr<Accumulator> CreateAccumulator(const AggregateSignature& sig);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXPR_AGGREGATES_H_

@@ -1,0 +1,53 @@
+#ifndef PRESTOCPP_EXPR_EVALUATOR_H_
+#define PRESTOCPP_EXPR_EVALUATOR_H_
+
+#include "common/status.h"
+#include "expr/expression.h"
+#include "vector/page.h"
+
+namespace presto {
+
+/// SQL CAST semantics between supported types. Unparseable VARCHAR inputs
+/// yield NULL (documented deviation: no per-row error channel).
+Value CastValue(TypeKind target, const Value& in);
+
+/// Row-at-a-time boxed evaluation over row `row` of `page` — the paper's
+/// "expression interpreter ... much too slow for production use" (§V-B1).
+/// Kept for differential testing, constant folding, and as the baseline in
+/// the code-generation benchmark.
+Result<Value> EvalExprRow(const Expr& expr, const Page& page, int64_t row);
+
+/// Folds a constant expression (no column references) to a Value.
+Result<Value> EvalConstantExpr(const Expr& expr);
+
+/// How expressions are evaluated at runtime.
+enum class EvalMode {
+  kInterpreted,  // loop of EvalExprRow per row (baseline)
+  kCompiled,     // fused type-specialized vector kernels (§V-B analogue)
+};
+
+/// Evaluates an expression over a whole page, producing one output block.
+/// In kCompiled mode evaluation is columnar: literals become RLE blocks,
+/// column refs pass input blocks through unchanged (preserving lazy and
+/// dictionary encodings for downstream fast paths), and kCall nodes run
+/// their vectorized kernels.
+class ExprEvaluator {
+ public:
+  ExprEvaluator(ExprPtr expr, EvalMode mode)
+      : expr_(std::move(expr)), mode_(mode) {}
+
+  const ExprPtr& expr() const { return expr_; }
+  EvalMode mode() const { return mode_; }
+
+  Result<BlockPtr> Eval(const Page& input) const;
+
+ private:
+  Result<BlockPtr> EvalVector(const Expr& expr, const Page& input) const;
+
+  ExprPtr expr_;
+  EvalMode mode_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXPR_EVALUATOR_H_

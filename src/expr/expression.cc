@@ -1,0 +1,261 @@
+#include "expr/expression.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "expr/function_registry.h"
+
+namespace presto {
+
+ExprPtr Expr::MakeColumn(int index, TypeKind type) {
+  auto e = std::make_shared<Expr>(ExprKind::kColumnRef, type);
+  e->column_ = index;
+  return e;
+}
+
+ExprPtr Expr::MakeLiteral(Value value) {
+  auto e = std::make_shared<Expr>(ExprKind::kLiteral, value.type());
+  e->literal_ = std::move(value);
+  return e;
+}
+
+ExprPtr Expr::MakeCall(const ScalarFunction* fn, std::vector<ExprPtr> children) {
+  PRESTO_CHECK(fn != nullptr);
+  auto e = std::make_shared<Expr>(ExprKind::kCall, fn->return_type);
+  e->function_ = fn;
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::MakeCast(TypeKind target, ExprPtr input) {
+  auto e = std::make_shared<Expr>(ExprKind::kCast, target);
+  e->children_ = {std::move(input)};
+  return e;
+}
+
+ExprPtr Expr::MakeAnd(std::vector<ExprPtr> children) {
+  auto e = std::make_shared<Expr>(ExprKind::kAnd, TypeKind::kBoolean);
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::MakeOr(std::vector<ExprPtr> children) {
+  auto e = std::make_shared<Expr>(ExprKind::kOr, TypeKind::kBoolean);
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::MakeCase(std::vector<ExprPtr> children, bool has_else,
+                       TypeKind type) {
+  auto e = std::make_shared<Expr>(ExprKind::kCase, type);
+  e->children_ = std::move(children);
+  e->has_else_ = has_else;
+  return e;
+}
+
+ExprPtr Expr::MakeIn(std::vector<ExprPtr> children) {
+  auto e = std::make_shared<Expr>(ExprKind::kIn, TypeKind::kBoolean);
+  e->children_ = std::move(children);
+  return e;
+}
+
+ExprPtr Expr::MakeIsNull(ExprPtr input) {
+  auto e = std::make_shared<Expr>(ExprKind::kIsNull, TypeKind::kBoolean);
+  e->children_ = {std::move(input)};
+  return e;
+}
+
+ExprPtr Expr::MakeCoalesce(std::vector<ExprPtr> children, TypeKind type) {
+  auto e = std::make_shared<Expr>(ExprKind::kCoalesce, type);
+  e->children_ = std::move(children);
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return "#" + std::to_string(column_);
+    case ExprKind::kLiteral:
+      return literal_.ToString();
+    case ExprKind::kCall: {
+      // Infix rendering for the common operators.
+      static const struct {
+        const char* fn;
+        const char* op;
+      } kInfix[] = {{"plus", " + "},   {"minus", " - "}, {"multiply", " * "},
+                    {"divide", " / "}, {"modulus", " % "}, {"eq", " = "},
+                    {"neq", " <> "},   {"lt", " < "},    {"lte", " <= "},
+                    {"gt", " > "},     {"gte", " >= "}};
+      if (children_.size() == 2) {
+        for (const auto& inf : kInfix) {
+          if (function_->name == inf.fn) {
+            return "(" + children_[0]->ToString() + inf.op +
+                   children_[1]->ToString() + ")";
+          }
+        }
+      }
+      std::string out = function_->name + "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kCast:
+      return "CAST(" + children_[0]->ToString() + " AS " +
+             TypeToString(type_) + ")";
+    case ExprKind::kAnd:
+    case ExprKind::kOr: {
+      std::string sep = kind_ == ExprKind::kAnd ? " AND " : " OR ";
+      std::string out = "(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += sep;
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kCase: {
+      std::string out = "CASE";
+      size_t pair_count = (children_.size() - (has_else_ ? 1 : 0)) / 2;
+      for (size_t p = 0; p < pair_count; ++p) {
+        out += " WHEN " + children_[2 * p]->ToString() + " THEN " +
+               children_[2 * p + 1]->ToString();
+      }
+      if (has_else_) out += " ELSE " + children_.back()->ToString();
+      return out + " END";
+    }
+    case ExprKind::kIn: {
+      std::string out = children_[0]->ToString() + " IN (";
+      for (size_t i = 1; i < children_.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kIsNull:
+      return "(" + children_[0]->ToString() + " IS NULL)";
+    case ExprKind::kCoalesce: {
+      std::string out = "coalesce(";
+      for (size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+bool IsConstantExpr(const Expr& expr) {
+  if (expr.kind() == ExprKind::kColumnRef) return false;
+  for (const auto& c : expr.children()) {
+    if (!IsConstantExpr(*c)) return false;
+  }
+  return true;
+}
+
+void CollectReferencedColumns(const Expr& expr, std::vector<int>* columns) {
+  if (expr.kind() == ExprKind::kColumnRef) {
+    if (std::find(columns->begin(), columns->end(), expr.column()) ==
+        columns->end()) {
+      columns->push_back(expr.column());
+    }
+  }
+  for (const auto& c : expr.children()) CollectReferencedColumns(*c, columns);
+  std::sort(columns->begin(), columns->end());
+}
+
+ExprPtr ExprWithChildren(const Expr& expr, std::vector<ExprPtr> children) {
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      PRESTO_CHECK(children.empty());
+      return expr.kind() == ExprKind::kColumnRef
+                 ? Expr::MakeColumn(expr.column(), expr.type())
+                 : Expr::MakeLiteral(expr.literal());
+    case ExprKind::kCall:
+      return Expr::MakeCall(expr.function(), std::move(children));
+    case ExprKind::kCast:
+      return Expr::MakeCast(expr.type(), std::move(children[0]));
+    case ExprKind::kAnd:
+      return Expr::MakeAnd(std::move(children));
+    case ExprKind::kOr:
+      return Expr::MakeOr(std::move(children));
+    case ExprKind::kCase:
+      return Expr::MakeCase(std::move(children), expr.has_else(), expr.type());
+    case ExprKind::kIn:
+      return Expr::MakeIn(std::move(children));
+    case ExprKind::kIsNull:
+      return Expr::MakeIsNull(std::move(children[0]));
+    case ExprKind::kCoalesce:
+      return Expr::MakeCoalesce(std::move(children), expr.type());
+  }
+  PRESTO_UNREACHABLE();
+}
+
+ExprPtr ReplaceColumnsWithExprs(const ExprPtr& expr,
+                                const std::vector<ExprPtr>& replacements) {
+  if (expr->kind() == ExprKind::kColumnRef) {
+    auto idx = static_cast<size_t>(expr->column());
+    PRESTO_CHECK(idx < replacements.size());
+    return replacements[idx];
+  }
+  if (expr->kind() == ExprKind::kLiteral) return expr;
+  std::vector<ExprPtr> children;
+  children.reserve(expr->children().size());
+  bool changed = false;
+  for (const auto& c : expr->children()) {
+    auto nc = ReplaceColumnsWithExprs(c, replacements);
+    changed = changed || nc != c;
+    children.push_back(std::move(nc));
+  }
+  if (!changed) return expr;
+  return ExprWithChildren(*expr, std::move(children));
+}
+
+ExprPtr RemapColumns(const ExprPtr& expr, const std::vector<int>& mapping) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef: {
+      int old = expr->column();
+      PRESTO_CHECK(old >= 0 && old < static_cast<int>(mapping.size()));
+      PRESTO_CHECK(mapping[static_cast<size_t>(old)] >= 0);
+      return Expr::MakeColumn(mapping[static_cast<size_t>(old)], expr->type());
+    }
+    case ExprKind::kLiteral:
+      return expr;
+    default: {
+      std::vector<ExprPtr> children;
+      children.reserve(expr->children().size());
+      bool changed = false;
+      for (const auto& c : expr->children()) {
+        auto nc = RemapColumns(c, mapping);
+        changed = changed || nc != c;
+        children.push_back(std::move(nc));
+      }
+      if (!changed) return expr;
+      switch (expr->kind()) {
+        case ExprKind::kCall:
+          return Expr::MakeCall(expr->function(), std::move(children));
+        case ExprKind::kCast:
+          return Expr::MakeCast(expr->type(), std::move(children[0]));
+        case ExprKind::kAnd:
+          return Expr::MakeAnd(std::move(children));
+        case ExprKind::kOr:
+          return Expr::MakeOr(std::move(children));
+        case ExprKind::kCase:
+          return Expr::MakeCase(std::move(children), expr->has_else(),
+                                expr->type());
+        case ExprKind::kIn:
+          return Expr::MakeIn(std::move(children));
+        case ExprKind::kIsNull:
+          return Expr::MakeIsNull(std::move(children[0]));
+        case ExprKind::kCoalesce:
+          return Expr::MakeCoalesce(std::move(children), expr->type());
+        default:
+          PRESTO_UNREACHABLE();
+      }
+    }
+  }
+}
+
+}  // namespace presto

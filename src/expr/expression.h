@@ -1,0 +1,104 @@
+#ifndef PRESTOCPP_EXPR_EXPRESSION_H_
+#define PRESTOCPP_EXPR_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "types/type.h"
+#include "types/value.h"
+
+namespace presto {
+
+struct ScalarFunction;
+
+/// Node kinds in the typed (post-analysis) expression IR. Most operations
+/// are kCall nodes resolved against the function registry; kinds exist only
+/// for forms with special evaluation semantics (short-circuit three-valued
+/// AND/OR, CASE branch laziness, IN null handling, null-tolerant
+/// IS NULL / COALESCE).
+enum class ExprKind : uint8_t {
+  kColumnRef,  // input column by index
+  kLiteral,    // constant Value
+  kCall,       // scalar function from the registry
+  kCast,       // type conversion; target is type()
+  kAnd,        // n-ary three-valued AND
+  kOr,         // n-ary three-valued OR
+  kCase,       // searched CASE: [c1,v1,c2,v2,...][,else]
+  kIn,         // children[0] IN children[1..]
+  kIsNull,     // children[0] IS NULL (never returns NULL itself)
+  kCoalesce,   // first non-null child
+};
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// An immutable, typed expression tree node. Produced by the analyzer;
+/// consumed by the interpreter (row-at-a-time), the compiled vectorized
+/// evaluator, and the optimizer (constant folding, pushdown analysis).
+class Expr {
+ public:
+  Expr(ExprKind kind, TypeKind type) : kind_(kind), type_(type) {}
+
+  ExprKind kind() const { return kind_; }
+  TypeKind type() const { return type_; }
+
+  /// kColumnRef: index into the input schema.
+  int column() const { return column_; }
+  /// kLiteral: the constant value.
+  const Value& literal() const { return literal_; }
+  /// kCall: the resolved function.
+  const ScalarFunction* function() const { return function_; }
+  const std::vector<ExprPtr>& children() const { return children_; }
+  /// kCase: whether an ELSE branch is present (last child).
+  bool has_else() const { return has_else_; }
+
+  /// Display form used by EXPLAIN and tests, e.g. "(#0 + 3)".
+  std::string ToString() const;
+
+  // ---- Factories ----
+  static ExprPtr MakeColumn(int index, TypeKind type);
+  static ExprPtr MakeLiteral(Value value);
+  static ExprPtr MakeCall(const ScalarFunction* fn,
+                          std::vector<ExprPtr> children);
+  static ExprPtr MakeCast(TypeKind target, ExprPtr input);
+  static ExprPtr MakeAnd(std::vector<ExprPtr> children);
+  static ExprPtr MakeOr(std::vector<ExprPtr> children);
+  static ExprPtr MakeCase(std::vector<ExprPtr> children, bool has_else,
+                          TypeKind type);
+  static ExprPtr MakeIn(std::vector<ExprPtr> children);
+  static ExprPtr MakeIsNull(ExprPtr input);
+  static ExprPtr MakeCoalesce(std::vector<ExprPtr> children, TypeKind type);
+
+ private:
+  ExprKind kind_;
+  TypeKind type_;
+  int column_ = -1;
+  Value literal_;
+  const ScalarFunction* function_ = nullptr;
+  std::vector<ExprPtr> children_;
+  bool has_else_ = false;
+};
+
+/// True if the tree contains no kColumnRef (foldable to a constant).
+bool IsConstantExpr(const Expr& expr);
+
+/// Collects the set of referenced input columns into `columns` (dedup'd,
+/// ascending).
+void CollectReferencedColumns(const Expr& expr, std::vector<int>* columns);
+
+/// Rewrites column references through `mapping` (old index -> new index);
+/// mapping[i] == -1 is a programming error for referenced columns.
+ExprPtr RemapColumns(const ExprPtr& expr, const std::vector<int>& mapping);
+
+/// Replaces each column reference #i with `replacements[i]` (used to push
+/// predicates through projections by inlining the projected expressions).
+ExprPtr ReplaceColumnsWithExprs(const ExprPtr& expr,
+                                const std::vector<ExprPtr>& replacements);
+
+/// Rebuilds `expr` with new children (same kind/metadata).
+ExprPtr ExprWithChildren(const Expr& expr, std::vector<ExprPtr> children);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXPR_EXPRESSION_H_

@@ -1,0 +1,74 @@
+#ifndef PRESTOCPP_EXPR_PAGE_PROCESSOR_H_
+#define PRESTOCPP_EXPR_PAGE_PROCESSOR_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/evaluator.h"
+#include "expr/expression.h"
+#include "vector/page.h"
+
+namespace presto {
+
+/// Applies a filter and a list of projections to pages, operating directly
+/// on compressed (dictionary/RLE) data where possible (§V-E):
+///  - a projection or filter over a dictionary-encoded column is evaluated
+///    once per dictionary entry, then rewrapped with the original indices;
+///  - when successive blocks share a dictionary, the evaluated dictionary
+///    results are reused without recomputation;
+///  - the speculation heuristic tracks rows produced vs. dictionary entries
+///    processed and stops taking the dictionary path when dictionaries stop
+///    paying for themselves (more entries than rows).
+class PageProcessor {
+ public:
+  /// Counters for the §V-E compressed-execution experiment.
+  struct Stats {
+    int64_t pages_in = 0;
+    int64_t rows_in = 0;
+    int64_t rows_out = 0;
+    int64_t dict_path_hits = 0;     // expressions evaluated via dictionary
+    int64_t dict_path_reuses = 0;   // shared-dictionary result reuse
+    int64_t rle_path_hits = 0;      // expressions evaluated once for a run
+    int64_t flat_evals = 0;         // full-width evaluations
+  };
+
+  /// `filter` may be null (no filtering). Projections define output columns.
+  PageProcessor(ExprPtr filter, std::vector<ExprPtr> projections,
+                EvalMode mode);
+
+  /// Transforms one input page into one output page (possibly empty).
+  Result<Page> Process(const Page& input);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  // Evaluates `expr` over `page`, taking dictionary/RLE fast paths when the
+  // expression depends on a single encoded column. `slot` identifies the
+  // projection for shared-dictionary reuse (-1 for the filter).
+  Result<BlockPtr> EvalWithFastPaths(const ExprPtr& expr, const Page& page,
+                                     int slot);
+
+  bool ShouldProcessDictionary(int64_t dict_size, int64_t rows) const;
+
+  ExprPtr filter_;
+  std::vector<ExprPtr> projections_;
+  EvalMode mode_;
+  Stats stats_;
+
+  // Speculation heuristic counters (§V-E).
+  int64_t dict_entries_processed_ = 0;
+  int64_t dict_rows_produced_ = 0;
+
+  // Shared-dictionary memoization: last dictionary seen per slot and the
+  // evaluated result over it.
+  struct DictCacheEntry {
+    const Block* dictionary = nullptr;
+    BlockPtr result;
+  };
+  std::vector<DictCacheEntry> dict_cache_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXPR_PAGE_PROCESSOR_H_

@@ -1,0 +1,64 @@
+#ifndef PRESTOCPP_FRAGMENT_FRAGMENTER_H_
+#define PRESTOCPP_FRAGMENT_FRAGMENTER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/plan_node.h"
+
+namespace presto {
+
+/// How the tasks of a fragment are laid out across the cluster (§IV-D2).
+enum class PartitioningKind : uint8_t {
+  kSingle,     // one task (gathers, final sorts/limits, Output)
+  kHash,       // one task per worker; input repartitioned by hash
+  kSource,     // leaf stage: tasks on (up to) every worker, driven by splits
+  kColocated,  // one task per bucket, pinned to the bucket's worker
+};
+
+const char* PartitioningKindToString(PartitioningKind kind);
+
+/// A stage of the distributed plan (§IV-C3): a subtree executed by one or
+/// more identical tasks, linked to other fragments through shuffles.
+struct PlanFragment {
+  int id = 0;
+  PlanNodePtr root;  // leaves are TableScan / Values / RemoteSource nodes
+  PartitioningKind partitioning = PartitioningKind::kSingle;
+  int bucket_count = 0;  // for kColocated
+
+  /// How this fragment's output is routed to its consumer.
+  ExchangeKind output_kind = ExchangeKind::kGather;
+  std::vector<int> output_keys;  // for kRepartition
+  int consumer = -1;             // fragment id; -1 for the root fragment
+
+  /// Fragments feeding this fragment (remote sources), in discovery order.
+  std::vector<int> inputs;
+
+  /// Phased scheduling (§IV-D1): fragments that must complete before this
+  /// fragment's leaf splits are enqueued — i.e. producers of hash-join build
+  /// sides within this fragment. Empty under all-at-once scheduling.
+  std::vector<int> build_dependencies;
+};
+
+struct FragmentedPlan {
+  std::vector<PlanFragment> fragments;  // fragments[i].id == i
+  int root_id = 0;
+
+  std::string ToString() const;
+};
+
+/// Splits an optimized logical plan into stages connected by shuffles,
+/// reasoning about partitioning properties to elide redundant shuffles
+/// (§IV-C3): an aggregation above a partitioned join on a subset of its
+/// group keys, or a co-located join, introduces no exchange at all. Also
+/// splits aggregations/TopN/Limit into partial+final pairs across shuffles
+/// (Fig. 3) and records phased-scheduling dependencies (§IV-D1).
+class Fragmenter {
+ public:
+  Result<FragmentedPlan> Fragment(const PlanNodePtr& plan);
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_FRAGMENT_FRAGMENTER_H_

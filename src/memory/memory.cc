@@ -1,0 +1,199 @@
+#include "memory/memory.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/check.h"
+
+namespace presto {
+
+void QueryMemory::Kill(const Status& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!killed_.load()) {
+    kill_reason_ = reason;
+    killed_.store(true);
+  }
+}
+
+Status QueryMemory::kill_reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return kill_reason_;
+}
+
+Status WorkerMemory::Reserve(QueryMemory* query, int64_t bytes, bool user) {
+  PRESTO_DCHECK(bytes >= 0);
+  if (query->killed()) return query->kill_reason();
+  const MemoryConfig& cfg = *config_;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  QueryUsage& usage = usage_[query];
+
+  // Per-query limits (per-node and global, user and total).
+  int64_t new_user = usage.user + (user ? bytes : 0);
+  int64_t new_total = usage.total + bytes;
+  int64_t new_global_user = query->global_user() + (user ? bytes : 0);
+  int64_t new_global_total = query->global_total() + bytes;
+  Status limit_error;
+  if (user && new_user > cfg.per_query_per_node_user) {
+    limit_error = Status::ResourceExhausted(
+        "query " + query->query_id() + " exceeded per-node user memory limit");
+  } else if (new_total > cfg.per_query_per_node_total) {
+    limit_error = Status::ResourceExhausted(
+        "query " + query->query_id() +
+        " exceeded per-node total memory limit");
+  } else if (user && new_global_user > cfg.per_query_global_user) {
+    limit_error = Status::ResourceExhausted(
+        "query " + query->query_id() + " exceeded global user memory limit");
+  } else if (new_global_total > cfg.per_query_global_total) {
+    limit_error = Status::ResourceExhausted(
+        "query " + query->query_id() + " exceeded global total memory limit");
+  }
+  if (!limit_error.ok()) {
+    lock.unlock();
+    query->Kill(limit_error);
+    return limit_error;
+  }
+
+  auto commit = [&](bool in_reserved) {
+    usage.user = new_user;
+    usage.total = new_total;
+    if (in_reserved) {
+      usage.in_reserved += bytes;
+      reserved_used_ += bytes;
+    } else {
+      general_used_ += bytes;
+    }
+    query->AddGlobal(user ? bytes : 0, bytes);
+  };
+
+  // 1. General pool.
+  if (general_used_ + bytes <= cfg.per_worker_general) {
+    commit(false);
+    return Status::OK();
+  }
+
+  // 2. Revocation (spilling): ask spillable operators — the requester's
+  // own first, then others on this worker — to free memory (§IV-F2).
+  // Several passes: an operator that is mid-update skips its Revoke (its
+  // lock is busy), so retry briefly before giving up.
+  if (cfg.enable_spill && !revocables_.empty()) {
+    lock.unlock();
+    for (int pass = 0; pass < 4; ++pass) {
+      std::vector<std::pair<QueryMemory*, Revocable*>> targets;
+      {
+        std::lock_guard<std::mutex> relock(mu_);
+        if (general_used_ + bytes <= cfg.per_worker_general) break;
+        targets = revocables_;
+      }
+      std::stable_sort(targets.begin(), targets.end(),
+                       [query](const auto& a, const auto& b) {
+                         return (a.first == query) > (b.first == query);
+                       });
+      for (const auto& [q, revocable] : targets) {
+        (void)q;
+        revocations_.fetch_add(1);
+        revocable->Revoke();
+        std::lock_guard<std::mutex> relock(mu_);
+        if (general_used_ + bytes <= cfg.per_worker_general) break;
+      }
+      {
+        std::lock_guard<std::mutex> relock(mu_);
+        if (general_used_ + bytes <= cfg.per_worker_general) break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    lock.lock();
+    // usage_ may have changed (releases during revoke); re-read.
+    QueryUsage& usage2 = usage_[query];
+    new_user = usage2.user + (user ? bytes : 0);
+    new_total = usage2.total + bytes;
+    if (general_used_ + bytes <= cfg.per_worker_general) {
+      usage2.user = new_user;
+      usage2.total = new_total;
+      general_used_ += bytes;
+      query->AddGlobal(user ? bytes : 0, bytes);
+      return Status::OK();
+    }
+  }
+
+  // 3. Reserved pool promotion: a single query cluster-wide may overflow
+  // into the reserved pool.
+  if (cfg.enable_reserved_pool &&
+      (reserved_owner_ == nullptr || reserved_owner_ == query) &&
+      reserved_used_ + bytes <= cfg.per_worker_reserved) {
+    reserved_owner_ = query;
+    commit(true);
+    return Status::OK();
+  }
+
+  // 4. Kill. (Production Presto can instead stall other queries; killing
+  // keeps this simulation deadlock-free and is the documented policy.)
+  Status error = Status::ResourceExhausted(
+      "worker " + std::to_string(worker_id_) +
+      " out of memory (general pool exhausted; reserved pool " +
+      (reserved_owner_ != nullptr ? "occupied" : "insufficient") + ")");
+  lock.unlock();
+  query->Kill(error);
+  return error;
+}
+
+void WorkerMemory::Release(QueryMemory* query, int64_t bytes, bool user) {
+  PRESTO_DCHECK(bytes >= 0);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = usage_.find(query);
+  if (it == usage_.end()) return;
+  QueryUsage& usage = it->second;
+  int64_t from_reserved = std::min(bytes, usage.in_reserved);
+  int64_t from_general = bytes - from_reserved;
+  usage.in_reserved -= from_reserved;
+  reserved_used_ -= from_reserved;
+  general_used_ -= from_general;
+  usage.total -= bytes;
+  if (user) usage.user -= bytes;
+  query->AddGlobal(user ? -bytes : 0, -bytes);
+  if (reserved_owner_ == query && usage.in_reserved == 0) {
+    // Query vacated the reserved pool; unblock it for others.
+    bool any_reserved = false;
+    for (const auto& [q, u] : usage_) {
+      if (u.in_reserved > 0) {
+        any_reserved = true;
+        break;
+      }
+    }
+    if (!any_reserved) reserved_owner_ = nullptr;
+  }
+  if (usage.total == 0 && usage.user == 0) usage_.erase(it);
+}
+
+void WorkerMemory::RegisterRevocable(QueryMemory* query,
+                                     Revocable* revocable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  revocables_.emplace_back(query, revocable);
+}
+
+void WorkerMemory::UnregisterRevocable(Revocable* revocable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  revocables_.erase(
+      std::remove_if(revocables_.begin(), revocables_.end(),
+                     [revocable](const auto& entry) {
+                       return entry.second == revocable;
+                     }),
+      revocables_.end());
+}
+
+int64_t WorkerMemory::general_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return general_used_;
+}
+
+int64_t WorkerMemory::reserved_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_used_;
+}
+
+const QueryMemory* WorkerMemory::reserved_owner() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reserved_owner_;
+}
+
+}  // namespace presto

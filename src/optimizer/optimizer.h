@@ -1,0 +1,42 @@
+#ifndef PRESTOCPP_OPTIMIZER_OPTIMIZER_H_
+#define PRESTOCPP_OPTIMIZER_OPTIMIZER_H_
+
+#include "common/status.h"
+#include "connector/connector.h"
+#include "plan/plan_node.h"
+
+namespace presto {
+
+/// Optimizer configuration. The Fig. 6 experiment toggles `enable_cbo` to
+/// contrast the "no stats" and "table/column stats" configurations.
+struct OptimizerOptions {
+  bool enable_constant_folding = true;
+  bool enable_predicate_pushdown = true;
+  bool enable_column_pruning = true;
+  bool enable_cbo = true;  // join re-ordering + join strategy selection
+  /// Build sides estimated below this size are broadcast (§IV-C join
+  /// strategy selection).
+  double broadcast_threshold_bytes = 8.0 * 1024 * 1024;
+};
+
+/// Rule-based plan optimizer (§IV-C): evaluates transformation passes
+/// greedily until a fixed point. Implements predicate pushdown (including
+/// into connectors via the pushdown API), column pruning, constant folding,
+/// identity-project removal, and the paper's two cost-based optimizations:
+/// join re-ordering and join strategy (broadcast/partitioned/co-located)
+/// selection driven by connector statistics.
+class Optimizer {
+ public:
+  Optimizer(const Catalog* catalog, OptimizerOptions options = {})
+      : catalog_(catalog), options_(options) {}
+
+  Result<PlanNodePtr> Optimize(PlanNodePtr plan);
+
+ private:
+  const Catalog* catalog_;
+  OptimizerOptions options_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,296 @@
+#include "optimizer/stats_estimator.h"
+
+#include "expr/function_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace presto {
+
+namespace {
+
+// Per-column estimate bundle propagated bottom-up.
+struct Estimate {
+  double rows = -1;
+  std::vector<double> ndv;  // per output column; -1 unknown
+  double avg_row_bytes = 0;
+
+  bool known() const { return rows >= 0; }
+};
+
+double TypeWidth(TypeKind t) {
+  switch (t) {
+    case TypeKind::kBoolean:
+      return 1;
+    case TypeKind::kVarchar:
+      return 24;
+    default:
+      return 8;
+  }
+}
+
+double ColumnNdv(const Estimate& est, int col) {
+  if (col < 0 || static_cast<size_t>(col) >= est.ndv.size()) return -1;
+  return est.ndv[static_cast<size_t>(col)];
+}
+
+// Selectivity of a bound predicate given child column NDVs.
+double Selectivity(const Expr& expr, const Estimate& child) {
+  switch (expr.kind()) {
+    case ExprKind::kAnd: {
+      double s = 1.0;
+      for (const auto& c : expr.children()) s *= Selectivity(*c, child);
+      return s;
+    }
+    case ExprKind::kOr: {
+      double s = 0.0;
+      for (const auto& c : expr.children()) s += Selectivity(*c, child);
+      return std::min(1.0, s);
+    }
+    case ExprKind::kCall: {
+      const std::string& name = expr.function()->name;
+      if (name == "not") {
+        return std::max(0.0, 1.0 - Selectivity(*expr.children()[0], child));
+      }
+      auto column_of = [](const Expr& e) -> int {
+        if (e.kind() == ExprKind::kColumnRef) return e.column();
+        if (e.kind() == ExprKind::kCast &&
+            e.children()[0]->kind() == ExprKind::kColumnRef) {
+          return e.children()[0]->column();
+        }
+        return -1;
+      };
+      if (name == "eq" && expr.children().size() == 2) {
+        int col = column_of(*expr.children()[0]);
+        if (col < 0) col = column_of(*expr.children()[1]);
+        double ndv = ColumnNdv(child, col);
+        if (ndv > 0) return 1.0 / ndv;
+        return 0.05;
+      }
+      if (name == "lt" || name == "lte" || name == "gt" || name == "gte") {
+        return 1.0 / 3.0;
+      }
+      if (name == "neq") return 0.9;
+      if (name == "like") return 0.25;
+      return 1.0 / 3.0;
+    }
+    case ExprKind::kIn: {
+      int col = expr.children()[0]->kind() == ExprKind::kColumnRef
+                    ? expr.children()[0]->column()
+                    : -1;
+      double ndv = ColumnNdv(child, col);
+      double k = static_cast<double>(expr.children().size() - 1);
+      if (ndv > 0) return std::min(1.0, k / ndv);
+      return std::min(1.0, 0.05 * k);
+    }
+    case ExprKind::kIsNull:
+      return 0.1;
+    case ExprKind::kLiteral:
+      if (!expr.literal().is_null() &&
+          expr.literal().type() == TypeKind::kBoolean) {
+        return expr.literal().AsBoolean() ? 1.0 : 0.0;
+      }
+      return 1.0;
+    default:
+      return 1.0 / 3.0;
+  }
+}
+
+Estimate EstimateNode(const PlanNode& node);
+
+Estimate EstimateScan(const TableScanNode& scan) {
+  Estimate est;
+  const TableStats& stats = scan.stats();
+  if (!stats.valid()) {
+    est.rows = -1;
+    return est;
+  }
+  est.rows = static_cast<double>(stats.row_count);
+  double width = 0;
+  const RowSchema& table_schema = scan.table()->schema();
+  for (int ordinal : scan.columns()) {
+    const auto& col = table_schema.at(static_cast<size_t>(ordinal));
+    width += TypeWidth(col.type);
+    auto it = stats.columns.find(col.name);
+    est.ndv.push_back(it != stats.columns.end()
+                          ? static_cast<double>(it->second.distinct_values)
+                          : -1);
+  }
+  est.avg_row_bytes = width;
+  // Account for pushed-down predicates.
+  for (const auto& pred : scan.predicates()) {
+    double sel = 1.0 / 3.0;
+    auto idx = scan.output().IndexOf(pred.column);
+    double ndv = idx.has_value() ? ColumnNdv(est, static_cast<int>(*idx)) : -1;
+    switch (pred.op) {
+      case ColumnPredicate::Op::kEq:
+        sel = ndv > 0 ? 1.0 / ndv : 0.05;
+        break;
+      case ColumnPredicate::Op::kIn:
+        sel = ndv > 0 ? std::min(1.0, static_cast<double>(pred.values.size()) /
+                                          ndv)
+                      : 0.1;
+        break;
+      case ColumnPredicate::Op::kNeq:
+        sel = 0.9;
+        break;
+      default:
+        sel = 1.0 / 3.0;
+    }
+    est.rows *= sel;
+  }
+  return est;
+}
+
+Estimate EstimateNode(const PlanNode& node) {
+  switch (node.kind()) {
+    case PlanNodeKind::kTableScan:
+      return EstimateScan(static_cast<const TableScanNode&>(node));
+    case PlanNodeKind::kValues: {
+      Estimate est;
+      est.rows = static_cast<double>(
+          static_cast<const ValuesNode&>(node).rows().size());
+      est.avg_row_bytes = 16;
+      return est;
+    }
+    case PlanNodeKind::kFilter: {
+      Estimate child = EstimateNode(*node.child());
+      if (!child.known()) return child;
+      const auto& filter = static_cast<const FilterNode&>(node);
+      Estimate est = child;
+      est.rows = child.rows * Selectivity(*filter.predicate(), child);
+      for (auto& n : est.ndv) {
+        if (n > est.rows) n = est.rows;
+      }
+      return est;
+    }
+    case PlanNodeKind::kProject: {
+      Estimate child = EstimateNode(*node.child());
+      const auto& project = static_cast<const ProjectNode&>(node);
+      Estimate est;
+      est.rows = child.rows;
+      double width = 0;
+      for (size_t i = 0; i < project.expressions().size(); ++i) {
+        const auto& e = project.expressions()[i];
+        width += TypeWidth(e->type());
+        if (e->kind() == ExprKind::kColumnRef) {
+          est.ndv.push_back(ColumnNdv(child, e->column()));
+        } else {
+          est.ndv.push_back(-1);
+        }
+      }
+      est.avg_row_bytes = width;
+      return est;
+    }
+    case PlanNodeKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      Estimate left = EstimateNode(*join.child(0));
+      Estimate right = EstimateNode(*join.child(1));
+      Estimate est;
+      est.avg_row_bytes = left.avg_row_bytes + right.avg_row_bytes;
+      if (!left.known() || !right.known()) return est;
+      if (join.left_keys().empty()) {
+        est.rows = left.rows * right.rows;  // cross join
+      } else {
+        double max_ndv = 1;
+        for (size_t i = 0; i < join.left_keys().size(); ++i) {
+          double l = ColumnNdv(left, join.left_keys()[i]);
+          double r = ColumnNdv(right, join.right_keys()[i]);
+          max_ndv = std::max(max_ndv, std::max(l, r));
+        }
+        est.rows = left.rows * right.rows / std::max(1.0, max_ndv);
+      }
+      if (join.residual_filter() != nullptr) est.rows /= 3.0;
+      switch (join.join_type()) {
+        case sql::JoinType::kLeft:
+          est.rows = std::max(est.rows, left.rows);
+          break;
+        case sql::JoinType::kRight:
+          est.rows = std::max(est.rows, right.rows);
+          break;
+        case sql::JoinType::kFull:
+          est.rows = std::max(est.rows, left.rows + right.rows);
+          break;
+        default:
+          break;
+      }
+      for (double n : left.ndv) est.ndv.push_back(std::min(n, est.rows));
+      for (double n : right.ndv) est.ndv.push_back(std::min(n, est.rows));
+      return est;
+    }
+    case PlanNodeKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      Estimate child = EstimateNode(*node.child());
+      Estimate est;
+      est.avg_row_bytes = 8.0 * static_cast<double>(node.output().size());
+      if (!child.known()) return est;
+      if (agg.group_keys().empty()) {
+        est.rows = 1;
+      } else {
+        double groups = 1;
+        for (int k : agg.group_keys()) {
+          double ndv = ColumnNdv(child, k);
+          groups *= ndv > 0 ? ndv : 100;
+        }
+        est.rows = std::min(child.rows, groups);
+      }
+      for (size_t i = 0; i < node.output().size(); ++i) {
+        est.ndv.push_back(std::min(est.rows, est.rows));
+      }
+      return est;
+    }
+    case PlanNodeKind::kLimit: {
+      Estimate child = EstimateNode(*node.child());
+      const auto& limit = static_cast<const LimitNode&>(node);
+      if (child.known()) {
+        child.rows = std::min(child.rows, static_cast<double>(limit.n()));
+      } else {
+        child.rows = static_cast<double>(limit.n());
+      }
+      return child;
+    }
+    case PlanNodeKind::kTopN: {
+      Estimate child = EstimateNode(*node.child());
+      const auto& topn = static_cast<const TopNNode&>(node);
+      if (child.known()) {
+        child.rows = std::min(child.rows, static_cast<double>(topn.n()));
+      } else {
+        child.rows = static_cast<double>(topn.n());
+      }
+      return child;
+    }
+    case PlanNodeKind::kUnionAll: {
+      Estimate est;
+      est.rows = 0;
+      bool known = true;
+      for (const auto& c : node.children()) {
+        Estimate ce = EstimateNode(*c);
+        if (!ce.known()) {
+          known = false;
+          break;
+        }
+        est.rows += ce.rows;
+        est.avg_row_bytes = std::max(est.avg_row_bytes, ce.avg_row_bytes);
+      }
+      if (!known) est.rows = -1;
+      return est;
+    }
+    default: {
+      // Pass-through nodes (Sort, Window, Output, Exchange, TableWrite).
+      if (node.children().empty()) return Estimate{};
+      return EstimateNode(*node.child());
+    }
+  }
+}
+
+}  // namespace
+
+PlanEstimate EstimatePlan(const PlanNode& node) {
+  Estimate est = EstimateNode(node);
+  PlanEstimate out;
+  out.rows = est.rows;
+  out.avg_row_bytes = est.avg_row_bytes;
+  return out;
+}
+
+}  // namespace presto

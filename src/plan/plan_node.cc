@@ -1,0 +1,195 @@
+#include "plan/plan_node.h"
+
+#include "common/string_utils.h"
+
+namespace presto {
+
+namespace {
+
+void PrintTree(const PlanNode& node, int indent, std::string* out) {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  *out += node.Label();
+  *out += "  => ";
+  *out += node.output().ToString();
+  *out += "\n";
+  for (const auto& child : node.children()) {
+    PrintTree(*child, indent + 1, out);
+  }
+}
+
+std::string KeyList(const std::vector<int>& keys) {
+  std::vector<std::string> parts;
+  parts.reserve(keys.size());
+  for (int k : keys) parts.push_back("#" + std::to_string(k));
+  return Join(parts, ", ");
+}
+
+std::string SortKeyList(const std::vector<SortKey>& keys) {
+  std::vector<std::string> parts;
+  parts.reserve(keys.size());
+  for (const auto& k : keys) {
+    parts.push_back("#" + std::to_string(k.column) +
+                    (k.ascending ? " ASC" : " DESC"));
+  }
+  return Join(parts, ", ");
+}
+
+}  // namespace
+
+std::string PlanToString(const PlanNode& root) {
+  std::string out;
+  PrintTree(root, 0, &out);
+  return out;
+}
+
+std::string TableScanNode::Label() const {
+  std::string out = "TableScan[" + connector_ + "." + table_->name();
+  if (!layout_id_.empty()) out += " layout=" + layout_id_;
+  out += "]";
+  if (!predicates_.empty()) {
+    std::vector<std::string> preds;
+    preds.reserve(predicates_.size());
+    for (const auto& p : predicates_) preds.push_back(p.ToString());
+    out += " pushed={" + Join(preds, " AND ") + "}";
+  }
+  return out;
+}
+
+std::string FilterNode::Label() const {
+  return "Filter[" + predicate_->ToString() + "]";
+}
+
+std::string ProjectNode::Label() const {
+  std::vector<std::string> parts;
+  parts.reserve(expressions_.size());
+  for (const auto& e : expressions_) parts.push_back(e->ToString());
+  return "Project[" + Join(parts, ", ") + "]";
+}
+
+std::string AggregateNode::Label() const {
+  std::string step;
+  switch (step_) {
+    case AggregationStep::kSingle:
+      step = "Single";
+      break;
+    case AggregationStep::kPartial:
+      step = "Partial";
+      break;
+    case AggregationStep::kFinal:
+      step = "Final";
+      break;
+  }
+  std::vector<std::string> aggs;
+  aggs.reserve(aggregates_.size());
+  for (const auto& a : aggregates_) aggs.push_back(a.output_name);
+  return "Aggregate(" + step + ")[keys=(" + KeyList(group_keys_) + ") aggs=(" +
+         Join(aggs, ", ") + ")]";
+}
+
+std::string JoinNode::Label() const {
+  std::string dist;
+  switch (distribution_) {
+    case JoinDistribution::kUnset:
+      dist = "";
+      break;
+    case JoinDistribution::kPartitioned:
+      dist = " dist=partitioned";
+      break;
+    case JoinDistribution::kBroadcast:
+      dist = " dist=broadcast";
+      break;
+    case JoinDistribution::kColocated:
+      dist = " dist=colocated";
+      break;
+  }
+  std::string out = std::string(sql::JoinTypeToString(join_type_)) + "Join[";
+  for (size_t i = 0; i < left_keys_.size(); ++i) {
+    if (i > 0) out += " AND ";
+    out += "#" + std::to_string(left_keys_[i]) + " = R#" +
+           std::to_string(right_keys_[i]);
+  }
+  if (residual_filter_ != nullptr) {
+    out += " residual=" + residual_filter_->ToString();
+  }
+  return out + dist + "]";
+}
+
+std::string SortNode::Label() const {
+  return "Sort[" + SortKeyList(keys_) + "]";
+}
+
+std::string TopNNode::Label() const {
+  return std::string("TopN") + (partial_ ? "(Partial)" : "") + "[" +
+         SortKeyList(keys_) + " limit=" + std::to_string(n_) + "]";
+}
+
+std::string LimitNode::Label() const {
+  return std::string("Limit") + (partial_ ? "(Partial)" : "") + "[" +
+         std::to_string(n_) + "]";
+}
+
+std::string WindowNode::Label() const {
+  std::vector<std::string> fns;
+  fns.reserve(functions_.size());
+  for (const auto& f : functions_) fns.push_back(f.output_name);
+  return "Window[partition=(" + KeyList(partition_keys_) + ") order=(" +
+         SortKeyList(order_keys_) + ") fns=(" + Join(fns, ", ") + ")]";
+}
+
+std::string ValuesNode::Label() const {
+  return "Values[" + std::to_string(rows_.size()) + " rows]";
+}
+
+std::string UnionAllNode::Label() const { return "UnionAll"; }
+
+std::string OutputNode::Label() const {
+  return "Output[" + Join(column_names_, ", ") + "]";
+}
+
+std::string TableWriteNode::Label() const {
+  return "TableWrite[" + connector_ + "." + table_->name() + "]";
+}
+
+std::string RemoteSourceNode::Label() const {
+  std::string kind;
+  switch (exchange_kind_) {
+    case ExchangeKind::kGather:
+      kind = "gather";
+      break;
+    case ExchangeKind::kRepartition:
+      kind = "repartition";
+      break;
+    case ExchangeKind::kBroadcast:
+      kind = "broadcast";
+      break;
+    case ExchangeKind::kRoundRobin:
+      kind = "round-robin";
+      break;
+  }
+  return "RemoteSource[fragment=" + std::to_string(source_fragment_) + " " +
+         kind + "]";
+}
+
+std::string ExchangeNode::Label() const {
+  std::string kind;
+  switch (exchange_kind_) {
+    case ExchangeKind::kGather:
+      kind = "gather";
+      break;
+    case ExchangeKind::kRepartition:
+      kind = "repartition";
+      break;
+    case ExchangeKind::kBroadcast:
+      kind = "broadcast";
+      break;
+    case ExchangeKind::kRoundRobin:
+      kind = "round-robin";
+      break;
+  }
+  std::string scope = scope_ == ExchangeScope::kRemote ? "Remote" : "Local";
+  std::string out = scope + "Exchange[" + kind;
+  if (!partition_keys_.empty()) out += " keys=(" + KeyList(partition_keys_) + ")";
+  return out + "]";
+}
+
+}  // namespace presto

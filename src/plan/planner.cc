@@ -1,0 +1,782 @@
+#include "plan/planner.h"
+
+#include <algorithm>
+
+#include "common/string_utils.h"
+#include "expr/function_registry.h"
+
+namespace presto {
+
+namespace {
+
+using sql::AstExpr;
+using sql::AstExprKind;
+using sql::AstExprPtr;
+using sql::ExprBinder;
+using sql::Scope;
+using sql::SelectStmt;
+using sql::TableRef;
+using sql::TableRefKind;
+
+// Deep copy of an AST expression tree.
+AstExprPtr CloneAst(const AstExpr& ast) {
+  auto copy = std::make_shared<AstExpr>(ast);
+  copy->children.clear();
+  for (const auto& c : ast.children) copy->children.push_back(CloneAst(*c));
+  if (ast.window != nullptr) {
+    auto w = std::make_shared<sql::WindowSpec>();
+    for (const auto& p : ast.window->partition_by) {
+      w->partition_by.push_back(CloneAst(*p));
+    }
+    for (const auto& [k, asc] : ast.window->order_by) {
+      w->order_by.emplace_back(CloneAst(*k), asc);
+    }
+    copy->window = std::move(w);
+  }
+  return copy;
+}
+
+// A substitution target: an AST shape to be replaced by a synthetic column.
+struct Substitution {
+  const AstExpr* pattern;
+  std::string synthetic_name;  // identifier to substitute
+  // For identifier patterns: the resolved base-scope index, so that `a` and
+  // `t.a` match when they refer to the same column.
+  int resolved_column = -1;
+};
+
+bool MatchesPattern(const AstExpr& ast, const Substitution& sub,
+                    const Scope* base_scope) {
+  if (sql::AstExprEquals(ast, *sub.pattern)) return true;
+  if (sub.resolved_column >= 0 && ast.kind == AstExprKind::kIdentifier &&
+      base_scope != nullptr) {
+    auto r = base_scope->Resolve(ast.parts);
+    if (r.ok() && *r == sub.resolved_column) return true;
+  }
+  return false;
+}
+
+// Clones `ast`, replacing any subtree matching a substitution with an
+// identifier referring to the synthetic aggregate/window output scope.
+AstExprPtr SubstituteAst(const AstExpr& ast,
+                         const std::vector<Substitution>& subs,
+                         const Scope* base_scope) {
+  for (const auto& sub : subs) {
+    if (MatchesPattern(ast, sub, base_scope)) {
+      auto id = std::make_shared<AstExpr>();
+      id->kind = AstExprKind::kIdentifier;
+      id->parts = {sub.synthetic_name};
+      return id;
+    }
+  }
+  auto copy = std::make_shared<AstExpr>(ast);
+  copy->children.clear();
+  for (const auto& c : ast.children) {
+    copy->children.push_back(SubstituteAst(*c, subs, base_scope));
+  }
+  return copy;
+}
+
+// Derives an output column name for a select item.
+std::string DeriveName(const AstExpr& expr, size_t index) {
+  if (expr.kind == AstExprKind::kIdentifier) return expr.parts.back();
+  if (expr.kind == AstExprKind::kFunctionCall) {
+    return ToLowerAscii(expr.function_name);
+  }
+  return "_col" + std::to_string(index);
+}
+
+// Splits an expression into top-level AND conjuncts.
+void SplitConjunctsAst(const AstExprPtr& expr,
+                       std::vector<AstExprPtr>* conjuncts) {
+  if (expr->kind == AstExprKind::kBinaryOp && expr->op == "and") {
+    SplitConjunctsAst(expr->children[0], conjuncts);
+    SplitConjunctsAst(expr->children[1], conjuncts);
+    return;
+  }
+  conjuncts->push_back(expr);
+}
+
+}  // namespace
+
+Result<PlanNodePtr> Planner::Plan(const sql::Statement& stmt) {
+  PRESTO_ASSIGN_OR_RETURN(RelationPlan query, PlanQuery(*stmt.select));
+  if (stmt.kind == sql::StatementKind::kSelect) {
+    std::vector<std::string> names;
+    for (const auto& col : query.node->output().columns()) {
+      names.push_back(col.name);
+    }
+    return PlanNodePtr(std::make_shared<OutputNode>(NewId(), std::move(names),
+                                                    query.node));
+  }
+  return PlanWrite(stmt, std::move(query));
+}
+
+Result<PlanNodePtr> Planner::PlanWrite(const sql::Statement& stmt,
+                                       RelationPlan query) {
+  // Resolve target connector + table name.
+  std::string connector_name;
+  std::string table_name;
+  if (stmt.target_name.size() == 1) {
+    connector_name = catalog_->default_name();
+    table_name = stmt.target_name[0];
+  } else if (stmt.target_name.size() == 2) {
+    connector_name = stmt.target_name[0];
+    table_name = stmt.target_name[1];
+  } else {
+    return Status::InvalidArgument("invalid table name");
+  }
+  PRESTO_ASSIGN_OR_RETURN(Connector * connector,
+                          catalog_->Get(connector_name));
+
+  TableHandlePtr target;
+  if (stmt.kind == sql::StatementKind::kCreateTableAs) {
+    PRESTO_ASSIGN_OR_RETURN(
+        target, connector->metadata().BeginCreateTable(
+                    table_name, query.node->output()));
+  } else {
+    PRESTO_ASSIGN_OR_RETURN(target,
+                            connector->metadata().GetTable(table_name));
+    // Schema compatibility: positional, with implicit coercions.
+    const RowSchema& src = query.node->output();
+    const RowSchema& dst = target->schema();
+    if (src.size() != dst.size()) {
+      return Status::InvalidArgument(
+          "INSERT column count mismatch: query produces " +
+          std::to_string(src.size()) + " columns, table has " +
+          std::to_string(dst.size()));
+    }
+    bool needs_cast = false;
+    for (size_t i = 0; i < src.size(); ++i) {
+      if (src.at(i).type != dst.at(i).type) {
+        if (!IsImplicitlyCoercible(src.at(i).type, dst.at(i).type)) {
+          return Status::InvalidArgument(
+              "INSERT type mismatch for column " + dst.at(i).name);
+        }
+        needs_cast = true;
+      }
+    }
+    if (needs_cast) {
+      std::vector<ExprPtr> exprs;
+      RowSchema schema;
+      for (size_t i = 0; i < src.size(); ++i) {
+        ExprPtr col = Expr::MakeColumn(static_cast<int>(i), src.at(i).type);
+        if (src.at(i).type != dst.at(i).type) {
+          col = Expr::MakeCast(dst.at(i).type, std::move(col));
+        }
+        exprs.push_back(std::move(col));
+        schema.Add(dst.at(i).name, dst.at(i).type);
+      }
+      query.node = std::make_shared<ProjectNode>(NewId(), std::move(exprs),
+                                                 std::move(schema),
+                                                 query.node);
+    }
+  }
+  RowSchema write_output;
+  write_output.Add("rows", TypeKind::kBigint);
+  auto write = std::make_shared<TableWriteNode>(
+      NewId(), connector_name, std::move(target), write_output, query.node);
+  // Each writer task emits its own row count; a global SUM produces the
+  // single "rows written" result the client sees.
+  PRESTO_ASSIGN_OR_RETURN(AggregateSignature sum_sig,
+                          ResolveAggregate("sum", TypeKind::kBigint, false));
+  auto total = std::make_shared<AggregateNode>(
+      NewId(), AggregationStep::kSingle, std::vector<int>{},
+      std::vector<AggregateCall>{{sum_sig, 0, "rows"}}, write_output,
+      std::move(write));
+  return PlanNodePtr(std::make_shared<OutputNode>(
+      NewId(), std::vector<std::string>{"rows"}, std::move(total)));
+}
+
+Result<Planner::RelationPlan> Planner::PlanQuery(const SelectStmt& stmt) {
+  PRESTO_ASSIGN_OR_RETURN(RelationPlan plan, PlanQuerySpec(stmt));
+
+  // UNION ALL chain: unify schemas with implicit coercions.
+  if (stmt.union_next != nullptr) {
+    std::vector<RelationPlan> branches;
+    branches.push_back(plan);
+    const SelectStmt* next = stmt.union_next.get();
+    while (next != nullptr) {
+      PRESTO_ASSIGN_OR_RETURN(RelationPlan b, PlanQuerySpec(*next));
+      branches.push_back(std::move(b));
+      next = next->union_next.get();
+    }
+    size_t width = branches[0].node->output().size();
+    RowSchema unified = branches[0].node->output();
+    for (const auto& b : branches) {
+      if (b.node->output().size() != width) {
+        return Status::InvalidArgument(
+            "UNION ALL branches have different column counts");
+      }
+    }
+    std::vector<Column> cols(unified.columns());
+    for (size_t c = 0; c < width; ++c) {
+      TypeKind t = cols[c].type;
+      for (const auto& b : branches) {
+        auto super = CommonSuperType(t, b.node->output().at(c).type);
+        if (!super.has_value()) {
+          return Status::InvalidArgument(
+              "UNION ALL branch type mismatch for column " + cols[c].name);
+        }
+        t = *super;
+      }
+      cols[c].type = t;
+    }
+    unified = RowSchema(std::move(cols));
+    std::vector<PlanNodePtr> children;
+    for (auto& b : branches) {
+      bool needs_cast = false;
+      for (size_t c = 0; c < width; ++c) {
+        if (b.node->output().at(c).type != unified.at(c).type) {
+          needs_cast = true;
+        }
+      }
+      if (needs_cast) {
+        std::vector<ExprPtr> exprs;
+        for (size_t c = 0; c < width; ++c) {
+          ExprPtr col = Expr::MakeColumn(static_cast<int>(c),
+                                         b.node->output().at(c).type);
+          if (b.node->output().at(c).type != unified.at(c).type) {
+            col = Expr::MakeCast(unified.at(c).type, std::move(col));
+          }
+          exprs.push_back(std::move(col));
+        }
+        b.node = std::make_shared<ProjectNode>(NewId(), std::move(exprs),
+                                               unified, b.node);
+      }
+      children.push_back(b.node);
+    }
+    plan.node = std::make_shared<UnionAllNode>(NewId(), unified,
+                                               std::move(children));
+    Scope scope;
+    for (const auto& col : unified.columns()) {
+      scope.Add("", col.name, col.type);
+    }
+    plan.scope = std::move(scope);
+  }
+
+  // ORDER BY / LIMIT apply to the (possibly unioned) result. ORDER BY may
+  // reference output columns by name or ordinal.
+  if (!stmt.order_by.empty()) {
+    std::vector<SortKey> keys;
+    const RowSchema& out = plan.node->output();
+    for (const auto& item : stmt.order_by) {
+      const AstExpr& e = *item.expr;
+      int column = -1;
+      if (e.kind == AstExprKind::kLiteral &&
+          e.value.type() == TypeKind::kBigint) {
+        int64_t ord = e.value.AsBigint();
+        if (ord < 1 || ord > static_cast<int64_t>(out.size())) {
+          return Status::InvalidArgument("ORDER BY ordinal out of range");
+        }
+        column = static_cast<int>(ord - 1);
+      } else if (e.kind == AstExprKind::kIdentifier) {
+        auto idx = out.IndexOf(e.parts.back());
+        if (!idx.has_value()) {
+          return Status::InvalidArgument("ORDER BY column not in output: " +
+                                         e.parts.back());
+        }
+        column = static_cast<int>(*idx);
+      } else {
+        return Status::Unsupported(
+            "ORDER BY expressions must be output columns or ordinals");
+      }
+      keys.push_back({column, item.ascending});
+    }
+    if (stmt.limit.has_value()) {
+      plan.node = std::make_shared<TopNNode>(NewId(), std::move(keys),
+                                             *stmt.limit, /*partial=*/false,
+                                             plan.node);
+      return plan;
+    }
+    plan.node = std::make_shared<SortNode>(NewId(), std::move(keys),
+                                           plan.node);
+  }
+  if (stmt.limit.has_value()) {
+    plan.node = std::make_shared<LimitNode>(NewId(), *stmt.limit,
+                                            /*partial=*/false, plan.node);
+  }
+  return plan;
+}
+
+Result<Planner::RelationPlan> Planner::PlanTableRef(const TableRef& ref) {
+  switch (ref.kind) {
+    case TableRefKind::kNamed:
+      return PlanNamedTable(ref);
+    case TableRefKind::kSubquery: {
+      PRESTO_ASSIGN_OR_RETURN(RelationPlan inner, PlanQuery(*ref.subquery));
+      Scope scope;
+      for (const auto& col : inner.node->output().columns()) {
+        scope.Add(ref.alias, col.name, col.type);
+      }
+      inner.scope = std::move(scope);
+      return inner;
+    }
+    case TableRefKind::kJoin:
+      return PlanJoin(ref);
+  }
+  return Status::Internal("unhandled table ref kind");
+}
+
+Result<Planner::RelationPlan> Planner::PlanNamedTable(const TableRef& ref) {
+  std::string connector_name;
+  std::string table_name;
+  if (ref.name_parts.size() == 1) {
+    connector_name = catalog_->default_name();
+    table_name = ref.name_parts[0];
+  } else if (ref.name_parts.size() == 2) {
+    connector_name = ref.name_parts[0];
+    table_name = ref.name_parts[1];
+  } else {
+    return Status::InvalidArgument("invalid table name: " +
+                                   Join(ref.name_parts, "."));
+  }
+  PRESTO_ASSIGN_OR_RETURN(Connector * connector,
+                          catalog_->Get(connector_name));
+  PRESTO_ASSIGN_OR_RETURN(TableHandlePtr table,
+                          connector->metadata().GetTable(table_name));
+  TableStats stats;
+  if (auto s = connector->metadata().GetStats(*table); s.ok()) {
+    stats = *s;
+  }
+  const RowSchema& schema = table->schema();
+  std::vector<int> columns;
+  for (size_t i = 0; i < schema.size(); ++i) {
+    columns.push_back(static_cast<int>(i));
+  }
+  auto scan = std::make_shared<TableScanNode>(
+      NewId(), connector_name, table, std::move(columns), schema,
+      std::vector<ColumnPredicate>{}, /*layout_id=*/"", std::move(stats));
+  std::string qualifier = ref.alias.empty() ? table_name : ref.alias;
+  Scope scope;
+  for (const auto& col : schema.columns()) {
+    scope.Add(qualifier, col.name, col.type);
+  }
+  return RelationPlan{std::move(scan), std::move(scope)};
+}
+
+Result<Planner::RelationPlan> Planner::PlanJoin(const TableRef& ref) {
+  PRESTO_ASSIGN_OR_RETURN(RelationPlan left, PlanTableRef(*ref.left));
+  PRESTO_ASSIGN_OR_RETURN(RelationPlan right, PlanTableRef(*ref.right));
+  const auto left_width = static_cast<int>(left.node->output().size());
+
+  // Combined scope (left columns then right columns).
+  Scope combined;
+  for (const auto& col : left.scope.columns()) {
+    combined.Add(col.qualifier, col.name, col.type);
+  }
+  for (const auto& col : right.scope.columns()) {
+    combined.Add(col.qualifier, col.name, col.type);
+  }
+
+  RowSchema output;
+  for (const auto& col : left.node->output().columns()) {
+    output.Add(col.name, col.type);
+  }
+  for (const auto& col : right.node->output().columns()) {
+    output.Add(col.name, col.type);
+  }
+
+  std::vector<int> left_keys;
+  std::vector<int> right_keys;
+  ExprPtr residual;
+  std::vector<int> scope_hidden_right_keys;  // for USING
+
+  if (ref.join_type != sql::JoinType::kCross) {
+    if (!ref.using_columns.empty()) {
+      for (const auto& name : ref.using_columns) {
+        PRESTO_ASSIGN_OR_RETURN(int l, left.scope.Resolve({name}));
+        PRESTO_ASSIGN_OR_RETURN(int r, right.scope.Resolve({name}));
+        left_keys.push_back(l);
+        right_keys.push_back(r);
+        scope_hidden_right_keys.push_back(r + left_width);
+      }
+    } else if (ref.on_condition != nullptr) {
+      std::vector<AstExprPtr> conjuncts;
+      SplitConjunctsAst(ref.on_condition, &conjuncts);
+      ExprBinder binder(&combined);
+      std::vector<ExprPtr> residual_conjuncts;
+      for (const auto& conj : conjuncts) {
+        // Equi conjunct: col = col with sides from different inputs.
+        bool is_equi = false;
+        if (conj->kind == AstExprKind::kBinaryOp && conj->op == "=" &&
+            conj->children[0]->kind == AstExprKind::kIdentifier &&
+            conj->children[1]->kind == AstExprKind::kIdentifier) {
+          auto a = combined.Resolve(conj->children[0]->parts);
+          auto b = combined.Resolve(conj->children[1]->parts);
+          if (a.ok() && b.ok()) {
+            int ai = *a;
+            int bi = *b;
+            if (ai >= left_width && bi < left_width) std::swap(ai, bi);
+            if (ai < left_width && bi >= left_width) {
+              TypeKind lt = combined.columns()[static_cast<size_t>(ai)].type;
+              TypeKind rt = combined.columns()[static_cast<size_t>(bi)].type;
+              if (lt == rt) {
+                left_keys.push_back(ai);
+                right_keys.push_back(bi - left_width);
+                is_equi = true;
+              }
+            }
+          }
+        }
+        if (!is_equi) {
+          PRESTO_ASSIGN_OR_RETURN(ExprPtr bound, binder.Bind(*conj));
+          PRESTO_ASSIGN_OR_RETURN(
+              bound, ExprBinder::Coerce(std::move(bound), TypeKind::kBoolean));
+          residual_conjuncts.push_back(std::move(bound));
+        }
+      }
+      if (!residual_conjuncts.empty()) {
+        residual = residual_conjuncts.size() == 1
+                       ? residual_conjuncts[0]
+                       : Expr::MakeAnd(std::move(residual_conjuncts));
+      }
+      if (left_keys.empty() && ref.join_type != sql::JoinType::kInner) {
+        return Status::Unsupported(
+            "outer joins require at least one equi-join condition");
+      }
+    } else {
+      return Status::InvalidArgument("JOIN requires ON or USING");
+    }
+  }
+
+  auto join = std::make_shared<JoinNode>(
+      NewId(), ref.join_type, std::move(left_keys), std::move(right_keys),
+      std::move(residual), JoinDistribution::kUnset, std::move(output),
+      left.node, right.node);
+
+  // Scope: all columns, except that USING hides the right-side key copies.
+  Scope scope;
+  int index = 0;
+  for (const auto& col : combined.columns()) {
+    bool hidden = std::find(scope_hidden_right_keys.begin(),
+                            scope_hidden_right_keys.end(),
+                            index) != scope_hidden_right_keys.end();
+    // Hidden columns still occupy an index; register them under an
+    // unresolvable name so positions stay aligned.
+    if (hidden) {
+      scope.Add("$hidden", "$using_dup_" + std::to_string(index), col.type);
+    } else {
+      scope.Add(col.qualifier, col.name, col.type);
+    }
+    ++index;
+  }
+  return RelationPlan{std::move(join), std::move(scope)};
+}
+
+Result<Planner::RelationPlan> Planner::PlanQuerySpec(const SelectStmt& stmt) {
+  // ---- FROM ----
+  RelationPlan rel;
+  if (stmt.from != nullptr) {
+    PRESTO_ASSIGN_OR_RETURN(rel, PlanTableRef(*stmt.from));
+  } else {
+    // SELECT without FROM: single empty row.
+    rel.node = std::make_shared<ValuesNode>(
+        NewId(), RowSchema{}, std::vector<std::vector<Value>>{{}});
+  }
+
+  // ---- WHERE ----
+  if (stmt.where != nullptr) {
+    if (sql::ContainsAggregate(*stmt.where)) {
+      return Status::InvalidArgument("WHERE cannot contain aggregates");
+    }
+    ExprBinder binder(&rel.scope);
+    PRESTO_ASSIGN_OR_RETURN(ExprPtr predicate, binder.Bind(*stmt.where));
+    PRESTO_ASSIGN_OR_RETURN(
+        predicate, ExprBinder::Coerce(std::move(predicate),
+                                      TypeKind::kBoolean));
+    rel.node = std::make_shared<FilterNode>(NewId(), std::move(predicate),
+                                            rel.node);
+  }
+
+  // ---- Aggregation analysis ----
+  std::vector<const AstExpr*> aggregates;
+  for (const auto& item : stmt.items) {
+    if (!item.is_star) sql::CollectAggregates(*item.expr, &aggregates);
+  }
+  if (stmt.having != nullptr) {
+    sql::CollectAggregates(*stmt.having, &aggregates);
+  }
+  bool has_aggregation = !aggregates.empty() || !stmt.group_by.empty();
+
+  // Group-by expressions, with ordinal support (GROUP BY 1).
+  std::vector<AstExprPtr> group_exprs;
+  for (const auto& g : stmt.group_by) {
+    if (g->kind == AstExprKind::kLiteral &&
+        g->value.type() == TypeKind::kBigint) {
+      int64_t ord = g->value.AsBigint();
+      if (ord < 1 || ord > static_cast<int64_t>(stmt.items.size()) ||
+          stmt.items[static_cast<size_t>(ord - 1)].is_star) {
+        return Status::InvalidArgument("GROUP BY ordinal out of range");
+      }
+      group_exprs.push_back(stmt.items[static_cast<size_t>(ord - 1)].expr);
+    } else {
+      group_exprs.push_back(g);
+    }
+  }
+
+  std::vector<Substitution> substitutions;
+  Scope base_scope = rel.scope;  // scope before aggregation, for matching
+
+  if (has_aggregation) {
+    ExprBinder binder(&rel.scope);
+    // Pre-projection: group keys followed by aggregate arguments.
+    std::vector<ExprPtr> pre_exprs;
+    RowSchema pre_schema;
+    std::vector<TypeKind> key_types;
+    for (size_t k = 0; k < group_exprs.size(); ++k) {
+      if (sql::ContainsAggregate(*group_exprs[k])) {
+        return Status::InvalidArgument("GROUP BY cannot contain aggregates");
+      }
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr bound, binder.Bind(*group_exprs[k]));
+      key_types.push_back(bound->type());
+      pre_schema.Add("$key" + std::to_string(k), bound->type());
+      pre_exprs.push_back(std::move(bound));
+    }
+    std::vector<AggregateCall> calls;
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      const AstExpr& agg = *aggregates[a];
+      std::optional<TypeKind> arg_type;
+      int arg_column = -1;
+      if (!agg.children.empty() &&
+          agg.children[0]->kind != AstExprKind::kStar) {
+        if (agg.children.size() != 1) {
+          return Status::Unsupported(
+              "aggregates take exactly one argument");
+        }
+        PRESTO_ASSIGN_OR_RETURN(ExprPtr bound, binder.Bind(*agg.children[0]));
+        arg_type = bound->type();
+        arg_column = static_cast<int>(pre_exprs.size());
+        pre_schema.Add("$arg" + std::to_string(a), bound->type());
+        pre_exprs.push_back(std::move(bound));
+      }
+      PRESTO_ASSIGN_OR_RETURN(
+          AggregateSignature sig,
+          ResolveAggregate(agg.function_name, arg_type, agg.distinct));
+      calls.push_back({sig, arg_column, "$agg" + std::to_string(a)});
+    }
+    rel.node = std::make_shared<ProjectNode>(NewId(), std::move(pre_exprs),
+                                             pre_schema, rel.node);
+    // Aggregate output schema: keys then aggregate results.
+    RowSchema agg_schema;
+    std::vector<int> group_keys;
+    for (size_t k = 0; k < group_exprs.size(); ++k) {
+      group_keys.push_back(static_cast<int>(k));
+      agg_schema.Add("$key" + std::to_string(k), key_types[k]);
+    }
+    for (const auto& call : calls) {
+      agg_schema.Add(call.output_name, call.signature.result_type);
+    }
+    rel.node = std::make_shared<AggregateNode>(
+        NewId(), AggregationStep::kSingle, std::move(group_keys),
+        std::move(calls), agg_schema, rel.node);
+
+    // Build the post-aggregation scope and substitutions.
+    Scope agg_scope;
+    for (size_t k = 0; k < group_exprs.size(); ++k) {
+      std::string name = "$key" + std::to_string(k);
+      agg_scope.Add("", name, key_types[k]);
+      Substitution sub;
+      sub.pattern = group_exprs[k].get();
+      sub.synthetic_name = name;
+      if (group_exprs[k]->kind == AstExprKind::kIdentifier) {
+        auto r = base_scope.Resolve(group_exprs[k]->parts);
+        if (r.ok()) sub.resolved_column = *r;
+      }
+      substitutions.push_back(std::move(sub));
+    }
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      std::string name = "$agg" + std::to_string(a);
+      agg_scope.Add("", name,
+                    rel.node->output().at(group_exprs.size() + a).type);
+      substitutions.push_back({aggregates[a], name, -1});
+    }
+    rel.scope = std::move(agg_scope);
+  }
+
+  // ---- HAVING ----
+  if (stmt.having != nullptr) {
+    if (!has_aggregation) {
+      return Status::InvalidArgument("HAVING requires GROUP BY or aggregates");
+    }
+    AstExprPtr substituted =
+        SubstituteAst(*stmt.having, substitutions, &base_scope);
+    ExprBinder binder(&rel.scope);
+    PRESTO_ASSIGN_OR_RETURN(ExprPtr predicate, binder.Bind(*substituted));
+    PRESTO_ASSIGN_OR_RETURN(
+        predicate,
+        ExprBinder::Coerce(std::move(predicate), TypeKind::kBoolean));
+    rel.node = std::make_shared<FilterNode>(NewId(), std::move(predicate),
+                                            rel.node);
+  }
+
+  // ---- Window functions ----
+  std::vector<const AstExpr*> window_calls;
+  for (const auto& item : stmt.items) {
+    if (!item.is_star) sql::CollectWindowCalls(*item.expr, &window_calls);
+  }
+  if (!window_calls.empty()) {
+    if (has_aggregation) {
+      return Status::Unsupported(
+          "window functions over aggregated queries are not supported");
+    }
+    // All window calls must share the same PARTITION BY / ORDER BY for the
+    // single Window node we plan (common case in the Dev/Advertiser
+    // analytics workloads).
+    const sql::WindowSpec& spec = *window_calls[0]->window;
+    for (const auto* call : window_calls) {
+      if (!call->window) continue;
+      if (call->window->partition_by.size() != spec.partition_by.size() ||
+          call->window->order_by.size() != spec.order_by.size()) {
+        return Status::Unsupported(
+            "all window functions in a query must share one window spec");
+      }
+    }
+    ExprBinder binder(&rel.scope);
+    // Pre-project: identity columns + partition keys + order keys + args.
+    std::vector<ExprPtr> pre_exprs;
+    RowSchema pre_schema;
+    int width = static_cast<int>(rel.node->output().size());
+    for (int i = 0; i < width; ++i) {
+      const auto& col = rel.node->output().at(static_cast<size_t>(i));
+      pre_exprs.push_back(Expr::MakeColumn(i, col.type));
+      pre_schema.Add(col.name, col.type);
+    }
+    auto add_expr = [&](const AstExpr& ast) -> Result<int> {
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr bound, binder.Bind(ast));
+      // Reuse identity columns for plain refs.
+      if (bound->kind() == ExprKind::kColumnRef && bound->column() < width) {
+        return bound->column();
+      }
+      int idx = static_cast<int>(pre_exprs.size());
+      pre_schema.Add("$w" + std::to_string(idx), bound->type());
+      pre_exprs.push_back(std::move(bound));
+      return idx;
+    };
+    std::vector<int> partition_keys;
+    for (const auto& p : spec.partition_by) {
+      PRESTO_ASSIGN_OR_RETURN(int idx, add_expr(*p));
+      partition_keys.push_back(idx);
+    }
+    std::vector<SortKey> order_keys;
+    for (const auto& [k, asc] : spec.order_by) {
+      PRESTO_ASSIGN_OR_RETURN(int idx, add_expr(*k));
+      order_keys.push_back({idx, asc});
+    }
+    std::vector<WindowFunction> functions;
+    for (size_t w = 0; w < window_calls.size(); ++w) {
+      const AstExpr& call = *window_calls[w];
+      std::string fname = ToLowerAscii(call.function_name);
+      WindowFunction fn;
+      fn.output_name = "$win" + std::to_string(w);
+      if (fname == "row_number") {
+        fn.kind = WindowFunction::Kind::kRowNumber;
+        fn.result_type = TypeKind::kBigint;
+      } else if (fname == "rank") {
+        fn.kind = WindowFunction::Kind::kRank;
+        fn.result_type = TypeKind::kBigint;
+      } else if (fname == "dense_rank") {
+        fn.kind = WindowFunction::Kind::kDenseRank;
+        fn.result_type = TypeKind::kBigint;
+      } else if (sql::IsAggregateFunctionName(fname)) {
+        fn.kind = WindowFunction::Kind::kAggregate;
+        std::optional<TypeKind> arg_type;
+        if (!call.children.empty() &&
+            call.children[0]->kind != AstExprKind::kStar) {
+          PRESTO_ASSIGN_OR_RETURN(int idx, add_expr(*call.children[0]));
+          fn.arg_column = idx;
+          arg_type = pre_schema.at(static_cast<size_t>(idx)).type;
+        }
+        PRESTO_ASSIGN_OR_RETURN(
+            fn.signature,
+            ResolveAggregate(fname, arg_type, call.distinct));
+        fn.result_type = fn.signature.result_type;
+      } else {
+        return Status::Unsupported("unknown window function: " + fname);
+      }
+      functions.push_back(std::move(fn));
+    }
+    rel.node = std::make_shared<ProjectNode>(NewId(), std::move(pre_exprs),
+                                             pre_schema, rel.node);
+    RowSchema window_schema = pre_schema;
+    for (const auto& fn : functions) {
+      window_schema.Add(fn.output_name, fn.result_type);
+    }
+    rel.node = std::make_shared<WindowNode>(
+        NewId(), std::move(partition_keys), std::move(order_keys), functions,
+        window_schema, rel.node);
+    // Extend the scope with synthetic window outputs and register
+    // substitutions.
+    Scope new_scope;
+    for (const auto& col : rel.scope.columns()) {
+      new_scope.Add(col.qualifier, col.name, col.type);
+    }
+    // Account for appended pre-projection columns ($w...) so scope indices
+    // align with the window node's output.
+    for (size_t i = new_scope.size(); i < pre_schema.size(); ++i) {
+      new_scope.Add("$hidden", pre_schema.at(i).name, pre_schema.at(i).type);
+    }
+    for (size_t w = 0; w < functions.size(); ++w) {
+      new_scope.Add("", functions[w].output_name, functions[w].result_type);
+      substitutions.push_back(
+          {window_calls[w], functions[w].output_name, -1});
+    }
+    rel.scope = std::move(new_scope);
+  }
+
+  // ---- SELECT items ----
+  std::vector<ExprPtr> projections;
+  RowSchema out_schema;
+  ExprBinder binder(&rel.scope);
+  for (const auto& item : stmt.items) {
+    if (item.is_star) {
+      if (has_aggregation) {
+        return Status::InvalidArgument(
+            "SELECT * cannot be used with aggregation");
+      }
+      std::vector<int> cols = rel.scope.ColumnsForQualifier(
+          item.star_qualifier);
+      // Exclude hidden columns (USING duplicates, window temps).
+      if (cols.empty()) {
+        return Status::InvalidArgument("no columns for " +
+                                       item.star_qualifier + ".*");
+      }
+      for (int c : cols) {
+        const auto& col = rel.scope.columns()[static_cast<size_t>(c)];
+        if (col.qualifier == "$hidden") continue;
+        projections.push_back(Expr::MakeColumn(c, col.type));
+        out_schema.Add(col.name, col.type);
+      }
+      continue;
+    }
+    AstExprPtr substituted =
+        SubstituteAst(*item.expr, substitutions, &base_scope);
+    PRESTO_ASSIGN_OR_RETURN(ExprPtr bound, binder.Bind(*substituted));
+    std::string name = !item.alias.empty()
+                           ? item.alias
+                           : DeriveName(*item.expr, out_schema.size());
+    out_schema.Add(name, bound->type());
+    projections.push_back(std::move(bound));
+  }
+  rel.node = std::make_shared<ProjectNode>(NewId(), std::move(projections),
+                                           out_schema, rel.node);
+  Scope out_scope;
+  for (const auto& col : out_schema.columns()) {
+    out_scope.Add("", col.name, col.type);
+  }
+  rel.scope = std::move(out_scope);
+
+  // ---- DISTINCT ----
+  if (stmt.distinct) {
+    std::vector<int> keys;
+    for (size_t i = 0; i < out_schema.size(); ++i) {
+      keys.push_back(static_cast<int>(i));
+    }
+    rel.node = std::make_shared<AggregateNode>(
+        NewId(), AggregationStep::kSingle, std::move(keys),
+        std::vector<AggregateCall>{}, out_schema, rel.node);
+  }
+  return rel;
+}
+
+}  // namespace presto

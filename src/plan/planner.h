@@ -1,0 +1,52 @@
+#ifndef PRESTOCPP_PLAN_PLANNER_H_
+#define PRESTOCPP_PLAN_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "connector/connector.h"
+#include "plan/plan_node.h"
+#include "sql/analyzer.h"
+#include "sql/ast.h"
+
+namespace presto {
+
+/// Lowers an analyzed AST into the logical plan IR (§IV-B3). The planner
+/// performs name resolution and typing via sql::ExprBinder, extracts
+/// aggregates and window functions into Aggregate/Window nodes, expands
+/// stars, desugars DISTINCT, and unifies UNION ALL branch schemas. The
+/// resulting tree is purely logical: no exchanges, no distribution choices —
+/// those are added by the optimizer and fragmenter.
+class Planner {
+ public:
+  explicit Planner(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Plans a full statement. SELECT produces Output(...); CTAS/INSERT
+  /// produce Output(TableWrite(...)).
+  Result<PlanNodePtr> Plan(const sql::Statement& stmt);
+
+ private:
+  struct RelationPlan {
+    PlanNodePtr node;
+    sql::Scope scope;  // name resolution over node->output() columns
+  };
+
+  int NewId() { return next_id_++; }
+
+  Result<RelationPlan> PlanQuery(const sql::SelectStmt& stmt);
+  Result<RelationPlan> PlanQuerySpec(const sql::SelectStmt& stmt);
+  Result<RelationPlan> PlanTableRef(const sql::TableRef& ref);
+  Result<RelationPlan> PlanNamedTable(const sql::TableRef& ref);
+  Result<RelationPlan> PlanJoin(const sql::TableRef& ref);
+
+  Result<PlanNodePtr> PlanWrite(const sql::Statement& stmt,
+                                RelationPlan query);
+
+  const Catalog* catalog_;
+  int next_id_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_PLAN_PLANNER_H_

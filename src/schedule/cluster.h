@@ -1,0 +1,87 @@
+#ifndef PRESTOCPP_SCHEDULE_CLUSTER_H_
+#define PRESTOCPP_SCHEDULE_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "exchange/exchange.h"
+#include "memory/memory.h"
+#include "schedule/task_executor.h"
+
+namespace presto {
+
+/// Configuration of the simulated cluster (§III): one coordinator plus
+/// `num_workers` workers, each with its own MLFQ executor and memory pools.
+struct ClusterConfig {
+  int num_workers = 4;
+  ExecutorConfig executor;
+  MemoryConfig memory;
+  NetworkConfig network;
+  /// Stage scheduling policy (§IV-D1): all-at-once (latency-optimal) or
+  /// phased (memory-optimal for large joins).
+  bool phased_scheduling = false;
+  /// Expression engine (§V-B ablation).
+  EvalMode eval_mode = EvalMode::kCompiled;
+  int max_drivers_per_pipeline = 2;
+  /// Lazy split enumeration batch size (§IV-D3).
+  int split_batch_size = 32;
+  /// Max splits queued per task before enumeration pauses.
+  int split_queue_soft_limit = 64;
+  int64_t exchange_buffer_bytes = 4 << 20;
+  /// Adaptive writer scaling (§IV-E3): writer stages start with one active
+  /// writer and scale up while producer buffers stay busy.
+  bool adaptive_writer_scaling = true;
+  int64_t writer_scale_up_bytes = 2 << 20;
+  /// Admission control: maximum concurrently running queries.
+  int max_concurrent_queries = 100;
+};
+
+/// One worker node: executor threads plus memory pools.
+class WorkerNode {
+ public:
+  WorkerNode(int id, const ClusterConfig& config)
+      : id_(id),
+        memory_(&config.memory, id),
+        executor_(config.executor, id) {}
+
+  int id() const { return id_; }
+  WorkerMemory& memory() { return memory_; }
+  TaskExecutor& executor() { return executor_; }
+
+ private:
+  int id_;
+  WorkerMemory memory_;
+  TaskExecutor executor_;
+};
+
+/// The simulated cluster: workers + the in-process shuffle fabric.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config)
+      : config_(std::move(config)), exchange_(config_.network) {
+    for (int i = 0; i < config_.num_workers; ++i) {
+      workers_.push_back(std::make_unique<WorkerNode>(i, config_));
+    }
+  }
+
+  const ClusterConfig& config() const { return config_; }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+  WorkerNode& worker(int i) { return *workers_[static_cast<size_t>(i)]; }
+  ExchangeManager& exchange() { return exchange_; }
+
+  /// Aggregate executor busy time across workers (Fig. 8's CPU metric).
+  int64_t total_busy_nanos() const {
+    int64_t total = 0;
+    for (const auto& w : workers_) total += w->executor().busy_nanos();
+    return total;
+  }
+
+ private:
+  ClusterConfig config_;
+  ExchangeManager exchange_;
+  std::vector<std::unique_ptr<WorkerNode>> workers_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_SCHEDULE_CLUSTER_H_

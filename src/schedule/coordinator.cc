@@ -1,0 +1,398 @@
+#include "schedule/coordinator.h"
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/stopwatch.h"
+
+namespace presto {
+
+namespace {
+
+// Collects the TableScanNodes of a fragment (by node id).
+void CollectScans(const PlanNodePtr& node,
+                  std::vector<std::shared_ptr<const TableScanNode>>* out) {
+  if (node->kind() == PlanNodeKind::kTableScan) {
+    out->push_back(std::static_pointer_cast<const TableScanNode>(node));
+  }
+  for (const auto& c : node->children()) CollectScans(c, out);
+}
+
+}  // namespace
+
+QueryExecution::~QueryExecution() {
+  // Tear down any still-running tasks (client abandoned the query) and wait
+  // for them: executor callbacks and operators reference our members.
+  if (memory_ != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (remaining_tasks_ > 0) {
+        memory_->Kill(Status::Cancelled("query abandoned"));
+        results_.Finish(Status::Cancelled("query abandoned"));
+      }
+    }
+    (void)Wait();
+  }
+  stop_split_thread_.store(true);
+  if (split_thread_.joinable()) split_thread_.join();
+  if (cluster_ != nullptr) {
+    cluster_->exchange().RemoveQuery(query_id_);
+  }
+}
+
+Status QueryExecution::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return remaining_tasks_ == 0; });
+  return final_status_;
+}
+
+void QueryExecution::Cancel(const Status& reason) {
+  memory_->Kill(reason);
+  results_.Finish(reason);
+}
+
+int64_t QueryExecution::total_cpu_nanos() const {
+  int64_t total = 0;
+  for (const auto& fragment_tasks : tasks_) {
+    for (const auto& task : fragment_tasks) {
+      total += task->cpu_nanos().load();
+    }
+  }
+  return total;
+}
+
+int QueryExecution::active_writers(int fragment) const {
+  if (fragment < 0 ||
+      static_cast<size_t>(fragment) >= active_writers_.size()) {
+    return -1;
+  }
+  const auto& counter = active_writers_[static_cast<size_t>(fragment)];
+  return counter == nullptr ? -1 : counter->load();
+}
+
+void QueryExecution::OnTaskDone(int fragment, const Status& status) {
+  // NOTE: once remaining_tasks_ hits zero, a waiter in Wait() may destroy
+  // this object the moment mu_ is released — so notify under the lock and
+  // move the completion callback out; touch no members afterwards.
+  std::function<void()> completion;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --remaining_tasks_;
+    --fragment_remaining_[static_cast<size_t>(fragment)];
+    if (fragment_remaining_[static_cast<size_t>(fragment)] == 0) {
+      fragment_done_[static_cast<size_t>(fragment)] = true;
+    }
+    if (!status.ok() && !finished_ &&
+        status.code() != StatusCode::kCancelled) {
+      final_status_ = status;
+      finished_ = true;
+      results_.Finish(status);
+      memory_->Kill(status);
+    }
+    if (fragment == plan_.root_id &&
+        fragment_done_[static_cast<size_t>(fragment)] && !finished_) {
+      // Root produced everything: complete the result stream and tear down
+      // any still-running upstream producers (e.g. after LIMIT).
+      finished_ = true;
+      results_.Finish(Status::OK());
+      memory_->Kill(Status::Cancelled("query completed"));
+    }
+    if (remaining_tasks_ == 0) {
+      if (!finished_) {
+        finished_ = true;
+        results_.Finish(final_status_);
+      }
+      completion = std::move(on_complete_);
+      on_complete_ = nullptr;
+    }
+    done_cv_.notify_all();
+  }
+  if (completion) completion();
+}
+
+void QueryExecution::SplitSchedulingLoop() {
+  const ClusterConfig& config = cluster_->config();
+  // Pending split sources: (fragment, scan node id, source, exhausted).
+  struct PendingSource {
+    int fragment;
+    int node_id;
+    std::shared_ptr<const TableScanNode> scan;
+    std::unique_ptr<SplitSource> source;
+    bool exhausted = false;
+  };
+  std::vector<PendingSource> sources;
+  for (const auto& fragment : plan_.fragments) {
+    if (fragment.partitioning != PartitioningKind::kSource &&
+        fragment.partitioning != PartitioningKind::kColocated) {
+      continue;
+    }
+    std::vector<std::shared_ptr<const TableScanNode>> scans;
+    CollectScans(fragment.root, &scans);
+    for (const auto& scan : scans) {
+      auto connector = catalog_->Get(scan->connector());
+      if (!connector.ok()) {
+        Cancel(connector.status());
+        return;
+      }
+      auto source = (*connector)->GetSplits(*scan->table(), scan->layout_id(),
+                                            scan->predicates(),
+                                            cluster_->num_workers());
+      if (!source.ok()) {
+        Cancel(source.status());
+        return;
+      }
+      sources.push_back(PendingSource{fragment.id, scan->id(), scan,
+                                      std::move(*source), false});
+    }
+  }
+  // Writer-scaling bookkeeping.
+  Stopwatch scale_timer;
+
+  auto all_deps_done = [this](const PlanFragment& fragment) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int dep : fragment.build_dependencies) {
+      if (!fragment_done_[static_cast<size_t>(dep)]) return false;
+    }
+    return true;
+  };
+
+  bool work_left = true;
+  while (!stop_split_thread_.load() && !memory_->killed()) {
+    work_left = false;
+    for (auto& pending : sources) {
+      if (pending.exhausted) continue;
+      work_left = true;
+      const PlanFragment& fragment =
+          plan_.fragments[static_cast<size_t>(pending.fragment)];
+      // Phased scheduling (§IV-D1): defer probe-side split enumeration
+      // until join build producers completed.
+      if (config.phased_scheduling && !fragment.build_dependencies.empty() &&
+          !all_deps_done(fragment)) {
+        continue;
+      }
+      auto& fragment_tasks = tasks_[static_cast<size_t>(pending.fragment)];
+      // Lazy enumeration: pause while queues are deep (§IV-D3).
+      size_t min_queue = SIZE_MAX;
+      for (const auto& task : fragment_tasks) {
+        SplitQueue* queue = task->splits(pending.node_id);
+        if (queue != nullptr) min_queue = std::min(min_queue, queue->size());
+      }
+      if (min_queue != SIZE_MAX &&
+          min_queue > static_cast<size_t>(config.split_queue_soft_limit)) {
+        continue;
+      }
+      auto batch = pending.source->NextBatch(config.split_batch_size);
+      if (!batch.ok()) {
+        Cancel(batch.status());
+        return;
+      }
+      if (batch->empty()) {
+        pending.exhausted = true;
+        for (const auto& task : fragment_tasks) {
+          SplitQueue* queue = task->splits(pending.node_id);
+          if (queue != nullptr) queue->NoMoreSplits();
+        }
+        continue;
+      }
+      for (const auto& split : *batch) {
+        int target = -1;
+        if (split->preferred_worker() >= 0 && split->hard_affinity()) {
+          // Shared-nothing placement (§IV-D2).
+          target = split->preferred_worker() %
+                   static_cast<int>(fragment_tasks.size());
+        } else {
+          // Shortest-queue assignment (§IV-D3).
+          size_t best = 0;
+          size_t best_size = SIZE_MAX;
+          for (size_t t = 0; t < fragment_tasks.size(); ++t) {
+            SplitQueue* queue = fragment_tasks[t]->splits(pending.node_id);
+            if (queue != nullptr && queue->size() < best_size) {
+              best_size = queue->size();
+              best = t;
+            }
+          }
+          target = static_cast<int>(best);
+        }
+        SplitQueue* queue =
+            fragment_tasks[static_cast<size_t>(target)]->splits(
+                pending.node_id);
+        if (queue != nullptr) queue->Add(split);
+      }
+    }
+
+    // Adaptive writer scaling (§IV-E3): while producer output buffers stay
+    // busy, activate more writer partitions.
+    if (config.adaptive_writer_scaling && scale_timer.ElapsedMillis() > 10) {
+      scale_timer.Reset();
+      for (const auto& fragment : plan_.fragments) {
+        if (fragment.output_kind != ExchangeKind::kRoundRobin) continue;
+        auto& counter = active_writers_[static_cast<size_t>(fragment.id)];
+        if (counter == nullptr) continue;
+        int consumer_tasks = static_cast<int>(
+            tasks_[static_cast<size_t>(fragment.consumer)].size());
+        if (counter->load() >= consumer_tasks) continue;
+        double utilization = 0;
+        int count = 0;
+        for (const auto& task : tasks_[static_cast<size_t>(fragment.id)]) {
+          utilization += cluster_->exchange().OutputUtilization(
+              query_id_, fragment.id, task->spec().task_index);
+          ++count;
+        }
+        if (count > 0 && utilization / count > 0.5) {
+          counter->fetch_add(1);
+        }
+      }
+      work_left = true;  // keep monitoring while the query runs
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (remaining_tasks_ == 0) return;
+    }
+    if (!work_left && !config.adaptive_writer_scaling) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+}
+
+Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
+    const std::string& query_id, FragmentedPlan plan) {
+  // Admission control: bounded concurrent queries (queueing, §III).
+  {
+    std::unique_lock<std::mutex> lock(admission_mu_);
+    admission_cv_.wait(lock, [this] {
+      return running_ < cluster_->config().max_concurrent_queries;
+    });
+    ++running_;
+  }
+
+  auto execution = std::shared_ptr<QueryExecution>(new QueryExecution());
+  execution->query_id_ = query_id;
+  execution->cluster_ = cluster_;
+  execution->catalog_ = catalog_;
+  execution->plan_ = std::move(plan);
+  execution->memory_ =
+      std::make_unique<QueryMemory>(query_id, &cluster_->config().memory);
+  execution->schema_ =
+      execution->plan_.fragments[static_cast<size_t>(
+                                     execution->plan_.root_id)]
+          .root->output();
+  execution->on_complete_ = [this] {
+    {
+      std::lock_guard<std::mutex> lock(admission_mu_);
+      --running_;
+    }
+    admission_cv_.notify_all();
+  };
+
+  const FragmentedPlan& fplan = execution->plan_;
+  const ClusterConfig& config = cluster_->config();
+  size_t num_fragments = fplan.fragments.size();
+  execution->tasks_.resize(num_fragments);
+  execution->active_writers_.resize(num_fragments);
+  execution->fragment_remaining_.assign(num_fragments, 0);
+  execution->fragment_done_.assign(num_fragments, false);
+
+  // Decide task counts per fragment.
+  std::vector<int> task_counts(num_fragments, 1);
+  for (const auto& fragment : fplan.fragments) {
+    switch (fragment.partitioning) {
+      case PartitioningKind::kSingle:
+        task_counts[static_cast<size_t>(fragment.id)] = 1;
+        break;
+      case PartitioningKind::kHash:
+      case PartitioningKind::kSource:
+      case PartitioningKind::kColocated:
+        // Leaf stages run on every worker when unconstrained (§IV-D2).
+        task_counts[static_cast<size_t>(fragment.id)] =
+            cluster_->num_workers();
+        break;
+    }
+  }
+
+  // Writer-scaling counters for round-robin producer fragments.
+  for (const auto& fragment : fplan.fragments) {
+    if (fragment.output_kind == ExchangeKind::kRoundRobin &&
+        fragment.consumer >= 0) {
+      int consumers = task_counts[static_cast<size_t>(fragment.consumer)];
+      int initial = config.adaptive_writer_scaling ? 1 : consumers;
+      execution->active_writers_[static_cast<size_t>(fragment.id)] =
+          std::make_unique<std::atomic<int>>(initial);
+    }
+  }
+
+  // Create and register tasks.
+  int single_task_worker = round_robin_worker_;
+  for (const auto& fragment : fplan.fragments) {
+    int count = task_counts[static_cast<size_t>(fragment.id)];
+    execution->fragment_remaining_[static_cast<size_t>(fragment.id)] = count;
+    execution->remaining_tasks_ += count;
+    for (int t = 0; t < count; ++t) {
+      int worker = count == 1
+                       ? (single_task_worker++ % cluster_->num_workers())
+                       : t;
+      TaskSpec spec;
+      spec.query_id = query_id;
+      spec.fragment_id = fragment.id;
+      spec.task_index = t;
+      spec.num_tasks = count;
+      spec.consumer_partitions =
+          fragment.consumer >= 0
+              ? task_counts[static_cast<size_t>(fragment.consumer)]
+              : 1;
+      spec.worker_id = worker;
+      for (int input : fragment.inputs) {
+        spec.source_task_counts[input] =
+            task_counts[static_cast<size_t>(input)];
+      }
+      TaskRuntime runtime;
+      runtime.query_memory = execution->memory_.get();
+      runtime.worker_memory = &cluster_->worker(worker).memory();
+      runtime.exchange = &cluster_->exchange();
+      runtime.catalog = catalog_;
+      runtime.eval_mode = config.eval_mode;
+      runtime.exchange_buffer_bytes = config.exchange_buffer_bytes;
+      runtime.max_drivers_per_pipeline = config.max_drivers_per_pipeline;
+      if (fragment.id == fplan.root_id) {
+        runtime.results = &execution->results_;
+      }
+      const auto& writer_counter =
+          execution->active_writers_[static_cast<size_t>(fragment.id)];
+      if (writer_counter != nullptr) {
+        runtime.active_output_partitions = writer_counter.get();
+      }
+      auto task = std::make_shared<TaskExec>(
+          spec, runtime,
+          &fplan.fragments[static_cast<size_t>(fragment.id)]);
+      PRESTO_RETURN_IF_ERROR(task->Initialize());
+      execution->tasks_[static_cast<size_t>(fragment.id)].push_back(task);
+    }
+  }
+  round_robin_worker_ = single_task_worker % cluster_->num_workers();
+
+  // Launch: register every task with its worker's executor (all-at-once;
+  // phased mode defers only split enumeration, keeping pipelines available
+  // to consume build sides without deadlocks).
+  for (const auto& fragment_tasks : execution->tasks_) {
+    for (const auto& task : fragment_tasks) {
+      int fragment = task->spec().fragment_id;
+      // Raw capture is safe: ~QueryExecution waits for every task callback
+      // before releasing the object.
+      QueryExecution* raw_exec = execution.get();
+      cluster_->worker(task->spec().worker_id)
+          .executor()
+          .AddTask(task, [raw_exec, fragment](Status status) {
+            raw_exec->OnTaskDone(fragment, status);
+          });
+    }
+  }
+
+  // Start the split/monitor thread. It captures a raw pointer: the
+  // destructor joins the thread before members are destroyed.
+  QueryExecution* raw = execution.get();
+  execution->split_thread_ =
+      std::thread([raw] { raw->SplitSchedulingLoop(); });
+
+  return execution;
+}
+
+}  // namespace presto

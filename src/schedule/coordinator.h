@@ -1,0 +1,104 @@
+#ifndef PRESTOCPP_SCHEDULE_COORDINATOR_H_
+#define PRESTOCPP_SCHEDULE_COORDINATOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "connector/connector.h"
+#include "exec/task.h"
+#include "fragment/fragmenter.h"
+#include "schedule/cluster.h"
+
+namespace presto {
+
+/// A running (or finished) distributed query: owns the per-fragment tasks,
+/// the lazy split-scheduling thread, the writer-scaling monitor, and the
+/// client-facing result stream.
+class QueryExecution {
+ public:
+  ~QueryExecution();
+
+  const std::string& query_id() const { return query_id_; }
+  const RowSchema& schema() const { return schema_; }
+  ResultQueue& results() { return results_; }
+  QueryMemory& memory() { return *memory_; }
+
+  /// Blocks until every task completed; returns the query's final status.
+  Status Wait();
+
+  /// Kills the query (client cancellation / LIMIT satisfied early).
+  void Cancel(const Status& reason);
+
+  /// Total CPU nanoseconds consumed across all tasks.
+  int64_t total_cpu_nanos() const;
+
+  /// Current number of active writer partitions (adaptive scaling).
+  int active_writers(int fragment) const;
+
+ private:
+  friend class Coordinator;
+  QueryExecution() = default;
+
+  void SplitSchedulingLoop();
+  void OnTaskDone(int fragment, const Status& status);
+
+  std::string query_id_;
+  RowSchema schema_;
+  Cluster* cluster_ = nullptr;
+  const Catalog* catalog_ = nullptr;
+  FragmentedPlan plan_;
+  std::unique_ptr<QueryMemory> memory_;
+  ResultQueue results_;
+  // tasks_[fragment][task_index]
+  std::vector<std::vector<std::shared_ptr<TaskExec>>> tasks_;
+  // Round-robin writer-scaling state per fragment (producer side).
+  std::vector<std::unique_ptr<std::atomic<int>>> active_writers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable done_cv_;
+  int remaining_tasks_ = 0;
+  std::vector<int> fragment_remaining_;
+  std::vector<bool> fragment_done_;
+  Status final_status_;
+  bool finished_ = false;
+
+  std::thread split_thread_;
+  std::atomic<bool> stop_split_thread_{false};
+  std::function<void()> on_complete_;  // admission-slot release
+};
+
+/// The coordinator (§III): admits queries, places fragment tasks on
+/// workers, feeds splits lazily with shortest-queue assignment (§IV-D3),
+/// honors phased scheduling dependencies (§IV-D1), and scales writer stages
+/// adaptively (§IV-E3).
+class Coordinator {
+ public:
+  Coordinator(Cluster* cluster, const Catalog* catalog)
+      : cluster_(cluster), catalog_(catalog) {}
+
+  /// Starts executing a fragmented plan; blocks only for admission.
+  Result<std::shared_ptr<QueryExecution>> Execute(const std::string& query_id,
+                                                  FragmentedPlan plan);
+
+  int running_queries() const {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    return running_;
+  }
+
+ private:
+  Cluster* cluster_;
+  const Catalog* catalog_;
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  int running_ = 0;
+  int round_robin_worker_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_SCHEDULE_COORDINATOR_H_

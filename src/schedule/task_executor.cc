@@ -1,0 +1,221 @@
+#include "schedule/task_executor.h"
+
+#include "common/stopwatch.h"
+
+namespace presto {
+
+TaskExecutor::TaskExecutor(ExecutorConfig config, int worker_id)
+    : config_(config), worker_id_(worker_id) {
+  threads_.reserve(static_cast<size_t>(config_.threads));
+  for (int i = 0; i < config_.threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TaskExecutor::~TaskExecutor() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void TaskExecutor::AddTask(std::shared_ptr<TaskExec> task,
+                           std::function<void(Status)> on_done) {
+  auto entry = std::make_shared<TaskEntry>();
+  entry->task = std::move(task);
+  entry->on_done = std::move(on_done);
+  entry->remaining_drivers =
+      static_cast<int>(entry->task->drivers().size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(entry);
+    for (auto& driver : entry->task->drivers()) {
+      levels_[0].push_back(DriverEntry{driver.get(), entry});
+    }
+  }
+  cv_.notify_all();
+}
+
+int TaskExecutor::active_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(tasks_.size());
+}
+
+int TaskExecutor::LevelOf(int64_t cpu_nanos) const {
+  for (int level = 0; level < 4; ++level) {
+    if (cpu_nanos < config_.level_thresholds[level]) return level;
+  }
+  return 4;
+}
+
+std::optional<TaskExecutor::DriverEntry> TaskExecutor::NextDriver() {
+  // Caller holds mu_. Re-arm parked (blocked) drivers whose retry deadline
+  // passed: blocked drivers live outside the runnable queues so they never
+  // distort the MLFQ level shares.
+  auto now = std::chrono::steady_clock::now();
+  while (!parked_.empty() && parked_.front().first <= now) {
+    DriverEntry parked = std::move(parked_.front().second);
+    parked_.pop_front();
+    int level = LevelOf(parked.task_entry->task->cpu_nanos().load());
+    levels_[level].push_back(std::move(parked));
+  }
+  // Pick the non-empty level with the lowest consumed/share ratio so each
+  // level receives its configured fraction of CPU time (§IV-F1).
+  if (!config_.use_mlfq) {
+    for (auto& level : levels_) {
+      if (!level.empty()) {
+        DriverEntry entry = level.front();
+        level.pop_front();
+        return entry;
+      }
+    }
+    return std::nullopt;
+  }
+  int best = -1;
+  double best_ratio = 0;
+  for (int level = 0; level < 5; ++level) {
+    if (levels_[level].empty()) continue;
+    double ratio = level_consumed_[level] / config_.level_shares[level];
+    if (best < 0 || ratio < best_ratio) {
+      best = level;
+      best_ratio = ratio;
+    }
+  }
+  if (best < 0) return std::nullopt;
+  DriverEntry entry = levels_[best].front();
+  levels_[best].pop_front();
+  return entry;
+}
+
+void TaskExecutor::Requeue(DriverEntry entry) {
+  int level = LevelOf(entry.task_entry->task->cpu_nanos().load());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    levels_[level].push_back(std::move(entry));
+  }
+  cv_.notify_one();
+}
+
+void TaskExecutor::Park(DriverEntry entry) {
+  // Exponential backoff: 100us doubling to 6.4ms.
+  int shift = std::min(entry.consecutive_blocks, 6);
+  ++entry.consecutive_blocks;
+  auto retry = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(100LL << shift);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = parked_.begin();
+  while (it != parked_.end() && it->first <= retry) ++it;
+  parked_.emplace(it, retry, std::move(entry));
+}
+
+void TaskExecutor::DriverDone(const DriverEntry& entry,
+                              const Status& status) {
+  std::function<void(Status)> callback;
+  Status callback_status = status;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TaskEntry& te = *entry.task_entry;
+    --te.remaining_drivers;
+    if (!status.ok() && !te.failed) {
+      te.failed = true;
+      callback = std::move(te.on_done);
+      te.on_done = nullptr;
+    } else if (te.remaining_drivers == 0 && te.on_done != nullptr) {
+      callback = std::move(te.on_done);
+      te.on_done = nullptr;
+      callback_status = Status::OK();
+    }
+    if (te.remaining_drivers == 0) {
+      tasks_.erase(std::remove_if(tasks_.begin(), tasks_.end(),
+                                  [&](const auto& t) {
+                                    return t.get() == &te;
+                                  }),
+                   tasks_.end());
+    }
+  }
+  if (callback) callback(callback_status);
+}
+
+void TaskExecutor::WorkerLoop() {
+  for (;;) {
+    DriverEntry entry{nullptr, nullptr};
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stop_) return;
+      auto next = NextDriver();
+      if (!next.has_value()) {
+        cv_.wait_for(lock, std::chrono::microseconds(100));
+        if (stop_) return;
+        continue;
+      }
+      entry = std::move(*next);
+    }
+    TaskExec& task = *entry.task_entry->task;
+
+    // Query killed (OOM, cancel, or early finish): drop the driver.
+    if (task.runtime().query_memory != nullptr &&
+        task.runtime().query_memory->killed()) {
+      DriverDone(entry, task.runtime().query_memory->kill_reason());
+      continue;
+    }
+
+    // §IV-E2: consistently full output buffers reduce a task's effective
+    // concurrency — run this driver only if buffers have room.
+    if (task.spec().consumer_partitions > 0 &&
+        task.runtime().exchange != nullptr) {
+      double utilization = task.runtime().exchange->OutputUtilization(
+          task.spec().query_id, task.spec().fragment_id,
+          task.spec().task_index);
+      if (utilization > config_.buffer_backpressure_threshold) {
+        // The driver would only stall on its full output buffers; park it
+        // (reducing the task's effective concurrency, Â§IV-E2).
+        Park(std::move(entry));
+        continue;
+      }
+    }
+
+    int64_t cpu = 0;
+    auto result = entry.driver->Process(config_.quantum_nanos, &cpu);
+    busy_nanos_.fetch_add(cpu);
+    task.cpu_nanos().fetch_add(cpu);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      int level = LevelOf(task.cpu_nanos().load());
+      level_consumed_[level] += static_cast<double>(cpu);
+      // Periodically decay so shares adapt to the current mix.
+      if (level_consumed_[level] > 1e12) {
+        for (double& c : level_consumed_) c /= 2;
+      }
+    }
+    if (!result.ok()) {
+      if (task.runtime().query_memory != nullptr) {
+        task.runtime().query_memory->Kill(result.status());
+      }
+      DriverDone(entry, result.status());
+      continue;
+    }
+    switch (*result) {
+      case Driver::State::kFinished:
+        DriverDone(entry, Status::OK());
+        break;
+      case Driver::State::kYielded:
+        // Still runnable: back into its MLFQ level.
+        entry.consecutive_blocks = 0;
+        Requeue(std::move(entry));
+        break;
+      case Driver::State::kBlocked:
+        // Out of the runnable queues until the retry deadline (Â§IV-F1:
+        // blocked drivers relinquish the thread and must not distort the
+        // MLFQ level shares).
+        Park(std::move(entry));
+        break;
+      case Driver::State::kFailed:
+        DriverDone(entry, Status::Internal("driver failed"));
+        break;
+    }
+  }
+}
+
+}  // namespace presto

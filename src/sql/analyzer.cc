@@ -1,0 +1,389 @@
+#include "sql/analyzer.h"
+
+#include <unordered_set>
+
+#include "common/string_utils.h"
+#include "expr/function_registry.h"
+
+namespace presto::sql {
+
+Result<int> Scope::Resolve(const std::vector<std::string>& parts) const {
+  std::string qualifier;
+  std::string name;
+  if (parts.size() == 1) {
+    name = parts[0];
+  } else if (parts.size() == 2) {
+    qualifier = parts[0];
+    name = parts[1];
+  } else {
+    return Status::InvalidArgument("too many qualifiers in column reference " +
+                                   Join(parts, "."));
+  }
+  int found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const auto& col = columns_[i];
+    if (col.name != name) continue;
+    if (!qualifier.empty() && col.qualifier != qualifier) continue;
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column reference: " +
+                                     Join(parts, "."));
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    return Status::InvalidArgument("column not found: " + Join(parts, "."));
+  }
+  return found;
+}
+
+std::vector<int> Scope::ColumnsForQualifier(
+    const std::string& qualifier) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (qualifier.empty() || columns_[i].qualifier == qualifier) {
+      out.push_back(static_cast<int>(i));
+    }
+  }
+  return out;
+}
+
+bool IsAggregateFunctionName(const std::string& name) {
+  static const auto* kNames = new std::unordered_set<std::string>{
+      "count", "sum",     "avg",      "min",      "max",
+      "approx_distinct", "stddev", "stddev_samp", "variance", "var_samp"};
+  return kNames->count(ToLowerAscii(name)) > 0;
+}
+
+bool IsWindowOnlyFunctionName(const std::string& name) {
+  static const auto* kNames =
+      new std::unordered_set<std::string>{"row_number", "rank", "dense_rank"};
+  return kNames->count(ToLowerAscii(name)) > 0;
+}
+
+bool ContainsAggregate(const AstExpr& expr) {
+  if (expr.kind == AstExprKind::kFunctionCall && expr.window == nullptr &&
+      IsAggregateFunctionName(expr.function_name)) {
+    return true;
+  }
+  for (const auto& c : expr.children) {
+    if (ContainsAggregate(*c)) return true;
+  }
+  return false;
+}
+
+bool ContainsWindowCall(const AstExpr& expr) {
+  if (expr.kind == AstExprKind::kFunctionCall && expr.window != nullptr) {
+    return true;
+  }
+  for (const auto& c : expr.children) {
+    if (ContainsWindowCall(*c)) return true;
+  }
+  return false;
+}
+
+void CollectAggregates(const AstExpr& expr,
+                       std::vector<const AstExpr*>* aggregates) {
+  if (expr.kind == AstExprKind::kFunctionCall && expr.window == nullptr &&
+      IsAggregateFunctionName(expr.function_name)) {
+    for (const auto* existing : *aggregates) {
+      if (AstExprEquals(*existing, expr)) return;
+    }
+    aggregates->push_back(&expr);
+    return;  // no nested aggregates
+  }
+  for (const auto& c : expr.children) CollectAggregates(*c, aggregates);
+}
+
+void CollectWindowCalls(const AstExpr& expr,
+                        std::vector<const AstExpr*>* calls) {
+  if (expr.kind == AstExprKind::kFunctionCall && expr.window != nullptr) {
+    for (const auto* existing : *calls) {
+      if (AstExprEquals(*existing, expr)) return;
+    }
+    calls->push_back(&expr);
+    return;
+  }
+  for (const auto& c : expr.children) CollectWindowCalls(*c, calls);
+}
+
+Result<ExprPtr> ExprBinder::Coerce(ExprPtr expr, TypeKind target) {
+  if (expr->type() == target) return expr;
+  if (!IsImplicitlyCoercible(expr->type(), target)) {
+    return Status::InvalidArgument(
+        std::string("cannot coerce ") + TypeToString(expr->type()) + " to " +
+        TypeToString(target));
+  }
+  return Expr::MakeCast(target, std::move(expr));
+}
+
+Result<ExprPtr> ExprBinder::BindScalarCall(const std::string& name,
+                                           std::vector<ExprPtr> args) {
+  std::vector<TypeKind> types;
+  types.reserve(args.size());
+  for (const auto& a : args) types.push_back(a->type());
+  PRESTO_ASSIGN_OR_RETURN(const ScalarFunction* fn,
+                          FunctionRegistry::Instance().Resolve(name, types));
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i]->type() != fn->arg_types[i]) {
+      PRESTO_ASSIGN_OR_RETURN(args[i],
+                              Coerce(std::move(args[i]), fn->arg_types[i]));
+    }
+  }
+  return Expr::MakeCall(fn, std::move(args));
+}
+
+namespace {
+
+// Maps a parser operator to a registry function name.
+const char* BinaryOpFunction(const std::string& op) {
+  if (op == "+") return "plus";
+  if (op == "-") return "minus";
+  if (op == "*") return "multiply";
+  if (op == "/") return "divide";
+  if (op == "%") return "modulus";
+  if (op == "=") return "eq";
+  if (op == "<>") return "neq";
+  if (op == "<") return "lt";
+  if (op == "<=") return "lte";
+  if (op == ">") return "gt";
+  if (op == ">=") return "gte";
+  return nullptr;
+}
+
+}  // namespace
+
+Result<ExprPtr> ExprBinder::Bind(const AstExpr& ast) const {
+  switch (ast.kind) {
+    case AstExprKind::kIdentifier: {
+      PRESTO_ASSIGN_OR_RETURN(int index, scope_->Resolve(ast.parts));
+      return Expr::MakeColumn(index,
+                              scope_->columns()[static_cast<size_t>(index)]
+                                  .type);
+    }
+    case AstExprKind::kLiteral:
+      return Expr::MakeLiteral(ast.value);
+    case AstExprKind::kStar:
+      return Status::InvalidArgument("'*' is only valid in SELECT lists");
+    case AstExprKind::kBinaryOp: {
+      if (ast.op == "and" || ast.op == "or") {
+        std::vector<ExprPtr> children;
+        for (const auto& c : ast.children) {
+          PRESTO_ASSIGN_OR_RETURN(ExprPtr bound, Bind(*c));
+          PRESTO_ASSIGN_OR_RETURN(bound,
+                                  Coerce(std::move(bound), TypeKind::kBoolean));
+          children.push_back(std::move(bound));
+        }
+        return ast.op == "and" ? Expr::MakeAnd(std::move(children))
+                               : Expr::MakeOr(std::move(children));
+      }
+      const char* fn = BinaryOpFunction(ast.op);
+      if (fn == nullptr) {
+        return Status::InvalidArgument("unknown operator: " + ast.op);
+      }
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr left, Bind(*ast.children[0]));
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr right, Bind(*ast.children[1]));
+      // UNKNOWN literals (bare NULL) adopt the sibling's type.
+      if (left->type() == TypeKind::kUnknown &&
+          right->type() != TypeKind::kUnknown) {
+        left = Expr::MakeLiteral(Value::Null(right->type()));
+      } else if (right->type() == TypeKind::kUnknown &&
+                 left->type() != TypeKind::kUnknown) {
+        right = Expr::MakeLiteral(Value::Null(left->type()));
+      }
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(left));
+      args.push_back(std::move(right));
+      return BindScalarCall(fn, std::move(args));
+    }
+    case AstExprKind::kUnaryOp: {
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr inner, Bind(*ast.children[0]));
+      if (ast.op == "-") {
+        std::vector<ExprPtr> args;
+        args.push_back(std::move(inner));
+        return BindScalarCall("negate", std::move(args));
+      }
+      if (ast.op == "not") {
+        PRESTO_ASSIGN_OR_RETURN(inner,
+                                Coerce(std::move(inner), TypeKind::kBoolean));
+        std::vector<ExprPtr> args;
+        args.push_back(std::move(inner));
+        return BindScalarCall("not", std::move(args));
+      }
+      return Status::InvalidArgument("unknown unary operator: " + ast.op);
+    }
+    case AstExprKind::kFunctionCall: {
+      std::string name = ToLowerAscii(ast.function_name);
+      if (ast.window != nullptr) {
+        return Status::InvalidArgument(
+            "window function not allowed in this context: " + name);
+      }
+      if (IsAggregateFunctionName(name)) {
+        return Status::InvalidArgument(
+            "aggregate function not allowed in this context: " + name);
+      }
+      if (IsWindowOnlyFunctionName(name)) {
+        return Status::InvalidArgument(name + " requires an OVER clause");
+      }
+      std::vector<ExprPtr> args;
+      for (const auto& c : ast.children) {
+        PRESTO_ASSIGN_OR_RETURN(ExprPtr bound, Bind(*c));
+        args.push_back(std::move(bound));
+      }
+      // Special variadic / conditional forms.
+      if (name == "coalesce") {
+        if (args.empty()) {
+          return Status::InvalidArgument("coalesce requires arguments");
+        }
+        TypeKind t = args[0]->type();
+        for (const auto& a : args) {
+          auto super = CommonSuperType(t, a->type());
+          if (!super.has_value()) {
+            return Status::InvalidArgument("coalesce argument type mismatch");
+          }
+          t = *super;
+        }
+        return Expr::MakeCoalesce(std::move(args), t);
+      }
+      if (name == "if") {
+        if (args.size() != 3) {
+          return Status::InvalidArgument("if(cond, a, b) requires 3 args");
+        }
+        PRESTO_ASSIGN_OR_RETURN(args[0], Coerce(std::move(args[0]),
+                                                TypeKind::kBoolean));
+        auto t = CommonSuperType(args[1]->type(), args[2]->type());
+        if (!t.has_value()) {
+          return Status::InvalidArgument("if branch type mismatch");
+        }
+        std::vector<ExprPtr> children = {args[0], args[1], args[2]};
+        return Expr::MakeCase(std::move(children), /*has_else=*/true, *t);
+      }
+      if (name == "nullif") {
+        if (args.size() != 2) {
+          return Status::InvalidArgument("nullif(a, b) requires 2 args");
+        }
+        // CASE WHEN a = b THEN NULL ELSE a END
+        TypeKind t = args[0]->type();
+        std::vector<ExprPtr> eq_args = {args[0], args[1]};
+        PRESTO_ASSIGN_OR_RETURN(ExprPtr eq,
+                                BindScalarCall("eq", std::move(eq_args)));
+        std::vector<ExprPtr> children = {eq,
+                                         Expr::MakeLiteral(Value::Null(t)),
+                                         args[0]};
+        return Expr::MakeCase(std::move(children), /*has_else=*/true, t);
+      }
+      return BindScalarCall(name, std::move(args));
+    }
+    case AstExprKind::kCase: {
+      size_t idx = 0;
+      ExprPtr operand;
+      if (ast.has_operand) {
+        PRESTO_ASSIGN_OR_RETURN(operand, Bind(*ast.children[idx++]));
+      }
+      size_t rest = ast.children.size() - idx - (ast.has_else ? 1 : 0);
+      size_t pair_count = rest / 2;
+      std::vector<ExprPtr> children;
+      TypeKind result_type = TypeKind::kUnknown;
+      for (size_t p = 0; p < pair_count; ++p) {
+        PRESTO_ASSIGN_OR_RETURN(ExprPtr cond, Bind(*ast.children[idx++]));
+        if (ast.has_operand) {
+          // Simple CASE: operand = when-value
+          std::vector<ExprPtr> eq_args = {operand, cond};
+          PRESTO_ASSIGN_OR_RETURN(cond,
+                                  BindScalarCall("eq", std::move(eq_args)));
+        } else {
+          PRESTO_ASSIGN_OR_RETURN(cond,
+                                  Coerce(std::move(cond), TypeKind::kBoolean));
+        }
+        PRESTO_ASSIGN_OR_RETURN(ExprPtr val, Bind(*ast.children[idx++]));
+        auto super = CommonSuperType(result_type, val->type());
+        if (!super.has_value()) {
+          return Status::InvalidArgument("CASE branch type mismatch");
+        }
+        result_type = *super;
+        children.push_back(std::move(cond));
+        children.push_back(std::move(val));
+      }
+      if (ast.has_else) {
+        PRESTO_ASSIGN_OR_RETURN(ExprPtr val, Bind(*ast.children[idx++]));
+        auto super = CommonSuperType(result_type, val->type());
+        if (!super.has_value()) {
+          return Status::InvalidArgument("CASE branch type mismatch");
+        }
+        result_type = *super;
+        children.push_back(std::move(val));
+      }
+      if (result_type == TypeKind::kUnknown) result_type = TypeKind::kBigint;
+      return Expr::MakeCase(std::move(children), ast.has_else, result_type);
+    }
+    case AstExprKind::kCast: {
+      auto type = TypeFromString(ast.cast_type);
+      if (!type.has_value()) {
+        return Status::InvalidArgument("unknown type in CAST: " +
+                                       ast.cast_type);
+      }
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr inner, Bind(*ast.children[0]));
+      return Expr::MakeCast(*type, std::move(inner));
+    }
+    case AstExprKind::kIn: {
+      std::vector<ExprPtr> children;
+      TypeKind t = TypeKind::kUnknown;
+      for (const auto& c : ast.children) {
+        PRESTO_ASSIGN_OR_RETURN(ExprPtr bound, Bind(*c));
+        auto super = CommonSuperType(t, bound->type());
+        if (!super.has_value()) {
+          return Status::InvalidArgument("IN list type mismatch");
+        }
+        t = *super;
+        children.push_back(std::move(bound));
+      }
+      for (auto& c : children) {
+        if (c->type() != t && c->type() != TypeKind::kUnknown) {
+          PRESTO_ASSIGN_OR_RETURN(c, Coerce(std::move(c), t));
+        }
+      }
+      ExprPtr in = Expr::MakeIn(std::move(children));
+      if (!ast.negated) return in;
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(in));
+      return BindScalarCall("not", std::move(args));
+    }
+    case AstExprKind::kBetween: {
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr x, Bind(*ast.children[0]));
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr lo, Bind(*ast.children[1]));
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr hi, Bind(*ast.children[2]));
+      std::vector<ExprPtr> ge_args = {x, std::move(lo)};
+      std::vector<ExprPtr> le_args = {x, std::move(hi)};
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr ge,
+                              BindScalarCall("gte", std::move(ge_args)));
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr le,
+                              BindScalarCall("lte", std::move(le_args)));
+      ExprPtr both = Expr::MakeAnd({std::move(ge), std::move(le)});
+      if (!ast.negated) return both;
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(both));
+      return BindScalarCall("not", std::move(args));
+    }
+    case AstExprKind::kIsNull: {
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr inner, Bind(*ast.children[0]));
+      ExprPtr is_null = Expr::MakeIsNull(std::move(inner));
+      if (!ast.negated) return is_null;
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(is_null));
+      return BindScalarCall("not", std::move(args));
+    }
+    case AstExprKind::kLike: {
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr value, Bind(*ast.children[0]));
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr pattern, Bind(*ast.children[1]));
+      std::vector<ExprPtr> args = {std::move(value), std::move(pattern)};
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr like,
+                              BindScalarCall("like", std::move(args)));
+      if (!ast.negated) return like;
+      std::vector<ExprPtr> not_args;
+      not_args.push_back(std::move(like));
+      return BindScalarCall("not", std::move(not_args));
+    }
+  }
+  return Status::Internal("unhandled AST expression kind");
+}
+
+}  // namespace presto::sql

@@ -1,0 +1,95 @@
+#ifndef PRESTOCPP_SQL_ANALYZER_H_
+#define PRESTOCPP_SQL_ANALYZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "expr/expression.h"
+#include "sql/ast.h"
+#include "types/row_schema.h"
+
+namespace presto::sql {
+
+/// A column visible in a name-resolution scope: its relation qualifier
+/// (table alias or table name; may be empty) plus name and type. The scope
+/// position is the column's index in the relation's output page.
+struct ScopeColumn {
+  std::string qualifier;
+  std::string name;
+  TypeKind type;
+};
+
+/// A flat name-resolution scope over the output of a relation (or the
+/// concatenation of join inputs). Presto's analyzer builds the same
+/// structure when it "resolves functions and scopes" (§IV-B2).
+class Scope {
+ public:
+  Scope() = default;
+
+  void Add(std::string qualifier, std::string name, TypeKind type) {
+    columns_.push_back({std::move(qualifier), std::move(name), type});
+  }
+
+  const std::vector<ScopeColumn>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+
+  /// Resolves `parts` ("x" or "t"."x") to a column index. Errors on unknown
+  /// or ambiguous references.
+  Result<int> Resolve(const std::vector<std::string>& parts) const;
+
+  /// All column indices whose qualifier matches (for t.* expansion); all
+  /// columns when qualifier is empty.
+  std::vector<int> ColumnsForQualifier(const std::string& qualifier) const;
+
+ private:
+  std::vector<ScopeColumn> columns_;
+};
+
+/// True for names resolved as aggregate functions (count/sum/avg/...).
+bool IsAggregateFunctionName(const std::string& name);
+
+/// True for names only valid with an OVER clause (row_number, rank).
+bool IsWindowOnlyFunctionName(const std::string& name);
+
+/// True if the expression contains an aggregate function call outside any
+/// OVER clause.
+bool ContainsAggregate(const AstExpr& expr);
+
+/// True if the expression contains any call with an OVER clause.
+bool ContainsWindowCall(const AstExpr& expr);
+
+/// Collects pointers to all aggregate calls (no OVER) in the tree,
+/// outside-in, deduplicated by structural equality.
+void CollectAggregates(const AstExpr& expr,
+                       std::vector<const AstExpr*>* aggregates);
+
+/// Collects pointers to all window calls (with OVER) in the tree.
+void CollectWindowCalls(const AstExpr& expr,
+                        std::vector<const AstExpr*>* calls);
+
+/// Binds untyped AST expressions to typed engine expressions against a
+/// scope. Rejects aggregates and window calls — the planner replaces those
+/// with synthetic columns before binding.
+class ExprBinder {
+ public:
+  explicit ExprBinder(const Scope* scope) : scope_(scope) {}
+
+  Result<ExprPtr> Bind(const AstExpr& ast) const;
+
+  /// Coerces `expr` to `target` inserting a CAST when allowed; errors when
+  /// no implicit coercion exists.
+  static Result<ExprPtr> Coerce(ExprPtr expr, TypeKind target);
+
+  /// Binds a call to a registry scalar function by name with already-bound
+  /// arguments, inserting argument casts.
+  static Result<ExprPtr> BindScalarCall(const std::string& name,
+                                        std::vector<ExprPtr> args);
+
+ private:
+  const Scope* scope_;
+};
+
+}  // namespace presto::sql
+
+#endif  // PRESTOCPP_SQL_ANALYZER_H_

@@ -1,0 +1,120 @@
+#include "sql/ast.h"
+
+#include "common/check.h"
+#include "common/string_utils.h"
+
+namespace presto::sql {
+
+const char* JoinTypeToString(JoinType t) {
+  switch (t) {
+    case JoinType::kInner:
+      return "INNER";
+    case JoinType::kLeft:
+      return "LEFT";
+    case JoinType::kRight:
+      return "RIGHT";
+    case JoinType::kFull:
+      return "FULL";
+    case JoinType::kCross:
+      return "CROSS";
+  }
+  return "?";
+}
+
+std::string AstExpr::ToString() const {
+  switch (kind) {
+    case AstExprKind::kIdentifier:
+      return Join(parts, ".");
+    case AstExprKind::kLiteral:
+      return value.ToString();
+    case AstExprKind::kStar:
+      return "*";
+    case AstExprKind::kBinaryOp:
+      return "(" + children[0]->ToString() + " " + op + " " +
+             children[1]->ToString() + ")";
+    case AstExprKind::kUnaryOp:
+      return "(" + op + " " + children[0]->ToString() + ")";
+    case AstExprKind::kFunctionCall: {
+      std::string out = function_name + "(";
+      if (distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      out += ")";
+      if (window != nullptr) out += " OVER (...)";
+      return out;
+    }
+    case AstExprKind::kCase:
+      return "CASE...END";
+    case AstExprKind::kCast:
+      return "CAST(" + children[0]->ToString() + " AS " + cast_type + ")";
+    case AstExprKind::kIn: {
+      std::string out = children[0]->ToString();
+      out += negated ? " NOT IN (" : " IN (";
+      for (size_t i = 1; i < children.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case AstExprKind::kBetween:
+      return children[0]->ToString() + (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             children[1]->ToString() + " AND " + children[2]->ToString();
+    case AstExprKind::kIsNull:
+      return children[0]->ToString() + (negated ? " IS NOT NULL" : " IS NULL");
+    case AstExprKind::kLike:
+      return children[0]->ToString() + (negated ? " NOT LIKE " : " LIKE ") +
+             children[1]->ToString();
+  }
+  return "?";
+}
+
+bool AstExprEquals(const AstExpr& a, const AstExpr& b) {
+  if (a.kind != b.kind || a.children.size() != b.children.size()) {
+    return false;
+  }
+  switch (a.kind) {
+    case AstExprKind::kIdentifier:
+      // Compare by last part too (t.x vs x may refer to the same column, but
+      // we require exact syntactic match for GROUP BY correlation; the
+      // analyzer additionally matches by resolved column).
+      if (a.parts != b.parts) return false;
+      break;
+    case AstExprKind::kLiteral:
+      if (!(a.value == b.value)) return false;
+      break;
+    case AstExprKind::kBinaryOp:
+    case AstExprKind::kUnaryOp:
+      if (a.op != b.op) return false;
+      break;
+    case AstExprKind::kFunctionCall:
+      if (a.function_name != b.function_name || a.distinct != b.distinct ||
+          (a.window == nullptr) != (b.window == nullptr)) {
+        return false;
+      }
+      break;
+    case AstExprKind::kCast:
+      if (a.cast_type != b.cast_type) return false;
+      break;
+    case AstExprKind::kCase:
+      if (a.has_operand != b.has_operand || a.has_else != b.has_else) {
+        return false;
+      }
+      break;
+    case AstExprKind::kIn:
+    case AstExprKind::kBetween:
+    case AstExprKind::kIsNull:
+    case AstExprKind::kLike:
+      if (a.negated != b.negated) return false;
+      break;
+    case AstExprKind::kStar:
+      break;
+  }
+  for (size_t i = 0; i < a.children.size(); ++i) {
+    if (!AstExprEquals(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace presto::sql

@@ -1,0 +1,149 @@
+#ifndef PRESTOCPP_SQL_AST_H_
+#define PRESTOCPP_SQL_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace presto::sql {
+
+// ---------------------------------------------------------------------------
+// Expression AST (untyped; produced by the parser, consumed by the analyzer).
+// ---------------------------------------------------------------------------
+
+struct AstExpr;
+using AstExprPtr = std::shared_ptr<AstExpr>;
+
+/// Kinds of parsed expressions. Binary/unary operators carry their operator
+/// text in `op` ("+", "=", "and", ...).
+enum class AstExprKind : uint8_t {
+  kIdentifier,   // possibly qualified: parts = {"t", "x"} for t.x
+  kLiteral,      // value
+  kStar,         // * or t.* (only valid in select lists and COUNT(*))
+  kBinaryOp,     // op, children[0..1]
+  kUnaryOp,      // op ("-", "not"), children[0]
+  kFunctionCall, // name, children = args, distinct flag, optional window
+  kCase,         // children = [operand?] whens/thens..., else?; see flags
+  kCast,         // children[0], cast_type
+  kIn,           // children[0] IN (children[1..]); negated flag
+  kBetween,      // children[0] BETWEEN children[1] AND children[2]; negated
+  kIsNull,       // children[0] IS [NOT] NULL; negated flag
+  kLike,         // children[0] LIKE children[1]; negated flag
+};
+
+/// Window specification attached to a function call: fn(...) OVER (...).
+struct WindowSpec {
+  std::vector<AstExprPtr> partition_by;
+  std::vector<std::pair<AstExprPtr, bool>> order_by;  // (expr, ascending)
+};
+
+struct AstExpr {
+  AstExprKind kind;
+  // kIdentifier
+  std::vector<std::string> parts;
+  // kLiteral
+  Value value;
+  // kBinaryOp / kUnaryOp
+  std::string op;
+  // kFunctionCall
+  std::string function_name;
+  bool distinct = false;
+  std::shared_ptr<WindowSpec> window;
+  // kCase
+  bool has_operand = false;  // simple CASE <operand> WHEN ...
+  bool has_else = false;
+  // kCast
+  std::string cast_type;
+  // kIn / kBetween / kIsNull / kLike
+  bool negated = false;
+
+  std::vector<AstExprPtr> children;
+
+  /// Canonical text used for alias derivation and equality.
+  std::string ToString() const;
+};
+
+/// Structural equality (used to match GROUP BY keys inside SELECT items).
+bool AstExprEquals(const AstExpr& a, const AstExpr& b);
+
+// ---------------------------------------------------------------------------
+// Relations and statements.
+// ---------------------------------------------------------------------------
+
+struct SelectStmt;
+using SelectStmtPtr = std::shared_ptr<SelectStmt>;
+
+enum class JoinType : uint8_t { kInner, kLeft, kRight, kFull, kCross };
+
+const char* JoinTypeToString(JoinType t);
+
+struct TableRef;
+using TableRefPtr = std::shared_ptr<TableRef>;
+
+enum class TableRefKind : uint8_t { kNamed, kSubquery, kJoin };
+
+struct TableRef {
+  TableRefKind kind;
+  // kNamed: catalog-qualified name parts ({"hive","orders"} or {"orders"}).
+  std::vector<std::string> name_parts;
+  // kSubquery
+  SelectStmtPtr subquery;
+  // Alias for kNamed/kSubquery ("" if none).
+  std::string alias;
+  // kJoin
+  JoinType join_type = JoinType::kInner;
+  TableRefPtr left;
+  TableRefPtr right;
+  AstExprPtr on_condition;                 // nullable (CROSS JOIN / USING)
+  std::vector<std::string> using_columns;  // non-empty for USING(...)
+};
+
+/// One item in a SELECT list: expression with optional alias, or a
+/// (possibly qualified) star.
+struct SelectItem {
+  AstExprPtr expr;  // null for star
+  std::string alias;
+  bool is_star = false;
+  std::string star_qualifier;  // "t" for t.*
+};
+
+struct OrderByItem {
+  AstExprPtr expr;
+  bool ascending = true;
+};
+
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  TableRefPtr from;  // null => SELECT without FROM (single-row VALUES)
+  AstExprPtr where;
+  std::vector<AstExprPtr> group_by;
+  AstExprPtr having;
+  std::vector<OrderByItem> order_by;
+  std::optional<int64_t> limit;
+  // UNION ALL chain: when set, this statement is `this UNION ALL next`.
+  SelectStmtPtr union_next;
+};
+
+/// Top-level statement kinds.
+enum class StatementKind : uint8_t {
+  kSelect,
+  kCreateTableAs,
+  kInsert,
+  kExplain,
+};
+
+struct Statement {
+  StatementKind kind;
+  SelectStmtPtr select;                  // all kinds carry a query
+  std::vector<std::string> target_name;  // CTAS / INSERT target
+  bool explain = false;
+};
+using StatementPtr = std::shared_ptr<Statement>;
+
+}  // namespace presto::sql
+
+#endif  // PRESTOCPP_SQL_AST_H_

@@ -1,0 +1,168 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/string_utils.h"
+
+namespace presto::sql {
+
+namespace {
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kKeywords = new std::unordered_set<std::string>{
+      "select", "from",     "where",  "group",    "by",      "having",
+      "order",  "limit",    "as",     "and",      "or",      "not",
+      "in",     "between",  "like",   "is",       "null",    "true",
+      "false",  "case",     "when",   "then",     "else",    "end",
+      "cast",   "join",     "inner",  "left",     "right",   "full",
+      "outer",  "cross",    "on",     "using",    "distinct", "union",
+      "all",    "create",   "table",  "insert",   "into",    "values",
+      "explain", "asc",     "desc",   "date",     "over",    "partition",
+      "rows",   "with",     "exists", "interval",
+  };
+  return *kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool IsKeyword(const std::string& word) {
+  return Keywords().count(word) > 0;
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    // String literal.
+    if (c == '\'') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument("unterminated string literal at offset " +
+                                       std::to_string(start));
+      }
+      tokens.push_back({TokenKind::kString, std::move(text), start});
+      continue;
+    }
+    // Quoted identifier.
+    if (c == '"') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated quoted identifier at offset " +
+            std::to_string(start));
+      }
+      tokens.push_back({TokenKind::kIdentifier, std::move(text), start});
+      continue;
+    }
+    // Number.
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      bool is_double = false;
+      std::string text;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+        text += input[i++];
+      }
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        text += input[i++];
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          text += input[i++];
+        }
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        text += input[i++];
+        if (i < n && (input[i] == '+' || input[i] == '-')) text += input[i++];
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(input[i]))) {
+          return Status::InvalidArgument("malformed number at offset " +
+                                         std::to_string(start));
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          text += input[i++];
+        }
+      }
+      tokens.push_back({is_double ? TokenKind::kDouble : TokenKind::kInteger,
+                        std::move(text), start});
+      continue;
+    }
+    // Identifier or keyword.
+    if (IsIdentStart(c)) {
+      std::string text;
+      while (i < n && IsIdentChar(input[i])) text += input[i++];
+      std::string lower = ToLowerAscii(text);
+      if (IsKeyword(lower)) {
+        tokens.push_back({TokenKind::kKeyword, std::move(lower), start});
+      } else {
+        tokens.push_back({TokenKind::kIdentifier, std::move(lower), start});
+      }
+      continue;
+    }
+    // Multi-char operators.
+    auto two = input.substr(i, 2);
+    if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+      tokens.push_back({TokenKind::kOperator, two == "!=" ? "<>" : two, start});
+      i += 2;
+      continue;
+    }
+    // Single-char operators.
+    static const std::string kSingle = "+-*/%=<>(),.;";
+    if (kSingle.find(c) != std::string::npos) {
+      tokens.push_back({TokenKind::kOperator, std::string(1, c), start});
+      ++i;
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace presto::sql

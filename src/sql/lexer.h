@@ -1,0 +1,38 @@
+#ifndef PRESTOCPP_SQL_LEXER_H_
+#define PRESTOCPP_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace presto::sql {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  // foo, "Quoted"
+  kKeyword,     // select, from, ... (lowercased in text)
+  kInteger,     // 123
+  kDouble,      // 1.5, .5, 1e3
+  kString,      // 'abc' (text holds unescaped contents)
+  kOperator,    // + - * / % = <> != < <= > >= ( ) , . ;
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // keywords lowercased; identifiers case-folded unless quoted
+  size_t position;   // byte offset in the input (for error messages)
+};
+
+/// Tokenizes a SQL string. Keywords are recognized case-insensitively and
+/// emitted lowercase; unquoted identifiers are lowercased (ANSI folding to
+/// our canonical case); "quoted" identifiers preserve case. Comments
+/// (-- to end of line) are skipped.
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+/// True if `word` (lowercase) is a reserved keyword.
+bool IsKeyword(const std::string& word);
+
+}  // namespace presto::sql
+
+#endif  // PRESTOCPP_SQL_LEXER_H_

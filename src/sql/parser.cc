@@ -1,0 +1,656 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace presto::sql {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StatementPtr> ParseStatementTop() {
+    PRESTO_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatementInner());
+    // Optional trailing semicolon.
+    AcceptOperator(";");
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  // ---- Token helpers ----
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AcceptKeyword(const std::string& kw) {
+    if (Peek().kind == TokenKind::kKeyword && Peek().text == kw) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const {
+    return Peek(ahead).kind == TokenKind::kKeyword && Peek(ahead).text == kw;
+  }
+  bool AcceptOperator(const std::string& op) {
+    if (Peek().kind == TokenKind::kOperator && Peek().text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool PeekOperator(const std::string& op, size_t ahead = 0) const {
+    return Peek(ahead).kind == TokenKind::kOperator && Peek(ahead).text == op;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::InvalidArgument("expected " + kw + " near offset " +
+                                     std::to_string(Peek().position));
+    }
+    return Status::OK();
+  }
+  Status ExpectOperator(const std::string& op) {
+    if (!AcceptOperator(op)) {
+      return Status::InvalidArgument("expected '" + op + "' near offset " +
+                                     std::to_string(Peek().position));
+    }
+    return Status::OK();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " near offset " +
+                                   std::to_string(Peek().position));
+  }
+
+  // ---- Statements ----
+  Result<StatementPtr> ParseStatementInner() {
+    auto stmt = std::make_shared<Statement>();
+    if (AcceptKeyword("explain")) {
+      PRESTO_ASSIGN_OR_RETURN(StatementPtr inner, ParseStatementInner());
+      inner->explain = true;
+      return inner;
+    }
+    if (AcceptKeyword("create")) {
+      PRESTO_RETURN_IF_ERROR(ExpectKeyword("table"));
+      PRESTO_ASSIGN_OR_RETURN(auto name, ParseQualifiedName());
+      PRESTO_RETURN_IF_ERROR(ExpectKeyword("as"));
+      PRESTO_ASSIGN_OR_RETURN(SelectStmtPtr select, ParseSelectStmt());
+      stmt->kind = StatementKind::kCreateTableAs;
+      stmt->target_name = std::move(name);
+      stmt->select = std::move(select);
+      return stmt;
+    }
+    if (AcceptKeyword("insert")) {
+      PRESTO_RETURN_IF_ERROR(ExpectKeyword("into"));
+      PRESTO_ASSIGN_OR_RETURN(auto name, ParseQualifiedName());
+      PRESTO_ASSIGN_OR_RETURN(SelectStmtPtr select, ParseSelectStmt());
+      stmt->kind = StatementKind::kInsert;
+      stmt->target_name = std::move(name);
+      stmt->select = std::move(select);
+      return stmt;
+    }
+    PRESTO_ASSIGN_OR_RETURN(SelectStmtPtr select, ParseSelectStmt());
+    stmt->kind = StatementKind::kSelect;
+    stmt->select = std::move(select);
+    return stmt;
+  }
+
+  Result<std::vector<std::string>> ParseQualifiedName() {
+    if (Peek().kind != TokenKind::kIdentifier) return Err("expected name");
+    std::vector<std::string> parts;
+    parts.push_back(Advance().text);
+    while (PeekOperator(".")) {
+      ++pos_;
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Err("expected identifier after '.'");
+      }
+      parts.push_back(Advance().text);
+    }
+    return parts;
+  }
+
+  // select := query (UNION ALL query)* [ORDER BY items] [LIMIT n]
+  Result<SelectStmtPtr> ParseSelectStmt() {
+    PRESTO_ASSIGN_OR_RETURN(SelectStmtPtr head, ParseQuerySpec());
+    SelectStmt* tail = head.get();
+    while (AcceptKeyword("union")) {
+      PRESTO_RETURN_IF_ERROR(ExpectKeyword("all"));
+      PRESTO_ASSIGN_OR_RETURN(SelectStmtPtr next, ParseQuerySpec());
+      tail->union_next = next;
+      tail = next.get();
+    }
+    // ORDER BY / LIMIT attach to the whole (possibly union) query, stored on
+    // the head statement.
+    if (AcceptKeyword("order")) {
+      PRESTO_RETURN_IF_ERROR(ExpectKeyword("by"));
+      PRESTO_ASSIGN_OR_RETURN(head->order_by, ParseOrderByItems());
+    }
+    if (AcceptKeyword("limit")) {
+      if (Peek().kind != TokenKind::kInteger) {
+        return Err("expected integer after LIMIT");
+      }
+      head->limit = std::atoll(Advance().text.c_str());
+    }
+    return head;
+  }
+
+  Result<std::vector<OrderByItem>> ParseOrderByItems() {
+    std::vector<OrderByItem> items;
+    do {
+      OrderByItem item;
+      PRESTO_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (AcceptKeyword("desc")) {
+        item.ascending = false;
+      } else {
+        AcceptKeyword("asc");
+      }
+      items.push_back(std::move(item));
+    } while (AcceptOperator(","));
+    return items;
+  }
+
+  Result<SelectStmtPtr> ParseQuerySpec() {
+    // Parenthesized query: ( select ... )
+    if (PeekOperator("(") && PeekKeyword("select", 1)) {
+      ++pos_;
+      PRESTO_ASSIGN_OR_RETURN(SelectStmtPtr inner, ParseSelectStmt());
+      PRESTO_RETURN_IF_ERROR(ExpectOperator(")"));
+      return inner;
+    }
+    PRESTO_RETURN_IF_ERROR(ExpectKeyword("select"));
+    auto stmt = std::make_shared<SelectStmt>();
+    stmt->distinct = AcceptKeyword("distinct");
+    if (!stmt->distinct) AcceptKeyword("all");
+    // Select items.
+    do {
+      SelectItem item;
+      if (PeekOperator("*")) {
+        ++pos_;
+        item.is_star = true;
+      } else if (Peek().kind == TokenKind::kIdentifier &&
+                 PeekOperator(".", 1) && PeekOperator("*", 2)) {
+        item.is_star = true;
+        item.star_qualifier = Advance().text;
+        pos_ += 2;
+      } else {
+        PRESTO_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("as")) {
+          if (Peek().kind != TokenKind::kIdentifier) {
+            return Err("expected alias after AS");
+          }
+          item.alias = Advance().text;
+        } else if (Peek().kind == TokenKind::kIdentifier) {
+          item.alias = Advance().text;
+        }
+      }
+      stmt->items.push_back(std::move(item));
+    } while (AcceptOperator(","));
+
+    if (AcceptKeyword("from")) {
+      PRESTO_ASSIGN_OR_RETURN(stmt->from, ParseTableRef());
+    }
+    if (AcceptKeyword("where")) {
+      PRESTO_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (AcceptKeyword("group")) {
+      PRESTO_RETURN_IF_ERROR(ExpectKeyword("by"));
+      do {
+        PRESTO_ASSIGN_OR_RETURN(AstExprPtr e, ParseExpr());
+        stmt->group_by.push_back(std::move(e));
+      } while (AcceptOperator(","));
+    }
+    if (AcceptKeyword("having")) {
+      PRESTO_ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    return stmt;
+  }
+
+  // ---- Table references ----
+  Result<TableRefPtr> ParseTableRef() {
+    PRESTO_ASSIGN_OR_RETURN(TableRefPtr left, ParseTablePrimary());
+    for (;;) {
+      JoinType jt;
+      bool is_cross = false;
+      if (AcceptKeyword("join")) {
+        jt = JoinType::kInner;
+      } else if (AcceptKeyword("inner")) {
+        PRESTO_RETURN_IF_ERROR(ExpectKeyword("join"));
+        jt = JoinType::kInner;
+      } else if (AcceptKeyword("left")) {
+        AcceptKeyword("outer");
+        PRESTO_RETURN_IF_ERROR(ExpectKeyword("join"));
+        jt = JoinType::kLeft;
+      } else if (AcceptKeyword("right")) {
+        AcceptKeyword("outer");
+        PRESTO_RETURN_IF_ERROR(ExpectKeyword("join"));
+        jt = JoinType::kRight;
+      } else if (AcceptKeyword("full")) {
+        AcceptKeyword("outer");
+        PRESTO_RETURN_IF_ERROR(ExpectKeyword("join"));
+        jt = JoinType::kFull;
+      } else if (AcceptKeyword("cross")) {
+        PRESTO_RETURN_IF_ERROR(ExpectKeyword("join"));
+        jt = JoinType::kCross;
+        is_cross = true;
+      } else {
+        break;
+      }
+      PRESTO_ASSIGN_OR_RETURN(TableRefPtr right, ParseTablePrimary());
+      auto join = std::make_shared<TableRef>();
+      join->kind = TableRefKind::kJoin;
+      join->join_type = jt;
+      join->left = std::move(left);
+      join->right = std::move(right);
+      if (!is_cross) {
+        if (AcceptKeyword("on")) {
+          PRESTO_ASSIGN_OR_RETURN(join->on_condition, ParseExpr());
+        } else if (AcceptKeyword("using")) {
+          PRESTO_RETURN_IF_ERROR(ExpectOperator("("));
+          do {
+            if (Peek().kind != TokenKind::kIdentifier) {
+              return Err("expected column in USING");
+            }
+            join->using_columns.push_back(Advance().text);
+          } while (AcceptOperator(","));
+          PRESTO_RETURN_IF_ERROR(ExpectOperator(")"));
+        } else {
+          return Err("expected ON or USING after JOIN");
+        }
+      }
+      left = std::move(join);
+    }
+    return left;
+  }
+
+  Result<TableRefPtr> ParseTablePrimary() {
+    auto ref = std::make_shared<TableRef>();
+    if (AcceptOperator("(")) {
+      if (PeekKeyword("select")) {
+        PRESTO_ASSIGN_OR_RETURN(ref->subquery, ParseSelectStmt());
+        ref->kind = TableRefKind::kSubquery;
+        PRESTO_RETURN_IF_ERROR(ExpectOperator(")"));
+      } else {
+        PRESTO_ASSIGN_OR_RETURN(TableRefPtr inner, ParseTableRef());
+        PRESTO_RETURN_IF_ERROR(ExpectOperator(")"));
+        return inner;
+      }
+    } else {
+      PRESTO_ASSIGN_OR_RETURN(ref->name_parts, ParseQualifiedName());
+      ref->kind = TableRefKind::kNamed;
+    }
+    if (AcceptKeyword("as")) {
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Err("expected alias after AS");
+      }
+      ref->alias = Advance().text;
+    } else if (Peek().kind == TokenKind::kIdentifier) {
+      ref->alias = Advance().text;
+    }
+    if (ref->kind == TableRefKind::kSubquery && ref->alias.empty()) {
+      return Err("subquery in FROM requires an alias");
+    }
+    return ref;
+  }
+
+  // ---- Expressions (precedence climbing) ----
+  Result<AstExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<AstExprPtr> ParseOr() {
+    PRESTO_ASSIGN_OR_RETURN(AstExprPtr left, ParseAnd());
+    while (AcceptKeyword("or")) {
+      PRESTO_ASSIGN_OR_RETURN(AstExprPtr right, ParseAnd());
+      left = MakeBinary("or", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAnd() {
+    PRESTO_ASSIGN_OR_RETURN(AstExprPtr left, ParseNot());
+    while (AcceptKeyword("and")) {
+      PRESTO_ASSIGN_OR_RETURN(AstExprPtr right, ParseNot());
+      left = MakeBinary("and", std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseNot() {
+    if (AcceptKeyword("not")) {
+      PRESTO_ASSIGN_OR_RETURN(AstExprPtr inner, ParseNot());
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstExprKind::kUnaryOp;
+      e->op = "not";
+      e->children = {std::move(inner)};
+      return AstExprPtr(e);
+    }
+    return ParseComparison();
+  }
+
+  Result<AstExprPtr> ParseComparison() {
+    PRESTO_ASSIGN_OR_RETURN(AstExprPtr left, ParseAdditive());
+    for (;;) {
+      // IS [NOT] NULL
+      if (PeekKeyword("is")) {
+        ++pos_;
+        bool negated = AcceptKeyword("not");
+        PRESTO_RETURN_IF_ERROR(ExpectKeyword("null"));
+        auto e = std::make_shared<AstExpr>();
+        e->kind = AstExprKind::kIsNull;
+        e->negated = negated;
+        e->children = {std::move(left)};
+        left = std::move(e);
+        continue;
+      }
+      bool negated = false;
+      size_t saved = pos_;
+      if (PeekKeyword("not")) {
+        // NOT IN / NOT BETWEEN / NOT LIKE
+        if (PeekKeyword("in", 1) || PeekKeyword("between", 1) ||
+            PeekKeyword("like", 1)) {
+          ++pos_;
+          negated = true;
+        }
+      }
+      if (AcceptKeyword("in")) {
+        PRESTO_RETURN_IF_ERROR(ExpectOperator("("));
+        auto e = std::make_shared<AstExpr>();
+        e->kind = AstExprKind::kIn;
+        e->negated = negated;
+        e->children.push_back(std::move(left));
+        do {
+          PRESTO_ASSIGN_OR_RETURN(AstExprPtr item, ParseExpr());
+          e->children.push_back(std::move(item));
+        } while (AcceptOperator(","));
+        PRESTO_RETURN_IF_ERROR(ExpectOperator(")"));
+        left = std::move(e);
+        continue;
+      }
+      if (AcceptKeyword("between")) {
+        auto e = std::make_shared<AstExpr>();
+        e->kind = AstExprKind::kBetween;
+        e->negated = negated;
+        e->children.push_back(std::move(left));
+        PRESTO_ASSIGN_OR_RETURN(AstExprPtr lo, ParseAdditive());
+        PRESTO_RETURN_IF_ERROR(ExpectKeyword("and"));
+        PRESTO_ASSIGN_OR_RETURN(AstExprPtr hi, ParseAdditive());
+        e->children.push_back(std::move(lo));
+        e->children.push_back(std::move(hi));
+        left = std::move(e);
+        continue;
+      }
+      if (AcceptKeyword("like")) {
+        auto e = std::make_shared<AstExpr>();
+        e->kind = AstExprKind::kLike;
+        e->negated = negated;
+        e->children.push_back(std::move(left));
+        PRESTO_ASSIGN_OR_RETURN(AstExprPtr pattern, ParseAdditive());
+        e->children.push_back(std::move(pattern));
+        left = std::move(e);
+        continue;
+      }
+      pos_ = saved;
+      if (Peek().kind == TokenKind::kOperator &&
+          (Peek().text == "=" || Peek().text == "<>" || Peek().text == "<" ||
+           Peek().text == "<=" || Peek().text == ">" ||
+           Peek().text == ">=")) {
+        std::string op = Advance().text;
+        PRESTO_ASSIGN_OR_RETURN(AstExprPtr right, ParseAdditive());
+        left = MakeBinary(op, std::move(left), std::move(right));
+        continue;
+      }
+      break;
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseAdditive() {
+    PRESTO_ASSIGN_OR_RETURN(AstExprPtr left, ParseMultiplicative());
+    for (;;) {
+      if (PeekOperator("+") || PeekOperator("-")) {
+        std::string op = Advance().text;
+        PRESTO_ASSIGN_OR_RETURN(AstExprPtr right, ParseMultiplicative());
+        left = MakeBinary(op, std::move(left), std::move(right));
+      } else {
+        break;
+      }
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseMultiplicative() {
+    PRESTO_ASSIGN_OR_RETURN(AstExprPtr left, ParseUnary());
+    for (;;) {
+      if (PeekOperator("*") || PeekOperator("/") || PeekOperator("%")) {
+        std::string op = Advance().text;
+        PRESTO_ASSIGN_OR_RETURN(AstExprPtr right, ParseUnary());
+        left = MakeBinary(op, std::move(left), std::move(right));
+      } else {
+        break;
+      }
+    }
+    return left;
+  }
+
+  Result<AstExprPtr> ParseUnary() {
+    if (AcceptOperator("-")) {
+      PRESTO_ASSIGN_OR_RETURN(AstExprPtr inner, ParseUnary());
+      // Fold negative literals directly.
+      if (inner->kind == AstExprKind::kLiteral &&
+          inner->value.type() == TypeKind::kBigint) {
+        inner->value = Value::Bigint(-inner->value.AsBigint());
+        return inner;
+      }
+      if (inner->kind == AstExprKind::kLiteral &&
+          inner->value.type() == TypeKind::kDouble) {
+        inner->value = Value::Double(-inner->value.AsDouble());
+        return inner;
+      }
+      auto e = std::make_shared<AstExpr>();
+      e->kind = AstExprKind::kUnaryOp;
+      e->op = "-";
+      e->children = {std::move(inner)};
+      return AstExprPtr(e);
+    }
+    AcceptOperator("+");
+    return ParsePrimary();
+  }
+
+  Result<AstExprPtr> ParsePrimary() {
+    auto e = std::make_shared<AstExpr>();
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokenKind::kInteger:
+        e->kind = AstExprKind::kLiteral;
+        e->value = Value::Bigint(std::atoll(Advance().text.c_str()));
+        return AstExprPtr(e);
+      case TokenKind::kDouble:
+        e->kind = AstExprKind::kLiteral;
+        e->value = Value::Double(std::strtod(Advance().text.c_str(), nullptr));
+        return AstExprPtr(e);
+      case TokenKind::kString:
+        e->kind = AstExprKind::kLiteral;
+        e->value = Value::Varchar(Advance().text);
+        return AstExprPtr(e);
+      case TokenKind::kKeyword:
+        if (tok.text == "null") {
+          ++pos_;
+          e->kind = AstExprKind::kLiteral;
+          e->value = Value();
+          return AstExprPtr(e);
+        }
+        if (tok.text == "true" || tok.text == "false") {
+          e->kind = AstExprKind::kLiteral;
+          e->value = Value::Boolean(Advance().text == "true");
+          return AstExprPtr(e);
+        }
+        if (tok.text == "date") {
+          ++pos_;
+          if (Peek().kind != TokenKind::kString) {
+            return Err("expected string after DATE");
+          }
+          int64_t days = 0;
+          if (!ParseDate(Peek().text, &days)) {
+            return Err("malformed date literal '" + Peek().text + "'");
+          }
+          ++pos_;
+          e->kind = AstExprKind::kLiteral;
+          e->value = Value::Date(days);
+          return AstExprPtr(e);
+        }
+        if (tok.text == "cast") {
+          ++pos_;
+          PRESTO_RETURN_IF_ERROR(ExpectOperator("("));
+          PRESTO_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+          PRESTO_RETURN_IF_ERROR(ExpectKeyword("as"));
+          std::string type_name;
+          if (Peek().kind == TokenKind::kIdentifier ||
+              Peek().kind == TokenKind::kKeyword) {
+            type_name = Advance().text;
+          } else {
+            return Err("expected type name in CAST");
+          }
+          PRESTO_RETURN_IF_ERROR(ExpectOperator(")"));
+          e->kind = AstExprKind::kCast;
+          e->cast_type = type_name;
+          e->children = {std::move(inner)};
+          return AstExprPtr(e);
+        }
+        if (tok.text == "case") {
+          return ParseCase();
+        }
+        return Err("unexpected keyword '" + tok.text + "'");
+      case TokenKind::kOperator:
+        if (tok.text == "(") {
+          ++pos_;
+          PRESTO_ASSIGN_OR_RETURN(AstExprPtr inner, ParseExpr());
+          PRESTO_RETURN_IF_ERROR(ExpectOperator(")"));
+          return inner;
+        }
+        if (tok.text == "*") {
+          // COUNT(*) argument handled in function parsing; bare * invalid.
+          return Err("unexpected '*'");
+        }
+        return Err("unexpected operator '" + tok.text + "'");
+      case TokenKind::kIdentifier: {
+        // Function call?
+        if (PeekOperator("(", 1)) {
+          return ParseFunctionCall();
+        }
+        PRESTO_ASSIGN_OR_RETURN(e->parts, ParseQualifiedName());
+        e->kind = AstExprKind::kIdentifier;
+        return AstExprPtr(e);
+      }
+      case TokenKind::kEnd:
+        return Err("unexpected end of input");
+    }
+    return Err("unexpected token");
+  }
+
+  Result<AstExprPtr> ParseCase() {
+    PRESTO_RETURN_IF_ERROR(ExpectKeyword("case"));
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExprKind::kCase;
+    if (!PeekKeyword("when")) {
+      e->has_operand = true;
+      PRESTO_ASSIGN_OR_RETURN(AstExprPtr operand, ParseExpr());
+      e->children.push_back(std::move(operand));
+    }
+    if (!PeekKeyword("when")) return Err("expected WHEN in CASE");
+    while (AcceptKeyword("when")) {
+      PRESTO_ASSIGN_OR_RETURN(AstExprPtr cond, ParseExpr());
+      PRESTO_RETURN_IF_ERROR(ExpectKeyword("then"));
+      PRESTO_ASSIGN_OR_RETURN(AstExprPtr val, ParseExpr());
+      e->children.push_back(std::move(cond));
+      e->children.push_back(std::move(val));
+    }
+    if (AcceptKeyword("else")) {
+      e->has_else = true;
+      PRESTO_ASSIGN_OR_RETURN(AstExprPtr val, ParseExpr());
+      e->children.push_back(std::move(val));
+    }
+    PRESTO_RETURN_IF_ERROR(ExpectKeyword("end"));
+    return AstExprPtr(e);
+  }
+
+  Result<AstExprPtr> ParseFunctionCall() {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExprKind::kFunctionCall;
+    e->function_name = Advance().text;
+    PRESTO_RETURN_IF_ERROR(ExpectOperator("("));
+    if (AcceptOperator("*")) {
+      auto star = std::make_shared<AstExpr>();
+      star->kind = AstExprKind::kStar;
+      e->children.push_back(std::move(star));
+    } else if (!PeekOperator(")")) {
+      e->distinct = AcceptKeyword("distinct");
+      do {
+        PRESTO_ASSIGN_OR_RETURN(AstExprPtr arg, ParseExpr());
+        e->children.push_back(std::move(arg));
+      } while (AcceptOperator(","));
+    }
+    PRESTO_RETURN_IF_ERROR(ExpectOperator(")"));
+    if (AcceptKeyword("over")) {
+      PRESTO_RETURN_IF_ERROR(ExpectOperator("("));
+      auto spec = std::make_shared<WindowSpec>();
+      if (AcceptKeyword("partition")) {
+        PRESTO_RETURN_IF_ERROR(ExpectKeyword("by"));
+        do {
+          PRESTO_ASSIGN_OR_RETURN(AstExprPtr p, ParseExpr());
+          spec->partition_by.push_back(std::move(p));
+        } while (AcceptOperator(","));
+      }
+      if (AcceptKeyword("order")) {
+        PRESTO_RETURN_IF_ERROR(ExpectKeyword("by"));
+        do {
+          AstExprPtr k;
+          PRESTO_ASSIGN_OR_RETURN(k, ParseExpr());
+          bool asc = true;
+          if (AcceptKeyword("desc")) {
+            asc = false;
+          } else {
+            AcceptKeyword("asc");
+          }
+          spec->order_by.emplace_back(std::move(k), asc);
+        } while (AcceptOperator(","));
+      }
+      PRESTO_RETURN_IF_ERROR(ExpectOperator(")"));
+      e->window = std::move(spec);
+    }
+    return AstExprPtr(e);
+  }
+
+  static AstExprPtr MakeBinary(const std::string& op, AstExprPtr l,
+                               AstExprPtr r) {
+    auto e = std::make_shared<AstExpr>();
+    e->kind = AstExprKind::kBinaryOp;
+    e->op = op;
+    e->children = {std::move(l), std::move(r)};
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<StatementPtr> ParseStatement(const std::string& sql) {
+  PRESTO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatementTop();
+}
+
+Result<SelectStmtPtr> ParseSelect(const std::string& sql) {
+  PRESTO_ASSIGN_OR_RETURN(StatementPtr stmt, ParseStatement(sql));
+  if (stmt->kind != StatementKind::kSelect) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  return stmt->select;
+}
+
+}  // namespace presto::sql

@@ -1,0 +1,22 @@
+#ifndef PRESTOCPP_SQL_PARSER_H_
+#define PRESTOCPP_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace presto::sql {
+
+/// Parses one SQL statement (SELECT / CREATE TABLE AS / INSERT INTO /
+/// EXPLAIN) into an AST. Recursive-descent with Pratt-style operator
+/// precedence; stands in for the ANTLR-generated parser described in
+/// §IV-B2 of the paper.
+Result<StatementPtr> ParseStatement(const std::string& sql);
+
+/// Convenience wrapper: parses and requires a query statement.
+Result<SelectStmtPtr> ParseSelect(const std::string& sql);
+
+}  // namespace presto::sql
+
+#endif  // PRESTOCPP_SQL_PARSER_H_

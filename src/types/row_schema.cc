@@ -1,0 +1,17 @@
+#include "types/row_schema.h"
+
+namespace presto {
+
+std::string RowSchema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += TypeToString(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace presto

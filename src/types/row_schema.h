@@ -1,0 +1,55 @@
+#ifndef PRESTOCPP_TYPES_ROW_SCHEMA_H_
+#define PRESTOCPP_TYPES_ROW_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "types/type.h"
+
+namespace presto {
+
+/// A named, typed column in a table or intermediate relation.
+struct Column {
+  std::string name;
+  TypeKind type;
+
+  bool operator==(const Column& other) const = default;
+};
+
+/// Ordered list of columns describing a relation's shape.
+class RowSchema {
+ public:
+  RowSchema() = default;
+  explicit RowSchema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t size() const { return columns_.size(); }
+  const Column& at(size_t i) const { return columns_[i]; }
+
+  void Add(std::string name, TypeKind type) {
+    columns_.push_back({std::move(name), type});
+  }
+
+  /// Index of the column with the given (case-sensitive, already-lowercased)
+  /// name, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// "(a BIGINT, b VARCHAR)" rendering for plans and errors.
+  std::string ToString() const;
+
+  bool operator==(const RowSchema& other) const = default;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_TYPES_ROW_SCHEMA_H_

@@ -1,0 +1,65 @@
+#include "types/type.h"
+
+#include "common/string_utils.h"
+
+namespace presto {
+
+const char* TypeToString(TypeKind t) {
+  switch (t) {
+    case TypeKind::kUnknown:
+      return "UNKNOWN";
+    case TypeKind::kBoolean:
+      return "BOOLEAN";
+    case TypeKind::kBigint:
+      return "BIGINT";
+    case TypeKind::kDouble:
+      return "DOUBLE";
+    case TypeKind::kVarchar:
+      return "VARCHAR";
+    case TypeKind::kDate:
+      return "DATE";
+  }
+  return "UNKNOWN";
+}
+
+std::optional<TypeKind> TypeFromString(const std::string& name) {
+  std::string n = ToUpperAscii(name);
+  if (n == "BOOLEAN" || n == "BOOL") return TypeKind::kBoolean;
+  if (n == "BIGINT" || n == "INT" || n == "INTEGER" || n == "SMALLINT" ||
+      n == "TINYINT") {
+    return TypeKind::kBigint;
+  }
+  if (n == "DOUBLE" || n == "FLOAT" || n == "REAL") return TypeKind::kDouble;
+  if (n == "VARCHAR" || n == "STRING" || n == "TEXT" || n == "CHAR") {
+    return TypeKind::kVarchar;
+  }
+  if (n == "DATE") return TypeKind::kDate;
+  return std::nullopt;
+}
+
+bool IsImplicitlyCoercible(TypeKind from, TypeKind to) {
+  if (from == to) return true;
+  if (from == TypeKind::kUnknown) return true;
+  if (from == TypeKind::kBigint && to == TypeKind::kDouble) return true;
+  return false;
+}
+
+std::optional<TypeKind> CommonSuperType(TypeKind a, TypeKind b) {
+  if (a == b) return a;
+  if (a == TypeKind::kUnknown) return b;
+  if (b == TypeKind::kUnknown) return a;
+  if ((a == TypeKind::kBigint && b == TypeKind::kDouble) ||
+      (a == TypeKind::kDouble && b == TypeKind::kBigint)) {
+    return TypeKind::kDouble;
+  }
+  return std::nullopt;
+}
+
+bool IsNumeric(TypeKind t) {
+  return t == TypeKind::kBigint || t == TypeKind::kDouble ||
+         t == TypeKind::kDate;
+}
+
+bool IsOrderable(TypeKind t) { return t != TypeKind::kUnknown; }
+
+}  // namespace presto

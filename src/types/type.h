@@ -1,0 +1,47 @@
+#ifndef PRESTOCPP_TYPES_TYPE_H_
+#define PRESTOCPP_TYPES_TYPE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace presto {
+
+/// SQL types supported by the dialect. Physical representations:
+///   BOOLEAN -> uint8_t, BIGINT/DATE -> int64_t (DATE is days since epoch),
+///   DOUBLE -> double, VARCHAR -> flat byte arrays (see vector/).
+/// UNKNOWN is the type of a bare NULL literal before coercion.
+enum class TypeKind : uint8_t {
+  kUnknown = 0,
+  kBoolean,
+  kBigint,
+  kDouble,
+  kVarchar,
+  kDate,
+};
+
+/// SQL spelling of a type ("BIGINT", "VARCHAR", ...).
+const char* TypeToString(TypeKind t);
+
+/// Parses a SQL type name (case-insensitive). Accepts INT/INTEGER/BIGINT as
+/// BIGINT and DOUBLE/FLOAT/REAL as DOUBLE.
+std::optional<TypeKind> TypeFromString(const std::string& name);
+
+/// True if a value of `from` may be used where `to` is expected without an
+/// explicit CAST: UNKNOWN -> anything, BIGINT -> DOUBLE.
+bool IsImplicitlyCoercible(TypeKind from, TypeKind to);
+
+/// Least common type for binary operations (e.g. BIGINT + DOUBLE -> DOUBLE);
+/// nullopt if the pair is incompatible.
+std::optional<TypeKind> CommonSuperType(TypeKind a, TypeKind b);
+
+/// True for BIGINT, DOUBLE, and DATE (orderable numerics for min/max/sum
+/// purposes; DATE supports min/max and comparison only).
+bool IsNumeric(TypeKind t);
+
+/// True if values of the type are ordered (everything except UNKNOWN).
+bool IsOrderable(TypeKind t);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_TYPES_TYPE_H_

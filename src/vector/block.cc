@@ -1,0 +1,209 @@
+#include "vector/block.h"
+
+namespace presto {
+
+int Block::CompareAt(int64_t i, const Block& other, int64_t j) const {
+  bool an = IsNull(i);
+  bool bn = other.IsNull(j);
+  if (an && bn) return 0;
+  if (an) return 1;
+  if (bn) return -1;
+  // Fast paths for common physical types.
+  if (type_ == other.type()) {
+    switch (type_) {
+      case TypeKind::kBigint:
+      case TypeKind::kDate: {
+        int64_t a = GetValue(i).AsBigint();
+        int64_t b = other.GetValue(j).AsBigint();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      default:
+        break;
+    }
+  }
+  return GetValue(i).Compare(other.GetValue(j));
+}
+
+bool Block::EqualsAt(int64_t i, const Block& other, int64_t j) const {
+  if (IsNull(i) || other.IsNull(j)) return false;
+  return GetValue(i).SqlEquals(other.GetValue(j));
+}
+
+template <typename T>
+Value FlatBlock<T>::GetValue(int64_t i) const {
+  if (IsNull(i)) return Value::Null(type_);
+  T v = values_[static_cast<size_t>(i)];
+  switch (type_) {
+    case TypeKind::kBoolean:
+      return Value::Boolean(v != 0);
+    case TypeKind::kBigint:
+      return Value::Bigint(static_cast<int64_t>(v));
+    case TypeKind::kDate:
+      return Value::Date(static_cast<int64_t>(v));
+    case TypeKind::kDouble:
+      return Value::Double(static_cast<double>(v));
+    default:
+      PRESTO_UNREACHABLE();
+  }
+}
+
+template <typename T>
+uint64_t FlatBlock<T>::HashAt(int64_t i) const {
+  if (IsNull(i)) return 0;
+  T v = values_[static_cast<size_t>(i)];
+  if constexpr (std::is_same_v<T, double>) {
+    return HashDouble(v);
+  } else {
+    return HashInt64(static_cast<uint64_t>(static_cast<int64_t>(v)));
+  }
+}
+
+template <typename T>
+BlockPtr FlatBlock<T>::CopyPositions(const int32_t* positions,
+                                     int64_t n) const {
+  std::vector<T> values(static_cast<size_t>(n));
+  std::vector<uint8_t> nulls;
+  if (!nulls_.empty()) nulls.resize(static_cast<size_t>(n));
+  for (int64_t k = 0; k < n; ++k) {
+    auto p = static_cast<size_t>(positions[k]);
+    values[static_cast<size_t>(k)] = values_[p];
+    if (!nulls_.empty()) nulls[static_cast<size_t>(k)] = nulls_[p];
+  }
+  return std::make_shared<FlatBlock<T>>(type_, std::move(values),
+                                        std::move(nulls));
+}
+
+template <typename T>
+BlockPtr FlatBlock<T>::Flatten() const {
+  return std::make_shared<FlatBlock<T>>(
+      type_, std::vector<T>(values_), std::vector<uint8_t>(nulls_));
+}
+
+template class FlatBlock<uint8_t>;
+template class FlatBlock<int64_t>;
+template class FlatBlock<double>;
+
+BlockPtr VarcharBlock::CopyPositions(const int32_t* positions,
+                                     int64_t n) const {
+  std::vector<int32_t> offsets;
+  offsets.reserve(static_cast<size_t>(n) + 1);
+  offsets.push_back(0);
+  std::string bytes;
+  std::vector<uint8_t> nulls;
+  if (!nulls_.empty()) nulls.resize(static_cast<size_t>(n));
+  for (int64_t k = 0; k < n; ++k) {
+    auto p = positions[k];
+    if (!nulls_.empty() && nulls_[static_cast<size_t>(p)]) {
+      nulls[static_cast<size_t>(k)] = 1;
+    } else {
+      auto sv = StringAt(p);
+      bytes.append(sv.data(), sv.size());
+    }
+    offsets.push_back(static_cast<int32_t>(bytes.size()));
+  }
+  return std::make_shared<VarcharBlock>(std::move(offsets), std::move(bytes),
+                                        std::move(nulls));
+}
+
+BlockPtr VarcharBlock::Flatten() const {
+  return std::make_shared<VarcharBlock>(std::vector<int32_t>(offsets_),
+                                        std::string(bytes_),
+                                        std::vector<uint8_t>(nulls_));
+}
+
+BlockPtr MakeBigintBlock(std::vector<int64_t> values,
+                         std::vector<uint8_t> nulls) {
+  return std::make_shared<LongBlock>(TypeKind::kBigint, std::move(values),
+                                     std::move(nulls));
+}
+
+BlockPtr MakeDateBlock(std::vector<int64_t> values,
+                       std::vector<uint8_t> nulls) {
+  return std::make_shared<LongBlock>(TypeKind::kDate, std::move(values),
+                                     std::move(nulls));
+}
+
+BlockPtr MakeDoubleBlock(std::vector<double> values,
+                         std::vector<uint8_t> nulls) {
+  return std::make_shared<DoubleBlock>(TypeKind::kDouble, std::move(values),
+                                       std::move(nulls));
+}
+
+BlockPtr MakeBooleanBlock(std::vector<bool> values,
+                          std::vector<uint8_t> nulls) {
+  std::vector<uint8_t> bytes(values.size());
+  for (size_t i = 0; i < values.size(); ++i) bytes[i] = values[i] ? 1 : 0;
+  return std::make_shared<ByteBlock>(TypeKind::kBoolean, std::move(bytes),
+                                     std::move(nulls));
+}
+
+BlockPtr MakeVarcharBlock(const std::vector<std::string>& values,
+                          std::vector<uint8_t> nulls) {
+  std::vector<int32_t> offsets;
+  offsets.reserve(values.size() + 1);
+  offsets.push_back(0);
+  std::string bytes;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (nulls.empty() || !nulls[i]) bytes += values[i];
+    offsets.push_back(static_cast<int32_t>(bytes.size()));
+  }
+  return std::make_shared<VarcharBlock>(std::move(offsets), std::move(bytes),
+                                        std::move(nulls));
+}
+
+BlockPtr MakeBlockFromValues(TypeKind type, const std::vector<Value>& values) {
+  size_t n = values.size();
+  std::vector<uint8_t> nulls(n, 0);
+  bool any_null = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (values[i].is_null()) {
+      nulls[i] = 1;
+      any_null = true;
+    }
+  }
+  if (!any_null) nulls.clear();
+  switch (type) {
+    case TypeKind::kBoolean: {
+      std::vector<uint8_t> vals(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (!values[i].is_null()) vals[i] = values[i].AsBoolean() ? 1 : 0;
+      }
+      return std::make_shared<ByteBlock>(type, std::move(vals),
+                                         std::move(nulls));
+    }
+    case TypeKind::kBigint:
+    case TypeKind::kDate:
+    case TypeKind::kUnknown: {
+      std::vector<int64_t> vals(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (!values[i].is_null()) vals[i] = values[i].AsBigint();
+      }
+      // UNKNOWN (all-null) blocks are physically BIGINT-backed.
+      TypeKind t = type == TypeKind::kUnknown ? TypeKind::kBigint : type;
+      return std::make_shared<LongBlock>(t, std::move(vals), std::move(nulls));
+    }
+    case TypeKind::kDouble: {
+      std::vector<double> vals(n, 0);
+      for (size_t i = 0; i < n; ++i) {
+        if (!values[i].is_null()) vals[i] = values[i].AsDouble();
+      }
+      return std::make_shared<DoubleBlock>(type, std::move(vals),
+                                           std::move(nulls));
+    }
+    case TypeKind::kVarchar: {
+      std::vector<std::string> vals(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (!values[i].is_null()) vals[i] = values[i].AsVarchar();
+      }
+      return MakeVarcharBlock(vals, std::move(nulls));
+    }
+  }
+  PRESTO_UNREACHABLE();
+}
+
+BlockPtr MakeAllNullBlock(TypeKind type, int64_t size) {
+  std::vector<Value> values(static_cast<size_t>(size), Value::Null(type));
+  return MakeBlockFromValues(type, values);
+}
+
+}  // namespace presto

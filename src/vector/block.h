@@ -1,0 +1,198 @@
+#ifndef PRESTOCPP_VECTOR_BLOCK_H_
+#define PRESTOCPP_VECTOR_BLOCK_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "types/type.h"
+#include "types/value.h"
+
+namespace presto {
+
+class Block;
+/// Blocks are immutable after construction and freely shared between
+/// operators, pages, and dictionary wrappers.
+using BlockPtr = std::shared_ptr<const Block>;
+
+/// Physical encodings, mirroring Fig. 5 of the paper. LongBlock/DoubleBlock/
+/// ByteBlock are kFlat with different value types; VarcharBlock uses flat
+/// offsets+bytes arrays; RLE and Dictionary wrap another block; Lazy defers
+/// materialization to first touch (§V-D).
+enum class BlockEncoding : uint8_t {
+  kFlat,
+  kVarchar,
+  kRle,
+  kDictionary,
+  kLazy,
+};
+
+/// A column of `size()` rows with one of the encodings above. Data access in
+/// hot loops goes through DecodedBlock or the concrete subclasses; the
+/// virtual row-at-a-time interface here serves the reference executor,
+/// tests, sorting, and spill serialization.
+class Block {
+ public:
+  Block(TypeKind type, int64_t size) : type_(type), size_(size) {}
+  virtual ~Block() = default;
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  TypeKind type() const { return type_; }
+  int64_t size() const { return size_; }
+  virtual BlockEncoding encoding() const = 0;
+
+  virtual bool IsNull(int64_t i) const = 0;
+  virtual bool MayHaveNulls() const = 0;
+
+  /// Boxed value at row i (never used in vectorized paths).
+  virtual Value GetValue(int64_t i) const = 0;
+
+  /// Hash of row i, consistent with Value::Hash.
+  virtual uint64_t HashAt(int64_t i) const = 0;
+
+  /// Approximate retained memory, for memory accounting.
+  virtual int64_t SizeInBytes() const = 0;
+
+  /// New block containing rows positions[0..n) in order.
+  virtual BlockPtr CopyPositions(const int32_t* positions, int64_t n) const = 0;
+
+  /// Fully decoded flat (or varchar) copy of this block.
+  virtual BlockPtr Flatten() const = 0;
+
+  /// Comparison of row i with row j of `other` using Value semantics
+  /// (NULLs last). Blocks must share a type.
+  int CompareAt(int64_t i, const Block& other, int64_t j) const;
+
+  /// SQL equality of row i with row j of `other` (NULL != anything).
+  bool EqualsAt(int64_t i, const Block& other, int64_t j) const;
+
+ protected:
+  TypeKind type_;
+  int64_t size_;
+};
+
+/// Flat fixed-width column: values array + optional null bitmap (byte per
+/// row; empty vector means "no nulls"). T is uint8_t (BOOLEAN), int64_t
+/// (BIGINT/DATE), or double (DOUBLE).
+template <typename T>
+class FlatBlock final : public Block {
+ public:
+  FlatBlock(TypeKind type, std::vector<T> values, std::vector<uint8_t> nulls)
+      : Block(type, static_cast<int64_t>(values.size())),
+        values_(std::move(values)),
+        nulls_(std::move(nulls)) {
+    PRESTO_DCHECK(nulls_.empty() || nulls_.size() == values_.size());
+  }
+
+  BlockEncoding encoding() const override { return BlockEncoding::kFlat; }
+
+  const T* raw_values() const { return values_.data(); }
+  const uint8_t* raw_nulls() const {
+    return nulls_.empty() ? nullptr : nulls_.data();
+  }
+
+  T ValueAt(int64_t i) const { return values_[static_cast<size_t>(i)]; }
+
+  bool IsNull(int64_t i) const override {
+    return !nulls_.empty() && nulls_[static_cast<size_t>(i)] != 0;
+  }
+  bool MayHaveNulls() const override { return !nulls_.empty(); }
+
+  Value GetValue(int64_t i) const override;
+  uint64_t HashAt(int64_t i) const override;
+  int64_t SizeInBytes() const override {
+    return static_cast<int64_t>(values_.size() * sizeof(T) + nulls_.size());
+  }
+  BlockPtr CopyPositions(const int32_t* positions, int64_t n) const override;
+  BlockPtr Flatten() const override;
+
+ private:
+  std::vector<T> values_;
+  std::vector<uint8_t> nulls_;
+};
+
+using ByteBlock = FlatBlock<uint8_t>;    // BOOLEAN
+using LongBlock = FlatBlock<int64_t>;    // BIGINT / DATE
+using DoubleBlock = FlatBlock<double>;   // DOUBLE
+
+/// Flat-memory string column: contiguous bytes plus offsets (size+1), per
+/// the paper's flat-data-structure guidance (§V-A). No per-row allocations.
+class VarcharBlock final : public Block {
+ public:
+  VarcharBlock(std::vector<int32_t> offsets, std::string bytes,
+               std::vector<uint8_t> nulls)
+      : Block(TypeKind::kVarchar, static_cast<int64_t>(offsets.size()) - 1),
+        offsets_(std::move(offsets)),
+        bytes_(std::move(bytes)),
+        nulls_(std::move(nulls)) {
+    PRESTO_DCHECK(!offsets_.empty());
+    PRESTO_DCHECK(nulls_.empty() ||
+                  nulls_.size() == offsets_.size() - 1);
+  }
+
+  BlockEncoding encoding() const override { return BlockEncoding::kVarchar; }
+
+  std::string_view StringAt(int64_t i) const {
+    auto s = static_cast<size_t>(i);
+    return std::string_view(bytes_).substr(
+        static_cast<size_t>(offsets_[s]),
+        static_cast<size_t>(offsets_[s + 1] - offsets_[s]));
+  }
+
+  const uint8_t* raw_nulls() const {
+    return nulls_.empty() ? nullptr : nulls_.data();
+  }
+
+  bool IsNull(int64_t i) const override {
+    return !nulls_.empty() && nulls_[static_cast<size_t>(i)] != 0;
+  }
+  bool MayHaveNulls() const override { return !nulls_.empty(); }
+
+  Value GetValue(int64_t i) const override {
+    if (IsNull(i)) return Value::Null(TypeKind::kVarchar);
+    return Value::Varchar(std::string(StringAt(i)));
+  }
+  uint64_t HashAt(int64_t i) const override {
+    if (IsNull(i)) return 0;
+    return HashString(StringAt(i));
+  }
+  int64_t SizeInBytes() const override {
+    return static_cast<int64_t>(offsets_.size() * sizeof(int32_t) +
+                                bytes_.size() + nulls_.size());
+  }
+  BlockPtr CopyPositions(const int32_t* positions, int64_t n) const override;
+  BlockPtr Flatten() const override;
+
+ private:
+  std::vector<int32_t> offsets_;
+  std::string bytes_;
+  std::vector<uint8_t> nulls_;
+};
+
+/// Convenience constructors used throughout tests and connectors.
+BlockPtr MakeBigintBlock(std::vector<int64_t> values,
+                         std::vector<uint8_t> nulls = {});
+BlockPtr MakeDateBlock(std::vector<int64_t> values,
+                       std::vector<uint8_t> nulls = {});
+BlockPtr MakeDoubleBlock(std::vector<double> values,
+                         std::vector<uint8_t> nulls = {});
+BlockPtr MakeBooleanBlock(std::vector<bool> values,
+                          std::vector<uint8_t> nulls = {});
+BlockPtr MakeVarcharBlock(const std::vector<std::string>& values,
+                          std::vector<uint8_t> nulls = {});
+
+/// Builds a single-type block from boxed values (reference paths and tests).
+BlockPtr MakeBlockFromValues(TypeKind type, const std::vector<Value>& values);
+
+/// All-null flat block of the given type and size.
+BlockPtr MakeAllNullBlock(TypeKind type, int64_t size);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_VECTOR_BLOCK_H_

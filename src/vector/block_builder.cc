@@ -1,0 +1,146 @@
+#include "vector/block_builder.h"
+
+#include "vector/decoded_block.h"
+
+namespace presto {
+
+void BlockBuilder::AppendNull() {
+  nulls_.resize(static_cast<size_t>(count_), 0);
+  nulls_.push_back(1);
+  any_null_ = true;
+  switch (type_) {
+    case TypeKind::kBoolean:
+      bools_.push_back(0);
+      break;
+    case TypeKind::kBigint:
+    case TypeKind::kDate:
+    case TypeKind::kUnknown:
+      longs_.push_back(0);
+      break;
+    case TypeKind::kDouble:
+      doubles_.push_back(0);
+      break;
+    case TypeKind::kVarchar:
+      offsets_.push_back(static_cast<int32_t>(bytes_.size()));
+      break;
+  }
+  ++count_;
+}
+
+void BlockBuilder::AppendBoolean(bool v) {
+  PRESTO_DCHECK(type_ == TypeKind::kBoolean);
+  if (any_null_) nulls_.push_back(0);
+  bools_.push_back(v ? 1 : 0);
+  ++count_;
+}
+
+void BlockBuilder::AppendBigint(int64_t v) {
+  PRESTO_DCHECK(type_ == TypeKind::kBigint || type_ == TypeKind::kDate);
+  if (any_null_) nulls_.push_back(0);
+  longs_.push_back(v);
+  ++count_;
+}
+
+void BlockBuilder::AppendDouble(double v) {
+  PRESTO_DCHECK(type_ == TypeKind::kDouble);
+  if (any_null_) nulls_.push_back(0);
+  doubles_.push_back(v);
+  ++count_;
+}
+
+void BlockBuilder::AppendString(std::string_view v) {
+  PRESTO_DCHECK(type_ == TypeKind::kVarchar);
+  if (any_null_) nulls_.push_back(0);
+  bytes_.append(v.data(), v.size());
+  offsets_.push_back(static_cast<int32_t>(bytes_.size()));
+  ++count_;
+}
+
+void BlockBuilder::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case TypeKind::kBoolean:
+      AppendBoolean(v.AsBoolean());
+      break;
+    case TypeKind::kBigint:
+    case TypeKind::kDate:
+      AppendBigint(v.AsBigint());
+      break;
+    case TypeKind::kDouble:
+      AppendDouble(v.AsDouble());
+      break;
+    case TypeKind::kVarchar:
+      AppendString(v.AsVarchar());
+      break;
+    default:
+      PRESTO_UNREACHABLE();
+  }
+}
+
+void BlockBuilder::AppendFrom(const Block& block, int64_t row) {
+  if (block.IsNull(row)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case TypeKind::kVarchar: {
+      // Avoid boxing for strings: go through encodings manually.
+      switch (block.encoding()) {
+        case BlockEncoding::kVarchar:
+          AppendString(static_cast<const VarcharBlock&>(block).StringAt(row));
+          return;
+        default: {
+          AppendString(block.GetValue(row).AsVarchar());
+          return;
+        }
+      }
+    }
+    default:
+      AppendValue(block.GetValue(row));
+  }
+}
+
+BlockPtr BlockBuilder::Build() {
+  if (any_null_) nulls_.resize(static_cast<size_t>(count_), 0);
+  std::vector<uint8_t> nulls = any_null_ ? std::move(nulls_)
+                                         : std::vector<uint8_t>{};
+  BlockPtr out;
+  switch (type_) {
+    case TypeKind::kBoolean:
+      out = std::make_shared<ByteBlock>(type_, std::move(bools_),
+                                        std::move(nulls));
+      break;
+    case TypeKind::kBigint:
+    case TypeKind::kDate:
+      out = std::make_shared<LongBlock>(type_, std::move(longs_),
+                                        std::move(nulls));
+      break;
+    case TypeKind::kUnknown:
+      out = std::make_shared<LongBlock>(TypeKind::kBigint, std::move(longs_),
+                                        std::move(nulls));
+      break;
+    case TypeKind::kDouble:
+      out = std::make_shared<DoubleBlock>(type_, std::move(doubles_),
+                                          std::move(nulls));
+      break;
+    case TypeKind::kVarchar:
+      out = std::make_shared<VarcharBlock>(std::move(offsets_),
+                                           std::move(bytes_),
+                                           std::move(nulls));
+      break;
+  }
+  count_ = 0;
+  any_null_ = false;
+  nulls_.clear();
+  bools_.clear();
+  longs_.clear();
+  doubles_.clear();
+  offsets_ = {0};
+  bytes_.clear();
+  return out;
+}
+
+}  // namespace presto

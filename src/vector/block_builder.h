@@ -1,0 +1,103 @@
+#ifndef PRESTOCPP_VECTOR_BLOCK_BUILDER_H_
+#define PRESTOCPP_VECTOR_BLOCK_BUILDER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "types/value.h"
+#include "vector/block.h"
+#include "vector/page.h"
+
+namespace presto {
+
+/// Incremental builder for a single flat block of any supported type.
+/// Operators building generic output rows (aggregation finalization, sort
+/// output, sinks) use this; type-specialized hot loops build vectors
+/// directly.
+class BlockBuilder {
+ public:
+  explicit BlockBuilder(TypeKind type) : type_(type) {}
+
+  TypeKind type() const { return type_; }
+  int64_t size() const { return count_; }
+
+  void AppendNull();
+  void AppendBoolean(bool v);
+  void AppendBigint(int64_t v);  // also DATE
+  void AppendDouble(double v);
+  void AppendString(std::string_view v);
+
+  /// Appends a boxed value (must match or coerce to the builder type).
+  void AppendValue(const Value& v);
+
+  /// Appends row `row` of `block` (types must match).
+  void AppendFrom(const Block& block, int64_t row);
+
+  /// Finishes and returns the block; the builder resets to empty.
+  BlockPtr Build();
+
+ private:
+  TypeKind type_;
+  int64_t count_ = 0;
+  bool any_null_ = false;
+  std::vector<uint8_t> nulls_;
+  std::vector<uint8_t> bools_;
+  std::vector<int64_t> longs_;
+  std::vector<double> doubles_;
+  std::vector<int32_t> offsets_{0};
+  std::string bytes_;
+};
+
+/// Builds a Page row by row against a fixed schema of column types.
+class PageBuilder {
+ public:
+  explicit PageBuilder(std::vector<TypeKind> types) {
+    builders_.reserve(types.size());
+    for (TypeKind t : types) builders_.emplace_back(t);
+  }
+
+  size_t num_columns() const { return builders_.size(); }
+  int64_t num_rows() const { return rows_; }
+  BlockBuilder& column(size_t i) { return builders_[i]; }
+
+  /// Appends one boxed row; values.size() must equal num_columns().
+  void AppendRow(const std::vector<Value>& values) {
+    PRESTO_DCHECK(values.size() == builders_.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      builders_[i].AppendValue(values[i]);
+    }
+    ++rows_;
+  }
+
+  /// Appends row `row` of `page` column-by-column.
+  void AppendRowFrom(const Page& page, int64_t row) {
+    for (size_t i = 0; i < builders_.size(); ++i) {
+      builders_[i].AppendFrom(*page.block(i), row);
+    }
+    ++rows_;
+  }
+
+  /// Call after appending via column() builders directly.
+  void CommitRow() { ++rows_; }
+
+  bool empty() const { return rows_ == 0; }
+
+  /// Finishes and returns the page; the builder resets to empty.
+  Page Build() {
+    std::vector<BlockPtr> blocks;
+    blocks.reserve(builders_.size());
+    for (auto& b : builders_) blocks.push_back(b.Build());
+    Page out(std::move(blocks), rows_);
+    rows_ = 0;
+    return out;
+  }
+
+ private:
+  std::vector<BlockBuilder> builders_;
+  int64_t rows_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_VECTOR_BLOCK_BUILDER_H_

@@ -1,0 +1,92 @@
+#include "vector/decoded_block.h"
+
+namespace presto {
+
+namespace {
+
+// Extracts raw value/null pointers from a flat or varchar block.
+struct BasePointers {
+  const void* values = nullptr;
+  const uint8_t* nulls = nullptr;
+  const VarcharBlock* varchar = nullptr;
+};
+
+BasePointers GetBasePointers(const Block& base) {
+  BasePointers out;
+  switch (base.type()) {
+    case TypeKind::kBoolean: {
+      const auto& b = static_cast<const ByteBlock&>(base);
+      out.values = b.raw_values();
+      out.nulls = b.raw_nulls();
+      break;
+    }
+    case TypeKind::kBigint:
+    case TypeKind::kDate: {
+      const auto& b = static_cast<const LongBlock&>(base);
+      out.values = b.raw_values();
+      out.nulls = b.raw_nulls();
+      break;
+    }
+    case TypeKind::kDouble: {
+      const auto& b = static_cast<const DoubleBlock&>(base);
+      out.values = b.raw_values();
+      out.nulls = b.raw_nulls();
+      break;
+    }
+    case TypeKind::kVarchar: {
+      const auto& b = static_cast<const VarcharBlock&>(base);
+      out.varchar = &b;
+      out.nulls = b.raw_nulls();
+      break;
+    }
+    default:
+      PRESTO_UNREACHABLE();
+  }
+  return out;
+}
+
+// Resolves a lazy wrapper, returning the materialized block (or the input).
+BlockPtr ResolveLazy(BlockPtr block) {
+  while (block->encoding() == BlockEncoding::kLazy) {
+    block = static_cast<const LazyBlock*>(block.get())->Load();
+  }
+  return block;
+}
+
+}  // namespace
+
+void DecodedBlock::Decode(const BlockPtr& block) {
+  size_ = block->size();
+  constant_ = false;
+  indices_ = nullptr;
+
+  BlockPtr current = ResolveLazy(block);
+
+  if (current->encoding() == BlockEncoding::kRle) {
+    constant_ = true;
+    current = ResolveLazy(
+        static_cast<const RleBlock*>(current.get())->value_block());
+  } else if (current->encoding() == BlockEncoding::kDictionary) {
+    const auto* dict = static_cast<const DictionaryBlock*>(current.get());
+    indices_ = dict->indices().data();
+    // Keep `current` (the dictionary wrapper) alive via dictionary_holder_
+    // so indices_ stays valid even if the caller drops `block`.
+    dictionary_holder_ = current;
+    current = ResolveLazy(dict->dictionary());
+  }
+
+  if (current->encoding() != BlockEncoding::kFlat &&
+      current->encoding() != BlockEncoding::kVarchar) {
+    // Nested encodings (e.g. dictionary over RLE): flatten the base.
+    current = current->Flatten();
+  }
+
+  base_holder_ = std::move(current);
+  base_ = base_holder_.get();
+  BasePointers ptrs = GetBasePointers(*base_);
+  raw_values_ = ptrs.values;
+  varchar_ = ptrs.varchar;
+  base_nulls_ = ptrs.nulls;
+}
+
+}  // namespace presto

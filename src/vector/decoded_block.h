@@ -1,0 +1,78 @@
+#ifndef PRESTOCPP_VECTOR_DECODED_BLOCK_H_
+#define PRESTOCPP_VECTOR_DECODED_BLOCK_H_
+
+#include <string_view>
+
+#include "vector/block.h"
+#include "vector/encoded_block.h"
+
+namespace presto {
+
+/// Uniform O(1) accessor over any block encoding, in the style of Velox's
+/// DecodedVector. Decoding resolves lazy blocks, exposes the flat "base"
+/// block, and provides the logical-row -> base-row mapping so kernels can be
+/// written once and run over flat, RLE, and dictionary data alike.
+class DecodedBlock {
+ public:
+  DecodedBlock() = default;
+
+  /// Prepares accessors for `block`. The block must outlive this object.
+  /// Triggers lazy materialization.
+  void Decode(const BlockPtr& block);
+
+  int64_t size() const { return size_; }
+
+  /// True if every row maps to base row 0 (RLE source).
+  bool is_constant() const { return constant_; }
+
+  /// True if the source was dictionary-encoded (fast paths in PageProcessor).
+  bool is_dictionary() const { return indices_ != nullptr; }
+
+  /// The flat (or varchar) block rows map into.
+  const Block& base() const { return *base_; }
+  const BlockPtr& base_ptr() const { return base_holder_; }
+
+  /// Maps logical row i to a row in base().
+  int32_t IndexAt(int64_t i) const {
+    if (constant_) return 0;
+    if (indices_ != nullptr) return indices_[i];
+    return static_cast<int32_t>(i);
+  }
+
+  bool IsNull(int64_t i) const {
+    if (base_nulls_ == nullptr) return false;
+    return base_nulls_[IndexAt(i)] != 0;
+  }
+
+  bool MayHaveNulls() const { return base_nulls_ != nullptr; }
+
+  /// Typed access for fixed-width types. T must match the base block's
+  /// physical type (uint8_t, int64_t, double).
+  template <typename T>
+  T ValueAt(int64_t i) const {
+    return static_cast<const T*>(raw_values_)[IndexAt(i)];
+  }
+
+  std::string_view StringAt(int64_t i) const {
+    return varchar_->StringAt(IndexAt(i));
+  }
+
+  uint64_t HashAt(int64_t i) const { return base_->HashAt(IndexAt(i)); }
+
+  Value GetValue(int64_t i) const { return base_->GetValue(IndexAt(i)); }
+
+ private:
+  const Block* base_ = nullptr;
+  BlockPtr base_holder_;        // keeps flattened/lazy bases alive
+  BlockPtr dictionary_holder_;  // keeps the dictionary wrapper (indices) alive
+  const VarcharBlock* varchar_ = nullptr;
+  const void* raw_values_ = nullptr;
+  const uint8_t* base_nulls_ = nullptr;
+  const int32_t* indices_ = nullptr;
+  int64_t size_ = 0;
+  bool constant_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_VECTOR_DECODED_BLOCK_H_

@@ -1,0 +1,39 @@
+#include "vector/encoded_block.h"
+
+namespace presto {
+
+BlockPtr RleBlock::Flatten() const {
+  std::vector<int32_t> positions(static_cast<size_t>(size_), 0);
+  return value_->CopyPositions(positions.data(), size_);
+}
+
+BlockPtr DictionaryBlock::Flatten() const {
+  return dictionary_->CopyPositions(indices_.data(), size_);
+}
+
+const BlockPtr& LazyBlock::Load() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!loaded_) {
+    materialized_ = loader_();
+    PRESTO_CHECK(materialized_ != nullptr);
+    PRESTO_CHECK(materialized_->size() == size_);
+    loaded_ = true;
+    loader_ = nullptr;
+    if (stats_ != nullptr) {
+      stats_->blocks_loaded.fetch_add(1, std::memory_order_relaxed);
+      stats_->cells_loaded.fetch_add(size_, std::memory_order_relaxed);
+      stats_->bytes_loaded.fetch_add(materialized_->SizeInBytes(),
+                                     std::memory_order_relaxed);
+    }
+  }
+  return materialized_;
+}
+
+BlockPtr MakeConstantBlock(const Value& value, int64_t size) {
+  BlockPtr one = MakeBlockFromValues(
+      value.type() == TypeKind::kUnknown ? TypeKind::kBigint : value.type(),
+      {value});
+  return std::make_shared<RleBlock>(std::move(one), size);
+}
+
+}  // namespace presto

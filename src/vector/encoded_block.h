@@ -1,0 +1,145 @@
+#ifndef PRESTOCPP_VECTOR_ENCODED_BLOCK_H_
+#define PRESTOCPP_VECTOR_ENCODED_BLOCK_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "vector/block.h"
+
+namespace presto {
+
+/// Run-length-encoded block: one logical value repeated `size` times. The
+/// value is row 0 of a size-1 inner block (which also represents NULL runs).
+class RleBlock final : public Block {
+ public:
+  RleBlock(BlockPtr value, int64_t size)
+      : Block(value->type(), size), value_(std::move(value)) {
+    PRESTO_DCHECK(value_->size() == 1);
+  }
+
+  BlockEncoding encoding() const override { return BlockEncoding::kRle; }
+
+  /// The size-1 block holding the repeated value.
+  const BlockPtr& value_block() const { return value_; }
+
+  bool IsNull(int64_t) const override { return value_->IsNull(0); }
+  bool MayHaveNulls() const override { return value_->MayHaveNulls(); }
+  Value GetValue(int64_t) const override { return value_->GetValue(0); }
+  uint64_t HashAt(int64_t) const override { return value_->HashAt(0); }
+  int64_t SizeInBytes() const override { return value_->SizeInBytes() + 16; }
+  BlockPtr CopyPositions(const int32_t*, int64_t n) const override {
+    return std::make_shared<RleBlock>(value_, n);
+  }
+  BlockPtr Flatten() const override;
+
+ private:
+  BlockPtr value_;
+};
+
+/// Dictionary block: indices into a (usually shared) dictionary block.
+/// Fig. 5's DictionaryBlock; several blocks may share one dictionary, and
+/// operators process the dictionary once instead of every row (§V-E).
+class DictionaryBlock final : public Block {
+ public:
+  DictionaryBlock(BlockPtr dictionary, std::vector<int32_t> indices)
+      : Block(dictionary->type(), static_cast<int64_t>(indices.size())),
+        dictionary_(std::move(dictionary)),
+        indices_(std::move(indices)) {}
+
+  BlockEncoding encoding() const override { return BlockEncoding::kDictionary; }
+
+  const BlockPtr& dictionary() const { return dictionary_; }
+  const std::vector<int32_t>& indices() const { return indices_; }
+  int32_t IndexAt(int64_t i) const { return indices_[static_cast<size_t>(i)]; }
+
+  bool IsNull(int64_t i) const override {
+    return dictionary_->IsNull(IndexAt(i));
+  }
+  bool MayHaveNulls() const override { return dictionary_->MayHaveNulls(); }
+  Value GetValue(int64_t i) const override {
+    return dictionary_->GetValue(IndexAt(i));
+  }
+  uint64_t HashAt(int64_t i) const override {
+    return dictionary_->HashAt(IndexAt(i));
+  }
+  int64_t SizeInBytes() const override {
+    return dictionary_->SizeInBytes() +
+           static_cast<int64_t>(indices_.size() * sizeof(int32_t));
+  }
+  BlockPtr CopyPositions(const int32_t* positions, int64_t n) const override {
+    std::vector<int32_t> idx(static_cast<size_t>(n));
+    for (int64_t k = 0; k < n; ++k) {
+      idx[static_cast<size_t>(k)] = indices_[static_cast<size_t>(positions[k])];
+    }
+    return std::make_shared<DictionaryBlock>(dictionary_, std::move(idx));
+  }
+  BlockPtr Flatten() const override;
+
+ private:
+  BlockPtr dictionary_;
+  std::vector<int32_t> indices_;
+};
+
+/// Aggregate counters for the §V-D lazy-loading experiment: how many cells
+/// and bytes were actually materialized vs. skipped.
+struct LazyLoadStats {
+  std::atomic<int64_t> blocks_loaded{0};
+  std::atomic<int64_t> blocks_skipped{0};
+  std::atomic<int64_t> cells_loaded{0};
+  std::atomic<int64_t> bytes_loaded{0};
+};
+
+/// Lazily materialized column (§V-D): the loader runs (once) on first data
+/// access, typically reading, decompressing and decoding a storc column
+/// stream. Columns never touched — e.g. pruned by a highly selective filter
+/// on another column — are never fetched.
+class LazyBlock final : public Block {
+ public:
+  using Loader = std::function<BlockPtr()>;
+
+  LazyBlock(TypeKind type, int64_t size, Loader loader,
+            LazyLoadStats* stats = nullptr)
+      : Block(type, size), loader_(std::move(loader)), stats_(stats) {}
+
+  ~LazyBlock() override {
+    if (stats_ != nullptr && !loaded_) {
+      stats_->blocks_skipped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  BlockEncoding encoding() const override { return BlockEncoding::kLazy; }
+
+  /// Materializes (memoized) and returns the underlying block.
+  const BlockPtr& Load() const;
+
+  bool loaded() const { return loaded_; }
+
+  bool IsNull(int64_t i) const override { return Load()->IsNull(i); }
+  bool MayHaveNulls() const override { return Load()->MayHaveNulls(); }
+  Value GetValue(int64_t i) const override { return Load()->GetValue(i); }
+  uint64_t HashAt(int64_t i) const override { return Load()->HashAt(i); }
+  int64_t SizeInBytes() const override {
+    return loaded_ ? Load()->SizeInBytes() : 16;
+  }
+  BlockPtr CopyPositions(const int32_t* positions, int64_t n) const override {
+    return Load()->CopyPositions(positions, n);
+  }
+  BlockPtr Flatten() const override { return Load()->Flatten(); }
+
+ private:
+  mutable std::mutex mu_;
+  mutable Loader loader_;
+  mutable BlockPtr materialized_;
+  mutable bool loaded_ = false;
+  LazyLoadStats* stats_;
+};
+
+/// Wraps `value` (boxed) as an RLE constant block of length `size`.
+BlockPtr MakeConstantBlock(const Value& value, int64_t size);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_VECTOR_ENCODED_BLOCK_H_

@@ -1,0 +1,18 @@
+#include "vector/page.h"
+
+namespace presto {
+
+std::string Page::ToString() const {
+  std::string out;
+  for (int64_t r = 0; r < num_rows_; ++r) {
+    out += "[";
+    for (size_t c = 0; c < blocks_.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += blocks_[c]->GetValue(r).ToString();
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace presto

@@ -1,0 +1,72 @@
+#ifndef PRESTOCPP_VECTOR_PAGE_H_
+#define PRESTOCPP_VECTOR_PAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+#include "vector/block.h"
+
+namespace presto {
+
+/// The unit of data flow between operators and across shuffles: a columnar
+/// encoding of a sequence of rows (§IV-E1). All blocks share the row count.
+class Page {
+ public:
+  Page() = default;
+  explicit Page(std::vector<BlockPtr> blocks)
+      : blocks_(std::move(blocks)),
+        num_rows_(blocks_.empty() ? 0 : blocks_[0]->size()) {
+    for (const auto& b : blocks_) PRESTO_DCHECK(b->size() == num_rows_);
+  }
+  /// A page with rows but no columns (e.g. SELECT count(*) intermediate).
+  Page(std::vector<BlockPtr> blocks, int64_t num_rows)
+      : blocks_(std::move(blocks)), num_rows_(num_rows) {}
+
+  int64_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return blocks_.size(); }
+  const BlockPtr& block(size_t i) const { return blocks_[i]; }
+  const std::vector<BlockPtr>& blocks() const { return blocks_; }
+
+  /// Approximate memory footprint for accounting and buffer sizing.
+  int64_t SizeInBytes() const {
+    int64_t total = 0;
+    for (const auto& b : blocks_) total += b->SizeInBytes();
+    return total;
+  }
+
+  /// Boxed row (tests, reference executor, result rendering).
+  std::vector<Value> GetRow(int64_t i) const {
+    std::vector<Value> row;
+    row.reserve(blocks_.size());
+    for (const auto& b : blocks_) row.push_back(b->GetValue(i));
+    return row;
+  }
+
+  /// New page with the selected positions from every column.
+  Page CopyPositions(const int32_t* positions, int64_t n) const {
+    std::vector<BlockPtr> out;
+    out.reserve(blocks_.size());
+    for (const auto& b : blocks_) out.push_back(b->CopyPositions(positions, n));
+    return Page(std::move(out), n);
+  }
+
+  /// Fully decoded copy (flattens RLE/dictionary, loads lazy columns).
+  Page Flatten() const {
+    std::vector<BlockPtr> out;
+    out.reserve(blocks_.size());
+    for (const auto& b : blocks_) out.push_back(b->Flatten());
+    return Page(std::move(out), num_rows_);
+  }
+
+  /// Debug rendering, one line per row.
+  std::string ToString() const;
+
+ private:
+  std::vector<BlockPtr> blocks_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_VECTOR_PAGE_H_

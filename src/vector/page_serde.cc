@@ -1,0 +1,188 @@
+#include "vector/page_serde.h"
+
+#include <cstring>
+
+#include "vector/decoded_block.h"
+
+namespace presto {
+
+namespace {
+
+template <typename T>
+void WritePod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void WriteBytes(std::string* out, const void* data, size_t len) {
+  out->append(static_cast<const char*>(data), len);
+}
+
+template <typename T>
+bool ReadPod(const std::string& in, size_t* off, T* v) {
+  if (*off + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *off, sizeof(T));
+  *off += sizeof(T);
+  return true;
+}
+
+bool ReadBytes(const std::string& in, size_t* off, void* data, size_t len) {
+  if (*off + len > in.size()) return false;
+  std::memcpy(data, in.data() + *off, len);
+  *off += len;
+  return true;
+}
+
+template <typename T>
+void WriteFlat(std::string* out, const FlatBlock<T>& b) {
+  auto n = static_cast<size_t>(b.size());
+  uint8_t has_nulls = b.raw_nulls() != nullptr ? 1 : 0;
+  WritePod<uint8_t>(out, has_nulls);
+  WriteBytes(out, b.raw_values(), n * sizeof(T));
+  if (has_nulls) WriteBytes(out, b.raw_nulls(), n);
+}
+
+template <typename T>
+Result<BlockPtr> ReadFlat(const std::string& in, size_t* off, TypeKind type,
+                          int64_t rows) {
+  uint8_t has_nulls = 0;
+  if (!ReadPod(in, off, &has_nulls)) {
+    return Status::IOError("truncated page: flat header");
+  }
+  auto n = static_cast<size_t>(rows);
+  std::vector<T> values(n);
+  if (!ReadBytes(in, off, values.data(), n * sizeof(T))) {
+    return Status::IOError("truncated page: flat values");
+  }
+  std::vector<uint8_t> nulls;
+  if (has_nulls) {
+    nulls.resize(n);
+    if (!ReadBytes(in, off, nulls.data(), n)) {
+      return Status::IOError("truncated page: flat nulls");
+    }
+  }
+  return BlockPtr(std::make_shared<FlatBlock<T>>(type, std::move(values),
+                                                 std::move(nulls)));
+}
+
+}  // namespace
+
+std::string SerializePage(const Page& page) {
+  std::string out;
+  WritePod<uint32_t>(&out, static_cast<uint32_t>(page.num_columns()));
+  WritePod<int64_t>(&out, page.num_rows());
+  for (size_t c = 0; c < page.num_columns(); ++c) {
+    BlockPtr flat = page.block(c)->Flatten();
+    WritePod<uint8_t>(&out, static_cast<uint8_t>(flat->type()));
+    switch (flat->type()) {
+      case TypeKind::kBoolean:
+        WriteFlat(&out, static_cast<const ByteBlock&>(*flat));
+        break;
+      case TypeKind::kBigint:
+      case TypeKind::kDate:
+        WriteFlat(&out, static_cast<const LongBlock&>(*flat));
+        break;
+      case TypeKind::kDouble:
+        WriteFlat(&out, static_cast<const DoubleBlock&>(*flat));
+        break;
+      case TypeKind::kVarchar: {
+        const auto& vb = static_cast<const VarcharBlock&>(*flat);
+        uint8_t has_nulls = vb.raw_nulls() != nullptr ? 1 : 0;
+        WritePod<uint8_t>(&out, has_nulls);
+        auto n = static_cast<size_t>(vb.size());
+        // Rebuild canonical offsets/bytes from string views.
+        std::vector<int32_t> offsets;
+        offsets.reserve(n + 1);
+        offsets.push_back(0);
+        std::string bytes;
+        for (size_t i = 0; i < n; ++i) {
+          if (!vb.IsNull(static_cast<int64_t>(i))) {
+            auto sv = vb.StringAt(static_cast<int64_t>(i));
+            bytes.append(sv.data(), sv.size());
+          }
+          offsets.push_back(static_cast<int32_t>(bytes.size()));
+        }
+        WriteBytes(&out, offsets.data(), offsets.size() * sizeof(int32_t));
+        WritePod<uint64_t>(&out, bytes.size());
+        WriteBytes(&out, bytes.data(), bytes.size());
+        if (has_nulls) WriteBytes(&out, vb.raw_nulls(), n);
+        break;
+      }
+      default:
+        PRESTO_UNREACHABLE();
+    }
+  }
+  return out;
+}
+
+Result<Page> DeserializePage(const std::string& data, size_t* offset) {
+  uint32_t num_cols = 0;
+  int64_t rows = 0;
+  if (!ReadPod(data, offset, &num_cols) || !ReadPod(data, offset, &rows)) {
+    return Status::IOError("truncated page: header");
+  }
+  std::vector<BlockPtr> blocks;
+  blocks.reserve(num_cols);
+  for (uint32_t c = 0; c < num_cols; ++c) {
+    uint8_t type_byte = 0;
+    if (!ReadPod(data, offset, &type_byte)) {
+      return Status::IOError("truncated page: column type");
+    }
+    auto type = static_cast<TypeKind>(type_byte);
+    switch (type) {
+      case TypeKind::kBoolean: {
+        PRESTO_ASSIGN_OR_RETURN(BlockPtr b,
+                                ReadFlat<uint8_t>(data, offset, type, rows));
+        blocks.push_back(std::move(b));
+        break;
+      }
+      case TypeKind::kBigint:
+      case TypeKind::kDate: {
+        PRESTO_ASSIGN_OR_RETURN(BlockPtr b,
+                                ReadFlat<int64_t>(data, offset, type, rows));
+        blocks.push_back(std::move(b));
+        break;
+      }
+      case TypeKind::kDouble: {
+        PRESTO_ASSIGN_OR_RETURN(BlockPtr b,
+                                ReadFlat<double>(data, offset, type, rows));
+        blocks.push_back(std::move(b));
+        break;
+      }
+      case TypeKind::kVarchar: {
+        uint8_t has_nulls = 0;
+        if (!ReadPod(data, offset, &has_nulls)) {
+          return Status::IOError("truncated page: varchar header");
+        }
+        auto n = static_cast<size_t>(rows);
+        std::vector<int32_t> offsets(n + 1);
+        if (!ReadBytes(data, offset, offsets.data(),
+                       offsets.size() * sizeof(int32_t))) {
+          return Status::IOError("truncated page: varchar offsets");
+        }
+        uint64_t nbytes = 0;
+        if (!ReadPod(data, offset, &nbytes)) {
+          return Status::IOError("truncated page: varchar length");
+        }
+        std::string bytes(nbytes, '\0');
+        if (!ReadBytes(data, offset, bytes.data(), nbytes)) {
+          return Status::IOError("truncated page: varchar bytes");
+        }
+        std::vector<uint8_t> nulls;
+        if (has_nulls) {
+          nulls.resize(n);
+          if (!ReadBytes(data, offset, nulls.data(), n)) {
+            return Status::IOError("truncated page: varchar nulls");
+          }
+        }
+        blocks.push_back(std::make_shared<VarcharBlock>(
+            std::move(offsets), std::move(bytes), std::move(nulls)));
+        break;
+      }
+      default:
+        return Status::IOError("bad page: unknown column type");
+    }
+  }
+  return Page(std::move(blocks), rows);
+}
+
+}  // namespace presto

@@ -1,0 +1,22 @@
+#ifndef PRESTOCPP_VECTOR_PAGE_SERDE_H_
+#define PRESTOCPP_VECTOR_PAGE_SERDE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "vector/page.h"
+
+namespace presto {
+
+/// Binary page serialization used by the spiller (§IV-F2) and to measure
+/// shuffle byte volumes. Blocks are flattened before writing; encodings are
+/// a transit optimization we do not persist.
+std::string SerializePage(const Page& page);
+
+/// Parses a page previously produced by SerializePage starting at
+/// data[*offset]; advances *offset past the page.
+Result<Page> DeserializePage(const std::string& data, size_t* offset);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_VECTOR_PAGE_SERDE_H_

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "common/hash.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_utils.h"
+#include "common/thread_pool.h"
+
+namespace presto {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad query");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad query");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad query");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (auto code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kResourceExhausted, StatusCode::kCancelled,
+        StatusCode::kUnsupported, StatusCode::kIOError,
+        StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  PRESTO_ASSIGN_OR_RETURN(int h, Half(x));
+  *out = h;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  Status s = UseHalf(3, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RandomTest, Deterministic) {
+  Random a(7);
+  Random b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RandomTest, RangesRespected) {
+  Random r(11);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = r.NextInt64(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, SkewedFavorsLowIndices) {
+  Random r(13);
+  int64_t low = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (r.NextSkewed(100) < 10) ++low;
+  }
+  // Cubic skew puts far more than 10% of mass in the first decile.
+  EXPECT_GT(low, kTrials / 3);
+}
+
+TEST(HashTest, CombinesAndSpreads) {
+  std::set<uint64_t> hashes;
+  for (int64_t i = 0; i < 1000; ++i) {
+    hashes.insert(HashInt64(static_cast<uint64_t>(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+  EXPECT_NE(HashCombine(HashInt64(1), HashInt64(2)),
+            HashCombine(HashInt64(2), HashInt64(1)));
+}
+
+TEST(HashTest, StringAndDoubleStability) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_EQ(HashDouble(0.0), HashDouble(-0.0));
+}
+
+TEST(StringUtilsTest, CaseConversion) {
+  EXPECT_EQ(ToLowerAscii("SeLeCt"), "select");
+  EXPECT_EQ(ToUpperAscii("varchar"), "VARCHAR");
+}
+
+TEST(StringUtilsTest, JoinAndSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  auto parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtilsTest, LikeMatching) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%llo"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(LikeMatch("hello", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("hello", "h_llo_"));
+  EXPECT_FALSE(LikeMatch("hello", "world"));
+  EXPECT_TRUE(LikeMatch("a%b", "a%b"));
+  EXPECT_TRUE(LikeMatch("axxxb", "a%b"));
+  EXPECT_FALSE(LikeMatch("axxx", "a%b"));
+}
+
+TEST(StringUtilsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512.0 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MB");
+}
+
+TEST(ThreadPoolTest, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+}  // namespace
+}  // namespace presto

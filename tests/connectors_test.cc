@@ -1,0 +1,414 @@
+#include <gtest/gtest.h>
+
+#include "connectors/hive/hive_connector.h"
+#include "connectors/hive/minidfs.h"
+#include "connectors/hive/storc.h"
+#include "connectors/raptor/raptor_connector.h"
+#include "connectors/shardedstore/sharded_store.h"
+#include "connectors/tpch/tpch_connector.h"
+#include "vector/block_builder.h"
+
+namespace presto {
+namespace {
+
+// ---- minidfs ----
+
+TEST(MiniDfsTest, WriteReadList) {
+  MiniDfs dfs({/*latency*/ 0, /*bw*/ 0, /*list*/ 0});
+  ASSERT_TRUE(dfs.Write("/a/b/file1", "hello world").ok());
+  ASSERT_TRUE(dfs.Write("/a/b/file2", "xyz").ok());
+  ASSERT_TRUE(dfs.Write("/a/c/file3", "q").ok());
+  auto size = dfs.FileSize("/a/b/file1");
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 11);
+  auto range = dfs.ReadRange("/a/b/file1", 6, 5);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(*range, "world");
+  EXPECT_EQ(dfs.List("/a/b/").size(), 2u);
+  EXPECT_FALSE(dfs.ReadRange("/a/b/file1", 8, 10).ok());
+  EXPECT_FALSE(dfs.FileSize("/missing").ok());
+  EXPECT_EQ(dfs.total_reads(), 1);
+}
+
+// ---- storc ----
+
+Page TestPage(int64_t start, int64_t rows) {
+  std::vector<int64_t> ids;
+  std::vector<double> vals;
+  std::vector<std::string> cats;
+  for (int64_t i = start; i < start + rows; ++i) {
+    ids.push_back(i);
+    vals.push_back(static_cast<double>(i) * 0.5);
+    cats.push_back(i % 3 == 0 ? "alpha" : (i % 3 == 1 ? "beta" : "gamma"));
+  }
+  return Page({MakeBigintBlock(ids), MakeDoubleBlock(vals),
+               MakeVarcharBlock(cats)});
+}
+
+RowSchema TestSchema() {
+  RowSchema schema;
+  schema.Add("id", TypeKind::kBigint);
+  schema.Add("val", TypeKind::kDouble);
+  schema.Add("cat", TypeKind::kVarchar);
+  return schema;
+}
+
+TEST(StorcTest, WriteReadRoundTrip) {
+  MiniDfs dfs({0, 0, 0});
+  StorcWriter writer(TestSchema(), /*stripe_rows=*/100);
+  writer.Append(TestPage(0, 250));
+  ASSERT_TRUE(dfs.Write("/t/file.storc", writer.Finish()).ok());
+
+  auto footer = ReadStorcFooter(dfs, "/t/file.storc");
+  ASSERT_TRUE(footer.ok()) << footer.status().ToString();
+  EXPECT_EQ(footer->total_rows, 250);
+  EXPECT_EQ(footer->stripes.size(), 3u);  // 100+100+50
+  EXPECT_EQ(footer->schema.size(), 3u);
+
+  StorcReader reader(&dfs, "/t/file.storc", *footer, {0, 1, 2}, {}, true,
+                     nullptr);
+  int64_t total = 0;
+  int64_t expected_id = 0;
+  for (;;) {
+    auto page = reader.NextPage();
+    ASSERT_TRUE(page.ok());
+    if (!page->has_value()) break;
+    for (int64_t r = 0; r < (*page)->num_rows(); ++r) {
+      EXPECT_EQ((*page)->block(0)->GetValue(r), Value::Bigint(expected_id));
+      ++expected_id;
+    }
+    total += (*page)->num_rows();
+  }
+  EXPECT_EQ(total, 250);
+}
+
+TEST(StorcTest, StripeStatsPruning) {
+  MiniDfs dfs({0, 0, 0});
+  StorcWriter writer(TestSchema(), 100);
+  writer.Append(TestPage(0, 300));  // ids 0..299 in 3 stripes
+  ASSERT_TRUE(dfs.Write("/t/file.storc", writer.Finish()).ok());
+  auto footer = ReadStorcFooter(dfs, "/t/file.storc");
+  ASSERT_TRUE(footer.ok());
+  // id = 250 only lives in the third stripe.
+  std::vector<ColumnPredicate> preds = {
+      {"id", ColumnPredicate::Op::kEq, {Value::Bigint(250)}}};
+  StorcReader reader(&dfs, "/t/file.storc", *footer, {0}, preds, true,
+                     nullptr);
+  int64_t pages = 0;
+  for (;;) {
+    auto page = reader.NextPage();
+    ASSERT_TRUE(page.ok());
+    if (!page->has_value()) break;
+    ++pages;
+  }
+  EXPECT_EQ(pages, 1);
+  EXPECT_EQ(reader.stripes_skipped(), 2);
+}
+
+TEST(StorcTest, DictionaryEncodingDecodesAsDictionary) {
+  MiniDfs dfs({0, 0, 0});
+  StorcWriter writer(TestSchema(), 1000);
+  writer.Append(TestPage(0, 500));  // cat has 3 distinct values
+  ASSERT_TRUE(dfs.Write("/t/dict.storc", writer.Finish()).ok());
+  auto footer = ReadStorcFooter(dfs, "/t/dict.storc");
+  ASSERT_TRUE(footer.ok());
+  StorcReader reader(&dfs, "/t/dict.storc", *footer, {2}, {}, false, nullptr);
+  auto page = reader.NextPage();
+  ASSERT_TRUE(page.ok());
+  ASSERT_TRUE(page->has_value());
+  // Low-cardinality column decodes straight into a dictionary block (§V-E).
+  EXPECT_EQ((*page)->block(0)->encoding(), BlockEncoding::kDictionary);
+}
+
+TEST(StorcTest, RleEncodingForConstantColumn) {
+  MiniDfs dfs({0, 0, 0});
+  RowSchema schema;
+  schema.Add("c", TypeKind::kBigint);
+  StorcWriter writer(schema, 1000);
+  writer.Append(Page({MakeBigintBlock(std::vector<int64_t>(400, 7))}));
+  ASSERT_TRUE(dfs.Write("/t/rle.storc", writer.Finish()).ok());
+  auto footer = ReadStorcFooter(dfs, "/t/rle.storc");
+  ASSERT_TRUE(footer.ok());
+  StorcReader reader(&dfs, "/t/rle.storc", *footer, {0}, {}, false, nullptr);
+  auto page = reader.NextPage();
+  ASSERT_TRUE(page.ok() && page->has_value());
+  EXPECT_EQ((*page)->block(0)->encoding(), BlockEncoding::kRle);
+  EXPECT_EQ((*page)->block(0)->GetValue(399), Value::Bigint(7));
+}
+
+TEST(StorcTest, LazyLoadingCountsStats) {
+  MiniDfs dfs({0, 0, 0});
+  StorcWriter writer(TestSchema(), 1000);
+  writer.Append(TestPage(0, 100));
+  ASSERT_TRUE(dfs.Write("/t/lazy.storc", writer.Finish()).ok());
+  auto footer = ReadStorcFooter(dfs, "/t/lazy.storc");
+  ASSERT_TRUE(footer.ok());
+  LazyLoadStats stats;
+  {
+    StorcReader reader(&dfs, "/t/lazy.storc", *footer, {0, 1, 2}, {}, true,
+                       &stats);
+    auto page = reader.NextPage();
+    ASSERT_TRUE(page.ok() && page->has_value());
+    // Touch only column 0.
+    EXPECT_EQ((*page)->block(0)->GetValue(0), Value::Bigint(0));
+  }
+  EXPECT_EQ(stats.blocks_loaded.load(), 1);
+  EXPECT_EQ(stats.blocks_skipped.load(), 2);
+}
+
+// ---- hive connector ----
+
+TEST(HiveConnectorTest, LoadScanAnalyze) {
+  HiveConfig config;
+  config.dfs = {0, 0, 0};
+  HiveConnector hive("hive", config);
+  ASSERT_TRUE(hive.CreateTable("t", TestSchema()).ok());
+  ASSERT_TRUE(hive.LoadTable("t", {TestPage(0, 1000)}).ok());
+
+  auto handle = hive.metadata().GetTable("t");
+  ASSERT_TRUE(handle.ok());
+  // Stats unknown before ANALYZE (the Fig. 6 "no stats" configuration).
+  auto stats = hive.metadata().GetStats(**handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->valid());
+  ASSERT_TRUE(hive.AnalyzeTable("t").ok());
+  stats = hive.metadata().GetStats(**handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->row_count, 1000);
+  EXPECT_EQ(stats->columns.at("cat").distinct_values, 3);
+
+  // Scan everything through splits.
+  auto splits = hive.GetSplits(**handle, "", {}, 2);
+  ASSERT_TRUE(splits.ok());
+  int64_t rows = 0;
+  for (;;) {
+    auto batch = (*splits)->NextBatch(8);
+    ASSERT_TRUE(batch.ok());
+    if (batch->empty()) break;
+    for (const auto& split : *batch) {
+      auto source = hive.CreateDataSource(*split, **handle, {0}, {});
+      ASSERT_TRUE(source.ok());
+      for (;;) {
+        auto page = (*source)->NextPage();
+        ASSERT_TRUE(page.ok());
+        if (!page->has_value()) break;
+        rows += (*page)->num_rows();
+      }
+    }
+  }
+  EXPECT_EQ(rows, 1000);
+}
+
+TEST(HiveConnectorTest, PartitionPruningIsExact) {
+  HiveConfig config;
+  config.dfs = {0, 0, 0};
+  HiveConnector hive("hive", config);
+  ASSERT_TRUE(hive.CreateTable("pt", TestSchema(), "cat").ok());
+  ASSERT_TRUE(hive.LoadTable("pt", {TestPage(0, 300)}).ok());
+  auto handle = hive.metadata().GetTable("pt");
+  ASSERT_TRUE(handle.ok());
+  ColumnPredicate pred{"cat", ColumnPredicate::Op::kEq,
+                       {Value::Varchar("alpha")}};
+  EXPECT_EQ(hive.metadata().GetPushdownSupport(**handle, pred),
+            PushdownSupport::kExact);
+  auto splits = hive.GetSplits(**handle, "", {pred}, 1);
+  ASSERT_TRUE(splits.ok());
+  auto batch = (*splits)->NextBatch(100);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 1u);  // only the alpha partition directory
+}
+
+// ---- raptor ----
+
+TEST(RaptorConnectorTest, BucketedLoadAndLayout) {
+  RaptorConnector raptor;
+  ASSERT_TRUE(raptor.CreateTable("r", TestSchema(), "id", 4, "id").ok());
+  ASSERT_TRUE(raptor.LoadTable("r", {TestPage(0, 400)}).ok());
+  auto handle = raptor.metadata().GetTable("r");
+  ASSERT_TRUE(handle.ok());
+  auto layouts = raptor.metadata().GetLayouts(**handle);
+  ASSERT_EQ(layouts.size(), 1u);
+  EXPECT_EQ(layouts[0].partition_columns, std::vector<std::string>{"id"});
+  EXPECT_EQ(layouts[0].bucket_count, 4);
+  auto stats = raptor.metadata().GetStats(**handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->row_count, 400);
+
+  auto splits = raptor.GetSplits(**handle, layouts[0].id, {}, 2);
+  ASSERT_TRUE(splits.ok());
+  auto batch = (*splits)->NextBatch(100);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 4u);
+  int64_t rows = 0;
+  for (const auto& split : *batch) {
+    EXPECT_TRUE(split->hard_affinity());
+    EXPECT_GE(split->preferred_worker(), 0);
+    EXPECT_LT(split->preferred_worker(), 2);
+    auto source = raptor.CreateDataSource(*split, **handle, {0, 1, 2}, {});
+    ASSERT_TRUE(source.ok());
+    for (;;) {
+      auto page = (*source)->NextPage();
+      ASSERT_TRUE(page.ok());
+      if (!page->has_value()) break;
+      rows += (*page)->num_rows();
+    }
+  }
+  EXPECT_EQ(rows, 400);
+}
+
+// ---- sharded store ----
+
+TEST(ShardedStoreTest, ExactIndexPushdown) {
+  ShardedStoreConnector store("mysql", {4, 0});
+  RowSchema schema;
+  schema.Add("app_id", TypeKind::kBigint);
+  schema.Add("metric", TypeKind::kVarchar);
+  schema.Add("value", TypeKind::kDouble);
+  ASSERT_TRUE(store.CreateTable("events", schema, "app_id", {"app_id"}).ok());
+  std::vector<int64_t> apps;
+  std::vector<std::string> metrics;
+  std::vector<double> values;
+  for (int64_t i = 0; i < 1000; ++i) {
+    apps.push_back(i % 50);
+    metrics.push_back(i % 2 == 0 ? "views" : "clicks");
+    values.push_back(static_cast<double>(i));
+  }
+  ASSERT_TRUE(store
+                  .LoadTable("events",
+                             {Page({MakeBigintBlock(apps),
+                                    MakeVarcharBlock(metrics),
+                                    MakeDoubleBlock(values)})})
+                  .ok());
+  auto handle = store.metadata().GetTable("events");
+  ASSERT_TRUE(handle.ok());
+  ColumnPredicate pred{"app_id", ColumnPredicate::Op::kEq,
+                       {Value::Bigint(7)}};
+  EXPECT_EQ(store.metadata().GetPushdownSupport(**handle, pred),
+            PushdownSupport::kExact);
+  ColumnPredicate unindexed{"metric", ColumnPredicate::Op::kEq,
+                            {Value::Varchar("views")}};
+  EXPECT_EQ(store.metadata().GetPushdownSupport(**handle, unindexed),
+            PushdownSupport::kUnsupported);
+
+  // Point predicate on the shard column routes to a single shard.
+  auto splits = store.GetSplits(**handle, "", {pred}, 1);
+  ASSERT_TRUE(splits.ok());
+  auto batch = (*splits)->NextBatch(100);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->size(), 1u);
+  int64_t rows = 0;
+  for (const auto& split : *batch) {
+    auto source = store.CreateDataSource(*split, **handle, {0, 2}, {pred});
+    ASSERT_TRUE(source.ok());
+    for (;;) {
+      auto page = (*source)->NextPage();
+      ASSERT_TRUE(page.ok());
+      if (!page->has_value()) break;
+      for (int64_t r = 0; r < (*page)->num_rows(); ++r) {
+        EXPECT_EQ((*page)->block(0)->GetValue(r), Value::Bigint(7));
+      }
+      rows += (*page)->num_rows();
+    }
+  }
+  EXPECT_EQ(rows, 20);  // 1000 rows / 50 apps
+}
+
+TEST(ShardedStoreTest, RangePushdown) {
+  ShardedStoreConnector store("mysql", {2, 0});
+  RowSchema schema;
+  schema.Add("k", TypeKind::kBigint);
+  schema.Add("v", TypeKind::kBigint);
+  ASSERT_TRUE(store.CreateTable("t", schema, "k", {"k", "v"}).ok());
+  std::vector<int64_t> ks, vs;
+  for (int64_t i = 0; i < 100; ++i) {
+    ks.push_back(i);
+    vs.push_back(i * 10);
+  }
+  ASSERT_TRUE(
+      store.LoadTable("t", {Page({MakeBigintBlock(ks), MakeBigintBlock(vs)})})
+          .ok());
+  auto handle = store.metadata().GetTable("t");
+  ASSERT_TRUE(handle.ok());
+  ColumnPredicate range{"v", ColumnPredicate::Op::kLt, {Value::Bigint(100)}};
+  auto splits = store.GetSplits(**handle, "", {range}, 1);
+  ASSERT_TRUE(splits.ok());
+  auto batch = (*splits)->NextBatch(100);
+  int64_t rows = 0;
+  for (const auto& split : *batch) {
+    auto source = store.CreateDataSource(*split, **handle, {0}, {range});
+    ASSERT_TRUE(source.ok());
+    for (;;) {
+      auto page = (*source)->NextPage();
+      ASSERT_TRUE(page.ok());
+      if (!page->has_value()) break;
+      rows += (*page)->num_rows();
+    }
+  }
+  EXPECT_EQ(rows, 10);  // v in {0,10,...,90}
+}
+
+// ---- tpch ----
+
+TEST(TpchConnectorTest, DeterministicGeneration) {
+  TpchConnector a("tpch", 0.1);
+  TpchConnector b("tpch", 0.1);
+  auto handle_a = a.metadata().GetTable("orders");
+  auto handle_b = b.metadata().GetTable("orders");
+  ASSERT_TRUE(handle_a.ok() && handle_b.ok());
+  auto read_some = [](TpchConnector& conn, const TableHandle& handle) {
+    auto splits = conn.GetSplits(handle, "", {}, 1);
+    EXPECT_TRUE(splits.ok());
+    auto batch = (*splits)->NextBatch(1);
+    EXPECT_TRUE(batch.ok() && !batch->empty());
+    auto source = conn.CreateDataSource(*(*batch)[0], handle, {0, 1, 3}, {});
+    EXPECT_TRUE(source.ok());
+    auto page = (*source)->NextPage();
+    EXPECT_TRUE(page.ok() && page->has_value());
+    return (*page)->ToString();
+  };
+  EXPECT_EQ(read_some(a, **handle_a), read_some(b, **handle_b));
+}
+
+TEST(TpchConnectorTest, RowCountsScale) {
+  TpchConnector small("tpch", 0.1);
+  TpchConnector large("tpch", 1.0);
+  EXPECT_EQ(*small.RowCount("nation"), 25);
+  EXPECT_EQ(*large.RowCount("region"), 5);
+  EXPECT_EQ(*large.RowCount("orders"), 15000);
+  EXPECT_EQ(*large.RowCount("lineitem"), 60000);
+  EXPECT_GT(*large.RowCount("orders"), *small.RowCount("orders"));
+  EXPECT_FALSE(small.RowCount("bogus").ok());
+}
+
+TEST(TpchConnectorTest, ForeignKeysInRange) {
+  TpchConnector tpch("tpch", 0.2);
+  int64_t customers = *tpch.RowCount("customer");
+  auto handle = tpch.metadata().GetTable("orders");
+  ASSERT_TRUE(handle.ok());
+  auto splits = tpch.GetSplits(**handle, "", {}, 1);
+  ASSERT_TRUE(splits.ok());
+  auto batch = (*splits)->NextBatch(1);
+  ASSERT_TRUE(batch.ok() && !batch->empty());
+  auto source = tpch.CreateDataSource(*(*batch)[0], **handle, {1}, {});
+  ASSERT_TRUE(source.ok());
+  auto page = (*source)->NextPage();
+  ASSERT_TRUE(page.ok() && page->has_value());
+  for (int64_t r = 0; r < (*page)->num_rows(); ++r) {
+    int64_t ck = (*page)->block(0)->GetValue(r).AsBigint();
+    EXPECT_GE(ck, 0);
+    EXPECT_LT(ck, customers);
+  }
+}
+
+TEST(TpchConnectorTest, StatsAreAnalytic) {
+  TpchConnector tpch("tpch", 1.0);
+  auto handle = tpch.metadata().GetTable("lineitem");
+  ASSERT_TRUE(handle.ok());
+  auto stats = tpch.metadata().GetStats(**handle);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->row_count, 60000);
+  EXPECT_EQ(stats->columns.at("orderkey").distinct_values, 15000);
+}
+
+}  // namespace
+}  // namespace presto

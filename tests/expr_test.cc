@@ -1,0 +1,518 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "expr/aggregates.h"
+#include "expr/evaluator.h"
+#include "expr/expression.h"
+#include "expr/function_registry.h"
+#include "expr/page_processor.h"
+#include "vector/block_builder.h"
+#include "vector/decoded_block.h"
+#include "vector/encoded_block.h"
+
+namespace presto {
+namespace {
+
+const ScalarFunction* Fn(const std::string& name,
+                         std::vector<TypeKind> args) {
+  auto r = FunctionRegistry::Instance().Resolve(name, args);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? *r : nullptr;
+}
+
+ExprPtr Col(int i, TypeKind t) { return Expr::MakeColumn(i, t); }
+ExprPtr Lit(Value v) { return Expr::MakeLiteral(std::move(v)); }
+ExprPtr Call(const std::string& name, std::vector<ExprPtr> args) {
+  std::vector<TypeKind> types;
+  for (const auto& a : args) types.push_back(a->type());
+  return Expr::MakeCall(Fn(name, types), std::move(args));
+}
+
+TEST(FunctionRegistryTest, ResolvesExactAndCoerced) {
+  auto* exact = Fn("plus", {TypeKind::kBigint, TypeKind::kBigint});
+  EXPECT_EQ(exact->return_type, TypeKind::kBigint);
+  // BIGINT + DOUBLE coerces to the DOUBLE overload.
+  auto r = FunctionRegistry::Instance().Resolve(
+      "plus", {TypeKind::kBigint, TypeKind::kDouble});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->return_type, TypeKind::kDouble);
+}
+
+TEST(FunctionRegistryTest, UnknownFunctionAndBadArgs) {
+  auto r1 = FunctionRegistry::Instance().Resolve("nope", {TypeKind::kBigint});
+  EXPECT_FALSE(r1.ok());
+  auto r2 = FunctionRegistry::Instance().Resolve(
+      "like", {TypeKind::kBigint, TypeKind::kBigint});
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(InterpreterTest, Arithmetic) {
+  Page page({MakeBigintBlock({10, 20}), MakeDoubleBlock({0.5, 2.0})});
+  auto e = Call("plus", {Col(0, TypeKind::kBigint), Lit(Value::Bigint(5))});
+  auto r = EvalExprRow(*e, page, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value::Bigint(25));
+}
+
+TEST(InterpreterTest, DivisionByZeroYieldsNull) {
+  Page page({MakeBigintBlock({10})});
+  auto e = Call("divide", {Col(0, TypeKind::kBigint), Lit(Value::Bigint(0))});
+  auto r = EvalExprRow(*e, page, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_null());
+}
+
+TEST(InterpreterTest, NullPropagation) {
+  Page page({MakeBigintBlock({1, 2}, {0, 1})});
+  auto e = Call("plus", {Col(0, TypeKind::kBigint), Lit(Value::Bigint(1))});
+  auto r = EvalExprRow(*e, page, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_null());
+}
+
+TEST(InterpreterTest, ThreeValuedLogic) {
+  Page page({MakeBooleanBlock({true, false, false}, {0, 0, 1})});
+  auto null_bool = Col(0, TypeKind::kBoolean);
+  // false AND NULL = false
+  auto e1 = Expr::MakeAnd({Lit(Value::Boolean(false)), null_bool});
+  EXPECT_EQ(*EvalExprRow(*e1, page, 2), Value::Boolean(false));
+  // true AND NULL = NULL
+  auto e2 = Expr::MakeAnd({Lit(Value::Boolean(true)), null_bool});
+  EXPECT_TRUE(EvalExprRow(*e2, page, 2)->is_null());
+  // true OR NULL = true
+  auto e3 = Expr::MakeOr({null_bool, Lit(Value::Boolean(true))});
+  EXPECT_EQ(*EvalExprRow(*e3, page, 2), Value::Boolean(true));
+  // false OR NULL = NULL
+  auto e4 = Expr::MakeOr({null_bool, Lit(Value::Boolean(false))});
+  EXPECT_TRUE(EvalExprRow(*e4, page, 2)->is_null());
+}
+
+TEST(InterpreterTest, InSemantics) {
+  Page page({MakeBigintBlock({3, 7})});
+  auto in1 = Expr::MakeIn({Col(0, TypeKind::kBigint), Lit(Value::Bigint(3)),
+                           Lit(Value::Bigint(4))});
+  EXPECT_EQ(*EvalExprRow(*in1, page, 0), Value::Boolean(true));
+  EXPECT_EQ(*EvalExprRow(*in1, page, 1), Value::Boolean(false));
+  // 7 IN (3, NULL) = NULL; 3 IN (3, NULL) = true
+  auto in2 = Expr::MakeIn({Col(0, TypeKind::kBigint), Lit(Value::Bigint(3)),
+                           Lit(Value::Null(TypeKind::kBigint))});
+  EXPECT_EQ(*EvalExprRow(*in2, page, 0), Value::Boolean(true));
+  EXPECT_TRUE(EvalExprRow(*in2, page, 1)->is_null());
+}
+
+TEST(InterpreterTest, CaseCoalesceIsNull) {
+  Page page({MakeBigintBlock({1, 2}, {0, 1})});
+  auto c = Col(0, TypeKind::kBigint);
+  auto case_expr = Expr::MakeCase(
+      {Call("eq", {c, Lit(Value::Bigint(1))}), Lit(Value::Varchar("one")),
+       Lit(Value::Varchar("other"))},
+      /*has_else=*/true, TypeKind::kVarchar);
+  EXPECT_EQ(*EvalExprRow(*case_expr, page, 0), Value::Varchar("one"));
+  EXPECT_EQ(*EvalExprRow(*case_expr, page, 1), Value::Varchar("other"));
+  auto coalesce =
+      Expr::MakeCoalesce({c, Lit(Value::Bigint(99))}, TypeKind::kBigint);
+  EXPECT_EQ(*EvalExprRow(*coalesce, page, 1), Value::Bigint(99));
+  auto is_null = Expr::MakeIsNull(c);
+  EXPECT_EQ(*EvalExprRow(*is_null, page, 1), Value::Boolean(true));
+  EXPECT_EQ(*EvalExprRow(*is_null, page, 0), Value::Boolean(false));
+}
+
+TEST(CastTest, Conversions) {
+  EXPECT_EQ(CastValue(TypeKind::kDouble, Value::Bigint(3)), Value::Double(3));
+  EXPECT_EQ(CastValue(TypeKind::kBigint, Value::Double(3.9)),
+            Value::Bigint(3));
+  EXPECT_EQ(CastValue(TypeKind::kVarchar, Value::Bigint(12)),
+            Value::Varchar("12"));
+  EXPECT_EQ(CastValue(TypeKind::kBigint, Value::Varchar("42")),
+            Value::Bigint(42));
+  EXPECT_TRUE(CastValue(TypeKind::kBigint, Value::Varchar("4x")).is_null());
+  int64_t days = 0;
+  ASSERT_TRUE(ParseDate("2001-02-03", &days));
+  EXPECT_EQ(CastValue(TypeKind::kDate, Value::Varchar("2001-02-03")),
+            Value::Date(days));
+  EXPECT_EQ(CastValue(TypeKind::kVarchar, Value::Date(days)),
+            Value::Varchar("2001-02-03"));
+  EXPECT_EQ(CastValue(TypeKind::kBoolean, Value::Varchar("true")),
+            Value::Boolean(true));
+  EXPECT_TRUE(CastValue(TypeKind::kDate, Value::Varchar("zzz")).is_null());
+}
+
+// Property test: the interpreter and the compiled vectorized evaluator agree
+// on every row for a corpus of expressions over random data.
+class EvaluatorEquivalenceTest
+    : public ::testing::TestWithParam<int> {};
+
+Page RandomPage(Random* rng, int64_t rows) {
+  std::vector<int64_t> a(static_cast<size_t>(rows));
+  std::vector<uint8_t> an(static_cast<size_t>(rows));
+  std::vector<double> b(static_cast<size_t>(rows));
+  std::vector<uint8_t> bn(static_cast<size_t>(rows));
+  std::vector<std::string> s(static_cast<size_t>(rows));
+  std::vector<uint8_t> sn(static_cast<size_t>(rows));
+  std::vector<uint8_t> f(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    auto k = static_cast<size_t>(i);
+    a[k] = rng->NextInt64(-100, 100);
+    an[k] = rng->NextBool(0.2) ? 1 : 0;
+    b[k] = rng->NextDouble() * 10 - 5;
+    bn[k] = rng->NextBool(0.2) ? 1 : 0;
+    s[k] = rng->NextString(static_cast<int>(rng->NextUint64(8)));
+    sn[k] = rng->NextBool(0.2) ? 1 : 0;
+    f[k] = rng->NextBool(0.5) ? 1 : 0;
+  }
+  return Page({MakeBigintBlock(std::move(a), std::move(an)),
+               MakeDoubleBlock(std::move(b), std::move(bn)),
+               MakeVarcharBlock(s, std::move(sn)),
+               MakeBooleanBlock(std::vector<bool>(f.begin(), f.end()))});
+}
+
+std::vector<ExprPtr> ExpressionCorpus() {
+  auto a = Col(0, TypeKind::kBigint);
+  auto b = Col(1, TypeKind::kDouble);
+  auto s = Col(2, TypeKind::kVarchar);
+  auto f = Col(3, TypeKind::kBoolean);
+  std::vector<ExprPtr> corpus;
+  corpus.push_back(Call("plus", {a, Lit(Value::Bigint(7))}));
+  corpus.push_back(Call("multiply", {b, b}));
+  corpus.push_back(
+      Call("divide", {a, Call("modulus", {a, Lit(Value::Bigint(5))})}));
+  corpus.push_back(Call("gt", {a, Lit(Value::Bigint(0))}));
+  corpus.push_back(Call("lte", {b, Lit(Value::Double(0.5))}));
+  corpus.push_back(Call("eq", {s, Lit(Value::Varchar("abc"))}));
+  corpus.push_back(Call("like", {s, Lit(Value::Varchar("a%"))}));
+  corpus.push_back(Call("length", {s}));
+  corpus.push_back(Call("concat", {s, Lit(Value::Varchar("!"))}));
+  corpus.push_back(Call("upper", {s}));
+  corpus.push_back(Expr::MakeAnd(
+      {Call("gt", {a, Lit(Value::Bigint(-10))}), f,
+       Call("lt", {b, Lit(Value::Double(4.0))})}));
+  corpus.push_back(Expr::MakeOr(
+      {Call("lt", {a, Lit(Value::Bigint(-50))}), Expr::MakeIsNull(s)}));
+  corpus.push_back(Expr::MakeIn(
+      {a, Lit(Value::Bigint(1)), Lit(Value::Bigint(2)),
+       Lit(Value::Null(TypeKind::kBigint))}));
+  corpus.push_back(Expr::MakeCoalesce({a, Lit(Value::Bigint(0))},
+                                      TypeKind::kBigint));
+  corpus.push_back(Expr::MakeCase(
+      {Call("gt", {a, Lit(Value::Bigint(50))}), Lit(Value::Varchar("high")),
+       Call("gt", {a, Lit(Value::Bigint(0))}), Lit(Value::Varchar("mid")),
+       Lit(Value::Varchar("low"))},
+      true, TypeKind::kVarchar));
+  corpus.push_back(Expr::MakeCast(TypeKind::kDouble, a));
+  corpus.push_back(Expr::MakeCast(TypeKind::kVarchar, a));
+  corpus.push_back(Call("abs", {a}));
+  corpus.push_back(Call("sqrt", {Call("abs", {b})}));
+  corpus.push_back(Call("date_add", {Expr::MakeCast(TypeKind::kDate, a),
+                                     Lit(Value::Bigint(30))}));
+  return corpus;
+}
+
+TEST_P(EvaluatorEquivalenceTest, InterpretedMatchesCompiled) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  Page page = RandomPage(&rng, 128);
+  for (const auto& expr : ExpressionCorpus()) {
+    ExprEvaluator interp(expr, EvalMode::kInterpreted);
+    ExprEvaluator compiled(expr, EvalMode::kCompiled);
+    auto ri = interp.Eval(page);
+    auto rc = compiled.Eval(page);
+    ASSERT_TRUE(ri.ok()) << expr->ToString() << ": " << ri.status().ToString();
+    ASSERT_TRUE(rc.ok()) << expr->ToString() << ": " << rc.status().ToString();
+    for (int64_t row = 0; row < page.num_rows(); ++row) {
+      Value vi = (*ri)->GetValue(row);
+      Value vc = (*rc)->GetValue(row);
+      EXPECT_EQ(vi.is_null(), vc.is_null())
+          << expr->ToString() << " row " << row;
+      if (!vi.is_null() && !vc.is_null()) {
+        EXPECT_TRUE(vi.SqlEquals(vc) || vi.Compare(vc) == 0)
+            << expr->ToString() << " row " << row << ": " << vi.ToString()
+            << " vs " << vc.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EvaluatorEquivalenceTest,
+                         ::testing::Range(0, 8));
+
+TEST(VectorEvalTest, ConstantsFoldToRle) {
+  Page page({MakeBigintBlock(std::vector<int64_t>(100, 1))});
+  auto e = Call("plus", {Lit(Value::Bigint(2)), Lit(Value::Bigint(3))});
+  ExprEvaluator eval(e, EvalMode::kCompiled);
+  auto r = eval.Eval(page);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->encoding(), BlockEncoding::kRle);
+  EXPECT_EQ((*r)->GetValue(42), Value::Bigint(5));
+}
+
+TEST(VectorEvalTest, ColumnPassThroughPreservesEncoding) {
+  auto dict = MakeVarcharBlock({"a", "b"});
+  Page page({std::make_shared<DictionaryBlock>(
+      dict, std::vector<int32_t>{0, 1, 0})});
+  ExprEvaluator eval(Col(0, TypeKind::kVarchar), EvalMode::kCompiled);
+  auto r = eval.Eval(page);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->encoding(), BlockEncoding::kDictionary);
+}
+
+TEST(PageProcessorTest, FilterAndProject) {
+  Page page({MakeBigintBlock({1, 2, 3, 4, 5}),
+             MakeDoubleBlock({0.1, 0.2, 0.3, 0.4, 0.5})});
+  auto filter = Call("gt", {Col(0, TypeKind::kBigint), Lit(Value::Bigint(2))});
+  auto proj = Call("multiply", {Col(1, TypeKind::kDouble),
+                                Lit(Value::Double(10))});
+  PageProcessor proc(filter, {Col(0, TypeKind::kBigint), proj},
+                     EvalMode::kCompiled);
+  auto r = proc.Process(page);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 3);
+  EXPECT_EQ(r->block(0)->GetValue(0), Value::Bigint(3));
+  EXPECT_NEAR(r->block(1)->GetValue(2).AsDouble(), 5.0, 1e-9);
+}
+
+TEST(PageProcessorTest, DictionaryFastPathProducesDictionary) {
+  auto dict = MakeVarcharBlock({"apple", "banana", "cherry"});
+  std::vector<int32_t> indices;
+  for (int i = 0; i < 1000; ++i) indices.push_back(i % 3);
+  Page page({std::make_shared<DictionaryBlock>(dict, indices)});
+  auto proj = Call("upper", {Col(0, TypeKind::kVarchar)});
+  PageProcessor proc(nullptr, {proj}, EvalMode::kCompiled);
+  auto r = proc.Process(page);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->block(0)->encoding(), BlockEncoding::kDictionary);
+  EXPECT_EQ(r->block(0)->GetValue(1), Value::Varchar("BANANA"));
+  EXPECT_EQ(proc.stats().dict_path_hits, 1);
+  EXPECT_EQ(proc.stats().flat_evals, 0);
+}
+
+TEST(PageProcessorTest, SharedDictionaryReusesResult) {
+  auto dict = MakeVarcharBlock({"x", "y"});
+  auto proj = Call("upper", {Col(0, TypeKind::kVarchar)});
+  PageProcessor proc(nullptr, {proj}, EvalMode::kCompiled);
+  for (int p = 0; p < 3; ++p) {
+    std::vector<int32_t> indices(64, p % 2);
+    Page page({std::make_shared<DictionaryBlock>(dict, indices)});
+    auto r = proc.Process(page);
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_EQ(proc.stats().dict_path_hits, 1);
+  EXPECT_EQ(proc.stats().dict_path_reuses, 2);
+}
+
+TEST(PageProcessorTest, SpeculationStopsWhenDictionaryTooLarge) {
+  // Dictionary with many more entries than rows and no history: the first
+  // page (rows >= entries referenced is false) should fall back to flat
+  // evaluation once the heuristic sees an unproductive history.
+  std::vector<std::string> entries;
+  for (int i = 0; i < 1000; ++i) entries.push_back("v" + std::to_string(i));
+  auto dict = MakeVarcharBlock(entries);
+  auto proj = Call("upper", {Col(0, TypeKind::kVarchar)});
+  PageProcessor proc(nullptr, {proj}, EvalMode::kCompiled);
+  // First page: speculation allowed (no history). 8 rows vs 1000 entries.
+  {
+    std::vector<int32_t> indices(8, 0);
+    Page page({std::make_shared<DictionaryBlock>(dict, indices)});
+    ASSERT_TRUE(proc.Process(page).ok());
+  }
+  // Second page with a NEW large dictionary: history now shows dictionary
+  // processing was wasteful (8 rows per 1000 entries), so it evaluates flat.
+  auto dict2 = MakeVarcharBlock(entries);
+  {
+    std::vector<int32_t> indices(8, 1);
+    Page page({std::make_shared<DictionaryBlock>(dict2, indices)});
+    ASSERT_TRUE(proc.Process(page).ok());
+  }
+  EXPECT_EQ(proc.stats().dict_path_hits, 1);
+  EXPECT_EQ(proc.stats().flat_evals, 1);
+}
+
+TEST(PageProcessorTest, RlePathEvaluatesOnce) {
+  Page page({MakeConstantBlock(Value::Bigint(21), 500)});
+  auto proj = Call("multiply", {Col(0, TypeKind::kBigint),
+                                Lit(Value::Bigint(2))});
+  PageProcessor proc(nullptr, {proj}, EvalMode::kCompiled);
+  auto r = proc.Process(page);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->block(0)->encoding(), BlockEncoding::kRle);
+  EXPECT_EQ(r->block(0)->GetValue(499), Value::Bigint(42));
+  EXPECT_EQ(proc.stats().rle_path_hits, 1);
+}
+
+TEST(PageProcessorTest, FilterOnDictionaryColumn) {
+  auto dict = MakeBigintBlock({1, 2, 3});
+  std::vector<int32_t> indices;
+  for (int i = 0; i < 300; ++i) indices.push_back(i % 3);
+  Page page({std::make_shared<DictionaryBlock>(dict, indices)});
+  auto filter = Call("eq", {Col(0, TypeKind::kBigint), Lit(Value::Bigint(2))});
+  PageProcessor proc(filter, {Col(0, TypeKind::kBigint)}, EvalMode::kCompiled);
+  auto r = proc.Process(page);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_rows(), 100);
+  EXPECT_EQ(r->block(0)->GetValue(0), Value::Bigint(2));
+}
+
+// ---- Aggregates ----
+
+TEST(AggregatesTest, ResolveSignatures) {
+  auto count = ResolveAggregate("count", std::nullopt, false);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->kind, AggKind::kCountAll);
+  auto sum = ResolveAggregate("sum", TypeKind::kDouble, false);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(sum->result_type, TypeKind::kDouble);
+  EXPECT_FALSE(ResolveAggregate("sum", TypeKind::kVarchar, false).ok());
+  EXPECT_FALSE(ResolveAggregate("sum", TypeKind::kBigint, true).ok());
+  EXPECT_FALSE(ResolveAggregate("frob", TypeKind::kBigint, false).ok());
+}
+
+std::vector<int32_t> Groups(std::initializer_list<int32_t> ids) {
+  return std::vector<int32_t>(ids);
+}
+
+TEST(AggregatesTest, CountAndSum) {
+  auto sig = *ResolveAggregate("sum", TypeKind::kBigint, false);
+  auto acc = CreateAccumulator(sig);
+  acc->Resize(2);
+  auto groups = Groups({0, 1, 0, 1, 0});
+  auto arg = MakeBigintBlock({1, 2, 3, 4, 5}, {0, 0, 0, 1, 0});
+  acc->Add(groups.data(), arg, 5);
+  auto out = acc->BuildFinal(2);
+  EXPECT_EQ(out->GetValue(0), Value::Bigint(9));
+  EXPECT_EQ(out->GetValue(1), Value::Bigint(2));
+}
+
+TEST(AggregatesTest, SumEmptyGroupIsNull) {
+  auto sig = *ResolveAggregate("sum", TypeKind::kBigint, false);
+  auto acc = CreateAccumulator(sig);
+  acc->Resize(2);
+  auto groups = Groups({0});
+  acc->Add(groups.data(), MakeBigintBlock({7}), 1);
+  auto out = acc->BuildFinal(2);
+  EXPECT_EQ(out->GetValue(0), Value::Bigint(7));
+  EXPECT_TRUE(out->IsNull(1));
+}
+
+TEST(AggregatesTest, MinMaxAllTypes) {
+  auto sig = *ResolveAggregate("min", TypeKind::kVarchar, false);
+  auto acc = CreateAccumulator(sig);
+  acc->Resize(1);
+  auto groups = Groups({0, 0, 0});
+  acc->Add(groups.data(), MakeVarcharBlock({"pear", "apple", "plum"}), 3);
+  EXPECT_EQ(acc->BuildFinal(1)->GetValue(0), Value::Varchar("apple"));
+
+  auto sig2 = *ResolveAggregate("max", TypeKind::kDouble, false);
+  auto acc2 = CreateAccumulator(sig2);
+  acc2->Resize(1);
+  acc2->Add(groups.data(), MakeDoubleBlock({1.5, 9.5, -2.0}), 3);
+  EXPECT_EQ(acc2->BuildFinal(1)->GetValue(0), Value::Double(9.5));
+}
+
+TEST(AggregatesTest, AvgPartialFinalRoundTrip) {
+  auto sig = *ResolveAggregate("avg", TypeKind::kBigint, false);
+  // Two partials, then merge into a final.
+  auto p1 = CreateAccumulator(sig);
+  p1->Resize(1);
+  auto g3 = Groups({0, 0, 0});
+  p1->Add(g3.data(), MakeBigintBlock({1, 2, 3}), 3);
+  auto p2 = CreateAccumulator(sig);
+  p2->Resize(1);
+  auto g2 = Groups({0, 0});
+  p2->Add(g2.data(), MakeBigintBlock({4, 10}), 2);
+
+  auto fin = CreateAccumulator(sig);
+  fin->Resize(1);
+  auto g1 = Groups({0});
+  ASSERT_TRUE(fin->Merge(g1.data(), p1->BuildIntermediate(1), 1).ok());
+  ASSERT_TRUE(fin->Merge(g1.data(), p2->BuildIntermediate(1), 1).ok());
+  EXPECT_NEAR(fin->BuildFinal(1)->GetValue(0).AsDouble(), 4.0, 1e-9);
+}
+
+TEST(AggregatesTest, CountDistinctExactAcrossMerge) {
+  auto sig = *ResolveAggregate("count", TypeKind::kVarchar, true);
+  auto p1 = CreateAccumulator(sig);
+  p1->Resize(1);
+  auto g3 = Groups({0, 0, 0});
+  p1->Add(g3.data(), MakeVarcharBlock({"a", "b", "a"}), 3);
+  auto p2 = CreateAccumulator(sig);
+  p2->Resize(1);
+  auto g2 = Groups({0, 0});
+  p2->Add(g2.data(), MakeVarcharBlock({"b", "c"}), 2);
+  auto fin = CreateAccumulator(sig);
+  fin->Resize(1);
+  auto g1 = Groups({0});
+  ASSERT_TRUE(fin->Merge(g1.data(), p1->BuildIntermediate(1), 1).ok());
+  ASSERT_TRUE(fin->Merge(g1.data(), p2->BuildIntermediate(1), 1).ok());
+  EXPECT_EQ(fin->BuildFinal(1)->GetValue(0), Value::Bigint(3));
+}
+
+TEST(AggregatesTest, ApproxDistinctWithinErrorBound) {
+  auto sig = *ResolveAggregate("approx_distinct", TypeKind::kBigint, false);
+  auto acc = CreateAccumulator(sig);
+  acc->Resize(1);
+  const int64_t kDistinct = 20000;
+  std::vector<int64_t> values;
+  std::vector<int32_t> groups;
+  for (int64_t i = 0; i < kDistinct; ++i) {
+    values.push_back(i);
+    groups.push_back(0);
+  }
+  acc->Add(groups.data(), MakeBigintBlock(values), kDistinct);
+  int64_t est = acc->BuildFinal(1)->GetValue(0).AsBigint();
+  // 2^11 registers -> ~2.3% standard error; allow 5x.
+  EXPECT_NEAR(static_cast<double>(est), static_cast<double>(kDistinct),
+              0.12 * static_cast<double>(kDistinct));
+}
+
+TEST(AggregatesTest, StddevAndVariance) {
+  auto sig = *ResolveAggregate("stddev", TypeKind::kDouble, false);
+  auto acc = CreateAccumulator(sig);
+  acc->Resize(1);
+  auto groups = Groups({0, 0, 0, 0});
+  acc->Add(groups.data(), MakeDoubleBlock({2, 4, 4, 6}), 4);
+  // Sample variance of {2,4,4,6} = 8/3.
+  auto sig2 = *ResolveAggregate("variance", TypeKind::kDouble, false);
+  auto acc2 = CreateAccumulator(sig2);
+  acc2->Resize(1);
+  acc2->Add(groups.data(), MakeDoubleBlock({2, 4, 4, 6}), 4);
+  EXPECT_NEAR(acc2->BuildFinal(1)->GetValue(0).AsDouble(), 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(acc->BuildFinal(1)->GetValue(0).AsDouble(),
+              std::sqrt(8.0 / 3.0), 1e-9);
+}
+
+TEST(AggregatesTest, SingleValueGroupStddevIsNull) {
+  auto sig = *ResolveAggregate("stddev", TypeKind::kDouble, false);
+  auto acc = CreateAccumulator(sig);
+  acc->Resize(1);
+  auto groups = Groups({0});
+  acc->Add(groups.data(), MakeDoubleBlock({5.0}), 1);
+  EXPECT_TRUE(acc->BuildFinal(1)->IsNull(0));
+}
+
+TEST(ExprToStringTest, RendersReadably) {
+  auto e = Call("plus", {Col(0, TypeKind::kBigint), Lit(Value::Bigint(3))});
+  EXPECT_EQ(e->ToString(), "(#0 + 3)");
+  auto f = Call("upper", {Col(1, TypeKind::kVarchar)});
+  EXPECT_EQ(f->ToString(), "upper(#1)");
+}
+
+TEST(ExprUtilTest, ConstantDetectionAndColumnCollection) {
+  auto c = Call("plus", {Lit(Value::Bigint(1)), Lit(Value::Bigint(2))});
+  EXPECT_TRUE(IsConstantExpr(*c));
+  auto e = Call("plus", {Col(2, TypeKind::kBigint), Col(0, TypeKind::kBigint)});
+  EXPECT_FALSE(IsConstantExpr(*e));
+  std::vector<int> cols;
+  CollectReferencedColumns(*e, &cols);
+  EXPECT_EQ(cols, (std::vector<int>{0, 2}));
+}
+
+TEST(ExprUtilTest, RemapColumns) {
+  auto e = Call("plus", {Col(2, TypeKind::kBigint), Col(0, TypeKind::kBigint)});
+  auto remapped = RemapColumns(e, {5, -1, 0});
+  std::vector<int> cols;
+  CollectReferencedColumns(*remapped, &cols);
+  EXPECT_EQ(cols, (std::vector<int>{0, 5}));
+}
+
+}  // namespace
+}  // namespace presto

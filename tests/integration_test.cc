@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include "connector/scan_util.h"
+#include "connectors/hive/hive_connector.h"
+#include "connectors/raptor/raptor_connector.h"
+#include "connectors/shardedstore/sharded_store.h"
+#include "connectors/tpch/tpch_connector.h"
+#include "engine/engine.h"
+#include "engine/reference_executor.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+#include "vector/block_builder.h"
+
+namespace presto {
+namespace {
+
+// Federation fixture: one engine with tpch (generator), hive (remote DFS),
+// raptor (shared-nothing flash), and mysql (sharded row store) catalogs —
+// the §II deployment mix.
+class IntegrationTest : public ::testing::Test {
+ protected:
+  static constexpr double kScale = 0.2;  // orders=3000, lineitem=12000
+
+  void SetUp() override {
+    EngineOptions options;
+    options.cluster.num_workers = 4;
+    options.cluster.executor.threads = 2;
+    engine_ = std::make_unique<PrestoEngine>(options);
+
+    auto tpch = std::make_shared<TpchConnector>("tpch", kScale);
+    tpch_ = tpch.get();
+    engine_->catalog().Register(tpch);
+
+    HiveConfig hive_config;
+    hive_config.dfs = {20, 4LL << 30, 50};
+    auto hive = std::make_shared<HiveConnector>("hive", hive_config);
+    hive_ = hive.get();
+    engine_->catalog().Register(hive);
+
+    auto raptor = std::make_shared<RaptorConnector>("raptor");
+    raptor_ = raptor.get();
+    engine_->catalog().Register(raptor);
+
+    auto mysql = std::make_shared<ShardedStoreConnector>(
+        "mysql", ShardedStoreConfig{4, 0});
+    mysql_ = mysql.get();
+    engine_->catalog().Register(mysql);
+
+    engine_->catalog().SetDefault("tpch");
+
+    // hive.orders / hive.lineitem loaded from the generator.
+    for (const char* table : {"orders", "lineitem", "customer"}) {
+      auto pages = ReadAllPages(tpch_, table);
+      ASSERT_TRUE(pages.ok()) << pages.status().ToString();
+      RowSchema schema =
+          (*tpch_->metadata().GetTable(table))->schema();
+      ASSERT_TRUE(hive_->CreateTable(table, schema).ok());
+      ASSERT_TRUE(hive_->LoadTable(table, *pages).ok());
+    }
+    // raptor.orders / raptor.customer bucketed on custkey (co-located).
+    {
+      auto orders = ReadAllPages(tpch_, "orders");
+      auto customer = ReadAllPages(tpch_, "customer");
+      ASSERT_TRUE(orders.ok() && customer.ok());
+      RowSchema oschema = (*tpch_->metadata().GetTable("orders"))->schema();
+      RowSchema cschema =
+          (*tpch_->metadata().GetTable("customer"))->schema();
+      ASSERT_TRUE(
+          raptor_->CreateTable("orders", oschema, "custkey", 8).ok());
+      ASSERT_TRUE(raptor_->LoadTable("orders", *orders).ok());
+      ASSERT_TRUE(
+          raptor_->CreateTable("customer", cschema, "custkey", 8).ok());
+      ASSERT_TRUE(raptor_->LoadTable("customer", *customer).ok());
+    }
+    // mysql.app_events sharded+indexed on app_id.
+    {
+      RowSchema schema;
+      schema.Add("app_id", TypeKind::kBigint);
+      schema.Add("day", TypeKind::kBigint);
+      schema.Add("clicks", TypeKind::kBigint);
+      ASSERT_TRUE(
+          mysql_->CreateTable("app_events", schema, "app_id", {"app_id"})
+              .ok());
+      std::vector<int64_t> app, day, clicks;
+      for (int64_t i = 0; i < 5000; ++i) {
+        app.push_back(i % 200);
+        day.push_back(i % 30);
+        clicks.push_back(i % 17);
+      }
+      ASSERT_TRUE(mysql_
+                      ->LoadTable("app_events",
+                                  {Page({MakeBigintBlock(app),
+                                         MakeBigintBlock(day),
+                                         MakeBigintBlock(clicks)})})
+                      .ok());
+    }
+  }
+
+  void CheckAgainstReference(const std::string& sql) {
+    SCOPED_TRACE(sql);
+    auto engine_rows = engine_->ExecuteAndFetch(sql);
+    ASSERT_TRUE(engine_rows.ok()) << engine_rows.status().ToString();
+    auto stmt = sql::ParseStatement(sql);
+    ASSERT_TRUE(stmt.ok());
+    Planner planner(&engine_->catalog());
+    auto plan = planner.Plan(**stmt);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    auto reference = ExecuteReference(engine_->catalog(), *plan);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    EXPECT_TRUE(SameRowsIgnoringOrder(*engine_rows, *reference))
+        << "engine=" << engine_rows->size()
+        << " reference=" << reference->size();
+  }
+
+  std::unique_ptr<PrestoEngine> engine_;
+  TpchConnector* tpch_ = nullptr;
+  HiveConnector* hive_ = nullptr;
+  RaptorConnector* raptor_ = nullptr;
+  ShardedStoreConnector* mysql_ = nullptr;
+};
+
+TEST_F(IntegrationTest, TpchGeneratorQueries) {
+  auto rows = engine_->ExecuteAndFetch("SELECT count(*) FROM lineitem");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0], Value::Bigint(*tpch_->RowCount("lineitem")));
+}
+
+TEST_F(IntegrationTest, HiveMatchesTpch) {
+  auto from_tpch = engine_->ExecuteAndFetch(
+      "SELECT orderstatus, count(*), sum(totalprice) FROM tpch.orders "
+      "GROUP BY orderstatus");
+  auto from_hive = engine_->ExecuteAndFetch(
+      "SELECT orderstatus, count(*), sum(totalprice) FROM hive.orders "
+      "GROUP BY orderstatus");
+  ASSERT_TRUE(from_tpch.ok()) << from_tpch.status().ToString();
+  ASSERT_TRUE(from_hive.ok()) << from_hive.status().ToString();
+  EXPECT_TRUE(SameRowsIgnoringOrder(*from_tpch, *from_hive));
+}
+
+TEST_F(IntegrationTest, FederatedJoinAcrossConnectors) {
+  // hive warehouse joined with the sharded operational store in one query
+  // (§I: "process data from many different data sources even within a
+  // single query").
+  auto rows = engine_->ExecuteAndFetch(
+      "SELECT count(*) FROM hive.orders o JOIN mysql.app_events e "
+      "ON o.custkey = e.app_id WHERE e.day = 3");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_GT((*rows)[0][0].AsBigint(), 0);
+}
+
+TEST_F(IntegrationTest, ColocatedJoinHasNoShuffle) {
+  auto text = engine_->Explain(
+      "SELECT count(*) FROM raptor.orders o JOIN raptor.customer c "
+      "ON o.custkey = c.custkey");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("dist=colocated"), std::string::npos) << *text;
+  // Both scans live in one fragment: no repartition below the join.
+  EXPECT_EQ(text->find("RemoteSource[fragment=1 repartition]"),
+            std::string::npos);
+  // And the result is correct.
+  auto rows = engine_->ExecuteAndFetch(
+      "SELECT count(*) FROM raptor.orders o JOIN raptor.customer c "
+      "ON o.custkey = c.custkey");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0], Value::Bigint(*tpch_->RowCount("orders")));
+}
+
+TEST_F(IntegrationTest, PartitionedVsColocatedAgree) {
+  auto colocated = engine_->ExecuteAndFetch(
+      "SELECT c.mktsegment, count(*) FROM raptor.orders o "
+      "JOIN raptor.customer c ON o.custkey = c.custkey "
+      "GROUP BY c.mktsegment");
+  auto partitioned = engine_->ExecuteAndFetch(
+      "SELECT c.mktsegment, count(*) FROM hive.orders o "
+      "JOIN hive.customer c ON o.custkey = c.custkey "
+      "GROUP BY c.mktsegment");
+  ASSERT_TRUE(colocated.ok()) << colocated.status().ToString();
+  ASSERT_TRUE(partitioned.ok()) << partitioned.status().ToString();
+  EXPECT_TRUE(SameRowsIgnoringOrder(*colocated, *partitioned));
+}
+
+TEST_F(IntegrationTest, IndexPushdownIntoShardedStore) {
+  mysql_ = mysql_;  // silence unused in release
+  auto text = engine_->Explain(
+      "SELECT day, sum(clicks) FROM mysql.app_events WHERE app_id = 17 "
+      "GROUP BY day");
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("pushed={app_id = 17}"), std::string::npos) << *text;
+  int64_t before = mysql_->rows_read();
+  auto rows = engine_->ExecuteAndFetch(
+      "SELECT day, sum(clicks) FROM mysql.app_events WHERE app_id = 17 "
+      "GROUP BY day");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  int64_t read = mysql_->rows_read() - before;
+  EXPECT_EQ(read, 25);  // 5000 rows / 200 apps — only matching rows read
+}
+
+TEST_F(IntegrationTest, HivePartitionedTablePruning) {
+  RowSchema schema = (*tpch_->metadata().GetTable("orders"))->schema();
+  ASSERT_TRUE(
+      hive_->CreateTable("orders_by_status", schema, "orderstatus").ok());
+  auto pages = ReadAllPages(tpch_, "orders");
+  ASSERT_TRUE(pages.ok());
+  ASSERT_TRUE(hive_->LoadTable("orders_by_status", *pages).ok());
+  CheckAgainstReference(
+      "SELECT count(*) FROM hive.orders_by_status WHERE orderstatus = 'F'");
+}
+
+TEST_F(IntegrationTest, DifferentialFederatedSuite) {
+  CheckAgainstReference(
+      "SELECT o.orderpriority, count(*) FROM hive.orders o "
+      "WHERE o.totalprice > 100000 GROUP BY o.orderpriority");
+  CheckAgainstReference(
+      "SELECT l.returnflag, l.linestatus, sum(l.quantity), "
+      "avg(l.extendedprice) FROM tpch.lineitem l "
+      "WHERE l.shipdate <= DATE '1998-09-02' "
+      "GROUP BY l.returnflag, l.linestatus");
+  CheckAgainstReference(
+      "SELECT c.mktsegment, max(o.totalprice) FROM raptor.customer c "
+      "JOIN raptor.orders o ON c.custkey = o.custkey "
+      "GROUP BY c.mktsegment");
+}
+
+TEST_F(IntegrationTest, PhasedSchedulingProducesSameResults) {
+  EngineOptions options;
+  options.cluster.num_workers = 2;
+  options.cluster.executor.threads = 2;
+  options.cluster.phased_scheduling = true;
+  PrestoEngine phased(options);
+  auto tpch = std::make_shared<TpchConnector>("tpch", kScale);
+  phased.catalog().Register(tpch);
+  auto expected = engine_->ExecuteAndFetch(
+      "SELECT count(*) FROM tpch.orders o JOIN tpch.lineitem l "
+      "ON o.orderkey = l.orderkey WHERE o.totalprice > 50000");
+  auto actual = phased.ExecuteAndFetch(
+      "SELECT count(*) FROM tpch.orders o JOIN tpch.lineitem l "
+      "ON o.orderkey = l.orderkey WHERE o.totalprice > 50000");
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+  ASSERT_TRUE(actual.ok()) << actual.status().ToString();
+  EXPECT_TRUE(SameRowsIgnoringOrder(*expected, *actual));
+}
+
+TEST_F(IntegrationTest, SpillingKeepsLargeAggregationAlive) {
+  EngineOptions options;
+  options.cluster.num_workers = 1;
+  options.cluster.executor.threads = 2;
+  options.cluster.memory.per_worker_general = 3 << 20;  // tiny general pool
+  options.cluster.memory.per_query_per_node_user = 64 << 20;
+  options.cluster.memory.per_query_per_node_total = 64 << 20;
+  options.cluster.memory.enable_spill = true;
+  options.cluster.memory.enable_reserved_pool = false;
+  PrestoEngine small(options);
+  auto tpch = std::make_shared<TpchConnector>("tpch", 1.0);
+  small.catalog().Register(tpch);
+  // Wide aggregation state: distinct orderkeys.
+  auto rows = small.ExecuteAndFetch(
+      "SELECT count(*) FROM (SELECT orderkey, sum(quantity) AS q "
+      "FROM lineitem GROUP BY orderkey) t WHERE q >= 0");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0], Value::Bigint(15000));
+}
+
+TEST_F(IntegrationTest, MemoryLimitKillsQueryWithoutSpill) {
+  EngineOptions options;
+  options.cluster.num_workers = 1;
+  options.cluster.executor.threads = 2;
+  options.cluster.memory.per_worker_general = 256 << 10;
+  options.cluster.memory.enable_spill = false;
+  options.cluster.memory.enable_reserved_pool = false;
+  PrestoEngine small(options);
+  auto tpch = std::make_shared<TpchConnector>("tpch", 4.0);
+  small.catalog().Register(tpch);
+  auto rows = small.ExecuteAndFetch(
+      "SELECT orderkey, count(*) FROM lineitem GROUP BY orderkey");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace presto

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "connectors/hive/storc.h"
+#include "connectors/memcon/memory_connector.h"
+#include "engine/engine.h"
+#include "engine/reference_executor.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+#include "vector/block_builder.h"
+#include "vector/page_serde.h"
+
+namespace presto {
+namespace {
+
+// Random page over all five types, with nulls.
+Page RandomPage(Random* rng, int64_t rows) {
+  PageBuilder builder({TypeKind::kBigint, TypeKind::kDouble,
+                       TypeKind::kVarchar, TypeKind::kBoolean,
+                       TypeKind::kDate});
+  for (int64_t i = 0; i < rows; ++i) {
+    auto maybe_null = [&](Value v) {
+      return rng->NextBool(0.15) ? Value::Null(v.type()) : v;
+    };
+    builder.AppendRow(
+        {maybe_null(Value::Bigint(rng->NextInt64(-1000, 1000))),
+         maybe_null(Value::Double(rng->NextDouble() * 100 - 50)),
+         maybe_null(Value::Varchar(
+             rng->NextString(static_cast<int>(rng->NextUint64(12))))),
+         maybe_null(Value::Boolean(rng->NextBool(0.5))),
+         maybe_null(Value::Date(rng->NextInt64(0, 20000)))});
+  }
+  return builder.Build();
+}
+
+bool PagesEqual(const Page& a, const Page& b) {
+  if (a.num_rows() != b.num_rows() || a.num_columns() != b.num_columns()) {
+    return false;
+  }
+  for (int64_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      Value va = a.block(c)->GetValue(r);
+      Value vb = b.block(c)->GetValue(r);
+      if (va.is_null() != vb.is_null()) return false;
+      if (!va.is_null() && va.Compare(vb) != 0) return false;
+    }
+  }
+  return true;
+}
+
+class SerdeProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SerdeProperty, PageSerdeRoundTrip) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 1237 + 5);
+  Page page = RandomPage(&rng, 1 + static_cast<int64_t>(rng.NextUint64(300)));
+  std::string data = SerializePage(page);
+  size_t off = 0;
+  auto restored = DeserializePage(data, &off);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(PagesEqual(page, *restored));
+  EXPECT_EQ(off, data.size());
+}
+
+TEST_P(SerdeProperty, StorcRoundTrip) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  RowSchema schema;
+  schema.Add("a", TypeKind::kBigint);
+  schema.Add("b", TypeKind::kDouble);
+  schema.Add("c", TypeKind::kVarchar);
+  schema.Add("d", TypeKind::kBoolean);
+  schema.Add("e", TypeKind::kDate);
+  int64_t stripe_rows = 1 + static_cast<int64_t>(rng.NextUint64(100));
+  StorcWriter writer(schema, stripe_rows);
+  std::vector<Page> originals;
+  int pages = 1 + static_cast<int>(rng.NextUint64(4));
+  for (int p = 0; p < pages; ++p) {
+    Page page = RandomPage(&rng, 1 + static_cast<int64_t>(rng.NextUint64(150)));
+    originals.push_back(page);
+    writer.Append(page);
+  }
+  MiniDfs dfs({0, 0, 0});
+  ASSERT_TRUE(dfs.Write("/f", writer.Finish()).ok());
+  auto footer = ReadStorcFooter(dfs, "/f");
+  ASSERT_TRUE(footer.ok()) << footer.status().ToString();
+  StorcReader reader(&dfs, "/f", *footer, {0, 1, 2, 3, 4}, {}, true, nullptr);
+  // Concatenate all rows and compare with the originals.
+  std::vector<std::vector<Value>> got;
+  for (;;) {
+    auto page = reader.NextPage();
+    ASSERT_TRUE(page.ok());
+    if (!page->has_value()) break;
+    for (int64_t r = 0; r < (*page)->num_rows(); ++r) {
+      got.push_back((*page)->GetRow(r));
+    }
+  }
+  std::vector<std::vector<Value>> expected;
+  for (const auto& page : originals) {
+    for (int64_t r = 0; r < page.num_rows(); ++r) {
+      expected.push_back(page.GetRow(r));
+    }
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    for (size_t c = 0; c < got[i].size(); ++c) {
+      EXPECT_EQ(got[i][c].is_null(), expected[i][c].is_null());
+      if (!got[i][c].is_null()) {
+        EXPECT_EQ(got[i][c].Compare(expected[i][c]), 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdeProperty, ::testing::Range(0, 10));
+
+// Differential property: randomized queries through the distributed engine
+// match the single-threaded reference executor.
+class QueryProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryProperty, EngineMatchesReference) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 7907 + 3);
+  EngineOptions options;
+  options.cluster.num_workers = 2;
+  options.cluster.executor.threads = 2;
+  PrestoEngine engine(options);
+  auto mem = std::make_shared<MemoryConnector>("memory");
+  RowSchema schema;
+  schema.Add("k", TypeKind::kBigint);
+  schema.Add("g", TypeKind::kBigint);
+  schema.Add("v", TypeKind::kDouble);
+  schema.Add("s", TypeKind::kVarchar);
+  std::vector<Page> pages;
+  for (int p = 0; p < 3; ++p) {
+    PageBuilder builder({TypeKind::kBigint, TypeKind::kBigint,
+                         TypeKind::kDouble, TypeKind::kVarchar});
+    for (int i = 0; i < 400; ++i) {
+      builder.AppendRow(
+          {Value::Bigint(rng.NextInt64(0, 500)),
+           rng.NextBool(0.1) ? Value::Null(TypeKind::kBigint)
+                             : Value::Bigint(rng.NextInt64(0, 8)),
+           Value::Double(rng.NextDouble() * 100),
+           Value::Varchar(std::string(1, static_cast<char>(
+                                             'a' + rng.NextUint64(4))))});
+    }
+    pages.push_back(builder.Build());
+  }
+  ASSERT_TRUE(mem->CreateTable("t", schema, std::move(pages)).ok());
+  engine.catalog().Register(mem);
+
+  // Randomized query parameters.
+  int64_t threshold = rng.NextInt64(0, 500);
+  std::string letter(1, static_cast<char>('a' + rng.NextUint64(4)));
+  std::vector<std::string> queries = {
+      "SELECT g, count(*), sum(v), min(k), max(s) FROM t WHERE k > " +
+          std::to_string(threshold) + " GROUP BY g",
+      "SELECT s, avg(v) FROM t WHERE s <= '" + letter +
+          "' GROUP BY s HAVING count(*) > 2",
+      "SELECT k, v FROM t WHERE g IS NULL ORDER BY k, v LIMIT 17",
+      "SELECT count(DISTINCT k) FROM t WHERE v < " +
+          std::to_string(10 + rng.NextUint64(80)),
+      "SELECT a.g, count(*) FROM t a JOIN t b ON a.k = b.k WHERE b.v > 50 "
+      "GROUP BY a.g",
+  };
+  for (const auto& sql : queries) {
+    SCOPED_TRACE(sql);
+    auto engine_rows = engine.ExecuteAndFetch(sql);
+    ASSERT_TRUE(engine_rows.ok()) << engine_rows.status().ToString();
+    auto stmt = sql::ParseStatement(sql);
+    ASSERT_TRUE(stmt.ok());
+    Planner planner(&engine.catalog());
+    auto plan = planner.Plan(**stmt);
+    ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+    auto reference = ExecuteReference(engine.catalog(), *plan);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+    EXPECT_TRUE(SameRowsIgnoringOrder(*engine_rows, *reference))
+        << "engine=" << engine_rows->size()
+        << " reference=" << reference->size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryProperty, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace presto

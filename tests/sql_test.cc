@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include "sql/analyzer.h"
+#include "sql/ast.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace presto::sql {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto r = Tokenize("SELECT x, 'ab''c', 1.5e2, \"Quoted\" FROM t -- comment\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& t = *r;
+  EXPECT_EQ(t[0].kind, TokenKind::kKeyword);
+  EXPECT_EQ(t[0].text, "select");
+  EXPECT_EQ(t[1].text, "x");
+  EXPECT_EQ(t[3].kind, TokenKind::kString);
+  EXPECT_EQ(t[3].text, "ab'c");
+  EXPECT_EQ(t[5].kind, TokenKind::kDouble);
+  EXPECT_EQ(t[7].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(t[7].text, "Quoted");  // quoted identifiers keep case
+  EXPECT_EQ(t.back().kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("select 'oops").ok());
+  EXPECT_FALSE(Tokenize("select \"oops").ok());
+  EXPECT_FALSE(Tokenize("select 1e").ok());
+  EXPECT_FALSE(Tokenize("select @x").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto r = ParseSelect("SELECT a, b + 1 AS c FROM t WHERE a > 10 LIMIT 5");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& s = **r;
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[0].expr->ToString(), "a");
+  EXPECT_EQ(s.items[1].alias, "c");
+  ASSERT_NE(s.from, nullptr);
+  EXPECT_EQ(s.from->kind, TableRefKind::kNamed);
+  EXPECT_EQ(s.from->name_parts, std::vector<std::string>{"t"});
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.limit, 5);
+}
+
+TEST(ParserTest, JoinsAndQualifiedNames) {
+  auto r = ParseSelect(
+      "SELECT o.orderkey, sum(tax) FROM hive.orders o "
+      "LEFT JOIN lineitem l ON o.orderkey = l.orderkey "
+      "WHERE discount = 0 GROUP BY o.orderkey");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& s = **r;
+  ASSERT_NE(s.from, nullptr);
+  EXPECT_EQ(s.from->kind, TableRefKind::kJoin);
+  EXPECT_EQ(s.from->join_type, JoinType::kLeft);
+  EXPECT_EQ(s.from->left->name_parts,
+            (std::vector<std::string>{"hive", "orders"}));
+  EXPECT_EQ(s.from->left->alias, "o");
+  ASSERT_EQ(s.group_by.size(), 1u);
+}
+
+TEST(ParserTest, CrossAndUsingJoins) {
+  auto r1 = ParseSelect("SELECT 1 FROM a CROSS JOIN b");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)->from->join_type, JoinType::kCross);
+  auto r2 = ParseSelect("SELECT 1 FROM a JOIN b USING (k1, k2)");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->from->using_columns,
+            (std::vector<std::string>{"k1", "k2"}));
+  EXPECT_FALSE(ParseSelect("SELECT 1 FROM a JOIN b").ok());
+}
+
+TEST(ParserTest, SubqueryRequiresAlias) {
+  EXPECT_TRUE(ParseSelect("SELECT x FROM (SELECT 1 AS x) t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT x FROM (SELECT 1 AS x)").ok());
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto r = ParseSelect("SELECT 1 + 2 * 3 - 4 / 2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->items[0].expr->ToString(), "((1 + (2 * 3)) - (4 / 2))");
+  auto r2 = ParseSelect("SELECT a OR b AND NOT c = d");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->items[0].expr->ToString(),
+            "(a or (b and (not (c = d))))");
+}
+
+TEST(ParserTest, BetweenInLikeIsNull) {
+  auto r = ParseSelect(
+      "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b NOT IN (1, 2) "
+      "AND c LIKE 'x%' AND d IS NOT NULL");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE((*r)->where, nullptr);
+}
+
+TEST(ParserTest, CaseForms) {
+  auto r1 = ParseSelect(
+      "SELECT CASE WHEN a > 1 THEN 'big' ELSE 'small' END FROM t");
+  ASSERT_TRUE(r1.ok());
+  auto r2 = ParseSelect(
+      "SELECT CASE a WHEN 1 THEN 'one' WHEN 2 THEN 'two' END FROM t");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE((*r2)->items[0].expr->has_operand);
+  EXPECT_FALSE((*r2)->items[0].expr->has_else);
+}
+
+TEST(ParserTest, DateLiteralAndCast) {
+  auto r = ParseSelect(
+      "SELECT CAST(a AS DOUBLE), DATE '1995-06-17' FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->items[0].expr->kind, AstExprKind::kCast);
+  EXPECT_EQ((*r)->items[1].expr->kind, AstExprKind::kLiteral);
+  EXPECT_EQ((*r)->items[1].expr->value.type(), TypeKind::kDate);
+  EXPECT_FALSE(ParseSelect("SELECT DATE 'bogus' FROM t").ok());
+}
+
+TEST(ParserTest, WindowFunctions) {
+  auto r = ParseSelect(
+      "SELECT row_number() OVER (PARTITION BY a ORDER BY b DESC) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const auto& e = *(*r)->items[0].expr;
+  EXPECT_EQ(e.kind, AstExprKind::kFunctionCall);
+  ASSERT_NE(e.window, nullptr);
+  EXPECT_EQ(e.window->partition_by.size(), 1u);
+  ASSERT_EQ(e.window->order_by.size(), 1u);
+  EXPECT_FALSE(e.window->order_by[0].second);
+}
+
+TEST(ParserTest, UnionAllOrderLimit) {
+  auto r = ParseSelect(
+      "SELECT a FROM t UNION ALL SELECT b FROM u ORDER BY 1 LIMIT 3");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE((*r)->union_next, nullptr);
+  EXPECT_EQ((*r)->order_by.size(), 1u);
+  EXPECT_EQ((*r)->limit, 3);
+}
+
+TEST(ParserTest, Statements) {
+  auto ctas = ParseStatement("CREATE TABLE hive.out AS SELECT 1 AS x");
+  ASSERT_TRUE(ctas.ok());
+  EXPECT_EQ((*ctas)->kind, StatementKind::kCreateTableAs);
+  EXPECT_EQ((*ctas)->target_name,
+            (std::vector<std::string>{"hive", "out"}));
+  auto ins = ParseStatement("INSERT INTO t SELECT * FROM u");
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ((*ins)->kind, StatementKind::kInsert);
+  auto ex = ParseStatement("EXPLAIN SELECT 1");
+  ASSERT_TRUE(ex.ok());
+  EXPECT_TRUE((*ex)->explain);
+}
+
+TEST(ParserTest, ErrorsAreReported) {
+  EXPECT_FALSE(ParseStatement("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a b c FROM t").ok());
+  EXPECT_FALSE(ParseStatement("FOO BAR").ok());
+  EXPECT_FALSE(ParseStatement("SELECT a FROM t GROUP a").ok());
+}
+
+TEST(ParserTest, SelectItemAliases) {
+  auto r = ParseSelect("SELECT a x, b AS y FROM t");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->items[0].alias, "x");
+  EXPECT_EQ((*r)->items[1].alias, "y");
+}
+
+TEST(ParserTest, StarVariants) {
+  auto r = ParseSelect("SELECT *, t.*, count(*) FROM t");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE((*r)->items[0].is_star);
+  EXPECT_TRUE((*r)->items[1].is_star);
+  EXPECT_EQ((*r)->items[1].star_qualifier, "t");
+  EXPECT_FALSE((*r)->items[2].is_star);
+}
+
+TEST(AstEqualsTest, MatchesStructurally) {
+  auto a = ParseSelect("SELECT a + 1 FROM t");
+  auto b = ParseSelect("SELECT A + 1 FROM t");  // case-folded identifiers
+  auto c = ParseSelect("SELECT a + 2 FROM t");
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_TRUE(AstExprEquals(*(*a)->items[0].expr, *(*b)->items[0].expr));
+  EXPECT_FALSE(AstExprEquals(*(*a)->items[0].expr, *(*c)->items[0].expr));
+}
+
+// ---- Analyzer / binder ----
+
+Scope MakeScope() {
+  Scope scope;
+  scope.Add("t", "a", TypeKind::kBigint);
+  scope.Add("t", "b", TypeKind::kDouble);
+  scope.Add("t", "s", TypeKind::kVarchar);
+  scope.Add("u", "a", TypeKind::kBigint);
+  return scope;
+}
+
+Result<ExprPtr> BindSql(const std::string& expr_sql) {
+  auto stmt = ParseSelect("SELECT " + expr_sql + " FROM t");
+  if (!stmt.ok()) return stmt.status();
+  Scope scope = MakeScope();
+  ExprBinder binder(&scope);
+  return binder.Bind(*(*stmt)->items[0].expr);
+}
+
+TEST(AnalyzerTest, ResolvesQualifiedAndUnqualified) {
+  auto r1 = BindSql("t.a + 1");
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ((*r1)->type(), TypeKind::kBigint);
+  auto r2 = BindSql("b * 2");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->type(), TypeKind::kDouble);
+  // "a" alone is ambiguous between t.a and u.a.
+  EXPECT_FALSE(BindSql("a + 1").ok());
+  EXPECT_FALSE(BindSql("missing_col").ok());
+}
+
+TEST(AnalyzerTest, InsertsNumericCoercions) {
+  auto r = BindSql("t.a + b");  // BIGINT + DOUBLE -> DOUBLE with cast
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->type(), TypeKind::kDouble);
+  EXPECT_EQ((*r)->ToString(), "(CAST(#0 AS DOUBLE) + #1)");
+}
+
+TEST(AnalyzerTest, RejectsBadTypes) {
+  EXPECT_FALSE(BindSql("s + 1").ok());
+  EXPECT_FALSE(BindSql("t.a LIKE 'x%'").ok());
+  EXPECT_FALSE(BindSql("NOT s").ok());
+}
+
+TEST(AnalyzerTest, BindsSpecialForms) {
+  auto r1 = BindSql("coalesce(t.a, 0)");
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ((*r1)->kind(), ExprKind::kCoalesce);
+  auto r2 = BindSql("if(t.a > 1, 'y', 'n')");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ((*r2)->kind(), ExprKind::kCase);
+  auto r3 = BindSql("nullif(t.a, 0)");
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ((*r3)->kind(), ExprKind::kCase);
+  auto r4 = BindSql("t.a BETWEEN 1 AND 10");
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ((*r4)->kind(), ExprKind::kAnd);
+}
+
+TEST(AnalyzerTest, NullLiteralAdoptsSiblingType) {
+  auto r = BindSql("t.a = NULL");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The null literal becomes a BIGINT null, matching the eq(BIGINT,BIGINT)
+  // overload.
+  EXPECT_EQ((*r)->children()[1]->type(), TypeKind::kBigint);
+}
+
+TEST(AnalyzerTest, RejectsAggregatesInScalarContext) {
+  EXPECT_FALSE(BindSql("sum(t.a)").ok());
+  EXPECT_FALSE(BindSql("row_number()").ok());
+}
+
+TEST(AnalyzerTest, AggregateDetection) {
+  auto stmt = ParseSelect(
+      "SELECT sum(a) + count(*), max(b) OVER (PARTITION BY a) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(ContainsAggregate(*(*stmt)->items[0].expr));
+  EXPECT_FALSE(ContainsAggregate(*(*stmt)->items[1].expr));
+  EXPECT_TRUE(ContainsWindowCall(*(*stmt)->items[1].expr));
+  std::vector<const AstExpr*> aggs;
+  CollectAggregates(*(*stmt)->items[0].expr, &aggs);
+  EXPECT_EQ(aggs.size(), 2u);
+}
+
+TEST(AnalyzerTest, DuplicateAggregatesDeduplicated) {
+  auto stmt = ParseSelect("SELECT sum(a) + sum(a) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  std::vector<const AstExpr*> aggs;
+  CollectAggregates(*(*stmt)->items[0].expr, &aggs);
+  EXPECT_EQ(aggs.size(), 1u);
+}
+
+TEST(ScopeTest, QualifierExpansion) {
+  Scope scope = MakeScope();
+  EXPECT_EQ(scope.ColumnsForQualifier("t"), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(scope.ColumnsForQualifier("u"), (std::vector<int>{3}));
+  EXPECT_EQ(scope.ColumnsForQualifier("").size(), 4u);
+}
+
+}  // namespace
+}  // namespace presto::sql

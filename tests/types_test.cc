@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "types/row_schema.h"
+#include "types/type.h"
+#include "types/value.h"
+
+namespace presto {
+namespace {
+
+TEST(TypeTest, NamesRoundTrip) {
+  for (auto t : {TypeKind::kBoolean, TypeKind::kBigint, TypeKind::kDouble,
+                 TypeKind::kVarchar, TypeKind::kDate}) {
+    auto parsed = TypeFromString(TypeToString(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(TypeTest, AliasesParse) {
+  EXPECT_EQ(TypeFromString("int"), TypeKind::kBigint);
+  EXPECT_EQ(TypeFromString("INTEGER"), TypeKind::kBigint);
+  EXPECT_EQ(TypeFromString("string"), TypeKind::kVarchar);
+  EXPECT_EQ(TypeFromString("real"), TypeKind::kDouble);
+  EXPECT_FALSE(TypeFromString("frobnicate").has_value());
+}
+
+TEST(TypeTest, Coercions) {
+  EXPECT_TRUE(IsImplicitlyCoercible(TypeKind::kBigint, TypeKind::kDouble));
+  EXPECT_FALSE(IsImplicitlyCoercible(TypeKind::kDouble, TypeKind::kBigint));
+  EXPECT_TRUE(IsImplicitlyCoercible(TypeKind::kUnknown, TypeKind::kVarchar));
+  EXPECT_FALSE(IsImplicitlyCoercible(TypeKind::kVarchar, TypeKind::kBigint));
+}
+
+TEST(TypeTest, CommonSuperType) {
+  EXPECT_EQ(CommonSuperType(TypeKind::kBigint, TypeKind::kDouble),
+            TypeKind::kDouble);
+  EXPECT_EQ(CommonSuperType(TypeKind::kUnknown, TypeKind::kDate),
+            TypeKind::kDate);
+  EXPECT_EQ(CommonSuperType(TypeKind::kVarchar, TypeKind::kVarchar),
+            TypeKind::kVarchar);
+  EXPECT_FALSE(CommonSuperType(TypeKind::kVarchar, TypeKind::kBigint)
+                   .has_value());
+}
+
+TEST(ValueTest, NullSemantics) {
+  Value n = Value::Null(TypeKind::kBigint);
+  EXPECT_TRUE(n.is_null());
+  EXPECT_FALSE(n.SqlEquals(Value::Bigint(1)));
+  EXPECT_FALSE(n.SqlEquals(n));
+  // NULLs sort last.
+  EXPECT_GT(n.Compare(Value::Bigint(100)), 0);
+  EXPECT_EQ(n.Compare(Value::Null(TypeKind::kBigint)), 0);
+}
+
+TEST(ValueTest, CrossTypeNumericEquality) {
+  EXPECT_TRUE(Value::Bigint(3).SqlEquals(Value::Double(3.0)));
+  EXPECT_FALSE(Value::Bigint(3).SqlEquals(Value::Double(3.5)));
+  EXPECT_EQ(Value::Bigint(2).Compare(Value::Double(2.5)), -1);
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value::Bigint(1).Compare(Value::Bigint(2)), 0);
+  EXPECT_GT(Value::Varchar("b").Compare(Value::Varchar("a")), 0);
+  EXPECT_EQ(Value::Boolean(false).Compare(Value::Boolean(false)), 0);
+  EXPECT_LT(Value::Date(10).Compare(Value::Date(11)), 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Bigint(42).Hash(), Value::Bigint(42).Hash());
+  EXPECT_EQ(Value::Varchar("xy").Hash(), Value::Varchar("xy").Hash());
+  EXPECT_NE(Value::Bigint(1).Hash(), Value::Bigint(2).Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null(TypeKind::kDouble).ToString(), "NULL");
+  EXPECT_EQ(Value::Bigint(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Boolean(true).ToString(), "true");
+  EXPECT_EQ(Value::Varchar("hi").ToString(), "'hi'");
+}
+
+TEST(DateTest, RoundTrip) {
+  int64_t days = 0;
+  ASSERT_TRUE(ParseDate("1970-01-01", &days));
+  EXPECT_EQ(days, 0);
+  ASSERT_TRUE(ParseDate("1995-06-17", &days));
+  EXPECT_EQ(FormatDate(days), "1995-06-17");
+  ASSERT_TRUE(ParseDate("2038-12-31", &days));
+  EXPECT_EQ(FormatDate(days), "2038-12-31");
+}
+
+TEST(DateTest, RejectsBadInput) {
+  int64_t days = 0;
+  EXPECT_FALSE(ParseDate("not-a-date", &days));
+  EXPECT_FALSE(ParseDate("1995-13-01", &days));
+  EXPECT_FALSE(ParseDate("1995-00-10", &days));
+}
+
+TEST(RowSchemaTest, LookupAndPrint) {
+  RowSchema schema;
+  schema.Add("a", TypeKind::kBigint);
+  schema.Add("b", TypeKind::kVarchar);
+  EXPECT_EQ(schema.size(), 2u);
+  EXPECT_EQ(schema.IndexOf("b"), 1u);
+  EXPECT_FALSE(schema.IndexOf("c").has_value());
+  EXPECT_EQ(schema.ToString(), "(a BIGINT, b VARCHAR)");
+}
+
+}  // namespace
+}  // namespace presto

@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include "vector/block.h"
+#include "vector/block_builder.h"
+#include "vector/decoded_block.h"
+#include "vector/encoded_block.h"
+#include "vector/page.h"
+#include "vector/page_serde.h"
+
+namespace presto {
+namespace {
+
+TEST(FlatBlockTest, BasicAccess) {
+  auto b = MakeBigintBlock({1, 2, 3}, {0, 1, 0});
+  EXPECT_EQ(b->size(), 3);
+  EXPECT_EQ(b->type(), TypeKind::kBigint);
+  EXPECT_FALSE(b->IsNull(0));
+  EXPECT_TRUE(b->IsNull(1));
+  EXPECT_EQ(b->GetValue(2), Value::Bigint(3));
+  EXPECT_EQ(b->GetValue(1), Value::Null(TypeKind::kBigint));
+}
+
+TEST(FlatBlockTest, NoNullsVariant) {
+  auto b = MakeDoubleBlock({1.5, 2.5});
+  EXPECT_FALSE(b->MayHaveNulls());
+  EXPECT_FALSE(b->IsNull(0));
+  EXPECT_EQ(b->GetValue(1), Value::Double(2.5));
+}
+
+TEST(FlatBlockTest, CopyPositions) {
+  auto b = MakeBigintBlock({10, 20, 30, 40}, {0, 0, 1, 0});
+  int32_t pos[] = {3, 0, 2};
+  auto c = b->CopyPositions(pos, 3);
+  EXPECT_EQ(c->size(), 3);
+  EXPECT_EQ(c->GetValue(0), Value::Bigint(40));
+  EXPECT_EQ(c->GetValue(1), Value::Bigint(10));
+  EXPECT_TRUE(c->IsNull(2));
+}
+
+TEST(VarcharBlockTest, FlatMemoryLayout) {
+  auto b = MakeVarcharBlock({"foo", "", "barbaz"}, {0, 0, 0});
+  const auto& vb = static_cast<const VarcharBlock&>(*b);
+  EXPECT_EQ(vb.StringAt(0), "foo");
+  EXPECT_EQ(vb.StringAt(1), "");
+  EXPECT_EQ(vb.StringAt(2), "barbaz");
+}
+
+TEST(VarcharBlockTest, NullsAndCopy) {
+  auto b = MakeVarcharBlock({"a", "b", "c"}, {0, 1, 0});
+  int32_t pos[] = {2, 1};
+  auto c = b->CopyPositions(pos, 2);
+  EXPECT_EQ(c->GetValue(0), Value::Varchar("c"));
+  EXPECT_TRUE(c->IsNull(1));
+}
+
+TEST(BooleanBlockTest, Values) {
+  auto b = MakeBooleanBlock({true, false, true});
+  EXPECT_EQ(b->GetValue(0), Value::Boolean(true));
+  EXPECT_EQ(b->GetValue(1), Value::Boolean(false));
+}
+
+TEST(BlockTest, CompareAtAndEqualsAt) {
+  auto a = MakeBigintBlock({1, 5, 7}, {0, 0, 1});
+  auto b = MakeBigintBlock({5, 5});
+  EXPECT_LT(a->CompareAt(0, *b, 0), 0);
+  EXPECT_EQ(a->CompareAt(1, *b, 1), 0);
+  EXPECT_GT(a->CompareAt(2, *b, 0), 0);  // NULL sorts last
+  EXPECT_TRUE(a->EqualsAt(1, *b, 0));
+  EXPECT_FALSE(a->EqualsAt(2, *b, 0));  // NULL != anything
+}
+
+TEST(RleBlockTest, RepeatsValue) {
+  auto rle = MakeConstantBlock(Value::Bigint(9), 100);
+  EXPECT_EQ(rle->size(), 100);
+  EXPECT_EQ(rle->encoding(), BlockEncoding::kRle);
+  EXPECT_EQ(rle->GetValue(0), Value::Bigint(9));
+  EXPECT_EQ(rle->GetValue(99), Value::Bigint(9));
+  auto flat = rle->Flatten();
+  EXPECT_EQ(flat->encoding(), BlockEncoding::kFlat);
+  EXPECT_EQ(flat->GetValue(57), Value::Bigint(9));
+}
+
+TEST(RleBlockTest, NullRun) {
+  auto rle = MakeConstantBlock(Value::Null(TypeKind::kVarchar), 5);
+  EXPECT_TRUE(rle->IsNull(3));
+}
+
+TEST(DictionaryBlockTest, IndicesResolve) {
+  auto dict = MakeVarcharBlock({"IN PERSON", "COD", "RETURN", "NONE"});
+  auto block = std::make_shared<DictionaryBlock>(
+      dict, std::vector<int32_t>{1, 0, 2, 1, 3});
+  EXPECT_EQ(block->size(), 5);
+  EXPECT_EQ(block->GetValue(0), Value::Varchar("COD"));
+  EXPECT_EQ(block->GetValue(4), Value::Varchar("NONE"));
+  auto flat = block->Flatten();
+  EXPECT_EQ(flat->GetValue(2), Value::Varchar("RETURN"));
+}
+
+TEST(DictionaryBlockTest, CopyPositionsKeepsDictionary) {
+  auto dict = MakeBigintBlock({100, 200, 300});
+  auto block = std::make_shared<DictionaryBlock>(
+      dict, std::vector<int32_t>{2, 2, 0, 1});
+  int32_t pos[] = {0, 3};
+  auto c = block->CopyPositions(pos, 2);
+  EXPECT_EQ(c->encoding(), BlockEncoding::kDictionary);
+  EXPECT_EQ(c->GetValue(0), Value::Bigint(300));
+  EXPECT_EQ(c->GetValue(1), Value::Bigint(200));
+}
+
+TEST(LazyBlockTest, LoadsOnceAndCountsStats) {
+  LazyLoadStats stats;
+  int loads = 0;
+  auto lazy = std::make_shared<LazyBlock>(
+      TypeKind::kBigint, 3,
+      [&loads]() {
+        ++loads;
+        return MakeBigintBlock({7, 8, 9});
+      },
+      &stats);
+  EXPECT_FALSE(lazy->loaded());
+  EXPECT_EQ(lazy->GetValue(1), Value::Bigint(8));
+  EXPECT_EQ(lazy->GetValue(2), Value::Bigint(9));
+  EXPECT_EQ(loads, 1);
+  EXPECT_TRUE(lazy->loaded());
+  EXPECT_EQ(stats.blocks_loaded.load(), 1);
+  EXPECT_EQ(stats.cells_loaded.load(), 3);
+}
+
+TEST(LazyBlockTest, SkippedBlockCounted) {
+  LazyLoadStats stats;
+  {
+    auto lazy = std::make_shared<LazyBlock>(
+        TypeKind::kBigint, 3, []() { return MakeBigintBlock({1, 2, 3}); },
+        &stats);
+  }
+  EXPECT_EQ(stats.blocks_skipped.load(), 1);
+  EXPECT_EQ(stats.blocks_loaded.load(), 0);
+}
+
+TEST(DecodedBlockTest, FlatIdentity) {
+  auto b = MakeBigintBlock({4, 5, 6}, {0, 1, 0});
+  DecodedBlock d;
+  d.Decode(b);
+  EXPECT_FALSE(d.is_constant());
+  EXPECT_FALSE(d.is_dictionary());
+  EXPECT_EQ(d.ValueAt<int64_t>(0), 4);
+  EXPECT_TRUE(d.IsNull(1));
+  EXPECT_FALSE(d.IsNull(2));
+}
+
+TEST(DecodedBlockTest, RleConstant) {
+  auto b = MakeConstantBlock(Value::Double(2.5), 10);
+  DecodedBlock d;
+  d.Decode(b);
+  EXPECT_TRUE(d.is_constant());
+  EXPECT_EQ(d.ValueAt<double>(7), 2.5);
+}
+
+TEST(DecodedBlockTest, DictionaryMapping) {
+  auto dict = MakeVarcharBlock({"x", "y"}, {0, 1});
+  BlockPtr b = std::make_shared<DictionaryBlock>(
+      dict, std::vector<int32_t>{1, 0, 1});
+  DecodedBlock d;
+  d.Decode(b);
+  EXPECT_TRUE(d.is_dictionary());
+  EXPECT_TRUE(d.IsNull(0));
+  EXPECT_EQ(d.StringAt(1), "x");
+  EXPECT_EQ(d.IndexAt(2), 1);
+}
+
+TEST(DecodedBlockTest, LazyResolved) {
+  BlockPtr lazy = std::make_shared<LazyBlock>(
+      TypeKind::kBigint, 2, []() { return MakeBigintBlock({1, 2}); });
+  DecodedBlock d;
+  d.Decode(lazy);
+  EXPECT_EQ(d.ValueAt<int64_t>(1), 2);
+}
+
+TEST(DecodedBlockTest, DictionaryOverRleFlattens) {
+  BlockPtr rle = MakeConstantBlock(Value::Bigint(5), 3);
+  BlockPtr b =
+      std::make_shared<DictionaryBlock>(rle, std::vector<int32_t>{0, 2});
+  DecodedBlock d;
+  d.Decode(b);
+  EXPECT_EQ(d.ValueAt<int64_t>(0), 5);
+  EXPECT_EQ(d.ValueAt<int64_t>(1), 5);
+}
+
+TEST(BlockBuilderTest, AllTypesRoundTrip) {
+  BlockBuilder b1(TypeKind::kBigint);
+  b1.AppendBigint(1);
+  b1.AppendNull();
+  b1.AppendBigint(3);
+  auto blk = b1.Build();
+  EXPECT_EQ(blk->size(), 3);
+  EXPECT_TRUE(blk->IsNull(1));
+  EXPECT_EQ(blk->GetValue(2), Value::Bigint(3));
+
+  BlockBuilder b2(TypeKind::kVarchar);
+  b2.AppendString("aa");
+  b2.AppendNull();
+  auto blk2 = b2.Build();
+  EXPECT_EQ(blk2->GetValue(0), Value::Varchar("aa"));
+  EXPECT_TRUE(blk2->IsNull(1));
+
+  BlockBuilder b3(TypeKind::kBoolean);
+  b3.AppendBoolean(true);
+  auto blk3 = b3.Build();
+  EXPECT_EQ(blk3->GetValue(0), Value::Boolean(true));
+}
+
+TEST(BlockBuilderTest, BuilderResetsAfterBuild) {
+  BlockBuilder b(TypeKind::kBigint);
+  b.AppendBigint(1);
+  auto first = b.Build();
+  b.AppendBigint(2);
+  auto second = b.Build();
+  EXPECT_EQ(first->size(), 1);
+  EXPECT_EQ(second->size(), 1);
+  EXPECT_EQ(second->GetValue(0), Value::Bigint(2));
+}
+
+TEST(PageBuilderTest, AppendRows) {
+  PageBuilder pb({TypeKind::kBigint, TypeKind::kVarchar});
+  pb.AppendRow({Value::Bigint(1), Value::Varchar("a")});
+  pb.AppendRow({Value::Null(TypeKind::kBigint), Value::Varchar("b")});
+  Page p = pb.Build();
+  EXPECT_EQ(p.num_rows(), 2);
+  EXPECT_EQ(p.num_columns(), 2u);
+  EXPECT_TRUE(p.block(0)->IsNull(1));
+  EXPECT_EQ(p.block(1)->GetValue(1), Value::Varchar("b"));
+}
+
+TEST(PageTest, CopyPositionsAndRows) {
+  Page p({MakeBigintBlock({1, 2, 3}), MakeVarcharBlock({"a", "b", "c"})});
+  int32_t pos[] = {2, 0};
+  Page q = p.CopyPositions(pos, 2);
+  EXPECT_EQ(q.num_rows(), 2);
+  auto row = q.GetRow(0);
+  EXPECT_EQ(row[0], Value::Bigint(3));
+  EXPECT_EQ(row[1], Value::Varchar("c"));
+}
+
+TEST(PageSerdeTest, RoundTripAllTypes) {
+  Page p({MakeBigintBlock({1, 2}, {0, 1}), MakeDoubleBlock({0.5, -1.5}),
+          MakeBooleanBlock({true, false}, {1, 0}),
+          MakeVarcharBlock({"hello", "world"}, {0, 1}),
+          MakeDateBlock({100, 200})});
+  std::string data = SerializePage(p);
+  size_t off = 0;
+  auto r = DeserializePage(data, &off);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(off, data.size());
+  const Page& q = *r;
+  ASSERT_EQ(q.num_rows(), 2);
+  ASSERT_EQ(q.num_columns(), 5u);
+  EXPECT_EQ(q.block(0)->GetValue(0), Value::Bigint(1));
+  EXPECT_TRUE(q.block(0)->IsNull(1));
+  EXPECT_EQ(q.block(1)->GetValue(1), Value::Double(-1.5));
+  EXPECT_TRUE(q.block(2)->IsNull(0));
+  EXPECT_EQ(q.block(3)->GetValue(0), Value::Varchar("hello"));
+  EXPECT_TRUE(q.block(3)->IsNull(1));
+  EXPECT_EQ(q.block(4)->GetValue(1), Value::Date(200));
+  EXPECT_EQ(q.block(4)->type(), TypeKind::kDate);
+}
+
+TEST(PageSerdeTest, MultiplePagesInStream) {
+  Page a({MakeBigintBlock({1})});
+  Page b({MakeBigintBlock({2, 3})});
+  std::string data = SerializePage(a) + SerializePage(b);
+  size_t off = 0;
+  auto ra = DeserializePage(data, &off);
+  ASSERT_TRUE(ra.ok());
+  auto rb = DeserializePage(data, &off);
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->num_rows(), 1);
+  EXPECT_EQ(rb->num_rows(), 2);
+  EXPECT_EQ(off, data.size());
+}
+
+TEST(PageSerdeTest, TruncatedDataFails) {
+  Page p({MakeBigintBlock({1, 2, 3})});
+  std::string data = SerializePage(p);
+  data.resize(data.size() / 2);
+  size_t off = 0;
+  auto r = DeserializePage(data, &off);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(PageSerdeTest, EncodedBlocksFlattenOnSerialize) {
+  auto dict = MakeVarcharBlock({"p", "q"});
+  Page p({std::make_shared<DictionaryBlock>(dict,
+                                            std::vector<int32_t>{1, 1, 0}),
+          MakeConstantBlock(Value::Bigint(4), 3)});
+  std::string data = SerializePage(p);
+  size_t off = 0;
+  auto r = DeserializePage(data, &off);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->block(0)->encoding(), BlockEncoding::kVarchar);
+  EXPECT_EQ(r->block(0)->GetValue(0), Value::Varchar("q"));
+  EXPECT_EQ(r->block(1)->GetValue(2), Value::Bigint(4));
+}
+
+}  // namespace
+}  // namespace presto
