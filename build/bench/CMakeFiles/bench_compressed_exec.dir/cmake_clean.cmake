@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_compressed_exec.dir/bench_compressed_exec.cc.o"
+  "CMakeFiles/bench_compressed_exec.dir/bench_compressed_exec.cc.o.d"
+  "bench_compressed_exec"
+  "bench_compressed_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_compressed_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

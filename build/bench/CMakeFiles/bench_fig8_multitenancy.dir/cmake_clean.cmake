@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_multitenancy.dir/bench_fig8_multitenancy.cc.o"
+  "CMakeFiles/bench_fig8_multitenancy.dir/bench_fig8_multitenancy.cc.o.d"
+  "bench_fig8_multitenancy"
+  "bench_fig8_multitenancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_multitenancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

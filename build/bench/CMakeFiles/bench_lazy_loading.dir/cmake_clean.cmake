@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lazy_loading.dir/bench_lazy_loading.cc.o"
+  "CMakeFiles/bench_lazy_loading.dir/bench_lazy_loading.cc.o.d"
+  "bench_lazy_loading"
+  "bench_lazy_loading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lazy_loading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shuffle_elision.dir/bench_shuffle_elision.cc.o"
+  "CMakeFiles/bench_shuffle_elision.dir/bench_shuffle_elision.cc.o.d"
+  "bench_shuffle_elision"
+  "bench_shuffle_elision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shuffle_elision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_shuffle_elision.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spilling.dir/bench_spilling.cc.o"
+  "CMakeFiles/bench_spilling.dir/bench_spilling.cc.o.d"
+  "bench_spilling"
+  "bench_spilling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spilling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_split_scheduling.dir/bench_split_scheduling.cc.o"
+  "CMakeFiles/bench_split_scheduling.dir/bench_split_scheduling.cc.o.d"
+  "bench_split_scheduling"
+  "bench_split_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_split_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_writer_scaling.dir/bench_writer_scaling.cc.o"
+  "CMakeFiles/bench_writer_scaling.dir/bench_writer_scaling.cc.o.d"
+  "bench_writer_scaling"
+  "bench_writer_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_writer_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

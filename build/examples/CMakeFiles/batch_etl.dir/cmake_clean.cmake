@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_etl.dir/batch_etl.cpp.o"
+  "CMakeFiles/batch_etl.dir/batch_etl.cpp.o.d"
+  "batch_etl"
+  "batch_etl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_etl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/prestocpp.dir/common/status.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_utils.cc" "src/CMakeFiles/prestocpp.dir/common/string_utils.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/common/string_utils.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/prestocpp.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/connector/connector.cc" "src/CMakeFiles/prestocpp.dir/connector/connector.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/connector/connector.cc.o.d"
+  "/root/repo/src/connector/scan_util.cc" "src/CMakeFiles/prestocpp.dir/connector/scan_util.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/connector/scan_util.cc.o.d"
+  "/root/repo/src/connectors/hive/hive_connector.cc" "src/CMakeFiles/prestocpp.dir/connectors/hive/hive_connector.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/connectors/hive/hive_connector.cc.o.d"
+  "/root/repo/src/connectors/hive/minidfs.cc" "src/CMakeFiles/prestocpp.dir/connectors/hive/minidfs.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/connectors/hive/minidfs.cc.o.d"
+  "/root/repo/src/connectors/hive/storc.cc" "src/CMakeFiles/prestocpp.dir/connectors/hive/storc.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/connectors/hive/storc.cc.o.d"
+  "/root/repo/src/connectors/memcon/memory_connector.cc" "src/CMakeFiles/prestocpp.dir/connectors/memcon/memory_connector.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/connectors/memcon/memory_connector.cc.o.d"
+  "/root/repo/src/connectors/raptor/raptor_connector.cc" "src/CMakeFiles/prestocpp.dir/connectors/raptor/raptor_connector.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/connectors/raptor/raptor_connector.cc.o.d"
+  "/root/repo/src/connectors/shardedstore/sharded_store.cc" "src/CMakeFiles/prestocpp.dir/connectors/shardedstore/sharded_store.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/connectors/shardedstore/sharded_store.cc.o.d"
+  "/root/repo/src/connectors/tpch/tpch_connector.cc" "src/CMakeFiles/prestocpp.dir/connectors/tpch/tpch_connector.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/connectors/tpch/tpch_connector.cc.o.d"
+  "/root/repo/src/engine/engine.cc" "src/CMakeFiles/prestocpp.dir/engine/engine.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/engine/engine.cc.o.d"
+  "/root/repo/src/engine/reference_executor.cc" "src/CMakeFiles/prestocpp.dir/engine/reference_executor.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/engine/reference_executor.cc.o.d"
+  "/root/repo/src/exchange/exchange.cc" "src/CMakeFiles/prestocpp.dir/exchange/exchange.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/exchange/exchange.cc.o.d"
+  "/root/repo/src/exec/driver.cc" "src/CMakeFiles/prestocpp.dir/exec/driver.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/exec/driver.cc.o.d"
+  "/root/repo/src/exec/group_by_hash.cc" "src/CMakeFiles/prestocpp.dir/exec/group_by_hash.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/exec/group_by_hash.cc.o.d"
+  "/root/repo/src/exec/operators_agg.cc" "src/CMakeFiles/prestocpp.dir/exec/operators_agg.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/exec/operators_agg.cc.o.d"
+  "/root/repo/src/exec/operators_join.cc" "src/CMakeFiles/prestocpp.dir/exec/operators_join.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/exec/operators_join.cc.o.d"
+  "/root/repo/src/exec/operators_sink.cc" "src/CMakeFiles/prestocpp.dir/exec/operators_sink.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/exec/operators_sink.cc.o.d"
+  "/root/repo/src/exec/operators_sort.cc" "src/CMakeFiles/prestocpp.dir/exec/operators_sort.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/exec/operators_sort.cc.o.d"
+  "/root/repo/src/exec/operators_source.cc" "src/CMakeFiles/prestocpp.dir/exec/operators_source.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/exec/operators_source.cc.o.d"
+  "/root/repo/src/exec/pages_index.cc" "src/CMakeFiles/prestocpp.dir/exec/pages_index.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/exec/pages_index.cc.o.d"
+  "/root/repo/src/exec/spiller.cc" "src/CMakeFiles/prestocpp.dir/exec/spiller.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/exec/spiller.cc.o.d"
+  "/root/repo/src/exec/task.cc" "src/CMakeFiles/prestocpp.dir/exec/task.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/exec/task.cc.o.d"
+  "/root/repo/src/expr/aggregates.cc" "src/CMakeFiles/prestocpp.dir/expr/aggregates.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/expr/aggregates.cc.o.d"
+  "/root/repo/src/expr/evaluator.cc" "src/CMakeFiles/prestocpp.dir/expr/evaluator.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/expr/evaluator.cc.o.d"
+  "/root/repo/src/expr/expression.cc" "src/CMakeFiles/prestocpp.dir/expr/expression.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/expr/expression.cc.o.d"
+  "/root/repo/src/expr/function_registry.cc" "src/CMakeFiles/prestocpp.dir/expr/function_registry.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/expr/function_registry.cc.o.d"
+  "/root/repo/src/expr/page_processor.cc" "src/CMakeFiles/prestocpp.dir/expr/page_processor.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/expr/page_processor.cc.o.d"
+  "/root/repo/src/fragment/fragmenter.cc" "src/CMakeFiles/prestocpp.dir/fragment/fragmenter.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/fragment/fragmenter.cc.o.d"
+  "/root/repo/src/memory/memory.cc" "src/CMakeFiles/prestocpp.dir/memory/memory.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/memory/memory.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/prestocpp.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/stats_estimator.cc" "src/CMakeFiles/prestocpp.dir/optimizer/stats_estimator.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/optimizer/stats_estimator.cc.o.d"
+  "/root/repo/src/plan/plan_node.cc" "src/CMakeFiles/prestocpp.dir/plan/plan_node.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/plan/plan_node.cc.o.d"
+  "/root/repo/src/plan/planner.cc" "src/CMakeFiles/prestocpp.dir/plan/planner.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/plan/planner.cc.o.d"
+  "/root/repo/src/schedule/coordinator.cc" "src/CMakeFiles/prestocpp.dir/schedule/coordinator.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/schedule/coordinator.cc.o.d"
+  "/root/repo/src/schedule/task_executor.cc" "src/CMakeFiles/prestocpp.dir/schedule/task_executor.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/schedule/task_executor.cc.o.d"
+  "/root/repo/src/sql/analyzer.cc" "src/CMakeFiles/prestocpp.dir/sql/analyzer.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/sql/analyzer.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/prestocpp.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/prestocpp.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/prestocpp.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/sql/parser.cc.o.d"
+  "/root/repo/src/types/row_schema.cc" "src/CMakeFiles/prestocpp.dir/types/row_schema.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/types/row_schema.cc.o.d"
+  "/root/repo/src/types/type.cc" "src/CMakeFiles/prestocpp.dir/types/type.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/types/type.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/prestocpp.dir/types/value.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/types/value.cc.o.d"
+  "/root/repo/src/vector/block.cc" "src/CMakeFiles/prestocpp.dir/vector/block.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/vector/block.cc.o.d"
+  "/root/repo/src/vector/block_builder.cc" "src/CMakeFiles/prestocpp.dir/vector/block_builder.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/vector/block_builder.cc.o.d"
+  "/root/repo/src/vector/decoded_block.cc" "src/CMakeFiles/prestocpp.dir/vector/decoded_block.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/vector/decoded_block.cc.o.d"
+  "/root/repo/src/vector/encoded_block.cc" "src/CMakeFiles/prestocpp.dir/vector/encoded_block.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/vector/encoded_block.cc.o.d"
+  "/root/repo/src/vector/page.cc" "src/CMakeFiles/prestocpp.dir/vector/page.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/vector/page.cc.o.d"
+  "/root/repo/src/vector/page_serde.cc" "src/CMakeFiles/prestocpp.dir/vector/page_serde.cc.o" "gcc" "src/CMakeFiles/prestocpp.dir/vector/page_serde.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

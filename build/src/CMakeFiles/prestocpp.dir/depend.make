@@ -1,0 +1,2 @@
+# Empty dependencies file for prestocpp.
+# This may be replaced when dependencies are built.

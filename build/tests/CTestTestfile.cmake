@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(types_test "/root/repo/build/tests/types_test")
+set_tests_properties(types_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vector_test "/root/repo/build/tests/vector_test")
+set_tests_properties(vector_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(expr_test "/root/repo/build/tests/expr_test")
+set_tests_properties(expr_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sql_test "/root/repo/build/tests/sql_test")
+set_tests_properties(sql_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(plan_test "/root/repo/build/tests/plan_test")
+set_tests_properties(plan_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(engine_test "/root/repo/build/tests/engine_test")
+set_tests_properties(engine_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(connectors_test "/root/repo/build/tests/connectors_test")
+set_tests_properties(connectors_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(runtime_test "/root/repo/build/tests/runtime_test")
+set_tests_properties(runtime_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fragment_test "/root/repo/build/tests/fragment_test")
+set_tests_properties(fragment_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(schedule_test "/root/repo/build/tests/schedule_test")
+set_tests_properties(schedule_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;presto_add_test;/root/repo/tests/CMakeLists.txt;0;")
