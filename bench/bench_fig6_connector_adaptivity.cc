@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
 
   std::printf("%-5s %14s %18s %15s\n", "query", "raptor_ms",
               "hive_nostats_ms", "hive_stats_ms");
+  BenchReport report("fig6_connector_adaptivity");
   double sum_raptor = 0, sum_nostats = 0, sum_stats = 0;
   for (const auto& q : Fig6Queries("raptor")) {
     double raptor_ms =
@@ -76,11 +77,19 @@ int main(int argc, char** argv) {
     sum_stats += stats_ms;
     std::printf("%-5s %14.1f %18.1f %15.1f\n", q.label.c_str(), raptor_ms,
                 nostats_ms, stats_ms);
+    report.Add(q.label, "raptor", raptor_ms, "ms");
+    report.Add(q.label, "hive_nostats", nostats_ms, "ms");
+    report.Add(q.label, "hive_stats", stats_ms, "ms");
   }
   std::printf("%-5s %14.1f %18.1f %15.1f\n", "TOTAL", sum_raptor, sum_nostats,
               sum_stats);
+  report.Add("TOTAL", "raptor", sum_raptor, "ms");
+  report.Add("TOTAL", "hive_nostats", sum_nostats, "ms");
+  report.Add("TOTAL", "hive_stats", sum_stats, "ms");
   std::printf(
       "\nexpected shape: raptor <= hive(stats) <= hive(no stats); stats "
       "help most on the multi-join queries (q35, q80, ...)\n");
+  std::string json = report.WriteJson();
+  if (!json.empty()) std::printf("wrote %s\n", json.c_str());
   return 0;
 }

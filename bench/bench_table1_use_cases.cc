@@ -25,12 +25,15 @@ struct Row {
   std::vector<double> runtimes_ms;
 };
 
-void PrintRow(const Row& row) {
+void PrintRow(const Row& row, BenchReport* report) {
   double lo = Percentile(row.runtimes_ms, 5);
   double hi = Percentile(row.runtimes_ms, 95);
   std::printf("%-26s %-38s %10.1f-%-10.1f %6d %12s\n", row.use_case.c_str(),
               row.workload.c_str(), lo, hi, row.concurrency,
               row.connector.c_str());
+  report->Add(row.use_case, "duration_p5", lo, "ms");
+  report->Add(row.use_case, "duration_p95", hi, "ms");
+  report->Add(row.use_case, "concurrency", row.concurrency, "clients");
 }
 
 // Runs `sql_gen(i)` `n` times across `concurrency` client threads.
@@ -92,6 +95,7 @@ int main() {
               options.cluster.num_workers);
   std::printf("%-26s %-38s %21s %6s %12s\n", "use case", "workload shape",
               "duration p5-p95 (ms)", "conc", "connector");
+  BenchReport report("table1_use_cases");
 
   // Developer/Advertiser Analytics: 100s of highly selective queries.
   {
@@ -101,7 +105,7 @@ int main() {
       return "SELECT day, sum(value) FROM mysql.app_events WHERE app_id = " +
              std::to_string(i % 500) + " GROUP BY day LIMIT 30";
     });
-    PrintRow(row);
+    PrintRow(row, &report);
   }
   // A/B Testing: 10s of join-heavy queries on raptor.
   {
@@ -115,7 +119,7 @@ int main() {
              "raptor.customer c ON o.custkey = c.custkey GROUP BY " +
              dims[i % 3];
     });
-    PrintRow(row);
+    PrintRow(row, &report);
   }
   // Interactive Analytics: 50-100 concurrent exploratory queries.
   {
@@ -138,7 +142,7 @@ int main() {
               "c.mktsegment");
       }
     });
-    PrintRow(row);
+    PrintRow(row, &report);
   }
   // Batch ETL: a few large transform-and-write jobs.
   {
@@ -150,11 +154,13 @@ int main() {
              "l.discount)) AS revenue FROM hive.orders o JOIN hive.lineitem "
              "l ON o.orderkey = l.orderkey GROUP BY o.orderkey";
     });
-    PrintRow(row);
+    PrintRow(row, &report);
   }
   std::printf(
       "\nexpected shape (paper Table I): Dev/Adv 50ms-5s | A/B 1-25s | "
       "Interactive 10s-30min | ETL 20min-5hr — bands ordered the same "
       "way here, compressed to laptop scale\n");
+  std::string json = report.WriteJson();
+  if (!json.empty()) std::printf("wrote %s\n", json.c_str());
   return 0;
 }

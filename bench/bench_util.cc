@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "common/check.h"
 #include "common/random.h"
@@ -178,6 +179,53 @@ std::vector<LabeledQuery> Fig6Queries(const std::string& catalog) {
                  "SELECT count(DISTINCT custkey) FROM " + t("orders") +
                      " WHERE orderdate >= DATE '1995-01-01'"});
   return out;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void BenchReport::Add(const std::string& label, const std::string& metric,
+                      double value, const std::string& unit) {
+  samples_.push_back({label, metric, unit, value});
+}
+
+std::string BenchReport::WriteJson() const {
+  std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  std::fprintf(f, "{\n  \"benchmark\": \"%s\",\n  \"samples\": [",
+               JsonEscape(name_).c_str());
+  for (size_t i = 0; i < samples_.size(); ++i) {
+    const Sample& s = samples_[i];
+    std::fprintf(f,
+                 "%s\n    {\"label\": \"%s\", \"metric\": \"%s\", "
+                 "\"value\": %.6g, \"unit\": \"%s\"}",
+                 i == 0 ? "" : ",", JsonEscape(s.label).c_str(),
+                 JsonEscape(s.metric).c_str(), s.value,
+                 JsonEscape(s.unit).c_str());
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  return path;
 }
 
 double Percentile(std::vector<double> values, double p) {

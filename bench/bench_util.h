@@ -50,6 +50,32 @@ std::vector<LabeledQuery> Fig6Queries(const std::string& catalog);
 /// Percentile of a sorted vector (p in [0,100]).
 double Percentile(std::vector<double> values, double p);
 
+/// Collects measurements and mirrors them to `BENCH_<name>.json` in the
+/// working directory, so benchmark runs are machine-readable (CI trend
+/// tracking, plotting) as well as human-readable on stdout.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Records one sample; `unit` is free-form ("ms", "rows", ...).
+  void Add(const std::string& label, const std::string& metric, double value,
+           const std::string& unit = "");
+
+  /// Writes BENCH_<name>.json; returns the path ("" on I/O failure).
+  std::string WriteJson() const;
+
+ private:
+  struct Sample {
+    std::string label;
+    std::string metric;
+    std::string unit;
+    double value;
+  };
+
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
 }  // namespace presto::bench
 
 #endif  // PRESTOCPP_BENCH_BENCH_UTIL_H_

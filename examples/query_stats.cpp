@@ -1,0 +1,91 @@
+// Query observability tour: run SQL, then inspect what the engine saw —
+// per-query lifecycle info, per-operator runtime stats, EXPLAIN ANALYZE,
+// event listeners, and the Prometheus-style metrics endpoint.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/query_stats
+
+#include <cstdio>
+#include <memory>
+
+#include "connectors/tpch/tpch_connector.h"
+#include "engine/engine.h"
+
+using namespace presto;  // NOLINT
+
+namespace {
+
+// A minimal event listener: the embedded analogue of Presto's event
+// listener plugin, e.g. for shipping query telemetry to a warehouse.
+class LoggingListener : public EventListener {
+ public:
+  void QueryCreated(const QueryCreatedEvent& event) override {
+    std::printf("[listener] created   %s: %s\n", event.query_id.c_str(),
+                event.sql.c_str());
+  }
+  void QueryCompleted(const QueryCompletedEvent& event) override {
+    std::printf("[listener] completed %s: %s, %s\n", event.query_id.c_str(),
+                event.final_status.ok() ? "OK" : "FAILED",
+                event.stats.Summary().c_str());
+  }
+};
+
+}  // namespace
+
+int main() {
+  EngineOptions options;
+  options.cluster.num_workers = 4;
+  PrestoEngine engine(options);
+  engine.catalog().Register(
+      std::make_shared<TpchConnector>("tpch", /*scale=*/0.5));
+  engine.AddEventListener(std::make_shared<LoggingListener>());
+
+  // 1. Run a query and fetch its lifecycle record by query id.
+  auto result = engine.Execute(
+      "SELECT n.name, count(*) AS orders FROM tpch.orders o "
+      "JOIN tpch.customer c ON o.custkey = c.custkey "
+      "JOIN tpch.nation n ON c.nationkey = n.nationkey "
+      "GROUP BY n.name ORDER BY orders DESC LIMIT 5");
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  std::string query_id = result->query_id();
+  auto rows = result->FetchAllRows();
+  if (!rows.ok()) {
+    std::fprintf(stderr, "fetch failed: %s\n",
+                 rows.status().ToString().c_str());
+    return 1;
+  }
+
+  auto info = engine.QueryInfoFor(query_id);
+  if (!info.ok()) return 1;
+  std::printf("\n-- QueryInfo for %s --\n", query_id.c_str());
+  std::printf("state:      %s\n", QueryStateToString(info->state));
+  std::printf("planning:   %s\n", FormatNanos(info->planning_nanos).c_str());
+  std::printf("queued:     %s\n", FormatNanos(info->queued_nanos).c_str());
+  std::printf("execution:  %s\n", FormatNanos(info->execution_nanos).c_str());
+  std::printf("summary:    %s\n", info->stats.Summary().c_str());
+  std::printf("tasks per fragment:");
+  for (const auto& [fragment, tasks] : info->fragment_task_counts) {
+    std::printf("  f%d=%d", fragment, tasks);
+  }
+  std::printf("\n\nper-operator breakdown:\n");
+  for (const auto& op : info->stats.MergedOperators()) {
+    std::printf("  %s\n", op.ToString().c_str());
+  }
+
+  // 2. EXPLAIN ANALYZE: the fragmented plan annotated with actual runtime
+  //    stats next to the optimizer's estimates.
+  auto annotated = engine.ExplainAnalyze(
+      "SELECT orderpriority, count(*) FROM tpch.orders "
+      "GROUP BY orderpriority");
+  if (!annotated.ok()) return 1;
+  std::printf("\n-- EXPLAIN ANALYZE --\n%s", annotated->c_str());
+
+  // 3. The engine-wide metrics registry, Prometheus text format.
+  std::printf("\n-- /metrics --\n%s", engine.metrics().RenderText().c_str());
+  return 0;
+}

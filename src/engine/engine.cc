@@ -46,41 +46,143 @@ void QueryResult::Cancel() {
 
 PrestoEngine::PrestoEngine(EngineOptions options)
     : options_(std::move(options)),
+      metrics_(std::make_unique<MetricsRegistry>()),
+      tracker_(std::make_unique<QueryTracker>(metrics_.get())),
       cluster_(std::make_unique<Cluster>(options_.cluster)),
       coordinator_(std::make_unique<Coordinator>(cluster_.get(), &catalog_)) {
+  RegisterEngineGauges();
+}
+
+void PrestoEngine::RegisterEngineGauges() {
+  // Gauges capture `this`; the registry outlives cluster_/coordinator_
+  // (member order), and nothing renders metrics during destruction.
+  metrics_->RegisterGauge(
+      "presto_queries_running", "Queries currently holding an admission slot",
+      [this] { return static_cast<double>(coordinator_->running_queries()); });
+  metrics_->RegisterGauge(
+      "presto_queries_queued", "Queries waiting for an admission slot",
+      [this] { return static_cast<double>(coordinator_->queued_queries()); });
+  metrics_->RegisterGauge(
+      "presto_memory_general_used_bytes",
+      "General-pool bytes in use across all workers", [this] {
+        int64_t total = 0;
+        for (int i = 0; i < cluster_->num_workers(); ++i) {
+          total += cluster_->worker(i).memory().general_used();
+        }
+        return static_cast<double>(total);
+      });
+  metrics_->RegisterGauge(
+      "presto_memory_general_peak_bytes",
+      "High-water mark of general-pool usage across all workers", [this] {
+        int64_t total = 0;
+        for (int i = 0; i < cluster_->num_workers(); ++i) {
+          total += cluster_->worker(i).memory().peak_general_used();
+        }
+        return static_cast<double>(total);
+      });
+  metrics_->RegisterGauge(
+      "presto_memory_reserved_used_bytes",
+      "Reserved-pool bytes in use across all workers", [this] {
+        int64_t total = 0;
+        for (int i = 0; i < cluster_->num_workers(); ++i) {
+          total += cluster_->worker(i).memory().reserved_used();
+        }
+        return static_cast<double>(total);
+      });
+  metrics_->RegisterGauge(
+      "presto_memory_revocations_total",
+      "Memory revocation (spill) requests issued across all workers", [this] {
+        int64_t total = 0;
+        for (int i = 0; i < cluster_->num_workers(); ++i) {
+          total += cluster_->worker(i).memory().revocations();
+        }
+        return static_cast<double>(total);
+      });
+  metrics_->RegisterGauge(
+      "presto_exchange_buffered_bytes",
+      "Bytes currently buffered in the shuffle fabric", [this] {
+        return static_cast<double>(cluster_->exchange().TotalBufferedBytes());
+      });
+  metrics_->RegisterGauge(
+      "presto_exchange_transferred_bytes_total",
+      "Cumulative bytes moved through the shuffle fabric", [this] {
+        return static_cast<double>(cluster_->exchange().transferred_bytes());
+      });
+  metrics_->RegisterGauge(
+      "presto_executor_busy_nanos_total",
+      "Cumulative executor busy time across all workers", [this] {
+        return static_cast<double>(cluster_->total_busy_nanos());
+      });
+  for (int level = 0; level < 5; ++level) {
+    metrics_->RegisterGauge(
+        "presto_executor_quanta_level" + std::to_string(level) + "_total",
+        "Scheduling quanta executed at MLFQ level " + std::to_string(level),
+        [this, level] {
+          int64_t total = 0;
+          for (int i = 0; i < cluster_->num_workers(); ++i) {
+            total += cluster_->worker(i).executor().quanta_at_level(level);
+          }
+          return static_cast<double>(total);
+        });
+  }
+}
+
+Result<FragmentedPlan> PrestoEngine::PlanStatement(
+    const sql::Statement& stmt) {
+  Planner planner(&catalog_);
+  PRESTO_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.Plan(stmt));
+  Optimizer optimizer(&catalog_, options_.optimizer);
+  PRESTO_ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
+  Fragmenter fragmenter;
+  return fragmenter.Fragment(plan);
 }
 
 Result<std::string> PrestoEngine::Explain(const std::string& sql) {
   PRESTO_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
-  Planner planner(&catalog_);
-  PRESTO_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.Plan(*stmt));
-  Optimizer optimizer(&catalog_, options_.optimizer);
-  PRESTO_ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
-  Fragmenter fragmenter;
-  PRESTO_ASSIGN_OR_RETURN(FragmentedPlan fragments,
-                          fragmenter.Fragment(plan));
+  PRESTO_ASSIGN_OR_RETURN(FragmentedPlan fragments, PlanStatement(*stmt));
   return fragments.ToString();
+}
+
+Result<std::shared_ptr<QueryExecution>> PrestoEngine::Launch(
+    const sql::Statement& stmt, const std::string& sql,
+    const std::string& query_id) {
+  std::shared_ptr<QueryLifecycle> lifecycle =
+      tracker_->Register(query_id, sql);
+  lifecycle->MarkPlanning();
+  Result<FragmentedPlan> fragments = PlanStatement(stmt);
+  if (!fragments.ok()) {
+    lifecycle->Finalize(fragments.status(), /*cancelled=*/false,
+                        QueryStats{});
+    return fragments.status();
+  }
+  Result<std::shared_ptr<QueryExecution>> execution = coordinator_->Execute(
+      query_id, std::move(fragments).value(), lifecycle);
+  if (!execution.ok()) {
+    lifecycle->Finalize(execution.status(), /*cancelled=*/false,
+                        QueryStats{});
+    return execution.status();
+  }
+  // weak_ptr: a shared_ptr here would close a lifecycle->execution cycle
+  // that Finalize() breaks while holding the execution's mutex.
+  std::weak_ptr<QueryExecution> weak = execution.value();
+  lifecycle->SetLiveStatsProvider([weak] {
+    std::shared_ptr<QueryExecution> live = weak.lock();
+    return live != nullptr ? live->StatsSnapshot() : QueryStats{};
+  });
+  return execution;
 }
 
 Result<QueryResult> PrestoEngine::Execute(const std::string& sql) {
   PRESTO_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
   if (stmt->explain) {
-    // EXPLAIN executes no tasks; return nothing through a Values plan.
+    // EXPLAIN executes no result stream; the plan text is the answer.
     return Status::Unsupported(
-        "use PrestoEngine::Explain for EXPLAIN statements");
+        "use PrestoEngine::Explain / ExplainAnalyze for EXPLAIN statements");
   }
-  Planner planner(&catalog_);
-  PRESTO_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.Plan(*stmt));
-  Optimizer optimizer(&catalog_, options_.optimizer);
-  PRESTO_ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
-  Fragmenter fragmenter;
-  PRESTO_ASSIGN_OR_RETURN(FragmentedPlan fragments,
-                          fragmenter.Fragment(plan));
   std::string query_id =
       "query_" + std::to_string(next_query_id_.fetch_add(1));
   PRESTO_ASSIGN_OR_RETURN(std::shared_ptr<QueryExecution> execution,
-                          coordinator_->Execute(query_id,
-                                                std::move(fragments)));
+                          Launch(*stmt, sql, query_id));
   QueryResult result;
   result.execution_ = std::move(execution);
   // CTAS/INSERT: remember the target for commit after completion.
@@ -100,10 +202,48 @@ Result<QueryResult> PrestoEngine::Execute(const std::string& sql) {
   return result;
 }
 
+Result<std::string> PrestoEngine::ExplainAnalyze(const std::string& sql) {
+  // Accepts both "EXPLAIN ANALYZE <query>" and a bare query: the parser
+  // strips the EXPLAIN prefix into statement flags either way.
+  PRESTO_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+  std::string query_id =
+      "query_" + std::to_string(next_query_id_.fetch_add(1));
+  PRESTO_ASSIGN_OR_RETURN(std::shared_ptr<QueryExecution> execution,
+                          Launch(*stmt, sql, query_id));
+  // Drain the result stream (rows are discarded; only stats matter).
+  for (;;) {
+    PRESTO_ASSIGN_OR_RETURN(std::optional<Page> page,
+                            execution->results().Next());
+    if (!page.has_value()) break;
+  }
+  PRESTO_RETURN_IF_ERROR(execution->Wait());
+  return RenderAnnotatedPlan(execution->plan(), execution->StatsSnapshot());
+}
+
 Result<std::vector<std::vector<Value>>> PrestoEngine::ExecuteAndFetch(
     const std::string& sql) {
+  PRESTO_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
+  if (stmt->explain) {
+    PRESTO_ASSIGN_OR_RETURN(
+        std::string text,
+        stmt->explain_analyze ? ExplainAnalyze(sql) : Explain(sql));
+    return std::vector<std::vector<Value>>{{Value::Varchar(text)}};
+  }
   PRESTO_ASSIGN_OR_RETURN(QueryResult result, Execute(sql));
   return result.FetchAllRows();
+}
+
+Result<QueryInfo> PrestoEngine::QueryInfoFor(
+    const std::string& query_id) const {
+  return tracker_->Info(query_id);
+}
+
+std::vector<QueryInfo> PrestoEngine::ListQueries() const {
+  return tracker_->List();
+}
+
+void PrestoEngine::AddEventListener(std::shared_ptr<EventListener> listener) {
+  tracker_->AddListener(std::move(listener));
 }
 
 }  // namespace presto

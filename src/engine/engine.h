@@ -10,6 +10,9 @@
 #include "optimizer/optimizer.h"
 #include "schedule/cluster.h"
 #include "schedule/coordinator.h"
+#include "stats/event_listener.h"
+#include "stats/metrics_registry.h"
+#include "stats/query_stats.h"
 
 namespace presto {
 
@@ -55,7 +58,8 @@ class QueryResult {
 
 /// The embedded engine: catalog + simulated cluster + the full query
 /// pipeline (parse -> analyze/plan -> optimize -> fragment -> schedule ->
-/// execute).
+/// execute), plus the observability surface: per-query lifecycle info,
+/// EXPLAIN ANALYZE, event listeners, and an engine-wide metrics registry.
 class PrestoEngine {
  public:
   explicit PrestoEngine(EngineOptions options = {});
@@ -65,20 +69,54 @@ class PrestoEngine {
   Coordinator& coordinator() { return *coordinator_; }
   const EngineOptions& options() const { return options_; }
 
-  /// Runs a statement; for EXPLAIN the result contains a single VARCHAR
-  /// column with the distributed plan text.
+  /// Runs a statement. EXPLAIN [ANALYZE] statements are rejected here —
+  /// their result is a plan text, not a row stream; use Explain /
+  /// ExplainAnalyze / ExecuteAndFetch.
   Result<QueryResult> Execute(const std::string& sql);
 
   /// Returns the optimized, fragmented plan text for a statement.
   Result<std::string> Explain(const std::string& sql);
 
-  /// Convenience: executes and drains all rows.
+  /// Executes the statement to completion (discarding its rows) and returns
+  /// the fragmented plan annotated with actual per-operator runtime stats
+  /// next to the optimizer estimates. Accepts both "EXPLAIN ANALYZE <query>"
+  /// and a bare query.
+  Result<std::string> ExplainAnalyze(const std::string& sql);
+
+  /// Convenience: executes and drains all rows. EXPLAIN [ANALYZE] returns a
+  /// single VARCHAR row holding the plan text.
   Result<std::vector<std::vector<Value>>> ExecuteAndFetch(
       const std::string& sql);
 
+  /// Lifecycle snapshot of one query (running or completed).
+  Result<QueryInfo> QueryInfoFor(const std::string& query_id) const;
+
+  /// Snapshots of every query this engine has seen (bounded history).
+  std::vector<QueryInfo> ListQueries() const;
+
+  /// Registers a listener for QueryCreated/QueryCompleted events.
+  void AddEventListener(std::shared_ptr<EventListener> listener);
+
+  /// Engine-wide counters/gauges/histograms (Prometheus RenderText()).
+  MetricsRegistry& metrics() { return *metrics_; }
+
  private:
+  /// plan -> optimize -> fragment (shared by Execute/Explain/ExplainAnalyze).
+  Result<FragmentedPlan> PlanStatement(const sql::Statement& stmt);
+
+  /// Registers the lifecycle, plans, and launches the statement.
+  Result<std::shared_ptr<QueryExecution>> Launch(
+      const sql::Statement& stmt, const std::string& sql,
+      const std::string& query_id);
+
+  void RegisterEngineGauges();
+
   EngineOptions options_;
   Catalog catalog_;
+  // Declaration order is destruction-order-sensitive: lifecycles hold a
+  // pointer to the tracker, which holds a pointer to the registry.
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<QueryTracker> tracker_;
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<Coordinator> coordinator_;
   std::atomic<int64_t> next_query_id_{0};

@@ -101,7 +101,17 @@ void ExchangeManager::RemoveQuery(const std::string& query_id) {
   }
 }
 
+int64_t ExchangeManager::TotalBufferedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [id, buffer] : buffers_) {
+    total += buffer->buffered_bytes();
+  }
+  return total;
+}
+
 void ExchangeManager::SimulateTransfer(int64_t bytes) const {
+  transferred_bytes_.fetch_add(bytes);
   int64_t micros = network_.latency_micros;
   if (network_.bytes_per_second > 0) {
     micros += bytes * 1000000 / network_.bytes_per_second;

@@ -101,10 +101,17 @@ class ExchangeManager {
   /// Applies the simulated network cost for transferring `bytes`.
   void SimulateTransfer(int64_t bytes) const;
 
+  /// Bytes currently buffered across every stream of every query.
+  int64_t TotalBufferedBytes() const;
+
+  /// Cumulative bytes moved through SimulateTransfer since startup.
+  int64_t transferred_bytes() const { return transferred_bytes_.load(); }
+
  private:
   NetworkConfig network_;
   mutable std::mutex mu_;
   std::map<StreamId, std::shared_ptr<ExchangeBuffer>> buffers_;
+  mutable std::atomic<int64_t> transferred_bytes_{0};
 };
 
 }  // namespace presto

@@ -4,8 +4,21 @@
 
 namespace presto {
 
+void Driver::SettleBlockedTime() {
+  if (!blocked_recorded_) return;
+  blocked_recorded_ = false;
+  int64_t nanos = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - blocked_since_)
+                      .count();
+  for (size_t i : blocked_ops_) {
+    operators_[i]->ctx().blocked_nanos.fetch_add(nanos);
+  }
+  blocked_ops_.clear();
+}
+
 Result<Driver::State> Driver::Process(int64_t quantum_nanos,
                                       int64_t* cpu_nanos) {
+  SettleBlockedTime();
   Stopwatch watch;
   for (;;) {
     bool progress = false;
@@ -19,10 +32,21 @@ Result<Driver::State> Driver::Process(int64_t quantum_nanos,
       // Note: a "blocked" producer is still polled — GetOutput is the call
       // that re-evaluates (and clears) its blocked state.
       if (consumer.needs_input()) {
-        PRESTO_ASSIGN_OR_RETURN(std::optional<Page> page,
-                                producer.GetOutput());
+        int64_t t0 = watch.ElapsedNanos();
+        auto page_or = producer.GetOutput();
+        producer.ctx().get_output_nanos.fetch_add(watch.ElapsedNanos() - t0);
+        if (!page_or.ok()) return page_or.status();
+        std::optional<Page> page = std::move(page_or).value();
         if (page.has_value()) {
-          PRESTO_RETURN_IF_ERROR(consumer.AddInput(std::move(*page)));
+          int64_t page_bytes = page->SizeInBytes();
+          producer.ctx().output_pages.fetch_add(1);
+          producer.ctx().output_bytes.fetch_add(page_bytes);
+          consumer.ctx().input_pages.fetch_add(1);
+          consumer.ctx().input_bytes.fetch_add(page_bytes);
+          t0 = watch.ElapsedNanos();
+          Status added = consumer.AddInput(std::move(*page));
+          consumer.ctx().add_input_nanos.fetch_add(watch.ElapsedNanos() - t0);
+          PRESTO_RETURN_IF_ERROR(added);
           progress = true;
           continue;
         }
@@ -36,9 +60,11 @@ Result<Driver::State> Driver::Process(int64_t quantum_nanos,
     // Drive the sink (flush buffered output, propagate completion).
     Operator& sink = *operators_.back();
     if (!sink.IsFinished()) {
-      PRESTO_ASSIGN_OR_RETURN(std::optional<Page> page, sink.GetOutput());
+      int64_t t0 = watch.ElapsedNanos();
+      auto page_or = sink.GetOutput();
+      sink.ctx().get_output_nanos.fetch_add(watch.ElapsedNanos() - t0);
+      if (!page_or.ok()) return page_or.status();
       // Sinks produce no pages; a single-operator pipeline's "sink" may.
-      (void)page;
     }
     if (sink.IsFinished()) {
       *cpu_nanos += watch.ElapsedNanos();
@@ -46,6 +72,16 @@ Result<Driver::State> Driver::Process(int64_t quantum_nanos,
     }
     if (!progress) {
       *cpu_nanos += watch.ElapsedNanos();
+      // Remember which operators are parked so the wait (off this thread)
+      // can be charged to them when the driver next runs.
+      for (size_t i = 0; i < operators_.size(); ++i) {
+        if (!operators_[i]->IsFinished() && operators_[i]->IsBlocked()) {
+          blocked_ops_.push_back(i);
+        }
+      }
+      if (blocked_ops_.empty()) blocked_ops_.push_back(operators_.size() - 1);
+      blocked_since_ = std::chrono::steady_clock::now();
+      blocked_recorded_ = true;
       return State::kBlocked;
     }
     if (watch.ElapsedNanos() >= quantum_nanos) {

@@ -1,6 +1,7 @@
 #ifndef PRESTOCPP_EXEC_DRIVER_H_
 #define PRESTOCPP_EXEC_DRIVER_H_
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
@@ -13,6 +14,11 @@ namespace presto {
 /// make progress. More flexible than the Volcano pull model: the driver can
 /// be brought to a known state quickly (yield points between iterations)
 /// which makes cooperative multitasking practical.
+///
+/// The driver is also the central stats instrumentation point: it times
+/// every AddInput/GetOutput call, counts pages/bytes crossing each operator
+/// boundary, and attributes off-thread blocked time to the operators that
+/// reported IsBlocked() — so individual operators only count rows.
 class Driver {
  public:
   explicit Driver(std::vector<std::unique_ptr<Operator>> operators)
@@ -36,8 +42,15 @@ class Driver {
   }
 
  private:
+  // Charges the time since the last kBlocked return to the operators that
+  // reported IsBlocked() then.
+  void SettleBlockedTime();
+
   std::vector<std::unique_ptr<Operator>> operators_;
   std::vector<bool> no_more_signaled_;
+  std::vector<size_t> blocked_ops_;
+  std::chrono::steady_clock::time_point blocked_since_;
+  bool blocked_recorded_ = false;
 };
 
 }  // namespace presto

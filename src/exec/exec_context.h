@@ -16,6 +16,7 @@
 #include "exchange/exchange.h"
 #include "expr/evaluator.h"
 #include "memory/memory.h"
+#include "stats/operator_stats.h"
 #include "vector/page.h"
 
 namespace presto {
@@ -192,14 +193,21 @@ struct TaskRuntime {
 /// retained bytes and the context reconciles with the pools.
 class OperatorContext {
  public:
-  OperatorContext(TaskRuntime runtime, TaskSpec spec, std::string label)
-      : runtime_(runtime), spec_(std::move(spec)), label_(std::move(label)) {}
+  OperatorContext(TaskRuntime runtime, TaskSpec spec, std::string label,
+                  int plan_node_id = -1, int pipeline_id = 0)
+      : runtime_(runtime),
+        spec_(std::move(spec)),
+        label_(std::move(label)),
+        plan_node_id_(plan_node_id),
+        pipeline_id_(pipeline_id) {}
 
   ~OperatorContext() { (void)SetMemoryUsage(0, /*user=*/true); }
 
   const TaskRuntime& runtime() const { return runtime_; }
   const TaskSpec& spec() const { return spec_; }
   const std::string& label() const { return label_; }
+  int plan_node_id() const { return plan_node_id_; }
+  int pipeline_id() const { return pipeline_id_; }
 
   /// Updates this operator's retained user-memory footprint.
   Status SetMemoryUsage(int64_t bytes, bool user = true) {
@@ -215,6 +223,9 @@ class OperatorContext {
       runtime_.worker_memory->Release(runtime_.query_memory, -delta, user);
     }
     current_bytes_ = bytes;
+    if (bytes > peak_memory_bytes.load(std::memory_order_relaxed)) {
+      peak_memory_bytes.store(bytes, std::memory_order_relaxed);
+    }
     return Status::OK();
   }
 
@@ -226,14 +237,49 @@ class OperatorContext {
     return Status::OK();
   }
 
-  // Stats.
+  /// Reads the counters into an immutable snapshot. Safe to call while the
+  /// operator runs; each counter is individually consistent.
+  OperatorStats StatsSnapshot() const {
+    OperatorStats stats;
+    stats.label = label_;
+    stats.plan_node_id = plan_node_id_;
+    stats.pipeline_id = pipeline_id_;
+    stats.fragment_id = spec_.fragment_id;
+    stats.instances = 1;
+    stats.input_rows = rows_in.load();
+    stats.input_pages = input_pages.load();
+    stats.input_bytes = input_bytes.load();
+    stats.output_rows = rows_out.load();
+    stats.output_pages = output_pages.load();
+    stats.output_bytes = output_bytes.load();
+    stats.add_input_nanos = add_input_nanos.load();
+    stats.get_output_nanos = get_output_nanos.load();
+    stats.blocked_nanos = blocked_nanos.load();
+    stats.peak_memory_bytes = peak_memory_bytes.load();
+    stats.spilled_bytes = spilled_bytes.load();
+    return stats;
+  }
+
+  // Stats: rows are counted by the operators themselves; pages, bytes, and
+  // call timings are maintained centrally by the Driver loop.
   std::atomic<int64_t> rows_in{0};
   std::atomic<int64_t> rows_out{0};
+  std::atomic<int64_t> input_pages{0};
+  std::atomic<int64_t> input_bytes{0};
+  std::atomic<int64_t> output_pages{0};
+  std::atomic<int64_t> output_bytes{0};
+  std::atomic<int64_t> add_input_nanos{0};
+  std::atomic<int64_t> get_output_nanos{0};
+  std::atomic<int64_t> blocked_nanos{0};
+  std::atomic<int64_t> peak_memory_bytes{0};
+  std::atomic<int64_t> spilled_bytes{0};
 
  private:
   TaskRuntime runtime_;
   TaskSpec spec_;
   std::string label_;
+  int plan_node_id_;
+  int pipeline_id_;
   int64_t current_bytes_ = 0;
 };
 

@@ -24,6 +24,7 @@ class Operator {
   Operator& operator=(const Operator&) = delete;
 
   OperatorContext& ctx() { return *ctx_; }
+  const OperatorContext& ctx() const { return *ctx_; }
 
   /// True if AddInput may be called now.
   virtual bool needs_input() const = 0;

@@ -98,6 +98,7 @@ class LocalExchangeSourceOperator final : public Operator {
     auto page = queue_->Poll(&done);
     blocked_ = !page.has_value() && !done;
     if (done) finished_ = true;
+    if (page.has_value()) ctx_->rows_out.fetch_add(page->num_rows());
     return page.has_value() ? Result<std::optional<Page>>(std::move(page))
                             : Result<std::optional<Page>>(std::optional<Page>());
   }
@@ -117,6 +118,7 @@ class LocalExchangeSinkOperator final : public Operator {
       : Operator(std::move(ctx)), queue_(std::move(queue)) {}
   bool needs_input() const override { return !pending_.has_value(); }
   Status AddInput(Page page) override {
+    ctx_->rows_in.fetch_add(page.num_rows());
     pending_ = std::move(page);
     return Status::OK();
   }
@@ -124,6 +126,7 @@ class LocalExchangeSinkOperator final : public Operator {
   Result<std::optional<Page>> GetOutput() override {
     // Copy, not move: on a full queue the same page is retried later.
     if (pending_.has_value() && queue_->TryPush(*pending_)) {
+      ctx_->rows_out.fetch_add(pending_->num_rows());
       pending_.reset();
     }
     if (!pending_.has_value() && no_more_input_ && !finished_) {
@@ -410,6 +413,7 @@ class OutputSinkOperator final : public Operator {
     return !pending_.has_value() && !no_more_input_;
   }
   Status AddInput(Page page) override {
+    ctx_->rows_in.fetch_add(page.num_rows());
     pending_ = std::move(page);
     return Status::OK();
   }
@@ -417,6 +421,7 @@ class OutputSinkOperator final : public Operator {
     // Copy, not move: a full result queue (slow client) retries the page.
     if (pending_.has_value() &&
         ctx_->runtime().results->TryPush(*pending_)) {
+      ctx_->rows_out.fetch_add(pending_->num_rows());
       pending_.reset();
     }
     if (!pending_.has_value() && no_more_input_) finished_ = true;

@@ -116,11 +116,13 @@ int64_t HashAggregationOperator::Revoke() {
   Page run = BuildOutputPage(/*intermediate=*/true);
   int64_t bytes = groups_.MemoryBytes();
   for (const auto& acc : accumulators_) bytes += acc->MemoryBytes();
+  int64_t spilled_before = spiller_.spilled_bytes();
   auto r = spiller_.SpillRun({run});
   if (!r.ok()) {
     error_ = r.status();
     return 0;
   }
+  ctx_->spilled_bytes.fetch_add(spiller_.spilled_bytes() - spilled_before);
   groups_.Clear();
   for (size_t a = 0; a < accumulators_.size(); ++a) {
     accumulators_[a] = CreateAccumulator(node_->aggregates()[a].signature);

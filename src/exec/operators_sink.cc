@@ -100,6 +100,7 @@ Result<std::optional<Page>> ExchangeSinkOperator::GetOutput() {
       // Backpressure: the consumer has not drained its buffer (§IV-E2).
       return std::optional<Page>();
     }
+    ctx_->rows_out.fetch_add(page.num_rows());
     pending_.erase(pending_.begin());
   }
   if (no_more_input_ && pending_.empty() && !finished_) {

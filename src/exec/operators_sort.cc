@@ -59,11 +59,13 @@ int64_t OrderByOperator::Revoke() {
                     .CopyPositions(order.data(),
                                    static_cast<int64_t>(order.size()));
   int64_t freed = index_.bytes();
+  int64_t spilled_before = spiller_.spilled_bytes();
   auto r = spiller_.SpillRun({sorted});
   if (!r.ok()) {
     error_ = r.status();
     return 0;
   }
+  ctx_->spilled_bytes.fetch_add(spiller_.spilled_bytes() - spilled_before);
   index_.Clear();
   index_ = PagesIndex(types_);
   (void)ctx_->SetMemoryUsage(0);

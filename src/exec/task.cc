@@ -49,8 +49,11 @@ TaskExec::TaskExec(TaskSpec spec, TaskRuntime runtime,
 }
 
 std::unique_ptr<OperatorContext> TaskExec::MakeContext(
-    const std::string& label) {
-  return std::make_unique<OperatorContext>(runtime_, spec_, label);
+    const std::string& label, int plan_node_id) {
+  // Factories run inside FinishPipeline, before num_pipelines_ is bumped, so
+  // the current value is the id of the pipeline under construction.
+  return std::make_unique<OperatorContext>(runtime_, spec_, label,
+                                           plan_node_id, num_pipelines_);
 }
 
 Status TaskExec::Initialize() {
@@ -98,8 +101,8 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
     case PlanNodeKind::kValues: {
       auto values = std::static_pointer_cast<const ValuesNode>(node);
       current->factories.push_back([this, values] {
-        return std::make_unique<ValuesOperator>(MakeContext("values"),
-                                                values);
+        return std::make_unique<ValuesOperator>(
+            MakeContext("values", values->id()), values);
       });
       current->parallel_safe = false;
       return Status::OK();
@@ -107,8 +110,8 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
     case PlanNodeKind::kTableScan: {
       auto scan = std::static_pointer_cast<const TableScanNode>(node);
       current->factories.push_back([this, scan] {
-        return std::make_unique<TableScanOperator>(MakeContext("scan"),
-                                                   scan);
+        return std::make_unique<TableScanOperator>(
+            MakeContext("scan", scan->id()), scan);
       });
       current->has_scan = true;
       return Status::OK();
@@ -118,9 +121,10 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
       auto it = spec_.source_task_counts.find(source->source_fragment());
       int producers = it != spec_.source_task_counts.end() ? it->second : 1;
       int fragment = source->source_fragment();
-      current->factories.push_back([this, fragment, producers] {
+      int node_id = source->id();
+      current->factories.push_back([this, fragment, producers, node_id] {
         return std::make_unique<RemoteSourceOperator>(
-            MakeContext("remote_source"), fragment, producers);
+            MakeContext("remote_source", node_id), fragment, producers);
       });
       current->parallel_safe = false;
       return Status::OK();
@@ -135,9 +139,10 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
         projections.push_back(Expr::MakeColumn(
             static_cast<int>(i), node->output().at(i).type));
       }
-      current->factories.push_back([this, predicate, projections] {
+      int node_id = node->id();
+      current->factories.push_back([this, predicate, projections, node_id] {
         return std::make_unique<FilterProjectOperator>(
-            MakeContext("filter"), predicate, projections);
+            MakeContext("filter", node_id), predicate, projections);
       });
       return Status::OK();
     }
@@ -145,9 +150,10 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
       PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
       const auto& project = static_cast<const ProjectNode&>(*node);
       std::vector<ExprPtr> exprs = project.expressions();
-      current->factories.push_back([this, exprs] {
-        return std::make_unique<FilterProjectOperator>(MakeContext("project"),
-                                                       nullptr, exprs);
+      int node_id = node->id();
+      current->factories.push_back([this, exprs, node_id] {
+        return std::make_unique<FilterProjectOperator>(
+            MakeContext("project", node_id), nullptr, exprs);
       });
       return Status::OK();
     }
@@ -174,7 +180,7 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
       }
       current->factories.push_back([this, agg] {
         return std::make_unique<HashAggregationOperator>(
-            MakeContext("aggregate"), agg);
+            MakeContext("aggregate", agg->id()), agg);
       });
       if (IsSingleDriverNode(*node)) current->parallel_safe = false;
       return Status::OK();
@@ -216,20 +222,22 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
           return std::make_unique<LocalExchangeSourceOperator>(
               MakeContext("local_source"), queue);
         });
+        int node_id = join->id();
         collector.factories.push_back(
-            [this, bridge, build_types, build_keys, track_matched] {
+            [this, bridge, build_types, build_keys, track_matched, node_id] {
               return std::make_unique<HashBuildOperator>(
-                  MakeContext("hash_build"), bridge, build_types, build_keys,
-                  track_matched);
+                  MakeContext("hash_build", node_id), bridge, build_types,
+                  build_keys, track_matched);
             });
         FinishPipeline(std::move(collector), /*is_root=*/false);
       } else {
         build_pipeline.parallel_safe = false;
+        int node_id = join->id();
         build_pipeline.factories.push_back(
-            [this, bridge, build_types, build_keys, track_matched] {
+            [this, bridge, build_types, build_keys, track_matched, node_id] {
               return std::make_unique<HashBuildOperator>(
-                  MakeContext("hash_build"), bridge, build_types, build_keys,
-                  track_matched);
+                  MakeContext("hash_build", node_id), bridge, build_types,
+                  build_keys, track_matched);
             });
         FinishPipeline(std::move(build_pipeline), /*is_root=*/false);
       }
@@ -237,9 +245,9 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
       PRESTO_RETURN_IF_ERROR(BuildPipeline(join->child(0), current));
       bool emit_unmatched = track_matched;
       current->factories.push_back([this, join, bridge, emit_unmatched] {
-        return std::make_unique<HashProbeOperator>(MakeContext("hash_probe"),
-                                                   join, bridge,
-                                                   emit_unmatched);
+        return std::make_unique<HashProbeOperator>(
+            MakeContext("hash_probe", join->id()), join, bridge,
+            emit_unmatched);
       });
       if (emit_unmatched) current->parallel_safe = false;
       return Status::OK();
@@ -248,8 +256,8 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
       PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
       auto sort = std::static_pointer_cast<const SortNode>(node);
       current->factories.push_back([this, sort] {
-        return std::make_unique<OrderByOperator>(MakeContext("order_by"),
-                                                 sort);
+        return std::make_unique<OrderByOperator>(
+            MakeContext("order_by", sort->id()), sort);
       });
       current->parallel_safe = false;
       return Status::OK();
@@ -258,7 +266,8 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
       PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
       auto topn = std::static_pointer_cast<const TopNNode>(node);
       current->factories.push_back([this, topn] {
-        return std::make_unique<TopNOperator>(MakeContext("topn"), topn);
+        return std::make_unique<TopNOperator>(
+            MakeContext("topn", topn->id()), topn);
       });
       if (!topn->partial()) current->parallel_safe = false;
       return Status::OK();
@@ -267,8 +276,10 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
       PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
       const auto& limit = static_cast<const LimitNode&>(*node);
       int64_t n = limit.n();
-      current->factories.push_back([this, n] {
-        return std::make_unique<LimitOperator>(MakeContext("limit"), n);
+      int node_id = node->id();
+      current->factories.push_back([this, n, node_id] {
+        return std::make_unique<LimitOperator>(MakeContext("limit", node_id),
+                                               n);
       });
       if (!limit.partial()) current->parallel_safe = false;
       return Status::OK();
@@ -277,8 +288,8 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
       PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
       auto window = std::static_pointer_cast<const WindowNode>(node);
       current->factories.push_back([this, window] {
-        return std::make_unique<WindowOperator>(MakeContext("window"),
-                                                window);
+        return std::make_unique<WindowOperator>(
+            MakeContext("window", window->id()), window);
       });
       current->parallel_safe = false;
       return Status::OK();
@@ -298,9 +309,10 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
         FinishPipeline(std::move(input), /*is_root=*/false);
       }
       current->parallel_safe = false;
-      current->factories.push_back([this, queue] {
+      int node_id = node->id();
+      current->factories.push_back([this, queue, node_id] {
         return std::make_unique<LocalExchangeSourceOperator>(
-            MakeContext("union_source"), queue);
+            MakeContext("union_source", node_id), queue);
       });
       return Status::OK();
     }
@@ -308,8 +320,8 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
       PRESTO_RETURN_IF_ERROR(BuildPipeline(node->child(), current));
       auto write = std::static_pointer_cast<const TableWriteNode>(node);
       current->factories.push_back([this, write] {
-        return std::make_unique<TableWriterOperator>(MakeContext("writer"),
-                                                     write);
+        return std::make_unique<TableWriterOperator>(
+            MakeContext("writer", write->id()), write);
       });
       current->parallel_safe = false;
       return Status::OK();
@@ -320,6 +332,42 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
       return Status::Internal("unexpected node in fragment: " +
                               node->Label());
   }
+}
+
+TaskStats TaskExec::CollectStats() const {
+  TaskStats stats;
+  stats.fragment_id = spec_.fragment_id;
+  stats.task_index = spec_.task_index;
+  stats.worker_id = spec_.worker_id;
+  stats.cpu_nanos = cpu_nanos_.load();
+  // Drivers of one pipeline are clones of the same operator chain; merge
+  // them positionally under the pipeline id recorded in their contexts.
+  std::map<int, size_t> by_pipeline;
+  for (const auto& driver : drivers_) {
+    const auto& ops = driver->operators();
+    if (ops.empty()) continue;
+    int pipeline_id = ops.front()->ctx().pipeline_id();
+    auto it = by_pipeline.find(pipeline_id);
+    if (it == by_pipeline.end()) {
+      PipelineStats pipeline;
+      pipeline.pipeline_id = pipeline_id;
+      pipeline.num_drivers = 1;
+      pipeline.operators.reserve(ops.size());
+      for (const auto& op : ops) {
+        pipeline.operators.push_back(op->ctx().StatsSnapshot());
+      }
+      by_pipeline.emplace(pipeline_id, stats.pipelines.size());
+      stats.pipelines.push_back(std::move(pipeline));
+    } else {
+      PipelineStats& pipeline = stats.pipelines[it->second];
+      ++pipeline.num_drivers;
+      for (size_t i = 0; i < ops.size() && i < pipeline.operators.size();
+           ++i) {
+        pipeline.operators[i].Merge(ops[i]->ctx().StatsSnapshot());
+      }
+    }
+  }
+  return stats;
 }
 
 bool TaskExec::AllDriversFinished() const {

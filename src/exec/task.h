@@ -40,6 +40,10 @@ class TaskExec {
 
   int num_pipelines() const { return num_pipelines_; }
 
+  /// Snapshots the runtime stats of every operator, merged per pipeline
+  /// across parallel driver instances. Safe while the task runs.
+  TaskStats CollectStats() const;
+
  private:
   using OperatorFactory = std::function<std::unique_ptr<Operator>()>;
 
@@ -49,7 +53,8 @@ class TaskExec {
     bool has_scan = false;
   };
 
-  std::unique_ptr<OperatorContext> MakeContext(const std::string& label);
+  std::unique_ptr<OperatorContext> MakeContext(const std::string& label,
+                                               int plan_node_id = -1);
   Status BuildPipeline(const PlanNodePtr& node, PipelineBuild* current);
   void FinishPipeline(PipelineBuild build, bool is_root);
 

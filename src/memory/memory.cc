@@ -62,6 +62,7 @@ Status WorkerMemory::Reserve(QueryMemory* query, int64_t bytes, bool user) {
       reserved_used_ += bytes;
     } else {
       general_used_ += bytes;
+      peak_general_used_ = std::max(peak_general_used_, general_used_);
     }
     query->AddGlobal(user ? bytes : 0, bytes);
   };
@@ -111,6 +112,7 @@ Status WorkerMemory::Reserve(QueryMemory* query, int64_t bytes, bool user) {
       usage2.user = new_user;
       usage2.total = new_total;
       general_used_ += bytes;
+      peak_general_used_ = std::max(peak_general_used_, general_used_);
       query->AddGlobal(user ? bytes : 0, bytes);
       return Status::OK();
     }
@@ -184,6 +186,11 @@ void WorkerMemory::UnregisterRevocable(Revocable* revocable) {
 int64_t WorkerMemory::general_used() const {
   std::lock_guard<std::mutex> lock(mu_);
   return general_used_;
+}
+
+int64_t WorkerMemory::peak_general_used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_general_used_;
 }
 
 int64_t WorkerMemory::reserved_used() const {

@@ -99,6 +99,8 @@ class WorkerMemory {
 
   int64_t general_used() const;
   int64_t reserved_used() const;
+  /// High-water mark of the general pool since startup.
+  int64_t peak_general_used() const;
   /// Query currently promoted to the reserved pool (nullptr if none).
   const QueryMemory* reserved_owner() const;
 
@@ -115,6 +117,7 @@ class WorkerMemory {
   int worker_id_;
   mutable std::mutex mu_;
   int64_t general_used_ = 0;
+  int64_t peak_general_used_ = 0;
   int64_t reserved_used_ = 0;
   QueryMemory* reserved_owner_ = nullptr;
   std::map<QueryMemory*, QueryUsage> usage_;

@@ -6,14 +6,27 @@ namespace presto {
 
 namespace {
 
-void PrintTree(const PlanNode& node, int indent, std::string* out) {
+void PrintTree(const PlanNode& node, int indent, const PlanAnnotator& annotator,
+               std::string* out) {
   out->append(static_cast<size_t>(indent) * 2, ' ');
   *out += node.Label();
   *out += "  => ";
   *out += node.output().ToString();
   *out += "\n";
+  if (annotator) {
+    std::string annotation = annotator(node);
+    size_t start = 0;
+    while (start < annotation.size()) {
+      size_t end = annotation.find('\n', start);
+      if (end == std::string::npos) end = annotation.size();
+      out->append(static_cast<size_t>(indent) * 2 + 4, ' ');
+      out->append(annotation, start, end - start);
+      *out += "\n";
+      start = end + 1;
+    }
+  }
   for (const auto& child : node.children()) {
-    PrintTree(*child, indent + 1, out);
+    PrintTree(*child, indent + 1, annotator, out);
   }
 }
 
@@ -38,7 +51,14 @@ std::string SortKeyList(const std::vector<SortKey>& keys) {
 
 std::string PlanToString(const PlanNode& root) {
   std::string out;
-  PrintTree(root, 0, &out);
+  PrintTree(root, 0, nullptr, &out);
+  return out;
+}
+
+std::string PlanToString(const PlanNode& root,
+                         const PlanAnnotator& annotator) {
+  std::string out;
+  PrintTree(root, 0, annotator, &out);
   return out;
 }
 

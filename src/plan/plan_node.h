@@ -1,6 +1,7 @@
 #ifndef PRESTOCPP_PLAN_PLAN_NODE_H_
 #define PRESTOCPP_PLAN_PLAN_NODE_H_
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -67,6 +68,13 @@ class PlanNode {
 
 /// Renders the plan tree with indentation (EXPLAIN output).
 std::string PlanToString(const PlanNode& root);
+
+/// Produces extra per-node text (possibly multi-line) printed beneath the
+/// node's label; empty string for no annotation.
+using PlanAnnotator = std::function<std::string(const PlanNode&)>;
+
+/// Renders the plan tree with a per-node annotation (EXPLAIN ANALYZE).
+std::string PlanToString(const PlanNode& root, const PlanAnnotator& annotator);
 
 // ---------------------------------------------------------------------------
 

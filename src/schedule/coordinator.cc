@@ -27,6 +27,7 @@ QueryExecution::~QueryExecution() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (remaining_tasks_ > 0) {
+        client_cancelled_.store(true);
         memory_->Kill(Status::Cancelled("query abandoned"));
         results_.Finish(Status::Cancelled("query abandoned"));
       }
@@ -47,8 +48,21 @@ Status QueryExecution::Wait() {
 }
 
 void QueryExecution::Cancel(const Status& reason) {
+  if (reason.code() == StatusCode::kCancelled) {
+    client_cancelled_.store(true);
+  }
   memory_->Kill(reason);
   results_.Finish(reason);
+}
+
+QueryStats QueryExecution::StatsSnapshot() const {
+  std::vector<TaskStats> task_stats;
+  for (const auto& fragment_tasks : tasks_) {
+    for (const auto& task : fragment_tasks) {
+      task_stats.push_back(task->CollectStats());
+    }
+  }
+  return BuildQueryStats(std::move(task_stats), memory_->peak_user());
 }
 
 int64_t QueryExecution::total_cpu_nanos() const {
@@ -101,6 +115,13 @@ void QueryExecution::OnTaskDone(int fragment, const Status& status) {
       if (!finished_) {
         finished_ = true;
         results_.Finish(final_status_);
+      }
+      // Finalize the lifecycle before mu_ is released: a Wait()-er may
+      // destroy this object the moment the lock drops, and QueryInfoFor
+      // after Wait() must observe the terminal state.
+      if (lifecycle_ != nullptr) {
+        lifecycle_->Finalize(final_status_, client_cancelled_.load(),
+                             StatsSnapshot());
       }
       completion = std::move(on_complete_);
       on_complete_ = nullptr;
@@ -255,18 +276,23 @@ void QueryExecution::SplitSchedulingLoop() {
 }
 
 Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
-    const std::string& query_id, FragmentedPlan plan) {
+    const std::string& query_id, FragmentedPlan plan,
+    std::shared_ptr<QueryLifecycle> lifecycle) {
   // Admission control: bounded concurrent queries (queueing, §III).
+  if (lifecycle != nullptr) lifecycle->MarkQueuedForAdmission();
   {
+    queued_.fetch_add(1);
     std::unique_lock<std::mutex> lock(admission_mu_);
     admission_cv_.wait(lock, [this] {
       return running_ < cluster_->config().max_concurrent_queries;
     });
     ++running_;
+    queued_.fetch_sub(1);
   }
 
   auto execution = std::shared_ptr<QueryExecution>(new QueryExecution());
   execution->query_id_ = query_id;
+  execution->lifecycle_ = std::move(lifecycle);
   execution->cluster_ = cluster_;
   execution->catalog_ = catalog_;
   execution->plan_ = std::move(plan);
@@ -368,6 +394,15 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
     }
   }
   round_robin_worker_ = single_task_worker % cluster_->num_workers();
+
+  if (execution->lifecycle_ != nullptr) {
+    std::map<int, int> fragment_task_counts;
+    for (const auto& fragment : fplan.fragments) {
+      fragment_task_counts[fragment.id] =
+          task_counts[static_cast<size_t>(fragment.id)];
+    }
+    execution->lifecycle_->MarkRunning(std::move(fragment_task_counts));
+  }
 
   // Launch: register every task with its worker's executor (all-at-once;
   // phased mode defers only split enumeration, keeping pipelines available

@@ -13,6 +13,7 @@
 #include "exec/task.h"
 #include "fragment/fragmenter.h"
 #include "schedule/cluster.h"
+#include "stats/query_stats.h"
 
 namespace presto {
 
@@ -39,6 +40,13 @@ class QueryExecution {
 
   /// Current number of active writer partitions (adaptive scaling).
   int active_writers(int fragment) const;
+
+  /// The fragmented plan this execution runs (for EXPLAIN ANALYZE).
+  const FragmentedPlan& plan() const { return plan_; }
+
+  /// Aggregates per-operator runtime stats across every task. Safe while
+  /// the query runs (counters are atomics); exact once it finished.
+  QueryStats StatsSnapshot() const;
 
  private:
   friend class Coordinator;
@@ -70,6 +78,11 @@ class QueryExecution {
   std::thread split_thread_;
   std::atomic<bool> stop_split_thread_{false};
   std::function<void()> on_complete_;  // admission-slot release
+
+  /// Lifecycle record finalized when the last task completes; may be null
+  /// (tests that drive the coordinator directly).
+  std::shared_ptr<QueryLifecycle> lifecycle_;
+  std::atomic<bool> client_cancelled_{false};
 };
 
 /// The coordinator (§III): admits queries, places fragment tasks on
@@ -81,14 +94,20 @@ class Coordinator {
   Coordinator(Cluster* cluster, const Catalog* catalog)
       : cluster_(cluster), catalog_(catalog) {}
 
-  /// Starts executing a fragmented plan; blocks only for admission.
-  Result<std::shared_ptr<QueryExecution>> Execute(const std::string& query_id,
-                                                  FragmentedPlan plan);
+  /// Starts executing a fragmented plan; blocks only for admission. The
+  /// optional lifecycle is transitioned through admission/running and
+  /// finalized when the last task completes.
+  Result<std::shared_ptr<QueryExecution>> Execute(
+      const std::string& query_id, FragmentedPlan plan,
+      std::shared_ptr<QueryLifecycle> lifecycle = nullptr);
 
   int running_queries() const {
     std::lock_guard<std::mutex> lock(admission_mu_);
     return running_;
   }
+
+  /// Queries waiting for an admission slot right now.
+  int queued_queries() const { return queued_.load(); }
 
  private:
   Cluster* cluster_;
@@ -96,6 +115,7 @@ class Coordinator {
   mutable std::mutex admission_mu_;
   std::condition_variable admission_cv_;
   int running_ = 0;
+  std::atomic<int> queued_{0};
   int round_robin_worker_ = 0;
 };
 

@@ -183,6 +183,7 @@ void TaskExecutor::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(mu_);
       int level = LevelOf(task.cpu_nanos().load());
+      quanta_[level].fetch_add(1);
       level_consumed_[level] += static_cast<double>(cpu);
       // Periodically decay so shares adapt to the current mix.
       if (level_consumed_[level] > 1e12) {

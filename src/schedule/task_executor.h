@@ -56,6 +56,13 @@ class TaskExecutor {
   /// Number of tasks currently registered.
   int active_tasks() const;
 
+  /// Quanta executed at MLFQ level `level` (0..4) since startup.
+  int64_t quanta_at_level(int level) const {
+    return quanta_[static_cast<size_t>(level)].load();
+  }
+  /// MLFQ level a task with `cpu_nanos` accumulated CPU runs at.
+  int LevelForCpu(int64_t cpu_nanos) const { return LevelOf(cpu_nanos); }
+
  private:
   struct TaskEntry {
     std::shared_ptr<TaskExec> task;
@@ -96,6 +103,7 @@ class TaskExecutor {
   bool stop_ = false;
   std::vector<std::thread> threads_;
   std::atomic<int64_t> busy_nanos_{0};
+  std::atomic<int64_t> quanta_[5] = {};
 };
 
 }  // namespace presto

@@ -141,6 +141,7 @@ struct Statement {
   SelectStmtPtr select;                  // all kinds carry a query
   std::vector<std::string> target_name;  // CTAS / INSERT target
   bool explain = false;
+  bool explain_analyze = false;  // EXPLAIN ANALYZE: execute, then annotate
 };
 using StatementPtr = std::shared_ptr<Statement>;
 

@@ -72,8 +72,10 @@ class Parser {
   Result<StatementPtr> ParseStatementInner() {
     auto stmt = std::make_shared<Statement>();
     if (AcceptKeyword("explain")) {
+      bool analyze = AcceptKeyword("analyze");
       PRESTO_ASSIGN_OR_RETURN(StatementPtr inner, ParseStatementInner());
       inner->explain = true;
+      inner->explain_analyze = analyze;
       return inner;
     }
     if (AcceptKeyword("create")) {

@@ -1,0 +1,44 @@
+#ifndef PRESTOCPP_STATS_EVENT_LISTENER_H_
+#define PRESTOCPP_STATS_EVENT_LISTENER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "stats/operator_stats.h"
+
+namespace presto {
+
+/// Fired when a query is registered with the engine, before planning.
+struct QueryCreatedEvent {
+  std::string query_id;
+  std::string sql;
+};
+
+/// Fired exactly once when a query reaches a terminal state — finished,
+/// failed (planning or runtime), or canceled by the client.
+struct QueryCompletedEvent {
+  std::string query_id;
+  std::string sql;
+  Status final_status;      // OK for finished and client-canceled queries
+  bool cancelled = false;   // true when the client canceled the query
+  QueryStats stats;         // final stats (empty when planning failed)
+  int64_t queued_nanos = 0;
+  int64_t planning_nanos = 0;
+  int64_t execution_nanos = 0;
+  int64_t end_to_end_nanos = 0;
+};
+
+/// The embedded analogue of Presto's event-listener plugin (§IV-B): engine
+/// consumers register listeners to ship query telemetry to external
+/// pipelines. Callbacks run synchronously on engine threads and must not
+/// block on the query they describe (e.g. do not call Wait()).
+class EventListener {
+ public:
+  virtual ~EventListener() = default;
+  virtual void QueryCreated(const QueryCreatedEvent& event) = 0;
+  virtual void QueryCompleted(const QueryCompletedEvent& event) = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_STATS_EVENT_LISTENER_H_

@@ -1,0 +1,159 @@
+#include "stats/metrics_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace presto {
+
+namespace {
+
+// Prometheus-compatible number formatting: integers stay integral, doubles
+// keep enough precision to round-trip.
+std::string FormatValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bucket_bounds)
+    : bounds_(std::move(bucket_bounds)),
+      counts_(bounds_.size() + 1, 0) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t bucket = bounds_.size();  // +Inf
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  ++counts_[bucket];
+  sum_ += value;
+  ++count_;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.bounds = bounds_;
+  snap.cumulative_counts.resize(counts_.size());
+  int64_t running = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    running += counts_[i];
+    snap.cumulative_counts[i] = running;
+  }
+  snap.sum = sum_;
+  snap.count = count_;
+  return snap;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
+  for (auto& entry : entries_) {
+    if (entry->name == name) return entry.get();
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::RegisterCounter(const std::string& name,
+                                          const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = Find(name)) return existing->counter.get();
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = Entry::Kind::kCounter;
+  entry->counter = std::make_unique<Counter>();
+  Counter* out = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+void MetricsRegistry::RegisterGauge(const std::string& name,
+                                    const std::string& help,
+                                    std::function<double()> value_fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = Find(name)) {
+    existing->gauge_fn = std::move(value_fn);
+    return;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = Entry::Kind::kGauge;
+  entry->gauge_fn = std::move(value_fn);
+  entries_.push_back(std::move(entry));
+}
+
+Histogram* MetricsRegistry::RegisterHistogram(
+    const std::string& name, const std::string& help,
+    std::vector<double> bucket_bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* existing = Find(name)) return existing->histogram.get();
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->help = help;
+  entry->kind = Entry::Kind::kHistogram;
+  entry->histogram = std::make_unique<Histogram>(std::move(bucket_bounds));
+  Histogram* out = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  // Snapshot entry pointers under the lock; gauges are evaluated outside it
+  // so a gauge callback may itself take unrelated locks.
+  std::vector<const Entry*> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries.reserve(entries_.size());
+    for (const auto& entry : entries_) entries.push_back(entry.get());
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry* a, const Entry* b) { return a->name < b->name; });
+  std::string out;
+  for (const Entry* entry : entries) {
+    out += "# HELP " + entry->name + " " + entry->help + "\n";
+    switch (entry->kind) {
+      case Entry::Kind::kCounter:
+        out += "# TYPE " + entry->name + " counter\n";
+        out += entry->name + " " +
+               FormatValue(static_cast<double>(entry->counter->value())) +
+               "\n";
+        break;
+      case Entry::Kind::kGauge:
+        out += "# TYPE " + entry->name + " gauge\n";
+        out += entry->name + " " + FormatValue(entry->gauge_fn()) + "\n";
+        break;
+      case Entry::Kind::kHistogram: {
+        out += "# TYPE " + entry->name + " histogram\n";
+        Histogram::Snapshot snap = entry->histogram->snapshot();
+        for (size_t i = 0; i < snap.bounds.size(); ++i) {
+          out += entry->name + "_bucket{le=\"" + FormatValue(snap.bounds[i]) +
+                 "\"} " +
+                 FormatValue(static_cast<double>(snap.cumulative_counts[i])) +
+                 "\n";
+        }
+        out += entry->name + "_bucket{le=\"+Inf\"} " +
+               FormatValue(static_cast<double>(snap.count)) + "\n";
+        out += entry->name + "_sum " + FormatValue(snap.sum) + "\n";
+        out += entry->name + "_count " +
+               FormatValue(static_cast<double>(snap.count)) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace presto

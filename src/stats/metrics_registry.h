@@ -1,0 +1,91 @@
+#ifndef PRESTOCPP_STATS_METRICS_REGISTRY_H_
+#define PRESTOCPP_STATS_METRICS_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace presto {
+
+/// Monotonically increasing counter (Prometheus `counter`).
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) { value_.fetch_add(delta); }
+  int64_t value() const { return value_.load(); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram (Prometheus `histogram`): cumulative bucket
+/// counts, sum, and count. Observation is mutex-guarded — it sits on the
+/// query-completion path, not the per-page hot path.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bucket_bounds);
+
+  void Observe(double value);
+
+  struct Snapshot {
+    std::vector<double> bounds;
+    std::vector<int64_t> cumulative_counts;  // one per bound, then +Inf
+    double sum = 0;
+    int64_t count = 0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;
+  std::vector<int64_t> counts_;  // per-bucket (not cumulative), +Inf last
+  double sum_ = 0;
+  int64_t count_ = 0;
+};
+
+/// Engine-wide registry of counters, gauges, and histograms with a
+/// Prometheus text-exposition renderer — the embedded analogue of Presto's
+/// JMX/REST metrics endpoints. Registration is idempotent by name; gauges
+/// are callback-based so they always report live values (queue depth, pool
+/// usage, buffered bytes) without bookkeeping on the hot path.
+class MetricsRegistry {
+ public:
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter* RegisterCounter(const std::string& name, const std::string& help);
+
+  /// Registers a live-value gauge; later registrations replace the callback.
+  void RegisterGauge(const std::string& name, const std::string& help,
+                     std::function<double()> value_fn);
+
+  /// Returns the histogram registered under `name`, creating it on first
+  /// use with `bucket_bounds` (ascending upper bounds; +Inf is implicit).
+  Histogram* RegisterHistogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> bucket_bounds);
+
+  /// Prometheus text exposition format (one # HELP / # TYPE pair per
+  /// metric, metrics sorted by name).
+  std::string RenderText() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::string help;
+    enum class Kind : uint8_t { kCounter, kGauge, kHistogram } kind;
+    std::unique_ptr<Counter> counter;
+    std::function<double()> gauge_fn;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry* Find(const std::string& name);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_STATS_METRICS_REGISTRY_H_

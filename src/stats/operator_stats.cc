@@ -1,0 +1,114 @@
+#include "stats/operator_stats.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <tuple>
+
+namespace presto {
+
+void OperatorStats::Merge(const OperatorStats& other) {
+  if (instances == 0) {
+    label = other.label;
+    plan_node_id = other.plan_node_id;
+    pipeline_id = other.pipeline_id;
+    fragment_id = other.fragment_id;
+  }
+  instances += other.instances == 0 ? 1 : other.instances;
+  input_rows += other.input_rows;
+  input_pages += other.input_pages;
+  input_bytes += other.input_bytes;
+  output_rows += other.output_rows;
+  output_pages += other.output_pages;
+  output_bytes += other.output_bytes;
+  add_input_nanos += other.add_input_nanos;
+  get_output_nanos += other.get_output_nanos;
+  blocked_nanos += other.blocked_nanos;
+  peak_memory_bytes = std::max(peak_memory_bytes, other.peak_memory_bytes);
+  spilled_bytes += other.spilled_bytes;
+}
+
+std::string OperatorStats::ToString() const {
+  std::string out = label + ": in " + std::to_string(input_rows) +
+                    " rows (" + FormatBytes(input_bytes) + "), out " +
+                    std::to_string(output_rows) + " rows (" +
+                    FormatBytes(output_bytes) + "), cpu " +
+                    FormatNanos(cpu_nanos());
+  if (blocked_nanos > 0) out += ", blocked " + FormatNanos(blocked_nanos);
+  if (peak_memory_bytes > 0) out += ", peak " + FormatBytes(peak_memory_bytes);
+  if (spilled_bytes > 0) out += ", spilled " + FormatBytes(spilled_bytes);
+  return out;
+}
+
+std::vector<OperatorStats> QueryStats::MergedOperators() const {
+  std::vector<OperatorStats> out;
+  std::map<std::tuple<int, int, std::string>, size_t> index;
+  for (const auto& task : tasks) {
+    for (const auto& pipeline : task.pipelines) {
+      for (const auto& op : pipeline.operators) {
+        auto key = std::make_tuple(op.fragment_id, op.plan_node_id, op.label);
+        auto it = index.find(key);
+        if (it == index.end()) {
+          index.emplace(key, out.size());
+          out.push_back(op);
+        } else {
+          out[it->second].Merge(op);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string QueryStats::Summary() const {
+  return "cpu " + FormatNanos(total_cpu_nanos) + ", input " +
+         std::to_string(raw_input_rows) + " rows (" +
+         FormatBytes(raw_input_bytes) + "), output " +
+         std::to_string(output_rows) + " rows, peak " +
+         FormatBytes(peak_user_memory_bytes) + ", " +
+         std::to_string(num_tasks) + " tasks / " +
+         std::to_string(num_drivers) + " drivers";
+}
+
+QueryStats BuildQueryStats(std::vector<TaskStats> tasks,
+                           int64_t peak_user_memory_bytes) {
+  QueryStats stats;
+  stats.peak_user_memory_bytes = peak_user_memory_bytes;
+  stats.num_tasks = static_cast<int>(tasks.size());
+  for (const auto& task : tasks) {
+    stats.total_cpu_nanos += task.cpu_nanos;
+    for (const auto& pipeline : task.pipelines) {
+      stats.num_drivers += pipeline.num_drivers;
+      for (const auto& op : pipeline.operators) {
+        stats.total_blocked_nanos += op.blocked_nanos;
+        stats.total_spilled_bytes += op.spilled_bytes;
+        if (op.label == "scan" || op.label == "values") {
+          stats.raw_input_rows += op.output_rows;
+          stats.raw_input_bytes += op.output_bytes;
+        }
+        if (op.label == "output") {
+          stats.output_rows += op.output_rows;
+        }
+      }
+    }
+  }
+  stats.tasks = std::move(tasks);
+  return stats;
+}
+
+std::string FormatNanos(int64_t nanos) {
+  char buf[32];
+  if (nanos < 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus",
+                  static_cast<double>(nanos) / 1e3);
+  } else if (nanos < 10'000'000'000LL) {
+    std::snprintf(buf, sizeof(buf), "%.2fms",
+                  static_cast<double>(nanos) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs",
+                  static_cast<double>(nanos) / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace presto

@@ -1,0 +1,102 @@
+#ifndef PRESTOCPP_STATS_OPERATOR_STATS_H_
+#define PRESTOCPP_STATS_OPERATOR_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/string_utils.h"
+
+namespace presto {
+
+/// Immutable snapshot of one operator's runtime counters (§IV-B "fine
+/// grained low level stats" exposed per query). Snapshots are taken from the
+/// lock-free atomics in OperatorContext while the query runs, so a snapshot
+/// is internally consistent per counter but not across counters — good
+/// enough for monitoring, exact once the query is finished.
+struct OperatorStats {
+  std::string label;       // "scan", "filter", "hash_probe", ...
+  int plan_node_id = -1;   // -1 for auxiliary operators (local shuffles)
+  int pipeline_id = 0;
+  int fragment_id = 0;
+  int instances = 0;       // driver instances merged into this entry
+
+  int64_t input_rows = 0;
+  int64_t input_pages = 0;
+  int64_t input_bytes = 0;
+  int64_t output_rows = 0;
+  int64_t output_pages = 0;
+  int64_t output_bytes = 0;
+
+  /// Wall nanos inside AddInput / GetOutput (the operator never blocks
+  /// inside these calls, so wall time approximates CPU time).
+  int64_t add_input_nanos = 0;
+  int64_t get_output_nanos = 0;
+  /// Wall nanos the enclosing driver spent parked while this operator
+  /// reported IsBlocked().
+  int64_t blocked_nanos = 0;
+
+  int64_t peak_memory_bytes = 0;
+  int64_t spilled_bytes = 0;
+
+  int64_t cpu_nanos() const { return add_input_nanos + get_output_nanos; }
+
+  /// Accumulates `other` into this entry (sums counters, maxes peaks;
+  /// adopts identity fields when this entry is fresh).
+  void Merge(const OperatorStats& other);
+
+  std::string ToString() const;
+};
+
+/// Stats of one pipeline of a task: operator entries merged across the
+/// pipeline's parallel driver instances, ordered source -> sink.
+struct PipelineStats {
+  int pipeline_id = 0;
+  int num_drivers = 0;
+  std::vector<OperatorStats> operators;
+};
+
+/// Stats of one task (one fragment instance on one worker).
+struct TaskStats {
+  int fragment_id = 0;
+  int task_index = 0;
+  int worker_id = 0;
+  int64_t cpu_nanos = 0;  // scheduler-accounted CPU across all drivers
+  std::vector<PipelineStats> pipelines;
+};
+
+/// Aggregated stats of a whole query: per-task breakdown plus rolled-up
+/// totals (the paper's Table I / Fig. 7 raw material).
+struct QueryStats {
+  int64_t total_cpu_nanos = 0;
+  int64_t total_blocked_nanos = 0;
+  /// Rows/bytes produced by table scans and Values sources (raw input).
+  int64_t raw_input_rows = 0;
+  int64_t raw_input_bytes = 0;
+  /// Rows delivered to the client through the root output sink.
+  int64_t output_rows = 0;
+  int64_t peak_user_memory_bytes = 0;
+  int64_t total_spilled_bytes = 0;
+  int num_tasks = 0;
+  int num_drivers = 0;
+  std::vector<TaskStats> tasks;
+
+  /// Operator entries merged across every task and driver, keyed by
+  /// (fragment, plan node, label); order follows first appearance.
+  std::vector<OperatorStats> MergedOperators() const;
+
+  /// One-line rollup, e.g. for ListQueries output.
+  std::string Summary() const;
+};
+
+/// Rolls per-task snapshots up into a QueryStats (computes the totals).
+QueryStats BuildQueryStats(std::vector<TaskStats> tasks,
+                           int64_t peak_user_memory_bytes);
+
+/// Human-friendly duration formatting used by EXPLAIN ANALYZE and examples
+/// (FormatBytes lives in common/string_utils.h).
+std::string FormatNanos(int64_t nanos);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_STATS_OPERATOR_STATS_H_

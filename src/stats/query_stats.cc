@@ -1,0 +1,323 @@
+#include "stats/query_stats.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "optimizer/stats_estimator.h"
+#include "plan/plan_node.h"
+
+namespace presto {
+
+namespace {
+
+int64_t NanosBetween(std::chrono::steady_clock::time_point from,
+                     std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+      .count();
+}
+
+constexpr std::chrono::steady_clock::time_point kUnsetTime{};
+
+// Completed queries retained for ListQueries()/QueryInfoFor(); oldest are
+// evicted beyond this to bound long-lived engines.
+constexpr size_t kMaxTrackedQueries = 1024;
+
+}  // namespace
+
+const char* QueryStateToString(QueryState state) {
+  switch (state) {
+    case QueryState::kQueued:
+      return "QUEUED";
+    case QueryState::kPlanning:
+      return "PLANNING";
+    case QueryState::kRunning:
+      return "RUNNING";
+    case QueryState::kFinished:
+      return "FINISHED";
+    case QueryState::kFailed:
+      return "FAILED";
+    case QueryState::kCanceled:
+      return "CANCELED";
+  }
+  return "?";
+}
+
+QueryLifecycle::QueryLifecycle(std::string query_id, std::string sql,
+                               QueryTracker* owner)
+    : query_id_(std::move(query_id)),
+      sql_(std::move(sql)),
+      owner_(owner),
+      create_unix_millis_(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count()),
+      created_at_(std::chrono::steady_clock::now()) {}
+
+void QueryLifecycle::MarkPlanning() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finalized_) return;
+  state_ = QueryState::kPlanning;
+  planning_start_ = std::chrono::steady_clock::now();
+}
+
+void QueryLifecycle::MarkQueuedForAdmission() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finalized_) return;
+  auto now = std::chrono::steady_clock::now();
+  if (planning_start_ != kUnsetTime) {
+    planning_nanos_ += NanosBetween(planning_start_, now);
+    planning_start_ = kUnsetTime;
+  }
+  state_ = QueryState::kQueued;
+  admission_start_ = now;
+}
+
+void QueryLifecycle::MarkRunning(std::map<int, int> fragment_task_counts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finalized_) return;
+  auto now = std::chrono::steady_clock::now();
+  if (admission_start_ != kUnsetTime) {
+    queued_nanos_ += NanosBetween(admission_start_, now);
+    admission_start_ = kUnsetTime;
+  }
+  state_ = QueryState::kRunning;
+  running_start_ = now;
+  fragment_task_counts_ = std::move(fragment_task_counts);
+}
+
+void QueryLifecycle::SetLiveStatsProvider(
+    std::function<QueryStats()> provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finalized_) return;
+  live_stats_ = std::move(provider);
+}
+
+void QueryLifecycle::Finalize(const Status& final_status, bool cancelled,
+                              QueryStats stats) {
+  QueryCompletedEvent event;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finalized_) return;
+    finalized_ = true;
+    auto now = std::chrono::steady_clock::now();
+    // Close out whichever phase the query died in.
+    if (planning_start_ != kUnsetTime) {
+      planning_nanos_ += NanosBetween(planning_start_, now);
+    }
+    if (admission_start_ != kUnsetTime) {
+      queued_nanos_ += NanosBetween(admission_start_, now);
+    }
+    if (running_start_ != kUnsetTime) {
+      execution_nanos_ = NanosBetween(running_start_, now);
+    }
+    end_to_end_nanos_ = NanosBetween(created_at_, now);
+    final_status_ = final_status;
+    final_stats_ = std::move(stats);
+    live_stats_ = nullptr;
+    // Client cancellation surfaces as a kCancelled status; report it as
+    // CANCELED, not FAILED. Any other error (even on a canceled query)
+    // means the query genuinely failed first.
+    if (cancelled && (final_status.ok() ||
+                      final_status.code() == StatusCode::kCancelled)) {
+      state_ = QueryState::kCanceled;
+    } else if (!final_status.ok()) {
+      state_ = QueryState::kFailed;
+    } else {
+      state_ = QueryState::kFinished;
+    }
+    event.query_id = query_id_;
+    event.sql = sql_;
+    event.final_status = final_status_;
+    event.cancelled = state_ == QueryState::kCanceled;
+    event.stats = final_stats_;
+    event.queued_nanos = queued_nanos_;
+    event.planning_nanos = planning_nanos_;
+    event.execution_nanos = execution_nanos_;
+    event.end_to_end_nanos = end_to_end_nanos_;
+  }
+  // Listener callbacks and metrics run with no lifecycle lock held; this may
+  // be called from the last task's completion path, so listeners must not
+  // block on the query itself.
+  if (owner_ != nullptr) owner_->OnCompleted(event);
+}
+
+QueryInfo QueryLifecycle::InfoLocked() const {
+  QueryInfo info;
+  info.query_id = query_id_;
+  info.sql = sql_;
+  info.state = state_;
+  info.final_status = final_status_;
+  info.create_unix_millis = create_unix_millis_;
+  info.queued_nanos = queued_nanos_;
+  info.planning_nanos = planning_nanos_;
+  info.execution_nanos = execution_nanos_;
+  info.end_to_end_nanos = end_to_end_nanos_;
+  info.stats = final_stats_;
+  info.fragment_task_counts = fragment_task_counts_;
+  if (!finalized_) {
+    // Live view: extend the open phase up to now.
+    auto now = std::chrono::steady_clock::now();
+    if (planning_start_ != kUnsetTime) {
+      info.planning_nanos += NanosBetween(planning_start_, now);
+    }
+    if (admission_start_ != kUnsetTime) {
+      info.queued_nanos += NanosBetween(admission_start_, now);
+    }
+    if (running_start_ != kUnsetTime) {
+      info.execution_nanos = NanosBetween(running_start_, now);
+    }
+    info.end_to_end_nanos = NanosBetween(created_at_, now);
+  }
+  return info;
+}
+
+QueryInfo QueryLifecycle::Info() const {
+  QueryInfo info;
+  std::function<QueryStats()> live;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    info = InfoLocked();
+    if (!finalized_) live = live_stats_;
+  }
+  // The live provider snapshots task stats under the execution's own lock;
+  // call it outside mu_ to keep lock ordering acyclic with Finalize().
+  if (live) info.stats = live();
+  return info;
+}
+
+QueryTracker::QueryTracker(MetricsRegistry* metrics) : metrics_(metrics) {
+  if (metrics_ == nullptr) return;
+  queries_created_ = metrics_->RegisterCounter(
+      "presto_queries_created_total", "Queries registered with the engine");
+  queries_finished_ = metrics_->RegisterCounter(
+      "presto_queries_finished_total", "Queries completed successfully");
+  queries_failed_ = metrics_->RegisterCounter("presto_queries_failed_total",
+                                              "Queries ending in an error");
+  queries_canceled_ = metrics_->RegisterCounter(
+      "presto_queries_canceled_total", "Queries canceled by the client");
+  spill_bytes_ = metrics_->RegisterCounter(
+      "presto_spilled_bytes_total", "Bytes spilled to disk across queries");
+  execution_seconds_ = metrics_->RegisterHistogram(
+      "presto_query_execution_seconds",
+      "Query execution time (task launch to last task done)",
+      {0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60});
+}
+
+std::shared_ptr<QueryLifecycle> QueryTracker::Register(
+    const std::string& query_id, const std::string& sql) {
+  auto lifecycle = std::make_shared<QueryLifecycle>(query_id, sql, this);
+  std::vector<std::shared_ptr<EventListener>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queries_.emplace_back(query_id, lifecycle);
+    if (queries_.size() > kMaxTrackedQueries) {
+      queries_.erase(queries_.begin());
+    }
+    listeners = listeners_;
+  }
+  if (queries_created_ != nullptr) queries_created_->Increment();
+  QueryCreatedEvent event{query_id, sql};
+  for (const auto& listener : listeners) listener->QueryCreated(event);
+  return lifecycle;
+}
+
+void QueryTracker::AddListener(std::shared_ptr<EventListener> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listeners_.push_back(std::move(listener));
+}
+
+Result<QueryInfo> QueryTracker::Info(const std::string& query_id) const {
+  std::shared_ptr<QueryLifecycle> lifecycle;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, entry] : queries_) {
+      if (id == query_id) lifecycle = entry;  // last registration wins
+    }
+  }
+  if (lifecycle == nullptr) {
+    return Status::NotFound("unknown query id: " + query_id);
+  }
+  return lifecycle->Info();
+}
+
+std::vector<QueryInfo> QueryTracker::List() const {
+  std::vector<std::shared_ptr<QueryLifecycle>> lifecycles;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lifecycles.reserve(queries_.size());
+    for (const auto& [id, entry] : queries_) lifecycles.push_back(entry);
+  }
+  std::vector<QueryInfo> out;
+  out.reserve(lifecycles.size());
+  for (const auto& lifecycle : lifecycles) out.push_back(lifecycle->Info());
+  return out;
+}
+
+void QueryTracker::OnCompleted(const QueryCompletedEvent& event) {
+  if (metrics_ != nullptr) {
+    if (!event.final_status.ok()) {
+      queries_failed_->Increment();
+    } else if (event.cancelled) {
+      queries_canceled_->Increment();
+    } else {
+      queries_finished_->Increment();
+    }
+    spill_bytes_->Increment(event.stats.total_spilled_bytes);
+    execution_seconds_->Observe(
+        static_cast<double>(event.execution_nanos) / 1e9);
+  }
+  std::vector<std::shared_ptr<EventListener>> listeners;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    listeners = listeners_;
+  }
+  for (const auto& listener : listeners) listener->QueryCompleted(event);
+}
+
+std::string RenderAnnotatedPlan(const FragmentedPlan& plan,
+                                const QueryStats& stats) {
+  // (fragment id, plan node id) -> operators merged across tasks/drivers. A
+  // node may map to several physical operators (hash_build + hash_probe,
+  // partial/final local exchange halves); all are listed under the node.
+  std::map<std::pair<int, int>, std::vector<OperatorStats>> by_node;
+  for (const auto& op : stats.MergedOperators()) {
+    by_node[{op.fragment_id, op.plan_node_id}].push_back(op);
+  }
+  // Per-fragment rollups for the fragment header lines.
+  std::map<int, int> task_counts;
+  std::map<int, int64_t> task_cpu;
+  for (const auto& task : stats.tasks) {
+    ++task_counts[task.fragment_id];
+    task_cpu[task.fragment_id] += task.cpu_nanos;
+  }
+
+  std::string out = "Query: " + stats.Summary() + "\n";
+  for (const auto& f : plan.fragments) {
+    out += "Fragment " + std::to_string(f.id) + " [" +
+           PartitioningKindToString(f.partitioning) + "]";
+    if (f.consumer >= 0) out += " -> fragment " + std::to_string(f.consumer);
+    out += " {tasks: " + std::to_string(task_counts[f.id]) +
+           ", cpu: " + FormatNanos(task_cpu[f.id]) + "}\n";
+    int fragment_id = f.id;
+    out += PlanToString(
+        *f.root, [&](const PlanNode& node) {
+          std::string annotation;
+          PlanEstimate est = EstimatePlan(node);
+          annotation += "est: ";
+          annotation += est.known()
+                            ? std::to_string(static_cast<int64_t>(est.rows)) +
+                                  " rows"
+                            : "? rows";
+          auto it = by_node.find({fragment_id, node.id()});
+          if (it != by_node.end()) {
+            for (const auto& op : it->second) {
+              annotation += "\nactual " + op.ToString();
+            }
+          }
+          return annotation;
+        });
+  }
+  return out;
+}
+
+}  // namespace presto

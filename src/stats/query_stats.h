@@ -1,0 +1,153 @@
+#ifndef PRESTOCPP_STATS_QUERY_STATS_H_
+#define PRESTOCPP_STATS_QUERY_STATS_H_
+
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fragment/fragmenter.h"
+#include "stats/event_listener.h"
+#include "stats/metrics_registry.h"
+#include "stats/operator_stats.h"
+
+namespace presto {
+
+/// Query lifecycle states (§IV-B: "the coordinator exposes query state to
+/// clients"): QUEUED on registration, PLANNING while the statement is
+/// parsed/optimized/fragmented, back to QUEUED while waiting for an
+/// admission slot, RUNNING once tasks execute, then exactly one terminal
+/// state.
+enum class QueryState : uint8_t {
+  kQueued,
+  kPlanning,
+  kRunning,
+  kFinished,
+  kFailed,
+  kCanceled,
+};
+
+const char* QueryStateToString(QueryState state);
+
+/// Immutable snapshot of a query's lifecycle — the embedded analogue of the
+/// REST /v1/query resource.
+struct QueryInfo {
+  std::string query_id;
+  std::string sql;
+  QueryState state = QueryState::kQueued;
+  Status final_status;  // meaningful in terminal states
+  /// Wall-clock creation time (unix millis), for display only.
+  int64_t create_unix_millis = 0;
+  int64_t queued_nanos = 0;     // admission-queue wait
+  int64_t planning_nanos = 0;   // parse + plan + optimize + fragment
+  int64_t execution_nanos = 0;  // first task launch -> last task done
+  int64_t end_to_end_nanos = 0;
+  /// Final stats in terminal states; live snapshot while RUNNING.
+  QueryStats stats;
+  /// Task count per fragment id (the per-stage breakdown).
+  std::map<int, int> fragment_task_counts;
+};
+
+class QueryTracker;
+
+/// Mutable, thread-safe per-query lifecycle record. The engine and the
+/// coordinator drive the state transitions; Finalize() is idempotent and
+/// fires QueryCompleted plus completion metrics exactly once.
+class QueryLifecycle {
+ public:
+  QueryLifecycle(std::string query_id, std::string sql, QueryTracker* owner);
+
+  const std::string& query_id() const { return query_id_; }
+
+  void MarkPlanning();
+  /// Planning done; the query now waits for an admission slot.
+  void MarkQueuedForAdmission();
+  /// Admission granted; tasks are being created and launched.
+  void MarkRunning(std::map<int, int> fragment_task_counts);
+
+  /// Supplies live stats for Info() while the query runs; cleared by
+  /// Finalize(). The provider must stay valid until then.
+  void SetLiveStatsProvider(std::function<QueryStats()> provider);
+
+  /// Terminal transition: records the final status and stats, fires the
+  /// QueryCompleted event, and updates completion metrics. Only the first
+  /// call has any effect.
+  void Finalize(const Status& final_status, bool cancelled, QueryStats stats);
+
+  QueryInfo Info() const;
+
+ private:
+  using SteadyTime = std::chrono::steady_clock::time_point;
+
+  QueryInfo InfoLocked() const;  // caller holds mu_
+
+  const std::string query_id_;
+  const std::string sql_;
+  QueryTracker* const owner_;
+
+  mutable std::mutex mu_;
+  QueryState state_ = QueryState::kQueued;
+  Status final_status_;
+  int64_t create_unix_millis_;
+  SteadyTime created_at_;
+  SteadyTime planning_start_{};
+  SteadyTime admission_start_{};
+  SteadyTime running_start_{};
+  int64_t queued_nanos_ = 0;
+  int64_t planning_nanos_ = 0;
+  int64_t execution_nanos_ = 0;
+  int64_t end_to_end_nanos_ = 0;
+  QueryStats final_stats_;
+  std::map<int, int> fragment_task_counts_;
+  std::function<QueryStats()> live_stats_;
+  bool finalized_ = false;
+};
+
+/// Engine-wide registry of query lifecycles: powers QueryInfoFor() /
+/// ListQueries(), dispatches EventListener callbacks, and feeds the
+/// query-level metrics (admitted/finished/failed counters, latency
+/// histogram) into the MetricsRegistry.
+class QueryTracker {
+ public:
+  /// `metrics` may be null (no metrics emission, e.g. in narrow tests).
+  explicit QueryTracker(MetricsRegistry* metrics);
+
+  std::shared_ptr<QueryLifecycle> Register(const std::string& query_id,
+                                           const std::string& sql);
+
+  void AddListener(std::shared_ptr<EventListener> listener);
+
+  Result<QueryInfo> Info(const std::string& query_id) const;
+  std::vector<QueryInfo> List() const;
+
+ private:
+  friend class QueryLifecycle;
+  // Called by QueryLifecycle with no tracker/lifecycle locks held.
+  void OnCompleted(const QueryCompletedEvent& event);
+
+  MetricsRegistry* const metrics_;
+  Counter* queries_created_ = nullptr;
+  Counter* queries_finished_ = nullptr;
+  Counter* queries_failed_ = nullptr;
+  Counter* queries_canceled_ = nullptr;
+  Counter* spill_bytes_ = nullptr;
+  Histogram* execution_seconds_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::shared_ptr<QueryLifecycle>>>
+      queries_;  // insertion order; bounded history
+  std::vector<std::shared_ptr<EventListener>> listeners_;
+};
+
+/// Renders the fragmented plan with per-node actual runtime stats next to
+/// the optimizer's cardinality estimates — the EXPLAIN ANALYZE output.
+std::string RenderAnnotatedPlan(const FragmentedPlan& plan,
+                                const QueryStats& stats);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_STATS_QUERY_STATS_H_

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "connectors/tpch/tpch_connector.h"
+#include "engine/engine.h"
+#include "stats/metrics_registry.h"
+
+namespace presto {
+namespace {
+
+/// Records every event; the tests assert exactly-once delivery.
+class RecordingListener : public EventListener {
+ public:
+  void QueryCreated(const QueryCreatedEvent& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    created_.push_back(event);
+  }
+  void QueryCompleted(const QueryCompletedEvent& event) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    completed_.push_back(event);
+  }
+
+  std::vector<QueryCreatedEvent> created() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return created_;
+  }
+  std::vector<QueryCompletedEvent> completed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return completed_;
+  }
+  int completed_count(const std::string& query_id) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int n = 0;
+    for (const auto& e : completed_) {
+      if (e.query_id == query_id) ++n;
+    }
+    return n;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<QueryCreatedEvent> created_;
+  std::vector<QueryCompletedEvent> completed_;
+};
+
+class StatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineOptions options;
+    options.cluster.num_workers = 2;
+    options.cluster.executor.threads = 2;
+    engine_ = std::make_unique<PrestoEngine>(options);
+    engine_->catalog().Register(
+        std::make_shared<TpchConnector>("tpch", /*scale=*/0.1));
+    listener_ = std::make_shared<RecordingListener>();
+    engine_->AddEventListener(listener_);
+  }
+
+  std::unique_ptr<PrestoEngine> engine_;
+  std::shared_ptr<RecordingListener> listener_;
+};
+
+TEST_F(StatsTest, QueryInfoRoundTripMatchesFetchedRows) {
+  auto result = engine_->Execute("SELECT nationkey, name FROM tpch.nation");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string query_id = result->query_id();
+  auto rows = result->FetchAllRows();
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 25u);  // nation is 25 rows at every scale
+
+  auto info = engine_->QueryInfoFor(query_id);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->state, QueryState::kFinished);
+  EXPECT_TRUE(info->final_status.ok());
+  EXPECT_EQ(info->query_id, query_id);
+  // The scan read all 25 rows and the root sink delivered all of them.
+  EXPECT_EQ(info->stats.raw_input_rows, 25);
+  EXPECT_EQ(info->stats.output_rows, 25);
+  EXPECT_GT(info->stats.num_tasks, 0);
+  EXPECT_GT(info->stats.num_drivers, 0);
+  EXPECT_FALSE(info->fragment_task_counts.empty());
+  EXPECT_GT(info->planning_nanos, 0);
+  EXPECT_GT(info->execution_nanos, 0);
+  EXPECT_GE(info->end_to_end_nanos,
+            info->planning_nanos + info->execution_nanos);
+
+  // Per-operator breakdown: a scan operator exists and counted its output.
+  bool saw_scan = false;
+  for (const auto& op : info->stats.MergedOperators()) {
+    if (op.label == "scan") {
+      saw_scan = true;
+      EXPECT_EQ(op.output_rows, 25);
+      EXPECT_GT(op.instances, 0);
+    }
+  }
+  EXPECT_TRUE(saw_scan);
+}
+
+TEST_F(StatsTest, ListQueriesIncludesEveryStatement) {
+  ASSERT_TRUE(engine_->ExecuteAndFetch("SELECT 1").ok());
+  ASSERT_TRUE(
+      engine_->ExecuteAndFetch("SELECT count(*) FROM tpch.region").ok());
+  auto queries = engine_->ListQueries();
+  ASSERT_GE(queries.size(), 2u);
+  for (const auto& info : queries) {
+    EXPECT_EQ(info.state, QueryState::kFinished);
+    EXPECT_FALSE(info.sql.empty());
+  }
+}
+
+TEST_F(StatsTest, ExplainAnalyzeAnnotatesPlanWithActuals) {
+  auto text = engine_->ExplainAnalyze(
+      "SELECT regionkey, count(*) FROM tpch.nation GROUP BY regionkey");
+  ASSERT_TRUE(text.ok()) << text.status().ToString();
+  EXPECT_NE(text->find("Fragment"), std::string::npos);
+  EXPECT_NE(text->find("est:"), std::string::npos);
+  EXPECT_NE(text->find("actual"), std::string::npos);
+  EXPECT_NE(text->find("25 rows"), std::string::npos);  // scan actuals
+  EXPECT_NE(text->find("Query:"), std::string::npos);
+
+  // The statement form goes through ExecuteAndFetch as one VARCHAR row.
+  auto rows = engine_->ExecuteAndFetch(
+      "EXPLAIN ANALYZE SELECT count(*) FROM tpch.nation");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  ASSERT_EQ((*rows)[0].size(), 1u);
+  EXPECT_NE((*rows)[0][0].AsVarchar().find("actual"), std::string::npos);
+}
+
+TEST_F(StatsTest, PlainExplainStillReturnsEstimatesOnly) {
+  auto rows = engine_->ExecuteAndFetch("EXPLAIN SELECT * FROM tpch.nation");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0].AsVarchar().find("actual"), std::string::npos);
+}
+
+TEST_F(StatsTest, ListenerFiresExactlyOnceOnSuccess) {
+  auto rows = engine_->ExecuteAndFetch("SELECT count(*) FROM tpch.nation");
+  ASSERT_TRUE(rows.ok());
+  auto created = listener_->created();
+  ASSERT_EQ(created.size(), 1u);
+  EXPECT_EQ(created[0].sql, "SELECT count(*) FROM tpch.nation");
+  auto completed = listener_->completed();
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].query_id, created[0].query_id);
+  EXPECT_TRUE(completed[0].final_status.ok());
+  EXPECT_FALSE(completed[0].cancelled);
+  EXPECT_EQ(completed[0].stats.output_rows, 1);
+  EXPECT_GT(completed[0].execution_nanos, 0);
+}
+
+TEST_F(StatsTest, ListenerFiresExactlyOnceOnPlanningFailure) {
+  auto result = engine_->Execute("SELECT * FROM tpch.no_such_table");
+  ASSERT_FALSE(result.ok());
+  auto completed = listener_->completed();
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_FALSE(completed[0].final_status.ok());
+  EXPECT_FALSE(completed[0].cancelled);
+  // The failure is visible through the tracker too.
+  auto queries = engine_->ListQueries();
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_EQ(queries[0].state, QueryState::kFailed);
+  EXPECT_FALSE(queries[0].final_status.ok());
+}
+
+TEST_F(StatsTest, ListenerFiresExactlyOnceOnCancel) {
+  // Big enough that the scan cannot finish before Cancel() lands.
+  engine_->catalog().Register(
+      std::make_shared<TpchConnector>("bigtpch", /*scale=*/20.0));
+  auto result = engine_->Execute("SELECT * FROM bigtpch.lineitem");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string query_id = result->query_id();
+  result->Cancel();
+  // Client cancellation is cooperative teardown, not a failure: Wait()
+  // reports OK (same mechanism as LIMIT early-exit) and the lifecycle
+  // carries the canceled flag.
+  Status final = result->Wait();
+  EXPECT_TRUE(final.ok()) << final.ToString();
+
+  auto info = engine_->QueryInfoFor(query_id);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, QueryState::kCanceled);
+  EXPECT_EQ(listener_->completed_count(query_id), 1);
+  auto completed = listener_->completed();
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_TRUE(completed[0].cancelled);
+}
+
+TEST_F(StatsTest, QueryInfoForUnknownIdIsNotFound) {
+  auto info = engine_->QueryInfoFor("query_12345");
+  ASSERT_FALSE(info.ok());
+  EXPECT_EQ(info.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StatsTest, EngineMetricsCountCompletedQueries) {
+  ASSERT_TRUE(engine_->ExecuteAndFetch("SELECT 1").ok());
+  ASSERT_TRUE(engine_->ExecuteAndFetch("SELECT 2").ok());
+  std::string text = engine_->metrics().RenderText();
+  EXPECT_NE(text.find("presto_queries_created_total 2"), std::string::npos);
+  EXPECT_NE(text.find("presto_queries_finished_total 2"), std::string::npos);
+  EXPECT_NE(text.find("presto_queries_failed_total 0"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE presto_queries_running gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE presto_query_execution_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("presto_query_execution_seconds_count 2"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CountersAndGauges) {
+  MetricsRegistry registry;
+  Counter* counter =
+      registry.RegisterCounter("test_events_total", "Events seen");
+  counter->Increment();
+  counter->Increment(4);
+  EXPECT_EQ(counter->value(), 5);
+  // Registration is idempotent by name.
+  EXPECT_EQ(registry.RegisterCounter("test_events_total", "dup"), counter);
+
+  registry.RegisterGauge("test_depth", "Queue depth", [] { return 7.0; });
+  std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# HELP test_events_total Events seen"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_events_total 5"), std::string::npos);
+  EXPECT_NE(text.find("test_depth 7"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram* hist =
+      registry.RegisterHistogram("test_latency", "Latency", {0.5, 1});
+  hist->Observe(0.2);
+  hist->Observe(0.7);
+  hist->Observe(5.0);
+  std::string text = registry.RenderText();
+  EXPECT_NE(text.find("test_latency_bucket{le=\"0.5\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_bucket{le=\"1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("test_latency_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_latency_count 3"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, RenderTextParsesAsPrometheusExposition) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("a_total", "A")->Increment();
+  registry.RegisterGauge("b_gauge", "B", [] { return 1.5; });
+  registry.RegisterHistogram("c_seconds", "C", {0.1, 1})->Observe(0.3);
+
+  // Every sample line must be "<name>[{labels}] <float>"; every sample's
+  // metric must have been announced by # HELP and # TYPE lines first.
+  std::istringstream in(registry.RenderText());
+  std::string line;
+  std::string announced;  // metric name from the preceding # TYPE
+  int samples = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream header(line.substr(7));
+      std::string type;
+      ASSERT_TRUE(static_cast<bool>(header >> announced >> type));
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << line;
+      continue;
+    }
+    size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string name = line.substr(0, space);
+    if (size_t brace = name.find('{'); brace != std::string::npos) {
+      EXPECT_EQ(name.back(), '}') << line;
+      name = name.substr(0, brace);
+    }
+    // Histogram samples append _bucket/_sum/_count to the announced name.
+    EXPECT_EQ(name.rfind(announced, 0), 0u) << line;
+    size_t parsed = 0;
+    (void)std::stod(line.substr(space + 1), &parsed);
+    EXPECT_EQ(parsed, line.size() - space - 1) << line;
+    ++samples;
+  }
+  EXPECT_GE(samples, 7);  // 1 counter + 1 gauge + 5 histogram lines
+}
+
+}  // namespace
+}  // namespace presto
