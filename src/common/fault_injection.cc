@@ -1,0 +1,91 @@
+#include "common/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+namespace presto {
+
+std::atomic<int> FaultInjection::armed_points_{0};
+
+FaultInjection& FaultInjection::Instance() {
+  static FaultInjection* instance = new FaultInjection();
+  return *instance;
+}
+
+void FaultInjection::Arm(const std::string& point, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) {
+    armed_points_.fetch_add(1, std::memory_order_relaxed);
+    it = points_.emplace(point, PointState{}).first;
+  }
+  // Re-arming resets counters and re-seeds the RNG so the fire pattern is
+  // reproducible from this moment.
+  it->second = PointState{};
+  it->second.rng.seed(spec.seed);
+  it->second.spec = std::move(spec);
+}
+
+void FaultInjection::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (points_.erase(point) > 0) {
+    armed_points_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjection::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_points_.fetch_sub(static_cast<int>(points_.size()),
+                          std::memory_order_relaxed);
+  points_.clear();
+}
+
+int64_t FaultInjection::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+int64_t FaultInjection::fires(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> FaultInjection::ArmedPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, state] : points_) names.push_back(name);
+  return names;
+}
+
+Status FaultInjection::Hit(const std::string& point) {
+  Status error;
+  int64_t delay_micros = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    PointState& state = it->second;
+    ++state.hits;
+    if (state.hits <= state.spec.trigger_after_hits) return Status::OK();
+    if (state.spec.max_fires >= 0 && state.fires >= state.spec.max_fires) {
+      return Status::OK();
+    }
+    if (state.spec.probability < 1.0) {
+      std::bernoulli_distribution fire(state.spec.probability);
+      if (!fire(state.rng)) return Status::OK();
+    }
+    ++state.fires;
+    error = state.spec.error;
+    delay_micros = state.spec.delay_micros;
+  }
+  // Sleep outside the lock: a delaying point must not serialize the others.
+  if (delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));
+  }
+  return error;
+}
+
+}  // namespace presto

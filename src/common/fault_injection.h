@@ -1,0 +1,103 @@
+#ifndef PRESTOCPP_COMMON_FAULT_INJECTION_H_
+#define PRESTOCPP_COMMON_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace presto {
+
+/// What an armed injection point does when it fires.
+struct FaultSpec {
+  /// Status returned by the firing point. OK makes the point delay-only.
+  Status error = Status::OK();
+  /// Sleep applied before the point returns (simulated slow I/O / stall).
+  int64_t delay_micros = 0;
+  /// Hits to let through unharmed before the point becomes eligible
+  /// ("fail on the Nth call": trigger_after_hits = N - 1).
+  int64_t trigger_after_hits = 0;
+  /// Maximum number of fires; -1 = every eligible hit fires.
+  int64_t max_fires = -1;
+  /// Probability that an eligible hit fires, decided by a per-point RNG
+  /// seeded with `seed` at Arm() time — the fire pattern is a pure function
+  /// of (seed, hit ordinal), reproducible across runs.
+  double probability = 1.0;
+  uint64_t seed = 42;
+};
+
+/// Process-wide registry of named failure-injection points (the chaos-test
+/// discipline of large query stacks): production code declares points with
+/// PRESTO_FAULT_POINT("layer.operation"); tests arm them to return an error
+/// Status, inject latency, or trigger on the Nth hit. When nothing is armed
+/// every point is a single relaxed atomic load and a not-taken branch.
+///
+/// Points currently declared in the engine:
+///   scan.create_source   connector DataSource creation (TableScanOperator)
+///   scan.next_page       connector page read (TableScanOperator)
+///   exchange.enqueue     shuffle producer (ExchangeSinkOperator)
+///   exchange.poll        shuffle consumer (RemoteSourceOperator)
+///   spill.write          Spiller::SpillRun file I/O
+///   spill.read           Spiller::ReadRun file I/O
+///   memory.reserve       WorkerMemory::Reserve admission
+///   executor.run_driver  TaskExecutor before each driver quantum
+class FaultInjection {
+ public:
+  static FaultInjection& Instance();
+
+  /// Fast path compiled into every PRESTO_FAULT_POINT: false whenever no
+  /// point is armed, so disarmed points cost one relaxed load.
+  static bool Enabled() {
+    return armed_points_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Arms (or re-arms, resetting counters) a named point.
+  void Arm(const std::string& point, FaultSpec spec);
+  void Disarm(const std::string& point);
+  void DisarmAll();
+
+  /// Lifetime hit/fire counters of a point since it was (re-)armed;
+  /// 0 for unknown points.
+  int64_t hits(const std::string& point) const;
+  int64_t fires(const std::string& point) const;
+  std::vector<std::string> ArmedPoints() const;
+
+  /// Slow path: records the hit and decides whether the point fires.
+  /// Returns the armed error (after any delay) or OK.
+  Status Hit(const std::string& point);
+
+ private:
+  struct PointState {
+    FaultSpec spec;
+    int64_t hits = 0;
+    int64_t fires = 0;
+    std::mt19937_64 rng;
+  };
+
+  FaultInjection() = default;
+
+  static std::atomic<int> armed_points_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, PointState> points_;
+};
+
+/// Declares a named injection point in Status/Result-returning code: when
+/// the point is armed and fires, the enclosing function returns the armed
+/// error. A no-op branch when nothing is armed.
+#define PRESTO_FAULT_POINT(point)                                  \
+  do {                                                             \
+    if (::presto::FaultInjection::Enabled()) {                     \
+      PRESTO_RETURN_IF_ERROR(                                      \
+          ::presto::FaultInjection::Instance().Hit(point));        \
+    }                                                              \
+  } while (0)
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_COMMON_FAULT_INJECTION_H_

@@ -6,10 +6,13 @@ namespace presto {
 
 bool ExchangeBuffer::TryEnqueue(Page page) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (buffered_bytes_ > 0 && buffered_bytes_ >= capacity_bytes_) {
+  int64_t bytes = page.SizeInBytes();
+  // Admit a page only if it fits within capacity. The empty-buffer exception
+  // guarantees progress for a single page larger than the whole buffer —
+  // without it an oversized page could never be shipped at all.
+  if (buffered_bytes_ > 0 && buffered_bytes_ + bytes > capacity_bytes_) {
     return false;
   }
-  int64_t bytes = page.SizeInBytes();
   buffered_bytes_ += bytes;
   total_bytes_.fetch_add(bytes);
   total_rows_.fetch_add(page.num_rows());
@@ -37,7 +40,10 @@ std::optional<Page> ExchangeBuffer::Poll(bool* finished) {
 
 double ExchangeBuffer::utilization() const {
   std::lock_guard<std::mutex> lock(mu_);
-  if (capacity_bytes_ <= 0) return 0;
+  // A buffer with no (or nonsensical) capacity is saturated the moment it
+  // holds data — reporting 0 here would hide backpressure from the §IV-E3
+  // writer-scaling trigger and the §IV-E2 concurrency reduction.
+  if (capacity_bytes_ <= 0) return buffered_bytes_ > 0 ? 1.0 : 0.0;
   double u = static_cast<double>(buffered_bytes_) /
              static_cast<double>(capacity_bytes_);
   return u > 1.0 ? 1.0 : u;

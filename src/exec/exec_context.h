@@ -62,13 +62,16 @@ class ResultQueue {
   explicit ResultQueue(int64_t capacity_bytes = 16LL << 20)
       : capacity_bytes_(capacity_bytes) {}
 
-  /// Producer: false when the queue is full (retry later).
+  /// Producer: false when the queue is full (retry later). A page is
+  /// admitted only if it fits within capacity, except into an empty queue
+  /// (progress guarantee for oversized pages).
   bool TryPush(Page page) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (buffered_bytes_ > 0 && buffered_bytes_ >= capacity_bytes_) {
+    int64_t bytes = page.SizeInBytes();
+    if (buffered_bytes_ > 0 && buffered_bytes_ + bytes > capacity_bytes_) {
       return false;
     }
-    buffered_bytes_ += page.SizeInBytes();
+    buffered_bytes_ += bytes;
     pages_.push_back(std::move(page));
     cv_.notify_all();
     return true;
@@ -120,10 +123,13 @@ class LocalExchangeQueue {
 
   bool TryPush(Page page) {
     std::lock_guard<std::mutex> lock(mu_);
-    if (buffered_bytes_ > 0 && buffered_bytes_ >= capacity_bytes_) {
+    int64_t bytes = page.SizeInBytes();
+    // Same admission rule as ExchangeBuffer/ResultQueue: fit, or be the
+    // only page in an otherwise empty queue.
+    if (buffered_bytes_ > 0 && buffered_bytes_ + bytes > capacity_bytes_) {
       return false;
     }
-    buffered_bytes_ += page.SizeInBytes();
+    buffered_bytes_ += bytes;
     pages_.push_back(std::move(page));
     return true;
   }

@@ -1,5 +1,6 @@
 #include "exec/operators.h"
 
+#include "common/fault_injection.h"
 #include "common/hash.h"
 #include "vector/decoded_block.h"
 
@@ -91,6 +92,7 @@ Status ExchangeSinkOperator::AddInput(Page page) {
 
 Result<std::optional<Page>> ExchangeSinkOperator::GetOutput() {
   PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  PRESTO_FAULT_POINT("exchange.enqueue");
   while (!pending_.empty()) {
     auto& [partition, page] = pending_.front();
     // NOTE: the page must not be moved into TryEnqueue — on a full buffer

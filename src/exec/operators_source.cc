@@ -1,5 +1,6 @@
 #include "exec/operators.h"
 
+#include "common/fault_injection.h"
 #include "vector/block_builder.h"
 
 namespace presto {
@@ -41,6 +42,7 @@ Status TableScanOperator::AddInput(Page) {
 
 Result<std::optional<Page>> TableScanOperator::GetOutput() {
   PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  PRESTO_FAULT_POINT("scan.next_page");
   auto queue_it = ctx_->runtime().split_queues->find(node_->id());
   PRESTO_CHECK(queue_it != ctx_->runtime().split_queues->end());
   SplitQueue& queue = queue_it->second;
@@ -54,6 +56,7 @@ Result<std::optional<Page>> TableScanOperator::GetOutput() {
         return std::optional<Page>();
       }
       blocked_ = false;
+      PRESTO_FAULT_POINT("scan.create_source");
       PRESTO_ASSIGN_OR_RETURN(
           current_, connector_->CreateDataSource(**split, *node_->table(),
                                                  node_->columns(),
@@ -88,6 +91,7 @@ Status RemoteSourceOperator::AddInput(Page) {
 
 Result<std::optional<Page>> RemoteSourceOperator::GetOutput() {
   PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
+  PRESTO_FAULT_POINT("exchange.poll");
   ExchangeManager* exchange = ctx_->runtime().exchange;
   const TaskSpec& spec = ctx_->spec();
   bool all_done = true;

@@ -5,30 +5,40 @@
 #include <fstream>
 #include <unistd.h>
 
+#include "common/fault_injection.h"
 #include "vector/page_serde.h"
 
 namespace presto {
 
 namespace {
-std::atomic<int64_t> g_spill_file_counter{0};
+// Distinguishes Spiller instances within a process; the pid alone is not
+// enough because concurrent queries each get their own Spiller.
+std::atomic<int64_t> g_spiller_instance_counter{0};
 }  // namespace
 
-Spiller::Spiller() = default;
+std::string Spiller::PathPrefix() {
+  return "/tmp/prestocpp-spill-" + std::to_string(getpid()) + "-";
+}
+
+Spiller::Spiller() : instance_id_(g_spiller_instance_counter.fetch_add(1)) {}
 
 Spiller::~Spiller() {
-  for (const auto& file : files_) {
+  for (const auto& file : created_files_) {
     std::remove(file.c_str());
   }
 }
 
 Result<int> Spiller::SpillRun(const std::vector<Page>& pages) {
-  std::string path = "/tmp/prestocpp-spill-" + std::to_string(getpid()) +
-                     "-" + std::to_string(g_spill_file_counter.fetch_add(1)) +
-                     ".bin";
+  std::string path = PathPrefix() + std::to_string(instance_id_) + "-" +
+                     std::to_string(next_run_file_++) + ".bin";
+  // Track the file before any I/O so the destructor removes it even when the
+  // write below fails partway.
+  created_files_.push_back(path);
   std::ofstream out(path, std::ios::binary);
   if (!out.is_open()) {
     return Status::IOError("cannot create spill file " + path);
   }
+  PRESTO_FAULT_POINT("spill.write");
   for (const auto& page : pages) {
     std::string data = SerializePage(page);
     out.write(data.data(), static_cast<std::streamsize>(data.size()));
@@ -36,12 +46,17 @@ Result<int> Spiller::SpillRun(const std::vector<Page>& pages) {
   }
   out.close();
   if (!out.good()) return Status::IOError("failed writing spill file " + path);
-  files_.push_back(std::move(path));
-  return static_cast<int>(files_.size()) - 1;
+  runs_.push_back(std::move(path));
+  return static_cast<int>(runs_.size()) - 1;
 }
 
 Result<std::vector<Page>> Spiller::ReadRun(int index) const {
-  const std::string& path = files_[static_cast<size_t>(index)];
+  if (index < 0 || static_cast<size_t>(index) >= runs_.size()) {
+    return Status::InvalidArgument("spill run index out of range: " +
+                                   std::to_string(index));
+  }
+  PRESTO_FAULT_POINT("spill.read");
+  const std::string& path = runs_[static_cast<size_t>(index)];
   std::ifstream in(path, std::ios::binary);
   if (!in.is_open()) {
     return Status::IOError("cannot open spill file " + path);

@@ -11,7 +11,8 @@ namespace presto {
 
 /// Writes runs of pages to local disk during memory revocation (§IV-F2) and
 /// reads them back during finalization. One Spiller owns a set of run files
-/// deleted on destruction.
+/// deleted on destruction — including files left behind by a SpillRun that
+/// failed partway, so a failed or cancelled query never leaks spill files.
 class Spiller {
  public:
   Spiller();
@@ -23,14 +24,25 @@ class Spiller {
   /// Writes `pages` as a new run; returns the run index.
   Result<int> SpillRun(const std::vector<Page>& pages);
 
-  int num_runs() const { return static_cast<int>(files_.size()); }
+  int num_runs() const { return static_cast<int>(runs_.size()); }
   int64_t spilled_bytes() const { return spilled_bytes_; }
 
   /// Reads back all pages of run `index`.
   Result<std::vector<Page>> ReadRun(int index) const;
 
+  /// Common prefix of every spill file this process creates
+  /// ("/tmp/prestocpp-spill-<pid>-"); tests scan for leaks with it.
+  static std::string PathPrefix();
+
  private:
-  std::vector<std::string> files_;
+  /// Process-unique instance id: two Spillers alive at once (or created in
+  /// sequence) can never produce colliding run-file names.
+  const int64_t instance_id_;
+  int64_t next_run_file_ = 0;
+  /// Every file ever created, for destructor cleanup (superset of runs_).
+  std::vector<std::string> created_files_;
+  /// Successfully written runs, indexable by ReadRun.
+  std::vector<std::string> runs_;
   int64_t spilled_bytes_ = 0;
 };
 

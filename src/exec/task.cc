@@ -335,6 +335,12 @@ Status TaskExec::BuildPipeline(const PlanNodePtr& node,
 }
 
 TaskStats TaskExec::CollectStats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (final_stats_.has_value()) return *final_stats_;
+  return CollectStatsLocked();
+}
+
+TaskStats TaskExec::CollectStatsLocked() const {
   TaskStats stats;
   stats.fragment_id = spec_.fragment_id;
   stats.task_index = spec_.task_index;
@@ -368,6 +374,16 @@ TaskStats TaskExec::CollectStats() const {
     }
   }
   return stats;
+}
+
+void TaskExec::ReleaseDrivers() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (final_stats_.has_value()) return;
+  final_stats_ = CollectStatsLocked();
+  // Destroying the drivers tears down their operators: each
+  // OperatorContext destructor returns its memory reservation, and operator
+  // destructors drop exchange-buffer references and delete spill files.
+  drivers_.clear();
 }
 
 bool TaskExec::AllDriversFinished() const {

@@ -3,6 +3,8 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <vector>
 
 #include "exec/driver.h"
@@ -41,8 +43,16 @@ class TaskExec {
   int num_pipelines() const { return num_pipelines_; }
 
   /// Snapshots the runtime stats of every operator, merged per pipeline
-  /// across parallel driver instances. Safe while the task runs.
+  /// across parallel driver instances. Safe while the task runs; after
+  /// ReleaseDrivers it returns the cached final snapshot.
   TaskStats CollectStats() const;
+
+  /// Destroys all drivers (and through their operator contexts releases
+  /// every memory reservation, exchange-buffer reference, and spill file),
+  /// caching a final stats snapshot first so EXPLAIN ANALYZE still works.
+  /// Must only be called once no executor references the drivers — i.e.
+  /// after the task's on_done callback fired. Idempotent.
+  void ReleaseDrivers();
 
  private:
   using OperatorFactory = std::function<std::unique_ptr<Operator>()>;
@@ -55,6 +65,7 @@ class TaskExec {
 
   std::unique_ptr<OperatorContext> MakeContext(const std::string& label,
                                                int plan_node_id = -1);
+  TaskStats CollectStatsLocked() const;
   Status BuildPipeline(const PlanNodePtr& node, PipelineBuild* current);
   void FinishPipeline(PipelineBuild build, bool is_root);
 
@@ -64,6 +75,10 @@ class TaskExec {
   std::map<int, SplitQueue> split_queues_;
   std::atomic<int64_t> cpu_nanos_{0};
   std::vector<std::unique_ptr<Driver>> drivers_;
+  /// Serializes CollectStats against ReleaseDrivers (a stats poll must not
+  /// walk operators while they are being destroyed).
+  mutable std::mutex stats_mu_;
+  std::optional<TaskStats> final_stats_;
   int num_pipelines_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 
 namespace presto {
 
@@ -23,6 +24,15 @@ Status QueryMemory::kill_reason() const {
 Status WorkerMemory::Reserve(QueryMemory* query, int64_t bytes, bool user) {
   PRESTO_DCHECK(bytes >= 0);
   if (query->killed()) return query->kill_reason();
+  if (FaultInjection::Enabled()) {
+    Status injected = FaultInjection::Instance().Hit("memory.reserve");
+    if (!injected.ok()) {
+      // An allocation failure is fatal for the whole query, exactly like a
+      // real limit breach below — kill so sibling drivers fail fast too.
+      query->Kill(injected);
+      return injected;
+    }
+  }
   const MemoryConfig& cfg = *config_;
 
   std::unique_lock<std::mutex> lock(mu_);
@@ -92,9 +102,27 @@ Status WorkerMemory::Reserve(QueryMemory* query, int64_t bytes, bool user) {
                        });
       for (const auto& [q, revocable] : targets) {
         (void)q;
+        {
+          // Revoke() runs outside mu_ on a raw pointer; re-check the operator
+          // is still registered and pin it so a concurrent
+          // UnregisterRevocable (operator teardown) waits for us.
+          std::lock_guard<std::mutex> relock(mu_);
+          bool still_registered = false;
+          for (const auto& entry : revocables_) {
+            if (entry.second == revocable) {
+              still_registered = true;
+              break;
+            }
+          }
+          if (!still_registered) continue;
+          ++revoking_[revocable];
+        }
         revocations_.fetch_add(1);
         revocable->Revoke();
         std::lock_guard<std::mutex> relock(mu_);
+        auto revoking_it = revoking_.find(revocable);
+        if (--revoking_it->second == 0) revoking_.erase(revoking_it);
+        revoke_cv_.notify_all();
         if (general_used_ + bytes <= cfg.per_worker_general) break;
       }
       {
@@ -174,13 +202,17 @@ void WorkerMemory::RegisterRevocable(QueryMemory* query,
 }
 
 void WorkerMemory::UnregisterRevocable(Revocable* revocable) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
   revocables_.erase(
       std::remove_if(revocables_.begin(), revocables_.end(),
                      [revocable](const auto& entry) {
                        return entry.second == revocable;
                      }),
       revocables_.end());
+  // The caller destroys the object next; drain any Revoke() already running.
+  revoke_cv_.wait(lock, [this, revocable] {
+    return revoking_.find(revocable) == revoking_.end();
+  });
 }
 
 int64_t WorkerMemory::general_used() const {

@@ -2,6 +2,7 @@
 #define PRESTOCPP_MEMORY_MEMORY_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <functional>
 #include <map>
 #include <memory>
@@ -94,6 +95,8 @@ class WorkerMemory {
   void Release(QueryMemory* query, int64_t bytes, bool user);
 
   /// Registers/unregisters a spillable operator for revocation.
+  /// UnregisterRevocable blocks until any in-flight Revoke() on the same
+  /// object has returned, so the caller may destroy it immediately after.
   void RegisterRevocable(QueryMemory* query, Revocable* revocable);
   void UnregisterRevocable(Revocable* revocable);
 
@@ -122,6 +125,10 @@ class WorkerMemory {
   QueryMemory* reserved_owner_ = nullptr;
   std::map<QueryMemory*, QueryUsage> usage_;
   std::vector<std::pair<QueryMemory*, Revocable*>> revocables_;
+  /// Revocables with a Revoke() call currently executing outside mu_
+  /// (counted: two reservers may revoke the same operator concurrently).
+  std::map<Revocable*, int> revoking_;
+  std::condition_variable revoke_cv_;
   std::atomic<int64_t> revocations_{0};
 };
 

@@ -22,21 +22,24 @@ void CollectScans(const PlanNodePtr& node,
 
 QueryExecution::~QueryExecution() {
   // Tear down any still-running tasks (client abandoned the query) and wait
-  // for them: executor callbacks and operators reference our members.
-  if (memory_ != nullptr) {
+  // for them: executor callbacks and operators reference our members. Only
+  // a launched execution may wait — if Execute() failed before registering
+  // the tasks, no callback will ever fire and Wait() would hang.
+  if (launched_) {
+    bool running;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (remaining_tasks_ > 0) {
-        client_cancelled_.store(true);
-        memory_->Kill(Status::Cancelled("query abandoned"));
-        results_.Finish(Status::Cancelled("query abandoned"));
-      }
+      running = remaining_tasks_ > 0;
     }
+    if (running) Cancel(Status::Cancelled("query abandoned"));
     (void)Wait();
   }
   stop_split_thread_.store(true);
   if (split_thread_.joinable()) split_thread_.join();
   if (cluster_ != nullptr) {
+    // Backstop only: normal finalization (OnTaskDone on the last task)
+    // already removed this query's exchange state. RemoveQuery is
+    // idempotent, and unlaunched executions still need the cleanup.
     cluster_->exchange().RemoveQuery(query_id_);
   }
 }
@@ -48,11 +51,15 @@ Status QueryExecution::Wait() {
 }
 
 void QueryExecution::Cancel(const Status& reason) {
-  if (reason.code() == StatusCode::kCancelled) {
-    client_cancelled_.store(true);
-  }
-  memory_->Kill(reason);
-  results_.Finish(reason);
+  // Client cancel, an internal error, and destructor abandonment can race;
+  // the latch makes teardown exactly-once with the first reason winning.
+  std::call_once(cancel_once_, [this, &reason] {
+    if (reason.code() == StatusCode::kCancelled) {
+      client_cancelled_.store(true);
+    }
+    memory_->Kill(reason);
+    results_.Finish(reason);
+  });
 }
 
 QueryStats QueryExecution::StatsSnapshot() const {
@@ -86,9 +93,10 @@ int QueryExecution::active_writers(int fragment) const {
 
 void QueryExecution::OnTaskDone(int fragment, const Status& status) {
   // NOTE: once remaining_tasks_ hits zero, a waiter in Wait() may destroy
-  // this object the moment mu_ is released — so notify under the lock and
-  // move the completion callback out; touch no members afterwards.
-  std::function<void()> completion;
+  // this object — and the engine around it — the moment mu_ is released, so
+  // ALL finalization (driver release, exchange cleanup, lifecycle, the
+  // admission-slot callback) must complete under the lock; a waiter cannot
+  // wake before the unlock. Touch no members after the scope ends.
   {
     std::lock_guard<std::mutex> lock(mu_);
     --remaining_tasks_;
@@ -116,6 +124,16 @@ void QueryExecution::OnTaskDone(int fragment, const Status& status) {
         finished_ = true;
         results_.Finish(final_status_);
       }
+      // Every executor callback has fired, so nothing references the
+      // drivers anymore. Release them now — regardless of whether the query
+      // finished, failed, was cancelled, or was abandoned — returning every
+      // memory-pool reservation, dropping exchange-buffer references, and
+      // deleting spill files. A final stats snapshot is cached first so
+      // EXPLAIN ANALYZE still works after teardown.
+      for (auto& fragment_tasks : tasks_) {
+        for (auto& task : fragment_tasks) task->ReleaseDrivers();
+      }
+      if (cluster_ != nullptr) cluster_->exchange().RemoveQuery(query_id_);
       // Finalize the lifecycle before mu_ is released: a Wait()-er may
       // destroy this object the moment the lock drops, and QueryInfoFor
       // after Wait() must observe the terminal state.
@@ -123,12 +141,16 @@ void QueryExecution::OnTaskDone(int fragment, const Status& status) {
         lifecycle_->Finalize(final_status_, client_cancelled_.load(),
                              StatsSnapshot());
       }
-      completion = std::move(on_complete_);
-      on_complete_ = nullptr;
+      // Release the admission slot before the unlock too: it only takes
+      // the coordinator's admission mutex, which is never held while an
+      // execution's mu_ is acquired, so there is no lock cycle.
+      if (on_complete_) {
+        on_complete_();
+        on_complete_ = nullptr;
+      }
     }
     done_cv_.notify_all();
   }
-  if (completion) completion();
 }
 
 void QueryExecution::SplitSchedulingLoop() {
@@ -426,6 +448,7 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
   QueryExecution* raw = execution.get();
   execution->split_thread_ =
       std::thread([raw] { raw->SplitSchedulingLoop(); });
+  execution->launched_ = true;
 
   return execution;
 }

@@ -32,7 +32,9 @@ class QueryExecution {
   /// Blocks until every task completed; returns the query's final status.
   Status Wait();
 
-  /// Kills the query (client cancellation / LIMIT satisfied early).
+  /// Kills the query (client cancellation, internal error, or abandonment).
+  /// Callable from any thread any number of times; only the first call's
+  /// reason takes effect.
   void Cancel(const Status& reason);
 
   /// Total CPU nanoseconds consumed across all tasks.
@@ -78,6 +80,13 @@ class QueryExecution {
   std::thread split_thread_;
   std::atomic<bool> stop_split_thread_{false};
   std::function<void()> on_complete_;  // admission-slot release
+  /// True once every task is registered with an executor (i.e. OnTaskDone
+  /// callbacks will eventually fire). A failed Execute() tears down an
+  /// unlaunched execution, and waiting for callbacks then would hang.
+  bool launched_ = false;
+  /// Makes Cancel() exactly-once across client cancel, internal errors,
+  /// and destructor abandonment racing each other.
+  std::once_flag cancel_once_;
 
   /// Lifecycle record finalized when the last task completes; may be null
   /// (tests that drive the coordinator directly).

@@ -1,5 +1,6 @@
 #include "schedule/task_executor.h"
 
+#include "common/fault_injection.h"
 #include "common/stopwatch.h"
 
 namespace presto {
@@ -28,6 +29,11 @@ void TaskExecutor::AddTask(std::shared_ptr<TaskExec> task,
   entry->on_done = std::move(on_done);
   entry->remaining_drivers =
       static_cast<int>(entry->task->drivers().size());
+  if (entry->remaining_drivers == 0) {
+    // Degenerate task with no drivers: complete immediately, never register.
+    entry->on_done(Status::OK());
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push_back(entry);
@@ -113,27 +119,25 @@ void TaskExecutor::Park(DriverEntry entry) {
 void TaskExecutor::DriverDone(const DriverEntry& entry,
                               const Status& status) {
   std::function<void(Status)> callback;
-  Status callback_status = status;
+  Status callback_status;
   {
     std::lock_guard<std::mutex> lock(mu_);
     TaskEntry& te = *entry.task_entry;
     --te.remaining_drivers;
-    if (!status.ok() && !te.failed) {
-      te.failed = true;
-      callback = std::move(te.on_done);
-      te.on_done = nullptr;
-    } else if (te.remaining_drivers == 0 && te.on_done != nullptr) {
-      callback = std::move(te.on_done);
-      te.on_done = nullptr;
-      callback_status = Status::OK();
-    }
-    if (te.remaining_drivers == 0) {
-      tasks_.erase(std::remove_if(tasks_.begin(), tasks_.end(),
-                                  [&](const auto& t) {
-                                    return t.get() == &te;
-                                  }),
-                   tasks_.end());
-    }
+    if (!status.ok() && te.first_error.ok()) te.first_error = status;
+    if (te.remaining_drivers > 0) return;
+    // Last driver drained: nothing in the executor references this task
+    // anymore, so the callback may tear it down. Firing on the FIRST error
+    // instead (as this used to) let the owner destroy the task while
+    // sibling drivers were still queued — a use-after-free.
+    callback = std::move(te.on_done);
+    te.on_done = nullptr;
+    callback_status = te.first_error;
+    tasks_.erase(std::remove_if(tasks_.begin(), tasks_.end(),
+                                [&](const auto& t) {
+                                  return t.get() == &te;
+                                }),
+                 tasks_.end());
   }
   if (callback) callback(callback_status);
 }
@@ -176,6 +180,17 @@ void TaskExecutor::WorkerLoop() {
       }
     }
 
+    if (FaultInjection::Enabled()) {
+      Status injected = FaultInjection::Instance().Hit("executor.run_driver");
+      if (!injected.ok()) {
+        if (task.runtime().query_memory != nullptr) {
+          task.runtime().query_memory->Kill(injected);
+        }
+        DriverDone(entry, injected);
+        continue;
+      }
+    }
+
     int64_t cpu = 0;
     auto result = entry.driver->Process(config_.quantum_nanos, &cpu);
     busy_nanos_.fetch_add(cpu);
@@ -212,9 +227,16 @@ void TaskExecutor::WorkerLoop() {
         // MLFQ level shares).
         Park(std::move(entry));
         break;
-      case Driver::State::kFailed:
-        DriverDone(entry, Status::Internal("driver failed"));
+      case Driver::State::kFailed: {
+        Status failed = Status::Internal("driver failed");
+        // Kill here too (like the !result.ok() path above) so sibling
+        // drivers of the same query stop promptly instead of running on.
+        if (task.runtime().query_memory != nullptr) {
+          task.runtime().query_memory->Kill(failed);
+        }
+        DriverDone(entry, failed);
         break;
+      }
     }
   }
 }

@@ -47,7 +47,12 @@ class TaskExecutor {
   TaskExecutor& operator=(const TaskExecutor&) = delete;
 
   /// Registers a task: all its drivers become runnable. `on_done` fires
-  /// once, with OK when every driver finished or the first error.
+  /// exactly once, after EVERY driver has drained from the executor — with
+  /// OK if all finished, else the first error. Firing only on drain means
+  /// the callback may safely destroy the task and everything its drivers
+  /// reference; errors still propagate fast because the first failing
+  /// driver kills the query memory, which makes the remaining drivers fail
+  /// their next scheduling check.
   void AddTask(std::shared_ptr<TaskExec> task,
                std::function<void(Status)> on_done);
 
@@ -68,7 +73,8 @@ class TaskExecutor {
     std::shared_ptr<TaskExec> task;
     std::function<void(Status)> on_done;
     int remaining_drivers = 0;
-    bool failed = false;
+    /// First driver error; reported to on_done when the last driver drains.
+    Status first_error;
   };
 
   struct DriverEntry {

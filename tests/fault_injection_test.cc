@@ -1,0 +1,505 @@
+#include "common/fault_injection.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "connectors/tpch/tpch_connector.h"
+#include "engine/engine.h"
+#include "exec/spiller.h"
+#include "exchange/exchange.h"
+#include "memory/memory.h"
+#include "vector/block.h"
+#include "vector/page.h"
+
+namespace presto {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Registry semantics
+// ---------------------------------------------------------------------------
+
+class FaultRegistryTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Instance().DisarmAll(); }
+};
+
+Status HitGuarded(const std::string& point) {
+  PRESTO_FAULT_POINT(point);
+  return Status::OK();
+}
+
+TEST_F(FaultRegistryTest, DisarmedPointsAreFreeAndOk) {
+  EXPECT_FALSE(FaultInjection::Enabled());
+  EXPECT_TRUE(HitGuarded("scan.next_page").ok());
+  // A disarmed point is never even recorded (the fast path short-circuits).
+  EXPECT_EQ(FaultInjection::Instance().hits("scan.next_page"), 0);
+}
+
+TEST_F(FaultRegistryTest, ArmedPointReturnsConfiguredError) {
+  FaultSpec spec;
+  spec.error = Status::IOError("injected disk failure");
+  FaultInjection::Instance().Arm("spill.write", spec);
+  EXPECT_TRUE(FaultInjection::Enabled());
+
+  Status status = HitGuarded("spill.write");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(FaultInjection::Instance().hits("spill.write"), 1);
+  EXPECT_EQ(FaultInjection::Instance().fires("spill.write"), 1);
+  // Other points stay unaffected.
+  EXPECT_TRUE(HitGuarded("spill.read").ok());
+
+  FaultInjection::Instance().Disarm("spill.write");
+  EXPECT_FALSE(FaultInjection::Enabled());
+  EXPECT_TRUE(HitGuarded("spill.write").ok());
+}
+
+TEST_F(FaultRegistryTest, TriggerAfterHitsFiresOnNthCall) {
+  FaultSpec spec;
+  spec.error = Status::Internal("boom");
+  spec.trigger_after_hits = 2;  // fail on the 3rd hit
+  FaultInjection::Instance().Arm("exchange.enqueue", spec);
+  EXPECT_TRUE(HitGuarded("exchange.enqueue").ok());
+  EXPECT_TRUE(HitGuarded("exchange.enqueue").ok());
+  EXPECT_FALSE(HitGuarded("exchange.enqueue").ok());
+  EXPECT_EQ(FaultInjection::Instance().hits("exchange.enqueue"), 3);
+  EXPECT_EQ(FaultInjection::Instance().fires("exchange.enqueue"), 1);
+}
+
+TEST_F(FaultRegistryTest, MaxFiresBoundsTheDamage) {
+  FaultSpec spec;
+  spec.error = Status::Internal("boom");
+  spec.max_fires = 2;
+  FaultInjection::Instance().Arm("memory.reserve", spec);
+  EXPECT_FALSE(HitGuarded("memory.reserve").ok());
+  EXPECT_FALSE(HitGuarded("memory.reserve").ok());
+  EXPECT_TRUE(HitGuarded("memory.reserve").ok());
+  EXPECT_EQ(FaultInjection::Instance().fires("memory.reserve"), 2);
+}
+
+TEST_F(FaultRegistryTest, SeededProbabilityIsReproducible) {
+  FaultSpec spec;
+  spec.error = Status::Internal("boom");
+  spec.probability = 0.5;
+  spec.seed = 1234;
+
+  auto pattern = [&] {
+    std::vector<bool> fired;
+    FaultInjection::Instance().Arm("scan.next_page", spec);
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(!HitGuarded("scan.next_page").ok());
+    }
+    return fired;
+  };
+  std::vector<bool> first = pattern();
+  std::vector<bool> second = pattern();  // re-arm re-seeds
+  EXPECT_EQ(first, second);
+  // At p=0.5 over 200 trials both outcomes occur (probability of this
+  // failing is 2^-199).
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 200);
+}
+
+TEST_F(FaultRegistryTest, DelayOnlyPointSlowsButSucceeds) {
+  FaultSpec spec;
+  spec.delay_micros = 20'000;
+  FaultInjection::Instance().Arm("exchange.poll", spec);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(HitGuarded("exchange.poll").ok());
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            20'000);
+}
+
+// ---------------------------------------------------------------------------
+// ExchangeBuffer capacity accounting (satellite fix)
+// ---------------------------------------------------------------------------
+
+Page MakePageOfBytes(int64_t approx_bytes) {
+  // Bigint blocks are 8 bytes/row plus small overhead.
+  auto rows = static_cast<size_t>(approx_bytes / 8);
+  std::vector<int64_t> values(rows, 7);
+  return Page({MakeBigintBlock(std::move(values))});
+}
+
+TEST(ExchangeBufferTest, RejectsPageThatDoesNotFitUnlessEmpty) {
+  ExchangeBuffer buffer(/*capacity_bytes=*/1024);
+  Page small = MakePageOfBytes(256);
+  Page huge = MakePageOfBytes(64 << 10);
+  ASSERT_TRUE(buffer.TryEnqueue(small));
+  // The old accounting admitted any page while below capacity; a 64 KiB
+  // page must not ride in on top of buffered data.
+  EXPECT_FALSE(buffer.TryEnqueue(huge));
+  bool finished = false;
+  ASSERT_TRUE(buffer.Poll(&finished).has_value());
+  // Empty buffer: an oversized page is admitted so it can ever be shipped.
+  EXPECT_TRUE(buffer.TryEnqueue(huge));
+  EXPECT_FALSE(buffer.TryEnqueue(MakePageOfBytes(8)));
+}
+
+TEST(ExchangeBufferTest, UtilizationSaturatesWithoutCapacity) {
+  ExchangeBuffer buffer(/*capacity_bytes=*/0);
+  EXPECT_EQ(buffer.utilization(), 0.0);
+  ASSERT_TRUE(buffer.TryEnqueue(MakePageOfBytes(512)));
+  // Data buffered against zero capacity is full, not idle — reporting 0
+  // here previously hid backpressure from the writer-scaling monitor.
+  EXPECT_EQ(buffer.utilization(), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Spiller file hygiene (satellite fix)
+// ---------------------------------------------------------------------------
+
+int CountSpillFiles() {
+  std::filesystem::path prefix(Spiller::PathPrefix());
+  int count = 0;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(prefix.parent_path(), ec)) {
+    if (entry.path().filename().string().rfind(
+            prefix.filename().string(), 0) == 0) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+class SpillerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjection::Instance().DisarmAll(); }
+};
+
+TEST_F(SpillerTest, ConcurrentSpillersDoNotCollideAndCleanUp) {
+  ASSERT_EQ(CountSpillFiles(), 0);
+  {
+    Spiller a;
+    Spiller b;
+    std::vector<Page> pages;
+    pages.push_back(MakePageOfBytes(1024));
+    ASSERT_TRUE(a.SpillRun(pages).ok());
+    ASSERT_TRUE(b.SpillRun(pages).ok());
+    ASSERT_TRUE(a.SpillRun(pages).ok());
+    EXPECT_EQ(CountSpillFiles(), 3);
+    // Both spillers read their own runs back intact.
+    auto run = a.ReadRun(1);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ASSERT_EQ(run->size(), 1u);
+    EXPECT_EQ((*run)[0].num_rows(), pages[0].num_rows());
+    ASSERT_TRUE(b.ReadRun(0).ok());
+  }
+  EXPECT_EQ(CountSpillFiles(), 0);
+}
+
+TEST_F(SpillerTest, FailedSpillRunLeavesNoFilesBehind) {
+  FaultSpec spec;
+  spec.error = Status::IOError("injected spill failure");
+  FaultInjection::Instance().Arm("spill.write", spec);
+  {
+    Spiller spiller;
+    std::vector<Page> pages;
+    pages.push_back(MakePageOfBytes(1024));
+    auto run = spiller.SpillRun(pages);
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::kIOError);
+    EXPECT_EQ(spiller.num_runs(), 0);
+    EXPECT_FALSE(spiller.ReadRun(0).ok());  // range-checked, not UB
+  }
+  // The partially-created file is deleted even though the run failed.
+  EXPECT_EQ(CountSpillFiles(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// WorkerMemory: Revoke vs Unregister race (satellite fix)
+// ---------------------------------------------------------------------------
+
+TEST(WorkerMemoryTest, UnregisterWaitsForInFlightRevoke) {
+  MemoryConfig config;
+  config.per_worker_general = 1 << 20;
+  config.enable_spill = true;
+  config.enable_reserved_pool = false;
+  WorkerMemory worker(&config, /*worker_id=*/0);
+  QueryMemory holder("holder", &config);
+  QueryMemory reserver("reserver", &config);
+  ASSERT_TRUE(worker.Reserve(&holder, 1 << 20, /*user=*/true).ok());
+
+  struct SleepyRevocable : Revocable {
+    WorkerMemory* worker;
+    QueryMemory* query;
+    std::atomic<bool> in_revoke{false};
+    int64_t Revoke() override {
+      in_revoke.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      worker->Release(query, 1 << 20, /*user=*/true);
+      in_revoke.store(false);
+      return 1 << 20;
+    }
+  };
+  auto revocable = std::make_unique<SleepyRevocable>();
+  revocable->worker = &worker;
+  revocable->query = &holder;
+  worker.RegisterRevocable(&holder, revocable.get());
+
+  // Another query's reservation must revoke the holder to make room.
+  std::thread reserve_thread([&] {
+    EXPECT_TRUE(worker.Reserve(&reserver, 512 << 10, /*user=*/true).ok());
+  });
+  while (!revocable->in_revoke.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Unregister while Revoke() is mid-flight: it must block until the call
+  // returns, so destroying the revocable right after is safe.
+  worker.UnregisterRevocable(revocable.get());
+  EXPECT_FALSE(revocable->in_revoke.load());
+  revocable.reset();
+  reserve_thread.join();
+  worker.Release(&reserver, 512 << 10, /*user=*/true);
+  EXPECT_EQ(worker.general_used(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: every fault leaves the engine clean
+// ---------------------------------------------------------------------------
+
+class FaultInjectionEndToEndTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineOptions options;
+    options.cluster.num_workers = 2;
+    options.cluster.executor.threads = 2;
+    engine_ = std::make_unique<PrestoEngine>(options);
+    engine_->catalog().Register(
+        std::make_shared<TpchConnector>("tpch", /*scale=*/0.1));
+    engine_->catalog().SetDefault("tpch");
+  }
+  void TearDown() override { FaultInjection::Instance().DisarmAll(); }
+
+  /// The post-conditions every failure path must restore: no buffered
+  /// exchange bytes, no memory-pool reservations, no spill files on disk.
+  void ExpectNoLeaks(PrestoEngine& engine) {
+    EXPECT_EQ(engine.cluster().exchange().TotalBufferedBytes(), 0);
+    for (int i = 0; i < engine.cluster().num_workers(); ++i) {
+      EXPECT_EQ(engine.cluster().worker(i).memory().general_used(), 0)
+          << "worker " << i;
+      EXPECT_EQ(engine.cluster().worker(i).memory().reserved_used(), 0)
+          << "worker " << i;
+    }
+    EXPECT_EQ(CountSpillFiles(), 0);
+    // The PR-1 gauges agree with the direct reads.
+    std::string metrics = engine.metrics().RenderText();
+    EXPECT_NE(metrics.find("presto_exchange_buffered_bytes 0\n"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("presto_memory_general_used_bytes 0\n"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("presto_memory_reserved_used_bytes 0\n"),
+              std::string::npos);
+  }
+
+  /// Runs `sql`, expecting the armed fault to fail it; returns the error.
+  Status RunExpectingFailure(const std::string& sql) {
+    auto result = engine_->Execute(sql);
+    if (!result.ok()) return result.status();
+    auto rows = result->FetchAllRows();
+    Status final = result->Wait();
+    EXPECT_FALSE(rows.ok()) << "query unexpectedly succeeded";
+    EXPECT_FALSE(final.ok());
+    auto info = engine_->QueryInfoFor(result->query_id());
+    EXPECT_TRUE(info.ok());
+    if (info.ok()) EXPECT_EQ(info->state, QueryState::kFailed);
+    return rows.ok() ? final : rows.status();
+  }
+
+  std::unique_ptr<PrestoEngine> engine_;
+};
+
+TEST_F(FaultInjectionEndToEndTest, ScanFailureFailsQueryAndCleansUp) {
+  FaultSpec spec;
+  spec.error = Status::IOError("injected scan failure");
+  spec.trigger_after_hits = 3;
+  FaultInjection::Instance().Arm("scan.next_page", spec);
+  Status status =
+      RunExpectingFailure("SELECT count(*) FROM lineitem");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  ExpectNoLeaks(*engine_);
+}
+
+TEST_F(FaultInjectionEndToEndTest, SplitSourceCreationFailureCleansUp) {
+  FaultSpec spec;
+  spec.error = Status::IOError("injected connector failure");
+  FaultInjection::Instance().Arm("scan.create_source", spec);
+  Status status = RunExpectingFailure("SELECT count(*) FROM orders");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  ExpectNoLeaks(*engine_);
+}
+
+TEST_F(FaultInjectionEndToEndTest, ExchangeEnqueueFailureCleansUp) {
+  FaultSpec spec;
+  spec.error = Status::IOError("injected shuffle write failure");
+  spec.trigger_after_hits = 2;
+  FaultInjection::Instance().Arm("exchange.enqueue", spec);
+  // GROUP BY forces a repartition exchange between the two workers.
+  Status status = RunExpectingFailure(
+      "SELECT orderkey, count(*) FROM lineitem GROUP BY orderkey");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  ExpectNoLeaks(*engine_);
+}
+
+TEST_F(FaultInjectionEndToEndTest, ExchangePollFailureCleansUp) {
+  FaultSpec spec;
+  spec.error = Status::IOError("injected shuffle read failure");
+  FaultInjection::Instance().Arm("exchange.poll", spec);
+  Status status = RunExpectingFailure(
+      "SELECT orderkey, count(*) FROM lineitem GROUP BY orderkey");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  ExpectNoLeaks(*engine_);
+}
+
+TEST_F(FaultInjectionEndToEndTest, MemoryReserveFailureCleansUp) {
+  FaultSpec spec;
+  spec.error = Status::ResourceExhausted("injected allocation failure");
+  spec.trigger_after_hits = 5;
+  FaultInjection::Instance().Arm("memory.reserve", spec);
+  Status status = RunExpectingFailure(
+      "SELECT orderkey, sum(quantity) FROM lineitem GROUP BY orderkey");
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  ExpectNoLeaks(*engine_);
+}
+
+TEST_F(FaultInjectionEndToEndTest, ExecutorDriverFailureCleansUp) {
+  FaultSpec spec;
+  spec.error = Status::Internal("injected driver failure");
+  spec.trigger_after_hits = 8;
+  FaultInjection::Instance().Arm("executor.run_driver", spec);
+  Status status = RunExpectingFailure(
+      "SELECT orderkey, count(*) FROM lineitem GROUP BY orderkey");
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  ExpectNoLeaks(*engine_);
+}
+
+TEST_F(FaultInjectionEndToEndTest, FailureIsDeterministicAcrossRuns) {
+  FaultSpec spec;
+  spec.error = Status::IOError("injected scan failure");
+  spec.probability = 0.5;
+  spec.seed = 99;
+  for (int run = 0; run < 2; ++run) {
+    FaultInjection::Instance().Arm("scan.next_page", spec);
+    Status status = RunExpectingFailure("SELECT count(*) FROM lineitem");
+    EXPECT_EQ(status.code(), StatusCode::kIOError) << "run " << run;
+    ExpectNoLeaks(*engine_);
+  }
+}
+
+TEST_F(FaultInjectionEndToEndTest, SpillWriteFailureCleansUpSpillFiles) {
+  // Spill-forcing configuration: a 1 MiB general pool with ~60k distinct
+  // groups reliably triggers revocation (and succeeds when disarmed).
+  EngineOptions options;
+  options.cluster.num_workers = 1;
+  options.cluster.executor.threads = 2;
+  options.cluster.memory.per_worker_general = 1 << 20;
+  options.cluster.memory.per_query_per_node_user = 64 << 20;
+  options.cluster.memory.per_query_per_node_total = 64 << 20;
+  options.cluster.memory.enable_spill = true;
+  options.cluster.memory.enable_reserved_pool = false;
+  PrestoEngine small(options);
+  small.catalog().Register(std::make_shared<TpchConnector>("tpch", 4.0));
+  small.catalog().SetDefault("tpch");
+
+  FaultSpec spec;
+  spec.error = Status::IOError("injected spill write failure");
+  FaultInjection::Instance().Arm("spill.write", spec);
+  auto rows = small.ExecuteAndFetch(
+      "SELECT count(*) FROM (SELECT orderkey, sum(quantity) AS q "
+      "FROM lineitem GROUP BY orderkey) t WHERE q >= 0");
+  EXPECT_GT(FaultInjection::Instance().fires("spill.write"), 0)
+      << "spill path was not exercised";
+  ASSERT_FALSE(rows.ok());
+  // Either the injected spill error surfaces directly or the reservation
+  // that demanded the spill fails as OOM; both must leave no state behind.
+  EXPECT_TRUE(rows.status().code() == StatusCode::kIOError ||
+              rows.status().code() == StatusCode::kResourceExhausted)
+      << rows.status().ToString();
+  FaultInjection::Instance().DisarmAll();
+  ExpectNoLeaks(small);
+}
+
+TEST_F(FaultInjectionEndToEndTest, ClientCancelMidQueryReleasesEverything) {
+  engine_->catalog().Register(
+      std::make_shared<TpchConnector>("bigtpch", /*scale=*/20.0));
+  auto result = engine_->Execute("SELECT * FROM bigtpch.lineitem");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto first = result->Next();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  result->Cancel();
+  Status final = result->Wait();
+  EXPECT_TRUE(final.ok()) << final.ToString();
+  auto info = engine_->QueryInfoFor(result->query_id());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, QueryState::kCanceled);
+  ExpectNoLeaks(*engine_);
+}
+
+TEST_F(FaultInjectionEndToEndTest, AbandonedQueryReleasesEverything) {
+  engine_->catalog().Register(
+      std::make_shared<TpchConnector>("bigtpch", /*scale=*/20.0));
+  {
+    auto result = engine_->Execute("SELECT * FROM bigtpch.lineitem");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    // Dropped without Cancel() or Wait(): the destructor must tear the
+    // query down and release everything.
+  }
+  ExpectNoLeaks(*engine_);
+}
+
+TEST_F(FaultInjectionEndToEndTest, ExchangeFullStallThenCancelCleansUp) {
+  // Tiny exchange buffers plus a slow consumer: producers stall on full
+  // buffers (§IV-E2 backpressure) and a cancel must still unwind cleanly.
+  EngineOptions options;
+  options.cluster.num_workers = 2;
+  options.cluster.executor.threads = 2;
+  options.cluster.exchange_buffer_bytes = 4 << 10;
+  PrestoEngine stalled(options);
+  stalled.catalog().Register(std::make_shared<TpchConnector>("tpch", 1.0));
+  stalled.catalog().SetDefault("tpch");
+
+  FaultSpec slow;
+  slow.delay_micros = 3'000;  // delay-only: consumer crawls, never errors
+  FaultInjection::Instance().Arm("exchange.poll", slow);
+  auto result = stalled.Execute(
+      "SELECT orderkey, count(*) FROM lineitem GROUP BY orderkey");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Give producers time to fill the tiny buffers and stall.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  result->Cancel();
+  Status final = result->Wait();
+  EXPECT_TRUE(final.ok() || final.code() == StatusCode::kCancelled)
+      << final.ToString();
+  FaultInjection::Instance().DisarmAll();
+  ExpectNoLeaks(stalled);
+}
+
+TEST_F(FaultInjectionEndToEndTest, ExplainAnalyzeStillWorksAfterFailure) {
+  // Driver teardown at finalization caches a last stats snapshot; stats
+  // queries after a failure must not crash or return garbage.
+  FaultSpec spec;
+  spec.error = Status::IOError("injected scan failure");
+  spec.trigger_after_hits = 3;
+  FaultInjection::Instance().Arm("scan.next_page", spec);
+  auto result = engine_->Execute("SELECT count(*) FROM lineitem");
+  ASSERT_TRUE(result.ok());
+  auto rows = result->FetchAllRows();
+  EXPECT_FALSE(rows.ok());
+  (void)result->Wait();
+  auto info = engine_->QueryInfoFor(result->query_id());
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->state, QueryState::kFailed);
+  EXPECT_GT(info->stats.num_tasks, 0);
+}
+
+}  // namespace
+}  // namespace presto
