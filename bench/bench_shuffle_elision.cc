@@ -3,7 +3,11 @@
 //       (co-located join, aggregation shuffle elided), vs.
 //   (b) the identical query on the same data without bucketing alignment
 //       (both sides repartitioned, partial/final aggregation),
-// counting remote exchanges in the plan and measuring wall time.
+// counting remote exchanges in the plan, measuring wall time, and reporting
+// the serialized shuffle volume each layout actually put on the wire.
+// Also measures the §V-E wire-format ablation directly: a dictionary-heavy
+// page stream encoded with encoding preservation + LZ4 vs. flattened
+// uncompressed. Results mirror to BENCH_shuffle.json.
 //
 //   ./build/bench/bench_shuffle_elision [scale]
 
@@ -11,6 +15,8 @@
 #include <cstdlib>
 
 #include "bench/bench_util.h"
+#include "vector/encoded_block.h"
+#include "vector/page_codec.h"
 
 using namespace presto;         // NOLINT
 using namespace presto::bench;  // NOLINT
@@ -26,10 +32,35 @@ int CountOccurrences(const std::string& text, const std::string& needle) {
   return count;
 }
 
+// Dictionary-heavy shuffle payload: 16 pages of 8192 rows, every page's two
+// columns sharing one 16-entry dictionary of long strings (the ad-id /
+// user-agent shape that motivates §V-E encoding preservation).
+std::vector<Page> DictionaryHeavyPages() {
+  std::vector<std::string> entries;
+  for (int i = 0; i < 16; ++i) {
+    entries.push_back("dictionary-entry-with-a-rather-long-payload-" +
+                      std::to_string(i) + "-abcdefghijklmnopqrstuvwxyz");
+  }
+  BlockPtr dict = MakeVarcharBlock(entries);
+  std::vector<Page> pages;
+  for (int p = 0; p < 16; ++p) {
+    std::vector<int32_t> idx1, idx2;
+    for (int32_t r = 0; r < 8192; ++r) {
+      idx1.push_back((r + p) % 16);
+      idx2.push_back((r * 7 + p) % 16);
+    }
+    pages.emplace_back(std::vector<BlockPtr>{
+        std::make_shared<DictionaryBlock>(dict, std::move(idx1)),
+        std::make_shared<DictionaryBlock>(dict, std::move(idx2))});
+  }
+  return pages;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   double scale = argc > 1 ? std::atof(argv[1]) : 1.0;
+  BenchReport report("shuffle");
   EngineOptions options;
   options.cluster.num_workers = 4;
   options.cluster.executor.threads = 2;
@@ -62,8 +93,8 @@ int main(int argc, char** argv) {
 
   std::printf("Section IV-C3: shuffle elision via data layout properties\n");
   std::printf("query: join + aggregation on the join key\n\n");
-  std::printf("%-22s %10s %12s %12s\n", "layout", "shuffles", "fragments",
-              "wall_ms");
+  std::printf("%-22s %10s %12s %12s %14s %14s\n", "layout", "shuffles",
+              "fragments", "wall_ms", "wire_bytes", "raw_bytes");
   std::vector<std::pair<PrestoEngine*, const char*>> configs = {
       {&colocated_engine, "bucketed-on-key"},
       {&shuffled_engine, "misaligned"}};
@@ -79,11 +110,58 @@ int main(int argc, char** argv) {
     for (int r = 0; r < kRuns; ++r) {
       ms += static_cast<double>(TimeQuery(entry.first, sql)) / 1000.0;
     }
-    std::printf("%-22s %10d %12d %12.1f\n", entry.second, shuffles,
-                fragments, ms / kRuns);
+    ms /= kRuns;
+    ExchangeManager& exchange = entry.first->cluster().exchange();
+    int64_t wire = exchange.serialized_wire_bytes();
+    int64_t raw = exchange.serialized_raw_bytes();
+    std::printf("%-22s %10d %12d %12.1f %14lld %14lld\n", entry.second,
+                shuffles, fragments, ms, static_cast<long long>(wire),
+                static_cast<long long>(raw));
+    report.Add(entry.second, "shuffles", shuffles);
+    report.Add(entry.second, "wall_ms", ms, "ms");
+    report.Add(entry.second, "exchange_wire_bytes",
+               static_cast<double>(wire), "bytes");
+    report.Add(entry.second, "exchange_raw_bytes", static_cast<double>(raw),
+               "bytes");
   }
+
+  // Wire-format ablation on a dictionary-heavy stream.
+  std::vector<Page> pages = DictionaryHeavyPages();
+  PageCodec preserved(
+      PageCodecOptions{PageCompression::kLz4, /*preserve_encodings=*/true,
+                       /*checksum=*/true});
+  PageCodec flattened(
+      PageCodecOptions{PageCompression::kNone, /*preserve_encodings=*/false,
+                       /*checksum=*/true});
+  int64_t preserved_bytes = 0;
+  int64_t flattened_bytes = 0;
+  for (const Page& page : pages) {
+    preserved_bytes += preserved.Encode(page).wire_bytes();
+    flattened_bytes += flattened.Encode(page).wire_bytes();
+  }
+  double ratio = preserved_bytes > 0
+                     ? static_cast<double>(flattened_bytes) /
+                           static_cast<double>(preserved_bytes)
+                     : 0.0;
+  std::printf(
+      "\ndictionary-heavy wire format (16 pages x 8192 rows, shared "
+      "16-entry dictionary):\n");
+  std::printf("  preserve+lz4:   %10lld bytes\n",
+              static_cast<long long>(preserved_bytes));
+  std::printf("  flatten+none:   %10lld bytes\n",
+              static_cast<long long>(flattened_bytes));
+  std::printf("  volume ratio:   %10.1fx smaller (expect >= 2x)\n", ratio);
+  report.Add("dictionary-heavy", "codec_preserved_lz4_bytes",
+             static_cast<double>(preserved_bytes), "bytes");
+  report.Add("dictionary-heavy", "codec_flattened_none_bytes",
+             static_cast<double>(flattened_bytes), "bytes");
+  report.Add("dictionary-heavy", "codec_volume_ratio", ratio, "x");
+
+  std::string json = report.WriteJson();
   std::printf(
       "\nexpected shape: the bucketed layout plans ~1 shuffle (final "
-      "gather only) vs 3+ for the misaligned layout, and runs faster\n");
+      "gather only) vs 3+ for the misaligned layout, runs faster, and "
+      "ships fewer serialized bytes\n");
+  if (!json.empty()) std::printf("report: %s\n", json.c_str());
   return 0;
 }

@@ -1,0 +1,167 @@
+#include "common/compression.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace presto {
+
+namespace {
+
+// 8K-entry hash table of candidate match positions; the standard LZ4 fast
+// hash (multiplicative over the 4-byte prefix).
+constexpr int kHashLog = 13;
+constexpr size_t kMinMatch = 4;
+// The LZ4 block format requires the last 5 bytes to be literals and a match
+// to start no later than 12 bytes before the end; honoring both keeps the
+// format compatible with reference decoders.
+constexpr size_t kEndMargin = 12;
+constexpr size_t kLastLiterals = 5;
+constexpr size_t kMaxOffset = 65535;
+
+inline uint32_t HashPosition(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761U) >> (32 - kHashLog);
+}
+
+inline void WriteLength(std::string* out, size_t len) {
+  while (len >= 255) {
+    out->push_back(static_cast<char>(255));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+// Reads a 15-extended length field; false on truncation.
+inline bool ReadLength(std::string_view in, size_t* pos, size_t* len) {
+  for (;;) {
+    if (*pos >= in.size()) return false;
+    auto byte = static_cast<uint8_t>(in[*pos]);
+    ++*pos;
+    *len += byte;
+    if (byte != 255) return true;
+  }
+}
+
+void EmitSequence(std::string* out, const char* literals, size_t literal_len,
+                  size_t offset, size_t match_len) {
+  size_t match_code = match_len - kMinMatch;
+  uint8_t token =
+      static_cast<uint8_t>((literal_len < 15 ? literal_len : 15) << 4 |
+                           (match_code < 15 ? match_code : 15));
+  out->push_back(static_cast<char>(token));
+  if (literal_len >= 15) WriteLength(out, literal_len - 15);
+  out->append(literals, literal_len);
+  out->push_back(static_cast<char>(offset & 0xFF));
+  out->push_back(static_cast<char>(offset >> 8));
+  if (match_code >= 15) WriteLength(out, match_code - 15);
+}
+
+void EmitLastLiterals(std::string* out, const char* literals, size_t len) {
+  uint8_t token = static_cast<uint8_t>((len < 15 ? len : 15) << 4);
+  out->push_back(static_cast<char>(token));
+  if (len >= 15) WriteLength(out, len - 15);
+  out->append(literals, len);
+}
+
+}  // namespace
+
+size_t Lz4MaxCompressedSize(size_t input_size) {
+  // One token per 15-literal run plus length extension bytes.
+  return input_size + input_size / 255 + 16;
+}
+
+std::string Lz4Compress(std::string_view input) {
+  const size_t n = input.size();
+  const char* base = input.data();
+  std::string out;
+  out.reserve(Lz4MaxCompressedSize(n) / 2);
+  if (n < kEndMargin + 1) {
+    EmitLastLiterals(&out, base, n);
+    return out;
+  }
+  std::vector<int32_t> table(size_t{1} << kHashLog, -1);
+  const size_t match_limit = n - kEndMargin;   // last valid match start
+  const size_t extend_limit = n - kLastLiterals;  // match may not reach here
+  size_t anchor = 0;
+  size_t i = 0;
+  while (i < match_limit) {
+    uint32_t h = HashPosition(base + i);
+    int32_t cand = table[h];
+    table[h] = static_cast<int32_t>(i);
+    if (cand < 0 || i - static_cast<size_t>(cand) > kMaxOffset ||
+        std::memcmp(base + cand, base + i, kMinMatch) != 0) {
+      ++i;
+      continue;
+    }
+    size_t match_len = kMinMatch;
+    while (i + match_len < extend_limit &&
+           base[static_cast<size_t>(cand) + match_len] ==
+               base[i + match_len]) {
+      ++match_len;
+    }
+    EmitSequence(&out, base + anchor, i - anchor,
+                 i - static_cast<size_t>(cand), match_len);
+    i += match_len;
+    anchor = i;
+  }
+  EmitLastLiterals(&out, base + anchor, n - anchor);
+  return out;
+}
+
+Result<std::string> Lz4Decompress(std::string_view input,
+                                  size_t decompressed_size) {
+  std::string out;
+  out.reserve(decompressed_size);
+  size_t pos = 0;
+  while (pos < input.size()) {
+    auto token = static_cast<uint8_t>(input[pos]);
+    ++pos;
+    // Literals.
+    size_t literal_len = token >> 4;
+    if (literal_len == 15 && !ReadLength(input, &pos, &literal_len)) {
+      return Status::IOError("lz4: truncated literal length");
+    }
+    if (pos + literal_len > input.size()) {
+      return Status::IOError("lz4: truncated literals");
+    }
+    if (out.size() + literal_len > decompressed_size) {
+      return Status::IOError("lz4: output overflow in literals");
+    }
+    out.append(input.data() + pos, literal_len);
+    pos += literal_len;
+    if (pos == input.size()) break;  // last sequence is literal-only
+    // Match.
+    if (pos + 2 > input.size()) {
+      return Status::IOError("lz4: truncated match offset");
+    }
+    size_t offset = static_cast<uint8_t>(input[pos]) |
+                    static_cast<size_t>(static_cast<uint8_t>(input[pos + 1]))
+                        << 8;
+    pos += 2;
+    if (offset == 0 || offset > out.size()) {
+      return Status::IOError("lz4: match offset out of range");
+    }
+    size_t match_len = (token & 0x0F);
+    if (match_len == 15 && !ReadLength(input, &pos, &match_len)) {
+      return Status::IOError("lz4: truncated match length");
+    }
+    match_len += kMinMatch;
+    if (out.size() + match_len > decompressed_size) {
+      return Status::IOError("lz4: output overflow in match");
+    }
+    // Byte-wise copy: matches may overlap their own output (offset <
+    // match_len replicates a short period), so memcpy is not legal here.
+    size_t from = out.size() - offset;
+    for (size_t k = 0; k < match_len; ++k) {
+      out.push_back(out[from + k]);
+    }
+  }
+  if (out.size() != decompressed_size) {
+    return Status::IOError("lz4: decompressed size mismatch");
+  }
+  return out;
+}
+
+}  // namespace presto

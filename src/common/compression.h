@@ -1,0 +1,31 @@
+#ifndef PRESTOCPP_COMMON_COMPRESSION_H_
+#define PRESTOCPP_COMMON_COMPRESSION_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace presto {
+
+/// Byte-oriented LZ77 codec in the LZ4 block format: token-prefixed
+/// sequences of literals plus (offset, length) back-references into the
+/// already-decoded output. No external dependency — the whole codec is this
+/// translation unit. Used for per-frame page compression in shuffle and
+/// spill (PageCodec); worst-case expansion is bounded by
+/// Lz4MaxCompressedSize, so callers can decide per frame whether the
+/// compressed form is worth keeping.
+std::string Lz4Compress(std::string_view input);
+
+/// Upper bound on Lz4Compress output size for `input_size` bytes.
+size_t Lz4MaxCompressedSize(size_t input_size);
+
+/// Decompresses a Lz4Compress buffer whose original size is known (the
+/// frame header carries it). Every read is bounds-checked: corrupt or
+/// truncated input yields an IOError, never out-of-bounds access.
+Result<std::string> Lz4Decompress(std::string_view input,
+                                  size_t decompressed_size);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_COMMON_COMPRESSION_H_

@@ -42,8 +42,11 @@ struct FaultSpec {
 ///   scan.next_page       connector page read (TableScanOperator)
 ///   exchange.enqueue     shuffle producer (ExchangeSinkOperator)
 ///   exchange.poll        shuffle consumer (RemoteSourceOperator)
+///   exchange.frame_decode  wire-frame decode before a polled frame is
+///                          deserialized (RemoteSourceOperator)
 ///   spill.write          Spiller::SpillRun file I/O
 ///   spill.read           Spiller::ReadRun file I/O
+///   spill.decompress     per-frame decode in Spiller::ReadRun
 ///   memory.reserve       WorkerMemory::Reserve admission
 ///   executor.run_driver  TaskExecutor before each driver quantum
 class FaultInjection {

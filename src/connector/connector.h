@@ -156,6 +156,26 @@ class ConnectorMetadata {
   }
 };
 
+/// Everything the engine has decided about one scan, handed to the
+/// connector as a unit: the table, the chosen layout, the projected
+/// columns, the pushed-down predicates, and the cluster parallelism hint.
+/// Split enumeration and data-source creation read the same spec, so the
+/// two halves of a scan can never disagree about what is being scanned.
+struct ScanSpec {
+  TableHandlePtr table;
+  /// Selects among metadata().GetLayouts(); empty = connector default.
+  std::string layout_id;
+  /// Projected column ordinals into the table schema. Ignored by
+  /// GetSplits; empty means "all columns" for callers that only
+  /// enumerate splits.
+  std::vector<int> columns;
+  /// Conjuncts the optimizer pushed down (already filtered to those the
+  /// connector said it supports).
+  std::vector<ColumnPredicate> predicates;
+  /// Worker count, sizing split granularity (§IV-D3).
+  int num_workers = 1;
+};
+
 /// A connector instance registered in the catalog under a name ("hive",
 /// "raptor", "mysql", "tpch", "memory").
 class Connector {
@@ -165,20 +185,15 @@ class Connector {
   virtual const std::string& name() const = 0;
   virtual ConnectorMetadata& metadata() = 0;
 
-  /// Data Location API: split enumeration for a scan. `predicates` are the
-  /// conjuncts the optimizer pushed down (already filtered to those the
-  /// connector said it supports); `layout_id` selects among GetLayouts().
+  /// Data Location API: split enumeration for the scan described by `spec`
+  /// (§IV-D3).
   virtual Result<std::unique_ptr<SplitSource>> GetSplits(
-      const TableHandle& table, const std::string& layout_id,
-      const std::vector<ColumnPredicate>& predicates,
-      int num_workers) = 0;
+      const ScanSpec& spec) = 0;
 
-  /// Data Source API: page reader for one split, projecting `columns`
-  /// (ordinals into the table schema).
+  /// Data Source API: page reader for one split of the scan described by
+  /// `spec`.
   virtual Result<std::unique_ptr<DataSource>> CreateDataSource(
-      const Split& split, const TableHandle& table,
-      const std::vector<int>& columns,
-      const std::vector<ColumnPredicate>& predicates) = 0;
+      const Split& split, const ScanSpec& spec) = 0;
 
   /// Data Sink API: writer `writer_id` for a CTAS/INSERT target.
   virtual Result<std::unique_ptr<DataSink>> CreateDataSink(

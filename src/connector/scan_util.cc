@@ -6,20 +6,19 @@ Result<std::vector<Page>> ReadAllPages(Connector* connector,
                                        const std::string& table_name) {
   PRESTO_ASSIGN_OR_RETURN(TableHandlePtr table,
                           connector->metadata().GetTable(table_name));
-  std::vector<int> columns;
+  ScanSpec spec;
+  spec.table = table;
   for (size_t c = 0; c < table->schema().size(); ++c) {
-    columns.push_back(static_cast<int>(c));
+    spec.columns.push_back(static_cast<int>(c));
   }
-  PRESTO_ASSIGN_OR_RETURN(auto splits,
-                          connector->GetSplits(*table, "", {}, 1));
+  PRESTO_ASSIGN_OR_RETURN(auto splits, connector->GetSplits(spec));
   std::vector<Page> pages;
   for (;;) {
     PRESTO_ASSIGN_OR_RETURN(auto batch, splits->NextBatch(64));
     if (batch.empty()) break;
     for (const auto& split : batch) {
-      PRESTO_ASSIGN_OR_RETURN(
-          auto source,
-          connector->CreateDataSource(*split, *table, columns, {}));
+      PRESTO_ASSIGN_OR_RETURN(auto source,
+                              connector->CreateDataSource(*split, spec));
       for (;;) {
         PRESTO_ASSIGN_OR_RETURN(auto page, source->NextPage());
         if (!page.has_value()) break;

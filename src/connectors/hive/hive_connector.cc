@@ -366,10 +366,8 @@ Status HiveConnector::AnalyzeTable(const std::string& table_name) {
 }
 
 Result<std::unique_ptr<SplitSource>> HiveConnector::GetSplits(
-    const TableHandle& table, const std::string& layout_id,
-    const std::vector<ColumnPredicate>& predicates, int num_workers) {
-  (void)layout_id;
-  (void)num_workers;
+    const ScanSpec& spec) {
+  const TableHandle& table = *spec.table;
   std::shared_ptr<TableInfo> info;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -382,7 +380,7 @@ Result<std::unique_ptr<SplitSource>> HiveConnector::GetSplits(
   // Partition pruning: exact pushdown on the partition column.
   std::optional<std::set<std::string>> keep_partitions;
   if (!info->partition_column.empty()) {
-    for (const auto& pred : predicates) {
+    for (const auto& pred : spec.predicates) {
       if (pred.column != info->partition_column) continue;
       if (pred.op == ColumnPredicate::Op::kEq ||
           pred.op == ColumnPredicate::Op::kIn) {
@@ -410,10 +408,7 @@ Result<std::unique_ptr<SplitSource>> HiveConnector::GetSplits(
 }
 
 Result<std::unique_ptr<DataSource>> HiveConnector::CreateDataSource(
-    const Split& split, const TableHandle& table,
-    const std::vector<int>& columns,
-    const std::vector<ColumnPredicate>& predicates) {
-  (void)table;
+    const Split& split, const ScanSpec& spec) {
   const auto* hive_split = dynamic_cast<const HiveSplit*>(&split);
   if (hive_split == nullptr) {
     return Status::InvalidArgument("not a hive split");
@@ -422,8 +417,8 @@ Result<std::unique_ptr<DataSource>> HiveConnector::CreateDataSource(
   PRESTO_ASSIGN_OR_RETURN(StorcFooter footer,
                           ReadStorcFooter(dfs_, hive_split->file()));
   auto reader = std::make_unique<StorcReader>(
-      &dfs_, hive_split->file(), std::move(footer), columns, predicates,
-      config_.lazy_reads, &lazy_stats_);
+      &dfs_, hive_split->file(), std::move(footer), spec.columns,
+      spec.predicates, config_.lazy_reads, &lazy_stats_);
   return std::unique_ptr<DataSource>(
       new HiveDataSource(std::move(reader), &dfs_, bytes_before));
 }

@@ -5,7 +5,7 @@
 
 #include "common/check.h"
 #include "vector/block_builder.h"
-#include "vector/page_serde.h"
+#include "vector/page_codec.h"
 
 namespace presto {
 
@@ -97,12 +97,22 @@ bool ReadValue(const std::string& in, size_t* off, TypeKind type, Value* v) {
   }
 }
 
+// Column chunks ride in PageCodec frames (one single-column page each):
+// storc files get the same compression and checksum protection as the
+// shuffle and spill paths. Frames are self-delimiting, so chunk
+// compositions (dictionary blocks, RLE runs) concatenate cleanly.
+const PageCodec& ChunkCodec() {
+  static const PageCodec codec(PageCodecOptions{
+      PageCompression::kLz4, /*preserve_encodings=*/true, /*checksum=*/true});
+  return codec;
+}
+
 std::string SerializeBlock(const BlockPtr& block) {
-  return SerializePage(Page({block}));
+  return ChunkCodec().Encode(Page({block})).bytes;
 }
 
 Result<BlockPtr> DeserializeBlock(const std::string& bytes, size_t* off) {
-  PRESTO_ASSIGN_OR_RETURN(Page page, DeserializePage(bytes, off));
+  PRESTO_ASSIGN_OR_RETURN(Page page, ChunkCodec().Decode(bytes, off));
   if (page.num_columns() != 1) {
     return Status::IOError("bad storc chunk: expected one column");
   }

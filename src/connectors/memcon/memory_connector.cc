@@ -251,11 +251,8 @@ Result<std::vector<Page>> MemoryConnector::GetPages(
 }
 
 Result<std::unique_ptr<SplitSource>> MemoryConnector::GetSplits(
-    const TableHandle& table, const std::string& layout_id,
-    const std::vector<ColumnPredicate>& predicates, int num_workers) {
-  (void)layout_id;
-  (void)predicates;
-  (void)num_workers;
+    const ScanSpec& spec) {
+  const TableHandle& table = *spec.table;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = tables_.find(table.name());
   if (it == tables_.end()) {
@@ -272,10 +269,9 @@ Result<std::unique_ptr<SplitSource>> MemoryConnector::GetSplits(
 }
 
 Result<std::unique_ptr<DataSource>> MemoryConnector::CreateDataSource(
-    const Split& split, const TableHandle& table,
-    const std::vector<int>& columns,
-    const std::vector<ColumnPredicate>& predicates) {
-  (void)predicates;
+    const Split& split, const ScanSpec& spec) {
+  const TableHandle& table = *spec.table;
+  const std::vector<int>& columns = spec.columns;
   const auto* mem_split = dynamic_cast<const MemorySplit*>(&split);
   if (mem_split == nullptr) {
     return Status::InvalidArgument("not a memory split");

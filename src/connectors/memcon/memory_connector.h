@@ -34,14 +34,10 @@ class MemoryConnector final : public Connector {
   Result<std::vector<Page>> GetPages(const std::string& table_name) const;
 
   Result<std::unique_ptr<SplitSource>> GetSplits(
-      const TableHandle& table, const std::string& layout_id,
-      const std::vector<ColumnPredicate>& predicates,
-      int num_workers) override;
+      const ScanSpec& spec) override;
 
   Result<std::unique_ptr<DataSource>> CreateDataSource(
-      const Split& split, const TableHandle& table,
-      const std::vector<int>& columns,
-      const std::vector<ColumnPredicate>& predicates) override;
+      const Split& split, const ScanSpec& spec) override;
 
   Result<std::unique_ptr<DataSink>> CreateDataSink(const TableHandle& table,
                                                    int writer_id) override;

@@ -259,10 +259,8 @@ Status RaptorConnector::LoadTable(const std::string& table_name,
 }
 
 Result<std::unique_ptr<SplitSource>> RaptorConnector::GetSplits(
-    const TableHandle& table, const std::string& layout_id,
-    const std::vector<ColumnPredicate>& predicates, int num_workers) {
-  (void)layout_id;
-  (void)predicates;
+    const ScanSpec& spec) {
+  const TableHandle& table = *spec.table;
   std::shared_ptr<TableInfo> info;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -276,7 +274,7 @@ Result<std::unique_ptr<SplitSource>> RaptorConnector::GetSplits(
   for (int b = 0; b < info->bucket_count; ++b) {
     const std::string& file = info->bucket_files[static_cast<size_t>(b)];
     if (file.empty()) continue;
-    int worker = num_workers > 0 ? b % num_workers : 0;
+    int worker = spec.num_workers > 0 ? b % spec.num_workers : 0;
     splits.push_back(std::make_shared<RaptorSplit>(file, b, worker));
   }
   return std::unique_ptr<SplitSource>(
@@ -284,10 +282,7 @@ Result<std::unique_ptr<SplitSource>> RaptorConnector::GetSplits(
 }
 
 Result<std::unique_ptr<DataSource>> RaptorConnector::CreateDataSource(
-    const Split& split, const TableHandle& table,
-    const std::vector<int>& columns,
-    const std::vector<ColumnPredicate>& predicates) {
-  (void)table;
+    const Split& split, const ScanSpec& spec) {
   const auto* raptor_split = dynamic_cast<const RaptorSplit*>(&split);
   if (raptor_split == nullptr) {
     return Status::InvalidArgument("not a raptor split");
@@ -296,7 +291,8 @@ Result<std::unique_ptr<DataSource>> RaptorConnector::CreateDataSource(
   PRESTO_ASSIGN_OR_RETURN(StorcFooter footer,
                           ReadStorcFooter(storage_, raptor_split->file()));
   auto reader = std::make_unique<StorcReader>(
-      &storage_, raptor_split->file(), std::move(footer), columns, predicates,
+      &storage_, raptor_split->file(), std::move(footer), spec.columns,
+      spec.predicates,
       /*lazy=*/true, nullptr);
   return std::unique_ptr<DataSource>(
       new RaptorDataSource(std::move(reader), &storage_, bytes_before));

@@ -49,14 +49,10 @@ class RaptorConnector final : public Connector {
                    const std::vector<Page>& pages);
 
   Result<std::unique_ptr<SplitSource>> GetSplits(
-      const TableHandle& table, const std::string& layout_id,
-      const std::vector<ColumnPredicate>& predicates,
-      int num_workers) override;
+      const ScanSpec& spec) override;
 
   Result<std::unique_ptr<DataSource>> CreateDataSource(
-      const Split& split, const TableHandle& table,
-      const std::vector<int>& columns,
-      const std::vector<ColumnPredicate>& predicates) override;
+      const Split& split, const ScanSpec& spec) override;
 
  private:
   class Metadata;

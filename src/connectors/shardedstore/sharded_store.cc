@@ -281,10 +281,8 @@ Status ShardedStoreConnector::LoadTable(const std::string& table_name,
 }
 
 Result<std::unique_ptr<SplitSource>> ShardedStoreConnector::GetSplits(
-    const TableHandle& table, const std::string& layout_id,
-    const std::vector<ColumnPredicate>& predicates, int num_workers) {
-  (void)layout_id;
-  (void)num_workers;
+    const ScanSpec& spec) {
+  const TableHandle& table = *spec.table;
   std::shared_ptr<TableInfo> info;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -297,7 +295,7 @@ Result<std::unique_ptr<SplitSource>> ShardedStoreConnector::GetSplits(
   // Shard routing: a point/IN predicate on the shard column limits the
   // splits to the owning shards.
   std::optional<std::set<int>> keep;
-  for (const auto& pred : predicates) {
+  for (const auto& pred : spec.predicates) {
     if (pred.column != info->shard_column) continue;
     if (pred.op == ColumnPredicate::Op::kEq ||
         pred.op == ColumnPredicate::Op::kIn) {
@@ -319,9 +317,10 @@ Result<std::unique_ptr<SplitSource>> ShardedStoreConnector::GetSplits(
 }
 
 Result<std::unique_ptr<DataSource>> ShardedStoreConnector::CreateDataSource(
-    const Split& split, const TableHandle& table,
-    const std::vector<int>& columns,
-    const std::vector<ColumnPredicate>& predicates) {
+    const Split& split, const ScanSpec& spec) {
+  const TableHandle& table = *spec.table;
+  const std::vector<int>& columns = spec.columns;
+  const std::vector<ColumnPredicate>& predicates = spec.predicates;
   const auto* shard_split = dynamic_cast<const ShardSplit*>(&split);
   if (shard_split == nullptr) {
     return Status::InvalidArgument("not a shard split");

@@ -438,37 +438,31 @@ Result<int64_t> TpchConnector::RowCount(const std::string& table) const {
 }
 
 Result<std::unique_ptr<SplitSource>> TpchConnector::GetSplits(
-    const TableHandle& table, const std::string& layout_id,
-    const std::vector<ColumnPredicate>& predicates, int num_workers) {
-  (void)layout_id;
-  (void)predicates;
-  const auto* handle = dynamic_cast<const TpchTableHandle*>(&table);
+    const ScanSpec& spec) {
+  const auto* handle = dynamic_cast<const TpchTableHandle*>(spec.table.get());
   if (handle == nullptr) return Status::InvalidArgument("not a tpch table");
   int64_t rows = handle->def().rows;
   int64_t per_split =
-      std::max<int64_t>(4096, rows / std::max(1, num_workers * 4));
+      std::max<int64_t>(4096, rows / std::max(1, spec.num_workers * 4));
   std::vector<SplitPtr> splits;
   for (int64_t begin = 0; begin < rows; begin += per_split) {
     splits.push_back(std::make_shared<TpchSplit>(
-        table.name(), begin, std::min(rows, begin + per_split)));
+        handle->name(), begin, std::min(rows, begin + per_split)));
   }
   return std::unique_ptr<SplitSource>(
       new VectorSplitSource(std::move(splits)));
 }
 
 Result<std::unique_ptr<DataSource>> TpchConnector::CreateDataSource(
-    const Split& split, const TableHandle& table,
-    const std::vector<int>& columns,
-    const std::vector<ColumnPredicate>& predicates) {
-  (void)predicates;
+    const Split& split, const ScanSpec& spec) {
   const auto* tpch_split = dynamic_cast<const TpchSplit*>(&split);
-  const auto* handle = dynamic_cast<const TpchTableHandle*>(&table);
+  const auto* handle = dynamic_cast<const TpchTableHandle*>(spec.table.get());
   if (tpch_split == nullptr || handle == nullptr) {
     return Status::InvalidArgument("not a tpch split/table");
   }
   const auto& tables = metadata_->tables();
   return std::unique_ptr<DataSource>(new TpchDataSource(
-      handle->def(), tpch_split->begin(), tpch_split->end(), columns,
+      handle->def(), tpch_split->begin(), tpch_split->end(), spec.columns,
       tables.at("customer").rows, tables.at("part").rows,
       tables.at("supplier").rows));
 }

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include "exec/spiller.h"
 #include "fragment/fragmenter.h"
 #include "plan/planner.h"
 #include "sql/parser.h"
@@ -107,6 +108,28 @@ void PrestoEngine::RegisterEngineGauges() {
       "presto_exchange_transferred_bytes_total",
       "Cumulative bytes moved through the shuffle fabric", [this] {
         return static_cast<double>(cluster_->exchange().transferred_bytes());
+      });
+  metrics_->RegisterGauge(
+      "presto_exchange_serialized_bytes",
+      "Cumulative serialized (wire) bytes enqueued into exchange buffers",
+      [this] {
+        return static_cast<double>(
+            cluster_->exchange().serialized_wire_bytes());
+      });
+  metrics_->RegisterGauge(
+      "presto_exchange_compression_ratio",
+      "Raw page bytes divided by serialized wire bytes across all shuffles",
+      [this] {
+        int64_t wire = cluster_->exchange().serialized_wire_bytes();
+        if (wire == 0) return 1.0;
+        return static_cast<double>(
+                   cluster_->exchange().serialized_raw_bytes()) /
+               static_cast<double>(wire);
+      });
+  metrics_->RegisterGauge(
+      "presto_spill_compressed_bytes",
+      "Cumulative compressed bytes written to spill files", [] {
+        return static_cast<double>(Spiller::TotalCompressedBytes());
       });
   metrics_->RegisterGauge(
       "presto_executor_busy_nanos_total",

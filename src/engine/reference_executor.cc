@@ -85,18 +85,19 @@ class ReferenceExecutor {
   Result<Rows> RunScan(const TableScanNode& scan) {
     PRESTO_ASSIGN_OR_RETURN(Connector * connector,
                             catalog_.Get(scan.connector()));
-    PRESTO_ASSIGN_OR_RETURN(
-        auto splits, connector->GetSplits(*scan.table(), scan.layout_id(),
-                                          scan.predicates(), 1));
+    ScanSpec spec;
+    spec.table = scan.table();
+    spec.layout_id = scan.layout_id();
+    spec.columns = scan.columns();
+    spec.predicates = scan.predicates();
+    PRESTO_ASSIGN_OR_RETURN(auto splits, connector->GetSplits(spec));
     Rows rows;
     for (;;) {
       PRESTO_ASSIGN_OR_RETURN(auto batch, splits->NextBatch(64));
       if (batch.empty()) break;
       for (const auto& split : batch) {
-        PRESTO_ASSIGN_OR_RETURN(
-            auto source, connector->CreateDataSource(
-                             *split, *scan.table(), scan.columns(),
-                             scan.predicates()));
+        PRESTO_ASSIGN_OR_RETURN(auto source,
+                                connector->CreateDataSource(*split, spec));
         for (;;) {
           PRESTO_ASSIGN_OR_RETURN(auto page, source->NextPage());
           if (!page.has_value()) break;

@@ -4,19 +4,22 @@
 
 namespace presto {
 
-bool ExchangeBuffer::TryEnqueue(Page page) {
+bool ExchangeBuffer::TryEnqueue(const PageCodec::Frame& frame) {
   std::lock_guard<std::mutex> lock(mu_);
-  int64_t bytes = page.SizeInBytes();
-  // Admit a page only if it fits within capacity. The empty-buffer exception
-  // guarantees progress for a single page larger than the whole buffer —
+  int64_t bytes = frame.wire_bytes();
+  // Admit a frame only if it fits within capacity. The empty-buffer exception
+  // guarantees progress for a single frame larger than the whole buffer —
   // without it an oversized page could never be shipped at all.
   if (buffered_bytes_ > 0 && buffered_bytes_ + bytes > capacity_bytes_) {
     return false;
   }
   buffered_bytes_ += bytes;
   total_bytes_.fetch_add(bytes);
-  total_rows_.fetch_add(page.num_rows());
-  pages_.push_back(std::move(page));
+  total_raw_bytes_.fetch_add(frame.raw_bytes);
+  total_rows_.fetch_add(frame.rows);
+  if (wire_total_ != nullptr) wire_total_->fetch_add(bytes);
+  if (raw_total_ != nullptr) raw_total_->fetch_add(frame.raw_bytes);
+  frames_.push_back(frame);
   return true;
 }
 
@@ -25,17 +28,17 @@ void ExchangeBuffer::NoMorePages() {
   no_more_ = true;
 }
 
-std::optional<Page> ExchangeBuffer::Poll(bool* finished) {
+std::optional<PageCodec::Frame> ExchangeBuffer::Poll(bool* finished) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (pages_.empty()) {
+  if (frames_.empty()) {
     *finished = no_more_;
     return std::nullopt;
   }
-  Page page = std::move(pages_.front());
-  pages_.pop_front();
-  buffered_bytes_ -= page.SizeInBytes();
+  PageCodec::Frame frame = std::move(frames_.front());
+  frames_.pop_front();
+  buffered_bytes_ -= frame.wire_bytes();
   *finished = false;
-  return page;
+  return frame;
 }
 
 double ExchangeBuffer::utilization() const {
@@ -51,7 +54,7 @@ double ExchangeBuffer::utilization() const {
 
 bool ExchangeBuffer::finished() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return no_more_ && pages_.empty();
+  return no_more_ && frames_.empty();
 }
 
 int64_t ExchangeBuffer::buffered_bytes() const {
@@ -67,7 +70,8 @@ void ExchangeManager::CreateOutputBuffers(const std::string& query_id,
   for (int p = 0; p < partitions; ++p) {
     StreamId id{query_id, fragment, task, p};
     if (buffers_.find(id) == buffers_.end()) {
-      buffers_[id] = std::make_shared<ExchangeBuffer>(capacity_bytes);
+      buffers_[id] = std::make_shared<ExchangeBuffer>(
+          capacity_bytes, &serialized_wire_, &serialized_raw_);
     }
   }
 }

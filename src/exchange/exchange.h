@@ -7,11 +7,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
-#include "vector/page.h"
+#include "vector/page_codec.h"
 
 namespace presto {
 
@@ -25,39 +26,54 @@ struct NetworkConfig {
 };
 
 /// A bounded single-producer buffer for one (producer task, consumer
-/// partition) pair. Producers block (backpressure) when the buffer is full;
-/// consumers acknowledge implicitly by dequeuing (the paper's token
-/// protocol: "the server retains data until the client requests the next
-/// segment using a token").
+/// partition) pair, holding pages in serialized form (§IV-E2 "pages
+/// transferred in serialized form"): producers enqueue encoded frames, and
+/// capacity, utilization, and backpressure are all charged in actual wire
+/// bytes rather than in-memory size estimates. Producers block
+/// (backpressure) when the buffer is full; consumers acknowledge implicitly
+/// by dequeuing (the paper's token protocol: "the server retains data until
+/// the client requests the next segment using a token").
 class ExchangeBuffer {
  public:
-  explicit ExchangeBuffer(int64_t capacity_bytes)
-      : capacity_bytes_(capacity_bytes) {}
+  /// `wire_total`/`raw_total`, when set, receive every enqueued frame's
+  /// wire/pre-compression bytes (the manager's cumulative serde counters,
+  /// which must survive buffer teardown at query end).
+  explicit ExchangeBuffer(int64_t capacity_bytes,
+                          std::atomic<int64_t>* wire_total = nullptr,
+                          std::atomic<int64_t>* raw_total = nullptr)
+      : capacity_bytes_(capacity_bytes),
+        wire_total_(wire_total),
+        raw_total_(raw_total) {}
 
   /// Producer side: returns false when the buffer is full (§IV-E2 "full
-  /// output buffers cause split execution to stall").
-  bool TryEnqueue(Page page);
+  /// output buffers cause split execution to stall"). Copies the frame only
+  /// when it is admitted, so a rejected enqueue is cheap to retry.
+  bool TryEnqueue(const PageCodec::Frame& frame);
   void NoMorePages();
 
   /// Consumer side: nullopt when empty; *finished set when the stream ended
   /// and everything was consumed.
-  std::optional<Page> Poll(bool* finished);
+  std::optional<PageCodec::Frame> Poll(bool* finished);
 
   /// Fraction of capacity in use (drives concurrency reduction, §IV-E2).
   double utilization() const;
   bool finished() const;
   int64_t buffered_bytes() const;
   int64_t total_bytes_sent() const { return total_bytes_.load(); }
+  int64_t total_raw_bytes_sent() const { return total_raw_bytes_.load(); }
   int64_t total_rows_sent() const { return total_rows_.load(); }
 
  private:
   mutable std::mutex mu_;
-  std::deque<Page> pages_;
+  std::deque<PageCodec::Frame> frames_;
   int64_t buffered_bytes_ = 0;
   int64_t capacity_bytes_;
   bool no_more_ = false;
   std::atomic<int64_t> total_bytes_{0};
+  std::atomic<int64_t> total_raw_bytes_{0};
   std::atomic<int64_t> total_rows_{0};
+  std::atomic<int64_t>* wire_total_;
+  std::atomic<int64_t>* raw_total_;
 };
 
 /// Identifies one directed stream: query/fragment/task on the producing
@@ -77,12 +93,24 @@ struct StreamId {
 
 /// Process-wide shuffle registry: producers create their output buffers up
 /// front; consumers look them up by stream id. Replaces Presto's HTTP
-/// exchange endpoints.
+/// exchange endpoints. Owns the wire codec every stream shares; sinks
+/// encode with it and sources decode with it.
 class ExchangeManager {
  public:
-  explicit ExchangeManager(NetworkConfig network = {}) : network_(network) {}
+  /// Default wire options: preserve encodings (§V-E), LZ4, checksummed.
+  static PageCodecOptions DefaultCodecOptions() {
+    return PageCodecOptions{PageCompression::kLz4,
+                            /*preserve_encodings=*/true,
+                            /*checksum=*/true};
+  }
+
+  explicit ExchangeManager(NetworkConfig network = {},
+                           PageCodecOptions codec_options =
+                               DefaultCodecOptions())
+      : network_(network), codec_(codec_options) {}
 
   const NetworkConfig& network() const { return network_; }
+  const PageCodec& codec() const { return codec_; }
 
   /// Creates buffers for all partitions of (query, fragment, task).
   void CreateOutputBuffers(const std::string& query_id, int fragment,
@@ -98,7 +126,8 @@ class ExchangeManager {
   /// Drops all buffers of a query (cleanup / kill).
   void RemoveQuery(const std::string& query_id);
 
-  /// Applies the simulated network cost for transferring `bytes`.
+  /// Applies the simulated network cost for transferring `bytes` (actual
+  /// wire bytes of a frame, not an in-memory estimate).
   void SimulateTransfer(int64_t bytes) const;
 
   /// Bytes currently buffered across every stream of every query.
@@ -107,11 +136,20 @@ class ExchangeManager {
   /// Cumulative bytes moved through SimulateTransfer since startup.
   int64_t transferred_bytes() const { return transferred_bytes_.load(); }
 
+  /// Cumulative serialized (wire) bytes enqueued across all streams, and
+  /// the pre-compression payload bytes behind them. raw/wire is the fleet
+  /// compression ratio.
+  int64_t serialized_wire_bytes() const { return serialized_wire_.load(); }
+  int64_t serialized_raw_bytes() const { return serialized_raw_.load(); }
+
  private:
   NetworkConfig network_;
+  PageCodec codec_;
   mutable std::mutex mu_;
   std::map<StreamId, std::shared_ptr<ExchangeBuffer>> buffers_;
   mutable std::atomic<int64_t> transferred_bytes_{0};
+  std::atomic<int64_t> serialized_wire_{0};
+  std::atomic<int64_t> serialized_raw_{0};
 };
 
 }  // namespace presto

@@ -72,7 +72,10 @@ class ResultQueue {
       return false;
     }
     buffered_bytes_ += bytes;
-    pages_.push_back(std::move(page));
+    // Remember the admitted size: SizeInBytes can change while the page is
+    // queued (a lazy column loading, for example), and re-measuring on pop
+    // would leak phantom buffered bytes.
+    pages_.emplace_back(std::move(page), bytes);
     cv_.notify_all();
     return true;
   }
@@ -91,9 +94,9 @@ class ResultQueue {
     std::unique_lock<std::mutex> lock(mu_);
     cv_.wait(lock, [this] { return !pages_.empty() || finished_; });
     if (!pages_.empty()) {
-      Page page = std::move(pages_.front());
+      auto [page, bytes] = std::move(pages_.front());
       pages_.pop_front();
-      buffered_bytes_ -= page.SizeInBytes();
+      buffered_bytes_ -= bytes;
       return std::optional<Page>(std::move(page));
     }
     if (!status_.ok()) return status_;
@@ -108,7 +111,7 @@ class ResultQueue {
  private:
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Page> pages_;
+  std::deque<std::pair<Page, int64_t>> pages_;  // page + admitted bytes
   int64_t buffered_bytes_ = 0;
   int64_t capacity_bytes_;
   bool finished_ = false;
@@ -130,7 +133,7 @@ class LocalExchangeQueue {
       return false;
     }
     buffered_bytes_ += bytes;
-    pages_.push_back(std::move(page));
+    pages_.emplace_back(std::move(page), bytes);  // see ResultQueue::TryPush
     return true;
   }
 
@@ -145,16 +148,16 @@ class LocalExchangeQueue {
       *done = producers_ == 0;
       return std::nullopt;
     }
-    Page page = std::move(pages_.front());
+    auto [page, bytes] = std::move(pages_.front());
     pages_.pop_front();
-    buffered_bytes_ -= page.SizeInBytes();
+    buffered_bytes_ -= bytes;
     *done = false;
     return page;
   }
 
  private:
   mutable std::mutex mu_;
-  std::deque<Page> pages_;
+  std::deque<std::pair<Page, int64_t>> pages_;  // page + admitted bytes
   int64_t buffered_bytes_ = 0;
   int producers_;
   int64_t capacity_bytes_;
@@ -228,7 +231,12 @@ class OperatorContext {
     } else if (delta < 0) {
       runtime_.worker_memory->Release(runtime_.query_memory, -delta, user);
     }
-    current_bytes_ = bytes;
+    // Reserve may revoke this very operator (self-revocation on the same
+    // thread through the recursive revoke lock), which re-enters
+    // SetMemoryUsage(0) and resets current_bytes_. Apply the delta to the
+    // post-reservation value instead of overwriting with `bytes`, so the
+    // pool balance always equals current_bytes_.
+    current_bytes_ += delta;
     if (bytes > peak_memory_bytes.load(std::memory_order_relaxed)) {
       peak_memory_bytes.store(bytes, std::memory_order_relaxed);
     }
@@ -263,6 +271,7 @@ class OperatorContext {
     stats.blocked_nanos = blocked_nanos.load();
     stats.peak_memory_bytes = peak_memory_bytes.load();
     stats.spilled_bytes = spilled_bytes.load();
+    stats.serde_nanos = serde_nanos.load();
     return stats;
   }
 
@@ -279,6 +288,9 @@ class OperatorContext {
   std::atomic<int64_t> blocked_nanos{0};
   std::atomic<int64_t> peak_memory_bytes{0};
   std::atomic<int64_t> spilled_bytes{0};
+  /// CPU time spent serializing/deserializing wire frames (exchange sinks
+  /// and sources) or spill files.
+  std::atomic<int64_t> serde_nanos{0};
 
  private:
   TaskRuntime runtime_;

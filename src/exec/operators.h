@@ -373,8 +373,10 @@ class WindowOperator final : public Operator {
 // Sinks
 // ---------------------------------------------------------------------------
 
-/// Producer end of a shuffle: partitions pages and enqueues them into the
-/// per-consumer output buffers with backpressure (§IV-E2).
+/// Producer end of a shuffle: partitions pages, serializes each partition's
+/// slice to a wire frame (encoding-preserving, compressed, checksummed), and
+/// enqueues the frames into the per-consumer output buffers with
+/// backpressure charged in wire bytes (§IV-E2).
 class ExchangeSinkOperator final : public Operator {
  public:
   /// `live_sinks` counts sink instances across parallel drivers; the last
@@ -397,7 +399,7 @@ class ExchangeSinkOperator final : public Operator {
   std::vector<int> partition_keys_;
   int partitions_;
   std::vector<std::shared_ptr<ExchangeBuffer>> buffers_;
-  std::vector<std::pair<int, Page>> pending_;
+  std::vector<std::pair<int, PageCodec::Frame>> pending_;
   std::shared_ptr<std::atomic<int>> live_sinks_;
   int round_robin_next_ = 0;
   bool finished_ = false;

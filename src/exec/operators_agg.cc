@@ -117,12 +117,14 @@ int64_t HashAggregationOperator::Revoke() {
   int64_t bytes = groups_.MemoryBytes();
   for (const auto& acc : accumulators_) bytes += acc->MemoryBytes();
   int64_t spilled_before = spiller_.spilled_bytes();
+  int64_t serde_before = spiller_.serde_nanos();
   auto r = spiller_.SpillRun({run});
   if (!r.ok()) {
     error_ = r.status();
     return 0;
   }
   ctx_->spilled_bytes.fetch_add(spiller_.spilled_bytes() - spilled_before);
+  ctx_->serde_nanos.fetch_add(spiller_.serde_nanos() - serde_before);
   groups_.Clear();
   for (size_t a = 0; a < accumulators_.size(); ++a) {
     accumulators_[a] = CreateAccumulator(node_->aggregates()[a].signature);
@@ -136,7 +138,9 @@ Status HashAggregationOperator::MergeSpilledRuns() {
   // merge time is bounded by the number of distinct groups.)
   size_t num_keys = node_->group_keys().size();
   for (int run = 0; run < spiller_.num_runs(); ++run) {
+    int64_t serde_before = spiller_.serde_nanos();
     PRESTO_ASSIGN_OR_RETURN(std::vector<Page> pages, spiller_.ReadRun(run));
+    ctx_->serde_nanos.fetch_add(spiller_.serde_nanos() - serde_before);
     for (const Page& page : pages) {
       std::vector<BlockPtr> keys;
       for (size_t k = 0; k < num_keys; ++k) keys.push_back(page.block(k));

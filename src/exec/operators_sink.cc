@@ -1,10 +1,29 @@
 #include "exec/operators.h"
 
+#include <chrono>
+
 #include "common/fault_injection.h"
 #include "common/hash.h"
 #include "vector/decoded_block.h"
 
 namespace presto {
+
+namespace {
+
+/// Serializes one partition's slice and charges the wall time to the
+/// operator's serde counter (shown as "serde" in EXPLAIN ANALYZE).
+PageCodec::Frame EncodeTimed(const PageCodec& codec, const Page& page,
+                             OperatorContext* ctx) {
+  auto start = std::chrono::steady_clock::now();
+  PageCodec::Frame frame = codec.Encode(page);
+  ctx->serde_nanos.fetch_add(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return frame;
+}
+
+}  // namespace
 
 // ---- ExchangeSinkOperator ----
 
@@ -38,15 +57,20 @@ std::shared_ptr<ExchangeBuffer> ExchangeSinkOperator::Buffer(int partition) {
 Status ExchangeSinkOperator::AddInput(Page page) {
   PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
   ctx_->rows_in.fetch_add(page.num_rows());
+  const PageCodec& codec = ctx_->runtime().exchange->codec();
   switch (kind_) {
     case ExchangeKind::kGather:
-      pending_.emplace_back(0, std::move(page));
+      pending_.emplace_back(0, EncodeTimed(codec, page, ctx_.get()));
       break;
-    case ExchangeKind::kBroadcast:
+    case ExchangeKind::kBroadcast: {
+      // One serialization, N cheap frame copies — the whole point of
+      // shipping serialized bytes instead of Page objects.
+      PageCodec::Frame frame = EncodeTimed(codec, page, ctx_.get());
       for (int p = 0; p < partitions_; ++p) {
-        pending_.emplace_back(p, page);  // shares immutable blocks
+        pending_.emplace_back(p, frame);
       }
       break;
+    }
     case ExchangeKind::kRoundRobin: {
       int active = partitions_;
       if (ctx_->runtime().active_output_partitions != nullptr) {
@@ -55,7 +79,8 @@ Status ExchangeSinkOperator::AddInput(Page page) {
                         ctx_->runtime().active_output_partitions->load()));
       }
       round_robin_next_ = (round_robin_next_ + 1) % active;
-      pending_.emplace_back(round_robin_next_, std::move(page));
+      pending_.emplace_back(round_robin_next_,
+                            EncodeTimed(codec, page, ctx_.get()));
       break;
     }
     case ExchangeKind::kRepartition: {
@@ -80,9 +105,9 @@ Status ExchangeSinkOperator::AddInput(Page page) {
       for (int p = 0; p < partitions_; ++p) {
         auto& pos = positions[static_cast<size_t>(p)];
         if (pos.empty()) continue;
-        pending_.emplace_back(
-            p, page.CopyPositions(pos.data(),
-                                  static_cast<int64_t>(pos.size())));
+        Page slice = page.CopyPositions(pos.data(),
+                                        static_cast<int64_t>(pos.size()));
+        pending_.emplace_back(p, EncodeTimed(codec, slice, ctx_.get()));
       }
       break;
     }
@@ -94,15 +119,14 @@ Result<std::optional<Page>> ExchangeSinkOperator::GetOutput() {
   PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
   PRESTO_FAULT_POINT("exchange.enqueue");
   while (!pending_.empty()) {
-    auto& [partition, page] = pending_.front();
-    // NOTE: the page must not be moved into TryEnqueue — on a full buffer
-    // (backpressure) we retry the same page later, so pass a copy (cheap:
-    // pages share immutable blocks).
-    if (!Buffer(partition)->TryEnqueue(page)) {
+    auto& [partition, frame] = pending_.front();
+    // TryEnqueue copies the frame only on admission, so on a full buffer
+    // (backpressure) retrying the same frame later is free.
+    if (!Buffer(partition)->TryEnqueue(frame)) {
       // Backpressure: the consumer has not drained its buffer (§IV-E2).
       return std::optional<Page>();
     }
-    ctx_->rows_out.fetch_add(page.num_rows());
+    ctx_->rows_out.fetch_add(frame.rows);
     pending_.erase(pending_.begin());
   }
   if (no_more_input_ && pending_.empty() && !finished_) {

@@ -60,12 +60,14 @@ int64_t OrderByOperator::Revoke() {
                                    static_cast<int64_t>(order.size()));
   int64_t freed = index_.bytes();
   int64_t spilled_before = spiller_.spilled_bytes();
+  int64_t serde_before = spiller_.serde_nanos();
   auto r = spiller_.SpillRun({sorted});
   if (!r.ok()) {
     error_ = r.status();
     return 0;
   }
   ctx_->spilled_bytes.fetch_add(spiller_.spilled_bytes() - spilled_before);
+  ctx_->serde_nanos.fetch_add(spiller_.serde_nanos() - serde_before);
   index_.Clear();
   index_ = PagesIndex(types_);
   (void)ctx_->SetMemoryUsage(0);
@@ -89,7 +91,9 @@ Result<std::optional<Page>> OrderByOperator::GetOutput() {
                      });
     // Load spilled runs for the k-way merge.
     for (int run = 0; run < spiller_.num_runs(); ++run) {
+      int64_t serde_before = spiller_.serde_nanos();
       PRESTO_ASSIGN_OR_RETURN(std::vector<Page> pages, spiller_.ReadRun(run));
+      ctx_->serde_nanos.fetch_add(spiller_.serde_nanos() - serde_before);
       runs_.push_back(RunCursor{std::move(pages), 0, 0});
     }
     sorted_ready_ = true;

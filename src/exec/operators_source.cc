@@ -1,5 +1,7 @@
 #include "exec/operators.h"
 
+#include <chrono>
+
 #include "common/fault_injection.h"
 #include "vector/block_builder.h"
 
@@ -57,10 +59,13 @@ Result<std::optional<Page>> TableScanOperator::GetOutput() {
       }
       blocked_ = false;
       PRESTO_FAULT_POINT("scan.create_source");
-      PRESTO_ASSIGN_OR_RETURN(
-          current_, connector_->CreateDataSource(**split, *node_->table(),
-                                                 node_->columns(),
-                                                 node_->predicates()));
+      ScanSpec spec;
+      spec.table = node_->table();
+      spec.layout_id = node_->layout_id();
+      spec.columns = node_->columns();
+      spec.predicates = node_->predicates();
+      PRESTO_ASSIGN_OR_RETURN(current_,
+                              connector_->CreateDataSource(**split, spec));
       ++splits_processed_;
     }
     PRESTO_ASSIGN_OR_RETURN(std::optional<Page> page, current_->NextPage());
@@ -107,16 +112,25 @@ Result<std::optional<Page>> RemoteSourceOperator::GetOutput() {
       if (buffer == nullptr) continue;  // producer not started yet
     }
     bool finished = false;
-    auto page = buffer->Poll(&finished);
+    auto frame = buffer->Poll(&finished);
     if (finished) {
       done_[i] = true;
       continue;
     }
-    if (page.has_value()) {
-      exchange->SimulateTransfer(page->SizeInBytes());
-      ctx_->rows_out.fetch_add(page->num_rows());
+    if (frame.has_value()) {
+      // The network charge is the frame's actual wire size — compressed
+      // serialized bytes, not the in-memory Page estimate.
+      exchange->SimulateTransfer(frame->wire_bytes());
+      PRESTO_FAULT_POINT("exchange.frame_decode");
+      auto start = std::chrono::steady_clock::now();
+      PRESTO_ASSIGN_OR_RETURN(Page page, exchange->codec().Decode(*frame));
+      ctx_->serde_nanos.fetch_add(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+      ctx_->rows_out.fetch_add(page.num_rows());
       blocked_ = false;
-      return std::optional<Page>(std::move(*page));
+      return std::optional<Page>(std::move(page));
     }
   }
   // Re-check completion over all producers.

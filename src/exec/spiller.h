@@ -1,18 +1,23 @@
 #ifndef PRESTOCPP_EXEC_SPILLER_H_
 #define PRESTOCPP_EXEC_SPILLER_H_
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "vector/page.h"
+#include "vector/page_codec.h"
 
 namespace presto {
 
 /// Writes runs of pages to local disk during memory revocation (§IV-F2) and
-/// reads them back during finalization. One Spiller owns a set of run files
-/// deleted on destruction — including files left behind by a SpillRun that
-/// failed partway, so a failed or cancelled query never leaks spill files.
+/// reads them back during finalization. Pages go through the same
+/// PageCodec wire format as the shuffle — encoding-preserving, compressed,
+/// checksummed — so spill files are both smaller and corruption-detecting.
+/// One Spiller owns a set of run files deleted on destruction — including
+/// files left behind by a SpillRun that failed partway, so a failed or
+/// cancelled query never leaks spill files.
 class Spiller {
  public:
   Spiller();
@@ -25,7 +30,12 @@ class Spiller {
   Result<int> SpillRun(const std::vector<Page>& pages);
 
   int num_runs() const { return static_cast<int>(runs_.size()); }
+  /// Bytes written to disk (post-compression frame bytes).
   int64_t spilled_bytes() const { return spilled_bytes_; }
+  /// Pre-compression payload bytes behind spilled_bytes().
+  int64_t spilled_raw_bytes() const { return spilled_raw_bytes_; }
+  /// CPU nanos spent encoding and decoding spill frames.
+  int64_t serde_nanos() const { return serde_nanos_.load(); }
 
   /// Reads back all pages of run `index`.
   Result<std::vector<Page>> ReadRun(int index) const;
@@ -34,16 +44,25 @@ class Spiller {
   /// ("/tmp/prestocpp-spill-<pid>-"); tests scan for leaks with it.
   static std::string PathPrefix();
 
+  /// Process-wide cumulative spill volume (all Spiller instances), for the
+  /// engine gauges: compressed bytes on disk and the raw bytes behind them.
+  static int64_t TotalCompressedBytes();
+  static int64_t TotalRawBytes();
+
  private:
   /// Process-unique instance id: two Spillers alive at once (or created in
   /// sequence) can never produce colliding run-file names.
   const int64_t instance_id_;
+  PageCodec codec_;
   int64_t next_run_file_ = 0;
   /// Every file ever created, for destructor cleanup (superset of runs_).
   std::vector<std::string> created_files_;
   /// Successfully written runs, indexable by ReadRun.
   std::vector<std::string> runs_;
   int64_t spilled_bytes_ = 0;
+  int64_t spilled_raw_bytes_ = 0;
+  /// Mutable: ReadRun is logically const but still costs decode CPU.
+  mutable std::atomic<int64_t> serde_nanos_{0};
 };
 
 }  // namespace presto

@@ -177,9 +177,13 @@ void QueryExecution::SplitSchedulingLoop() {
         Cancel(connector.status());
         return;
       }
-      auto source = (*connector)->GetSplits(*scan->table(), scan->layout_id(),
-                                            scan->predicates(),
-                                            cluster_->num_workers());
+      ScanSpec spec;
+      spec.table = scan->table();
+      spec.layout_id = scan->layout_id();
+      spec.columns = scan->columns();
+      spec.predicates = scan->predicates();
+      spec.num_workers = cluster_->num_workers();
+      auto source = (*connector)->GetSplits(spec);
       if (!source.ok()) {
         Cancel(source.status());
         return;

@@ -26,6 +26,7 @@ void OperatorStats::Merge(const OperatorStats& other) {
   blocked_nanos += other.blocked_nanos;
   peak_memory_bytes = std::max(peak_memory_bytes, other.peak_memory_bytes);
   spilled_bytes += other.spilled_bytes;
+  serde_nanos += other.serde_nanos;
 }
 
 std::string OperatorStats::ToString() const {
@@ -37,6 +38,7 @@ std::string OperatorStats::ToString() const {
   if (blocked_nanos > 0) out += ", blocked " + FormatNanos(blocked_nanos);
   if (peak_memory_bytes > 0) out += ", peak " + FormatBytes(peak_memory_bytes);
   if (spilled_bytes > 0) out += ", spilled " + FormatBytes(spilled_bytes);
+  if (serde_nanos > 0) out += ", serde " + FormatNanos(serde_nanos);
   return out;
 }
 

@@ -38,6 +38,10 @@ struct OperatorStats {
 
   int64_t peak_memory_bytes = 0;
   int64_t spilled_bytes = 0;
+  /// CPU nanos spent serializing/deserializing wire frames or spill files
+  /// (a subset of cpu_nanos; surfaced separately so serde cost is visible
+  /// in EXPLAIN ANALYZE).
+  int64_t serde_nanos = 0;
 
   int64_t cpu_nanos() const { return add_input_nanos + get_output_nanos; }
 

@@ -59,6 +59,18 @@ class Block {
   /// Approximate retained memory, for memory accounting.
   virtual int64_t SizeInBytes() const = 0;
 
+  /// SizeInBytes with dedup: bytes not already accounted to a block in
+  /// *seen. A dictionary shared by several columns of one page (or several
+  /// pages of one buffer) is charged once — counting it per wrapper made
+  /// exchange backpressure fire at the wrong occupancy.
+  int64_t RetainedBytes(std::vector<const Block*>* seen) const {
+    for (const Block* b : *seen) {
+      if (b == this) return 0;
+    }
+    seen->push_back(this);
+    return UniqueBytes(seen);
+  }
+
   /// New block containing rows positions[0..n) in order.
   virtual BlockPtr CopyPositions(const int32_t* positions, int64_t n) const = 0;
 
@@ -73,6 +85,13 @@ class Block {
   bool EqualsAt(int64_t i, const Block& other, int64_t j) const;
 
  protected:
+  /// Bytes owned by this block alone; wrappers recurse into children via
+  /// RetainedBytes(seen) so shared children stay deduplicated.
+  virtual int64_t UniqueBytes(std::vector<const Block*>* seen) const {
+    (void)seen;
+    return SizeInBytes();
+  }
+
   TypeKind type_;
   int64_t size_;
 };

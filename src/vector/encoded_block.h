@@ -35,6 +35,11 @@ class RleBlock final : public Block {
   }
   BlockPtr Flatten() const override;
 
+ protected:
+  int64_t UniqueBytes(std::vector<const Block*>* seen) const override {
+    return value_->RetainedBytes(seen) + 16;
+  }
+
  private:
   BlockPtr value_;
 };
@@ -77,6 +82,12 @@ class DictionaryBlock final : public Block {
     return std::make_shared<DictionaryBlock>(dictionary_, std::move(idx));
   }
   BlockPtr Flatten() const override;
+
+ protected:
+  int64_t UniqueBytes(std::vector<const Block*>* seen) const override {
+    return dictionary_->RetainedBytes(seen) +
+           static_cast<int64_t>(indices_.size() * sizeof(int32_t));
+  }
 
  private:
   BlockPtr dictionary_;
@@ -121,13 +132,21 @@ class LazyBlock final : public Block {
   bool MayHaveNulls() const override { return Load()->MayHaveNulls(); }
   Value GetValue(int64_t i) const override { return Load()->GetValue(i); }
   uint64_t HashAt(int64_t i) const override { return Load()->HashAt(i); }
+  /// An unloaded lazy block retains no data yet — charging a placeholder
+  /// (the old 16) inflated buffer occupancy for columns that may never be
+  /// materialized at all.
   int64_t SizeInBytes() const override {
-    return loaded_ ? Load()->SizeInBytes() : 16;
+    return loaded_ ? Load()->SizeInBytes() : 0;
   }
   BlockPtr CopyPositions(const int32_t* positions, int64_t n) const override {
     return Load()->CopyPositions(positions, n);
   }
   BlockPtr Flatten() const override { return Load()->Flatten(); }
+
+ protected:
+  int64_t UniqueBytes(std::vector<const Block*>* seen) const override {
+    return loaded_ ? Load()->RetainedBytes(seen) : 0;
+  }
 
  private:
   mutable std::mutex mu_;

@@ -28,10 +28,14 @@ class Page {
   const BlockPtr& block(size_t i) const { return blocks_[i]; }
   const std::vector<BlockPtr>& blocks() const { return blocks_; }
 
-  /// Approximate memory footprint for accounting and buffer sizing.
+  /// Approximate memory footprint for accounting and buffer sizing. Blocks
+  /// shared within the page (e.g. one dictionary wrapped by several
+  /// columns) are counted once.
   int64_t SizeInBytes() const {
+    std::vector<const Block*> seen;
+    seen.reserve(blocks_.size());
     int64_t total = 0;
-    for (const auto& b : blocks_) total += b->SizeInBytes();
+    for (const auto& b : blocks_) total += b->RetainedBytes(&seen);
     return total;
   }
 

@@ -1,0 +1,436 @@
+#include "vector/page_codec.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "common/compression.h"
+#include "common/hash.h"
+#include "vector/encoded_block.h"
+
+namespace presto {
+
+namespace {
+
+constexpr uint8_t kFlagChecksum = 0x1;
+constexpr size_t kHeaderSize = 4 + 1 + 1 + 1 + 1 + 4 + 4 + 8;
+// Parsing limits that keep a corrupt header from driving giant allocations
+// before any payload bounds check can fire.
+constexpr int64_t kMaxRows = int64_t{1} << 40;
+constexpr uint32_t kMaxColumns = 1 << 20;
+
+template <typename T>
+void WritePod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::string_view in, size_t* off, T* v) {
+  if (in.size() - *off < sizeof(T)) return false;
+  std::memcpy(v, in.data() + *off, sizeof(T));
+  *off += sizeof(T);
+  return true;
+}
+
+bool ReadRaw(std::string_view in, size_t* off, void* data, size_t len) {
+  if (in.size() - *off < len) return false;
+  std::memcpy(data, in.data() + *off, len);
+  *off += len;
+  return true;
+}
+
+// ---- payload encoding ----
+
+// Dictionaries already written into this frame, keyed by block identity.
+using DictionaryMap = std::unordered_map<const Block*, uint32_t>;
+
+template <typename T>
+void WriteFlat(std::string* out, const FlatBlock<T>& b) {
+  auto n = static_cast<size_t>(b.size());
+  WritePod<uint8_t>(out, static_cast<uint8_t>(b.type()));
+  WritePod<int64_t>(out, b.size());
+  uint8_t has_nulls = b.raw_nulls() != nullptr ? 1 : 0;
+  WritePod<uint8_t>(out, has_nulls);
+  out->append(reinterpret_cast<const char*>(b.raw_values()), n * sizeof(T));
+  if (has_nulls) {
+    out->append(reinterpret_cast<const char*>(b.raw_nulls()), n);
+  }
+}
+
+void WriteVarchar(std::string* out, const VarcharBlock& vb) {
+  auto n = static_cast<size_t>(vb.size());
+  WritePod<int64_t>(out, vb.size());
+  uint8_t has_nulls = vb.raw_nulls() != nullptr ? 1 : 0;
+  WritePod<uint8_t>(out, has_nulls);
+  // Canonical offsets/bytes rebuilt from string views (a VarcharBlock may
+  // alias a larger byte buffer).
+  std::vector<int32_t> offsets;
+  offsets.reserve(n + 1);
+  offsets.push_back(0);
+  std::string bytes;
+  for (size_t i = 0; i < n; ++i) {
+    if (!vb.IsNull(static_cast<int64_t>(i))) {
+      auto sv = vb.StringAt(static_cast<int64_t>(i));
+      bytes.append(sv.data(), sv.size());
+    }
+    offsets.push_back(static_cast<int32_t>(bytes.size()));
+  }
+  out->append(reinterpret_cast<const char*>(offsets.data()),
+              offsets.size() * sizeof(int32_t));
+  WritePod<uint64_t>(out, bytes.size());
+  out->append(bytes);
+  if (has_nulls) {
+    out->append(reinterpret_cast<const char*>(vb.raw_nulls()), n);
+  }
+}
+
+void WriteBlock(std::string* out, const BlockPtr& block, bool preserve,
+                DictionaryMap* dictionaries) {
+  const Block* b = block.get();
+  switch (b->encoding()) {
+    case BlockEncoding::kLazy: {
+      // Exactly-once materialization at the serialization boundary: Load()
+      // is memoized, and the lazy wrapper itself never reaches the wire.
+      const auto& lazy = static_cast<const LazyBlock&>(*b);
+      WriteBlock(out, lazy.Load(), preserve, dictionaries);
+      return;
+    }
+    case BlockEncoding::kRle: {
+      if (!preserve) break;
+      const auto& rle = static_cast<const RleBlock&>(*b);
+      WritePod<uint8_t>(out, static_cast<uint8_t>(BlockEncoding::kRle));
+      WritePod<int64_t>(out, rle.size());
+      WriteBlock(out, rle.value_block(), preserve, dictionaries);
+      return;
+    }
+    case BlockEncoding::kDictionary: {
+      if (!preserve) break;
+      const auto& dict = static_cast<const DictionaryBlock&>(*b);
+      WritePod<uint8_t>(out,
+                        static_cast<uint8_t>(BlockEncoding::kDictionary));
+      WritePod<int64_t>(out, dict.size());
+      auto it = dictionaries->find(dict.dictionary().get());
+      if (it != dictionaries->end()) {
+        WritePod<uint8_t>(out, 1);  // back-reference
+        WritePod<uint32_t>(out, it->second);
+      } else {
+        WritePod<uint8_t>(out, 0);  // inline dictionary
+        dictionaries->emplace(dict.dictionary().get(),
+                              static_cast<uint32_t>(dictionaries->size()));
+        WriteBlock(out, dict.dictionary(), preserve, dictionaries);
+      }
+      out->append(reinterpret_cast<const char*>(dict.indices().data()),
+                  dict.indices().size() * sizeof(int32_t));
+      return;
+    }
+    case BlockEncoding::kFlat:
+    case BlockEncoding::kVarchar:
+      break;
+  }
+  BlockPtr flat =
+      b->encoding() == BlockEncoding::kFlat ||
+              b->encoding() == BlockEncoding::kVarchar
+          ? block
+          : b->Flatten();
+  if (flat->encoding() == BlockEncoding::kVarchar) {
+    WritePod<uint8_t>(out, static_cast<uint8_t>(BlockEncoding::kVarchar));
+    WriteVarchar(out, static_cast<const VarcharBlock&>(*flat));
+    return;
+  }
+  WritePod<uint8_t>(out, static_cast<uint8_t>(BlockEncoding::kFlat));
+  switch (flat->type()) {
+    case TypeKind::kBoolean:
+      WriteFlat(out, static_cast<const ByteBlock&>(*flat));
+      return;
+    case TypeKind::kBigint:
+    case TypeKind::kDate:
+      WriteFlat(out, static_cast<const LongBlock&>(*flat));
+      return;
+    case TypeKind::kDouble:
+      WriteFlat(out, static_cast<const DoubleBlock&>(*flat));
+      return;
+    default:
+      PRESTO_UNREACHABLE();
+  }
+}
+
+// ---- payload decoding ----
+
+template <typename T>
+Result<BlockPtr> ReadFlatValues(std::string_view in, size_t* off,
+                                TypeKind type, int64_t rows) {
+  uint8_t has_nulls = 0;
+  if (!ReadPod(in, off, &has_nulls)) {
+    return Status::IOError("page frame: truncated flat header");
+  }
+  auto n = static_cast<size_t>(rows);
+  std::vector<T> values(n);
+  if (!ReadRaw(in, off, values.data(), n * sizeof(T))) {
+    return Status::IOError("page frame: truncated flat values");
+  }
+  std::vector<uint8_t> nulls;
+  if (has_nulls != 0) {
+    nulls.resize(n);
+    if (!ReadRaw(in, off, nulls.data(), n)) {
+      return Status::IOError("page frame: truncated flat nulls");
+    }
+  }
+  return BlockPtr(std::make_shared<FlatBlock<T>>(type, std::move(values),
+                                                 std::move(nulls)));
+}
+
+Result<BlockPtr> ReadBlock(std::string_view in, size_t* off,
+                           std::vector<BlockPtr>* dictionaries) {
+  uint8_t encoding_byte = 0;
+  if (!ReadPod(in, off, &encoding_byte)) {
+    return Status::IOError("page frame: truncated block encoding");
+  }
+  switch (static_cast<BlockEncoding>(encoding_byte)) {
+    case BlockEncoding::kFlat: {
+      uint8_t type_byte = 0;
+      int64_t rows = 0;
+      if (!ReadPod(in, off, &type_byte) || !ReadPod(in, off, &rows)) {
+        return Status::IOError("page frame: truncated flat block");
+      }
+      if (rows < 0 || rows > kMaxRows) {
+        return Status::IOError("page frame: bad flat row count");
+      }
+      auto type = static_cast<TypeKind>(type_byte);
+      switch (type) {
+        case TypeKind::kBoolean:
+          return ReadFlatValues<uint8_t>(in, off, type, rows);
+        case TypeKind::kBigint:
+        case TypeKind::kDate:
+          return ReadFlatValues<int64_t>(in, off, type, rows);
+        case TypeKind::kDouble:
+          return ReadFlatValues<double>(in, off, type, rows);
+        default:
+          return Status::IOError("page frame: unknown flat type");
+      }
+    }
+    case BlockEncoding::kVarchar: {
+      int64_t rows = 0;
+      uint8_t has_nulls = 0;
+      if (!ReadPod(in, off, &rows) || !ReadPod(in, off, &has_nulls)) {
+        return Status::IOError("page frame: truncated varchar header");
+      }
+      if (rows < 0 || rows > kMaxRows) {
+        return Status::IOError("page frame: bad varchar row count");
+      }
+      auto n = static_cast<size_t>(rows);
+      std::vector<int32_t> offsets(n + 1);
+      if (!ReadRaw(in, off, offsets.data(),
+                   offsets.size() * sizeof(int32_t))) {
+        return Status::IOError("page frame: truncated varchar offsets");
+      }
+      uint64_t nbytes = 0;
+      if (!ReadPod(in, off, &nbytes)) {
+        return Status::IOError("page frame: truncated varchar length");
+      }
+      if (nbytes > in.size() - *off) {
+        return Status::IOError("page frame: truncated varchar bytes");
+      }
+      // Offsets must be monotone within [0, nbytes] or StringAt would read
+      // out of bounds later — validate here so a corrupt frame with a
+      // disabled checksum still fails cleanly.
+      if (offsets.front() != 0 ||
+          offsets.back() != static_cast<int32_t>(nbytes)) {
+        return Status::IOError("page frame: bad varchar offsets");
+      }
+      for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+        if (offsets[i] > offsets[i + 1]) {
+          return Status::IOError("page frame: bad varchar offsets");
+        }
+      }
+      std::string bytes(in.data() + *off, nbytes);
+      *off += nbytes;
+      std::vector<uint8_t> nulls;
+      if (has_nulls != 0) {
+        nulls.resize(n);
+        if (!ReadRaw(in, off, nulls.data(), n)) {
+          return Status::IOError("page frame: truncated varchar nulls");
+        }
+      }
+      return BlockPtr(std::make_shared<VarcharBlock>(
+          std::move(offsets), std::move(bytes), std::move(nulls)));
+    }
+    case BlockEncoding::kRle: {
+      int64_t rows = 0;
+      if (!ReadPod(in, off, &rows)) {
+        return Status::IOError("page frame: truncated rle header");
+      }
+      if (rows < 0 || rows > kMaxRows) {
+        return Status::IOError("page frame: bad rle row count");
+      }
+      PRESTO_ASSIGN_OR_RETURN(BlockPtr value,
+                              ReadBlock(in, off, dictionaries));
+      if (value->size() != 1) {
+        return Status::IOError("page frame: rle value is not one row");
+      }
+      return BlockPtr(std::make_shared<RleBlock>(std::move(value), rows));
+    }
+    case BlockEncoding::kDictionary: {
+      int64_t rows = 0;
+      uint8_t marker = 0;
+      if (!ReadPod(in, off, &rows) || !ReadPod(in, off, &marker)) {
+        return Status::IOError("page frame: truncated dictionary header");
+      }
+      if (rows < 0 || rows > kMaxRows) {
+        return Status::IOError("page frame: bad dictionary row count");
+      }
+      BlockPtr dictionary;
+      if (marker == 0) {
+        PRESTO_ASSIGN_OR_RETURN(dictionary, ReadBlock(in, off, dictionaries));
+        dictionaries->push_back(dictionary);
+      } else if (marker == 1) {
+        uint32_t ref = 0;
+        if (!ReadPod(in, off, &ref)) {
+          return Status::IOError("page frame: truncated dictionary ref");
+        }
+        if (ref >= dictionaries->size()) {
+          return Status::IOError("page frame: dictionary ref out of range");
+        }
+        dictionary = (*dictionaries)[ref];
+      } else {
+        return Status::IOError("page frame: bad dictionary marker");
+      }
+      auto n = static_cast<size_t>(rows);
+      std::vector<int32_t> indices(n);
+      if (!ReadRaw(in, off, indices.data(), n * sizeof(int32_t))) {
+        return Status::IOError("page frame: truncated dictionary indices");
+      }
+      int64_t dict_size = dictionary->size();
+      for (int32_t index : indices) {
+        if (index < 0 || index >= dict_size) {
+          return Status::IOError("page frame: dictionary index out of range");
+        }
+      }
+      return BlockPtr(std::make_shared<DictionaryBlock>(std::move(dictionary),
+                                                        std::move(indices)));
+    }
+    case BlockEncoding::kLazy:
+      break;  // never serialized
+  }
+  return Status::IOError("page frame: unknown block encoding");
+}
+
+}  // namespace
+
+PageCodec::Frame PageCodec::Encode(const Page& page) const {
+  std::string payload;
+  WritePod<uint32_t>(&payload, static_cast<uint32_t>(page.num_columns()));
+  WritePod<int64_t>(&payload, page.num_rows());
+  DictionaryMap dictionaries;
+  for (size_t c = 0; c < page.num_columns(); ++c) {
+    WriteBlock(&payload, page.block(c), options_.preserve_encodings,
+               &dictionaries);
+  }
+
+  Frame frame;
+  frame.rows = page.num_rows();
+  frame.raw_bytes = static_cast<int64_t>(payload.size());
+
+  auto stored_compression = PageCompression::kNone;
+  if (options_.compression == PageCompression::kLz4) {
+    std::string compressed = Lz4Compress(payload);
+    // Keep the compressed payload only when it wins; incompressible frames
+    // ship raw and decode without the lz4 pass.
+    if (compressed.size() < payload.size()) {
+      payload = std::move(compressed);
+      stored_compression = PageCompression::kLz4;
+    }
+  }
+
+  std::string& out = frame.bytes;
+  out.reserve(kHeaderSize + payload.size());
+  WritePod<uint32_t>(&out, kMagic);
+  WritePod<uint8_t>(&out, kVersion);
+  WritePod<uint8_t>(&out, static_cast<uint8_t>(stored_compression));
+  WritePod<uint8_t>(&out, options_.checksum ? kFlagChecksum : 0);
+  WritePod<uint8_t>(&out, 0);  // reserved
+  WritePod<uint32_t>(&out, static_cast<uint32_t>(frame.raw_bytes));
+  WritePod<uint32_t>(&out, static_cast<uint32_t>(payload.size()));
+  WritePod<uint64_t>(
+      &out, options_.checksum ? XxHash64(payload.data(), payload.size()) : 0);
+  out.append(payload);
+  return frame;
+}
+
+Result<Page> PageCodec::Decode(std::string_view data, size_t* offset) const {
+  size_t off = *offset;
+  uint32_t magic = 0;
+  uint8_t version = 0;
+  uint8_t compression_byte = 0;
+  uint8_t flags = 0;
+  uint8_t reserved = 0;
+  uint32_t raw_len = 0;
+  uint32_t wire_len = 0;
+  uint64_t checksum = 0;
+  if (!ReadPod(data, &off, &magic) || !ReadPod(data, &off, &version) ||
+      !ReadPod(data, &off, &compression_byte) ||
+      !ReadPod(data, &off, &flags) || !ReadPod(data, &off, &reserved) ||
+      !ReadPod(data, &off, &raw_len) || !ReadPod(data, &off, &wire_len) ||
+      !ReadPod(data, &off, &checksum)) {
+    return Status::IOError("page frame: truncated header");
+  }
+  if (magic != kMagic) {
+    return Status::IOError("page frame: bad magic");
+  }
+  if (version != kVersion) {
+    return Status::IOError("page frame: unsupported version " +
+                           std::to_string(version));
+  }
+  if (wire_len > data.size() - off) {
+    return Status::IOError("page frame: truncated payload");
+  }
+  std::string_view stored = data.substr(off, wire_len);
+  off += wire_len;
+
+  if ((flags & kFlagChecksum) != 0 &&
+      XxHash64(stored.data(), stored.size()) != checksum) {
+    return Status::IOError("page frame: checksum mismatch");
+  }
+
+  std::string decompressed;
+  std::string_view payload = stored;
+  switch (static_cast<PageCompression>(compression_byte)) {
+    case PageCompression::kNone:
+      if (raw_len != wire_len) {
+        return Status::IOError("page frame: length mismatch");
+      }
+      break;
+    case PageCompression::kLz4: {
+      PRESTO_ASSIGN_OR_RETURN(decompressed, Lz4Decompress(stored, raw_len));
+      payload = decompressed;
+      break;
+    }
+    default:
+      return Status::IOError("page frame: unknown compression");
+  }
+
+  size_t pos = 0;
+  uint32_t num_columns = 0;
+  int64_t num_rows = 0;
+  if (!ReadPod(payload, &pos, &num_columns) ||
+      !ReadPod(payload, &pos, &num_rows)) {
+    return Status::IOError("page frame: truncated page header");
+  }
+  if (num_rows < 0 || num_rows > kMaxRows || num_columns > kMaxColumns) {
+    return Status::IOError("page frame: bad page header");
+  }
+  std::vector<BlockPtr> blocks;
+  blocks.reserve(num_columns);
+  std::vector<BlockPtr> dictionaries;
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    PRESTO_ASSIGN_OR_RETURN(BlockPtr block,
+                            ReadBlock(payload, &pos, &dictionaries));
+    if (block->size() != num_rows) {
+      return Status::IOError("page frame: column row count mismatch");
+    }
+    blocks.push_back(std::move(block));
+  }
+  *offset = off;
+  return Page(std::move(blocks), num_rows);
+}
+
+}  // namespace presto

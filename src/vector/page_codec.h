@@ -1,0 +1,89 @@
+#ifndef PRESTOCPP_VECTOR_PAGE_CODEC_H_
+#define PRESTOCPP_VECTOR_PAGE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "vector/page.h"
+
+namespace presto {
+
+/// Per-frame compression applied to the serialized payload. The codec keeps
+/// a compressed payload only when it is actually smaller, so a frame
+/// encoded with kLz4 may still carry a kNone payload (incompressible data).
+enum class PageCompression : uint8_t {
+  kNone = 0,
+  kLz4 = 1,
+};
+
+struct PageCodecOptions {
+  PageCompression compression = PageCompression::kNone;
+  /// Serialize dictionary/RLE blocks as-is (§V-E: encodings survive the
+  /// operator boundary) instead of flattening. Dictionaries shared by
+  /// several blocks of one page are written once and back-referenced.
+  bool preserve_encodings = true;
+  /// XXH64 over the stored payload, verified before decode.
+  bool checksum = true;
+};
+
+/// Versioned binary frame format for pages crossing a task boundary: the
+/// shuffle wire format (§IV-E2 "pages transferred in serialized form"), the
+/// spill file format (§IV-F2), and storc chunk payloads all go through this
+/// one codec.
+///
+/// Frame layout (little-endian):
+///   u32 magic            'P','G','F','1'
+///   u8  version          kVersion
+///   u8  compression      PageCompression of the stored payload
+///   u8  flags            bit 0: checksum present
+///   u8  reserved         0
+///   u32 raw_len          payload size before compression
+///   u32 wire_len         payload size as stored
+///   u64 checksum         XXH64 of the stored payload (0 when absent)
+///   u8[wire_len]         payload
+///
+/// Payload: u32 num_columns, i64 num_rows, then one block tree per column.
+/// Every block starts with a BlockEncoding tag; kRle wraps its size-1 value
+/// block recursively, kDictionary writes its dictionary inline on first
+/// occurrence and a back-reference on every later one (dedup-by-pointer
+/// within the frame). kLazy never appears on the wire: encoding a lazy
+/// block forces its (memoized, hence exactly-once) load.
+class PageCodec {
+ public:
+  static constexpr uint32_t kMagic = 0x31464750;  // "PGF1"
+  static constexpr uint8_t kVersion = 1;
+
+  explicit PageCodec(PageCodecOptions options = {}) : options_(options) {}
+
+  const PageCodecOptions& options() const { return options_; }
+
+  /// One encoded page plus the byte accounting the exchange reports.
+  struct Frame {
+    std::string bytes;     // full frame: header + stored payload
+    int64_t rows = 0;
+    int64_t raw_bytes = 0;  // payload size before compression
+
+    int64_t wire_bytes() const { return static_cast<int64_t>(bytes.size()); }
+  };
+
+  Frame Encode(const Page& page) const;
+
+  /// Parses the frame starting at data[*offset]; advances *offset past it.
+  /// Corrupt input — bad magic, checksum mismatch, truncation, out-of-range
+  /// dictionary indices — returns an IOError, never crashes.
+  Result<Page> Decode(std::string_view data, size_t* offset) const;
+
+  Result<Page> Decode(const Frame& frame) const {
+    size_t offset = 0;
+    return Decode(frame.bytes, &offset);
+  }
+
+ private:
+  PageCodecOptions options_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_VECTOR_PAGE_CODEC_H_

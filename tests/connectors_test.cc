@@ -53,6 +53,20 @@ RowSchema TestSchema() {
   return schema;
 }
 
+// Assembles the ScanSpec connector tests pass to GetSplits/CreateDataSource.
+ScanSpec MakeSpec(TableHandlePtr table, std::string layout_id = "",
+                  std::vector<int> columns = {},
+                  std::vector<ColumnPredicate> predicates = {},
+                  int num_workers = 1) {
+  ScanSpec spec;
+  spec.table = std::move(table);
+  spec.layout_id = std::move(layout_id);
+  spec.columns = std::move(columns);
+  spec.predicates = std::move(predicates);
+  spec.num_workers = num_workers;
+  return spec;
+}
+
 TEST(StorcTest, WriteReadRoundTrip) {
   MiniDfs dfs({0, 0, 0});
   StorcWriter writer(TestSchema(), /*stripe_rows=*/100);
@@ -178,7 +192,7 @@ TEST(HiveConnectorTest, LoadScanAnalyze) {
   EXPECT_EQ(stats->columns.at("cat").distinct_values, 3);
 
   // Scan everything through splits.
-  auto splits = hive.GetSplits(**handle, "", {}, 2);
+  auto splits = hive.GetSplits(MakeSpec(*handle, "", {}, {}, 2));
   ASSERT_TRUE(splits.ok());
   int64_t rows = 0;
   for (;;) {
@@ -186,7 +200,7 @@ TEST(HiveConnectorTest, LoadScanAnalyze) {
     ASSERT_TRUE(batch.ok());
     if (batch->empty()) break;
     for (const auto& split : *batch) {
-      auto source = hive.CreateDataSource(*split, **handle, {0}, {});
+      auto source = hive.CreateDataSource(*split, MakeSpec(*handle, "", {0}));
       ASSERT_TRUE(source.ok());
       for (;;) {
         auto page = (*source)->NextPage();
@@ -211,7 +225,7 @@ TEST(HiveConnectorTest, PartitionPruningIsExact) {
                        {Value::Varchar("alpha")}};
   EXPECT_EQ(hive.metadata().GetPushdownSupport(**handle, pred),
             PushdownSupport::kExact);
-  auto splits = hive.GetSplits(**handle, "", {pred}, 1);
+  auto splits = hive.GetSplits(MakeSpec(*handle, "", {}, {pred}));
   ASSERT_TRUE(splits.ok());
   auto batch = (*splits)->NextBatch(100);
   ASSERT_TRUE(batch.ok());
@@ -234,7 +248,7 @@ TEST(RaptorConnectorTest, BucketedLoadAndLayout) {
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->row_count, 400);
 
-  auto splits = raptor.GetSplits(**handle, layouts[0].id, {}, 2);
+  auto splits = raptor.GetSplits(MakeSpec(*handle, layouts[0].id, {}, {}, 2));
   ASSERT_TRUE(splits.ok());
   auto batch = (*splits)->NextBatch(100);
   ASSERT_TRUE(batch.ok());
@@ -244,7 +258,8 @@ TEST(RaptorConnectorTest, BucketedLoadAndLayout) {
     EXPECT_TRUE(split->hard_affinity());
     EXPECT_GE(split->preferred_worker(), 0);
     EXPECT_LT(split->preferred_worker(), 2);
-    auto source = raptor.CreateDataSource(*split, **handle, {0, 1, 2}, {});
+    auto source =
+        raptor.CreateDataSource(*split, MakeSpec(*handle, "", {0, 1, 2}));
     ASSERT_TRUE(source.ok());
     for (;;) {
       auto page = (*source)->NextPage();
@@ -291,14 +306,15 @@ TEST(ShardedStoreTest, ExactIndexPushdown) {
             PushdownSupport::kUnsupported);
 
   // Point predicate on the shard column routes to a single shard.
-  auto splits = store.GetSplits(**handle, "", {pred}, 1);
+  auto splits = store.GetSplits(MakeSpec(*handle, "", {}, {pred}));
   ASSERT_TRUE(splits.ok());
   auto batch = (*splits)->NextBatch(100);
   ASSERT_TRUE(batch.ok());
   EXPECT_EQ(batch->size(), 1u);
   int64_t rows = 0;
   for (const auto& split : *batch) {
-    auto source = store.CreateDataSource(*split, **handle, {0, 2}, {pred});
+    auto source =
+        store.CreateDataSource(*split, MakeSpec(*handle, "", {0, 2}, {pred}));
     ASSERT_TRUE(source.ok());
     for (;;) {
       auto page = (*source)->NextPage();
@@ -330,12 +346,13 @@ TEST(ShardedStoreTest, RangePushdown) {
   auto handle = store.metadata().GetTable("t");
   ASSERT_TRUE(handle.ok());
   ColumnPredicate range{"v", ColumnPredicate::Op::kLt, {Value::Bigint(100)}};
-  auto splits = store.GetSplits(**handle, "", {range}, 1);
+  auto splits = store.GetSplits(MakeSpec(*handle, "", {}, {range}));
   ASSERT_TRUE(splits.ok());
   auto batch = (*splits)->NextBatch(100);
   int64_t rows = 0;
   for (const auto& split : *batch) {
-    auto source = store.CreateDataSource(*split, **handle, {0}, {range});
+    auto source =
+        store.CreateDataSource(*split, MakeSpec(*handle, "", {0}, {range}));
     ASSERT_TRUE(source.ok());
     for (;;) {
       auto page = (*source)->NextPage();
@@ -355,18 +372,19 @@ TEST(TpchConnectorTest, DeterministicGeneration) {
   auto handle_a = a.metadata().GetTable("orders");
   auto handle_b = b.metadata().GetTable("orders");
   ASSERT_TRUE(handle_a.ok() && handle_b.ok());
-  auto read_some = [](TpchConnector& conn, const TableHandle& handle) {
-    auto splits = conn.GetSplits(handle, "", {}, 1);
+  auto read_some = [](TpchConnector& conn, const TableHandlePtr& handle) {
+    auto splits = conn.GetSplits(MakeSpec(handle));
     EXPECT_TRUE(splits.ok());
     auto batch = (*splits)->NextBatch(1);
     EXPECT_TRUE(batch.ok() && !batch->empty());
-    auto source = conn.CreateDataSource(*(*batch)[0], handle, {0, 1, 3}, {});
+    auto source =
+        conn.CreateDataSource(*(*batch)[0], MakeSpec(handle, "", {0, 1, 3}));
     EXPECT_TRUE(source.ok());
     auto page = (*source)->NextPage();
     EXPECT_TRUE(page.ok() && page->has_value());
     return (*page)->ToString();
   };
-  EXPECT_EQ(read_some(a, **handle_a), read_some(b, **handle_b));
+  EXPECT_EQ(read_some(a, *handle_a), read_some(b, *handle_b));
 }
 
 TEST(TpchConnectorTest, RowCountsScale) {
@@ -385,11 +403,11 @@ TEST(TpchConnectorTest, ForeignKeysInRange) {
   int64_t customers = *tpch.RowCount("customer");
   auto handle = tpch.metadata().GetTable("orders");
   ASSERT_TRUE(handle.ok());
-  auto splits = tpch.GetSplits(**handle, "", {}, 1);
+  auto splits = tpch.GetSplits(MakeSpec(*handle));
   ASSERT_TRUE(splits.ok());
   auto batch = (*splits)->NextBatch(1);
   ASSERT_TRUE(batch.ok() && !batch->empty());
-  auto source = tpch.CreateDataSource(*(*batch)[0], **handle, {1}, {});
+  auto source = tpch.CreateDataSource(*(*batch)[0], MakeSpec(*handle, "", {1}));
   ASSERT_TRUE(source.ok());
   auto page = (*source)->NextPage();
   ASSERT_TRUE(page.ok() && page->has_value());

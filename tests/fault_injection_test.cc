@@ -129,25 +129,33 @@ Page MakePageOfBytes(int64_t approx_bytes) {
   return Page({MakeBigintBlock(std::move(values))});
 }
 
-TEST(ExchangeBufferTest, RejectsPageThatDoesNotFitUnlessEmpty) {
+// Incompressible frame of roughly the requested wire size: distinct values
+// defeat LZ4 matching, and kNone keeps sizing exact anyway.
+PageCodec::Frame MakeFrameOfBytes(int64_t approx_bytes) {
+  static const PageCodec codec(
+      PageCodecOptions{PageCompression::kNone, true, true});
+  return codec.Encode(MakePageOfBytes(approx_bytes));
+}
+
+TEST(ExchangeBufferTest, RejectsFrameThatDoesNotFitUnlessEmpty) {
   ExchangeBuffer buffer(/*capacity_bytes=*/1024);
-  Page small = MakePageOfBytes(256);
-  Page huge = MakePageOfBytes(64 << 10);
+  PageCodec::Frame small = MakeFrameOfBytes(256);
+  PageCodec::Frame huge = MakeFrameOfBytes(64 << 10);
   ASSERT_TRUE(buffer.TryEnqueue(small));
   // The old accounting admitted any page while below capacity; a 64 KiB
-  // page must not ride in on top of buffered data.
+  // frame must not ride in on top of buffered data.
   EXPECT_FALSE(buffer.TryEnqueue(huge));
   bool finished = false;
   ASSERT_TRUE(buffer.Poll(&finished).has_value());
-  // Empty buffer: an oversized page is admitted so it can ever be shipped.
+  // Empty buffer: an oversized frame is admitted so it can ever be shipped.
   EXPECT_TRUE(buffer.TryEnqueue(huge));
-  EXPECT_FALSE(buffer.TryEnqueue(MakePageOfBytes(8)));
+  EXPECT_FALSE(buffer.TryEnqueue(MakeFrameOfBytes(8)));
 }
 
 TEST(ExchangeBufferTest, UtilizationSaturatesWithoutCapacity) {
   ExchangeBuffer buffer(/*capacity_bytes=*/0);
   EXPECT_EQ(buffer.utilization(), 0.0);
-  ASSERT_TRUE(buffer.TryEnqueue(MakePageOfBytes(512)));
+  ASSERT_TRUE(buffer.TryEnqueue(MakeFrameOfBytes(512)));
   // Data buffered against zero capacity is full, not idle — reporting 0
   // here previously hid backpressure from the writer-scaling monitor.
   EXPECT_EQ(buffer.utilization(), 1.0);
@@ -311,7 +319,9 @@ class FaultInjectionEndToEndTest : public ::testing::Test {
     EXPECT_FALSE(final.ok());
     auto info = engine_->QueryInfoFor(result->query_id());
     EXPECT_TRUE(info.ok());
-    if (info.ok()) EXPECT_EQ(info->state, QueryState::kFailed);
+    if (info.ok()) {
+      EXPECT_EQ(info->state, QueryState::kFailed);
+    }
     return rows.ok() ? final : rows.status();
   }
 
@@ -354,6 +364,20 @@ TEST_F(FaultInjectionEndToEndTest, ExchangePollFailureCleansUp) {
   FaultSpec spec;
   spec.error = Status::IOError("injected shuffle read failure");
   FaultInjection::Instance().Arm("exchange.poll", spec);
+  Status status = RunExpectingFailure(
+      "SELECT orderkey, count(*) FROM lineitem GROUP BY orderkey");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  ExpectNoLeaks(*engine_);
+}
+
+TEST_F(FaultInjectionEndToEndTest, FrameDecodeFailureCleansUp) {
+  // Stands in for a corrupted wire frame: the decode step between polling a
+  // serialized frame and rebuilding the Page fails, and the query must die
+  // cleanly rather than crash or leak buffered frames.
+  FaultSpec spec;
+  spec.error = Status::IOError("injected frame corruption");
+  spec.trigger_after_hits = 1;
+  FaultInjection::Instance().Arm("exchange.frame_decode", spec);
   Status status = RunExpectingFailure(
       "SELECT orderkey, count(*) FROM lineitem GROUP BY orderkey");
   EXPECT_EQ(status.code(), StatusCode::kIOError);
@@ -421,6 +445,40 @@ TEST_F(FaultInjectionEndToEndTest, SpillWriteFailureCleansUpSpillFiles) {
   ASSERT_FALSE(rows.ok());
   // Either the injected spill error surfaces directly or the reservation
   // that demanded the spill fails as OOM; both must leave no state behind.
+  EXPECT_TRUE(rows.status().code() == StatusCode::kIOError ||
+              rows.status().code() == StatusCode::kResourceExhausted)
+      << rows.status().ToString();
+  FaultInjection::Instance().DisarmAll();
+  ExpectNoLeaks(small);
+}
+
+TEST_F(FaultInjectionEndToEndTest, SpillDecompressFailureCleansUp) {
+  // Same spill-forcing setup as above, but the fault fires on readback:
+  // the spilled runs were written fine, and the per-frame decode during
+  // finalization fails (simulating on-disk corruption caught by the
+  // checksum). The query must fail with the injected error and leave no
+  // spill files, reservations, or buffered bytes behind.
+  EngineOptions options;
+  options.cluster.num_workers = 1;
+  options.cluster.executor.threads = 2;
+  options.cluster.memory.per_worker_general = 1 << 20;
+  options.cluster.memory.per_query_per_node_user = 64 << 20;
+  options.cluster.memory.per_query_per_node_total = 64 << 20;
+  options.cluster.memory.enable_spill = true;
+  options.cluster.memory.enable_reserved_pool = false;
+  PrestoEngine small(options);
+  small.catalog().Register(std::make_shared<TpchConnector>("tpch", 4.0));
+  small.catalog().SetDefault("tpch");
+
+  FaultSpec spec;
+  spec.error = Status::IOError("injected spill frame corruption");
+  FaultInjection::Instance().Arm("spill.decompress", spec);
+  auto rows = small.ExecuteAndFetch(
+      "SELECT count(*) FROM (SELECT orderkey, sum(quantity) AS q "
+      "FROM lineitem GROUP BY orderkey) t WHERE q >= 0");
+  EXPECT_GT(FaultInjection::Instance().fires("spill.decompress"), 0)
+      << "spill readback path was not exercised";
+  ASSERT_FALSE(rows.ok());
   EXPECT_TRUE(rows.status().code() == StatusCode::kIOError ||
               rows.status().code() == StatusCode::kResourceExhausted)
       << rows.status().ToString();

@@ -1,0 +1,309 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vector/block_builder.h"
+#include "vector/encoded_block.h"
+#include "vector/page_codec.h"
+
+namespace presto {
+namespace {
+
+constexpr TypeKind kAllTypes[] = {TypeKind::kBigint, TypeKind::kDouble,
+                                  TypeKind::kVarchar, TypeKind::kBoolean,
+                                  TypeKind::kDate};
+
+Value SampleValue(TypeKind type, int64_t i) {
+  switch (type) {
+    case TypeKind::kBigint:
+      return Value::Bigint(i * 31 - 7);
+    case TypeKind::kDouble:
+      return Value::Double(static_cast<double>(i) * 0.75 - 3.0);
+    case TypeKind::kVarchar:
+      return Value::Varchar("value-" + std::to_string(i % 5));
+    case TypeKind::kBoolean:
+      return Value::Boolean(i % 2 == 0);
+    case TypeKind::kDate:
+      return Value::Date(18000 + i);
+    default:
+      PRESTO_CHECK(false);
+      return Value::Null(type);
+  }
+}
+
+// Flat (or varchar-flat) block of `rows` sample values; every third row
+// null when `with_nulls`.
+BlockPtr BaseBlock(TypeKind type, int64_t rows, bool with_nulls) {
+  std::vector<Value> values;
+  values.reserve(static_cast<size_t>(rows));
+  for (int64_t i = 0; i < rows; ++i) {
+    values.push_back(with_nulls && i % 3 == 0 ? Value::Null(type)
+                                              : SampleValue(type, i));
+  }
+  return MakeBlockFromValues(type, values);
+}
+
+bool BlocksEqual(const Block& a, const Block& b) {
+  if (a.type() != b.type() || a.size() != b.size()) return false;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    Value va = a.GetValue(i);
+    Value vb = b.GetValue(i);
+    if (va.is_null() != vb.is_null()) return false;
+    if (!va.is_null() && va.Compare(vb) != 0) return false;
+  }
+  return true;
+}
+
+// ---- encoding x type round-trip matrix ----
+
+struct MatrixCase {
+  BlockEncoding encoding;
+  TypeKind type;
+  bool with_nulls;
+};
+
+class CodecMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+BlockPtr WrapAs(BlockEncoding encoding, TypeKind type, bool with_nulls,
+                int64_t rows) {
+  switch (encoding) {
+    case BlockEncoding::kFlat:
+    case BlockEncoding::kVarchar:
+      return BaseBlock(type, rows, with_nulls);
+    case BlockEncoding::kRle:
+      return std::make_shared<RleBlock>(BaseBlock(type, 1, with_nulls), rows);
+    case BlockEncoding::kDictionary: {
+      BlockPtr dict = BaseBlock(type, 5, with_nulls);
+      std::vector<int32_t> indices;
+      for (int64_t i = 0; i < rows; ++i) {
+        indices.push_back(static_cast<int32_t>(i % 5));
+      }
+      return std::make_shared<DictionaryBlock>(std::move(dict),
+                                               std::move(indices));
+    }
+    case BlockEncoding::kLazy: {
+      BlockPtr inner = BaseBlock(type, rows, with_nulls);
+      return std::make_shared<LazyBlock>(type, rows,
+                                         [inner] { return inner; });
+    }
+  }
+  PRESTO_CHECK(false);
+  return nullptr;
+}
+
+TEST_P(CodecMatrix, RoundTripPreservesValuesAndEncoding) {
+  const MatrixCase& c = GetParam();
+  constexpr int64_t kRows = 40;
+  BlockPtr block = WrapAs(c.encoding, c.type, c.with_nulls, kRows);
+  Page page({block});
+  for (PageCompression compression :
+       {PageCompression::kNone, PageCompression::kLz4}) {
+    PageCodec codec(PageCodecOptions{compression, true, true});
+    PageCodec::Frame frame = codec.Encode(page);
+    EXPECT_EQ(frame.rows, kRows);
+    auto restored = codec.Decode(frame);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    ASSERT_EQ(restored->num_columns(), 1u);
+    EXPECT_TRUE(BlocksEqual(*block, *restored->block(0)));
+    // Dictionary and RLE survive the wire; lazy is forced at the boundary
+    // and arrives as its materialized encoding (never kLazy).
+    if (c.encoding == BlockEncoding::kRle ||
+        c.encoding == BlockEncoding::kDictionary) {
+      EXPECT_EQ(restored->block(0)->encoding(), c.encoding);
+    } else {
+      EXPECT_NE(restored->block(0)->encoding(), BlockEncoding::kLazy);
+    }
+  }
+}
+
+std::vector<MatrixCase> AllMatrixCases() {
+  std::vector<MatrixCase> cases;
+  for (TypeKind type : kAllTypes) {
+    for (bool with_nulls : {false, true}) {
+      cases.push_back({type == TypeKind::kVarchar ? BlockEncoding::kVarchar
+                                                  : BlockEncoding::kFlat,
+                       type, with_nulls});
+      cases.push_back({BlockEncoding::kRle, type, with_nulls});
+      cases.push_back({BlockEncoding::kDictionary, type, with_nulls});
+      cases.push_back({BlockEncoding::kLazy, type, with_nulls});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodingsAllTypes, CodecMatrix,
+                         ::testing::ValuesIn(AllMatrixCases()));
+
+// ---- degenerate shapes ----
+
+TEST(PageCodecTest, AllNullBlocksRoundTrip) {
+  std::vector<BlockPtr> blocks;
+  for (TypeKind type : kAllTypes) {
+    std::vector<Value> values(17, Value::Null(type));
+    blocks.push_back(MakeBlockFromValues(type, values));
+  }
+  Page page(std::move(blocks));
+  PageCodec codec(PageCodecOptions{PageCompression::kLz4, true, true});
+  auto restored = codec.Decode(codec.Encode(page));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->num_columns(), std::size(kAllTypes));
+  for (size_t c = 0; c < restored->num_columns(); ++c) {
+    for (int64_t r = 0; r < 17; ++r) {
+      EXPECT_TRUE(restored->block(c)->IsNull(r));
+    }
+  }
+}
+
+TEST(PageCodecTest, EmptyAndColumnlessPagesRoundTrip) {
+  PageCodec codec;
+  // Zero rows, one column.
+  Page empty({MakeBigintBlock({})});
+  auto restored = codec.Decode(codec.Encode(empty));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_rows(), 0);
+  EXPECT_EQ(restored->num_columns(), 1u);
+  // Rows but zero columns (count(*) intermediate pages).
+  Page columnless({}, 123);
+  restored = codec.Decode(codec.Encode(columnless));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_rows(), 123);
+  EXPECT_EQ(restored->num_columns(), 0u);
+}
+
+// ---- dictionary sharing ----
+
+TEST(PageCodecTest, SharedDictionaryWrittenOnceAndRestoredShared) {
+  BlockPtr dict = MakeVarcharBlock(
+      {"one-rather-long-dictionary-entry", "two-rather-long-dictionary-entry",
+       "three-rather-long-dictionary-entry"});
+  std::vector<int32_t> idx1, idx2;
+  for (int32_t i = 0; i < 200; ++i) {
+    idx1.push_back(i % 3);
+    idx2.push_back((i + 1) % 3);
+  }
+  Page shared({std::make_shared<DictionaryBlock>(dict, idx1),
+               std::make_shared<DictionaryBlock>(dict, idx2)});
+  // Same data, but each column carries its own copy of the dictionary.
+  BlockPtr dict_copy = MakeVarcharBlock(
+      {"one-rather-long-dictionary-entry", "two-rather-long-dictionary-entry",
+       "three-rather-long-dictionary-entry"});
+  Page unshared({std::make_shared<DictionaryBlock>(dict, idx1),
+                 std::make_shared<DictionaryBlock>(dict_copy, idx2)});
+
+  PageCodec codec(PageCodecOptions{PageCompression::kNone, true, true});
+  PageCodec::Frame shared_frame = codec.Encode(shared);
+  PageCodec::Frame unshared_frame = codec.Encode(unshared);
+  // Dedup-by-pointer: the shared dictionary is written once plus a
+  // back-reference, so the frame is smaller than two inline copies.
+  EXPECT_LT(shared_frame.wire_bytes(), unshared_frame.wire_bytes());
+
+  auto restored = codec.Decode(shared_frame);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->num_columns(), 2u);
+  const auto* d0 = dynamic_cast<const DictionaryBlock*>(restored->block(0).get());
+  const auto* d1 = dynamic_cast<const DictionaryBlock*>(restored->block(1).get());
+  ASSERT_NE(d0, nullptr);
+  ASSERT_NE(d1, nullptr);
+  // One decoded dictionary instance, shared by both columns.
+  EXPECT_EQ(d0->dictionary().get(), d1->dictionary().get());
+  EXPECT_TRUE(BlocksEqual(*shared.block(0), *restored->block(0)));
+  EXPECT_TRUE(BlocksEqual(*shared.block(1), *restored->block(1)));
+}
+
+// ---- lazy boundary semantics ----
+
+TEST(PageCodecTest, LazyBlockLoadedExactlyOnceAcrossEncodes) {
+  auto loads = std::make_shared<int>(0);
+  BlockPtr inner = MakeBigintBlock({10, 20, 30});
+  auto lazy = std::make_shared<LazyBlock>(TypeKind::kBigint, 3,
+                                          [loads, inner] {
+                                            ++*loads;
+                                            return inner;
+                                          });
+  Page page({lazy});
+  PageCodec codec;
+  EXPECT_EQ(*loads, 0);
+  PageCodec::Frame first = codec.Encode(page);
+  EXPECT_EQ(*loads, 1);
+  // The load is memoized: re-encoding the same page does not re-load.
+  PageCodec::Frame second = codec.Encode(page);
+  EXPECT_EQ(*loads, 1);
+  EXPECT_EQ(first.bytes, second.bytes);
+  auto restored = codec.Decode(first);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->block(0)->GetValue(2), Value::Bigint(30));
+}
+
+// ---- compression ----
+
+TEST(PageCodecTest, Lz4ShrinksRepetitiveData) {
+  std::vector<std::string> values(2000, "aaaaaaaaaaaaaaaaaaaaaaaa");
+  Page page({MakeVarcharBlock(values)});
+  PageCodec plain(PageCodecOptions{PageCompression::kNone, false, true});
+  PageCodec packed(PageCodecOptions{PageCompression::kLz4, false, true});
+  PageCodec::Frame plain_frame = plain.Encode(page);
+  PageCodec::Frame packed_frame = packed.Encode(page);
+  EXPECT_EQ(packed_frame.raw_bytes, plain_frame.raw_bytes);
+  EXPECT_LT(packed_frame.wire_bytes(), plain_frame.wire_bytes() / 4);
+  auto restored = packed.Decode(packed_frame);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->num_rows(), 2000);
+  EXPECT_EQ(restored->block(0)->GetValue(1999),
+            Value::Varchar("aaaaaaaaaaaaaaaaaaaaaaaa"));
+}
+
+// ---- corruption handling ----
+
+TEST(PageCodecTest, BitFlipFailsChecksumAsIOError) {
+  PageCodec codec(PageCodecOptions{PageCompression::kNone, true, true});
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < 100; ++i) values.push_back(i);
+  PageCodec::Frame frame = codec.Encode(Page({MakeBigintBlock(values)}));
+  // Flip one payload byte past the 24-byte frame header.
+  std::string corrupt = frame.bytes;
+  ASSERT_GT(corrupt.size(), 64u);
+  corrupt[40] ^= 0x01;
+  size_t offset = 0;
+  auto restored = codec.Decode(corrupt, &offset);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kIOError);
+}
+
+TEST(PageCodecTest, TruncationAndBadMagicAreErrorsNotCrashes) {
+  PageCodec codec;
+  PageCodec::Frame frame = codec.Encode(Page({MakeBigintBlock({1, 2, 3})}));
+  // Truncated at every prefix length: must error, never read past the end.
+  for (size_t len = 0; len < frame.bytes.size(); len += 7) {
+    size_t offset = 0;
+    auto restored = codec.Decode(
+        std::string_view(frame.bytes.data(), len), &offset);
+    EXPECT_FALSE(restored.ok()) << "prefix length " << len;
+  }
+  std::string bad_magic = frame.bytes;
+  bad_magic[0] ^= 0xFF;
+  size_t offset = 0;
+  EXPECT_FALSE(codec.Decode(bad_magic, &offset).ok());
+}
+
+// ---- multi-frame streams (the spill file shape) ----
+
+TEST(PageCodecTest, ConsecutiveFramesDecodeFromOneBuffer) {
+  PageCodec codec(PageCodecOptions{PageCompression::kLz4, true, true});
+  Page a({MakeBigintBlock({1, 2, 3})});
+  Page b({MakeBigintBlock({4, 5})});
+  std::string stream = codec.Encode(a).bytes + codec.Encode(b).bytes;
+  size_t offset = 0;
+  auto first = codec.Decode(stream, &offset);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->num_rows(), 3);
+  auto second = codec.Decode(stream, &offset);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->num_rows(), 2);
+  EXPECT_EQ(offset, stream.size());
+  EXPECT_EQ(second->block(0)->GetValue(1), Value::Bigint(5));
+}
+
+}  // namespace
+}  // namespace presto

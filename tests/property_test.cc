@@ -8,7 +8,7 @@
 #include "plan/planner.h"
 #include "sql/parser.h"
 #include "vector/block_builder.h"
-#include "vector/page_serde.h"
+#include "vector/page_codec.h"
 
 namespace presto {
 namespace {
@@ -50,15 +50,24 @@ bool PagesEqual(const Page& a, const Page& b) {
 
 class SerdeProperty : public ::testing::TestWithParam<int> {};
 
-TEST_P(SerdeProperty, PageSerdeRoundTrip) {
+TEST_P(SerdeProperty, PageCodecRoundTripAllOptionCombos) {
   Random rng(static_cast<uint64_t>(GetParam()) * 1237 + 5);
   Page page = RandomPage(&rng, 1 + static_cast<int64_t>(rng.NextUint64(300)));
-  std::string data = SerializePage(page);
-  size_t off = 0;
-  auto restored = DeserializePage(data, &off);
-  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
-  EXPECT_TRUE(PagesEqual(page, *restored));
-  EXPECT_EQ(off, data.size());
+  for (PageCompression compression :
+       {PageCompression::kNone, PageCompression::kLz4}) {
+    for (bool preserve : {false, true}) {
+      for (bool checksum : {false, true}) {
+        PageCodec codec(PageCodecOptions{compression, preserve, checksum});
+        PageCodec::Frame frame = codec.Encode(page);
+        size_t off = 0;
+        auto restored = codec.Decode(frame.bytes, &off);
+        ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+        EXPECT_TRUE(PagesEqual(page, *restored));
+        EXPECT_EQ(off, frame.bytes.size());
+        EXPECT_EQ(frame.rows, page.num_rows());
+      }
+    }
+  }
 }
 
 TEST_P(SerdeProperty, StorcRoundTrip) {

@@ -123,24 +123,34 @@ TEST(MemoryTest, RevocationSpillsBeforeKilling) {
 
 TEST(ExchangeTest, BufferBackpressureAndTokens) {
   ExchangeBuffer buffer(/*capacity=*/100);
-  Page big({MakeBigintBlock(std::vector<int64_t>(50, 1))});  // ~400 bytes
+  // Uncompressed codec keeps the frame's wire size predictable: ~400 bytes
+  // of values plus the frame header, well over the 100-byte capacity.
+  PageCodec codec(PageCodecOptions{PageCompression::kNone, true, true});
+  PageCodec::Frame big =
+      codec.Encode(Page({MakeBigintBlock(std::vector<int64_t>(50, 1))}));
+  ASSERT_GT(big.wire_bytes(), 100);
+  // Empty-buffer exception: an oversized frame is admitted when empty.
   EXPECT_TRUE(buffer.TryEnqueue(big));
   // Over capacity: the next enqueue is rejected (producer backpressure).
   EXPECT_FALSE(buffer.TryEnqueue(big));
   EXPECT_GT(buffer.utilization(), 0.9);
   bool finished = false;
-  auto page = buffer.Poll(&finished);
-  ASSERT_TRUE(page.has_value());
+  auto frame = buffer.Poll(&finished);
+  ASSERT_TRUE(frame.has_value());
   EXPECT_FALSE(finished);
   // Space freed: enqueue succeeds again.
   EXPECT_TRUE(buffer.TryEnqueue(big));
   buffer.NoMorePages();
-  page = buffer.Poll(&finished);
-  EXPECT_TRUE(page.has_value());
-  page = buffer.Poll(&finished);
-  EXPECT_FALSE(page.has_value());
+  frame = buffer.Poll(&finished);
+  EXPECT_TRUE(frame.has_value());
+  frame = buffer.Poll(&finished);
+  EXPECT_FALSE(frame.has_value());
   EXPECT_TRUE(finished);
   EXPECT_TRUE(buffer.finished());
+  // Byte accounting is in wire bytes, raw bytes tracked alongside.
+  EXPECT_EQ(buffer.total_bytes_sent(), 2 * big.wire_bytes());
+  EXPECT_EQ(buffer.total_raw_bytes_sent(), 2 * big.raw_bytes);
+  EXPECT_EQ(buffer.total_rows_sent(), 100);
 }
 
 TEST(ExchangeTest, ManagerRoutesStreams) {
@@ -150,10 +160,16 @@ TEST(ExchangeTest, ManagerRoutesStreams) {
   EXPECT_EQ(manager.GetBuffer({"q", 1, 1, 0}), nullptr);
   EXPECT_EQ(manager.GetBuffer({"other", 1, 0, 0}), nullptr);
   auto buffer = manager.GetBuffer({"q", 1, 0, 0});
-  buffer->TryEnqueue(Page({MakeBigintBlock({1, 2, 3})}));
+  PageCodec::Frame frame =
+      manager.codec().Encode(Page({MakeBigintBlock({1, 2, 3})}));
+  buffer->TryEnqueue(frame);
   EXPECT_GT(manager.OutputUtilization("q", 1, 0), 0.0);
+  // Cumulative serde counters survive query removal.
+  EXPECT_EQ(manager.serialized_wire_bytes(), frame.wire_bytes());
+  EXPECT_EQ(manager.serialized_raw_bytes(), frame.raw_bytes);
   manager.RemoveQuery("q");
   EXPECT_EQ(manager.GetBuffer({"q", 1, 0, 0}), nullptr);
+  EXPECT_EQ(manager.serialized_wire_bytes(), frame.wire_bytes());
 }
 
 // ---- group-by hash ----

@@ -5,7 +5,7 @@
 #include "vector/decoded_block.h"
 #include "vector/encoded_block.h"
 #include "vector/page.h"
-#include "vector/page_serde.h"
+#include "vector/page_codec.h"
 
 namespace presto {
 namespace {
@@ -246,9 +246,10 @@ TEST(PageSerdeTest, RoundTripAllTypes) {
           MakeBooleanBlock({true, false}, {1, 0}),
           MakeVarcharBlock({"hello", "world"}, {0, 1}),
           MakeDateBlock({100, 200})});
-  std::string data = SerializePage(p);
+  PageCodec codec;
+  std::string data = codec.Encode(p).bytes;
   size_t off = 0;
-  auto r = DeserializePage(data, &off);
+  auto r = codec.Decode(data, &off);
   ASSERT_TRUE(r.ok()) << r.status().ToString();
   EXPECT_EQ(off, data.size());
   const Page& q = *r;
@@ -267,11 +268,12 @@ TEST(PageSerdeTest, RoundTripAllTypes) {
 TEST(PageSerdeTest, MultiplePagesInStream) {
   Page a({MakeBigintBlock({1})});
   Page b({MakeBigintBlock({2, 3})});
-  std::string data = SerializePage(a) + SerializePage(b);
+  PageCodec codec;
+  std::string data = codec.Encode(a).bytes + codec.Encode(b).bytes;
   size_t off = 0;
-  auto ra = DeserializePage(data, &off);
+  auto ra = codec.Decode(data, &off);
   ASSERT_TRUE(ra.ok());
-  auto rb = DeserializePage(data, &off);
+  auto rb = codec.Decode(data, &off);
   ASSERT_TRUE(rb.ok());
   EXPECT_EQ(ra->num_rows(), 1);
   EXPECT_EQ(rb->num_rows(), 2);
@@ -280,25 +282,45 @@ TEST(PageSerdeTest, MultiplePagesInStream) {
 
 TEST(PageSerdeTest, TruncatedDataFails) {
   Page p({MakeBigintBlock({1, 2, 3})});
-  std::string data = SerializePage(p);
+  PageCodec codec;
+  std::string data = codec.Encode(p).bytes;
   data.resize(data.size() / 2);
   size_t off = 0;
-  auto r = DeserializePage(data, &off);
+  auto r = codec.Decode(data, &off);
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIOError);
 }
 
-TEST(PageSerdeTest, EncodedBlocksFlattenOnSerialize) {
+TEST(PageSerdeTest, EncodedBlocksFlattenWhenPreservationOff) {
   auto dict = MakeVarcharBlock({"p", "q"});
   Page p({std::make_shared<DictionaryBlock>(dict,
                                             std::vector<int32_t>{1, 1, 0}),
           MakeConstantBlock(Value::Bigint(4), 3)});
-  std::string data = SerializePage(p);
+  PageCodecOptions options;
+  options.preserve_encodings = false;
+  PageCodec codec(options);
+  std::string data = codec.Encode(p).bytes;
   size_t off = 0;
-  auto r = DeserializePage(data, &off);
+  auto r = codec.Decode(data, &off);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->block(0)->encoding(), BlockEncoding::kVarchar);
   EXPECT_EQ(r->block(0)->GetValue(0), Value::Varchar("q"));
+  EXPECT_EQ(r->block(1)->GetValue(2), Value::Bigint(4));
+}
+
+TEST(PageSerdeTest, EncodedBlocksPreservedByDefault) {
+  auto dict = MakeVarcharBlock({"p", "q"});
+  Page p({std::make_shared<DictionaryBlock>(dict,
+                                            std::vector<int32_t>{1, 1, 0}),
+          MakeConstantBlock(Value::Bigint(4), 3)});
+  PageCodec codec;
+  std::string data = codec.Encode(p).bytes;
+  size_t off = 0;
+  auto r = codec.Decode(data, &off);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->block(0)->encoding(), BlockEncoding::kDictionary);
+  EXPECT_EQ(r->block(0)->GetValue(0), Value::Varchar("q"));
+  EXPECT_EQ(r->block(1)->encoding(), BlockEncoding::kRle);
   EXPECT_EQ(r->block(1)->GetValue(2), Value::Bigint(4));
 }
 
