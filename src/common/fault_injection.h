@@ -44,6 +44,12 @@ struct FaultSpec {
 ///   exchange.poll        shuffle consumer (RemoteSourceOperator)
 ///   exchange.frame_decode  wire-frame decode before a polled frame is
 ///                          deserialized (RemoteSourceOperator)
+///   exchange.http_send   HTTP exchange request lost before reaching the
+///                        wire (ExchangeHttpClient; absorbed by retry)
+///   exchange.http_recv   HTTP exchange response lost in transit; the
+///                        retry re-fetches the same un-acked token
+///   exchange.http_server server-side handler failure surfaced as a 5xx
+///                        (ExchangeHttpService)
 ///   spill.write          Spiller::SpillRun file I/O
 ///   spill.read           Spiller::ReadRun file I/O
 ///   spill.decompress     per-frame decode in Spiller::ReadRun

@@ -127,6 +127,22 @@ void PrestoEngine::RegisterEngineGauges() {
                static_cast<double>(wire);
       });
   metrics_->RegisterGauge(
+      "presto_exchange_http_requests",
+      "HTTP exchange requests attempted (including retried attempts)",
+      [this] {
+        return static_cast<double>(cluster_->exchange().http_requests());
+      });
+  metrics_->RegisterGauge(
+      "presto_exchange_http_retries",
+      "HTTP exchange attempts beyond the first per round trip", [this] {
+        return static_cast<double>(cluster_->exchange().http_retries());
+      });
+  metrics_->RegisterGauge(
+      "presto_exchange_inflight_bytes",
+      "Wire bytes sent to consumers but not yet acknowledged", [this] {
+        return static_cast<double>(cluster_->exchange().TotalInflightBytes());
+      });
+  metrics_->RegisterGauge(
       "presto_spill_compressed_bytes",
       "Cumulative compressed bytes written to spill files", [] {
         return static_cast<double>(Spiller::TotalCompressedBytes());

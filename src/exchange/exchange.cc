@@ -1,5 +1,7 @@
 #include "exchange/exchange.h"
 
+#include <algorithm>
+#include <chrono>
 #include <thread>
 
 namespace presto {
@@ -9,7 +11,9 @@ bool ExchangeBuffer::TryEnqueue(const PageCodec::Frame& frame) {
   int64_t bytes = frame.wire_bytes();
   // Admit a frame only if it fits within capacity. The empty-buffer exception
   // guarantees progress for a single frame larger than the whole buffer —
-  // without it an oversized page could never be shipped at all.
+  // without it an oversized page could never be shipped at all. Unacked
+  // frames count against capacity: a consumer that never acks eventually
+  // stalls its producer (backpressure end to end).
   if (buffered_bytes_ > 0 && buffered_bytes_ + bytes > capacity_bytes_) {
     return false;
   }
@@ -20,12 +24,14 @@ bool ExchangeBuffer::TryEnqueue(const PageCodec::Frame& frame) {
   if (wire_total_ != nullptr) wire_total_->fetch_add(bytes);
   if (raw_total_ != nullptr) raw_total_->fetch_add(frame.raw_bytes);
   frames_.push_back(frame);
+  cv_.notify_all();
   return true;
 }
 
 void ExchangeBuffer::NoMorePages() {
   std::lock_guard<std::mutex> lock(mu_);
   no_more_ = true;
+  cv_.notify_all();
 }
 
 std::optional<PageCodec::Frame> ExchangeBuffer::Poll(bool* finished) {
@@ -37,8 +43,54 @@ std::optional<PageCodec::Frame> ExchangeBuffer::Poll(bool* finished) {
   PageCodec::Frame frame = std::move(frames_.front());
   frames_.pop_front();
   buffered_bytes_ -= frame.wire_bytes();
+  ++base_token_;  // fetch + immediate ack
+  sent_token_ = std::max(sent_token_, base_token_);
   *finished = false;
   return frame;
+}
+
+Result<ExchangeBuffer::FrameBatch> ExchangeBuffer::GetBatch(
+    int64_t token, int64_t max_bytes, int64_t wait_micros) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (token < base_token_) {
+    return Status::InvalidArgument("token " + std::to_string(token) +
+                                   " already retired (acked past " +
+                                   std::to_string(base_token_) + ")");
+  }
+  int64_t end_token = base_token_ + static_cast<int64_t>(frames_.size());
+  if (token > end_token) {
+    return Status::InvalidArgument("token " + std::to_string(token) +
+                                   " not yet produced (have up to " +
+                                   std::to_string(end_token) + ")");
+  }
+  // Ack: a request for token n retires everything below n, freeing capacity
+  // for the producer.
+  while (base_token_ < token) {
+    buffered_bytes_ -= frames_.front().wire_bytes();
+    frames_.pop_front();
+    ++base_token_;
+  }
+  // Long-poll: wait (releasing the lock) for data or end-of-stream.
+  if (frames_.empty() && !no_more_ && wait_micros > 0) {
+    cv_.wait_for(lock, std::chrono::microseconds(wait_micros),
+                 [this] { return !frames_.empty() || no_more_; });
+  }
+  FrameBatch batch;
+  batch.token = token;
+  int64_t bytes = 0;
+  for (const auto& frame : frames_) {
+    if (!batch.frames.empty() && bytes + frame.wire_bytes() > max_bytes) {
+      break;
+    }
+    batch.frames.push_back(frame);
+    bytes += frame.wire_bytes();
+  }
+  batch.next_token = token + static_cast<int64_t>(batch.frames.size());
+  batch.complete =
+      no_more_ &&
+      batch.next_token == base_token_ + static_cast<int64_t>(frames_.size());
+  sent_token_ = std::max(sent_token_, batch.next_token);
+  return batch;
 }
 
 double ExchangeBuffer::utilization() const {
@@ -60,6 +112,17 @@ bool ExchangeBuffer::finished() const {
 int64_t ExchangeBuffer::buffered_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   return buffered_bytes_;
+}
+
+int64_t ExchangeBuffer::inflight_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t sent = std::min(sent_token_ - base_token_,
+                          static_cast<int64_t>(frames_.size()));
+  int64_t bytes = 0;
+  for (int64_t i = 0; i < sent; ++i) {
+    bytes += frames_[static_cast<size_t>(i)].wire_bytes();
+  }
+  return bytes;
 }
 
 void ExchangeManager::CreateOutputBuffers(const std::string& query_id,
@@ -109,6 +172,31 @@ void ExchangeManager::RemoveQuery(const std::string& query_id) {
       ++it;
     }
   }
+  for (auto it = endpoints_.begin(); it != endpoints_.end();) {
+    if (it->first.query_id == query_id) {
+      it = endpoints_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ExchangeManager::RemoveStream(const StreamId& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.erase(id);
+}
+
+void ExchangeManager::RegisterTaskEndpoint(const std::string& query_id,
+                                           int fragment, int task, int port) {
+  std::lock_guard<std::mutex> lock(mu_);
+  endpoints_[StreamId{query_id, fragment, task, 0}] = port;
+}
+
+int ExchangeManager::LookupTaskEndpoint(const std::string& query_id,
+                                        int fragment, int task) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = endpoints_.find(StreamId{query_id, fragment, task, 0});
+  return it == endpoints_.end() ? -1 : it->second;
 }
 
 int64_t ExchangeManager::TotalBufferedBytes() const {
@@ -120,13 +208,25 @@ int64_t ExchangeManager::TotalBufferedBytes() const {
   return total;
 }
 
+int64_t ExchangeManager::TotalInflightBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [id, buffer] : buffers_) {
+    total += buffer->inflight_bytes();
+  }
+  return total;
+}
+
 void ExchangeManager::SimulateTransfer(int64_t bytes) const {
-  transferred_bytes_.fetch_add(bytes);
+  RecordTransfer(bytes);
   int64_t micros = network_.latency_micros;
   if (network_.bytes_per_second > 0) {
     micros += bytes * 1000000 / network_.bytes_per_second;
   }
   if (micros > 0) {
+    // The sleep deliberately happens without mu_ (or any other lock) held:
+    // concurrent transfers on different consumer threads must overlap.
+    // Pinned by ExchangeTransferTest.ConcurrentTransfersOverlap.
     std::this_thread::sleep_for(std::chrono::microseconds(micros));
   }
 }

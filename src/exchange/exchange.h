@@ -16,13 +16,35 @@
 
 namespace presto {
 
-/// Simulated network characteristics applied on the consumer side of every
-/// remote page transfer. Stands in for the HTTP long-polling transport of
-/// §IV-E2; latency/bandwidth let benchmarks model slow clients and
-/// cross-rack links.
+/// How serialized frames move between tasks (§IV-E2).
+enum class TransportMode : uint8_t {
+  /// Consumers poll producer buffers directly through the shared
+  /// ExchangeManager map, with SimulateTransfer standing in for the network.
+  kInProcess = 0,
+  /// Consumers pull over real localhost HTTP/1.1 sockets: long-poll GET
+  /// /v1/task/{taskId}/results/{bufferId}/{token} with ack-based frame
+  /// retirement and client-side retry (src/exchange/http/).
+  kHttp = 1,
+};
+
+/// Network characteristics of the shuffle fabric. latency/bytes_per_second
+/// drive the simulated cost model of the in-process transport; the http_*
+/// knobs tune the real socket transport.
 struct NetworkConfig {
   int64_t latency_micros = 50;
   int64_t bytes_per_second = 4LL << 30;  // 4 GB/s
+  TransportMode transport = TransportMode::kInProcess;
+  /// Server-side long-poll wait when a buffer has no data yet. Kept shorter
+  /// than the executor's max park backoff so blocked drivers stay lively.
+  int64_t http_long_poll_micros = 10'000;
+  /// Maximum frame bytes returned by one GET (at least one frame always).
+  int64_t http_response_max_bytes = 1 << 20;
+  /// Client retry policy: attempts beyond the first on timeout/5xx/transport
+  /// errors, with exponential backoff starting at http_retry_backoff_micros.
+  int http_max_retries = 5;
+  int64_t http_retry_backoff_micros = 500;
+  /// Client socket receive timeout (must exceed the long-poll wait).
+  int64_t http_io_timeout_micros = 2'000'000;
 };
 
 /// A bounded single-producer buffer for one (producer task, consumer
@@ -30,9 +52,14 @@ struct NetworkConfig {
 /// transferred in serialized form"): producers enqueue encoded frames, and
 /// capacity, utilization, and backpressure are all charged in actual wire
 /// bytes rather than in-memory size estimates. Producers block
-/// (backpressure) when the buffer is full; consumers acknowledge implicitly
-/// by dequeuing (the paper's token protocol: "the server retains data until
-/// the client requests the next segment using a token").
+/// (backpressure) when the buffer is full.
+///
+/// Consumption follows the paper's token protocol ("the server retains data
+/// until the client requests the next segment using a token"): frames carry
+/// monotonically increasing sequence tokens, GetBatch(token) retires —
+/// frees — everything below `token` and returns the frames at and after it,
+/// so a lost response is recovered by re-requesting the same un-acked token.
+/// Poll() is the in-process shortcut: fetch + immediate ack of one frame.
 class ExchangeBuffer {
  public:
   /// `wire_total`/`raw_total`, when set, receive every enqueued frame's
@@ -47,25 +74,50 @@ class ExchangeBuffer {
 
   /// Producer side: returns false when the buffer is full (§IV-E2 "full
   /// output buffers cause split execution to stall"). Copies the frame only
-  /// when it is admitted, so a rejected enqueue is cheap to retry.
+  /// when it is admitted, so a rejected enqueue is cheap to retry. Unacked
+  /// (in-flight) frames still occupy capacity until the consumer's next
+  /// token retires them.
   bool TryEnqueue(const PageCodec::Frame& frame);
   void NoMorePages();
 
-  /// Consumer side: nullopt when empty; *finished set when the stream ended
-  /// and everything was consumed.
+  /// Consumer side (in-process transport): nullopt when empty; *finished
+  /// set when the stream ended and everything was consumed. Equivalent to
+  /// GetBatch of one frame with an immediate ack.
   std::optional<PageCodec::Frame> Poll(bool* finished);
+
+  /// One long-poll response worth of frames.
+  struct FrameBatch {
+    std::vector<PageCodec::Frame> frames;
+    int64_t token = 0;       // sequence of frames.front() (== requested)
+    int64_t next_token = 0;  // token the client must request (ack) next
+    bool complete = false;   // stream ended and nothing remains after this
+  };
+
+  /// Consumer side (HTTP transport): acks — retires, freeing capacity —
+  /// every frame below `token`, then returns frames starting at `token`
+  /// up to `max_bytes` (always at least one when available), waiting up to
+  /// `wait_micros` for data when none is queued. A repeated request for an
+  /// un-acked token returns identical frames (idempotent re-fetch); an
+  /// already-retired or not-yet-produced token is InvalidArgument.
+  Result<FrameBatch> GetBatch(int64_t token, int64_t max_bytes,
+                              int64_t wait_micros);
 
   /// Fraction of capacity in use (drives concurrency reduction, §IV-E2).
   double utilization() const;
   bool finished() const;
   int64_t buffered_bytes() const;
+  /// Bytes handed to a consumer via GetBatch but not yet acked.
+  int64_t inflight_bytes() const;
   int64_t total_bytes_sent() const { return total_bytes_.load(); }
   int64_t total_raw_bytes_sent() const { return total_raw_bytes_.load(); }
   int64_t total_rows_sent() const { return total_rows_.load(); }
 
  private:
   mutable std::mutex mu_;
+  std::condition_variable cv_;  // notified on enqueue / NoMorePages
   std::deque<PageCodec::Frame> frames_;
+  int64_t base_token_ = 0;  // sequence token of frames_.front()
+  int64_t sent_token_ = 0;  // highest next_token ever returned by GetBatch
   int64_t buffered_bytes_ = 0;
   int64_t capacity_bytes_;
   bool no_more_ = false;
@@ -92,9 +144,10 @@ struct StreamId {
 };
 
 /// Process-wide shuffle registry: producers create their output buffers up
-/// front; consumers look them up by stream id. Replaces Presto's HTTP
-/// exchange endpoints. Owns the wire codec every stream shares; sinks
-/// encode with it and sources decode with it.
+/// front; consumers look them up by stream id (in-process transport) or pull
+/// them over HTTP from the owning worker's exchange server (kHttp), routed
+/// via the task-endpoint registry. Owns the wire codec every stream shares;
+/// sinks encode with it and sources decode with it.
 class ExchangeManager {
  public:
   /// Default wire options: preserve encodings (§V-E), LZ4, checksummed.
@@ -123,17 +176,37 @@ class ExchangeManager {
   double OutputUtilization(const std::string& query_id, int fragment,
                            int task) const;
 
-  /// Drops all buffers of a query (cleanup / kill).
+  /// Drops all buffers (and task endpoints) of a query (cleanup / kill).
   void RemoveQuery(const std::string& query_id);
 
+  /// Drops one stream's buffer (the client's DELETE teardown). Idempotent.
+  void RemoveStream(const StreamId& id);
+
+  /// kHttp routing: the coordinator records which worker's exchange server
+  /// owns the output buffers of (query, fragment, task); consumers resolve
+  /// the port before opening a client. -1 when unknown (not yet launched).
+  void RegisterTaskEndpoint(const std::string& query_id, int fragment,
+                            int task, int port);
+  int LookupTaskEndpoint(const std::string& query_id, int fragment,
+                         int task) const;
+
   /// Applies the simulated network cost for transferring `bytes` (actual
-  /// wire bytes of a frame, not an in-memory estimate).
+  /// wire bytes of a frame, not an in-memory estimate). Sleeps outside any
+  /// lock — concurrent transfers must overlap, not serialize.
   void SimulateTransfer(int64_t bytes) const;
+
+  /// Byte accounting only (the HTTP transport pays real socket costs).
+  void RecordTransfer(int64_t bytes) const {
+    transferred_bytes_.fetch_add(bytes);
+  }
 
   /// Bytes currently buffered across every stream of every query.
   int64_t TotalBufferedBytes() const;
 
-  /// Cumulative bytes moved through SimulateTransfer since startup.
+  /// Bytes handed to consumers but not yet acked, across every stream.
+  int64_t TotalInflightBytes() const;
+
+  /// Cumulative bytes moved through the transport since startup.
   int64_t transferred_bytes() const { return transferred_bytes_.load(); }
 
   /// Cumulative serialized (wire) bytes enqueued across all streams, and
@@ -142,14 +215,24 @@ class ExchangeManager {
   int64_t serialized_wire_bytes() const { return serialized_wire_.load(); }
   int64_t serialized_raw_bytes() const { return serialized_raw_.load(); }
 
+  /// HTTP transport counters (presto_exchange_http_* gauges).
+  void RecordHttpRequest() { http_requests_.fetch_add(1); }
+  void RecordHttpRetry() { http_retries_.fetch_add(1); }
+  int64_t http_requests() const { return http_requests_.load(); }
+  int64_t http_retries() const { return http_retries_.load(); }
+
  private:
   NetworkConfig network_;
   PageCodec codec_;
   mutable std::mutex mu_;
   std::map<StreamId, std::shared_ptr<ExchangeBuffer>> buffers_;
+  /// (query, fragment, task) -> HTTP port, keyed as StreamId partition 0.
+  std::map<StreamId, int> endpoints_;
   mutable std::atomic<int64_t> transferred_bytes_{0};
   std::atomic<int64_t> serialized_wire_{0};
   std::atomic<int64_t> serialized_raw_{0};
+  std::atomic<int64_t> http_requests_{0};
+  std::atomic<int64_t> http_retries_{0};
 };
 
 }  // namespace presto

@@ -1,0 +1,257 @@
+#include "exchange/http/exchange_http.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/fault_injection.h"
+
+namespace presto {
+
+namespace {
+
+constexpr char kPageToken[] = "x-presto-page-token";
+constexpr char kPageNextToken[] = "x-presto-page-next-token";
+constexpr char kFrameCount[] = "x-presto-frame-count";
+constexpr char kBufferComplete[] = "x-presto-buffer-complete";
+constexpr char kMaxWaitMicros[] = "x-presto-max-wait-micros";
+
+HttpResponse MakeError(int status, const std::string& reason,
+                       const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = reason;
+  response.body = message;
+  return response;
+}
+
+bool ParseInt(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  long long parsed = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = parsed;
+  return true;
+}
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> segments;
+  size_t begin = 0;
+  while (begin <= path.size()) {
+    size_t end = path.find('/', begin);
+    if (end == std::string::npos) end = path.size();
+    if (end > begin) segments.push_back(path.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return segments;
+}
+
+/// Presto task id `query.fragment.task` (query ids contain no '/'; the last
+/// two dot-separated fields are numeric).
+bool ParseTaskId(const std::string& task_id, std::string* query_id,
+                 int64_t* fragment, int64_t* task) {
+  size_t dot2 = task_id.rfind('.');
+  if (dot2 == std::string::npos || dot2 == 0) return false;
+  size_t dot1 = task_id.rfind('.', dot2 - 1);
+  if (dot1 == std::string::npos || dot1 == 0) return false;
+  if (!ParseInt(task_id.substr(dot1 + 1, dot2 - dot1 - 1), fragment) ||
+      !ParseInt(task_id.substr(dot2 + 1), task)) {
+    return false;
+  }
+  *query_id = task_id.substr(0, dot1);
+  return true;
+}
+
+Status HitFaultPoint(const char* point) {
+  if (!FaultInjection::Enabled()) return Status::OK();
+  return FaultInjection::Instance().Hit(point);
+}
+
+}  // namespace
+
+HttpResponse ExchangeHttpService::Handle(const HttpRequest& request) {
+  {
+    // Server-side chaos hook: an armed error becomes a 5xx, which clients
+    // must absorb through their retry budget.
+    Status fault = HitFaultPoint("exchange.http_server");
+    if (!fault.ok()) {
+      return MakeError(500, "Internal Server Error", fault.message());
+    }
+  }
+  // Expected shape: v1 / task / {taskId} / results / {partition} [/ token]
+  std::vector<std::string> segments = SplitPath(request.path);
+  if (segments.size() < 5 || segments[0] != "v1" || segments[1] != "task" ||
+      segments[3] != "results") {
+    return MakeError(404, "Not Found", "unknown path: " + request.path);
+  }
+  std::string query_id;
+  int64_t fragment = 0;
+  int64_t task = 0;
+  int64_t partition = 0;
+  if (!ParseTaskId(segments[2], &query_id, &fragment, &task) ||
+      !ParseInt(segments[4], &partition)) {
+    return MakeError(400, "Bad Request",
+                     "malformed task id or partition: " + request.path);
+  }
+  StreamId id{query_id, static_cast<int>(fragment), static_cast<int>(task),
+              static_cast<int>(partition)};
+
+  if (request.method == "DELETE" && segments.size() == 5) {
+    exchange_->RemoveStream(id);
+    HttpResponse response;
+    response.status = 204;
+    response.reason = "No Content";
+    return response;
+  }
+  if (request.method != "GET" || segments.size() != 6) {
+    return MakeError(400, "Bad Request",
+                     "expected GET .../results/{partition}/{token} or "
+                     "DELETE .../results/{partition}");
+  }
+  int64_t token = 0;
+  if (!ParseInt(segments[5], &token) || token < 0) {
+    return MakeError(400, "Bad Request", "malformed token: " + segments[5]);
+  }
+  auto buffer = exchange_->GetBuffer(id);
+  if (buffer == nullptr) {
+    return MakeError(404, "Not Found", "no buffer for stream");
+  }
+  const NetworkConfig& network = exchange_->network();
+  int64_t wait_micros = network.http_long_poll_micros;
+  int64_t requested_wait = 0;
+  if (ParseInt(request.header(kMaxWaitMicros), &requested_wait)) {
+    wait_micros = std::clamp<int64_t>(requested_wait, 0, wait_micros);
+  }
+  auto batch =
+      buffer->GetBatch(token, network.http_response_max_bytes, wait_micros);
+  if (!batch.ok()) {
+    return MakeError(400, "Bad Request", batch.status().message());
+  }
+  HttpResponse response;
+  response.headers["content-type"] = "application/x-presto-pages";
+  response.headers[kPageToken] = std::to_string(batch->token);
+  response.headers[kPageNextToken] = std::to_string(batch->next_token);
+  response.headers[kFrameCount] =
+      std::to_string(static_cast<int64_t>(batch->frames.size()));
+  response.headers[kBufferComplete] = batch->complete ? "true" : "false";
+  for (const auto& frame : batch->frames) {
+    response.body += frame.bytes;
+  }
+  return response;
+}
+
+std::string ExchangeHttpClient::BasePath() const {
+  return "/v1/task/" + stream_.query_id + "." +
+         std::to_string(stream_.fragment) + "." +
+         std::to_string(stream_.task) + "/results/" +
+         std::to_string(stream_.partition);
+}
+
+Result<HttpResponse> ExchangeHttpClient::RoundTrip(
+    const HttpRequest& request) {
+  const NetworkConfig& network = exchange_->network();
+  int64_t backoff = std::max<int64_t>(network.http_retry_backoff_micros, 1);
+  Status last = Status::IOError("exchange http: no attempt made");
+  for (int attempt = 0; attempt <= network.http_max_retries; ++attempt) {
+    if (attempt > 0) {
+      exchange_->RecordHttpRetry();
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff));
+      backoff = std::min<int64_t>(backoff * 2, 100'000);
+    }
+    // Injected send failure: the request never reaches the wire. Drop the
+    // connection so the next attempt reconnects, like a real broken socket.
+    Status fault = HitFaultPoint("exchange.http_send");
+    if (!fault.ok()) {
+      conn_.reset();
+      last = fault;
+      continue;
+    }
+    if (conn_ == nullptr) {
+      auto conn = ConnectToLoopback(port_, network.http_io_timeout_micros);
+      if (!conn.ok()) {
+        last = conn.status();
+        continue;
+      }
+      conn_ = std::move(*conn);
+    }
+    exchange_->RecordHttpRequest();
+    Status sent = conn_->WriteRequest(request);
+    if (!sent.ok()) {
+      conn_.reset();
+      last = sent;
+      continue;
+    }
+    auto response = conn_->ReadResponse();
+    if (!response.ok()) {
+      conn_.reset();
+      last = response.status();
+      continue;
+    }
+    // Injected receive failure: the response was produced but lost in
+    // transit. The token was not advanced, so the retry re-fetches the
+    // identical un-acked frames.
+    fault = HitFaultPoint("exchange.http_recv");
+    if (!fault.ok()) {
+      conn_.reset();
+      last = fault;
+      continue;
+    }
+    if (response->status >= 500) {
+      last = Status::IOError("exchange http: server error " +
+                             std::to_string(response->status) + ": " +
+                             response->body);
+      continue;
+    }
+    return std::move(*response);
+  }
+  return Status::IOError("exchange http: retries exhausted after " +
+                         std::to_string(network.http_max_retries + 1) +
+                         " attempts; last error: " + last.ToString());
+}
+
+Result<ExchangeHttpClient::FetchResult> ExchangeHttpClient::Fetch() {
+  HttpRequest request;
+  request.method = "GET";
+  request.path = BasePath() + "/" + std::to_string(next_token_);
+  PRESTO_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status == 404) {
+    return Status::IOError("exchange http: buffer gone (HTTP 404): " +
+                           response.body);
+  }
+  if (response.status != 200) {
+    return Status::IOError("exchange http: unexpected status " +
+                           std::to_string(response.status) + ": " +
+                           response.body);
+  }
+  int64_t token = 0;
+  int64_t next = 0;
+  int64_t frames = 0;
+  if (!ParseInt(response.header(kPageToken), &token) ||
+      !ParseInt(response.header(kPageNextToken), &next) ||
+      !ParseInt(response.header(kFrameCount), &frames) ||
+      token != next_token_ || next < token) {
+    return Status::IOError("exchange http: inconsistent token headers");
+  }
+  FetchResult result;
+  result.body = std::move(response.body);
+  result.frame_count = frames;
+  result.complete = response.header(kBufferComplete) == "true";
+  next_token_ = next;
+  return result;
+}
+
+Status ExchangeHttpClient::DeleteBuffer() {
+  HttpRequest request;
+  request.method = "DELETE";
+  request.path = BasePath();
+  PRESTO_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (response.status == 204 || response.status == 404) return Status::OK();
+  return Status::IOError("exchange http: DELETE failed with status " +
+                         std::to_string(response.status));
+}
+
+}  // namespace presto

@@ -1,0 +1,98 @@
+#ifndef PRESTOCPP_EXCHANGE_HTTP_EXCHANGE_HTTP_H_
+#define PRESTOCPP_EXCHANGE_HTTP_EXCHANGE_HTTP_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "exchange/exchange.h"
+#include "exchange/http/http_server.h"
+
+namespace presto {
+
+/// Production-Presto-shaped exchange endpoints served over a worker-local
+/// HTTP server (§IV-E2). Task ids follow Presto's `query.stage.task` shape.
+///
+///   GET /v1/task/{query}.{fragment}.{task}/results/{partition}/{token}
+///     Long-polls the stream's buffer: acks (retires) every frame below
+///     `token`, then returns the next batch of PGF1 frames concatenated in
+///     the body. Headers:
+///       x-presto-page-token        token of the first returned frame
+///       x-presto-page-next-token   token to request (and thereby ack) next
+///       x-presto-frame-count       frames in the body (0 on poll timeout)
+///       x-presto-buffer-complete   "true" when the stream has ended and
+///                                  this response reaches its end
+///     An empty body with next-token == token means the long-poll timed
+///     out with no data; the client re-requests the same token. Request
+///     header x-presto-max-wait-micros caps the server-side wait (bounded
+///     by NetworkConfig.http_long_poll_micros).
+///
+///   DELETE /v1/task/{query}.{fragment}.{task}/results/{partition}
+///     Tears the buffer down (204; idempotent).
+///
+/// 404 = unknown buffer, 400 = bad path/token, 500 = injected server fault
+/// (exchange.http_server) — the client treats 5xx as retryable.
+class ExchangeHttpService {
+ public:
+  explicit ExchangeHttpService(ExchangeManager* exchange)
+      : exchange_(exchange),
+        server_([this](const HttpRequest& request) {
+          return Handle(request);
+        }) {}
+
+  Status Start() { return server_.Start(); }
+  void Stop() { server_.Stop(); }
+  int port() const { return server_.port(); }
+
+  /// Exposed for protocol tests; normal traffic arrives via the server.
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  ExchangeManager* exchange_;
+  HttpServer server_;
+};
+
+/// Pulls one stream over HTTP with the token/ack protocol and bounded
+/// exponential-backoff retry: timeouts, connection errors, and 5xx are
+/// retried with the same token, which is idempotent because the server
+/// retains every un-acked frame. Fault points exchange.http_send /
+/// exchange.http_recv model a request lost before send and a response lost
+/// in transit.
+class ExchangeHttpClient {
+ public:
+  ExchangeHttpClient(ExchangeManager* exchange, int port, StreamId stream)
+      : exchange_(exchange), port_(port), stream_(std::move(stream)) {}
+
+  struct FetchResult {
+    std::string body;        // concatenated PGF1 frames
+    int64_t frame_count = 0;
+    bool complete = false;   // stream fully consumed; DeleteBuffer() next
+  };
+
+  /// One long-poll GET with the current token. Advances the token past the
+  /// returned frames, so the next Fetch acknowledges them. An empty body
+  /// with complete=false is a long-poll timeout (caller retries later).
+  Result<FetchResult> Fetch();
+
+  /// Buffer teardown after a complete fetch (or query abort). Idempotent;
+  /// 404 (already gone) counts as success.
+  Status DeleteBuffer();
+
+  int64_t next_token() const { return next_token_; }
+
+ private:
+  /// Sends the request, with retries; only <500 responses are returned.
+  Result<HttpResponse> RoundTrip(const HttpRequest& request);
+
+  std::string BasePath() const;
+
+  ExchangeManager* exchange_;
+  int port_;
+  StreamId stream_;
+  int64_t next_token_ = 0;
+  std::unique_ptr<HttpConnection> conn_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXCHANGE_HTTP_EXCHANGE_HTTP_H_

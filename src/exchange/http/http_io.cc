@@ -1,0 +1,299 @@
+#include "exchange/http/http_io.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace presto {
+
+namespace {
+
+// Caps a single header line / message body so a garbage peer cannot balloon
+// the read buffer.
+constexpr size_t kMaxLineBytes = 64 << 10;
+constexpr size_t kMaxBodyBytes = 256u << 20;
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return s;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+Status ErrnoError(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+HttpConnection::~HttpConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status HttpConnection::SetRecvTimeout(int64_t micros) {
+  struct timeval tv;
+  tv.tv_sec = micros / 1000000;
+  tv.tv_usec = micros % 1000000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return ErrnoError("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+void HttpConnection::Shutdown() { ::shutdown(fd_, SHUT_RDWR); }
+
+Status HttpConnection::FillMore(bool* timed_out) {
+  *timed_out = false;
+  // Compact consumed bytes so the buffer does not grow across keep-alive
+  // requests.
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  char chunk[8192];
+  for (;;) {
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      return Status::OK();
+    }
+    if (n == 0) return Status::IOError("connection closed by peer");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      *timed_out = true;
+      return Status::IOError("recv timeout");
+    }
+    return ErrnoError("recv");
+  }
+}
+
+Result<std::string> HttpConnection::ReadLine(bool* idle_timeout) {
+  if (idle_timeout != nullptr) *idle_timeout = false;
+  for (;;) {
+    size_t eol = buffer_.find("\r\n", pos_);
+    if (eol != std::string::npos) {
+      std::string line = buffer_.substr(pos_, eol - pos_);
+      pos_ = eol + 2;
+      return line;
+    }
+    if (buffer_.size() - pos_ > kMaxLineBytes) {
+      return Status::IOError("http line exceeds " +
+                             std::to_string(kMaxLineBytes) + " bytes");
+    }
+    bool idle = buffer_.size() == pos_;
+    bool timed_out = false;
+    Status status = FillMore(&timed_out);
+    if (!status.ok()) {
+      if (timed_out && idle && idle_timeout != nullptr) *idle_timeout = true;
+      return status;
+    }
+  }
+}
+
+Result<std::string> HttpConnection::ReadExact(size_t n) {
+  while (buffer_.size() - pos_ < n) {
+    bool timed_out = false;
+    PRESTO_RETURN_IF_ERROR(FillMore(&timed_out));
+  }
+  std::string data = buffer_.substr(pos_, n);
+  pos_ += n;
+  return data;
+}
+
+Status HttpConnection::ReadHeaderBlock(
+    std::map<std::string, std::string>* headers, size_t* content_length) {
+  *content_length = 0;
+  for (;;) {
+    auto line = ReadLine(nullptr);
+    if (!line.ok()) return line.status();
+    if (line->empty()) break;
+    size_t colon = line->find(':');
+    if (colon == std::string::npos) {
+      return Status::IOError("malformed http header: " + *line);
+    }
+    std::string name = ToLower(Trim(line->substr(0, colon)));
+    std::string value = Trim(line->substr(colon + 1));
+    (*headers)[name] = value;
+  }
+  auto it = headers->find("content-length");
+  if (it != headers->end()) {
+    errno = 0;
+    char* end = nullptr;
+    long long parsed = std::strtoll(it->second.c_str(), &end, 10);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0' ||
+        parsed < 0 || static_cast<size_t>(parsed) > kMaxBodyBytes) {
+      return Status::IOError("bad content-length: " + it->second);
+    }
+    *content_length = static_cast<size_t>(parsed);
+  }
+  return Status::OK();
+}
+
+Result<std::optional<HttpRequest>> HttpConnection::ReadRequest() {
+  bool idle = false;
+  auto line = ReadLine(&idle);
+  if (!line.ok()) {
+    if (idle) return std::optional<HttpRequest>();  // idle timeout: no data
+    return line.status();
+  }
+  HttpRequest request;
+  size_t sp1 = line->find(' ');
+  size_t sp2 = line->rfind(' ');
+  if (sp1 == std::string::npos || sp2 == sp1 ||
+      line->compare(sp2 + 1, std::string::npos, "HTTP/1.1") != 0) {
+    return Status::IOError("malformed request line: " + *line);
+  }
+  request.method = line->substr(0, sp1);
+  request.path = line->substr(sp1 + 1, sp2 - sp1 - 1);
+  size_t content_length = 0;
+  PRESTO_RETURN_IF_ERROR(ReadHeaderBlock(&request.headers, &content_length));
+  if (content_length > 0) {
+    PRESTO_ASSIGN_OR_RETURN(request.body, ReadExact(content_length));
+  }
+  return std::optional<HttpRequest>(std::move(request));
+}
+
+Result<HttpResponse> HttpConnection::ReadResponse() {
+  auto line = ReadLine(nullptr);
+  if (!line.ok()) return line.status();
+  HttpResponse response;
+  // "HTTP/1.1 <code> <reason>"
+  size_t sp1 = line->find(' ');
+  if (line->compare(0, 8, "HTTP/1.1") != 0 || sp1 == std::string::npos) {
+    return Status::IOError("malformed status line: " + *line);
+  }
+  size_t sp2 = line->find(' ', sp1 + 1);
+  std::string code = line->substr(
+      sp1 + 1, sp2 == std::string::npos ? std::string::npos : sp2 - sp1 - 1);
+  errno = 0;
+  char* end = nullptr;
+  long parsed = std::strtol(code.c_str(), &end, 10);
+  if (errno != 0 || end == code.c_str() || *end != '\0' || parsed < 100 ||
+      parsed > 599) {
+    return Status::IOError("malformed status code: " + *line);
+  }
+  response.status = static_cast<int>(parsed);
+  if (sp2 != std::string::npos) response.reason = line->substr(sp2 + 1);
+  size_t content_length = 0;
+  PRESTO_RETURN_IF_ERROR(ReadHeaderBlock(&response.headers,
+                                         &content_length));
+  if (content_length > 0) {
+    PRESTO_ASSIGN_OR_RETURN(response.body, ReadExact(content_length));
+  }
+  return response;
+}
+
+Status HttpConnection::WriteAll(const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoError("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status HttpConnection::WriteRequest(const HttpRequest& request) {
+  std::string out = request.method + " " + request.path + " HTTP/1.1\r\n";
+  out += "host: 127.0.0.1\r\nconnection: keep-alive\r\n";
+  for (const auto& [name, value] : request.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "content-length: " + std::to_string(request.body.size()) + "\r\n\r\n";
+  out += request.body;
+  return WriteAll(out);
+}
+
+Status HttpConnection::WriteResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    response.reason + "\r\n";
+  out += "connection: keep-alive\r\n";
+  for (const auto& [name, value] : response.headers) {
+    out += name + ": " + value + "\r\n";
+  }
+  out += "content-length: " + std::to_string(response.body.size()) +
+         "\r\n\r\n";
+  out += response.body;
+  return WriteAll(out);
+}
+
+Result<int> ListenOnLoopback(int* port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    Status status = ErrnoError("bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) != 0) {
+    Status status = ErrnoError("listen");
+    ::close(fd);
+    return status;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<struct sockaddr*>(&addr), &len) !=
+      0) {
+    Status status = ErrnoError("getsockname");
+    ::close(fd);
+    return status;
+  }
+  *port = ntohs(addr.sin_port);
+  return fd;
+}
+
+Result<std::unique_ptr<HttpConnection>> ConnectToLoopback(
+    int port, int64_t recv_timeout_micros) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return ErrnoError("socket");
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    Status status = ErrnoError("connect to 127.0.0.1:" +
+                               std::to_string(port));
+    ::close(fd);
+    return status;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto conn = std::make_unique<HttpConnection>(fd);
+  if (recv_timeout_micros > 0) {
+    PRESTO_RETURN_IF_ERROR(conn->SetRecvTimeout(recv_timeout_micros));
+  }
+  return conn;
+}
+
+}  // namespace presto

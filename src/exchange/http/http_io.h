@@ -1,0 +1,101 @@
+#ifndef PRESTOCPP_EXCHANGE_HTTP_HTTP_IO_H_
+#define PRESTOCPP_EXCHANGE_HTTP_HTTP_IO_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+
+namespace presto {
+
+/// Minimal HTTP/1.1 message types for the exchange transport. Header names
+/// are stored lowercased; bodies are length-delimited via Content-Length
+/// (no chunked encoding — both ends are ours).
+struct HttpRequest {
+  std::string method;  // GET / DELETE / ...
+  std::string path;    // absolute path, e.g. /v1/task/q.1.0/results/2/5
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string header(const std::string& name) const {
+    auto it = headers.find(name);
+    return it == headers.end() ? "" : it->second;
+  }
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  std::string header(const std::string& name) const {
+    auto it = headers.find(name);
+    return it == headers.end() ? "" : it->second;
+  }
+};
+
+/// One TCP connection speaking HTTP/1.1 with keep-alive, wrapping a POSIX
+/// socket fd with a read buffer. All reads honor the fd's SO_RCVTIMEO;
+/// errors and timeouts surface as IOError, never exceptions or crashes.
+class HttpConnection {
+ public:
+  /// Takes ownership of `fd` (closed on destruction).
+  explicit HttpConnection(int fd) : fd_(fd) {}
+  ~HttpConnection();
+
+  HttpConnection(const HttpConnection&) = delete;
+  HttpConnection& operator=(const HttpConnection&) = delete;
+
+  /// Receive timeout for subsequent reads; 0 disables (block forever).
+  Status SetRecvTimeout(int64_t micros);
+
+  /// Server side: reads one request. nullopt means the socket timed out
+  /// while idle (no request bytes arrived yet) — the caller may keep
+  /// waiting. A timeout mid-request, EOF, or a malformed message is an
+  /// IOError (the connection should be dropped).
+  Result<std::optional<HttpRequest>> ReadRequest();
+
+  /// Client side: reads one response (timeout/EOF/parse error -> IOError).
+  Result<HttpResponse> ReadResponse();
+
+  Status WriteRequest(const HttpRequest& request);
+  Status WriteResponse(const HttpResponse& response);
+
+  /// Unblocks any reader/writer on another thread (TCP half-close both
+  /// directions); the fd stays open until destruction.
+  void Shutdown();
+
+  int fd() const { return fd_; }
+
+ private:
+  // Reads more bytes into buffer_. *timed_out distinguishes a recv timeout
+  // from EOF/error (both of which return non-OK).
+  Status FillMore(bool* timed_out);
+  Result<std::string> ReadLine(bool* idle_timeout);
+  Result<std::string> ReadExact(size_t n);
+  // Parses "name: value" lines until the blank line; lowercases names and
+  // extracts content-length.
+  Status ReadHeaderBlock(std::map<std::string, std::string>* headers,
+                         size_t* content_length);
+  Status WriteAll(const std::string& data);
+
+  int fd_;
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+/// Creates a listening TCP socket on 127.0.0.1 with an ephemeral port.
+/// Returns the fd; *port receives the bound port.
+Result<int> ListenOnLoopback(int* port);
+
+/// Connects to 127.0.0.1:`port` and applies `recv_timeout_micros`.
+Result<std::unique_ptr<HttpConnection>> ConnectToLoopback(
+    int port, int64_t recv_timeout_micros);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXCHANGE_HTTP_HTTP_IO_H_

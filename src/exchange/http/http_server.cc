@@ -1,0 +1,108 @@
+#include "exchange/http/http_server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace presto {
+
+namespace {
+// Granularity at which idle connection threads and the accept loop observe
+// the stop flag.
+constexpr int64_t kPollMicros = 100'000;
+}  // namespace
+
+Status HttpServer::Start() {
+  PRESTO_ASSIGN_OR_RETURN(listen_fd_, ListenOnLoopback(&port_));
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stopping_.store(true);
+  {
+    // Unblock connection threads parked in recv.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& conn : connections_) conn->Shutdown();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+    connections_.clear();
+  }
+  for (auto& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    struct pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int ready = ::poll(&pfd, 1, static_cast<int>(kPollMicros / 1000));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // timeout: re-check stopping_
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    auto conn = std::make_shared<HttpConnection>(fd);
+    (void)conn->SetRecvTimeout(kPollMicros);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load()) {
+      conn->Shutdown();
+      return;
+    }
+    connections_.push_back(conn);
+    connection_threads_.emplace_back(
+        [this, conn] { ServeConnection(conn); });
+  }
+}
+
+void HttpServer::ServeConnection(std::shared_ptr<HttpConnection> conn) {
+  while (!stopping_.load()) {
+    auto request = conn->ReadRequest();
+    if (!request.ok()) {
+      // A parse failure still gets a best-effort 400 so a confused client
+      // sees a protocol error, not a silent hangup; then drop the
+      // connection (framing is lost). Closed/timed-out sockets just drop.
+      const std::string& message = request.status().message();
+      if (message.find("closed") == std::string::npos &&
+          message.find("timeout") == std::string::npos) {
+        HttpResponse bad;
+        bad.status = 400;
+        bad.reason = "Bad Request";
+        bad.body = message;
+        (void)conn->WriteResponse(bad);
+      }
+      break;
+    }
+    if (!request->has_value()) continue;  // idle timeout: re-check stopping_
+    HttpResponse response;
+    if ((*request)->method.empty() || (*request)->path.empty() ||
+        (*request)->path[0] != '/') {
+      response.status = 400;
+      response.reason = "Bad Request";
+    } else {
+      response = handler_(**request);
+    }
+    if (!conn->WriteResponse(response).ok()) break;
+  }
+  conn->Shutdown();
+}
+
+}  // namespace presto

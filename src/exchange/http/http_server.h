@@ -1,0 +1,55 @@
+#ifndef PRESTOCPP_EXCHANGE_HTTP_HTTP_SERVER_H_
+#define PRESTOCPP_EXCHANGE_HTTP_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "exchange/http/http_io.h"
+
+namespace presto {
+
+/// A small threaded HTTP/1.1 server over POSIX sockets: one accept loop plus
+/// one keep-alive thread per connection. Built for the exchange transport —
+/// localhost only, ephemeral port, handler-per-request — not for the open
+/// internet. Connection threads poll a stop flag between requests (100 ms
+/// receive timeout) so Stop() converges quickly even with idle clients.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler) : handler_(std::move(handler)) {}
+  ~HttpServer() { Stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:<ephemeral> and starts the accept loop.
+  Status Start();
+
+  /// Stops accepting, drops every connection, joins all threads. Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<HttpConnection> conn);
+
+  Handler handler_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<std::shared_ptr<HttpConnection>> connections_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_EXCHANGE_HTTP_HTTP_SERVER_H_

@@ -2,10 +2,12 @@
 #define PRESTOCPP_EXEC_OPERATORS_H_
 
 #include <atomic>
+#include <deque>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "exchange/http/exchange_http.h"
 #include "exec/group_by_hash.h"
 #include "exec/operator.h"
 #include "exec/pages_index.h"
@@ -61,8 +63,12 @@ class TableScanOperator final : public Operator {
   int64_t splits_processed_ = 0;
 };
 
-/// Consumer end of a shuffle: polls the output buffers of every producer
-/// task of the source fragment, simulating the long-poll transport.
+/// Consumer end of a shuffle: pulls serialized frames from every producer
+/// task of the source fragment. Two transports (NetworkConfig.transport):
+/// kInProcess polls the producers' ExchangeBuffers directly with a
+/// simulated network charge; kHttp long-polls each producer's exchange
+/// server over a real localhost socket with the token/ack protocol and
+/// retry (§IV-E2).
 class RemoteSourceOperator final : public Operator {
  public:
   RemoteSourceOperator(std::unique_ptr<OperatorContext> ctx,
@@ -74,9 +80,21 @@ class RemoteSourceOperator final : public Operator {
   bool IsBlocked() override { return blocked_; }
 
  private:
+  /// One in-process poll attempt against producer `i`; delivers via
+  /// ready_pages_.
+  Status PollInProcess(size_t i);
+  /// One HTTP fetch attempt against producer `i`; decodes every returned
+  /// frame into ready_pages_.
+  Status FetchHttp(size_t i);
+  /// Decodes all frames of a fetched body into ready_pages_.
+  Status DecodeFrames(const std::string& body);
+  std::optional<Page> TakeReadyPage();
+
   int source_fragment_;
   int producer_tasks_;
-  std::vector<std::shared_ptr<ExchangeBuffer>> buffers_;
+  std::vector<std::shared_ptr<ExchangeBuffer>> buffers_;   // kInProcess
+  std::vector<std::unique_ptr<ExchangeHttpClient>> clients_;  // kHttp
+  std::deque<Page> ready_pages_;  // decoded, not yet delivered downstream
   std::vector<bool> done_;
   size_t next_ = 0;
   bool finished_ = false;

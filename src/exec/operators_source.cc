@@ -88,53 +88,111 @@ RemoteSourceOperator::RemoteSourceOperator(
       source_fragment_(source_fragment),
       producer_tasks_(producer_tasks),
       buffers_(static_cast<size_t>(producer_tasks)),
+      clients_(static_cast<size_t>(producer_tasks)),
       done_(static_cast<size_t>(producer_tasks), false) {}
 
 Status RemoteSourceOperator::AddInput(Page) {
   return Status::Internal("RemoteSource takes no input");
 }
 
+Status RemoteSourceOperator::DecodeFrames(const std::string& body) {
+  ExchangeManager* exchange = ctx_->runtime().exchange;
+  size_t offset = 0;
+  while (offset < body.size()) {
+    PRESTO_FAULT_POINT("exchange.frame_decode");
+    auto start = std::chrono::steady_clock::now();
+    PRESTO_ASSIGN_OR_RETURN(Page page,
+                            exchange->codec().Decode(body, &offset));
+    ctx_->serde_nanos.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    ready_pages_.push_back(std::move(page));
+  }
+  return Status::OK();
+}
+
+Status RemoteSourceOperator::PollInProcess(size_t i) {
+  ExchangeManager* exchange = ctx_->runtime().exchange;
+  const TaskSpec& spec = ctx_->spec();
+  auto& buffer = buffers_[i];
+  if (buffer == nullptr) {
+    buffer = exchange->GetBuffer({spec.query_id, source_fragment_,
+                                  static_cast<int>(i), spec.task_index});
+    if (buffer == nullptr) return Status::OK();  // producer not started yet
+  }
+  bool finished = false;
+  auto frame = buffer->Poll(&finished);
+  if (finished) {
+    done_[i] = true;
+    return Status::OK();
+  }
+  if (frame.has_value()) {
+    // The network charge is the frame's actual wire size — compressed
+    // serialized bytes, not the in-memory Page estimate.
+    exchange->SimulateTransfer(frame->wire_bytes());
+    PRESTO_RETURN_IF_ERROR(DecodeFrames(frame->bytes));
+  }
+  return Status::OK();
+}
+
+Status RemoteSourceOperator::FetchHttp(size_t i) {
+  ExchangeManager* exchange = ctx_->runtime().exchange;
+  const TaskSpec& spec = ctx_->spec();
+  auto& client = clients_[i];
+  if (client == nullptr) {
+    int port = exchange->LookupTaskEndpoint(spec.query_id, source_fragment_,
+                                            static_cast<int>(i));
+    if (port < 0) return Status::OK();  // producer not registered yet
+    client = std::make_unique<ExchangeHttpClient>(
+        exchange, port,
+        StreamId{spec.query_id, source_fragment_, static_cast<int>(i),
+                 spec.task_index});
+  }
+  PRESTO_ASSIGN_OR_RETURN(ExchangeHttpClient::FetchResult fetch,
+                          client->Fetch());
+  if (!fetch.body.empty()) {
+    // Real socket transfer: record the wire bytes, no simulated sleep.
+    exchange->RecordTransfer(static_cast<int64_t>(fetch.body.size()));
+    PRESTO_RETURN_IF_ERROR(DecodeFrames(fetch.body));
+  }
+  if (fetch.complete) {
+    // Stream drained: tear the server-side buffer down. Best-effort — the
+    // query-end RemoveQuery sweep is the backstop.
+    (void)client->DeleteBuffer();
+    done_[i] = true;
+  }
+  return Status::OK();
+}
+
+std::optional<Page> RemoteSourceOperator::TakeReadyPage() {
+  if (ready_pages_.empty()) return std::nullopt;
+  Page page = std::move(ready_pages_.front());
+  ready_pages_.pop_front();
+  ctx_->rows_out.fetch_add(page.num_rows());
+  blocked_ = false;
+  return page;
+}
+
 Result<std::optional<Page>> RemoteSourceOperator::GetOutput() {
   PRESTO_RETURN_IF_ERROR(ctx_->CheckNotKilled());
   PRESTO_FAULT_POINT("exchange.poll");
-  ExchangeManager* exchange = ctx_->runtime().exchange;
-  const TaskSpec& spec = ctx_->spec();
-  bool all_done = true;
+  if (auto page = TakeReadyPage(); page.has_value()) {
+    return std::optional<Page>(std::move(*page));
+  }
+  const bool http = ctx_->runtime().exchange->network().transport ==
+                    TransportMode::kHttp;
   for (int attempt = 0; attempt < producer_tasks_; ++attempt) {
     size_t i = next_;
     next_ = (next_ + 1) % static_cast<size_t>(producer_tasks_);
     if (done_[i]) continue;
-    all_done = false;
-    auto& buffer = buffers_[i];
-    if (buffer == nullptr) {
-      buffer = exchange->GetBuffer({spec.query_id, source_fragment_,
-                                    static_cast<int>(i), spec.task_index});
-      if (buffer == nullptr) continue;  // producer not started yet
-    }
-    bool finished = false;
-    auto frame = buffer->Poll(&finished);
-    if (finished) {
-      done_[i] = true;
-      continue;
-    }
-    if (frame.has_value()) {
-      // The network charge is the frame's actual wire size — compressed
-      // serialized bytes, not the in-memory Page estimate.
-      exchange->SimulateTransfer(frame->wire_bytes());
-      PRESTO_FAULT_POINT("exchange.frame_decode");
-      auto start = std::chrono::steady_clock::now();
-      PRESTO_ASSIGN_OR_RETURN(Page page, exchange->codec().Decode(*frame));
-      ctx_->serde_nanos.fetch_add(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - start)
-              .count());
-      ctx_->rows_out.fetch_add(page.num_rows());
-      blocked_ = false;
-      return std::optional<Page>(std::move(page));
+    PRESTO_RETURN_IF_ERROR(http ? FetchHttp(i) : PollInProcess(i));
+    if (auto page = TakeReadyPage(); page.has_value()) {
+      return std::optional<Page>(std::move(*page));
     }
   }
   // Re-check completion over all producers.
-  all_done = true;
+  bool all_done = true;
   for (bool d : done_) {
     if (!d) {
       all_done = false;

@@ -4,7 +4,9 @@
 #include <memory>
 #include <vector>
 
+#include "common/check.h"
 #include "exchange/exchange.h"
+#include "exchange/http/exchange_http.h"
 #include "memory/memory.h"
 #include "schedule/task_executor.h"
 
@@ -62,12 +64,31 @@ class Cluster {
     for (int i = 0; i < config_.num_workers; ++i) {
       workers_.push_back(std::make_unique<WorkerNode>(i, config_));
     }
+    if (config_.network.transport == TransportMode::kHttp) {
+      // One exchange endpoint per worker, as in production Presto where
+      // every worker serves its own task output buffers.
+      for (int i = 0; i < config_.num_workers; ++i) {
+        auto service = std::make_unique<ExchangeHttpService>(&exchange_);
+        PRESTO_CHECK(service->Start().ok());
+        http_services_.push_back(std::move(service));
+      }
+    }
+  }
+
+  ~Cluster() {
+    for (auto& service : http_services_) service->Stop();
   }
 
   const ClusterConfig& config() const { return config_; }
   int num_workers() const { return static_cast<int>(workers_.size()); }
   WorkerNode& worker(int i) { return *workers_[static_cast<size_t>(i)]; }
   ExchangeManager& exchange() { return exchange_; }
+
+  /// Exchange endpoint port of a worker; -1 when HTTP transport is off.
+  int http_port(int worker) const {
+    if (http_services_.empty()) return -1;
+    return http_services_[static_cast<size_t>(worker)]->port();
+  }
 
   /// Aggregate executor busy time across workers (Fig. 8's CPU metric).
   int64_t total_busy_nanos() const {
@@ -80,6 +101,7 @@ class Cluster {
   ClusterConfig config_;
   ExchangeManager exchange_;
   std::vector<std::unique_ptr<WorkerNode>> workers_;
+  std::vector<std::unique_ptr<ExchangeHttpService>> http_services_;
 };
 
 }  // namespace presto

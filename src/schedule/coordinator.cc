@@ -392,6 +392,13 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
               ? task_counts[static_cast<size_t>(fragment.consumer)]
               : 1;
       spec.worker_id = worker;
+      if (config.network.transport == TransportMode::kHttp) {
+        // Consumers resolve a producer task's output via its worker's
+        // exchange endpoint; the coordinator owns placement, so it owns
+        // the (task -> endpoint) map too.
+        cluster_->exchange().RegisterTaskEndpoint(
+            query_id, fragment.id, t, cluster_->http_port(worker));
+      }
       for (int input : fragment.inputs) {
         spec.source_task_counts[input] =
             task_counts[static_cast<size_t>(input)];

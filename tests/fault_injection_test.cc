@@ -541,6 +541,84 @@ TEST_F(FaultInjectionEndToEndTest, ExchangeFullStallThenCancelCleansUp) {
   ExpectNoLeaks(stalled);
 }
 
+// ---------------------------------------------------------------------------
+// End-to-end over the HTTP exchange transport
+// ---------------------------------------------------------------------------
+
+class HttpExchangeEndToEndTest : public FaultInjectionEndToEndTest {
+ protected:
+  void SetUp() override {
+    EngineOptions options;
+    options.cluster.num_workers = 2;
+    options.cluster.executor.threads = 2;
+    options.cluster.network.transport = TransportMode::kHttp;
+    options.cluster.network.http_retry_backoff_micros = 100;
+    engine_ = std::make_unique<PrestoEngine>(options);
+    engine_->catalog().Register(
+        std::make_shared<TpchConnector>("tpch", /*scale=*/0.1));
+    engine_->catalog().SetDefault("tpch");
+  }
+};
+
+TEST_F(HttpExchangeEndToEndTest, SendFailureExhaustsRetriesAndCleansUp) {
+  // Every attempt loses the request: the retry budget runs out, the query
+  // fails with the transport error, and finalization runs exactly once —
+  // no buffered bytes, reservations, or spill files survive.
+  FaultSpec spec;
+  spec.error = Status::IOError("injected request loss");
+  FaultInjection::Instance().Arm("exchange.http_send", spec);
+  Status status = RunExpectingFailure(
+      "SELECT orderkey, count(*) FROM lineitem GROUP BY orderkey");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_NE(status.message().find("retries exhausted"), std::string::npos)
+      << status.ToString();
+  FaultInjection::Instance().DisarmAll();  // unclog the teardown DELETEs
+  ExpectNoLeaks(*engine_);
+  EXPECT_GT(engine_->cluster().exchange().http_retries(), 0);
+}
+
+TEST_F(HttpExchangeEndToEndTest, LostResponsesAreRetriedToSuccess) {
+  // The response is lost three times; the un-acked token makes the re-fetch
+  // idempotent, so the query still returns the right answer.
+  FaultSpec spec;
+  spec.error = Status::IOError("injected response loss");
+  spec.max_fires = 3;
+  FaultInjection::Instance().Arm("exchange.http_recv", spec);
+  auto rows = engine_->ExecuteAndFetch(
+      "SELECT count(*), sum(orderkey) FROM lineitem");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(FaultInjection::Instance().fires("exchange.http_recv"), 3);
+  EXPECT_GE(engine_->cluster().exchange().http_retries(), 3);
+  FaultInjection::Instance().DisarmAll();
+  ExpectNoLeaks(*engine_);
+}
+
+TEST_F(HttpExchangeEndToEndTest, ServerFaultsAreRetriedToSuccess) {
+  FaultSpec spec;
+  spec.error = Status::Internal("injected handler failure");
+  spec.max_fires = 2;
+  FaultInjection::Instance().Arm("exchange.http_server", spec);
+  auto rows = engine_->ExecuteAndFetch(
+      "SELECT orderkey, count(*) FROM lineitem GROUP BY orderkey");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_GE(engine_->cluster().exchange().http_retries(), 2);
+  FaultInjection::Instance().DisarmAll();
+  ExpectNoLeaks(*engine_);
+}
+
+TEST_F(HttpExchangeEndToEndTest, FrameDecodeFailureCleansUp) {
+  // Same corruption drill as the in-process transport, but the frame now
+  // crossed a real socket before the decode fails.
+  FaultSpec spec;
+  spec.error = Status::IOError("injected frame corruption");
+  spec.trigger_after_hits = 1;
+  FaultInjection::Instance().Arm("exchange.frame_decode", spec);
+  Status status = RunExpectingFailure(
+      "SELECT orderkey, count(*) FROM lineitem GROUP BY orderkey");
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  ExpectNoLeaks(*engine_);
+}
+
 TEST_F(FaultInjectionEndToEndTest, ExplainAnalyzeStillWorksAfterFailure) {
   // Driver teardown at finalization caches a last stats snapshot; stats
   // queries after a failure must not crash or return garbage.

@@ -260,6 +260,43 @@ TEST_F(IntegrationTest, SpillingKeepsLargeAggregationAlive) {
   EXPECT_EQ((*rows)[0][0], Value::Bigint(15000));
 }
 
+TEST_F(IntegrationTest, HttpTransportMatchesInProcess) {
+  // The same multi-fragment queries over real localhost sockets
+  // (TransportMode::kHttp) must return exactly what the in-process
+  // transport returns — the wire protocol is invisible to results.
+  EngineOptions options;
+  options.cluster.num_workers = 4;
+  options.cluster.executor.threads = 2;
+  options.cluster.network.transport = TransportMode::kHttp;
+  PrestoEngine http_engine(options);
+  http_engine.catalog().Register(
+      std::make_shared<TpchConnector>("tpch", kScale));
+  http_engine.catalog().SetDefault("tpch");
+
+  for (const char* sql : {
+           // Repartitioned aggregation: scan fragments shuffle to
+           // aggregation fragments across workers.
+           "SELECT orderstatus, count(*), sum(totalprice) FROM orders "
+           "GROUP BY orderstatus",
+           // Distributed join: two shuffles feeding one probe fragment.
+           "SELECT c.mktsegment, count(*) FROM orders o "
+           "JOIN customer c ON o.custkey = c.custkey GROUP BY c.mktsegment",
+           // Single-fragment passthrough still works under kHttp.
+           "SELECT count(*) FROM lineitem",
+       }) {
+    SCOPED_TRACE(sql);
+    auto in_process = engine_->ExecuteAndFetch(sql);
+    auto over_http = http_engine.ExecuteAndFetch(sql);
+    ASSERT_TRUE(in_process.ok()) << in_process.status().ToString();
+    ASSERT_TRUE(over_http.ok()) << over_http.status().ToString();
+    EXPECT_TRUE(SameRowsIgnoringOrder(*in_process, *over_http));
+  }
+  // The shuffles really went over HTTP, and every buffer was retired.
+  EXPECT_GT(http_engine.cluster().exchange().http_requests(), 0);
+  EXPECT_EQ(http_engine.cluster().exchange().TotalBufferedBytes(), 0);
+  EXPECT_EQ(http_engine.cluster().exchange().TotalInflightBytes(), 0);
+}
+
 TEST_F(IntegrationTest, MemoryLimitKillsQueryWithoutSpill) {
   EngineOptions options;
   options.cluster.num_workers = 1;
