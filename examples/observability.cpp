@@ -1,0 +1,82 @@
+// Observability: distributed tracing + the HTTP observability plane.
+//
+// Runs a TPC-H-style distributed join over the real HTTP exchange
+// transport, then exposes the engine's /v1 endpoints:
+//
+//   GET /v1/metrics           Prometheus text exposition
+//   GET /v1/query             all tracked queries (JSON)
+//   GET /v1/query/{id}        one query's lifecycle + stats (JSON)
+//   GET /v1/query/{id}/trace  Chrome trace JSON -> load in ui.perfetto.dev
+//
+// Build & run:
+//   cmake -B build && cmake --build build
+//   ./build/examples/observability 60   # serve the endpoints for 60s
+//   curl localhost:$PORT/v1/metrics
+//
+// With no argument it prints the trace timeline and exits (CI smoke mode
+// passes a duration and curls the printed PORT).
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "connectors/tpch/tpch_connector.h"
+#include "engine/engine.h"
+
+using namespace presto;  // NOLINT
+
+int main(int argc, char** argv) {
+  int serve_seconds = argc > 1 ? std::atoi(argv[1]) : 0;
+
+  // Real localhost-socket shuffle, so the trace includes HTTP fetch/serve
+  // spans with cross-worker trace-context propagation.
+  EngineOptions options;
+  options.cluster.num_workers = 2;
+  options.cluster.executor.threads = 2;
+  options.cluster.network.transport = TransportMode::kHttp;
+  PrestoEngine engine(options);
+  engine.catalog().Register(std::make_shared<TpchConnector>("tpch", 0.01));
+  engine.catalog().SetDefault("tpch");
+
+  // The observability plane serves scrapes while queries run.
+  if (!engine.StartObservability().ok()) {
+    std::fprintf(stderr, "failed to start observability server\n");
+    return 1;
+  }
+  std::printf("PORT=%d\n", engine.observability_port());
+
+  auto result = engine.Execute(
+      "SELECT c.mktsegment, count(*) AS orders FROM orders o "
+      "JOIN customer c ON o.custkey = c.custkey GROUP BY c.mktsegment");
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  auto rows = result->FetchAllRows();
+  if (!rows.ok()) {
+    std::fprintf(stderr, "%s\n", rows.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("QUERY_ID=%s\n", result->query_id().c_str());
+  std::printf("rows=%zu\n", rows->size());
+
+  // EXPLAIN ANALYZE VERBOSE appends the compact trace timeline.
+  auto analyzed = engine.ExplainAnalyze(
+      "EXPLAIN ANALYZE VERBOSE SELECT orderstatus, count(*) FROM orders "
+      "GROUP BY orderstatus");
+  if (analyzed.ok()) std::printf("%s\n", analyzed->c_str());
+
+  std::fflush(stdout);
+  if (serve_seconds > 0) {
+    // Smoke/CI mode: keep serving so an external curl can hit /v1/*.
+    std::this_thread::sleep_for(std::chrono::seconds(serve_seconds));
+  } else {
+    auto trace = engine.QueryTraceJson(result->query_id());
+    if (trace.ok()) {
+      std::printf("trace JSON: %zu bytes (load in ui.perfetto.dev)\n",
+                  trace->size());
+    }
+  }
+  return 0;
+}

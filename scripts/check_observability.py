@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""CI smoke check for the observability plane.
+
+Usage: check_observability.py TRACE_JSON QUERIES_JSON METRICS_TXT
+
+Validates that
+  - the query trace is well-formed Chrome trace_event JSON with spans from
+    all four engine layers, and every consumer-side http_fetch span carries
+    the producer's trace id (x-presto-trace propagation);
+  - /v1/query returned valid JSON;
+  - /v1/metrics parses as Prometheus text exposition format, with HELP/TYPE
+    announced before each family's samples.
+"""
+
+import json
+import re
+import sys
+
+
+def check_trace(path):
+    with open(path) as f:
+        trace = json.load(f)
+    events = trace["traceEvents"]
+    assert events, "empty traceEvents"
+    categories = {e.get("cat") for e in events if e.get("ph") != "M"}
+    required = {"coordinator", "scheduler", "executor", "exchange"}
+    missing = required - categories
+    assert not missing, f"missing trace layers: {missing} (got {categories})"
+    fetches = [e for e in events if e.get("name") == "http_fetch"]
+    assert fetches, "no consumer-side http_fetch spans"
+    for fetch in fetches:
+        peer = fetch.get("args", {}).get("peer_trace")
+        assert peer, f"http_fetch span without peer_trace: {fetch}"
+    spans = [e for e in events if e.get("ph") == "X"]
+    assert spans, "no complete (X) spans"
+    for span in spans:
+        assert span["dur"] >= 0 and "ts" in span, f"bad span: {span}"
+    return len(events)
+
+
+def check_metrics(path):
+    sample = re.compile(
+        r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? "
+        r"[-+]?([0-9]*\.?[0-9]+([eE][-+]?[0-9]+)?|[Ii]nf|[Nn]a[Nn])$"
+    )
+    announced = set()
+    count = 0
+    with open(path) as f:
+        for line in f:
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            if line.startswith("# HELP ") or line.startswith("# TYPE "):
+                announced.add(line.split(" ")[2])
+                continue
+            assert sample.match(line), f"bad sample line: {line!r}"
+            name = re.match(r"[a-zA-Z_:][a-zA-Z0-9_:]*", line).group(0)
+            family = re.sub(r"_(bucket|sum|count)$", "", name)
+            assert name in announced or family in announced, (
+                f"sample before HELP/TYPE announcement: {line!r}"
+            )
+            count += 1
+    assert count > 0, "no metric samples"
+    return count
+
+
+def main():
+    trace_path, queries_path, metrics_path = sys.argv[1:4]
+    events = check_trace(trace_path)
+    with open(queries_path) as f:
+        queries = json.load(f)
+    assert isinstance(queries, list) and queries, "empty /v1/query list"
+    samples = check_metrics(metrics_path)
+    print(
+        f"OK: {events} trace events, {len(queries)} queries, "
+        f"{samples} metric samples"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include "engine/observability_http.h"
 #include "exec/spiller.h"
 #include "fragment/fragmenter.h"
 #include "plan/planner.h"
@@ -52,6 +53,54 @@ PrestoEngine::PrestoEngine(EngineOptions options)
       cluster_(std::make_unique<Cluster>(options_.cluster)),
       coordinator_(std::make_unique<Coordinator>(cluster_.get(), &catalog_)) {
   RegisterEngineGauges();
+  cluster_->exchange().SetTraceRegistry(&traces_);
+  // Latency histograms, installed into the executors/exchange as raw
+  // pointers (the registry owns them and outlives both, member order).
+  Histogram* quantum = metrics_->RegisterHistogram(
+      "presto_executor_quantum_seconds",
+      "Duration of MLFQ scheduling quanta",
+      LogBuckets(0.00001, 4, 10));
+  for (int i = 0; i < cluster_->num_workers(); ++i) {
+    cluster_->worker(i).executor().set_quantum_histogram(quantum);
+  }
+  cluster_->exchange().set_poll_wait_histogram(metrics_->RegisterHistogram(
+      "presto_exchange_poll_wait_seconds",
+      "Server-side exchange long-poll wait per GET",
+      LogBuckets(0.0001, 4, 8)));
+  cluster_->exchange().set_http_request_histogram(
+      metrics_->RegisterHistogram(
+          "presto_exchange_http_request_seconds",
+          "Client-side exchange HTTP request round-trip time per attempt",
+          LogBuckets(0.0001, 4, 8)));
+}
+
+PrestoEngine::~PrestoEngine() { StopObservability(); }
+
+Result<std::string> PrestoEngine::QueryTraceJson(
+    const std::string& query_id) const {
+  std::shared_ptr<QueryLifecycle> lifecycle = tracker_->Lookup(query_id);
+  if (lifecycle == nullptr) {
+    return Status::NotFound("no such query: " + query_id);
+  }
+  return lifecycle->trace()->ToChromeTraceJson();
+}
+
+Status PrestoEngine::StartObservability() {
+  if (observability_ != nullptr) return Status::OK();
+  auto service = std::make_unique<ObservabilityHttpService>(this);
+  PRESTO_RETURN_IF_ERROR(service->Start());
+  observability_ = std::move(service);
+  return Status::OK();
+}
+
+void PrestoEngine::StopObservability() {
+  if (observability_ == nullptr) return;
+  observability_->Stop();
+  observability_.reset();
+}
+
+int PrestoEngine::observability_port() const {
+  return observability_ != nullptr ? observability_->port() : -1;
 }
 
 void PrestoEngine::RegisterEngineGauges() {
@@ -152,28 +201,43 @@ void PrestoEngine::RegisterEngineGauges() {
       "Cumulative executor busy time across all workers", [this] {
         return static_cast<double>(cluster_->total_busy_nanos());
       });
+  // One labeled family instead of five level-suffixed names, so Prometheus
+  // can aggregate/filter across levels.
   for (int level = 0; level < 5; ++level) {
     metrics_->RegisterGauge(
-        "presto_executor_quanta_level" + std::to_string(level) + "_total",
-        "Scheduling quanta executed at MLFQ level " + std::to_string(level),
+        "presto_executor_quanta_total",
+        "Scheduling quanta executed per MLFQ level",
         [this, level] {
           int64_t total = 0;
           for (int i = 0; i < cluster_->num_workers(); ++i) {
             total += cluster_->worker(i).executor().quanta_at_level(level);
           }
           return static_cast<double>(total);
-        });
+        },
+        {{"level", std::to_string(level)}});
   }
 }
 
 Result<FragmentedPlan> PrestoEngine::PlanStatement(
-    const sql::Statement& stmt) {
+    const sql::Statement& stmt, TraceRecorder* trace) {
+  auto timed = [trace](const char* name, auto fn) {
+    int64_t start = trace != nullptr ? trace->NowNanos() : 0;
+    auto result = fn();
+    if (trace != nullptr) {
+      trace->RecordSpan("coordinator", name, /*pid=*/0, /*tid=*/0, start,
+                        trace->NowNanos() - start);
+    }
+    return result;
+  };
   Planner planner(&catalog_);
-  PRESTO_ASSIGN_OR_RETURN(PlanNodePtr plan, planner.Plan(stmt));
+  PRESTO_ASSIGN_OR_RETURN(
+      PlanNodePtr plan, timed("plan", [&] { return planner.Plan(stmt); }));
   Optimizer optimizer(&catalog_, options_.optimizer);
-  PRESTO_ASSIGN_OR_RETURN(plan, optimizer.Optimize(std::move(plan)));
+  PRESTO_ASSIGN_OR_RETURN(plan, timed("optimize", [&] {
+                            return optimizer.Optimize(std::move(plan));
+                          }));
   Fragmenter fragmenter;
-  return fragmenter.Fragment(plan);
+  return timed("fragment", [&] { return fragmenter.Fragment(plan); });
 }
 
 Result<std::string> PrestoEngine::Explain(const std::string& sql) {
@@ -187,8 +251,10 @@ Result<std::shared_ptr<QueryExecution>> PrestoEngine::Launch(
     const std::string& query_id) {
   std::shared_ptr<QueryLifecycle> lifecycle =
       tracker_->Register(query_id, sql);
+  traces_.Register(query_id, lifecycle->trace());
   lifecycle->MarkPlanning();
-  Result<FragmentedPlan> fragments = PlanStatement(stmt);
+  Result<FragmentedPlan> fragments =
+      PlanStatement(stmt, lifecycle->trace().get());
   if (!fragments.ok()) {
     lifecycle->Finalize(fragments.status(), /*cancelled=*/false,
                         QueryStats{});
@@ -256,7 +322,17 @@ Result<std::string> PrestoEngine::ExplainAnalyze(const std::string& sql) {
     if (!page.has_value()) break;
   }
   PRESTO_RETURN_IF_ERROR(execution->Wait());
-  return RenderAnnotatedPlan(execution->plan(), execution->StatsSnapshot());
+  std::string text =
+      RenderAnnotatedPlan(execution->plan(), execution->StatsSnapshot());
+  if (stmt->explain_verbose) {
+    // EXPLAIN ANALYZE VERBOSE: append the compact trace timeline (the full
+    // Chrome JSON stays behind QueryTraceJson / the /v1 trace endpoint).
+    std::shared_ptr<QueryLifecycle> lifecycle = tracker_->Lookup(query_id);
+    if (lifecycle != nullptr) {
+      text += "\nTimeline:\n" + lifecycle->trace()->ToTimelineText();
+    }
+  }
+  return text;
 }
 
 Result<std::vector<std::vector<Value>>> PrestoEngine::ExecuteAndFetch(

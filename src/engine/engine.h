@@ -16,6 +16,8 @@
 
 namespace presto {
 
+class ObservabilityHttpService;
+
 /// Engine-wide options: the simulated cluster plus optimizer settings.
 struct EngineOptions {
   ClusterConfig cluster;
@@ -63,6 +65,7 @@ class QueryResult {
 class PrestoEngine {
  public:
   explicit PrestoEngine(EngineOptions options = {});
+  ~PrestoEngine();
 
   Catalog& catalog() { return catalog_; }
   Cluster& cluster() { return *cluster_; }
@@ -100,9 +103,26 @@ class PrestoEngine {
   /// Engine-wide counters/gauges/histograms (Prometheus RenderText()).
   MetricsRegistry& metrics() { return *metrics_; }
 
+  /// Chrome trace_event JSON of one query's distributed trace (load in
+  /// Perfetto / chrome://tracing). Available while the query runs and for
+  /// as long as it stays in the tracked-query history.
+  Result<std::string> QueryTraceJson(const std::string& query_id) const;
+
+  /// Resolves query/trace ids for the exchange's `x-presto-trace` headers.
+  TraceRegistry& traces() { return traces_; }
+
+  /// Starts the HTTP observability plane (GET /v1/metrics, /v1/query,
+  /// /v1/query/{id}, /v1/query/{id}/trace) on 127.0.0.1:<ephemeral>.
+  /// Idempotent; observability_port() is -1 until started.
+  Status StartObservability();
+  void StopObservability();
+  int observability_port() const;
+
  private:
   /// plan -> optimize -> fragment (shared by Execute/Explain/ExplainAnalyze).
-  Result<FragmentedPlan> PlanStatement(const sql::Statement& stmt);
+  /// With a recorder, each phase gets a coordinator-side span.
+  Result<FragmentedPlan> PlanStatement(const sql::Statement& stmt,
+                                       TraceRecorder* trace = nullptr);
 
   /// Registers the lifecycle, plans, and launches the statement.
   Result<std::shared_ptr<QueryExecution>> Launch(
@@ -114,11 +134,15 @@ class PrestoEngine {
   EngineOptions options_;
   Catalog catalog_;
   // Declaration order is destruction-order-sensitive: lifecycles hold a
-  // pointer to the tracker, which holds a pointer to the registry.
+  // pointer to the tracker, which holds a pointer to the registry; the
+  // cluster's exchange holds a pointer to the trace registry; the
+  // observability server reads everything, so it is torn down first.
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<QueryTracker> tracker_;
+  TraceRegistry traces_;
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<Coordinator> coordinator_;
+  std::unique_ptr<ObservabilityHttpService> observability_;
   std::atomic<int64_t> next_query_id_{0};
 };
 

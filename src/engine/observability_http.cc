@@ -1,0 +1,141 @@
+#include "engine/observability_http.h"
+
+#include <vector>
+
+#include "engine/engine.h"
+#include "stats/trace.h"
+
+namespace presto {
+
+namespace {
+
+HttpResponse MakeError(int status, const std::string& reason,
+                       const std::string& message) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = reason;
+  response.headers["content-type"] = "text/plain";
+  response.body = message;
+  return response;
+}
+
+HttpResponse MakeOk(std::string content_type, std::string body) {
+  HttpResponse response;
+  response.headers["content-type"] = std::move(content_type);
+  response.body = std::move(body);
+  return response;
+}
+
+std::vector<std::string> SplitPath(const std::string& path) {
+  std::vector<std::string> segments;
+  size_t begin = 0;
+  while (begin <= path.size()) {
+    size_t end = path.find('/', begin);
+    if (end == std::string::npos) end = path.size();
+    if (end > begin) segments.push_back(path.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return segments;
+}
+
+void AppendQueryInfoJson(const QueryInfo& info, std::string* out) {
+  out->append("{\"queryId\":\"");
+  out->append(JsonEscape(info.query_id));
+  out->append("\",\"sql\":\"");
+  out->append(JsonEscape(info.sql));
+  out->append("\",\"state\":\"");
+  out->append(QueryStateToString(info.state));
+  out->append("\",\"error\":\"");
+  out->append(JsonEscape(info.final_status.ok()
+                             ? ""
+                             : info.final_status.ToString()));
+  out->append("\",\"createUnixMillis\":");
+  out->append(std::to_string(info.create_unix_millis));
+  out->append(",\"queuedNanos\":");
+  out->append(std::to_string(info.queued_nanos));
+  out->append(",\"planningNanos\":");
+  out->append(std::to_string(info.planning_nanos));
+  out->append(",\"executionNanos\":");
+  out->append(std::to_string(info.execution_nanos));
+  out->append(",\"endToEndNanos\":");
+  out->append(std::to_string(info.end_to_end_nanos));
+  out->append(",\"stats\":{\"cpuNanos\":");
+  out->append(std::to_string(info.stats.total_cpu_nanos));
+  out->append(",\"blockedNanos\":");
+  out->append(std::to_string(info.stats.total_blocked_nanos));
+  out->append(",\"rawInputRows\":");
+  out->append(std::to_string(info.stats.raw_input_rows));
+  out->append(",\"rawInputBytes\":");
+  out->append(std::to_string(info.stats.raw_input_bytes));
+  out->append(",\"outputRows\":");
+  out->append(std::to_string(info.stats.output_rows));
+  out->append(",\"peakUserMemoryBytes\":");
+  out->append(std::to_string(info.stats.peak_user_memory_bytes));
+  out->append(",\"spilledBytes\":");
+  out->append(std::to_string(info.stats.total_spilled_bytes));
+  out->append(",\"numTasks\":");
+  out->append(std::to_string(info.stats.num_tasks));
+  out->append(",\"numDrivers\":");
+  out->append(std::to_string(info.stats.num_drivers));
+  out->append("},\"fragmentTaskCounts\":{");
+  bool first = true;
+  for (const auto& [fragment, tasks] : info.fragment_task_counts) {
+    if (!first) out->append(",");
+    first = false;
+    out->append("\"");
+    out->append(std::to_string(fragment));
+    out->append("\":");
+    out->append(std::to_string(tasks));
+  }
+  out->append("}}");
+}
+
+}  // namespace
+
+HttpResponse ObservabilityHttpService::Handle(const HttpRequest& request) {
+  if (request.method != "GET") {
+    return MakeError(405, "Method Not Allowed", "only GET is supported");
+  }
+  std::vector<std::string> segments = SplitPath(request.path);
+  if (segments.size() < 2 || segments[0] != "v1") {
+    return MakeError(404, "Not Found", "unknown path: " + request.path);
+  }
+  if (segments[1] == "metrics" && segments.size() == 2) {
+    return MakeOk("text/plain; version=0.0.4",
+                  engine_->metrics().RenderText());
+  }
+  if (segments[1] != "query") {
+    return MakeError(404, "Not Found", "unknown path: " + request.path);
+  }
+  if (segments.size() == 2) {
+    std::string body = "[";
+    bool first = true;
+    for (const QueryInfo& info : engine_->ListQueries()) {
+      if (!first) body += ",";
+      first = false;
+      AppendQueryInfoJson(info, &body);
+    }
+    body += "]";
+    return MakeOk("application/json", std::move(body));
+  }
+  const std::string& query_id = segments[2];
+  if (segments.size() == 3) {
+    Result<QueryInfo> info = engine_->QueryInfoFor(query_id);
+    if (!info.ok()) {
+      return MakeError(404, "Not Found", info.status().message());
+    }
+    std::string body;
+    AppendQueryInfoJson(*info, &body);
+    return MakeOk("application/json", std::move(body));
+  }
+  if (segments.size() == 4 && segments[3] == "trace") {
+    Result<std::string> trace = engine_->QueryTraceJson(query_id);
+    if (!trace.ok()) {
+      return MakeError(404, "Not Found", trace.status().message());
+    }
+    return MakeOk("application/json", std::move(*trace));
+  }
+  return MakeError(404, "Not Found", "unknown path: " + request.path);
+}
+
+}  // namespace presto

@@ -1,0 +1,48 @@
+#ifndef PRESTOCPP_ENGINE_OBSERVABILITY_HTTP_H_
+#define PRESTOCPP_ENGINE_OBSERVABILITY_HTTP_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "exchange/http/http_server.h"
+
+namespace presto {
+
+class PrestoEngine;
+
+/// Coordinator-side observability endpoints, the embedded analogue of
+/// Presto's REST UI/monitoring surface, served over the same HttpServer the
+/// exchange transport uses:
+///
+///   GET /v1/metrics           Prometheus text exposition (MetricsRegistry)
+///   GET /v1/query             JSON list of every tracked query
+///   GET /v1/query/{id}        One query's lifecycle + QueryStats as JSON
+///   GET /v1/query/{id}/trace  Chrome trace_event JSON (load in Perfetto)
+///
+/// Unknown paths and unknown/malformed query ids are 404s. The service
+/// reads only through the engine's thread-safe accessors (tracker
+/// snapshots, weak trace registry), so scrapes may race query teardown
+/// freely.
+class ObservabilityHttpService {
+ public:
+  explicit ObservabilityHttpService(PrestoEngine* engine)
+      : engine_(engine),
+        server_([this](const HttpRequest& request) {
+          return Handle(request);
+        }) {}
+
+  Status Start() { return server_.Start(); }
+  void Stop() { server_.Stop(); }
+  int port() const { return server_.port(); }
+
+  /// Exposed for tests; normal traffic arrives via the server.
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  PrestoEngine* engine_;
+  HttpServer server_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_ENGINE_OBSERVABILITY_HTTP_H_

@@ -16,6 +16,9 @@
 
 namespace presto {
 
+class Histogram;
+class TraceRegistry;
+
 /// How serialized frames move between tasks (§IV-E2).
 enum class TransportMode : uint8_t {
   /// Consumers poll producer buffers directly through the shared
@@ -221,6 +224,27 @@ class ExchangeManager {
   int64_t http_requests() const { return http_requests_.load(); }
   int64_t http_retries() const { return http_retries_.load(); }
 
+  /// Trace-context resolution for `x-presto-trace` headers: the engine
+  /// installs its registry so HTTP services/clients can attach spans to the
+  /// right query recorder. May stay null (no tracing).
+  void SetTraceRegistry(TraceRegistry* traces) { traces_.store(traces); }
+  TraceRegistry* traces() const { return traces_.load(); }
+
+  /// Latency histograms (seconds), installed by the engine: server-side
+  /// long-poll wait and client-side HTTP request round trips. May be null.
+  void set_poll_wait_histogram(Histogram* histogram) {
+    poll_wait_histogram_.store(histogram);
+  }
+  Histogram* poll_wait_histogram() const {
+    return poll_wait_histogram_.load();
+  }
+  void set_http_request_histogram(Histogram* histogram) {
+    http_request_histogram_.store(histogram);
+  }
+  Histogram* http_request_histogram() const {
+    return http_request_histogram_.load();
+  }
+
  private:
   NetworkConfig network_;
   PageCodec codec_;
@@ -233,6 +257,9 @@ class ExchangeManager {
   std::atomic<int64_t> serialized_raw_{0};
   std::atomic<int64_t> http_requests_{0};
   std::atomic<int64_t> http_retries_{0};
+  std::atomic<TraceRegistry*> traces_{nullptr};
+  std::atomic<Histogram*> poll_wait_histogram_{nullptr};
+  std::atomic<Histogram*> http_request_histogram_{nullptr};
 };
 
 }  // namespace presto

@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "stats/metrics_registry.h"
+#include "stats/trace.h"
 
 namespace presto {
 
@@ -120,18 +122,53 @@ HttpResponse ExchangeHttpService::Handle(const HttpRequest& request) {
   if (buffer == nullptr) {
     return MakeError(404, "Not Found", "no buffer for stream");
   }
+  // Trace context: resolve the stream's recorder (preferring the consumer's
+  // advertised id, which matches the buffer's query id in-engine) so this
+  // serve span lands next to the producer's sink spans.
+  std::shared_ptr<TraceRecorder> trace;
+  if (TraceRegistry* traces = exchange_->traces()) {
+    std::string trace_id = request.header(kTraceHeader);
+    trace = traces->Lookup(trace_id.empty() ? query_id : trace_id);
+    if (trace == nullptr && !trace_id.empty()) {
+      trace = traces->Lookup(query_id);
+    }
+  }
   const NetworkConfig& network = exchange_->network();
   int64_t wait_micros = network.http_long_poll_micros;
   int64_t requested_wait = 0;
   if (ParseInt(request.header(kMaxWaitMicros), &requested_wait)) {
     wait_micros = std::clamp<int64_t>(requested_wait, 0, wait_micros);
   }
+  int64_t serve_start = trace != nullptr ? trace->NowNanos() : 0;
+  auto poll_start = std::chrono::steady_clock::now();
   auto batch =
       buffer->GetBatch(token, network.http_response_max_bytes, wait_micros);
+  if (Histogram* poll_wait = exchange_->poll_wait_histogram()) {
+    poll_wait->Observe(
+        std::chrono::duration_cast<std::chrono::duration<double>>(
+            std::chrono::steady_clock::now() - poll_start)
+            .count());
+  }
   if (!batch.ok()) {
     return MakeError(400, "Bad Request", batch.status().message());
   }
+  if (trace != nullptr) {
+    int pid = worker_id_ + 1;
+    if (token > 0) {
+      trace->RecordInstant("exchange", "token_ack", pid, 0,
+                           {{"stream", segments[2] + "/" + segments[4]},
+                            {"token", std::to_string(token)}});
+    }
+    trace->RecordSpan(
+        "exchange", "serve_batch", pid, 0, serve_start,
+        trace->NowNanos() - serve_start,
+        {{"stream", segments[2] + "/" + segments[4]},
+         {"token", std::to_string(token)},
+         {"frames", std::to_string(batch->frames.size())},
+         {"complete", batch->complete ? "true" : "false"}});
+  }
   HttpResponse response;
+  response.headers[kTraceHeader] = query_id;
   response.headers["content-type"] = "application/x-presto-pages";
   response.headers[kPageToken] = std::to_string(batch->token);
   response.headers[kPageNextToken] = std::to_string(batch->next_token);
@@ -156,9 +193,36 @@ Result<HttpResponse> ExchangeHttpClient::RoundTrip(
   const NetworkConfig& network = exchange_->network();
   int64_t backoff = std::max<int64_t>(network.http_retry_backoff_micros, 1);
   Status last = Status::IOError("exchange http: no attempt made");
+  Histogram* latency = exchange_->http_request_histogram();
+  // Each wire attempt gets its own span (+ a retry instant carrying the
+  // previous failure), so a retry storm is visible as a run of short failed
+  // request spans, not one opaque long fetch.
+  auto record_attempt = [&](int64_t start_nanos, auto start_clock,
+                            int attempt, const std::string& outcome) {
+    if (latency != nullptr) {
+      latency->Observe(
+          std::chrono::duration_cast<std::chrono::duration<double>>(
+              std::chrono::steady_clock::now() - start_clock)
+              .count());
+    }
+    if (trace_ != nullptr) {
+      trace_->RecordSpan("exchange", "http_request", trace_pid_, trace_tid_,
+                         start_nanos, trace_->NowNanos() - start_nanos,
+                         {{"path", request.path},
+                          {"attempt", std::to_string(attempt)},
+                          {"outcome", outcome}});
+    }
+  };
   for (int attempt = 0; attempt <= network.http_max_retries; ++attempt) {
     if (attempt > 0) {
       exchange_->RecordHttpRetry();
+      if (trace_ != nullptr) {
+        trace_->RecordInstant("exchange", "http_retry", trace_pid_,
+                              trace_tid_,
+                              {{"path", request.path},
+                               {"attempt", std::to_string(attempt)},
+                               {"error", last.message()}});
+      }
       std::this_thread::sleep_for(std::chrono::microseconds(backoff));
       backoff = std::min<int64_t>(backoff * 2, 100'000);
     }
@@ -179,14 +243,18 @@ Result<HttpResponse> ExchangeHttpClient::RoundTrip(
       conn_ = std::move(*conn);
     }
     exchange_->RecordHttpRequest();
+    int64_t attempt_nanos = trace_ != nullptr ? trace_->NowNanos() : 0;
+    auto attempt_clock = std::chrono::steady_clock::now();
     Status sent = conn_->WriteRequest(request);
     if (!sent.ok()) {
+      record_attempt(attempt_nanos, attempt_clock, attempt, "send_error");
       conn_.reset();
       last = sent;
       continue;
     }
     auto response = conn_->ReadResponse();
     if (!response.ok()) {
+      record_attempt(attempt_nanos, attempt_clock, attempt, "recv_error");
       conn_.reset();
       last = response.status();
       continue;
@@ -196,16 +264,21 @@ Result<HttpResponse> ExchangeHttpClient::RoundTrip(
     // identical un-acked frames.
     fault = HitFaultPoint("exchange.http_recv");
     if (!fault.ok()) {
+      record_attempt(attempt_nanos, attempt_clock, attempt, "recv_lost");
       conn_.reset();
       last = fault;
       continue;
     }
     if (response->status >= 500) {
+      record_attempt(attempt_nanos, attempt_clock, attempt,
+                     "http_" + std::to_string(response->status));
       last = Status::IOError("exchange http: server error " +
                              std::to_string(response->status) + ": " +
                              response->body);
       continue;
     }
+    record_attempt(attempt_nanos, attempt_clock, attempt,
+                   "http_" + std::to_string(response->status));
     return std::move(*response);
   }
   return Status::IOError("exchange http: retries exhausted after " +
@@ -217,7 +290,19 @@ Result<ExchangeHttpClient::FetchResult> ExchangeHttpClient::Fetch() {
   HttpRequest request;
   request.method = "GET";
   request.path = BasePath() + "/" + std::to_string(next_token_);
+  if (trace_ != nullptr) request.headers[kTraceHeader] = stream_.query_id;
+  int64_t fetch_start = trace_ != nullptr ? trace_->NowNanos() : 0;
   PRESTO_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
+  if (trace_ != nullptr) {
+    // peer_trace is the producer's trace id echoed from the serve side —
+    // the cross-process correlation the x-presto-trace header exists for.
+    trace_->RecordSpan("exchange", "http_fetch", trace_pid_, trace_tid_,
+                       fetch_start, trace_->NowNanos() - fetch_start,
+                       {{"path", request.path},
+                        {"peer_trace", response.header(kTraceHeader)},
+                        {"frames", response.header(kFrameCount)},
+                        {"status", std::to_string(response.status)}});
+  }
   if (response.status == 404) {
     return Status::IOError("exchange http: buffer gone (HTTP 404): " +
                            response.body);
@@ -248,6 +333,7 @@ Status ExchangeHttpClient::DeleteBuffer() {
   HttpRequest request;
   request.method = "DELETE";
   request.path = BasePath();
+  if (trace_ != nullptr) request.headers[kTraceHeader] = stream_.query_id;
   PRESTO_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
   if (response.status == 204 || response.status == 404) return Status::OK();
   return Status::IOError("exchange http: DELETE failed with status " +

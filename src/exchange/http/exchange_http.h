@@ -10,6 +10,8 @@
 
 namespace presto {
 
+class TraceRecorder;
+
 /// Production-Presto-shaped exchange endpoints served over a worker-local
 /// HTTP server (§IV-E2). Task ids follow Presto's `query.stage.task` shape.
 ///
@@ -32,10 +34,17 @@ namespace presto {
 ///
 /// 404 = unknown buffer, 400 = bad path/token, 500 = injected server fault
 /// (exchange.http_server) — the client treats 5xx as retryable.
+///
+/// When the manager carries a TraceRegistry, every GET records a
+/// producer-side serve span (and token-ack instant) against the stream's
+/// query recorder, and echoes `x-presto-trace: {query_id}` so the consumer
+/// can correlate its fetch span with this serve span. `worker_id` is the
+/// worker hosting the served buffers (trace pid = worker_id + 1).
 class ExchangeHttpService {
  public:
-  explicit ExchangeHttpService(ExchangeManager* exchange)
+  explicit ExchangeHttpService(ExchangeManager* exchange, int worker_id = 0)
       : exchange_(exchange),
+        worker_id_(worker_id),
         server_([this](const HttpRequest& request) {
           return Handle(request);
         }) {}
@@ -49,6 +58,7 @@ class ExchangeHttpService {
 
  private:
   ExchangeManager* exchange_;
+  int worker_id_;
   HttpServer server_;
 };
 
@@ -62,6 +72,16 @@ class ExchangeHttpClient {
  public:
   ExchangeHttpClient(ExchangeManager* exchange, int port, StreamId stream)
       : exchange_(exchange), port_(port), stream_(std::move(stream)) {}
+
+  /// Attaches the consumer-side trace context: fetches record
+  /// "http_fetch"/"http_request" spans and "http_retry" instants against
+  /// `trace` at (pid, tid), and every request advertises the query id in
+  /// the `x-presto-trace` header. Optional; null disables tracing.
+  void SetTraceContext(TraceRecorder* trace, int pid, int64_t tid) {
+    trace_ = trace;
+    trace_pid_ = pid;
+    trace_tid_ = tid;
+  }
 
   struct FetchResult {
     std::string body;        // concatenated PGF1 frames
@@ -91,6 +111,9 @@ class ExchangeHttpClient {
   StreamId stream_;
   int64_t next_token_ = 0;
   std::unique_ptr<HttpConnection> conn_;
+  TraceRecorder* trace_ = nullptr;  // outlived by the query's lifecycle
+  int trace_pid_ = 0;
+  int64_t trace_tid_ = 0;
 };
 
 }  // namespace presto

@@ -13,6 +13,13 @@ void Driver::SettleBlockedTime() {
   for (size_t i : blocked_ops_) {
     operators_[i]->ctx().blocked_nanos.fetch_add(nanos);
   }
+  if (trace_ != nullptr && !blocked_ops_.empty()) {
+    // One span for the whole parked interval, named after the first
+    // blocked operator (typically the one holding up the pipeline).
+    trace_->RecordSpan(
+        "driver", "blocked:" + operators_[blocked_ops_.front()]->ctx().label(),
+        trace_pid_, trace_tid_, blocked_since_trace_nanos_, nanos);
+  }
   blocked_ops_.clear();
 }
 
@@ -81,6 +88,7 @@ Result<Driver::State> Driver::Process(int64_t quantum_nanos,
       }
       if (blocked_ops_.empty()) blocked_ops_.push_back(operators_.size() - 1);
       blocked_since_ = std::chrono::steady_clock::now();
+      if (trace_ != nullptr) blocked_since_trace_nanos_ = trace_->NowNanos();
       blocked_recorded_ = true;
       return State::kBlocked;
     }

@@ -41,6 +41,17 @@ class Driver {
     return operators_;
   }
 
+  /// Identifies this driver in the query trace (one trace "thread" per
+  /// driver). `trace` may be null (tracing off).
+  void SetTraceIdentity(TraceRecorder* trace, int pid, int64_t tid) {
+    trace_ = trace;
+    trace_pid_ = pid;
+    trace_tid_ = tid;
+  }
+  TraceRecorder* trace() const { return trace_; }
+  int trace_pid() const { return trace_pid_; }
+  int64_t trace_tid() const { return trace_tid_; }
+
  private:
   // Charges the time since the last kBlocked return to the operators that
   // reported IsBlocked() then.
@@ -51,6 +62,10 @@ class Driver {
   std::vector<size_t> blocked_ops_;
   std::chrono::steady_clock::time_point blocked_since_;
   bool blocked_recorded_ = false;
+  int64_t blocked_since_trace_nanos_ = 0;
+  TraceRecorder* trace_ = nullptr;
+  int trace_pid_ = 0;
+  int64_t trace_tid_ = 0;
 };
 
 }  // namespace presto

@@ -17,6 +17,7 @@
 #include "expr/evaluator.h"
 #include "memory/memory.h"
 #include "stats/operator_stats.h"
+#include "stats/trace.h"
 #include "vector/page.h"
 
 namespace presto {
@@ -195,6 +196,9 @@ struct TaskRuntime {
   std::atomic<int>* active_output_partitions = nullptr;
   /// Aggregate CPU nanoseconds consumed by this task (MLFQ input).
   std::atomic<int64_t>* task_cpu_nanos = nullptr;
+  /// Per-query trace recorder, or null when tracing is off. Raw pointer:
+  /// the QueryExecution holds the owning lifecycle alive past every task.
+  TraceRecorder* trace = nullptr;
 };
 
 /// Per-operator context: memory accounting against the worker pools plus
@@ -269,6 +273,7 @@ class OperatorContext {
     stats.add_input_nanos = add_input_nanos.load();
     stats.get_output_nanos = get_output_nanos.load();
     stats.blocked_nanos = blocked_nanos.load();
+    stats.queued_nanos = queued_nanos.load();
     stats.peak_memory_bytes = peak_memory_bytes.load();
     stats.spilled_bytes = spilled_bytes.load();
     stats.serde_nanos = serde_nanos.load();
@@ -286,6 +291,9 @@ class OperatorContext {
   std::atomic<int64_t> add_input_nanos{0};
   std::atomic<int64_t> get_output_nanos{0};
   std::atomic<int64_t> blocked_nanos{0};
+  /// Runnable-but-waiting time in the executor queue (charged by the
+  /// executor to the pipeline's sink operator).
+  std::atomic<int64_t> queued_nanos{0};
   std::atomic<int64_t> peak_memory_bytes{0};
   std::atomic<int64_t> spilled_bytes{0};
   /// CPU time spent serializing/deserializing wire frames (exchange sinks

@@ -118,6 +118,7 @@ int64_t HashAggregationOperator::Revoke() {
   for (const auto& acc : accumulators_) bytes += acc->MemoryBytes();
   int64_t spilled_before = spiller_.spilled_bytes();
   int64_t serde_before = spiller_.serde_nanos();
+  spiller_.SetTrace(ctx_->runtime().trace, ctx_->spec().worker_id + 1);
   auto r = spiller_.SpillRun({run});
   if (!r.ok()) {
     error_ = r.status();

@@ -126,6 +126,13 @@ Result<std::optional<Page>> ExchangeSinkOperator::GetOutput() {
       // Backpressure: the consumer has not drained its buffer (§IV-E2).
       return std::optional<Page>();
     }
+    if (TraceRecorder* trace = ctx_->runtime().trace) {
+      trace->RecordInstant("exchange", "enqueue",
+                           ctx_->spec().worker_id + 1, 0,
+                           {{"partition", std::to_string(partition)},
+                            {"rows", std::to_string(frame.rows)},
+                            {"bytes", std::to_string(frame.wire_bytes())}});
+    }
     ctx_->rows_out.fetch_add(frame.rows);
     pending_.erase(pending_.begin());
   }

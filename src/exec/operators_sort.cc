@@ -61,6 +61,7 @@ int64_t OrderByOperator::Revoke() {
   int64_t freed = index_.bytes();
   int64_t spilled_before = spiller_.spilled_bytes();
   int64_t serde_before = spiller_.serde_nanos();
+  spiller_.SetTrace(ctx_->runtime().trace, ctx_->spec().worker_id + 1);
   auto r = spiller_.SpillRun({sorted});
   if (!r.ok()) {
     error_ = r.status();

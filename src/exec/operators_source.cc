@@ -148,6 +148,10 @@ Status RemoteSourceOperator::FetchHttp(size_t i) {
         exchange, port,
         StreamId{spec.query_id, source_fragment_, static_cast<int>(i),
                  spec.task_index});
+    if (ctx_->runtime().trace != nullptr) {
+      client->SetTraceContext(ctx_->runtime().trace, spec.worker_id + 1,
+                              /*tid=*/0);
+    }
   }
   PRESTO_ASSIGN_OR_RETURN(ExchangeHttpClient::FetchResult fetch,
                           client->Fetch());

@@ -49,6 +49,8 @@ Spiller::~Spiller() {
 }
 
 Result<int> Spiller::SpillRun(const std::vector<Page>& pages) {
+  int64_t trace_start = trace_ != nullptr ? trace_->NowNanos() : 0;
+  int64_t bytes_before = spilled_bytes_;
   std::string path = PathPrefix() + std::to_string(instance_id_) + "-" +
                      std::to_string(next_run_file_++) + ".bin";
   // Track the file before any I/O so the destructor removes it even when the
@@ -73,6 +75,13 @@ Result<int> Spiller::SpillRun(const std::vector<Page>& pages) {
   out.close();
   if (!out.good()) return Status::IOError("failed writing spill file " + path);
   runs_.push_back(std::move(path));
+  if (trace_ != nullptr) {
+    trace_->RecordSpan(
+        "memory", "spill_run", trace_pid_, 0, trace_start,
+        trace_->NowNanos() - trace_start,
+        {{"pages", std::to_string(pages.size())},
+         {"bytes", std::to_string(spilled_bytes_ - bytes_before)}});
+  }
   return static_cast<int>(runs_.size()) - 1;
 }
 
@@ -91,12 +100,19 @@ Result<std::vector<Page>> Spiller::ReadRun(int index) const {
                    std::istreambuf_iterator<char>());
   std::vector<Page> pages;
   size_t offset = 0;
+  int64_t trace_start = trace_ != nullptr ? trace_->NowNanos() : 0;
   while (offset < data.size()) {
     PRESTO_FAULT_POINT("spill.decompress");
     auto start = std::chrono::steady_clock::now();
     PRESTO_ASSIGN_OR_RETURN(Page page, codec_.Decode(data, &offset));
     serde_nanos_.fetch_add(ElapsedNanos(start));
     pages.push_back(std::move(page));
+  }
+  if (trace_ != nullptr) {
+    trace_->RecordSpan("memory", "spill_read", trace_pid_, 0, trace_start,
+                       trace_->NowNanos() - trace_start,
+                       {{"run", std::to_string(index)},
+                        {"pages", std::to_string(pages.size())}});
   }
   return pages;
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "stats/trace.h"
 #include "vector/page.h"
 #include "vector/page_codec.h"
 
@@ -28,6 +29,13 @@ class Spiller {
 
   /// Writes `pages` as a new run; returns the run index.
   Result<int> SpillRun(const std::vector<Page>& pages);
+
+  /// Records spill/readback spans on `trace` (may be null) against worker
+  /// trace process `pid`. Set by the owning operator before spilling.
+  void SetTrace(TraceRecorder* trace, int pid) {
+    trace_ = trace;
+    trace_pid_ = pid;
+  }
 
   int num_runs() const { return static_cast<int>(runs_.size()); }
   /// Bytes written to disk (post-compression frame bytes).
@@ -63,6 +71,8 @@ class Spiller {
   int64_t spilled_raw_bytes_ = 0;
   /// Mutable: ReadRun is logically const but still costs decode CPU.
   mutable std::atomic<int64_t> serde_nanos_{0};
+  TraceRecorder* trace_ = nullptr;
+  int trace_pid_ = 0;
 };
 
 }  // namespace presto

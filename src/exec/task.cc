@@ -90,7 +90,22 @@ void TaskExec::FinishPipeline(PipelineBuild build, bool is_root) {
     std::vector<std::unique_ptr<Operator>> ops;
     ops.reserve(build.factories.size());
     for (auto& factory : build.factories) ops.push_back(factory());
-    drivers_.push_back(std::make_unique<Driver>(std::move(ops)));
+    auto driver = std::make_unique<Driver>(std::move(ops));
+    if (runtime_.trace != nullptr) {
+      // One trace "thread" per driver: worker is the trace process, and
+      // the tid packs fragment/task/pipeline/driver so it is unique and
+      // sorts sensibly in Perfetto.
+      int pid = spec_.worker_id + 1;
+      int64_t tid = spec_.fragment_id * 1'000'000LL +
+                    spec_.task_index * 10'000LL + num_pipelines_ * 100LL + d;
+      driver->SetTraceIdentity(runtime_.trace, pid, tid);
+      runtime_.trace->SetThreadName(
+          pid, tid,
+          "f" + std::to_string(spec_.fragment_id) + ".t" +
+              std::to_string(spec_.task_index) + ".p" +
+              std::to_string(num_pipelines_) + ".d" + std::to_string(d));
+    }
+    drivers_.push_back(std::move(driver));
   }
   ++num_pipelines_;
 }

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/fault_injection.h"
+#include "stats/trace.h"
 
 namespace presto {
 
@@ -89,6 +90,9 @@ Status WorkerMemory::Reserve(QueryMemory* query, int64_t bytes, bool user) {
   // lock is busy), so retry briefly before giving up.
   if (cfg.enable_spill && !revocables_.empty()) {
     lock.unlock();
+    TraceRecorder* trace = query->trace();
+    int64_t revoke_start = trace != nullptr ? trace->NowNanos() : 0;
+    int64_t revokes_before = revocations_.load();
     for (int pass = 0; pass < 4; ++pass) {
       std::vector<std::pair<QueryMemory*, Revocable*>> targets;
       {
@@ -130,6 +134,14 @@ Status WorkerMemory::Reserve(QueryMemory* query, int64_t bytes, bool user) {
         if (general_used_ + bytes <= cfg.per_worker_general) break;
       }
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (trace != nullptr) {
+      // The reservation stalled here waiting for spills to free memory.
+      trace->RecordSpan(
+          "memory", "revoke_wait", worker_id_ + 1, 0, revoke_start,
+          trace->NowNanos() - revoke_start,
+          {{"bytes", std::to_string(bytes)},
+           {"revokes", std::to_string(revocations_.load() - revokes_before)}});
     }
     lock.lock();
     // usage_ may have changed (releases during revoke); re-read.

@@ -14,6 +14,8 @@
 
 namespace presto {
 
+class TraceRecorder;
+
 /// Cluster memory configuration (§IV-F2). All limits are bytes.
 struct MemoryConfig {
   int64_t per_worker_general = 256LL << 20;
@@ -67,6 +69,11 @@ class QueryMemory {
   bool killed() const { return killed_.load(); }
   Status kill_reason() const;
 
+  /// Per-query trace recorder for memory events (revocation waits); may be
+  /// null. Set once by the coordinator before tasks launch.
+  void set_trace(TraceRecorder* trace) { trace_.store(trace); }
+  TraceRecorder* trace() const { return trace_.load(); }
+
  private:
   std::string query_id_;
   const MemoryConfig* config_;
@@ -74,6 +81,7 @@ class QueryMemory {
   std::atomic<int64_t> global_total_{0};
   std::atomic<int64_t> peak_user_{0};
   std::atomic<bool> killed_{false};
+  std::atomic<TraceRecorder*> trace_{nullptr};
   mutable std::mutex mu_;
   Status kill_reason_;
 };

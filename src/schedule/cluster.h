@@ -68,7 +68,7 @@ class Cluster {
       // One exchange endpoint per worker, as in production Presto where
       // every worker serves its own task output buffers.
       for (int i = 0; i < config_.num_workers; ++i) {
-        auto service = std::make_unique<ExchangeHttpService>(&exchange_);
+        auto service = std::make_unique<ExchangeHttpService>(&exchange_, i);
         PRESTO_CHECK(service->Start().ok());
         http_services_.push_back(std::move(service));
       }

@@ -155,6 +155,8 @@ void QueryExecution::OnTaskDone(int fragment, const Status& status) {
 
 void QueryExecution::SplitSchedulingLoop() {
   const ClusterConfig& config = cluster_->config();
+  TraceRecorder* trace =
+      lifecycle_ != nullptr ? lifecycle_->trace().get() : nullptr;
   // Pending split sources: (fragment, scan node id, source, exhausted).
   struct PendingSource {
     int fragment;
@@ -239,7 +241,20 @@ void QueryExecution::SplitSchedulingLoop() {
           SplitQueue* queue = task->splits(pending.node_id);
           if (queue != nullptr) queue->NoMoreSplits();
         }
+        if (trace != nullptr) {
+          trace->RecordInstant(
+              "scheduler", "splits_exhausted", 0, 0,
+              {{"fragment", std::to_string(pending.fragment)},
+               {"scan_node", std::to_string(pending.node_id)}});
+        }
         continue;
+      }
+      if (trace != nullptr) {
+        trace->RecordInstant(
+            "scheduler", "split_batch", 0, 0,
+            {{"fragment", std::to_string(pending.fragment)},
+             {"scan_node", std::to_string(pending.node_id)},
+             {"splits", std::to_string(batch->size())}});
       }
       for (const auto& split : *batch) {
         int target = -1;
@@ -305,8 +320,11 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
     const std::string& query_id, FragmentedPlan plan,
     std::shared_ptr<QueryLifecycle> lifecycle) {
   // Admission control: bounded concurrent queries (queueing, §III).
+  TraceRecorder* trace =
+      lifecycle != nullptr ? lifecycle->trace().get() : nullptr;
   if (lifecycle != nullptr) lifecycle->MarkQueuedForAdmission();
   {
+    int64_t admit_start = trace != nullptr ? trace->NowNanos() : 0;
     queued_.fetch_add(1);
     std::unique_lock<std::mutex> lock(admission_mu_);
     admission_cv_.wait(lock, [this] {
@@ -314,6 +332,10 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
     });
     ++running_;
     queued_.fetch_sub(1);
+    if (trace != nullptr) {
+      trace->RecordSpan("coordinator", "admission_wait", 0, 0, admit_start,
+                        trace->NowNanos() - admit_start);
+    }
   }
 
   auto execution = std::shared_ptr<QueryExecution>(new QueryExecution());
@@ -324,6 +346,7 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
   execution->plan_ = std::move(plan);
   execution->memory_ =
       std::make_unique<QueryMemory>(query_id, &cluster_->config().memory);
+  execution->memory_->set_trace(trace);
   execution->schema_ =
       execution->plan_.fragments[static_cast<size_t>(
                                      execution->plan_.root_id)]
@@ -373,7 +396,8 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
   }
 
   // Create and register tasks.
-  int single_task_worker = round_robin_worker_;
+  int single_task_worker =
+      round_robin_worker_.load(std::memory_order_relaxed);
   for (const auto& fragment : fplan.fragments) {
     int count = task_counts[static_cast<size_t>(fragment.id)];
     execution->fragment_remaining_[static_cast<size_t>(fragment.id)] = count;
@@ -411,6 +435,7 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
       runtime.eval_mode = config.eval_mode;
       runtime.exchange_buffer_bytes = config.exchange_buffer_bytes;
       runtime.max_drivers_per_pipeline = config.max_drivers_per_pipeline;
+      runtime.trace = trace;
       if (fragment.id == fplan.root_id) {
         runtime.results = &execution->results_;
       }
@@ -426,7 +451,8 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
       execution->tasks_[static_cast<size_t>(fragment.id)].push_back(task);
     }
   }
-  round_robin_worker_ = single_task_worker % cluster_->num_workers();
+  round_robin_worker_.store(single_task_worker % cluster_->num_workers(),
+                            std::memory_order_relaxed);
 
   if (execution->lifecycle_ != nullptr) {
     std::map<int, int> fragment_task_counts;
@@ -441,6 +467,13 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
   // phased mode defers only split enumeration, keeping pipelines available
   // to consume build sides without deadlocks).
   for (const auto& fragment_tasks : execution->tasks_) {
+    if (trace != nullptr && !fragment_tasks.empty()) {
+      trace->RecordInstant(
+          "scheduler", "stage_scheduled", 0, 0,
+          {{"fragment",
+            std::to_string(fragment_tasks.front()->spec().fragment_id)},
+           {"tasks", std::to_string(fragment_tasks.size())}});
+    }
     for (const auto& task : fragment_tasks) {
       int fragment = task->spec().fragment_id;
       // Raw capture is safe: ~QueryExecution waits for every task callback

@@ -125,7 +125,10 @@ class Coordinator {
   std::condition_variable admission_cv_;
   int running_ = 0;
   std::atomic<int> queued_{0};
-  int round_robin_worker_ = 0;
+  // Best-effort placement cursor for single-task fragments; relaxed atomic
+  // because concurrent Execute() calls may interleave and exact rotation
+  // does not matter, only rough spread.
+  std::atomic<int> round_robin_worker_{0};
 };
 
 }  // namespace presto

@@ -34,11 +34,14 @@ void TaskExecutor::AddTask(std::shared_ptr<TaskExec> task,
     entry->on_done(Status::OK());
     return;
   }
+  auto now = std::chrono::steady_clock::now();
   {
     std::lock_guard<std::mutex> lock(mu_);
     tasks_.push_back(entry);
     for (auto& driver : entry->task->drivers()) {
-      levels_[0].push_back(DriverEntry{driver.get(), entry});
+      DriverEntry de{driver.get(), entry};
+      de.runnable_since = now;
+      levels_[0].push_back(std::move(de));
     }
   }
   cv_.notify_all();
@@ -64,6 +67,7 @@ std::optional<TaskExecutor::DriverEntry> TaskExecutor::NextDriver() {
   while (!parked_.empty() && parked_.front().first <= now) {
     DriverEntry parked = std::move(parked_.front().second);
     parked_.pop_front();
+    parked.runnable_since = now;  // parked time is blocked, not queued
     int level = LevelOf(parked.task_entry->task->cpu_nanos().load());
     levels_[level].push_back(std::move(parked));
   }
@@ -96,6 +100,7 @@ std::optional<TaskExecutor::DriverEntry> TaskExecutor::NextDriver() {
 }
 
 void TaskExecutor::Requeue(DriverEntry entry) {
+  entry.runnable_since = std::chrono::steady_clock::now();
   int level = LevelOf(entry.task_entry->task->cpu_nanos().load());
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -158,6 +163,16 @@ void TaskExecutor::WorkerLoop() {
     }
     TaskExec& task = *entry.task_entry->task;
 
+    // Runnable-to-dispatch wait: charged to the pipeline's sink operator
+    // (the EXPLAIN ANALYZE "queued" column).
+    if (entry.runnable_since != std::chrono::steady_clock::time_point{}) {
+      int64_t waited = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() -
+                           entry.runnable_since)
+                           .count();
+      entry.driver->sink().ctx().queued_nanos.fetch_add(waited);
+    }
+
     // Query killed (OOM, cancel, or early finish): drop the driver.
     if (task.runtime().query_memory != nullptr &&
         task.runtime().query_memory->killed()) {
@@ -191,13 +206,16 @@ void TaskExecutor::WorkerLoop() {
       }
     }
 
+    TraceRecorder* trace = entry.driver->trace();
+    int64_t quantum_start = trace != nullptr ? trace->NowNanos() : 0;
     int64_t cpu = 0;
     auto result = entry.driver->Process(config_.quantum_nanos, &cpu);
     busy_nanos_.fetch_add(cpu);
     task.cpu_nanos().fetch_add(cpu);
+    int level;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      int level = LevelOf(task.cpu_nanos().load());
+      level = LevelOf(task.cpu_nanos().load());
       quanta_[level].fetch_add(1);
       level_consumed_[level] += static_cast<double>(cpu);
       // Periodically decay so shares adapt to the current mix.
@@ -205,6 +223,28 @@ void TaskExecutor::WorkerLoop() {
         for (double& c : level_consumed_) c /= 2;
       }
     }
+    if (Histogram* histogram = quantum_histogram_.load()) {
+      histogram->Observe(static_cast<double>(cpu) / 1e9);
+    }
+    if (trace != nullptr) {
+      const char* state = !result.ok() ? "failed"
+                          : *result == Driver::State::kFinished
+                              ? "finished"
+                          : *result == Driver::State::kBlocked ? "blocked"
+                                                               : "yielded";
+      trace->RecordSpan("executor", "quantum", entry.driver->trace_pid(),
+                        entry.driver->trace_tid(), quantum_start,
+                        trace->NowNanos() - quantum_start,
+                        {{"level", std::to_string(level)}, {"state", state}});
+      if (level != entry.last_level) {
+        trace->RecordInstant("executor", "level_change",
+                             entry.driver->trace_pid(),
+                             entry.driver->trace_tid(),
+                             {{"from", std::to_string(entry.last_level)},
+                              {"to", std::to_string(level)}});
+      }
+    }
+    entry.last_level = level;
     if (!result.ok()) {
       if (task.runtime().query_memory != nullptr) {
         task.runtime().query_memory->Kill(result.status());

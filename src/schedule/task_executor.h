@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exec/task.h"
+#include "stats/metrics_registry.h"
 
 namespace presto {
 
@@ -68,6 +69,12 @@ class TaskExecutor {
   /// MLFQ level a task with `cpu_nanos` accumulated CPU runs at.
   int LevelForCpu(int64_t cpu_nanos) const { return LevelOf(cpu_nanos); }
 
+  /// Installs a histogram observing each quantum's CPU seconds (may be
+  /// null; swapped in by the engine after construction).
+  void set_quantum_histogram(Histogram* histogram) {
+    quantum_histogram_.store(histogram);
+  }
+
  private:
   struct TaskEntry {
     std::shared_ptr<TaskExec> task;
@@ -83,6 +90,11 @@ class TaskExecutor {
     // Consecutive blocked runs; drives exponential park backoff so blocked
     // drivers do not livelock small machines.
     int consecutive_blocks = 0;
+    // When the driver last became runnable; the wait until dequeue is the
+    // driver's queued time (charged to its sink operator).
+    std::chrono::steady_clock::time_point runnable_since{};
+    // MLFQ level of the previous quantum, for level-change trace instants.
+    int last_level = 0;
   };
 
   void WorkerLoop();
@@ -110,6 +122,7 @@ class TaskExecutor {
   std::vector<std::thread> threads_;
   std::atomic<int64_t> busy_nanos_{0};
   std::atomic<int64_t> quanta_[5] = {};
+  std::atomic<Histogram*> quantum_histogram_{nullptr};
 };
 
 }  // namespace presto

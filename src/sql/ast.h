@@ -142,6 +142,7 @@ struct Statement {
   std::vector<std::string> target_name;  // CTAS / INSERT target
   bool explain = false;
   bool explain_analyze = false;  // EXPLAIN ANALYZE: execute, then annotate
+  bool explain_verbose = false;  // ... VERBOSE: append the trace timeline
 };
 using StatementPtr = std::shared_ptr<Statement>;
 

@@ -19,7 +19,7 @@ const std::unordered_set<std::string>& Keywords() {
       "outer",  "cross",    "on",     "using",    "distinct", "union",
       "all",    "create",   "table",  "insert",   "into",    "values",
       "explain", "asc",     "desc",   "date",     "over",    "partition",
-      "rows",   "with",     "exists", "interval", "analyze",
+      "rows",   "with",     "exists", "interval", "analyze", "verbose",
   };
   return *kKeywords;
 }

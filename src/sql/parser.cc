@@ -73,9 +73,11 @@ class Parser {
     auto stmt = std::make_shared<Statement>();
     if (AcceptKeyword("explain")) {
       bool analyze = AcceptKeyword("analyze");
+      bool verbose = analyze && AcceptKeyword("verbose");
       PRESTO_ASSIGN_OR_RETURN(StatementPtr inner, ParseStatementInner());
       inner->explain = true;
       inner->explain_analyze = analyze;
+      inner->explain_verbose = verbose;
       return inner;
     }
     if (AcceptKeyword("create")) {

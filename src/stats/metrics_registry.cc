@@ -21,7 +21,72 @@ std::string FormatValue(double v) {
   return buf;
 }
 
+// Prometheus text format: label values escape backslash, double-quote, and
+// newline; HELP text escapes backslash and newline.
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// Renders `name{k="v",...}` — with `extra` (e.g. le="0.5") appended after
+// the entry's own labels — or the bare name when there are none.
+std::string SampleName(const std::string& name, const MetricLabels& labels,
+                       const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key + "=\"" + EscapeLabelValue(value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ',';
+    out += extra;
+  }
+  out += '}';
+  return out;
+}
+
 }  // namespace
+
+std::vector<double> LogBuckets(double start, double factor, int count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
 
 Histogram::Histogram(std::vector<double> bucket_bounds)
     : bounds_(std::move(bucket_bounds)),
@@ -58,20 +123,23 @@ Histogram::Snapshot Histogram::snapshot() const {
   return snap;
 }
 
-MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name) {
+MetricsRegistry::Entry* MetricsRegistry::Find(const std::string& name,
+                                              const MetricLabels& labels) {
   for (auto& entry : entries_) {
-    if (entry->name == name) return entry.get();
+    if (entry->name == name && entry->labels == labels) return entry.get();
   }
   return nullptr;
 }
 
 Counter* MetricsRegistry::RegisterCounter(const std::string& name,
-                                          const std::string& help) {
+                                          const std::string& help,
+                                          MetricLabels labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (Entry* existing = Find(name)) return existing->counter.get();
+  if (Entry* existing = Find(name, labels)) return existing->counter.get();
   auto entry = std::make_unique<Entry>();
   entry->name = name;
   entry->help = help;
+  entry->labels = std::move(labels);
   entry->kind = Entry::Kind::kCounter;
   entry->counter = std::make_unique<Counter>();
   Counter* out = entry->counter.get();
@@ -81,15 +149,17 @@ Counter* MetricsRegistry::RegisterCounter(const std::string& name,
 
 void MetricsRegistry::RegisterGauge(const std::string& name,
                                     const std::string& help,
-                                    std::function<double()> value_fn) {
+                                    std::function<double()> value_fn,
+                                    MetricLabels labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (Entry* existing = Find(name)) {
+  if (Entry* existing = Find(name, labels)) {
     existing->gauge_fn = std::move(value_fn);
     return;
   }
   auto entry = std::make_unique<Entry>();
   entry->name = name;
   entry->help = help;
+  entry->labels = std::move(labels);
   entry->kind = Entry::Kind::kGauge;
   entry->gauge_fn = std::move(value_fn);
   entries_.push_back(std::move(entry));
@@ -97,12 +167,13 @@ void MetricsRegistry::RegisterGauge(const std::string& name,
 
 Histogram* MetricsRegistry::RegisterHistogram(
     const std::string& name, const std::string& help,
-    std::vector<double> bucket_bounds) {
+    std::vector<double> bucket_bounds, MetricLabels labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (Entry* existing = Find(name)) return existing->histogram.get();
+  if (Entry* existing = Find(name, labels)) return existing->histogram.get();
   auto entry = std::make_unique<Entry>();
   entry->name = name;
   entry->help = help;
+  entry->labels = std::move(labels);
   entry->kind = Entry::Kind::kHistogram;
   entry->histogram = std::make_unique<Histogram>(std::move(bucket_bounds));
   Histogram* out = entry->histogram.get();
@@ -119,35 +190,54 @@ std::string MetricsRegistry::RenderText() const {
     entries.reserve(entries_.size());
     for (const auto& entry : entries_) entries.push_back(entry.get());
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const Entry* a, const Entry* b) { return a->name < b->name; });
+  std::stable_sort(
+      entries.begin(), entries.end(),
+      [](const Entry* a, const Entry* b) { return a->name < b->name; });
   std::string out;
+  const std::string* prev_family = nullptr;
   for (const Entry* entry : entries) {
-    out += "# HELP " + entry->name + " " + entry->help + "\n";
+    // Entries sharing a name are one family: announce it once.
+    if (prev_family == nullptr || *prev_family != entry->name) {
+      out += "# HELP " + entry->name + " " + EscapeHelp(entry->help) + "\n";
+      out += "# TYPE " + entry->name + " ";
+      switch (entry->kind) {
+        case Entry::Kind::kCounter:
+          out += "counter\n";
+          break;
+        case Entry::Kind::kGauge:
+          out += "gauge\n";
+          break;
+        case Entry::Kind::kHistogram:
+          out += "histogram\n";
+          break;
+      }
+      prev_family = &entry->name;
+    }
     switch (entry->kind) {
       case Entry::Kind::kCounter:
-        out += "# TYPE " + entry->name + " counter\n";
-        out += entry->name + " " +
+        out += SampleName(entry->name, entry->labels) + " " +
                FormatValue(static_cast<double>(entry->counter->value())) +
                "\n";
         break;
       case Entry::Kind::kGauge:
-        out += "# TYPE " + entry->name + " gauge\n";
-        out += entry->name + " " + FormatValue(entry->gauge_fn()) + "\n";
+        out += SampleName(entry->name, entry->labels) + " " +
+               FormatValue(entry->gauge_fn()) + "\n";
         break;
       case Entry::Kind::kHistogram: {
-        out += "# TYPE " + entry->name + " histogram\n";
         Histogram::Snapshot snap = entry->histogram->snapshot();
         for (size_t i = 0; i < snap.bounds.size(); ++i) {
-          out += entry->name + "_bucket{le=\"" + FormatValue(snap.bounds[i]) +
-                 "\"} " +
+          out += SampleName(entry->name + "_bucket", entry->labels,
+                            "le=\"" + FormatValue(snap.bounds[i]) + "\"") +
+                 " " +
                  FormatValue(static_cast<double>(snap.cumulative_counts[i])) +
                  "\n";
         }
-        out += entry->name + "_bucket{le=\"+Inf\"} " +
-               FormatValue(static_cast<double>(snap.count)) + "\n";
-        out += entry->name + "_sum " + FormatValue(snap.sum) + "\n";
-        out += entry->name + "_count " +
+        out += SampleName(entry->name + "_bucket", entry->labels,
+                          "le=\"+Inf\"") +
+               " " + FormatValue(static_cast<double>(snap.count)) + "\n";
+        out += SampleName(entry->name + "_sum", entry->labels) + " " +
+               FormatValue(snap.sum) + "\n";
+        out += SampleName(entry->name + "_count", entry->labels) + " " +
                FormatValue(static_cast<double>(snap.count)) + "\n";
         break;
       }

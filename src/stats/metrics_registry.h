@@ -7,9 +7,19 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace presto {
+
+/// A sample's label set, e.g. {{"level", "2"}}. Order is significant for
+/// identity: register with a consistent order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// `count` exponential histogram bucket upper bounds starting at `start`,
+/// each `factor` times the previous (fixed log-bucket layout for latency
+/// histograms; +Inf stays implicit).
+std::vector<double> LogBuckets(double start, double factor, int count);
 
 /// Monotonically increasing counter (Prometheus `counter`).
 class Counter {
@@ -53,34 +63,41 @@ class Histogram {
 /// usage, buffered bytes) without bookkeeping on the hot path.
 class MetricsRegistry {
  public:
-  /// Returns the counter registered under `name`, creating it on first use.
-  Counter* RegisterCounter(const std::string& name, const std::string& help);
+  /// Returns the counter registered under `name` (+ labels), creating it on
+  /// first use. Entries sharing a name form one Prometheus family and must
+  /// share the same kind.
+  Counter* RegisterCounter(const std::string& name, const std::string& help,
+                           MetricLabels labels = {});
 
   /// Registers a live-value gauge; later registrations replace the callback.
   void RegisterGauge(const std::string& name, const std::string& help,
-                     std::function<double()> value_fn);
+                     std::function<double()> value_fn,
+                     MetricLabels labels = {});
 
-  /// Returns the histogram registered under `name`, creating it on first
-  /// use with `bucket_bounds` (ascending upper bounds; +Inf is implicit).
+  /// Returns the histogram registered under `name` (+ labels), creating it
+  /// on first use with `bucket_bounds` (ascending upper bounds; +Inf is
+  /// implicit).
   Histogram* RegisterHistogram(const std::string& name,
                                const std::string& help,
-                               std::vector<double> bucket_bounds);
+                               std::vector<double> bucket_bounds,
+                               MetricLabels labels = {});
 
-  /// Prometheus text exposition format (one # HELP / # TYPE pair per
-  /// metric, metrics sorted by name).
+  /// Prometheus text exposition format: families sorted by name, `# HELP` /
+  /// `# TYPE` emitted once per family, label values escaped.
   std::string RenderText() const;
 
  private:
   struct Entry {
     std::string name;
     std::string help;
+    MetricLabels labels;
     enum class Kind : uint8_t { kCounter, kGauge, kHistogram } kind;
     std::unique_ptr<Counter> counter;
     std::function<double()> gauge_fn;
     std::unique_ptr<Histogram> histogram;
   };
 
-  Entry* Find(const std::string& name);
+  Entry* Find(const std::string& name, const MetricLabels& labels);
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;

@@ -24,6 +24,7 @@ void OperatorStats::Merge(const OperatorStats& other) {
   add_input_nanos += other.add_input_nanos;
   get_output_nanos += other.get_output_nanos;
   blocked_nanos += other.blocked_nanos;
+  queued_nanos += other.queued_nanos;
   peak_memory_bytes = std::max(peak_memory_bytes, other.peak_memory_bytes);
   spilled_bytes += other.spilled_bytes;
   serde_nanos += other.serde_nanos;
@@ -36,6 +37,7 @@ std::string OperatorStats::ToString() const {
                     FormatBytes(output_bytes) + "), cpu " +
                     FormatNanos(cpu_nanos());
   if (blocked_nanos > 0) out += ", blocked " + FormatNanos(blocked_nanos);
+  if (queued_nanos > 0) out += ", queued " + FormatNanos(queued_nanos);
   if (peak_memory_bytes > 0) out += ", peak " + FormatBytes(peak_memory_bytes);
   if (spilled_bytes > 0) out += ", spilled " + FormatBytes(spilled_bytes);
   if (serde_nanos > 0) out += ", serde " + FormatNanos(serde_nanos);

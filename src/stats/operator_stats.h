@@ -35,6 +35,10 @@ struct OperatorStats {
   /// Wall nanos the enclosing driver spent parked while this operator
   /// reported IsBlocked().
   int64_t blocked_nanos = 0;
+  /// Wall nanos the enclosing driver spent runnable but waiting in the
+  /// executor's MLFQ before a worker thread picked it up (charged to the
+  /// pipeline's sink operator).
+  int64_t queued_nanos = 0;
 
   int64_t peak_memory_bytes = 0;
   int64_t spilled_bytes = 0;

@@ -47,6 +47,7 @@ QueryLifecycle::QueryLifecycle(std::string query_id, std::string sql,
     : query_id_(std::move(query_id)),
       sql_(std::move(sql)),
       owner_(owner),
+      trace_(std::make_shared<TraceRecorder>(query_id_)),
       create_unix_millis_(
           std::chrono::duration_cast<std::chrono::milliseconds>(
               std::chrono::system_clock::now().time_since_epoch())
@@ -238,6 +239,16 @@ Result<QueryInfo> QueryTracker::Info(const std::string& query_id) const {
     return Status::NotFound("unknown query id: " + query_id);
   }
   return lifecycle->Info();
+}
+
+std::shared_ptr<QueryLifecycle> QueryTracker::Lookup(
+    const std::string& query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<QueryLifecycle> found;
+  for (const auto& [id, entry] : queries_) {
+    if (id == query_id) found = entry;  // last registration wins
+  }
+  return found;
 }
 
 std::vector<QueryInfo> QueryTracker::List() const {

@@ -14,6 +14,7 @@
 #include "stats/event_listener.h"
 #include "stats/metrics_registry.h"
 #include "stats/operator_stats.h"
+#include "stats/trace.h"
 
 namespace presto {
 
@@ -63,6 +64,10 @@ class QueryLifecycle {
 
   const std::string& query_id() const { return query_id_; }
 
+  /// Per-query trace recorder; lives as long as this lifecycle record, so
+  /// traces stay fetchable from the tracked-query history after completion.
+  const std::shared_ptr<TraceRecorder>& trace() const { return trace_; }
+
   void MarkPlanning();
   /// Planning done; the query now waits for an admission slot.
   void MarkQueuedForAdmission();
@@ -88,6 +93,7 @@ class QueryLifecycle {
   const std::string query_id_;
   const std::string sql_;
   QueryTracker* const owner_;
+  const std::shared_ptr<TraceRecorder> trace_;
 
   mutable std::mutex mu_;
   QueryState state_ = QueryState::kQueued;
@@ -123,6 +129,9 @@ class QueryTracker {
 
   Result<QueryInfo> Info(const std::string& query_id) const;
   std::vector<QueryInfo> List() const;
+
+  /// The lifecycle record for `query_id`, or null if unknown / evicted.
+  std::shared_ptr<QueryLifecycle> Lookup(const std::string& query_id) const;
 
  private:
   friend class QueryLifecycle;

@@ -1,0 +1,310 @@
+#include "stats/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace presto {
+namespace {
+
+std::atomic<uint64_t> g_next_instance_id{1};
+
+// One-slot thread-local cache: maps the most recently used recorder
+// instance to its buffer for this thread, avoiding the registry lock on
+// every event. Keyed by instance id so a recorder destroyed and replaced
+// at the same address cannot alias.
+struct LocalCache {
+  uint64_t instance_id = 0;
+  void* buffer = nullptr;
+};
+thread_local LocalCache t_cache;
+
+void AppendJsonArgs(
+    std::string& out,
+    const std::vector<std::pair<std::string, std::string>>& args) {
+  out += "\"args\":{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '"';
+    out += JsonEscape(args[i].first);
+    out += "\":\"";
+    out += JsonEscape(args[i].second);
+    out += '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+TraceRecorder::TraceRecorder(std::string query_id, int64_t max_events)
+    : query_id_(std::move(query_id)),
+      max_events_(max_events),
+      instance_id_(g_next_instance_id.fetch_add(1)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t TraceRecorder::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  if (t_cache.instance_id == instance_id_) {
+    return static_cast<ThreadBuffer*>(t_cache.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ThreadBuffer*& slot = by_thread_[std::this_thread::get_id()];
+  if (slot == nullptr) {
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    slot = buffers_.back().get();
+  }
+  t_cache = {instance_id_, slot};
+  return slot;
+}
+
+void TraceRecorder::Append(TraceEvent event) {
+  if (approx_count_.load(std::memory_order_relaxed) >= max_events_) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  approx_count_.fetch_add(1, std::memory_order_relaxed);
+  ThreadBuffer* buffer = LocalBuffer();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(std::move(event));
+}
+
+void TraceRecorder::RecordSpan(
+    const char* category, std::string name, int pid, int64_t tid,
+    int64_t start_nanos, int64_t duration_nanos,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = TraceEvent::Phase::kSpan;
+  event.start_nanos = start_nanos;
+  event.duration_nanos = duration_nanos;
+  event.pid = pid;
+  event.tid = tid;
+  event.args = std::move(args);
+  Append(std::move(event));
+}
+
+void TraceRecorder::RecordInstant(
+    const char* category, std::string name, int pid, int64_t tid,
+    std::vector<std::pair<std::string, std::string>> args) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.phase = TraceEvent::Phase::kInstant;
+  event.start_nanos = NowNanos();
+  event.pid = pid;
+  event.tid = tid;
+  event.args = std::move(args);
+  Append(std::move(event));
+}
+
+void TraceRecorder::SetProcessName(int pid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  process_names_[pid] = std::move(name);
+}
+
+void TraceRecorder::SetThreadName(int pid, int64_t tid, std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::vector<TraceEvent> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+      events.insert(events.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_nanos < b.start_nanos;
+                   });
+  return events;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::map<int, std::string> process_names;
+  std::map<std::pair<int, int64_t>, std::string> thread_names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    process_names = process_names_;
+    thread_names = thread_names_;
+  }
+  // Every referenced pid gets a process_name metadata event even when no
+  // explicit name was set, so Perfetto groups tracks sensibly.
+  for (const TraceEvent& event : events) {
+    if (process_names.count(event.pid) == 0) {
+      process_names[event.pid] =
+          event.pid == 0 ? "coordinator"
+                         : "worker_" + std::to_string(event.pid - 1);
+    }
+  }
+
+  std::string out;
+  out.reserve(256 + events.size() * 160);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"query_id\":\"";
+  out += JsonEscape(query_id_);
+  out += "\",\"dropped_events\":";
+  out += std::to_string(dropped());
+  out += "},\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ',';
+    first = false;
+  };
+  char buf[64];
+  for (const auto& [pid, name] : process_names) {
+    comma();
+    std::snprintf(buf, sizeof(buf), "%d", pid);
+    out += "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":";
+    out += buf;
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    out += JsonEscape(name);
+    out += "\"}}";
+  }
+  for (const auto& [key, name] : thread_names) {
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":";
+    out += std::to_string(key.first);
+    out += ",\"tid\":";
+    out += std::to_string(key.second);
+    out += ",\"args\":{\"name\":\"";
+    out += JsonEscape(name);
+    out += "\"}}";
+  }
+  for (const TraceEvent& event : events) {
+    comma();
+    out += "{\"ph\":\"";
+    out += event.phase == TraceEvent::Phase::kSpan ? 'X' : 'i';
+    out += "\",\"name\":\"";
+    out += JsonEscape(event.name);
+    out += "\",\"cat\":\"";
+    out += JsonEscape(event.category);
+    out += "\",\"ts\":";
+    // Chrome trace timestamps are microseconds (doubles); keep sub-us
+    // resolution with a fixed 3-decimal rendering.
+    std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                  static_cast<long long>(event.start_nanos / 1000),
+                  static_cast<long long>(event.start_nanos % 1000));
+    out += buf;
+    if (event.phase == TraceEvent::Phase::kSpan) {
+      out += ",\"dur\":";
+      std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                    static_cast<long long>(event.duration_nanos / 1000),
+                    static_cast<long long>(event.duration_nanos % 1000));
+      out += buf;
+    } else {
+      out += ",\"s\":\"t\"";
+    }
+    out += ",\"pid\":";
+    out += std::to_string(event.pid);
+    out += ",\"tid\":";
+    out += std::to_string(event.tid);
+    out += ',';
+    AppendJsonArgs(out, event.args);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceRecorder::ToTimelineText(size_t max_lines) const {
+  std::vector<TraceEvent> events = Snapshot();
+  std::string out;
+  char buf[160];
+  size_t lines = 0;
+  for (const TraceEvent& event : events) {
+    if (lines >= max_lines) {
+      out += "  ... (" + std::to_string(events.size() - lines) +
+             " more events)\n";
+      break;
+    }
+    ++lines;
+    double start_ms = static_cast<double>(event.start_nanos) / 1e6;
+    if (event.phase == TraceEvent::Phase::kSpan) {
+      double dur_ms = static_cast<double>(event.duration_nanos) / 1e6;
+      std::snprintf(buf, sizeof(buf),
+                    "  %10.3fms +%9.3fms  p%-2d t%-8lld %-10s %s", start_ms,
+                    dur_ms, event.pid, static_cast<long long>(event.tid),
+                    event.category, event.name.c_str());
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "  %10.3fms             i  p%-2d t%-8lld %-10s %s",
+                    start_ms, event.pid, static_cast<long long>(event.tid),
+                    event.category, event.name.c_str());
+    }
+    out += buf;
+    for (const auto& [key, value] : event.args) {
+      out += ' ';
+      out += key;
+      out += '=';
+      out += value;
+    }
+    out += '\n';
+  }
+  if (dropped() > 0) {
+    out += "  (" + std::to_string(dropped()) + " events dropped at cap)\n";
+  }
+  return out;
+}
+
+void TraceRegistry::Register(const std::string& query_id,
+                             std::shared_ptr<TraceRecorder> recorder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Prune entries whose recorders are gone so the map stays bounded by
+  // the number of live + tracked queries.
+  for (auto it = recorders_.begin(); it != recorders_.end();) {
+    it = it->second.expired() ? recorders_.erase(it) : std::next(it);
+  }
+  recorders_[query_id] = std::move(recorder);
+}
+
+std::shared_ptr<TraceRecorder> TraceRegistry::Lookup(
+    const std::string& query_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = recorders_.find(query_id);
+  return it == recorders_.end() ? nullptr : it->second.lock();
+}
+
+}  // namespace presto

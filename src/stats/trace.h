@@ -1,0 +1,146 @@
+#ifndef PRESTOCPP_STATS_TRACE_H_
+#define PRESTOCPP_STATS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace presto {
+
+/// Wire/request header carrying the trace context of an exchange fetch:
+/// the consumer sends its query/trace id with every GET, and the producer
+/// echoes its own id in the response, so fetch spans on the consumer
+/// correlate with sink/serve spans on the producer.
+inline constexpr char kTraceHeader[] = "x-presto-trace";
+
+/// One recorded event of a query trace. Spans cover an interval; instants
+/// mark a point. `pid`/`tid` follow the Chrome trace_event convention of
+/// one "process" per worker and one "thread" per driver:
+///   pid 0 = coordinator, pid w+1 = worker w;
+///   tid 0 = control threads, otherwise a per-driver id.
+struct TraceEvent {
+  enum class Phase : uint8_t { kSpan, kInstant };
+
+  std::string name;
+  /// Layer the event came from ("coordinator", "scheduler", "driver",
+  /// "exchange", "memory"). Must point at static-duration storage.
+  const char* category = "";
+  Phase phase = Phase::kSpan;
+  int64_t start_nanos = 0;     // relative to the recorder's epoch
+  int64_t duration_nanos = 0;  // spans only
+  int pid = 0;
+  int64_t tid = 0;
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Per-query distributed tracing recorder (the embedded analogue of a
+/// Presto coordinator assembling per-task timelines for the UI). Every
+/// layer — coordinator, scheduler, executor, exchange, memory — records
+/// timestamped spans against the recorder owned by the query's lifecycle.
+///
+/// Hot-path cost is one steady-clock read plus a vector push into a
+/// per-thread buffer: each recording thread gets its own buffer (found via
+/// a thread-local cache, created under the recorder lock on first use), so
+/// concurrent recorders never contend with each other; Snapshot() flushes
+/// every buffer under its (uncontended) buffer lock.
+///
+/// Spans are bounded per query: beyond `max_events` new events are counted
+/// in dropped() and discarded, so tracing is safe to leave on.
+class TraceRecorder {
+ public:
+  static constexpr int64_t kDefaultMaxEvents = 200'000;
+
+  explicit TraceRecorder(std::string query_id,
+                         int64_t max_events = kDefaultMaxEvents);
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  const std::string& query_id() const { return query_id_; }
+
+  /// Nanoseconds since the recorder's creation (span timestamps).
+  int64_t NowNanos() const;
+
+  void RecordSpan(const char* category, std::string name, int pid,
+                  int64_t tid, int64_t start_nanos, int64_t duration_nanos,
+                  std::vector<std::pair<std::string, std::string>> args = {});
+
+  void RecordInstant(
+      const char* category, std::string name, int pid, int64_t tid,
+      std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Display names for the Chrome trace metadata events.
+  void SetProcessName(int pid, std::string name);
+  void SetThreadName(int pid, int64_t tid, std::string name);
+
+  /// Events discarded because the per-query cap was reached.
+  int64_t dropped() const { return dropped_.load(); }
+  /// Events currently held (approximate while threads record).
+  int64_t recorded() const { return approx_count_.load(); }
+
+  /// All events so far, ordered by start time.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Chrome trace_event JSON (load in Perfetto / chrome://tracing): one
+  /// metadata process per worker, one thread per driver, "X" spans and "i"
+  /// instants with microsecond timestamps.
+  std::string ToChromeTraceJson() const;
+
+  /// Compact text timeline (EXPLAIN ANALYZE VERBOSE): one line per event,
+  /// truncated beyond `max_lines`.
+  std::string ToTimelineText(size_t max_lines = 200) const;
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadBuffer* LocalBuffer();
+  void Append(TraceEvent event);
+
+  const std::string query_id_;
+  const int64_t max_events_;
+  /// Process-unique id keying the thread-local buffer cache, so a stale
+  /// cache entry from a destroyed recorder can never alias a new one.
+  const uint64_t instance_id_;
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<int64_t> approx_count_{0};
+  std::atomic<int64_t> dropped_{0};
+
+  mutable std::mutex mu_;  // guards buffers_/by_thread_/names
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::map<std::thread::id, ThreadBuffer*> by_thread_;
+  std::map<int, std::string> process_names_;
+  std::map<std::pair<int, int64_t>, std::string> thread_names_;
+};
+
+/// Engine-wide registry resolving a query/trace id (e.g. from an
+/// `x-presto-trace` header) to its recorder. Holds weak references: a
+/// recorder lives exactly as long as its query's lifecycle record, so a
+/// scrape racing query teardown gets nullptr, never a dangling pointer.
+class TraceRegistry {
+ public:
+  void Register(const std::string& query_id,
+                std::shared_ptr<TraceRecorder> recorder);
+  std::shared_ptr<TraceRecorder> Lookup(const std::string& query_id) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::weak_ptr<TraceRecorder>> recorders_;
+};
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_STATS_TRACE_H_

@@ -1,0 +1,441 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "connectors/tpch/tpch_connector.h"
+#include "engine/engine.h"
+#include "engine/observability_http.h"
+#include "exchange/http/http_io.h"
+#include "stats/trace.h"
+
+namespace presto {
+namespace {
+
+// ---- Minimal JSON syntax checker ----
+//
+// The repo has no JSON parser; the endpoints only promise syntactic
+// validity (Perfetto/python does the semantic reading), so a recursive
+// descent acceptor is all the tests need.
+class JsonChecker {
+ public:
+  static bool Valid(const std::string& text) {
+    JsonChecker checker(text);
+    return checker.Value() && checker.AtEnd();
+  }
+
+ private:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                   text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+  bool AtEnd() {
+    SkipWs();
+    return pos_ == text_.size();
+  }
+  bool Literal(const char* word) {
+    size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char c = text_[pos_];
+        if (c == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !isxdigit(text_[pos_])) return false;
+          }
+        } else if (std::string("\"\\/bfnrt").find(c) == std::string::npos) {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(text_[pos_]) < 0x20) {
+        return false;  // raw control character: invalid JSON
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (isdigit(text_[pos_]) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Value() {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        SkipWs();
+        if (!String()) return false;
+        SkipWs();
+        if (pos_ >= text_.size() || text_[pos_] != ':') return false;
+        ++pos_;
+        if (!Value()) return false;
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (pos_ >= text_.size() || text_[pos_] != '}') return false;
+      ++pos_;
+      return true;
+    }
+    if (c == '[') {
+      ++pos_;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        if (!Value()) return false;
+        SkipWs();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        break;
+      }
+      if (pos_ >= text_.size() || text_[pos_] != ']') return false;
+      ++pos_;
+      return true;
+    }
+    if (c == '"') return String();
+    if (c == 't') return Literal("true");
+    if (c == 'f') return Literal("false");
+    if (c == 'n') return Literal("null");
+    return Number();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// ---- TraceRecorder unit tests ----
+
+TEST(TraceRecorderTest, RecordsSpansAndInstantsInStartOrder) {
+  TraceRecorder trace("q");
+  int64_t t0 = trace.NowNanos();
+  trace.RecordSpan("executor", "late", 1, 7, t0 + 1000, 50);
+  trace.RecordSpan("executor", "early", 1, 7, t0, 50,
+                   {{"level", "0"}});
+  trace.RecordInstant("scheduler", "tick", 0, 0);
+  std::vector<TraceEvent> events = trace.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "early");
+  EXPECT_EQ(events[1].name, "late");
+  EXPECT_EQ(events[0].args.size(), 1u);
+  EXPECT_EQ(events[0].args[0].second, "0");
+  EXPECT_EQ(trace.dropped(), 0);
+}
+
+TEST(TraceRecorderTest, CapsEventsAndCountsDrops) {
+  TraceRecorder trace("q", /*max_events=*/16);
+  for (int i = 0; i < 100; ++i) {
+    trace.RecordInstant("executor", "e" + std::to_string(i), 1, 0);
+  }
+  EXPECT_LE(trace.Snapshot().size(), 16u);
+  EXPECT_EQ(trace.recorded() + trace.dropped(), 100);
+  EXPECT_GE(trace.dropped(), 84);
+  // The drop counter is surfaced in the exported JSON.
+  std::string json = trace.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"dropped_events\""), std::string::npos);
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json;
+}
+
+TEST(TraceRecorderTest, ManyThreadsRecordWithoutLoss) {
+  TraceRecorder trace("q");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&trace, t] {
+      for (int i = 0; i < 500; ++i) {
+        trace.RecordSpan("executor", "quantum", 1, t, i * 10, 5);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(trace.Snapshot().size(), 4000u);
+  EXPECT_EQ(trace.dropped(), 0);
+}
+
+TEST(TraceRecorderTest, JsonEscapesHostileStrings) {
+  TraceRecorder trace("q\"\\\n");
+  trace.RecordInstant("executor", "quote\"back\\slash\nnewline\ttab", 0, 0,
+                      {{"k\"", "v\x01"}});
+  std::string json = trace.ToChromeTraceJson();
+  EXPECT_TRUE(JsonChecker::Valid(json)) << json;
+}
+
+TEST(TraceRegistryTest, LookupIsWeak) {
+  TraceRegistry registry;
+  auto recorder = std::make_shared<TraceRecorder>("query_0");
+  registry.Register("query_0", recorder);
+  EXPECT_EQ(registry.Lookup("query_0"), recorder);
+  EXPECT_EQ(registry.Lookup("missing"), nullptr);
+  recorder.reset();
+  // The registry held only a weak reference: a scrape after teardown gets
+  // null, never a dangling pointer.
+  EXPECT_EQ(registry.Lookup("query_0"), nullptr);
+}
+
+// ---- End-to-end trace + endpoint tests ----
+
+class ObservabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineOptions options;
+    options.cluster.num_workers = 2;
+    options.cluster.executor.threads = 2;
+    options.cluster.network.transport = TransportMode::kHttp;
+    engine_ = std::make_unique<PrestoEngine>(options);
+    engine_->catalog().Register(
+        std::make_shared<TpchConnector>("tpch", 0.01));
+    engine_->catalog().SetDefault("tpch");
+  }
+
+  // TPC-H-style distributed join: two scan fragments shuffling into a join
+  // + aggregation fragment, so the trace crosses every layer.
+  std::string RunJoin() {
+    auto result = engine_->Execute(
+        "SELECT c.mktsegment, count(*) FROM orders o "
+        "JOIN customer c ON o.custkey = c.custkey GROUP BY c.mktsegment");
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    auto rows = result->FetchAllRows();
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return result->query_id();
+  }
+
+  HttpResponse Get(ObservabilityHttpService& service,
+                   const std::string& path) {
+    HttpRequest request;
+    request.method = "GET";
+    request.path = path;
+    return service.Handle(request);
+  }
+
+  std::unique_ptr<PrestoEngine> engine_;
+};
+
+TEST_F(ObservabilityTest, ChromeTraceJsonCoversAllLayers) {
+  std::string query_id = RunJoin();
+  auto json = engine_->QueryTraceJson(query_id);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_TRUE(JsonChecker::Valid(*json));
+  // Perfetto-loadable scaffolding.
+  EXPECT_NE(json->find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(json->find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json->find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json->find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json->find("\"ph\":\"X\""), std::string::npos);
+  // Spans from >= 4 layers of the engine.
+  for (const char* category :
+       {"\"cat\":\"coordinator\"", "\"cat\":\"scheduler\"",
+        "\"cat\":\"executor\"", "\"cat\":\"exchange\""}) {
+    EXPECT_NE(json->find(category), std::string::npos) << category;
+  }
+  // Consumer-side fetch spans carry the producer's trace id from the
+  // x-presto-trace response header.
+  EXPECT_NE(json->find("\"http_fetch\""), std::string::npos);
+  EXPECT_NE(json->find("\"peer_trace\":\"" + query_id + "\""),
+            std::string::npos);
+  // Executor quanta appear with their MLFQ level.
+  EXPECT_NE(json->find("\"quantum\""), std::string::npos);
+  EXPECT_NE(json->find("\"level\""), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ExplainAnalyzeVerboseAppendsTimeline) {
+  auto plain = engine_->ExplainAnalyze(
+      "EXPLAIN ANALYZE SELECT count(*) FROM orders");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->find("Timeline:"), std::string::npos);
+
+  auto verbose = engine_->ExplainAnalyze(
+      "EXPLAIN ANALYZE VERBOSE SELECT count(*) FROM orders");
+  ASSERT_TRUE(verbose.ok()) << verbose.status().ToString();
+  EXPECT_NE(verbose->find("Timeline:"), std::string::npos);
+  EXPECT_NE(verbose->find("quantum"), std::string::npos);
+
+  // ExecuteAndFetch routes the verbose form too.
+  auto rows = engine_->ExecuteAndFetch(
+      "EXPLAIN ANALYZE VERBOSE SELECT count(*) FROM orders");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+}
+
+TEST_F(ObservabilityTest, MetricsEndpointIsPrometheusText) {
+  RunJoin();
+  ObservabilityHttpService service(engine_.get());
+  HttpResponse response = Get(service, "/v1/metrics");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.headers["content-type"].find("text/plain"),
+            std::string::npos);
+  const std::string& body = response.body;
+  // Histogram families render _bucket/_sum/_count with le labels.
+  EXPECT_NE(body.find("# TYPE presto_executor_quantum_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(body.find("presto_executor_quantum_seconds_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(body.find("presto_executor_quantum_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(body.find("presto_exchange_http_request_seconds_sum"),
+            std::string::npos);
+  // The MLFQ quanta family is labeled by level, announced exactly once.
+  EXPECT_NE(body.find("presto_executor_quanta_total{level=\"0\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("presto_executor_quanta_total{level=\"4\"}"),
+            std::string::npos);
+  size_t first = body.find("# TYPE presto_executor_quanta_total");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(body.find("# TYPE presto_executor_quanta_total", first + 1),
+            std::string::npos);
+}
+
+TEST_F(ObservabilityTest, QueryEndpointsServeJson) {
+  std::string query_id = RunJoin();
+  ObservabilityHttpService service(engine_.get());
+
+  HttpResponse list = Get(service, "/v1/query");
+  EXPECT_EQ(list.status, 200);
+  EXPECT_TRUE(JsonChecker::Valid(list.body)) << list.body;
+  EXPECT_NE(list.body.find("\"" + query_id + "\""), std::string::npos);
+
+  HttpResponse info = Get(service, "/v1/query/" + query_id);
+  EXPECT_EQ(info.status, 200);
+  EXPECT_TRUE(JsonChecker::Valid(info.body)) << info.body;
+  EXPECT_NE(info.body.find("\"state\":\"FINISHED\""), std::string::npos);
+  EXPECT_NE(info.body.find("\"numTasks\""), std::string::npos);
+
+  HttpResponse trace = Get(service, "/v1/query/" + query_id + "/trace");
+  EXPECT_EQ(trace.status, 200);
+  EXPECT_TRUE(JsonChecker::Valid(trace.body));
+  EXPECT_NE(trace.body.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST_F(ObservabilityTest, EndpointsRejectUnknownAndMalformed) {
+  ObservabilityHttpService service(engine_.get());
+  EXPECT_EQ(Get(service, "/v1/query/no_such_query").status, 404);
+  EXPECT_EQ(Get(service, "/v1/query/no_such_query/trace").status, 404);
+  EXPECT_EQ(Get(service, "/v1/query/../../etc/passwd").status, 404);
+  EXPECT_EQ(Get(service, "/v1/query/q0/trace/extra").status, 404);
+  EXPECT_EQ(Get(service, "/v1/nope").status, 404);
+  EXPECT_EQ(Get(service, "/").status, 404);
+  HttpRequest post;
+  post.method = "POST";
+  post.path = "/v1/metrics";
+  EXPECT_EQ(service.Handle(post).status, 405);
+}
+
+TEST_F(ObservabilityTest, ServesOverRealSocket) {
+  std::string query_id = RunJoin();
+  ASSERT_TRUE(engine_->StartObservability().ok());
+  int port = engine_->observability_port();
+  ASSERT_GT(port, 0);
+  auto conn = ConnectToLoopback(port, /*timeout_micros=*/2'000'000);
+  ASSERT_TRUE(conn.ok()) << conn.status().ToString();
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/v1/query/" + query_id + "/trace";
+  ASSERT_TRUE((*conn)->WriteRequest(request).ok());
+  auto response = (*conn)->ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_TRUE(JsonChecker::Valid(response->body));
+  engine_->StopObservability();
+  EXPECT_EQ(engine_->observability_port(), -1);
+}
+
+TEST_F(ObservabilityTest, ConcurrentScrapesSurviveQueryTeardown) {
+  ObservabilityHttpService service(engine_.get());
+  std::atomic<bool> stop{false};
+  // Scrapers hammer every endpoint while queries start and finish; weak
+  // trace references and tracker snapshots make the races benign.
+  std::vector<std::thread> scrapers;
+  for (int t = 0; t < 3; ++t) {
+    scrapers.emplace_back([&] {
+      int i = 0;
+      while (!stop.load()) {
+        Get(service, "/v1/metrics");
+        Get(service, "/v1/query");
+        Get(service, "/v1/query/query_" + std::to_string(i % 8));
+        Get(service, "/v1/query/query_" + std::to_string(i % 8) + "/trace");
+        ++i;
+      }
+    });
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto rows = engine_->ExecuteAndFetch("SELECT count(*) FROM region");
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+  }
+  stop.store(true);
+  for (auto& scraper : scrapers) scraper.join();
+}
+
+// ---- EventListener dispatch order ----
+
+class RecordingListener : public EventListener {
+ public:
+  explicit RecordingListener(std::vector<std::string>* log,
+                             const std::string& tag)
+      : log_(log), tag_(tag) {}
+
+  void QueryCreated(const QueryCreatedEvent& event) override {
+    log_->push_back(tag_ + ":created:" + event.query_id);
+  }
+  void QueryCompleted(const QueryCompletedEvent& event) override {
+    log_->push_back(tag_ + ":completed:" + event.query_id);
+  }
+
+ private:
+  std::vector<std::string>* log_;
+  std::string tag_;
+};
+
+TEST_F(ObservabilityTest, EventListenersDispatchInRegistrationOrder) {
+  std::vector<std::string> log;
+  engine_->AddEventListener(std::make_shared<RecordingListener>(&log, "a"));
+  engine_->AddEventListener(std::make_shared<RecordingListener>(&log, "b"));
+  auto rows = engine_->ExecuteAndFetch("SELECT count(*) FROM region");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(log.size(), 4u);
+  // Created fires before Completed, and listeners run in registration
+  // order within each event.
+  EXPECT_EQ(log[0].substr(0, 10), "a:created:");
+  EXPECT_EQ(log[1].substr(0, 10), "b:created:");
+  EXPECT_EQ(log[2].substr(0, 12), "a:completed:");
+  EXPECT_EQ(log[3].substr(0, 12), "b:completed:");
+  // Both listeners saw the same query.
+  EXPECT_EQ(log[0].substr(10), log[1].substr(10));
+}
+
+}  // namespace
+}  // namespace presto
