@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""CI smoke check for the out-of-process cluster.
+
+Usage: check_cluster.py CLUSTER_LOG
+
+Validates the KEY=VALUE output of examples/process_cluster:
+  - both worker daemons heartbeated and were counted alive;
+  - the distributed multi-fragment join produced rows identical to the
+    in-process engine;
+  - after kill -9 of a worker mid-query, the query failed cleanly (no
+    hang) well within the detection budget, the liveness gauge dropped to
+    one, and no exchange buffers were leaked on the coordinator.
+"""
+
+import sys
+
+DETECTION_BUDGET_MICROS = 20_000_000
+
+
+def parse(path):
+    values = {}
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if "=" in line:
+                key, _, value = line.partition("=")
+                values.setdefault(key, value)
+    return values
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(f"usage: {sys.argv[0]} CLUSTER_LOG", file=sys.stderr)
+        return 2
+    v = parse(sys.argv[1])
+
+    required = [
+        "WORKERS_ALIVE",
+        "JOIN_ROWS",
+        "JOIN_MATCHES_LOCAL",
+        "KILL_DETECTED_MICROS",
+        "KILL_STATUS",
+        "ALIVE_AFTER_KILL",
+        "BUFFERS_LEAKED",
+    ]
+    missing = [key for key in required if key not in v]
+    assert not missing, f"missing markers: {missing}"
+
+    assert v["WORKERS_ALIVE"] == "2", f"workers alive: {v['WORKERS_ALIVE']}"
+    assert int(v["JOIN_ROWS"]) > 0, "distributed join returned no rows"
+    assert v["JOIN_MATCHES_LOCAL"] == "1", "distributed != in-process result"
+
+    detect = int(v["KILL_DETECTED_MICROS"])
+    assert 0 <= detect < DETECTION_BUDGET_MICROS, (
+        f"kill detection took {detect}us (budget {DETECTION_BUDGET_MICROS})"
+    )
+    assert v["KILL_STATUS"] != "unexpected-success", (
+        "query survived a killed worker"
+    )
+    assert v["ALIVE_AFTER_KILL"] == "1", (
+        f"liveness gauge after kill: {v['ALIVE_AFTER_KILL']}"
+    )
+    assert v["BUFFERS_LEAKED"] == "0", (
+        f"leaked exchange bytes: {v['BUFFERS_LEAKED']}"
+    )
+
+    print(
+        f"cluster smoke OK: join rows={v['JOIN_ROWS']}, "
+        f"kill detected in {detect / 1e6:.2f}s, no leaks"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,10 @@ struct FaultSpec {
 ///                        retry re-fetches the same un-acked token
 ///   exchange.http_server server-side handler failure surfaced as a 5xx
 ///                        (ExchangeHttpService)
+///   http.server_serve    request dispatch on any HttpServer answered with
+///                        a 500 before reaching the handler
+///   worker.task_service  /v1/task endpoint failure surfaced as a 500
+///                        (TaskService)
 ///   spill.write          Spiller::SpillRun file I/O
 ///   spill.read           Spiller::ReadRun file I/O
 ///   spill.decompress     per-frame decode in Spiller::ReadRun

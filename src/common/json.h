@@ -1,0 +1,140 @@
+#ifndef PRESTOCPP_COMMON_JSON_H_
+#define PRESTOCPP_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace presto {
+
+/// Minimal JSON document model used by the coordinator<->worker task
+/// protocol (plan fragments, split batches, task status). Hand-rolled so the
+/// wire format has zero external dependencies; integers are kept as int64
+/// (not double) so counters like cpu_nanos survive a round trip exactly.
+///
+/// Objects preserve insertion order and use linear lookup — protocol
+/// messages are small (tens of keys), so this is simpler and faster than a
+/// map for our sizes.
+class Json {
+ public:
+  enum class Type : uint8_t {
+    kNull,
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Json() : type_(Type::kNull) {}
+
+  static Json Bool(bool b) {
+    Json j;
+    j.type_ = Type::kBool;
+    j.bool_ = b;
+    return j;
+  }
+  static Json Int(int64_t i) {
+    Json j;
+    j.type_ = Type::kInt;
+    j.int_ = i;
+    return j;
+  }
+  static Json Real(double d) {
+    Json j;
+    j.type_ = Type::kDouble;
+    j.double_ = d;
+    return j;
+  }
+  static Json Str(std::string s) {
+    Json j;
+    j.type_ = Type::kString;
+    j.string_ = std::move(s);
+    return j;
+  }
+  static Json Array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const {
+    return type_ == Type::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double double_value() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& string_value() const { return string_; }
+
+  // --- Array access ---
+  const std::vector<Json>& items() const { return array_; }
+  size_t size() const {
+    return type_ == Type::kObject ? members_.size() : array_.size();
+  }
+  void Append(Json value) { array_.push_back(std::move(value)); }
+
+  // --- Object access ---
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+  /// Sets (or replaces) a key. Returns *this for chaining.
+  Json& Set(const std::string& key, Json value);
+  /// Returns the member or nullptr when absent (or when not an object).
+  const Json* Find(const std::string& key) const;
+
+  /// Type-checked object getters: error when the key is missing or the
+  /// value has the wrong type. GetDouble accepts ints (widening).
+  Result<bool> GetBool(const std::string& key) const;
+  Result<int64_t> GetInt(const std::string& key) const;
+  Result<double> GetDouble(const std::string& key) const;
+  Result<std::string> GetString(const std::string& key) const;
+  Result<const Json*> GetArray(const std::string& key) const;
+  Result<const Json*> GetObject(const std::string& key) const;
+
+  /// Compact single-line rendering (no insignificant whitespace).
+  std::string Serialize() const;
+
+  /// Strict parse of a complete JSON document (trailing garbage is an
+  /// error). Depth-limited to keep hostile input from recursing the stack.
+  static Result<Json> Parse(const std::string& text);
+
+ private:
+  void SerializeTo(std::string* out) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<Json> array_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Escapes `s` for embedding in a JSON string literal (no quotes added).
+/// Shared with the hand-written emitters in stats/trace.
+std::string JsonEscapeString(std::string_view s);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_COMMON_JSON_H_

@@ -202,6 +202,22 @@ class Connector {
     (void)writer_id;
     return Status::Unsupported("connector does not support writes");
   }
+
+  /// Wire form of a split for the out-of-process task protocol: the
+  /// coordinator enumerates splits, serializes them, and streams them to
+  /// workers, which re-materialize concrete Split objects against their own
+  /// instance of the same connector. The encoding is connector-private; the
+  /// engine treats it as an opaque string.
+  virtual Result<std::string> SerializeSplit(const Split& split) const {
+    (void)split;
+    return Status::Unsupported("connector '" + name() +
+                               "' does not support split serialization");
+  }
+  virtual Result<SplitPtr> DeserializeSplit(const std::string& data) const {
+    (void)data;
+    return Status::Unsupported("connector '" + name() +
+                               "' does not support split deserialization");
+  }
 };
 using ConnectorPtr = std::shared_ptr<Connector>;
 

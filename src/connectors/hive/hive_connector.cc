@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "vector/block_builder.h"
 #include "vector/decoded_block.h"
 
@@ -450,6 +451,26 @@ Result<std::unique_ptr<DataSink>> HiveConnector::CreateDataSink(
   return std::unique_ptr<DataSink>(
       new HiveDataSink(this, &dfs_, path, info->schema, config_.stripe_rows,
                        register_file));
+}
+
+Result<std::string> HiveConnector::SerializeSplit(const Split& split) const {
+  const auto* hive_split = dynamic_cast<const HiveSplit*>(&split);
+  if (hive_split == nullptr) {
+    return Status::InvalidArgument("not a hive split");
+  }
+  Json out = Json::Object();
+  out.Set("file", Json::Str(hive_split->file()))
+      .Set("partition", Json::Str(hive_split->partition_value()));
+  return out.Serialize();
+}
+
+Result<SplitPtr> HiveConnector::DeserializeSplit(
+    const std::string& data) const {
+  PRESTO_ASSIGN_OR_RETURN(Json json, Json::Parse(data));
+  PRESTO_ASSIGN_OR_RETURN(std::string file, json.GetString("file"));
+  PRESTO_ASSIGN_OR_RETURN(std::string partition, json.GetString("partition"));
+  return SplitPtr(
+      std::make_shared<HiveSplit>(std::move(file), std::move(partition)));
 }
 
 }  // namespace presto

@@ -70,6 +70,9 @@ class HiveConnector final : public Connector {
   Result<std::unique_ptr<DataSink>> CreateDataSink(const TableHandle& table,
                                                    int writer_id) override;
 
+  Result<std::string> SerializeSplit(const Split& split) const override;
+  Result<SplitPtr> DeserializeSplit(const std::string& data) const override;
+
  private:
   class Metadata;
   friend class Metadata;

@@ -3,6 +3,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "vector/block_builder.h"
 
 namespace presto {
@@ -25,6 +26,7 @@ class MemorySplit final : public Split {
  public:
   MemorySplit(std::string table, size_t begin, size_t end)
       : table_(std::move(table)), begin_(begin), end_(end) {}
+  const std::string& table() const { return table_; }
   size_t begin() const { return begin_; }
   size_t end() const { return end_; }
   std::string ToString() const override {
@@ -302,6 +304,29 @@ Result<std::unique_ptr<DataSink>> MemoryConnector::CreateDataSink(
   }
   return std::unique_ptr<DataSink>(
       new MemoryDataSink(&mu_, &it->second->pages));
+}
+
+Result<std::string> MemoryConnector::SerializeSplit(const Split& split) const {
+  const auto* mem_split = dynamic_cast<const MemorySplit*>(&split);
+  if (mem_split == nullptr) {
+    return Status::InvalidArgument("not a memory split");
+  }
+  Json out = Json::Object();
+  out.Set("table", Json::Str(mem_split->table()))
+      .Set("begin", Json::Int(static_cast<int64_t>(mem_split->begin())))
+      .Set("end", Json::Int(static_cast<int64_t>(mem_split->end())));
+  return out.Serialize();
+}
+
+Result<SplitPtr> MemoryConnector::DeserializeSplit(
+    const std::string& data) const {
+  PRESTO_ASSIGN_OR_RETURN(Json json, Json::Parse(data));
+  PRESTO_ASSIGN_OR_RETURN(std::string table, json.GetString("table"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t begin, json.GetInt("begin"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t end, json.GetInt("end"));
+  return SplitPtr(std::make_shared<MemorySplit>(std::move(table),
+                                                static_cast<size_t>(begin),
+                                                static_cast<size_t>(end)));
 }
 
 }  // namespace presto

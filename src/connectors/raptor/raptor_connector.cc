@@ -5,6 +5,7 @@
 #include <set>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "vector/block_builder.h"
 
 namespace presto {
@@ -296,6 +297,28 @@ Result<std::unique_ptr<DataSource>> RaptorConnector::CreateDataSource(
       /*lazy=*/true, nullptr);
   return std::unique_ptr<DataSource>(
       new RaptorDataSource(std::move(reader), &storage_, bytes_before));
+}
+
+Result<std::string> RaptorConnector::SerializeSplit(const Split& split) const {
+  const auto* raptor_split = dynamic_cast<const RaptorSplit*>(&split);
+  if (raptor_split == nullptr) {
+    return Status::InvalidArgument("not a raptor split");
+  }
+  Json out = Json::Object();
+  out.Set("file", Json::Str(raptor_split->file()))
+      .Set("bucket", Json::Int(raptor_split->bucket()))
+      .Set("worker", Json::Int(raptor_split->preferred_worker()));
+  return out.Serialize();
+}
+
+Result<SplitPtr> RaptorConnector::DeserializeSplit(
+    const std::string& data) const {
+  PRESTO_ASSIGN_OR_RETURN(Json json, Json::Parse(data));
+  PRESTO_ASSIGN_OR_RETURN(std::string file, json.GetString("file"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t bucket, json.GetInt("bucket"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t worker, json.GetInt("worker"));
+  return SplitPtr(std::make_shared<RaptorSplit>(
+      std::move(file), static_cast<int>(bucket), static_cast<int>(worker)));
 }
 
 }  // namespace presto

@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "common/check.h"
+#include "common/json.h"
 #include "vector/block_builder.h"
 
 namespace presto {
@@ -425,6 +426,27 @@ Result<std::unique_ptr<DataSource>> ShardedStoreConnector::CreateDataSource(
   return std::unique_ptr<DataSource>(
       new RowsDataSource(std::move(rows), std::move(types), columns,
                          config_.query_latency_micros));
+}
+
+Result<std::string> ShardedStoreConnector::SerializeSplit(
+    const Split& split) const {
+  const auto* shard_split = dynamic_cast<const ShardSplit*>(&split);
+  if (shard_split == nullptr) {
+    return Status::InvalidArgument("not a shardedstore split");
+  }
+  Json out = Json::Object();
+  out.Set("table", Json::Str(shard_split->table()))
+      .Set("shard", Json::Int(shard_split->shard()));
+  return out.Serialize();
+}
+
+Result<SplitPtr> ShardedStoreConnector::DeserializeSplit(
+    const std::string& data) const {
+  PRESTO_ASSIGN_OR_RETURN(Json json, Json::Parse(data));
+  PRESTO_ASSIGN_OR_RETURN(std::string table, json.GetString("table"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t shard, json.GetInt("shard"));
+  return SplitPtr(std::make_shared<ShardSplit>(std::move(table),
+                                               static_cast<int>(shard)));
 }
 
 }  // namespace presto

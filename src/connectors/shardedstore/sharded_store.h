@@ -53,6 +53,9 @@ class ShardedStoreConnector final : public Connector {
   Result<std::unique_ptr<DataSource>> CreateDataSource(
       const Split& split, const ScanSpec& spec) override;
 
+  Result<std::string> SerializeSplit(const Split& split) const override;
+  Result<SplitPtr> DeserializeSplit(const std::string& data) const override;
+
  private:
   class Metadata;
   friend class Metadata;

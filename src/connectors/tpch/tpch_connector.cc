@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/json.h"
 #include "vector/block_builder.h"
 
 namespace presto {
@@ -465,6 +466,27 @@ Result<std::unique_ptr<DataSource>> TpchConnector::CreateDataSource(
       handle->def(), tpch_split->begin(), tpch_split->end(), spec.columns,
       tables.at("customer").rows, tables.at("part").rows,
       tables.at("supplier").rows));
+}
+
+Result<std::string> TpchConnector::SerializeSplit(const Split& split) const {
+  const auto* tpch_split = dynamic_cast<const TpchSplit*>(&split);
+  if (tpch_split == nullptr) {
+    return Status::InvalidArgument("not a tpch split");
+  }
+  Json out = Json::Object();
+  out.Set("table", Json::Str(tpch_split->table()))
+      .Set("begin", Json::Int(tpch_split->begin()))
+      .Set("end", Json::Int(tpch_split->end()));
+  return out.Serialize();
+}
+
+Result<SplitPtr> TpchConnector::DeserializeSplit(
+    const std::string& data) const {
+  PRESTO_ASSIGN_OR_RETURN(Json json, Json::Parse(data));
+  PRESTO_ASSIGN_OR_RETURN(std::string table, json.GetString("table"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t begin, json.GetInt("begin"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t end, json.GetInt("end"));
+  return SplitPtr(std::make_shared<TpchSplit>(std::move(table), begin, end));
 }
 
 }  // namespace presto

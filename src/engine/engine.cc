@@ -60,7 +60,7 @@ PrestoEngine::PrestoEngine(EngineOptions options)
       "presto_executor_quantum_seconds",
       "Duration of MLFQ scheduling quanta",
       LogBuckets(0.00001, 4, 10));
-  for (int i = 0; i < cluster_->num_workers(); ++i) {
+  for (int i = 0; i < cluster_->local_workers(); ++i) {
     cluster_->worker(i).executor().set_quantum_histogram(quantum);
   }
   cluster_->exchange().set_poll_wait_histogram(metrics_->RegisterHistogram(
@@ -72,6 +72,12 @@ PrestoEngine::PrestoEngine(EngineOptions options)
           "presto_exchange_http_request_seconds",
           "Client-side exchange HTTP request round-trip time per attempt",
           LogBuckets(0.0001, 4, 8)));
+  // ISSUE 6: worker heartbeat round trips, as reported by the workers in
+  // their next beat (micros; empty in kThreads mode).
+  cluster_->liveness().set_rtt_histogram(metrics_->RegisterHistogram(
+      "presto_heartbeat_rtt_micros",
+      "Worker heartbeat POST round-trip time in microseconds",
+      LogBuckets(100, 4, 8)));
 }
 
 PrestoEngine::~PrestoEngine() { StopObservability(); }
@@ -113,10 +119,17 @@ void PrestoEngine::RegisterEngineGauges() {
       "presto_queries_queued", "Queries waiting for an admission slot",
       [this] { return static_cast<double>(coordinator_->queued_queries()); });
   metrics_->RegisterGauge(
+      "presto_cluster_alive_workers",
+      "Workers currently considered alive by the heartbeat failure detector",
+      [this] {
+        return static_cast<double>(
+            cluster_->liveness().AliveCount(cluster_->num_workers()));
+      });
+  metrics_->RegisterGauge(
       "presto_memory_general_used_bytes",
       "General-pool bytes in use across all workers", [this] {
         int64_t total = 0;
-        for (int i = 0; i < cluster_->num_workers(); ++i) {
+        for (int i = 0; i < cluster_->local_workers(); ++i) {
           total += cluster_->worker(i).memory().general_used();
         }
         return static_cast<double>(total);
@@ -125,7 +138,7 @@ void PrestoEngine::RegisterEngineGauges() {
       "presto_memory_general_peak_bytes",
       "High-water mark of general-pool usage across all workers", [this] {
         int64_t total = 0;
-        for (int i = 0; i < cluster_->num_workers(); ++i) {
+        for (int i = 0; i < cluster_->local_workers(); ++i) {
           total += cluster_->worker(i).memory().peak_general_used();
         }
         return static_cast<double>(total);
@@ -134,7 +147,7 @@ void PrestoEngine::RegisterEngineGauges() {
       "presto_memory_reserved_used_bytes",
       "Reserved-pool bytes in use across all workers", [this] {
         int64_t total = 0;
-        for (int i = 0; i < cluster_->num_workers(); ++i) {
+        for (int i = 0; i < cluster_->local_workers(); ++i) {
           total += cluster_->worker(i).memory().reserved_used();
         }
         return static_cast<double>(total);
@@ -143,7 +156,7 @@ void PrestoEngine::RegisterEngineGauges() {
       "presto_memory_revocations_total",
       "Memory revocation (spill) requests issued across all workers", [this] {
         int64_t total = 0;
-        for (int i = 0; i < cluster_->num_workers(); ++i) {
+        for (int i = 0; i < cluster_->local_workers(); ++i) {
           total += cluster_->worker(i).memory().revocations();
         }
         return static_cast<double>(total);
@@ -209,7 +222,7 @@ void PrestoEngine::RegisterEngineGauges() {
         "Scheduling quanta executed per MLFQ level",
         [this, level] {
           int64_t total = 0;
-          for (int i = 0; i < cluster_->num_workers(); ++i) {
+          for (int i = 0; i < cluster_->local_workers(); ++i) {
             total += cluster_->worker(i).executor().quanta_at_level(level);
           }
           return static_cast<double>(total);

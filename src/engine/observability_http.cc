@@ -2,8 +2,10 @@
 
 #include <vector>
 
+#include "common/json.h"
 #include "engine/engine.h"
 #include "stats/trace.h"
+#include "worker/task_protocol.h"
 
 namespace presto {
 
@@ -92,9 +94,50 @@ void AppendQueryInfoJson(const QueryInfo& info, std::string* out) {
 
 }  // namespace
 
+HttpResponse ObservabilityHttpService::HandleHeartbeat(
+    const HttpRequest& request) {
+  Result<Json> body = Json::Parse(request.body);
+  if (!body.ok()) {
+    return MakeError(400, "Bad Request",
+                     "malformed heartbeat: " + body.status().message());
+  }
+  Result<int64_t> worker_id = body->GetInt("worker");
+  if (!worker_id.ok()) {
+    return MakeError(400, "Bad Request",
+                     "heartbeat missing integer 'worker'");
+  }
+  int64_t rtt_micros = 0;
+  Result<int64_t> rtt = body->GetInt("rttMicros");
+  if (rtt.ok()) rtt_micros = *rtt;
+  engine_->cluster().liveness().Heartbeat(static_cast<int>(*worker_id),
+                                          rtt_micros);
+  HttpResponse response;
+  response.headers["content-type"] = "application/json";
+  response.body = "{}";
+  return response;
+}
+
+HttpResponse ObservabilityHttpService::HandleInfo() {
+  NodeInfo info;
+  info.node_id = "coordinator";
+  info.state = "ACTIVE";
+  info.uptime_millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - started_)
+                           .count();
+  info.active_tasks = engine_->coordinator().running_queries();
+  info.heartbeats = engine_->cluster().liveness().heartbeats_received();
+  info.alive_workers =
+      engine_->cluster().liveness().AliveCount(engine_->cluster().num_workers());
+  return MakeOk("application/json", info.ToJson().Serialize());
+}
+
 HttpResponse ObservabilityHttpService::Handle(const HttpRequest& request) {
+  if (request.method == "POST" && request.path == "/v1/heartbeat") {
+    return HandleHeartbeat(request);
+  }
   if (request.method != "GET") {
-    return MakeError(405, "Method Not Allowed", "only GET is supported");
+    return MakeError(405, "Method Not Allowed",
+                     "only GET (and POST /v1/heartbeat) is supported");
   }
   std::vector<std::string> segments = SplitPath(request.path);
   if (segments.size() < 2 || segments[0] != "v1") {
@@ -103,6 +146,9 @@ HttpResponse ObservabilityHttpService::Handle(const HttpRequest& request) {
   if (segments[1] == "metrics" && segments.size() == 2) {
     return MakeOk("text/plain; version=0.0.4",
                   engine_->metrics().RenderText());
+  }
+  if (segments[1] == "info" && segments.size() == 2) {
+    return HandleInfo();
   }
   if (segments[1] != "query") {
     return MakeError(404, "Not Found", "unknown path: " + request.path);

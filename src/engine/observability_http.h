@@ -1,6 +1,7 @@
 #ifndef PRESTOCPP_ENGINE_OBSERVABILITY_HTTP_H_
 #define PRESTOCPP_ENGINE_OBSERVABILITY_HTTP_H_
 
+#include <chrono>
 #include <string>
 
 #include "common/status.h"
@@ -10,23 +11,28 @@ namespace presto {
 
 class PrestoEngine;
 
-/// Coordinator-side observability endpoints, the embedded analogue of
-/// Presto's REST UI/monitoring surface, served over the same HttpServer the
-/// exchange transport uses:
+/// Coordinator-side observability + cluster-membership endpoints, the
+/// embedded analogue of Presto's REST UI/monitoring surface, served over
+/// the same HttpServer the exchange transport uses:
 ///
-///   GET /v1/metrics           Prometheus text exposition (MetricsRegistry)
-///   GET /v1/query             JSON list of every tracked query
-///   GET /v1/query/{id}        One query's lifecycle + QueryStats as JSON
-///   GET /v1/query/{id}/trace  Chrome trace_event JSON (load in Perfetto)
+///   GET  /v1/metrics           Prometheus text exposition (MetricsRegistry)
+///   GET  /v1/info              Coordinator NodeInfo JSON (uptime, running
+///                              queries, heartbeats, alive workers)
+///   GET  /v1/query             JSON list of every tracked query
+///   GET  /v1/query/{id}        One query's lifecycle + QueryStats as JSON
+///   GET  /v1/query/{id}/trace  Chrome trace_event JSON (load in Perfetto)
+///   POST /v1/heartbeat         Worker liveness beat {"worker","rttMicros"}
+///                              (ISSUE 6 failure detection)
 ///
 /// Unknown paths and unknown/malformed query ids are 404s. The service
 /// reads only through the engine's thread-safe accessors (tracker
-/// snapshots, weak trace registry), so scrapes may race query teardown
-/// freely.
+/// snapshots, weak trace registry, liveness tracker), so scrapes may race
+/// query teardown freely.
 class ObservabilityHttpService {
  public:
   explicit ObservabilityHttpService(PrestoEngine* engine)
       : engine_(engine),
+        started_(std::chrono::steady_clock::now()),
         server_([this](const HttpRequest& request) {
           return Handle(request);
         }) {}
@@ -39,7 +45,11 @@ class ObservabilityHttpService {
   HttpResponse Handle(const HttpRequest& request);
 
  private:
+  HttpResponse HandleHeartbeat(const HttpRequest& request);
+  HttpResponse HandleInfo();
+
   PrestoEngine* engine_;
+  std::chrono::steady_clock::time_point started_;
   HttpServer server_;
 };
 

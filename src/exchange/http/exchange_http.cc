@@ -120,6 +120,21 @@ HttpResponse ExchangeHttpService::Handle(const HttpRequest& request) {
   }
   auto buffer = exchange_->GetBuffer(id);
   if (buffer == nullptr) {
+    if (token == 0) {
+      // Out-of-process startup race: the producer task's create RPC may
+      // still be in flight on another worker, so a first fetch (token 0)
+      // for an unknown stream means "no data yet", not an error. A
+      // non-zero token proves the buffer existed, so absence then is a
+      // real buffer-gone.
+      HttpResponse response;
+      response.headers[kTraceHeader] = query_id;
+      response.headers["content-type"] = "application/x-presto-pages";
+      response.headers[kPageToken] = "0";
+      response.headers[kPageNextToken] = "0";
+      response.headers[kFrameCount] = "0";
+      response.headers[kBufferComplete] = "false";
+      return response;
+    }
     return MakeError(404, "Not Found", "no buffer for stream");
   }
   // Trace context: resolve the stream's recorder (preferring the consumer's

@@ -15,9 +15,12 @@ namespace presto {
 
 namespace {
 
-// Caps a single header line / message body so a garbage peer cannot balloon
-// the read buffer.
+// Caps on a single message so a garbage or hostile peer cannot balloon the
+// read buffer: request/status/header line length, header count, and body
+// size. Violations surface as kResourceExhausted (vs kIOError for malformed
+// framing) so the server can answer 431/413 instead of dropping silently.
 constexpr size_t kMaxLineBytes = 64 << 10;
+constexpr size_t kMaxHeaderCount = 128;
 constexpr size_t kMaxBodyBytes = 256u << 20;
 
 std::string ToLower(std::string s) {
@@ -91,8 +94,9 @@ Result<std::string> HttpConnection::ReadLine(bool* idle_timeout) {
       return line;
     }
     if (buffer_.size() - pos_ > kMaxLineBytes) {
-      return Status::IOError("http line exceeds " +
-                             std::to_string(kMaxLineBytes) + " bytes");
+      return Status::ResourceExhausted("http header line exceeds " +
+                                       std::to_string(kMaxLineBytes) +
+                                       " bytes");
     }
     bool idle = buffer_.size() == pos_;
     bool timed_out = false;
@@ -128,6 +132,11 @@ Status HttpConnection::ReadHeaderBlock(
     std::string name = ToLower(Trim(line->substr(0, colon)));
     std::string value = Trim(line->substr(colon + 1));
     (*headers)[name] = value;
+    if (headers->size() > kMaxHeaderCount) {
+      return Status::ResourceExhausted("more than " +
+                                       std::to_string(kMaxHeaderCount) +
+                                       " http headers");
+    }
   }
   auto it = headers->find("content-length");
   if (it != headers->end()) {
@@ -135,8 +144,13 @@ Status HttpConnection::ReadHeaderBlock(
     char* end = nullptr;
     long long parsed = std::strtoll(it->second.c_str(), &end, 10);
     if (errno != 0 || end == it->second.c_str() || *end != '\0' ||
-        parsed < 0 || static_cast<size_t>(parsed) > kMaxBodyBytes) {
+        parsed < 0) {
       return Status::IOError("bad content-length: " + it->second);
+    }
+    if (static_cast<size_t>(parsed) > kMaxBodyBytes) {
+      return Status::ResourceExhausted("http body of " + it->second +
+                                       " bytes exceeds " +
+                                       std::to_string(kMaxBodyBytes));
     }
     *content_length = static_cast<size_t>(parsed);
   }

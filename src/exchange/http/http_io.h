@@ -13,7 +13,11 @@ namespace presto {
 
 /// Minimal HTTP/1.1 message types for the exchange transport. Header names
 /// are stored lowercased; bodies are length-delimited via Content-Length
-/// (no chunked encoding — both ends are ours).
+/// (no chunked encoding — both ends are ours). Inbound messages are
+/// bounded: header lines are capped at 64 KiB, header count at 128, and
+/// bodies at 256 MiB; violations parse as kResourceExhausted, which
+/// HttpServer answers with 413 (body) or 431 (line/header count) before
+/// dropping the connection.
 struct HttpRequest {
   std::string method;  // GET / DELETE / ...
   std::string path;    // absolute path, e.g. /v1/task/q.1.0/results/2/5

@@ -6,6 +6,8 @@
 
 #include <cerrno>
 
+#include "common/fault_injection.h"
+
 namespace presto {
 
 namespace {
@@ -77,15 +79,28 @@ void HttpServer::ServeConnection(std::shared_ptr<HttpConnection> conn) {
   while (!stopping_.load()) {
     auto request = conn->ReadRequest();
     if (!request.ok()) {
-      // A parse failure still gets a best-effort 400 so a confused client
-      // sees a protocol error, not a silent hangup; then drop the
-      // connection (framing is lost). Closed/timed-out sockets just drop.
+      // A parse failure still gets a best-effort error response so a
+      // confused client sees a protocol error, not a silent hangup; then
+      // drop the connection (framing is lost). Size-cap violations get
+      // their specific refusals: an oversized body is 413, an oversized
+      // line or too many headers is 431. Closed/timed-out sockets just
+      // drop.
       const std::string& message = request.status().message();
       if (message.find("closed") == std::string::npos &&
           message.find("timeout") == std::string::npos) {
         HttpResponse bad;
-        bad.status = 400;
-        bad.reason = "Bad Request";
+        if (request.status().code() == StatusCode::kResourceExhausted) {
+          if (message.find("body") != std::string::npos) {
+            bad.status = 413;
+            bad.reason = "Payload Too Large";
+          } else {
+            bad.status = 431;
+            bad.reason = "Request Header Fields Too Large";
+          }
+        } else {
+          bad.status = 400;
+          bad.reason = "Bad Request";
+        }
         bad.body = message;
         (void)conn->WriteResponse(bad);
       }
@@ -93,8 +108,16 @@ void HttpServer::ServeConnection(std::shared_ptr<HttpConnection> conn) {
     }
     if (!request->has_value()) continue;  // idle timeout: re-check stopping_
     HttpResponse response;
-    if ((*request)->method.empty() || (*request)->path.empty() ||
-        (*request)->path[0] != '/') {
+    Status fault = Status::OK();
+    if (FaultInjection::Enabled()) {
+      fault = FaultInjection::Instance().Hit("http.server_serve");
+    }
+    if (!fault.ok()) {
+      response.status = 500;
+      response.reason = "Internal Server Error";
+      response.body = fault.message();
+    } else if ((*request)->method.empty() || (*request)->path.empty() ||
+               (*request)->path[0] != '/') {
       response.status = 400;
       response.reason = "Bad Request";
     } else {

@@ -1,0 +1,772 @@
+#include "plan/plan_serde.h"
+
+#include <utility>
+
+#include "expr/function_registry.h"
+
+namespace presto {
+
+namespace {
+
+// Bump when the encoding changes shape; workers reject unknown versions so
+// a mixed-version cluster fails loudly instead of misreading plans.
+constexpr int64_t kWireVersion = 1;
+
+Json IntVectorToJson(const std::vector<int>& values) {
+  Json out = Json::Array();
+  for (int v : values) out.Append(Json::Int(v));
+  return out;
+}
+
+Result<std::vector<int>> IntVectorFromJson(const Json& json) {
+  std::vector<int> out;
+  for (const Json& item : json.items()) {
+    if (!item.is_int()) return Status::InvalidArgument("expected int array");
+    out.push_back(static_cast<int>(item.int_value()));
+  }
+  return out;
+}
+
+Result<TypeKind> TypeFromJsonString(const std::string& name) {
+  auto type = TypeFromString(name);
+  if (!type.has_value() && name == "UNKNOWN") return TypeKind::kUnknown;
+  if (!type.has_value()) {
+    return Status::InvalidArgument("unknown type in plan json: " + name);
+  }
+  return *type;
+}
+
+Json SortKeysToJson(const std::vector<SortKey>& keys) {
+  Json out = Json::Array();
+  for (const SortKey& key : keys) {
+    Json k = Json::Object();
+    k.Set("col", Json::Int(key.column)).Set("asc", Json::Bool(key.ascending));
+    out.Append(std::move(k));
+  }
+  return out;
+}
+
+Result<std::vector<SortKey>> SortKeysFromJson(const Json& json) {
+  std::vector<SortKey> out;
+  for (const Json& item : json.items()) {
+    PRESTO_ASSIGN_OR_RETURN(int64_t col, item.GetInt("col"));
+    PRESTO_ASSIGN_OR_RETURN(bool asc, item.GetBool("asc"));
+    out.push_back(SortKey{static_cast<int>(col), asc});
+  }
+  return out;
+}
+
+Json AggregateSignatureToJson(const AggregateSignature& sig) {
+  Json out = Json::Object();
+  out.Set("kind", Json::Int(static_cast<int64_t>(sig.kind)))
+      .Set("arg", Json::Str(TypeToString(sig.arg_type)))
+      .Set("result", Json::Str(TypeToString(sig.result_type)))
+      .Set("inter", Json::Str(TypeToString(sig.intermediate_type)));
+  return out;
+}
+
+Result<AggregateSignature> AggregateSignatureFromJson(const Json& json) {
+  PRESTO_ASSIGN_OR_RETURN(int64_t kind, json.GetInt("kind"));
+  PRESTO_ASSIGN_OR_RETURN(std::string arg, json.GetString("arg"));
+  PRESTO_ASSIGN_OR_RETURN(std::string result, json.GetString("result"));
+  PRESTO_ASSIGN_OR_RETURN(std::string inter, json.GetString("inter"));
+  if (kind < 0 || kind > static_cast<int64_t>(AggKind::kVariance)) {
+    return Status::InvalidArgument("bad aggregate kind in plan json");
+  }
+  AggregateSignature sig;
+  sig.kind = static_cast<AggKind>(kind);
+  PRESTO_ASSIGN_OR_RETURN(sig.arg_type, TypeFromJsonString(arg));
+  PRESTO_ASSIGN_OR_RETURN(sig.result_type, TypeFromJsonString(result));
+  PRESTO_ASSIGN_OR_RETURN(sig.intermediate_type, TypeFromJsonString(inter));
+  return sig;
+}
+
+Json PredicatesToJson(const std::vector<ColumnPredicate>& predicates) {
+  Json out = Json::Array();
+  for (const ColumnPredicate& pred : predicates) {
+    Json p = Json::Object();
+    Json values = Json::Array();
+    for (const Value& v : pred.values) values.Append(ValueToJson(v));
+    p.Set("col", Json::Str(pred.column))
+        .Set("op", Json::Int(static_cast<int64_t>(pred.op)))
+        .Set("vals", std::move(values));
+    out.Append(std::move(p));
+  }
+  return out;
+}
+
+Result<std::vector<ColumnPredicate>> PredicatesFromJson(const Json& json) {
+  std::vector<ColumnPredicate> out;
+  for (const Json& item : json.items()) {
+    ColumnPredicate pred;
+    PRESTO_ASSIGN_OR_RETURN(pred.column, item.GetString("col"));
+    PRESTO_ASSIGN_OR_RETURN(int64_t op, item.GetInt("op"));
+    if (op < 0 || op > static_cast<int64_t>(ColumnPredicate::Op::kIn)) {
+      return Status::InvalidArgument("bad predicate op in plan json");
+    }
+    pred.op = static_cast<ColumnPredicate::Op>(op);
+    PRESTO_ASSIGN_OR_RETURN(const Json* values, item.GetArray("vals"));
+    for (const Json& v : values->items()) {
+      PRESTO_ASSIGN_OR_RETURN(Value value, ValueFromJson(v));
+      pred.values.push_back(std::move(value));
+    }
+    out.push_back(std::move(pred));
+  }
+  return out;
+}
+
+Json NodeToJson(const PlanNode& node);
+
+Result<PlanNodePtr> NodeFromJson(const Json& json, const Catalog& catalog);
+
+Json NodeToJson(const PlanNode& node) {
+  Json out = Json::Object();
+  out.Set("kind", Json::Int(static_cast<int64_t>(node.kind())))
+      .Set("id", Json::Int(node.id()))
+      .Set("output", SchemaToJson(node.output()));
+  Json children = Json::Array();
+  for (const PlanNodePtr& child : node.children()) {
+    children.Append(NodeToJson(*child));
+  }
+  out.Set("children", std::move(children));
+
+  switch (node.kind()) {
+    case PlanNodeKind::kTableScan: {
+      const auto& scan = static_cast<const TableScanNode&>(node);
+      out.Set("connector", Json::Str(scan.connector()))
+          .Set("table", Json::Str(scan.table()->name()))
+          .Set("columns", IntVectorToJson(scan.columns()))
+          .Set("predicates", PredicatesToJson(scan.predicates()))
+          .Set("layout", Json::Str(scan.layout_id()))
+          .Set("rows", Json::Int(scan.stats().row_count));
+      break;
+    }
+    case PlanNodeKind::kFilter: {
+      const auto& filter = static_cast<const FilterNode&>(node);
+      out.Set("predicate", ExprToJson(*filter.predicate()));
+      break;
+    }
+    case PlanNodeKind::kProject: {
+      const auto& project = static_cast<const ProjectNode&>(node);
+      Json exprs = Json::Array();
+      for (const ExprPtr& e : project.expressions()) {
+        exprs.Append(ExprToJson(*e));
+      }
+      out.Set("exprs", std::move(exprs));
+      break;
+    }
+    case PlanNodeKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateNode&>(node);
+      Json calls = Json::Array();
+      for (const AggregateCall& call : agg.aggregates()) {
+        Json c = Json::Object();
+        c.Set("sig", AggregateSignatureToJson(call.signature))
+            .Set("arg", Json::Int(call.arg_column))
+            .Set("name", Json::Str(call.output_name));
+        calls.Append(std::move(c));
+      }
+      out.Set("step", Json::Int(static_cast<int64_t>(agg.step())))
+          .Set("groupKeys", IntVectorToJson(agg.group_keys()))
+          .Set("aggregates", std::move(calls));
+      break;
+    }
+    case PlanNodeKind::kJoin: {
+      const auto& join = static_cast<const JoinNode&>(node);
+      out.Set("joinType", Json::Int(static_cast<int64_t>(join.join_type())))
+          .Set("leftKeys", IntVectorToJson(join.left_keys()))
+          .Set("rightKeys", IntVectorToJson(join.right_keys()))
+          .Set("distribution",
+               Json::Int(static_cast<int64_t>(join.distribution())));
+      if (join.residual_filter() != nullptr) {
+        out.Set("residual", ExprToJson(*join.residual_filter()));
+      }
+      break;
+    }
+    case PlanNodeKind::kSort: {
+      const auto& sort = static_cast<const SortNode&>(node);
+      out.Set("keys", SortKeysToJson(sort.keys()));
+      break;
+    }
+    case PlanNodeKind::kTopN: {
+      const auto& topn = static_cast<const TopNNode&>(node);
+      out.Set("keys", SortKeysToJson(topn.keys()))
+          .Set("n", Json::Int(topn.n()))
+          .Set("partial", Json::Bool(topn.partial()));
+      break;
+    }
+    case PlanNodeKind::kLimit: {
+      const auto& limit = static_cast<const LimitNode&>(node);
+      out.Set("n", Json::Int(limit.n()))
+          .Set("partial", Json::Bool(limit.partial()));
+      break;
+    }
+    case PlanNodeKind::kWindow: {
+      const auto& window = static_cast<const WindowNode&>(node);
+      Json functions = Json::Array();
+      for (const WindowFunction& fn : window.functions()) {
+        Json f = Json::Object();
+        f.Set("kind", Json::Int(static_cast<int64_t>(fn.kind)))
+            .Set("sig", AggregateSignatureToJson(fn.signature))
+            .Set("arg", Json::Int(fn.arg_column))
+            .Set("name", Json::Str(fn.output_name))
+            .Set("result", Json::Str(TypeToString(fn.result_type)));
+        functions.Append(std::move(f));
+      }
+      out.Set("partitionKeys", IntVectorToJson(window.partition_keys()))
+          .Set("orderKeys", SortKeysToJson(window.order_keys()))
+          .Set("functions", std::move(functions));
+      break;
+    }
+    case PlanNodeKind::kValues: {
+      const auto& values = static_cast<const ValuesNode&>(node);
+      Json rows = Json::Array();
+      for (const auto& row : values.rows()) {
+        Json r = Json::Array();
+        for (const Value& v : row) r.Append(ValueToJson(v));
+        rows.Append(std::move(r));
+      }
+      out.Set("rows", std::move(rows));
+      break;
+    }
+    case PlanNodeKind::kUnionAll:
+      break;
+    case PlanNodeKind::kOutput: {
+      const auto& output = static_cast<const OutputNode&>(node);
+      Json names = Json::Array();
+      for (const std::string& name : output.column_names()) {
+        names.Append(Json::Str(name));
+      }
+      out.Set("names", std::move(names));
+      break;
+    }
+    case PlanNodeKind::kTableWrite: {
+      const auto& write = static_cast<const TableWriteNode&>(node);
+      out.Set("connector", Json::Str(write.connector()))
+          .Set("table", Json::Str(write.table()->name()));
+      break;
+    }
+    case PlanNodeKind::kExchange: {
+      const auto& exchange = static_cast<const ExchangeNode&>(node);
+      out.Set("exchangeKind",
+              Json::Int(static_cast<int64_t>(exchange.exchange_kind())))
+          .Set("scope", Json::Int(static_cast<int64_t>(exchange.scope())))
+          .Set("partitionKeys", IntVectorToJson(exchange.partition_keys()));
+      break;
+    }
+    case PlanNodeKind::kRemoteSource: {
+      const auto& remote = static_cast<const RemoteSourceNode&>(node);
+      out.Set("sourceFragment", Json::Int(remote.source_fragment()))
+          .Set("exchangeKind",
+               Json::Int(static_cast<int64_t>(remote.exchange_kind())));
+      break;
+    }
+  }
+  return out;
+}
+
+Result<PlanNodePtr> NodeFromJson(const Json& json, const Catalog& catalog) {
+  PRESTO_ASSIGN_OR_RETURN(int64_t kind_int, json.GetInt("kind"));
+  if (kind_int < 0 ||
+      kind_int > static_cast<int64_t>(PlanNodeKind::kRemoteSource)) {
+    return Status::InvalidArgument("bad plan node kind in plan json");
+  }
+  auto kind = static_cast<PlanNodeKind>(kind_int);
+  PRESTO_ASSIGN_OR_RETURN(int64_t id64, json.GetInt("id"));
+  int id = static_cast<int>(id64);
+  PRESTO_ASSIGN_OR_RETURN(const Json* output_json, json.GetArray("output"));
+  PRESTO_ASSIGN_OR_RETURN(RowSchema output, SchemaFromJson(*output_json));
+  PRESTO_ASSIGN_OR_RETURN(const Json* children_json,
+                          json.GetArray("children"));
+  std::vector<PlanNodePtr> children;
+  for (const Json& child : children_json->items()) {
+    PRESTO_ASSIGN_OR_RETURN(PlanNodePtr node, NodeFromJson(child, catalog));
+    children.push_back(std::move(node));
+  }
+  auto require_children = [&](size_t n) -> Status {
+    if (children.size() != n) {
+      return Status::InvalidArgument("plan json: node kind " +
+                                     std::to_string(kind_int) + " expects " +
+                                     std::to_string(n) + " children");
+    }
+    return Status::OK();
+  };
+
+  switch (kind) {
+    case PlanNodeKind::kTableScan: {
+      PRESTO_RETURN_IF_ERROR(require_children(0));
+      PRESTO_ASSIGN_OR_RETURN(std::string connector_name,
+                              json.GetString("connector"));
+      PRESTO_ASSIGN_OR_RETURN(std::string table_name, json.GetString("table"));
+      PRESTO_ASSIGN_OR_RETURN(Connector * connector,
+                              catalog.Get(connector_name));
+      PRESTO_ASSIGN_OR_RETURN(TableHandlePtr table,
+                              connector->metadata().GetTable(table_name));
+      PRESTO_ASSIGN_OR_RETURN(const Json* columns_json,
+                              json.GetArray("columns"));
+      PRESTO_ASSIGN_OR_RETURN(std::vector<int> columns,
+                              IntVectorFromJson(*columns_json));
+      PRESTO_ASSIGN_OR_RETURN(const Json* preds_json,
+                              json.GetArray("predicates"));
+      PRESTO_ASSIGN_OR_RETURN(std::vector<ColumnPredicate> predicates,
+                              PredicatesFromJson(*preds_json));
+      PRESTO_ASSIGN_OR_RETURN(std::string layout, json.GetString("layout"));
+      PRESTO_ASSIGN_OR_RETURN(int64_t rows, json.GetInt("rows"));
+      TableStats stats;
+      stats.row_count = rows;
+      return PlanNodePtr(std::make_shared<TableScanNode>(
+          id, std::move(connector_name), std::move(table), std::move(columns),
+          std::move(output), std::move(predicates), std::move(layout),
+          std::move(stats)));
+    }
+    case PlanNodeKind::kFilter: {
+      PRESTO_RETURN_IF_ERROR(require_children(1));
+      PRESTO_ASSIGN_OR_RETURN(const Json* pred_json,
+                              json.GetObject("predicate"));
+      PRESTO_ASSIGN_OR_RETURN(ExprPtr predicate, ExprFromJson(*pred_json));
+      return PlanNodePtr(std::make_shared<FilterNode>(id, std::move(predicate),
+                                                      children[0]));
+    }
+    case PlanNodeKind::kProject: {
+      PRESTO_RETURN_IF_ERROR(require_children(1));
+      PRESTO_ASSIGN_OR_RETURN(const Json* exprs_json, json.GetArray("exprs"));
+      std::vector<ExprPtr> exprs;
+      for (const Json& e : exprs_json->items()) {
+        PRESTO_ASSIGN_OR_RETURN(ExprPtr expr, ExprFromJson(e));
+        exprs.push_back(std::move(expr));
+      }
+      return PlanNodePtr(std::make_shared<ProjectNode>(
+          id, std::move(exprs), std::move(output), children[0]));
+    }
+    case PlanNodeKind::kAggregate: {
+      PRESTO_RETURN_IF_ERROR(require_children(1));
+      PRESTO_ASSIGN_OR_RETURN(int64_t step, json.GetInt("step"));
+      if (step < 0 || step > static_cast<int64_t>(AggregationStep::kFinal)) {
+        return Status::InvalidArgument("bad aggregation step in plan json");
+      }
+      PRESTO_ASSIGN_OR_RETURN(const Json* keys_json,
+                              json.GetArray("groupKeys"));
+      PRESTO_ASSIGN_OR_RETURN(std::vector<int> group_keys,
+                              IntVectorFromJson(*keys_json));
+      PRESTO_ASSIGN_OR_RETURN(const Json* calls_json,
+                              json.GetArray("aggregates"));
+      std::vector<AggregateCall> calls;
+      for (const Json& c : calls_json->items()) {
+        AggregateCall call;
+        PRESTO_ASSIGN_OR_RETURN(const Json* sig_json, c.GetObject("sig"));
+        PRESTO_ASSIGN_OR_RETURN(call.signature,
+                                AggregateSignatureFromJson(*sig_json));
+        PRESTO_ASSIGN_OR_RETURN(int64_t arg, c.GetInt("arg"));
+        call.arg_column = static_cast<int>(arg);
+        PRESTO_ASSIGN_OR_RETURN(call.output_name, c.GetString("name"));
+        calls.push_back(std::move(call));
+      }
+      return PlanNodePtr(std::make_shared<AggregateNode>(
+          id, static_cast<AggregationStep>(step), std::move(group_keys),
+          std::move(calls), std::move(output), children[0]));
+    }
+    case PlanNodeKind::kJoin: {
+      PRESTO_RETURN_IF_ERROR(require_children(2));
+      PRESTO_ASSIGN_OR_RETURN(int64_t join_type, json.GetInt("joinType"));
+      if (join_type < 0 ||
+          join_type > static_cast<int64_t>(sql::JoinType::kCross)) {
+        return Status::InvalidArgument("bad join type in plan json");
+      }
+      PRESTO_ASSIGN_OR_RETURN(const Json* left_json, json.GetArray("leftKeys"));
+      PRESTO_ASSIGN_OR_RETURN(std::vector<int> left_keys,
+                              IntVectorFromJson(*left_json));
+      PRESTO_ASSIGN_OR_RETURN(const Json* right_json,
+                              json.GetArray("rightKeys"));
+      PRESTO_ASSIGN_OR_RETURN(std::vector<int> right_keys,
+                              IntVectorFromJson(*right_json));
+      PRESTO_ASSIGN_OR_RETURN(int64_t distribution,
+                              json.GetInt("distribution"));
+      if (distribution < 0 ||
+          distribution > static_cast<int64_t>(JoinDistribution::kColocated)) {
+        return Status::InvalidArgument("bad join distribution in plan json");
+      }
+      ExprPtr residual;
+      if (const Json* residual_json = json.Find("residual")) {
+        PRESTO_ASSIGN_OR_RETURN(residual, ExprFromJson(*residual_json));
+      }
+      return PlanNodePtr(std::make_shared<JoinNode>(
+          id, static_cast<sql::JoinType>(join_type), std::move(left_keys),
+          std::move(right_keys), std::move(residual),
+          static_cast<JoinDistribution>(distribution), std::move(output),
+          children[0], children[1]));
+    }
+    case PlanNodeKind::kSort: {
+      PRESTO_RETURN_IF_ERROR(require_children(1));
+      PRESTO_ASSIGN_OR_RETURN(const Json* keys_json, json.GetArray("keys"));
+      PRESTO_ASSIGN_OR_RETURN(std::vector<SortKey> keys,
+                              SortKeysFromJson(*keys_json));
+      return PlanNodePtr(
+          std::make_shared<SortNode>(id, std::move(keys), children[0]));
+    }
+    case PlanNodeKind::kTopN: {
+      PRESTO_RETURN_IF_ERROR(require_children(1));
+      PRESTO_ASSIGN_OR_RETURN(const Json* keys_json, json.GetArray("keys"));
+      PRESTO_ASSIGN_OR_RETURN(std::vector<SortKey> keys,
+                              SortKeysFromJson(*keys_json));
+      PRESTO_ASSIGN_OR_RETURN(int64_t n, json.GetInt("n"));
+      PRESTO_ASSIGN_OR_RETURN(bool partial, json.GetBool("partial"));
+      return PlanNodePtr(std::make_shared<TopNNode>(id, std::move(keys), n,
+                                                    partial, children[0]));
+    }
+    case PlanNodeKind::kLimit: {
+      PRESTO_RETURN_IF_ERROR(require_children(1));
+      PRESTO_ASSIGN_OR_RETURN(int64_t n, json.GetInt("n"));
+      PRESTO_ASSIGN_OR_RETURN(bool partial, json.GetBool("partial"));
+      return PlanNodePtr(
+          std::make_shared<LimitNode>(id, n, partial, children[0]));
+    }
+    case PlanNodeKind::kWindow: {
+      PRESTO_RETURN_IF_ERROR(require_children(1));
+      PRESTO_ASSIGN_OR_RETURN(const Json* partition_json,
+                              json.GetArray("partitionKeys"));
+      PRESTO_ASSIGN_OR_RETURN(std::vector<int> partition_keys,
+                              IntVectorFromJson(*partition_json));
+      PRESTO_ASSIGN_OR_RETURN(const Json* order_json,
+                              json.GetArray("orderKeys"));
+      PRESTO_ASSIGN_OR_RETURN(std::vector<SortKey> order_keys,
+                              SortKeysFromJson(*order_json));
+      PRESTO_ASSIGN_OR_RETURN(const Json* fns_json,
+                              json.GetArray("functions"));
+      std::vector<WindowFunction> functions;
+      for (const Json& f : fns_json->items()) {
+        WindowFunction fn;
+        PRESTO_ASSIGN_OR_RETURN(int64_t fn_kind, f.GetInt("kind"));
+        if (fn_kind < 0 ||
+            fn_kind > static_cast<int64_t>(WindowFunction::Kind::kAggregate)) {
+          return Status::InvalidArgument("bad window function in plan json");
+        }
+        fn.kind = static_cast<WindowFunction::Kind>(fn_kind);
+        PRESTO_ASSIGN_OR_RETURN(const Json* sig_json, f.GetObject("sig"));
+        PRESTO_ASSIGN_OR_RETURN(fn.signature,
+                                AggregateSignatureFromJson(*sig_json));
+        PRESTO_ASSIGN_OR_RETURN(int64_t arg, f.GetInt("arg"));
+        fn.arg_column = static_cast<int>(arg);
+        PRESTO_ASSIGN_OR_RETURN(fn.output_name, f.GetString("name"));
+        PRESTO_ASSIGN_OR_RETURN(std::string result, f.GetString("result"));
+        PRESTO_ASSIGN_OR_RETURN(fn.result_type, TypeFromJsonString(result));
+        functions.push_back(std::move(fn));
+      }
+      return PlanNodePtr(std::make_shared<WindowNode>(
+          id, std::move(partition_keys), std::move(order_keys),
+          std::move(functions), std::move(output), children[0]));
+    }
+    case PlanNodeKind::kValues: {
+      PRESTO_RETURN_IF_ERROR(require_children(0));
+      PRESTO_ASSIGN_OR_RETURN(const Json* rows_json, json.GetArray("rows"));
+      std::vector<std::vector<Value>> rows;
+      for (const Json& r : rows_json->items()) {
+        std::vector<Value> row;
+        for (const Json& v : r.items()) {
+          PRESTO_ASSIGN_OR_RETURN(Value value, ValueFromJson(v));
+          row.push_back(std::move(value));
+        }
+        rows.push_back(std::move(row));
+      }
+      return PlanNodePtr(std::make_shared<ValuesNode>(id, std::move(output),
+                                                      std::move(rows)));
+    }
+    case PlanNodeKind::kUnionAll:
+      return PlanNodePtr(std::make_shared<UnionAllNode>(id, std::move(output),
+                                                        std::move(children)));
+    case PlanNodeKind::kOutput: {
+      PRESTO_RETURN_IF_ERROR(require_children(1));
+      PRESTO_ASSIGN_OR_RETURN(const Json* names_json, json.GetArray("names"));
+      std::vector<std::string> names;
+      for (const Json& n : names_json->items()) {
+        if (!n.is_string()) {
+          return Status::InvalidArgument("plan json: bad output names");
+        }
+        names.push_back(n.string_value());
+      }
+      return PlanNodePtr(
+          std::make_shared<OutputNode>(id, std::move(names), children[0]));
+    }
+    case PlanNodeKind::kTableWrite: {
+      PRESTO_RETURN_IF_ERROR(require_children(1));
+      PRESTO_ASSIGN_OR_RETURN(std::string connector_name,
+                              json.GetString("connector"));
+      PRESTO_ASSIGN_OR_RETURN(std::string table_name, json.GetString("table"));
+      PRESTO_ASSIGN_OR_RETURN(Connector * connector,
+                              catalog.Get(connector_name));
+      PRESTO_ASSIGN_OR_RETURN(TableHandlePtr table,
+                              connector->metadata().GetTable(table_name));
+      return PlanNodePtr(std::make_shared<TableWriteNode>(
+          id, std::move(connector_name), std::move(table), std::move(output),
+          children[0]));
+    }
+    case PlanNodeKind::kExchange: {
+      PRESTO_RETURN_IF_ERROR(require_children(1));
+      PRESTO_ASSIGN_OR_RETURN(int64_t exchange_kind,
+                              json.GetInt("exchangeKind"));
+      PRESTO_ASSIGN_OR_RETURN(int64_t scope, json.GetInt("scope"));
+      if (exchange_kind < 0 ||
+          exchange_kind > static_cast<int64_t>(ExchangeKind::kRoundRobin) ||
+          scope < 0 || scope > static_cast<int64_t>(ExchangeScope::kLocal)) {
+        return Status::InvalidArgument("bad exchange in plan json");
+      }
+      PRESTO_ASSIGN_OR_RETURN(const Json* keys_json,
+                              json.GetArray("partitionKeys"));
+      PRESTO_ASSIGN_OR_RETURN(std::vector<int> keys,
+                              IntVectorFromJson(*keys_json));
+      return PlanNodePtr(std::make_shared<ExchangeNode>(
+          id, static_cast<ExchangeKind>(exchange_kind),
+          static_cast<ExchangeScope>(scope), std::move(keys), children[0]));
+    }
+    case PlanNodeKind::kRemoteSource: {
+      PRESTO_RETURN_IF_ERROR(require_children(0));
+      PRESTO_ASSIGN_OR_RETURN(int64_t source, json.GetInt("sourceFragment"));
+      PRESTO_ASSIGN_OR_RETURN(int64_t exchange_kind,
+                              json.GetInt("exchangeKind"));
+      if (exchange_kind < 0 ||
+          exchange_kind > static_cast<int64_t>(ExchangeKind::kRoundRobin)) {
+        return Status::InvalidArgument("bad exchange kind in plan json");
+      }
+      return PlanNodePtr(std::make_shared<RemoteSourceNode>(
+          id, static_cast<int>(source),
+          static_cast<ExchangeKind>(exchange_kind), std::move(output)));
+    }
+  }
+  return Status::InvalidArgument("unhandled plan node kind in plan json");
+}
+
+}  // namespace
+
+Json ValueToJson(const Value& value) {
+  Json out = Json::Object();
+  out.Set("t", Json::Str(TypeToString(value.type())));
+  if (value.is_null()) return out;
+  switch (value.type()) {
+    case TypeKind::kBoolean:
+      out.Set("v", Json::Bool(value.AsBoolean()));
+      break;
+    case TypeKind::kBigint:
+      out.Set("v", Json::Int(value.AsBigint()));
+      break;
+    case TypeKind::kDate:
+      out.Set("v", Json::Int(value.AsDate()));
+      break;
+    case TypeKind::kDouble:
+      out.Set("v", Json::Real(value.AsDouble()));
+      break;
+    case TypeKind::kVarchar:
+      out.Set("v", Json::Str(value.AsVarchar()));
+      break;
+    case TypeKind::kUnknown:
+      break;
+  }
+  return out;
+}
+
+Result<Value> ValueFromJson(const Json& json) {
+  PRESTO_ASSIGN_OR_RETURN(std::string type_name, json.GetString("t"));
+  PRESTO_ASSIGN_OR_RETURN(TypeKind type, TypeFromJsonString(type_name));
+  const Json* v = json.Find("v");
+  if (v == nullptr) return Value::Null(type);
+  switch (type) {
+    case TypeKind::kBoolean:
+      if (!v->is_bool()) break;
+      return Value::Boolean(v->bool_value());
+    case TypeKind::kBigint:
+      if (!v->is_int()) break;
+      return Value::Bigint(v->int_value());
+    case TypeKind::kDate:
+      if (!v->is_int()) break;
+      return Value::Date(v->int_value());
+    case TypeKind::kDouble:
+      if (!v->is_number()) break;
+      return Value::Double(v->double_value());
+    case TypeKind::kVarchar:
+      if (!v->is_string()) break;
+      return Value::Varchar(v->string_value());
+    case TypeKind::kUnknown:
+      return Value::Null(type);
+  }
+  return Status::InvalidArgument("value json: payload does not match type " +
+                                 type_name);
+}
+
+Json ExprToJson(const Expr& expr) {
+  Json out = Json::Object();
+  out.Set("k", Json::Int(static_cast<int64_t>(expr.kind())))
+      .Set("t", Json::Str(TypeToString(expr.type())));
+  switch (expr.kind()) {
+    case ExprKind::kColumnRef:
+      out.Set("col", Json::Int(expr.column()));
+      return out;
+    case ExprKind::kLiteral:
+      out.Set("lit", ValueToJson(expr.literal()));
+      return out;
+    case ExprKind::kCall:
+      out.Set("fn", Json::Str(expr.function()->name));
+      break;
+    case ExprKind::kCase:
+      out.Set("else", Json::Bool(expr.has_else()));
+      break;
+    default:
+      break;
+  }
+  Json children = Json::Array();
+  for (const ExprPtr& child : expr.children()) {
+    children.Append(ExprToJson(*child));
+  }
+  out.Set("c", std::move(children));
+  return out;
+}
+
+Result<ExprPtr> ExprFromJson(const Json& json) {
+  PRESTO_ASSIGN_OR_RETURN(int64_t kind_int, json.GetInt("k"));
+  if (kind_int < 0 || kind_int > static_cast<int64_t>(ExprKind::kCoalesce)) {
+    return Status::InvalidArgument("bad expr kind in plan json");
+  }
+  auto kind = static_cast<ExprKind>(kind_int);
+  PRESTO_ASSIGN_OR_RETURN(std::string type_name, json.GetString("t"));
+  PRESTO_ASSIGN_OR_RETURN(TypeKind type, TypeFromJsonString(type_name));
+
+  if (kind == ExprKind::kColumnRef) {
+    PRESTO_ASSIGN_OR_RETURN(int64_t col, json.GetInt("col"));
+    return Expr::MakeColumn(static_cast<int>(col), type);
+  }
+  if (kind == ExprKind::kLiteral) {
+    PRESTO_ASSIGN_OR_RETURN(const Json* lit_json, json.GetObject("lit"));
+    PRESTO_ASSIGN_OR_RETURN(Value value, ValueFromJson(*lit_json));
+    return Expr::MakeLiteral(std::move(value));
+  }
+
+  PRESTO_ASSIGN_OR_RETURN(const Json* children_json, json.GetArray("c"));
+  std::vector<ExprPtr> children;
+  for (const Json& c : children_json->items()) {
+    PRESTO_ASSIGN_OR_RETURN(ExprPtr child, ExprFromJson(c));
+    children.push_back(std::move(child));
+  }
+
+  switch (kind) {
+    case ExprKind::kCall: {
+      PRESTO_ASSIGN_OR_RETURN(std::string fn_name, json.GetString("fn"));
+      std::vector<TypeKind> arg_types;
+      for (const ExprPtr& child : children) arg_types.push_back(child->type());
+      PRESTO_ASSIGN_OR_RETURN(
+          const ScalarFunction* fn,
+          FunctionRegistry::Instance().Resolve(fn_name, arg_types));
+      // The serialized call had exactly matching argument types (the
+      // analyzer inserts casts), so resolution must be exact here too.
+      if (fn->arg_types != arg_types) {
+        return Status::InvalidArgument(
+            "plan json: function '" + fn_name +
+            "' resolved to a different overload than serialized");
+      }
+      return Expr::MakeCall(fn, std::move(children));
+    }
+    case ExprKind::kCast: {
+      if (children.size() != 1) {
+        return Status::InvalidArgument("plan json: cast expects one child");
+      }
+      return Expr::MakeCast(type, children[0]);
+    }
+    case ExprKind::kAnd:
+      return Expr::MakeAnd(std::move(children));
+    case ExprKind::kOr:
+      return Expr::MakeOr(std::move(children));
+    case ExprKind::kCase: {
+      PRESTO_ASSIGN_OR_RETURN(bool has_else, json.GetBool("else"));
+      return Expr::MakeCase(std::move(children), has_else, type);
+    }
+    case ExprKind::kIn:
+      return Expr::MakeIn(std::move(children));
+    case ExprKind::kIsNull: {
+      if (children.size() != 1) {
+        return Status::InvalidArgument("plan json: is_null expects one child");
+      }
+      return Expr::MakeIsNull(children[0]);
+    }
+    case ExprKind::kCoalesce:
+      return Expr::MakeCoalesce(std::move(children), type);
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      break;
+  }
+  return Status::InvalidArgument("unhandled expr kind in plan json");
+}
+
+Json SchemaToJson(const RowSchema& schema) {
+  Json out = Json::Array();
+  for (const Column& column : schema.columns()) {
+    Json c = Json::Object();
+    c.Set("name", Json::Str(column.name))
+        .Set("type", Json::Str(TypeToString(column.type)));
+    out.Append(std::move(c));
+  }
+  return out;
+}
+
+Result<RowSchema> SchemaFromJson(const Json& json) {
+  RowSchema schema;
+  for (const Json& item : json.items()) {
+    PRESTO_ASSIGN_OR_RETURN(std::string name, item.GetString("name"));
+    PRESTO_ASSIGN_OR_RETURN(std::string type_name, item.GetString("type"));
+    PRESTO_ASSIGN_OR_RETURN(TypeKind type, TypeFromJsonString(type_name));
+    schema.Add(std::move(name), type);
+  }
+  return schema;
+}
+
+Result<Json> PlanFragmentToJson(const PlanFragment& fragment) {
+  if (fragment.root == nullptr) {
+    return Status::InvalidArgument("cannot serialize fragment without root");
+  }
+  Json out = Json::Object();
+  out.Set("v", Json::Int(kWireVersion))
+      .Set("id", Json::Int(fragment.id))
+      .Set("partitioning", Json::Int(static_cast<int64_t>(fragment.partitioning)))
+      .Set("bucketCount", Json::Int(fragment.bucket_count))
+      .Set("outputKind", Json::Int(static_cast<int64_t>(fragment.output_kind)))
+      .Set("outputKeys", IntVectorToJson(fragment.output_keys))
+      .Set("consumer", Json::Int(fragment.consumer))
+      .Set("inputs", IntVectorToJson(fragment.inputs))
+      .Set("buildDeps", IntVectorToJson(fragment.build_dependencies))
+      .Set("root", NodeToJson(*fragment.root));
+  return out;
+}
+
+Result<PlanFragment> PlanFragmentFromJson(const Json& json,
+                                          const Catalog& catalog) {
+  PRESTO_ASSIGN_OR_RETURN(int64_t version, json.GetInt("v"));
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("unsupported plan wire version " +
+                                   std::to_string(version));
+  }
+  PlanFragment fragment;
+  PRESTO_ASSIGN_OR_RETURN(int64_t id, json.GetInt("id"));
+  fragment.id = static_cast<int>(id);
+  PRESTO_ASSIGN_OR_RETURN(int64_t partitioning, json.GetInt("partitioning"));
+  if (partitioning < 0 ||
+      partitioning > static_cast<int64_t>(PartitioningKind::kColocated)) {
+    return Status::InvalidArgument("bad partitioning in plan json");
+  }
+  fragment.partitioning = static_cast<PartitioningKind>(partitioning);
+  PRESTO_ASSIGN_OR_RETURN(int64_t bucket_count, json.GetInt("bucketCount"));
+  fragment.bucket_count = static_cast<int>(bucket_count);
+  PRESTO_ASSIGN_OR_RETURN(int64_t output_kind, json.GetInt("outputKind"));
+  if (output_kind < 0 ||
+      output_kind > static_cast<int64_t>(ExchangeKind::kRoundRobin)) {
+    return Status::InvalidArgument("bad output kind in plan json");
+  }
+  fragment.output_kind = static_cast<ExchangeKind>(output_kind);
+  PRESTO_ASSIGN_OR_RETURN(const Json* keys_json, json.GetArray("outputKeys"));
+  PRESTO_ASSIGN_OR_RETURN(fragment.output_keys, IntVectorFromJson(*keys_json));
+  PRESTO_ASSIGN_OR_RETURN(int64_t consumer, json.GetInt("consumer"));
+  fragment.consumer = static_cast<int>(consumer);
+  PRESTO_ASSIGN_OR_RETURN(const Json* inputs_json, json.GetArray("inputs"));
+  PRESTO_ASSIGN_OR_RETURN(fragment.inputs, IntVectorFromJson(*inputs_json));
+  PRESTO_ASSIGN_OR_RETURN(const Json* deps_json, json.GetArray("buildDeps"));
+  PRESTO_ASSIGN_OR_RETURN(fragment.build_dependencies,
+                          IntVectorFromJson(*deps_json));
+  PRESTO_ASSIGN_OR_RETURN(const Json* root_json, json.GetObject("root"));
+  PRESTO_ASSIGN_OR_RETURN(fragment.root, NodeFromJson(*root_json, catalog));
+  return fragment;
+}
+
+}  // namespace presto

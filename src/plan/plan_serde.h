@@ -1,0 +1,38 @@
+#ifndef PRESTOCPP_PLAN_PLAN_SERDE_H_
+#define PRESTOCPP_PLAN_PLAN_SERDE_H_
+
+#include "common/json.h"
+#include "common/status.h"
+#include "connector/connector.h"
+#include "fragment/fragmenter.h"
+
+namespace presto {
+
+/// JSON wire format for plan fragments, used by the out-of-process task
+/// protocol (ISSUE 6, §IV-B "task updates"): the coordinator serializes
+/// each fragment once and POSTs it to every worker hosting a task of that
+/// fragment. Workers re-materialize the plan against their own catalog —
+/// table handles travel as (connector, table) names and are re-resolved
+/// through ConnectorMetadata::GetTable, and scalar/aggregate functions are
+/// re-resolved against the registry, so both processes must agree on
+/// catalog contents (enforced operationally: workers are launched with the
+/// same catalog flags).
+///
+/// Not all plans are serializable: TableWrite carries a transient CTAS
+/// handle that only exists coordinator-side, so process-mode execution
+/// rejects writes (see Coordinator::Execute).
+Result<Json> PlanFragmentToJson(const PlanFragment& fragment);
+Result<PlanFragment> PlanFragmentFromJson(const Json& json,
+                                          const Catalog& catalog);
+
+/// Individual pieces, exposed for tests and the task protocol.
+Json ValueToJson(const Value& value);
+Result<Value> ValueFromJson(const Json& json);
+Json ExprToJson(const Expr& expr);
+Result<ExprPtr> ExprFromJson(const Json& json);
+Json SchemaToJson(const RowSchema& schema);
+Result<RowSchema> SchemaFromJson(const Json& json);
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_PLAN_PLAN_SERDE_H_

@@ -9,8 +9,25 @@
 #include "exchange/http/exchange_http.h"
 #include "memory/memory.h"
 #include "schedule/task_executor.h"
+#include "worker/liveness.h"
 
 namespace presto {
+
+/// How worker compute is hosted (ISSUE 6).
+enum class ClusterMode {
+  /// Workers are threads inside this process (the pre-ISSUE-6 simulated
+  /// cluster): shared address space, optional HTTP shuffle.
+  kThreads,
+  /// Workers are separate presto_worker processes reached over the
+  /// /v1/task HTTP protocol; shuffle always goes over HTTP.
+  kProcess,
+};
+
+/// Address of one out-of-process worker daemon.
+struct RemoteWorkerAddress {
+  int task_port = 0;      // /v1/task lifecycle + /v1/info
+  int exchange_port = 0;  // /v1/task/.../results shuffle endpoint
+};
 
 /// Configuration of the simulated cluster (§III): one coordinator plus
 /// `num_workers` workers, each with its own MLFQ executor and memory pools.
@@ -36,6 +53,15 @@ struct ClusterConfig {
   int64_t writer_scale_up_bytes = 2 << 20;
   /// Admission control: maximum concurrently running queries.
   int max_concurrent_queries = 100;
+
+  /// Out-of-process workers (ISSUE 6). In kProcess mode `remote_workers`
+  /// lists the daemons (num_workers is ignored) and the shuffle transport
+  /// is forced to HTTP.
+  ClusterMode mode = ClusterMode::kThreads;
+  std::vector<RemoteWorkerAddress> remote_workers;
+  /// A worker that heartbeated once and then stayed silent this long is
+  /// declared dead; its tasks fail and it stops receiving splits.
+  int64_t heartbeat_timeout_micros = 2'000'000;
 };
 
 /// One worker node: executor threads plus memory pools.
@@ -56,11 +82,16 @@ class WorkerNode {
   TaskExecutor executor_;
 };
 
-/// The simulated cluster: workers + the in-process shuffle fabric.
+/// The cluster: in kThreads mode the workers + the in-process shuffle
+/// fabric; in kProcess mode the coordinator-side view of remote worker
+/// daemons (endpoint registry, page codec, liveness tracker).
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config)
-      : config_(std::move(config)), exchange_(config_.network) {
+      : config_(Normalize(std::move(config))),
+        exchange_(config_.network),
+        liveness_(config_.heartbeat_timeout_micros) {
+    if (config_.mode == ClusterMode::kProcess) return;
     for (int i = 0; i < config_.num_workers; ++i) {
       workers_.push_back(std::make_unique<WorkerNode>(i, config_));
     }
@@ -80,14 +111,34 @@ class Cluster {
   }
 
   const ClusterConfig& config() const { return config_; }
-  int num_workers() const { return static_cast<int>(workers_.size()); }
+  ClusterMode mode() const { return config_.mode; }
+
+  int num_workers() const {
+    return config_.mode == ClusterMode::kProcess
+               ? static_cast<int>(config_.remote_workers.size())
+               : static_cast<int>(workers_.size());
+  }
+  /// Workers hosted inside this process (0 in kProcess mode). Gauge loops
+  /// over executor/memory state must iterate these, not num_workers().
+  int local_workers() const { return static_cast<int>(workers_.size()); }
   WorkerNode& worker(int i) { return *workers_[static_cast<size_t>(i)]; }
   ExchangeManager& exchange() { return exchange_; }
+  WorkerLivenessTracker& liveness() { return liveness_; }
 
   /// Exchange endpoint port of a worker; -1 when HTTP transport is off.
   int http_port(int worker) const {
+    if (config_.mode == ClusterMode::kProcess) {
+      return config_.remote_workers[static_cast<size_t>(worker)]
+          .exchange_port;
+    }
     if (http_services_.empty()) return -1;
     return http_services_[static_cast<size_t>(worker)]->port();
+  }
+
+  /// Task-lifecycle endpoint port of a remote worker; -1 in kThreads mode.
+  int task_port(int worker) const {
+    if (config_.mode != ClusterMode::kProcess) return -1;
+    return config_.remote_workers[static_cast<size_t>(worker)].task_port;
   }
 
   /// Aggregate executor busy time across workers (Fig. 8's CPU metric).
@@ -98,8 +149,17 @@ class Cluster {
   }
 
  private:
+  static ClusterConfig Normalize(ClusterConfig config) {
+    if (config.mode == ClusterMode::kProcess) {
+      // Remote tasks can only ship pages over the wire.
+      config.network.transport = TransportMode::kHttp;
+    }
+    return config;
+  }
+
   ClusterConfig config_;
   ExchangeManager exchange_;
+  WorkerLivenessTracker liveness_;
   std::vector<std::unique_ptr<WorkerNode>> workers_;
   std::vector<std::unique_ptr<ExchangeHttpService>> http_services_;
 };

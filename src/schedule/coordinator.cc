@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/stopwatch.h"
+#include "plan/plan_serde.h"
 
 namespace presto {
 
@@ -16,6 +17,14 @@ void CollectScans(const PlanNodePtr& node,
     out->push_back(std::static_pointer_cast<const TableScanNode>(node));
   }
   for (const auto& c : node->children()) CollectScans(c, out);
+}
+
+bool ContainsTableWrite(const PlanNodePtr& node) {
+  if (node->kind() == PlanNodeKind::kTableWrite) return true;
+  for (const auto& c : node->children()) {
+    if (ContainsTableWrite(c)) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -36,6 +45,8 @@ QueryExecution::~QueryExecution() {
   }
   stop_split_thread_.store(true);
   if (split_thread_.joinable()) split_thread_.join();
+  stop_fetch_thread_.store(true);
+  if (result_fetch_thread_.joinable()) result_fetch_thread_.join();
   if (cluster_ != nullptr) {
     // Backstop only: normal finalization (OnTaskDone on the last task)
     // already removed this query's exchange state. RemoveQuery is
@@ -59,24 +70,35 @@ void QueryExecution::Cancel(const Status& reason) {
     }
     memory_->Kill(reason);
     results_.Finish(reason);
+    // Remote tasks share no memory context with the coordinator, so the
+    // kill must travel over the wire.
+    if (process_mode_) AbortAllTasks();
   });
+}
+
+void QueryExecution::AbortAllTasks() {
+  for (auto& fragment_tasks : tasks_) {
+    for (auto& task : fragment_tasks) task->Abort();
+  }
 }
 
 QueryStats QueryExecution::StatsSnapshot() const {
   std::vector<TaskStats> task_stats;
+  int64_t peak = memory_->peak_user();
   for (const auto& fragment_tasks : tasks_) {
     for (const auto& task : fragment_tasks) {
       task_stats.push_back(task->CollectStats());
+      peak = std::max(peak, task->peak_user_memory_bytes());
     }
   }
-  return BuildQueryStats(std::move(task_stats), memory_->peak_user());
+  return BuildQueryStats(std::move(task_stats), peak);
 }
 
 int64_t QueryExecution::total_cpu_nanos() const {
   int64_t total = 0;
   for (const auto& fragment_tasks : tasks_) {
     for (const auto& task : fragment_tasks) {
-      total += task->cpu_nanos().load();
+      total += task->cpu_nanos();
     }
   }
   return total;
@@ -94,7 +116,7 @@ int QueryExecution::active_writers(int fragment) const {
 void QueryExecution::OnTaskDone(int fragment, const Status& status) {
   // NOTE: once remaining_tasks_ hits zero, a waiter in Wait() may destroy
   // this object — and the engine around it — the moment mu_ is released, so
-  // ALL finalization (driver release, exchange cleanup, lifecycle, the
+  // ALL finalization (resource release, exchange cleanup, lifecycle, the
   // admission-slot callback) must complete under the lock; a waiter cannot
   // wake before the unlock. Touch no members after the scope ends.
   {
@@ -110,47 +132,140 @@ void QueryExecution::OnTaskDone(int fragment, const Status& status) {
       finished_ = true;
       results_.Finish(status);
       memory_->Kill(status);
+      // Stop the surviving remote tasks too; killing the coordinator-side
+      // memory context does not reach them.
+      if (process_mode_) AbortAllTasks();
     }
     if (fragment == plan_.root_id &&
-        fragment_done_[static_cast<size_t>(fragment)] && !finished_) {
+        fragment_done_[static_cast<size_t>(fragment)] && !finished_ &&
+        !process_mode_) {
       // Root produced everything: complete the result stream and tear down
-      // any still-running upstream producers (e.g. after LIMIT).
+      // any still-running upstream producers (e.g. after LIMIT). In
+      // process mode the result-fetch thread finishes the stream instead,
+      // once it drained the root task's output buffer.
       finished_ = true;
       results_.Finish(Status::OK());
       memory_->Kill(Status::Cancelled("query completed"));
     }
     if (remaining_tasks_ == 0) {
-      if (!finished_) {
-        finished_ = true;
-        results_.Finish(final_status_);
-      }
-      // Every executor callback has fired, so nothing references the
-      // drivers anymore. Release them now — regardless of whether the query
-      // finished, failed, was cancelled, or was abandoned — returning every
-      // memory-pool reservation, dropping exchange-buffer references, and
-      // deleting spill files. A final stats snapshot is cached first so
-      // EXPLAIN ANALYZE still works after teardown.
-      for (auto& fragment_tasks : tasks_) {
-        for (auto& task : fragment_tasks) task->ReleaseDrivers();
-      }
-      if (cluster_ != nullptr) cluster_->exchange().RemoveQuery(query_id_);
-      // Finalize the lifecycle before mu_ is released: a Wait()-er may
-      // destroy this object the moment the lock drops, and QueryInfoFor
-      // after Wait() must observe the terminal state.
-      if (lifecycle_ != nullptr) {
-        lifecycle_->Finalize(final_status_, client_cancelled_.load(),
-                             StatsSnapshot());
-      }
-      // Release the admission slot before the unlock too: it only takes
-      // the coordinator's admission mutex, which is never held while an
-      // execution's mu_ is acquired, so there is no lock cycle.
-      if (on_complete_) {
-        on_complete_();
-        on_complete_ = nullptr;
+      if (!finished_ && process_mode_ && final_status_.ok() &&
+          !results_.finished()) {
+        // A successful out-of-process query: the root task finished, but
+        // its output buffer may still hold pages the result-fetch thread
+        // has not pulled yet. Finishing the stream (or releasing the
+        // worker-side tasks, which drops that buffer) now would lose
+        // them, so the fetch thread finishes the stream and runs
+        // FinalizeLocked() once the buffer reports complete.
+        defer_finalize_ = true;
+      } else {
+        if (!finished_) {
+          finished_ = true;
+          results_.Finish(final_status_);
+        }
+        FinalizeLocked();
       }
     }
     done_cv_.notify_all();
   }
+}
+
+void QueryExecution::FinalizeLocked() {
+  if (finalized_) return;
+  finalized_ = true;
+  // Every task callback has fired, so nothing references the drivers
+  // (or, over HTTP, the worker-side task entries) anymore. Release
+  // them now — regardless of whether the query finished, failed, was
+  // cancelled, or was abandoned — returning every memory-pool
+  // reservation, dropping exchange-buffer references, and deleting
+  // spill files. A final stats snapshot is cached first so EXPLAIN
+  // ANALYZE still works after teardown.
+  for (auto& fragment_tasks : tasks_) {
+    for (auto& task : fragment_tasks) task->ReleaseResources();
+  }
+  if (cluster_ != nullptr) cluster_->exchange().RemoveQuery(query_id_);
+  // Finalize the lifecycle before mu_ is released: a Wait()-er may
+  // destroy this object the moment the lock drops, and QueryInfoFor
+  // after Wait() must observe the terminal state.
+  if (lifecycle_ != nullptr) {
+    lifecycle_->Finalize(final_status_, client_cancelled_.load(),
+                         StatsSnapshot());
+  }
+  // Release the admission slot before the unlock too: it only takes
+  // the coordinator's admission mutex, which is never held while an
+  // execution's mu_ is acquired, so there is no lock cycle.
+  if (on_complete_) {
+    on_complete_();
+    on_complete_ = nullptr;
+  }
+}
+
+void QueryExecution::FinalizeIfDeferred() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!defer_finalize_ || finalized_) return;
+    finished_ = true;
+    // Belt and braces: the fetch thread normally finished the stream
+    // before getting here; if it exited on an error, Cancel() already
+    // finished it with that error (first-wins makes this a no-op then).
+    results_.Finish(final_status_);
+    FinalizeLocked();
+  }
+  done_cv_.notify_all();
+}
+
+void QueryExecution::ResultFetchLoop() {
+  ExchangeHttpClient fetcher(
+      &cluster_->exchange(), root_fetch_port_,
+      StreamId{query_id_, plan_.root_id, /*task=*/0, /*partition=*/0});
+  TraceRecorder* trace =
+      lifecycle_ != nullptr ? lifecycle_->trace().get() : nullptr;
+  if (trace != nullptr) fetcher.SetTraceContext(trace, 0, 0);
+  while (!stop_fetch_thread_.load() && !results_.finished()) {
+    auto fetched = fetcher.Fetch();
+    if (!fetched.ok()) {
+      Cancel(fetched.status());
+      break;
+    }
+    cluster_->exchange().RecordTransfer(
+        static_cast<int64_t>(fetched->body.size()));
+    size_t offset = 0;
+    bool decode_failed = false;
+    while (offset < fetched->body.size()) {
+      auto page = cluster_->exchange().codec().Decode(fetched->body, &offset);
+      if (!page.ok()) {
+        Cancel(page.status());
+        decode_failed = true;
+        break;
+      }
+      // TryPush consumes its argument even on failure, so retry with
+      // copies; the bounded queue is the client-backpressure point.
+      Page decoded = std::move(*page);
+      while (!stop_fetch_thread_.load() && !results_.finished()) {
+        Page attempt = decoded;
+        if (results_.TryPush(std::move(attempt))) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    if (decode_failed) break;
+    if (fetched->complete) {
+      (void)fetcher.DeleteBuffer();
+      // First-wins with Cancel()/task-failure finalization: whichever
+      // reason reached the queue first sticks.
+      results_.Finish(Status::OK());
+      // Tear down upstream producers still running after a short-circuit
+      // root (LIMIT): their buffers have lost their only consumer.
+      AbortAllTasks();
+      break;
+    }
+    if (fetched->body.empty()) {
+      // Long-poll timeout, or the root task's create RPC is still in
+      // flight (the exchange answers token 0 with an empty batch then).
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  // If the last task completed while we were still draining, OnTaskDone
+  // left end-of-query teardown to us.
+  FinalizeIfDeferred();
 }
 
 void QueryExecution::SplitSchedulingLoop() {
@@ -162,6 +277,7 @@ void QueryExecution::SplitSchedulingLoop() {
     int fragment;
     int node_id;
     std::shared_ptr<const TableScanNode> scan;
+    Connector* connector;
     std::unique_ptr<SplitSource> source;
     bool exhausted = false;
   };
@@ -191,7 +307,7 @@ void QueryExecution::SplitSchedulingLoop() {
         return;
       }
       sources.push_back(PendingSource{fragment.id, scan->id(), scan,
-                                      std::move(*source), false});
+                                      *connector, std::move(*source), false});
     }
   }
   // Writer-scaling bookkeeping.
@@ -223,8 +339,8 @@ void QueryExecution::SplitSchedulingLoop() {
       // Lazy enumeration: pause while queues are deep (§IV-D3).
       size_t min_queue = SIZE_MAX;
       for (const auto& task : fragment_tasks) {
-        SplitQueue* queue = task->splits(pending.node_id);
-        if (queue != nullptr) min_queue = std::min(min_queue, queue->size());
+        auto size = task->SplitQueueSize(pending.node_id);
+        if (size.has_value()) min_queue = std::min(min_queue, *size);
       }
       if (min_queue != SIZE_MAX &&
           min_queue > static_cast<size_t>(config.split_queue_soft_limit)) {
@@ -238,8 +354,7 @@ void QueryExecution::SplitSchedulingLoop() {
       if (batch->empty()) {
         pending.exhausted = true;
         for (const auto& task : fragment_tasks) {
-          SplitQueue* queue = task->splits(pending.node_id);
-          if (queue != nullptr) queue->NoMoreSplits();
+          task->NoMoreSplits(pending.node_id);
         }
         if (trace != nullptr) {
           trace->RecordInstant(
@@ -263,22 +378,31 @@ void QueryExecution::SplitSchedulingLoop() {
           target = split->preferred_worker() %
                    static_cast<int>(fragment_tasks.size());
         } else {
-          // Shortest-queue assignment (§IV-D3).
+          // Shortest-queue assignment (§IV-D3), skipping tasks on workers
+          // the failure detector declared dead (their queues would only
+          // grow; the task failure is already in flight).
           size_t best = 0;
           size_t best_size = SIZE_MAX;
           for (size_t t = 0; t < fragment_tasks.size(); ++t) {
-            SplitQueue* queue = fragment_tasks[t]->splits(pending.node_id);
-            if (queue != nullptr && queue->size() < best_size) {
-              best_size = queue->size();
+            if (!fragment_tasks[t]->worker_alive()) continue;
+            auto size = fragment_tasks[t]->SplitQueueSize(pending.node_id);
+            if (size.has_value() && *size < best_size) {
+              best_size = *size;
               best = t;
             }
           }
           target = static_cast<int>(best);
         }
-        SplitQueue* queue =
-            fragment_tasks[static_cast<size_t>(target)]->splits(
-                pending.node_id);
-        if (queue != nullptr) queue->Add(split);
+        fragment_tasks[static_cast<size_t>(target)]->AddSplit(
+            pending.node_id, split, pending.connector);
+      }
+      // Ship the batch (buffered update POSTs; no-op in-process).
+      for (const auto& task : fragment_tasks) {
+        Status flushed = task->FlushSplits();
+        if (!flushed.ok()) {
+          Cancel(flushed);
+          return;
+        }
       }
     }
 
@@ -296,12 +420,18 @@ void QueryExecution::SplitSchedulingLoop() {
         double utilization = 0;
         int count = 0;
         for (const auto& task : tasks_[static_cast<size_t>(fragment.id)]) {
-          utilization += cluster_->exchange().OutputUtilization(
-              query_id_, fragment.id, task->spec().task_index);
+          utilization += task->OutputUtilization();
           ++count;
         }
         if (count > 0 && utilization / count > 0.5) {
           counter->fetch_add(1);
+          // Direct tasks read the shared counter; remote tasks learn the
+          // new width over the wire.
+          int writers = counter->load();
+          for (const auto& task :
+               tasks_[static_cast<size_t>(fragment.id)]) {
+            task->SetActiveWriters(writers);
+          }
         }
       }
       work_left = true;  // keep monitoring while the query runs
@@ -319,6 +449,21 @@ void QueryExecution::SplitSchedulingLoop() {
 Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
     const std::string& query_id, FragmentedPlan plan,
     std::shared_ptr<QueryLifecycle> lifecycle) {
+  const bool process_mode = cluster_->mode() == ClusterMode::kProcess;
+  if (process_mode) {
+    if (cluster_->num_workers() == 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "process-mode cluster has no remote workers");
+    }
+    for (const auto& fragment : plan.fragments) {
+      if (ContainsTableWrite(fragment.root)) {
+        return Status(StatusCode::kUnsupported,
+                      "table writes are not supported with out-of-process "
+                      "workers");
+      }
+    }
+  }
+
   // Admission control: bounded concurrent queries (queueing, §III).
   TraceRecorder* trace =
       lifecycle != nullptr ? lifecycle->trace().get() : nullptr;
@@ -344,6 +489,7 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
   execution->cluster_ = cluster_;
   execution->catalog_ = catalog_;
   execution->plan_ = std::move(plan);
+  execution->process_mode_ = process_mode;
   execution->memory_ =
       std::make_unique<QueryMemory>(query_id, &cluster_->config().memory);
   execution->memory_->set_trace(trace);
@@ -395,17 +541,37 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
     }
   }
 
-  // Create and register tasks.
+  // Placement: fragment -> task index -> worker id. Shared by both modes
+  // (process mode ships the same placement as endpoint lists).
   int single_task_worker =
       round_robin_worker_.load(std::memory_order_relaxed);
+  std::vector<std::vector<int>> placement(num_fragments);
   for (const auto& fragment : fplan.fragments) {
     int count = task_counts[static_cast<size_t>(fragment.id)];
-    execution->fragment_remaining_[static_cast<size_t>(fragment.id)] = count;
-    execution->remaining_tasks_ += count;
     for (int t = 0; t < count; ++t) {
       int worker = count == 1
                        ? (single_task_worker++ % cluster_->num_workers())
                        : t;
+      placement[static_cast<size_t>(fragment.id)].push_back(worker);
+    }
+  }
+  round_robin_worker_.store(single_task_worker % cluster_->num_workers(),
+                            std::memory_order_relaxed);
+
+  // Create the per-task clients.
+  for (const auto& fragment : fplan.fragments) {
+    int count = task_counts[static_cast<size_t>(fragment.id)];
+    execution->fragment_remaining_[static_cast<size_t>(fragment.id)] = count;
+    execution->remaining_tasks_ += count;
+    Json fragment_json;
+    if (process_mode) {
+      auto serialized = PlanFragmentToJson(fragment);
+      if (!serialized.ok()) return serialized.status();
+      fragment_json = std::move(*serialized);
+    }
+    for (int t = 0; t < count; ++t) {
+      int worker = placement[static_cast<size_t>(fragment.id)]
+                            [static_cast<size_t>(t)];
       TaskSpec spec;
       spec.query_id = query_id;
       spec.fragment_id = fragment.id;
@@ -416,16 +582,51 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
               ? task_counts[static_cast<size_t>(fragment.consumer)]
               : 1;
       spec.worker_id = worker;
+      for (int input : fragment.inputs) {
+        spec.source_task_counts[input] =
+            task_counts[static_cast<size_t>(input)];
+      }
+
+      if (process_mode) {
+        // Out-of-process task: ship the serialized fragment plus the
+        // exchange endpoints of every producer task feeding it.
+        TaskCreateRequest create;
+        create.spec = spec;
+        create.fragment = fragment_json;
+        create.eval_mode = config.eval_mode;
+        create.exchange_buffer_bytes = config.exchange_buffer_bytes;
+        create.max_drivers_per_pipeline = config.max_drivers_per_pipeline;
+        const auto& writer_counter =
+            execution->active_writers_[static_cast<size_t>(fragment.id)];
+        create.active_writers =
+            writer_counter != nullptr ? writer_counter->load() : -1;
+        create.emit_results_via_exchange = fragment.id == fplan.root_id;
+        for (int input : fragment.inputs) {
+          const auto& input_placement =
+              placement[static_cast<size_t>(input)];
+          for (size_t it = 0; it < input_placement.size(); ++it) {
+            create.endpoints.push_back(
+                {input, static_cast<int>(it),
+                 cluster_->http_port(input_placement[it])});
+          }
+        }
+        HttpTaskClient::Options options;
+        options.task_port = cluster_->task_port(worker);
+        options.liveness = &cluster_->liveness();
+        execution->tasks_[static_cast<size_t>(fragment.id)].push_back(
+            std::make_shared<HttpTaskClient>(spec, create.ToJson(),
+                                             options));
+        continue;
+      }
+
+      // In-process task: the pre-ISSUE-6 path, byte for byte, behind
+      // DirectTaskClient.
       if (config.network.transport == TransportMode::kHttp) {
         // Consumers resolve a producer task's output via its worker's
         // exchange endpoint; the coordinator owns placement, so it owns
         // the (task -> endpoint) map too.
         cluster_->exchange().RegisterTaskEndpoint(
             query_id, fragment.id, t, cluster_->http_port(worker));
-      }
-      for (int input : fragment.inputs) {
-        spec.source_task_counts[input] =
-            task_counts[static_cast<size_t>(input)];
       }
       TaskRuntime runtime;
       runtime.query_memory = execution->memory_.get();
@@ -448,11 +649,13 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
           spec, runtime,
           &fplan.fragments[static_cast<size_t>(fragment.id)]);
       PRESTO_RETURN_IF_ERROR(task->Initialize());
-      execution->tasks_[static_cast<size_t>(fragment.id)].push_back(task);
+      execution->tasks_[static_cast<size_t>(fragment.id)].push_back(
+          std::make_shared<DirectTaskClient>(std::move(task),
+                                             &cluster_->worker(worker)
+                                                  .executor(),
+                                             &cluster_->exchange()));
     }
   }
-  round_robin_worker_.store(single_task_worker % cluster_->num_workers(),
-                            std::memory_order_relaxed);
 
   if (execution->lifecycle_ != nullptr) {
     std::map<int, int> fragment_task_counts;
@@ -463,9 +666,10 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
     execution->lifecycle_->MarkRunning(std::move(fragment_task_counts));
   }
 
-  // Launch: register every task with its worker's executor (all-at-once;
-  // phased mode defers only split enumeration, keeping pipelines available
-  // to consume build sides without deadlocks).
+  // Launch: register every task with its worker's executor — local MLFQ in
+  // kThreads mode, a remote daemon's via the create RPC in kProcess mode
+  // (all-at-once; phased mode defers only split enumeration, keeping
+  // pipelines available to consume build sides without deadlocks).
   for (const auto& fragment_tasks : execution->tasks_) {
     if (trace != nullptr && !fragment_tasks.empty()) {
       trace->RecordInstant(
@@ -479,11 +683,16 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
       // Raw capture is safe: ~QueryExecution waits for every task callback
       // before releasing the object.
       QueryExecution* raw_exec = execution.get();
-      cluster_->worker(task->spec().worker_id)
-          .executor()
-          .AddTask(task, [raw_exec, fragment](Status status) {
+      Status launched =
+          task->Launch([raw_exec, fragment](Status status) {
             raw_exec->OnTaskDone(fragment, status);
           });
+      if (!launched.ok()) {
+        // The callback will never fire for this task; settle its
+        // accounting directly so Wait() terminates and the failure
+        // becomes the query status.
+        raw_exec->OnTaskDone(fragment, launched);
+      }
     }
   }
 
@@ -492,6 +701,12 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
   QueryExecution* raw = execution.get();
   execution->split_thread_ =
       std::thread([raw] { raw->SplitSchedulingLoop(); });
+  if (process_mode) {
+    execution->root_fetch_port_ = cluster_->http_port(
+        placement[static_cast<size_t>(fplan.root_id)][0]);
+    execution->result_fetch_thread_ =
+        std::thread([raw] { raw->ResultFetchLoop(); });
+  }
   execution->launched_ = true;
 
   return execution;

@@ -14,12 +14,13 @@
 #include "fragment/fragmenter.h"
 #include "schedule/cluster.h"
 #include "stats/query_stats.h"
+#include "worker/task_client.h"
 
 namespace presto {
 
-/// A running (or finished) distributed query: owns the per-fragment tasks,
-/// the lazy split-scheduling thread, the writer-scaling monitor, and the
-/// client-facing result stream.
+/// A running (or finished) distributed query: owns the per-fragment task
+/// clients, the lazy split-scheduling thread, the writer-scaling monitor,
+/// and the client-facing result stream.
 class QueryExecution {
  public:
   ~QueryExecution();
@@ -56,6 +57,22 @@ class QueryExecution {
 
   void SplitSchedulingLoop();
   void OnTaskDone(int fragment, const Status& status);
+  /// Best-effort cancel RPC to every task (no-op clients ignore it).
+  /// Touches only the immutable tasks_ vector, so callable with or
+  /// without mu_ held.
+  void AbortAllTasks();
+  /// kProcess only: pulls the root task's output buffer over the exchange
+  /// protocol into results_, finishing the stream when the buffer
+  /// completes (and aborting still-running upstream producers, e.g. after
+  /// LIMIT).
+  void ResultFetchLoop();
+  /// One-shot end-of-query teardown under mu_: releases every task's
+  /// resources (coordinator- and worker-side), drops this query's exchange
+  /// state, finalizes the lifecycle record, and frees the admission slot.
+  void FinalizeLocked();
+  /// Run by the result-fetch thread on exit: performs the finalization the
+  /// last OnTaskDone deferred so the root output buffer outlived its drain.
+  void FinalizeIfDeferred();
 
   std::string query_id_;
   RowSchema schema_;
@@ -64,8 +81,9 @@ class QueryExecution {
   FragmentedPlan plan_;
   std::unique_ptr<QueryMemory> memory_;
   ResultQueue results_;
-  // tasks_[fragment][task_index]
-  std::vector<std::vector<std::shared_ptr<TaskExec>>> tasks_;
+  // tasks_[fragment][task_index]; DirectTaskClient in kThreads mode,
+  // HttpTaskClient in kProcess mode. Immutable once launched.
+  std::vector<std::vector<std::shared_ptr<TaskClient>>> tasks_;
   // Round-robin writer-scaling state per fragment (producer side).
   std::vector<std::unique_ptr<std::atomic<int>>> active_writers_;
 
@@ -76,6 +94,11 @@ class QueryExecution {
   std::vector<bool> fragment_done_;
   Status final_status_;
   bool finished_ = false;
+  /// kProcess: set when the last task completed successfully but the
+  /// result-fetch thread had not yet drained the root output buffer; that
+  /// thread then owns finishing the stream and running FinalizeLocked().
+  bool defer_finalize_ = false;
+  bool finalized_ = false;
 
   std::thread split_thread_;
   std::atomic<bool> stop_split_thread_{false};
@@ -88,6 +111,12 @@ class QueryExecution {
   /// and destructor abandonment racing each other.
   std::once_flag cancel_once_;
 
+  /// Out-of-process execution state (ISSUE 6).
+  bool process_mode_ = false;
+  int root_fetch_port_ = -1;
+  std::thread result_fetch_thread_;
+  std::atomic<bool> stop_fetch_thread_{false};
+
   /// Lifecycle record finalized when the last task completes; may be null
   /// (tests that drive the coordinator directly).
   std::shared_ptr<QueryLifecycle> lifecycle_;
@@ -97,7 +126,8 @@ class QueryExecution {
 /// The coordinator (§III): admits queries, places fragment tasks on
 /// workers, feeds splits lazily with shortest-queue assignment (§IV-D3),
 /// honors phased scheduling dependencies (§IV-D1), and scales writer stages
-/// adaptively (§IV-E3).
+/// adaptively (§IV-E3). In ClusterMode::kProcess the same scheduling logic
+/// drives remote worker daemons through the /v1/task HTTP protocol.
 class Coordinator {
  public:
   Coordinator(Cluster* cluster, const Catalog* catalog)

@@ -1,0 +1,108 @@
+#include "worker/liveness.h"
+
+#include "common/json.h"
+#include "exchange/http/http_io.h"
+
+namespace presto {
+
+void WorkerLivenessTracker::Heartbeat(int worker_id, int64_t rtt_micros) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last_beat_[worker_id] = Clock::now();
+  }
+  heartbeats_received_.fetch_add(1, std::memory_order_relaxed);
+  if (rtt_histogram_ != nullptr && rtt_micros > 0) {
+    rtt_histogram_->Observe(static_cast<double>(rtt_micros));
+  }
+}
+
+bool WorkerLivenessTracker::SeenHeartbeat(int worker_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_beat_.count(worker_id) > 0;
+}
+
+bool WorkerLivenessTracker::IsAlive(int worker_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = last_beat_.find(worker_id);
+  if (it == last_beat_.end()) return true;  // never heartbeated: passive
+  int64_t silent_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                              Clock::now() - it->second)
+                              .count();
+  return silent_micros <= timeout_micros_.load();
+}
+
+int64_t WorkerLivenessTracker::AliveCount(int total_workers) const {
+  int64_t alive = 0;
+  for (int w = 0; w < total_workers; ++w) {
+    if (IsAlive(w)) ++alive;
+  }
+  return alive;
+}
+
+HeartbeatSender::HeartbeatSender(int coordinator_port, int worker_id,
+                                 int64_t interval_micros)
+    : coordinator_port_(coordinator_port),
+      worker_id_(worker_id),
+      interval_micros_(interval_micros) {}
+
+HeartbeatSender::~HeartbeatSender() { Stop(); }
+
+void HeartbeatSender::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void HeartbeatSender::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void HeartbeatSender::Loop() {
+  while (true) {
+    if (SendOnce()) {
+      sent_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait_for(lock, std::chrono::microseconds(interval_micros_),
+                 [this] { return stop_; });
+    if (stop_) return;
+  }
+}
+
+bool HeartbeatSender::SendOnce() {
+  auto start = std::chrono::steady_clock::now();
+  auto conn_or = ConnectToLoopback(coordinator_port_, interval_micros_ * 4);
+  if (!conn_or.ok()) return false;
+  std::unique_ptr<HttpConnection> conn = std::move(conn_or).value();
+
+  Json body = Json::Object();
+  body.Set("worker", Json::Int(worker_id_))
+      .Set("rttMicros", Json::Int(last_rtt_micros_.load()));
+
+  HttpRequest request;
+  request.method = "POST";
+  request.path = "/v1/heartbeat";
+  request.body = body.Serialize();
+  if (!conn->WriteRequest(request).ok()) return false;
+  auto response_or = conn->ReadResponse();
+  if (!response_or.ok() || response_or.value().status != 200) return false;
+
+  last_rtt_micros_.store(std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
+  return true;
+}
+
+}  // namespace presto

@@ -1,0 +1,103 @@
+#ifndef PRESTOCPP_WORKER_LIVENESS_H_
+#define PRESTOCPP_WORKER_LIVENESS_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "stats/metrics_registry.h"
+
+namespace presto {
+
+/// Coordinator-side failure detector (ISSUE 6): workers POST periodic
+/// heartbeats; a worker that has heartbeated at least once and then goes
+/// silent past the timeout is declared dead. Workers that never heartbeated
+/// are treated as alive — in-process clusters (and tests that never start
+/// heartbeat senders) stay fully passive.
+class WorkerLivenessTracker {
+ public:
+  explicit WorkerLivenessTracker(int64_t timeout_micros = 2'000'000)
+      : timeout_micros_(timeout_micros) {}
+
+  void set_timeout_micros(int64_t micros) { timeout_micros_ = micros; }
+  int64_t timeout_micros() const { return timeout_micros_; }
+
+  /// Records a heartbeat from `worker_id` (rtt as reported by the worker:
+  /// the round trip of its previous heartbeat POST).
+  void Heartbeat(int worker_id, int64_t rtt_micros);
+
+  bool SeenHeartbeat(int worker_id) const;
+  /// False only for workers that heartbeated and then went silent past the
+  /// timeout.
+  bool IsAlive(int worker_id) const;
+
+  /// Workers among [0, total) currently considered alive.
+  int64_t AliveCount(int total_workers) const;
+
+  int64_t heartbeats_received() const { return heartbeats_received_.load(); }
+
+  /// Heartbeat round-trip latency histogram (micros), optional.
+  void set_rtt_histogram(Histogram* histogram) { rtt_histogram_ = histogram; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  std::atomic<int64_t> timeout_micros_;
+  mutable std::mutex mu_;
+  std::map<int, Clock::time_point> last_beat_;
+  std::atomic<int64_t> heartbeats_received_{0};
+  Histogram* rtt_histogram_ = nullptr;
+};
+
+/// Worker-side heartbeat loop: POSTs /v1/heartbeat to the coordinator's
+/// observability port every `interval_micros`, reporting the round-trip
+/// time of the previous beat. Transport errors are counted and retried on
+/// the next tick (the coordinator decides liveness, not the worker).
+class HeartbeatSender {
+ public:
+  HeartbeatSender(int coordinator_port, int worker_id,
+                  int64_t interval_micros = 200'000);
+  ~HeartbeatSender();
+
+  HeartbeatSender(const HeartbeatSender&) = delete;
+  HeartbeatSender& operator=(const HeartbeatSender&) = delete;
+
+  void Start();
+  void Stop();
+
+  /// Retargets the coordinator (late binding: a daemon learns the
+  /// coordinator's port over stdin after both processes are up). Only
+  /// valid while stopped.
+  void set_coordinator_port(int port) { coordinator_port_ = port; }
+  int coordinator_port() const { return coordinator_port_; }
+
+  int64_t sent() const { return sent_.load(); }
+  int64_t failed() const { return failed_.load(); }
+  int64_t last_rtt_micros() const { return last_rtt_micros_.load(); }
+
+ private:
+  void Loop();
+  bool SendOnce();
+
+  int coordinator_port_;
+  const int worker_id_;
+  const int64_t interval_micros_;
+  std::atomic<int64_t> sent_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> last_rtt_micros_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_WORKER_LIVENESS_H_

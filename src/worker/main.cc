@@ -1,0 +1,125 @@
+// presto_worker: out-of-process worker daemon (ISSUE 6).
+//
+// Hosts a TaskExecutor + WorkerMemory + exchange fabric behind the
+// /v1/task and exchange HTTP endpoints, heartbeating to the coordinator.
+// Prints "READY task_port=<p> exchange_port=<p>" once serving, then runs
+// until stdin reaches EOF (parent died or closed the pipe) or SIGTERM.
+//
+// Usage:
+//   presto_worker --worker_id=0 --coordinator_port=12345
+//       --tpch_scale=0.05 --threads=2
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "connectors/tpch/tpch_connector.h"
+#include "worker/worker_runtime.h"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+double FlagDouble(int argc, char** argv, const char* name, double fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return atof(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+int64_t FlagInt(int argc, char** argv, const char* name, int64_t fallback) {
+  std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return atoll(argv[i] + prefix.size());
+    }
+  }
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  signal(SIGTERM, HandleSignal);
+  signal(SIGINT, HandleSignal);
+  signal(SIGPIPE, SIG_IGN);
+
+  presto::WorkerRuntimeConfig config;
+  config.worker_id = static_cast<int>(FlagInt(argc, argv, "worker_id", 0));
+  config.coordinator_port =
+      static_cast<int>(FlagInt(argc, argv, "coordinator_port", -1));
+  config.heartbeat_interval_micros =
+      FlagInt(argc, argv, "heartbeat_interval_micros", 200'000);
+  config.executor.threads =
+      static_cast<int>(FlagInt(argc, argv, "threads", 2));
+  config.memory.per_worker_general =
+      FlagInt(argc, argv, "general_memory_bytes",
+              config.memory.per_worker_general);
+
+  // The catalog must match the coordinator's: TPC-H is generated
+  // deterministically from the scale factor, so both processes agree on
+  // table contents without shipping data.
+  double tpch_scale = FlagDouble(argc, argv, "tpch_scale", 1.0);
+  auto catalog = std::make_shared<presto::Catalog>();
+  catalog->Register(
+      std::make_shared<presto::TpchConnector>("tpch", tpch_scale));
+  catalog->SetDefault("tpch");
+
+  presto::WorkerRuntime runtime(config, catalog);
+  presto::Status started = runtime.Start();
+  if (!started.ok()) {
+    fprintf(stderr, "worker %d failed to start: %s\n", config.worker_id,
+            started.ToString().c_str());
+    return 1;
+  }
+  printf("READY task_port=%d exchange_port=%d\n", runtime.task_port(),
+         runtime.exchange_port());
+  fflush(stdout);
+
+  // Serve until asked to stop: SIGTERM, or stdin EOF (the parent process
+  // died or dropped the pipe — keeps CI from leaking daemons). Complete
+  // stdin lines are commands; the one understood today is
+  // "coordinator_port=N", which starts heartbeating against a coordinator
+  // whose ephemeral port only became known after this worker launched.
+  std::string command_buffer;
+  bool eof = false;
+  while (!g_stop.load() && !eof) {
+    struct pollfd pfd;
+    pfd.fd = STDIN_FILENO;
+    pfd.events = POLLIN;
+    int ready = poll(&pfd, 1, 200);
+    if (ready > 0) {
+      char buf[256];
+      ssize_t n = read(STDIN_FILENO, buf, sizeof(buf));
+      if (n <= 0) {
+        eof = true;
+      } else {
+        command_buffer.append(buf, static_cast<size_t>(n));
+        size_t newline;
+        while ((newline = command_buffer.find('\n')) != std::string::npos) {
+          std::string line = command_buffer.substr(0, newline);
+          command_buffer.erase(0, newline + 1);
+          constexpr char kPortCommand[] = "coordinator_port=";
+          if (line.rfind(kPortCommand, 0) == 0) {
+            runtime.StartHeartbeat(
+                atoi(line.c_str() + sizeof(kPortCommand) - 1));
+          }
+        }
+      }
+    }
+  }
+  runtime.Stop();
+  return 0;
+}

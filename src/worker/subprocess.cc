@@ -1,0 +1,132 @@
+#include "worker/subprocess.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+namespace presto {
+
+Subprocess::~Subprocess() {
+  if (pid_ > 0) {
+    Kill();
+    Wait();
+  }
+  if (stdout_fd_ >= 0) close(stdout_fd_);
+  if (stdin_fd_ >= 0) close(stdin_fd_);
+}
+
+Status Subprocess::Start(const std::vector<std::string>& argv) {
+  if (argv.empty()) return Status::InvalidArgument("empty argv");
+  if (pid_ > 0) return Status::Internal("subprocess already started");
+
+  int out_pipe[2];  // child stdout -> parent
+  int in_pipe[2];   // parent -> child stdin
+  if (pipe(out_pipe) != 0) return Status::IOError("pipe: failed");
+  if (pipe(in_pipe) != 0) {
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    return Status::IOError("pipe: failed");
+  }
+
+  pid_t pid = fork();
+  if (pid < 0) {
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    close(in_pipe[0]);
+    close(in_pipe[1]);
+    return Status::IOError("fork: failed");
+  }
+  if (pid == 0) {
+    dup2(out_pipe[1], STDOUT_FILENO);
+    dup2(in_pipe[0], STDIN_FILENO);
+    close(out_pipe[0]);
+    close(out_pipe[1]);
+    close(in_pipe[0]);
+    close(in_pipe[1]);
+    std::vector<char*> args;
+    args.reserve(argv.size() + 1);
+    for (const std::string& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+    args.push_back(nullptr);
+    execv(args[0], args.data());
+    _exit(127);
+  }
+  close(out_pipe[1]);
+  close(in_pipe[0]);
+  pid_ = pid;
+  stdout_fd_ = out_pipe[0];
+  stdin_fd_ = in_pipe[1];
+  return Status::OK();
+}
+
+Result<std::string> Subprocess::WaitForLine(const std::string& prefix,
+                                            int64_t timeout_millis) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_millis);
+  while (true) {
+    // Drain complete lines already buffered.
+    size_t newline;
+    while ((newline = buffer_.find('\n')) != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (line.rfind(prefix, 0) == 0) return line;
+    }
+    auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      return Status::IOError("timed out waiting for '" + prefix +
+                             "' from child");
+    }
+    struct pollfd pfd;
+    pfd.fd = stdout_fd_;
+    pfd.events = POLLIN;
+    int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    int ready = poll(&pfd, 1, remaining);
+    if (ready <= 0) {
+      return Status::IOError("timed out waiting for '" + prefix +
+                             "' from child");
+    }
+    char chunk[4096];
+    ssize_t n = read(stdout_fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      return Status::IOError("child stdout closed before '" + prefix + "'");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Status Subprocess::WriteLine(const std::string& line) {
+  if (stdin_fd_ < 0) return Status::Internal("no child stdin");
+  std::string payload = line + "\n";
+  size_t written = 0;
+  while (written < payload.size()) {
+    ssize_t n = write(stdin_fd_, payload.data() + written,
+                      payload.size() - written);
+    if (n <= 0) return Status::IOError("write to child stdin failed");
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+void Subprocess::Kill() {
+  if (pid_ > 0) kill(pid_, SIGKILL);
+}
+
+void Subprocess::Terminate() {
+  if (pid_ > 0) kill(pid_, SIGTERM);
+}
+
+int Subprocess::Wait() {
+  if (pid_ <= 0) return -1;
+  int wstatus = 0;
+  waitpid(pid_, &wstatus, 0);
+  pid_ = -1;
+  return wstatus;
+}
+
+}  // namespace presto

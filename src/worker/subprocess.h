@@ -1,0 +1,56 @@
+#ifndef PRESTOCPP_WORKER_SUBPROCESS_H_
+#define PRESTOCPP_WORKER_SUBPROCESS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace presto {
+
+/// Minimal fork/exec wrapper for launching `presto_worker` daemons from
+/// tests and examples. The child's stdout is piped back so the parent can
+/// read the "READY task_port=... exchange_port=..." banner; the child's
+/// stdin is the pipe's write end, so an orphaned worker exits on EOF when
+/// the parent dies.
+class Subprocess {
+ public:
+  Subprocess() = default;
+  ~Subprocess();
+
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+
+  /// argv[0] is the binary path.
+  Status Start(const std::vector<std::string>& argv);
+
+  /// Reads child stdout lines until one starts with `prefix` (or EOF /
+  /// `timeout_millis` elapses). Returns the matching line.
+  Result<std::string> WaitForLine(const std::string& prefix,
+                                  int64_t timeout_millis);
+
+  /// Writes `line` + '\n' to the child's stdin (the daemon's command
+  /// channel, e.g. "coordinator_port=12345").
+  Status WriteLine(const std::string& line);
+
+  /// SIGKILL — models a crashed worker (no goodbye, no flush).
+  void Kill();
+  /// SIGTERM — asks for a graceful exit.
+  void Terminate();
+  /// Reaps the child (after Kill/Terminate or natural exit); returns its
+  /// raw wait(2) status, or -1 if no child.
+  int Wait();
+
+  bool running() const { return pid_ > 0; }
+  int pid() const { return pid_; }
+
+ private:
+  int pid_ = -1;
+  int stdout_fd_ = -1;
+  int stdin_fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_WORKER_SUBPROCESS_H_

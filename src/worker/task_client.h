@@ -1,0 +1,209 @@
+#ifndef PRESTOCPP_WORKER_TASK_CLIENT_H_
+#define PRESTOCPP_WORKER_TASK_CLIENT_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exchange/exchange.h"
+#include "exchange/http/http_io.h"
+#include "exec/task.h"
+#include "schedule/task_executor.h"
+#include "worker/liveness.h"
+#include "worker/task_protocol.h"
+
+namespace presto {
+
+/// Coordinator-side handle to one task of one fragment. The coordinator
+/// drives every task — in-process or out-of-process — through this
+/// interface, so scheduling logic is transport-agnostic: DirectTaskClient
+/// wraps a local TaskExec byte-for-byte the way the coordinator always
+/// did, and HttpTaskClient speaks the /v1/task protocol to a worker
+/// daemon.
+class TaskClient {
+ public:
+  virtual ~TaskClient() = default;
+
+  virtual const TaskSpec& spec() const = 0;
+
+  /// Creates/starts the task; `on_done` fires exactly once with the
+  /// task's terminal status (also when Launch itself failed after
+  /// partially starting). A non-OK return means the task never started
+  /// and on_done will NOT fire.
+  virtual Status Launch(std::function<void(Status)> on_done) = 0;
+
+  /// nullopt when the fragment has no such scan node.
+  virtual std::optional<size_t> SplitQueueSize(int node_id) const = 0;
+  /// `connector` serializes the split for the wire (unused in-process).
+  virtual void AddSplit(int node_id, const SplitPtr& split,
+                        Connector* connector) = 0;
+  virtual void NoMoreSplits(int node_id) = 0;
+  /// Pushes buffered split updates to the worker (no-op in-process).
+  virtual Status FlushSplits() = 0;
+
+  virtual double OutputUtilization() const = 0;
+  /// Propagates a new adaptive-writer count (no-op in-process: the task
+  /// shares the coordinator's counter directly).
+  virtual void SetActiveWriters(int writers) = 0;
+
+  virtual TaskStats CollectStats() const = 0;
+  virtual int64_t cpu_nanos() const = 0;
+  virtual int64_t peak_user_memory_bytes() const = 0;
+
+  /// False once the hosting worker was declared dead (always true for
+  /// in-process tasks).
+  virtual bool worker_alive() const = 0;
+
+  /// Requests cancellation (HTTP DELETE; no-op in-process where killing
+  /// the query memory context already stops the drivers). Idempotent.
+  virtual void Abort() = 0;
+
+  /// Releases worker-side resources once on_done has fired: in-process
+  /// this is ReleaseDrivers(); over HTTP a final DELETE retires the
+  /// worker's task entry (and, for the query's last task, its buffers).
+  virtual void ReleaseResources() = 0;
+};
+
+/// In-process client: the same TaskExec + TaskExecutor calls the
+/// coordinator made before ISSUE 6, behind the interface.
+class DirectTaskClient final : public TaskClient {
+ public:
+  DirectTaskClient(std::shared_ptr<TaskExec> task, TaskExecutor* executor,
+                   ExchangeManager* exchange)
+      : task_(std::move(task)), executor_(executor), exchange_(exchange) {}
+
+  const TaskSpec& spec() const override { return task_->spec(); }
+
+  Status Launch(std::function<void(Status)> on_done) override {
+    executor_->AddTask(task_, std::move(on_done));
+    return Status::OK();
+  }
+
+  std::optional<size_t> SplitQueueSize(int node_id) const override {
+    SplitQueue* queue = task_->splits(node_id);
+    if (queue == nullptr) return std::nullopt;
+    return queue->size();
+  }
+
+  void AddSplit(int node_id, const SplitPtr& split,
+                Connector* /*connector*/) override {
+    SplitQueue* queue = task_->splits(node_id);
+    if (queue != nullptr) queue->Add(split);
+  }
+
+  void NoMoreSplits(int node_id) override {
+    SplitQueue* queue = task_->splits(node_id);
+    if (queue != nullptr) queue->NoMoreSplits();
+  }
+
+  Status FlushSplits() override { return Status::OK(); }
+
+  double OutputUtilization() const override {
+    const TaskSpec& s = task_->spec();
+    return exchange_->OutputUtilization(s.query_id, s.fragment_id,
+                                        s.task_index);
+  }
+
+  void SetActiveWriters(int /*writers*/) override {}
+
+  TaskStats CollectStats() const override { return task_->CollectStats(); }
+  int64_t cpu_nanos() const override { return task_->cpu_nanos().load(); }
+  int64_t peak_user_memory_bytes() const override { return 0; }
+  bool worker_alive() const override { return true; }
+  void Abort() override {}
+  void ReleaseResources() override { task_->ReleaseDrivers(); }
+
+  const std::shared_ptr<TaskExec>& task() const { return task_; }
+
+ private:
+  std::shared_ptr<TaskExec> task_;
+  TaskExecutor* executor_;
+  ExchangeManager* exchange_;
+};
+
+/// Out-of-process client: POSTs the create request, buffers split batches
+/// into update POSTs, long-polls /status from a background thread (which
+/// fires on_done exactly once on a terminal state, poll-retry exhaustion,
+/// or a liveness-tracker death verdict), and DELETEs the task to abort or
+/// retire it.
+class HttpTaskClient final : public TaskClient {
+ public:
+  struct Options {
+    int task_port = 0;
+    /// Server-side long-poll per status request.
+    int64_t poll_wait_micros = 100'000;
+    /// Socket receive timeout (must exceed poll_wait_micros).
+    int64_t io_timeout_micros = 2'000'000;
+    int max_consecutive_failures = 5;
+    int64_t retry_backoff_micros = 10'000;
+    WorkerLivenessTracker* liveness = nullptr;
+  };
+
+  HttpTaskClient(TaskSpec spec, Json create_request, Options options);
+  ~HttpTaskClient() override;
+
+  HttpTaskClient(const HttpTaskClient&) = delete;
+  HttpTaskClient& operator=(const HttpTaskClient&) = delete;
+
+  const TaskSpec& spec() const override { return spec_; }
+  Status Launch(std::function<void(Status)> on_done) override;
+  std::optional<size_t> SplitQueueSize(int node_id) const override;
+  void AddSplit(int node_id, const SplitPtr& split,
+                Connector* connector) override;
+  void NoMoreSplits(int node_id) override;
+  Status FlushSplits() override;
+  double OutputUtilization() const override;
+  void SetActiveWriters(int writers) override;
+  TaskStats CollectStats() const override;
+  int64_t cpu_nanos() const override;
+  int64_t peak_user_memory_bytes() const override;
+  bool worker_alive() const override;
+  void Abort() override;
+  void ReleaseResources() override;
+
+ private:
+  /// One request/response over the shared control connection (reconnects
+  /// once on a stale keep-alive socket).
+  Result<HttpResponse> ControlRoundTrip(const HttpRequest& request);
+  static Result<TaskStatusResponse> ParseStatusResponse(
+      const HttpResponse& response);
+  Result<TaskStatusResponse> PostControl(const Json& body);
+  void CacheStatus(const TaskStatusResponse& status);
+  void PollLoop();
+  void FireDone(Status status);
+
+  const TaskSpec spec_;
+  const std::string task_id_;
+  const Json create_request_;
+  const Options options_;
+
+  std::function<void(Status)> on_done_;
+  std::once_flag done_once_;
+
+  /// Control plane (create/update/delete), shared by coordinator threads.
+  std::mutex control_mu_;
+  std::unique_ptr<HttpConnection> control_conn_;
+  std::map<int, std::vector<std::string>> pending_splits_;
+  Status pending_error_ = Status::OK();
+
+  /// Cached view of the last status response.
+  mutable std::mutex cache_mu_;
+  TaskStatusResponse cached_;
+  std::map<int, int64_t> pending_counts_;  // buffered, not yet on worker
+
+  std::atomic<bool> launched_{false};
+  std::atomic<bool> aborted_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> worker_dead_{false};
+  std::thread poll_thread_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_WORKER_TASK_CLIENT_H_

@@ -1,0 +1,341 @@
+#include "worker/task_manager.h"
+
+#include <chrono>
+#include <utility>
+
+#include "plan/plan_serde.h"
+
+namespace presto {
+
+namespace {
+
+constexpr int64_t kMaxStatusWaitMicros = 30'000'000;
+
+// Maps a TableScanNode id to the connector serving it, for split
+// deserialization on update requests.
+void CollectScanConnectors(const PlanNode& node, const Catalog& catalog,
+                           std::map<int, Connector*>* out) {
+  if (node.kind() == PlanNodeKind::kTableScan) {
+    const auto& scan = static_cast<const TableScanNode&>(node);
+    auto connector_or = catalog.Get(scan.connector());
+    if (connector_or.ok()) (*out)[node.id()] = connector_or.value();
+  }
+  for (const auto& child : node.children()) {
+    CollectScanConnectors(*child, catalog, out);
+  }
+}
+
+}  // namespace
+
+struct WorkerTaskManager::TaskEntry {
+  std::string id;
+  TaskSpec spec;
+  std::unique_ptr<PlanFragment> fragment;
+  std::shared_ptr<QueryMemory> query_memory;
+  std::shared_ptr<TaskExec> exec;
+  std::map<int, Connector*> scan_connectors;
+  std::atomic<int> active_writers{1};
+  TaskState state = TaskState::kPlanned;
+  Status error = Status::OK();
+  int64_t version = 1;
+  bool cancel_requested = false;
+  bool abort_requested = false;
+  bool remove_on_terminal = false;
+  std::map<int, int64_t> added_splits;
+  std::condition_variable cv;
+};
+
+WorkerTaskManager::WorkerTaskManager(WorkerTaskManagerOptions options)
+    : options_(options) {}
+
+WorkerTaskManager::~WorkerTaskManager() { Shutdown(); }
+
+Result<std::shared_ptr<WorkerTaskManager::TaskEntry>>
+WorkerTaskManager::FindLocked(const std::string& task_id) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) {
+    return Status::NotFound("no task '" + task_id + "' on this worker");
+  }
+  return it->second;
+}
+
+TaskStatusResponse WorkerTaskManager::BuildStatusLocked(TaskEntry& entry) {
+  TaskStatusResponse response;
+  response.task_id = entry.id;
+  response.state = entry.state;
+  response.version = entry.version;
+  response.error_code = entry.error.code();
+  response.error_message = entry.error.message();
+  for (auto& [node_id, queue] : entry.exec->split_queues()) {
+    response.queued_splits[node_id] =
+        static_cast<int64_t>(queue.size());
+  }
+  response.added_splits = entry.added_splits;
+  response.output_utilization = options_.exchange->OutputUtilization(
+      entry.spec.query_id, entry.spec.fragment_id, entry.spec.task_index);
+  response.cpu_nanos = entry.exec->cpu_nanos().load();
+  response.user_memory_bytes = entry.query_memory->global_user();
+  response.peak_user_memory_bytes = entry.query_memory->peak_user();
+  response.stats = entry.exec->CollectStats();
+  return response;
+}
+
+Result<TaskStatusResponse> WorkerTaskManager::CreateOrUpdate(
+    const std::string& task_id, const Json& body) {
+  if (body.Find("spec") == nullptr) {
+    PRESTO_ASSIGN_OR_RETURN(TaskUpdateRequest update,
+                            TaskUpdateRequest::FromJson(body));
+    std::unique_lock<std::mutex> lock(mu_);
+    PRESTO_ASSIGN_OR_RETURN(auto entry, FindLocked(task_id));
+    PRESTO_RETURN_IF_ERROR(ApplyUpdateLocked(*entry, update));
+    return BuildStatusLocked(*entry);
+  }
+
+  PRESTO_ASSIGN_OR_RETURN(TaskCreateRequest request,
+                          TaskCreateRequest::FromJson(body));
+  std::string expected_id =
+      MakeTaskId(request.spec.query_id, request.spec.fragment_id,
+                 request.spec.task_index);
+  if (task_id != expected_id) {
+    return Status::InvalidArgument("task id '" + task_id +
+                                   "' does not match request spec '" +
+                                   expected_id + "'");
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutting_down_) {
+    return Status::Cancelled("worker is shutting down");
+  }
+  if (auto it = tasks_.find(task_id); it != tasks_.end()) {
+    return BuildStatusLocked(*it->second);  // duplicate create: idempotent
+  }
+
+  PRESTO_ASSIGN_OR_RETURN(
+      PlanFragment fragment,
+      PlanFragmentFromJson(request.fragment, *options_.catalog));
+
+  auto entry = std::make_shared<TaskEntry>();
+  entry->id = task_id;
+  entry->fragment = std::make_unique<PlanFragment>(std::move(fragment));
+  if (request.emit_results_via_exchange) {
+    // Root fragments normally end in an in-process OutputSink; rewire the
+    // sink through a single-partition gather buffer the coordinator
+    // fetches over HTTP. `consumer` is only inspected for >= 0 when
+    // picking the sink operator, so the fragment's own id is a safe
+    // stand-in.
+    entry->fragment->consumer = entry->fragment->id;
+    entry->fragment->output_kind = ExchangeKind::kGather;
+    request.spec.consumer_partitions = 1;
+  }
+  entry->spec = request.spec;
+  entry->active_writers.store(request.active_writers >= 0
+                                  ? request.active_writers
+                                  : request.spec.consumer_partitions);
+  CollectScanConnectors(*entry->fragment->root, *options_.catalog,
+                        &entry->scan_connectors);
+
+  auto& query_slot = queries_[request.spec.query_id];
+  if (query_slot.first == nullptr) {
+    query_slot.first = std::make_shared<QueryMemory>(request.spec.query_id,
+                                                     options_.memory_config);
+  }
+  ++query_slot.second;
+  entry->query_memory = query_slot.first;
+
+  for (const auto& endpoint : request.endpoints) {
+    options_.exchange->RegisterTaskEndpoint(request.spec.query_id,
+                                            endpoint[0], endpoint[1],
+                                            endpoint[2]);
+  }
+
+  TaskRuntime runtime;
+  runtime.query_memory = entry->query_memory.get();
+  runtime.worker_memory = options_.worker_memory;
+  runtime.exchange = options_.exchange;
+  runtime.catalog = options_.catalog;
+  runtime.eval_mode = request.eval_mode;
+  runtime.exchange_buffer_bytes = request.exchange_buffer_bytes;
+  runtime.max_drivers_per_pipeline = request.max_drivers_per_pipeline;
+  runtime.active_output_partitions = &entry->active_writers;
+
+  entry->exec = std::make_shared<TaskExec>(entry->spec, runtime,
+                                           entry->fragment.get());
+  Status init = entry->exec->Initialize();
+  if (!init.ok()) {
+    ReleaseQueryRefLocked(request.spec.query_id);
+    return init;
+  }
+
+  tasks_[task_id] = entry;
+  entry->state = TaskState::kRunning;
+  ++running_tasks_;
+
+  lock.unlock();
+  options_.executor->AddTask(entry->exec, [this, entry](Status status) {
+    OnTaskDone(entry, std::move(status));
+  });
+  lock.lock();
+  return BuildStatusLocked(*entry);
+}
+
+Status WorkerTaskManager::ApplyUpdateLocked(TaskEntry& entry,
+                                            const TaskUpdateRequest& update) {
+  if (IsTerminalTaskState(entry.state)) {
+    // The coordinator may race a split batch against task completion
+    // (e.g. a failure elsewhere); drop the update, the status response
+    // carries the terminal state.
+    return Status::OK();
+  }
+  for (const auto& [node_id, serialized_splits] : update.splits) {
+    SplitQueue* queue = entry.exec->splits(node_id);
+    if (queue == nullptr) {
+      return Status::InvalidArgument(
+          "task '" + entry.id + "' has no scan node " +
+          std::to_string(node_id));
+    }
+    auto connector_it = entry.scan_connectors.find(node_id);
+    if (connector_it == entry.scan_connectors.end()) {
+      return Status::Internal("no connector for scan node " +
+                              std::to_string(node_id));
+    }
+    for (const std::string& data : serialized_splits) {
+      PRESTO_ASSIGN_OR_RETURN(SplitPtr split,
+                              connector_it->second->DeserializeSplit(data));
+      queue->Add(std::move(split));
+      ++entry.added_splits[node_id];
+    }
+  }
+  for (int node_id : update.no_more_splits) {
+    SplitQueue* queue = entry.exec->splits(node_id);
+    if (queue == nullptr) {
+      return Status::InvalidArgument(
+          "task '" + entry.id + "' has no scan node " +
+          std::to_string(node_id));
+    }
+    queue->NoMoreSplits();
+  }
+  if (update.active_writers >= 0) {
+    entry.active_writers.store(update.active_writers);
+  }
+  return Status::OK();
+}
+
+Result<TaskStatusResponse> WorkerTaskManager::GetStatus(
+    const std::string& task_id, int64_t since_version, int64_t wait_micros) {
+  std::unique_lock<std::mutex> lock(mu_);
+  PRESTO_ASSIGN_OR_RETURN(auto entry, FindLocked(task_id));
+  if (wait_micros > 0 && entry->version <= since_version && !shutting_down_) {
+    wait_micros = std::min(wait_micros, kMaxStatusWaitMicros);
+    entry->cv.wait_for(lock, std::chrono::microseconds(wait_micros),
+                       [&entry, since_version, this] {
+                         return entry->version > since_version ||
+                                shutting_down_;
+                       });
+  }
+  return BuildStatusLocked(*entry);
+}
+
+Result<TaskStatusResponse> WorkerTaskManager::Delete(
+    const std::string& task_id, bool abort) {
+  std::unique_lock<std::mutex> lock(mu_);
+  PRESTO_ASSIGN_OR_RETURN(auto entry, FindLocked(task_id));
+  if (IsTerminalTaskState(entry->state)) {
+    TaskStatusResponse response = BuildStatusLocked(*entry);
+    RemoveEntryLocked(task_id);
+    return response;
+  }
+  entry->cancel_requested = true;
+  if (abort) entry->abort_requested = true;
+  entry->remove_on_terminal = true;
+  ++entry->version;
+  entry->cv.notify_all();
+  entry->query_memory->Kill(Status::Cancelled(
+      "task " + task_id + (abort ? " aborted" : " canceled") +
+      " by coordinator"));
+  return BuildStatusLocked(*entry);
+}
+
+void WorkerTaskManager::OnTaskDone(const std::shared_ptr<TaskEntry>& entry,
+                                   Status status) {
+  // Safe here: on_done fires after the executor dropped every driver
+  // reference. Outside mu_ so status polls keep flowing (CollectStats
+  // serializes against the release via the task's stats mutex).
+  entry->exec->ReleaseDrivers();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entry->abort_requested) {
+    entry->state = TaskState::kAborted;
+  } else if (entry->cancel_requested ||
+             status.code() == StatusCode::kCancelled) {
+    entry->state = TaskState::kCanceled;
+  } else if (status.ok()) {
+    entry->state = TaskState::kFinished;
+  } else {
+    entry->state = TaskState::kFailed;
+  }
+  entry->error = status;
+  ++entry->version;
+  entry->cv.notify_all();
+  --running_tasks_;
+  if (entry->remove_on_terminal) {
+    RemoveEntryLocked(entry->id);
+  }
+  idle_cv_.notify_all();
+}
+
+void WorkerTaskManager::RemoveEntryLocked(const std::string& task_id) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return;
+  std::string query_id = it->second->spec.query_id;
+  tasks_.erase(it);
+  ReleaseQueryRefLocked(query_id);
+}
+
+void WorkerTaskManager::ReleaseQueryRefLocked(const std::string& query_id) {
+  auto it = queries_.find(query_id);
+  if (it == queries_.end()) return;
+  if (--it->second.second <= 0) {
+    queries_.erase(it);
+    // Last task of the query on this worker: drop its exchange buffers
+    // and endpoint registrations.
+    options_.exchange->RemoveQuery(query_id);
+  }
+}
+
+int64_t WorkerTaskManager::active_tasks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return running_tasks_;
+}
+
+bool WorkerTaskManager::shutting_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shutting_down_;
+}
+
+void WorkerTaskManager::Shutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutting_down_) {
+    idle_cv_.wait(lock, [this] { return running_tasks_ == 0; });
+    return;
+  }
+  shutting_down_ = true;
+  for (auto& [id, entry] : tasks_) {
+    if (!IsTerminalTaskState(entry->state)) {
+      entry->abort_requested = true;
+      entry->query_memory->Kill(
+          Status::Cancelled("worker is shutting down"));
+    }
+    entry->cv.notify_all();
+  }
+  idle_cv_.wait(lock, [this] { return running_tasks_ == 0; });
+  std::vector<std::string> query_ids;
+  query_ids.reserve(queries_.size());
+  for (auto& [query_id, slot] : queries_) query_ids.push_back(query_id);
+  tasks_.clear();
+  queries_.clear();
+  for (const std::string& query_id : query_ids) {
+    options_.exchange->RemoveQuery(query_id);
+  }
+}
+
+}  // namespace presto

@@ -1,0 +1,96 @@
+#ifndef PRESTOCPP_WORKER_TASK_MANAGER_H_
+#define PRESTOCPP_WORKER_TASK_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "exchange/exchange.h"
+#include "exec/task.h"
+#include "schedule/task_executor.h"
+#include "memory/memory.h"
+#include "worker/task_protocol.h"
+
+namespace presto {
+
+struct WorkerTaskManagerOptions {
+  WorkerMemory* worker_memory = nullptr;
+  const MemoryConfig* memory_config = nullptr;
+  TaskExecutor* executor = nullptr;
+  ExchangeManager* exchange = nullptr;
+  const Catalog* catalog = nullptr;
+  int worker_id = 0;
+};
+
+/// Worker-side task registry behind the /v1/task endpoints: materializes
+/// TaskExecs from wire-format create requests, feeds them splits, serves
+/// long-poll status, and owns per-query memory contexts shared by tasks of
+/// the same query on this worker.
+///
+/// Lifecycle of an entry: Create -> RUNNING on the executor -> terminal
+/// state when on_done fires (drivers released immediately; final stats
+/// cached). Entries are removed by DELETE — immediately when already
+/// terminal, else when the canceled task drains — and when the last task
+/// of a query goes away its exchange state is dropped (RemoveQuery).
+class WorkerTaskManager {
+ public:
+  explicit WorkerTaskManager(WorkerTaskManagerOptions options);
+  ~WorkerTaskManager();
+
+  WorkerTaskManager(const WorkerTaskManager&) = delete;
+  WorkerTaskManager& operator=(const WorkerTaskManager&) = delete;
+
+  /// POST /v1/task/{taskId}. A body with a "spec" member is a create
+  /// (idempotent: re-creating an existing task returns its current
+  /// status); otherwise it is a split/writer update.
+  Result<TaskStatusResponse> CreateOrUpdate(const std::string& task_id,
+                                            const Json& body);
+
+  /// GET /v1/task/{taskId}/status?since=V&wait=micros. Blocks until the
+  /// task's version exceeds `since` or the wait expires; the response
+  /// always carries live split/memory/cpu readings.
+  Result<TaskStatusResponse> GetStatus(const std::string& task_id,
+                                       int64_t since_version,
+                                       int64_t wait_micros);
+
+  /// DELETE /v1/task/{taskId}[?abort=1]: cancels a running task (kills its
+  /// query's memory context on this worker — our coordinator only cancels
+  /// whole queries) and schedules the entry for removal. Responds
+  /// immediately with the current status; the caller polls to terminal.
+  Result<TaskStatusResponse> Delete(const std::string& task_id, bool abort);
+
+  int64_t active_tasks() const;
+  bool shutting_down() const;
+
+  /// Kills every query, wakes all long-polls, waits for all tasks to
+  /// drain, and drops all entries. Called before the HTTP services stop
+  /// (ISSUE 6 teardown-ordering fix) so in-flight polls return promptly.
+  void Shutdown();
+
+ private:
+  struct TaskEntry;
+
+  TaskStatusResponse BuildStatusLocked(TaskEntry& entry);
+  Result<std::shared_ptr<TaskEntry>> FindLocked(const std::string& task_id);
+  Status ApplyUpdateLocked(TaskEntry& entry, const TaskUpdateRequest& update);
+  void OnTaskDone(const std::shared_ptr<TaskEntry>& entry, Status status);
+  void RemoveEntryLocked(const std::string& task_id);
+  void ReleaseQueryRefLocked(const std::string& query_id);
+
+  WorkerTaskManagerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::map<std::string, std::shared_ptr<TaskEntry>> tasks_;
+  /// query id -> (memory context, live task refcount).
+  std::map<std::string, std::pair<std::shared_ptr<QueryMemory>, int>> queries_;
+  int64_t running_tasks_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_WORKER_TASK_MANAGER_H_

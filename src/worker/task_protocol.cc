@@ -1,0 +1,398 @@
+#include "worker/task_protocol.h"
+
+#include <utility>
+
+namespace presto {
+namespace {
+
+Json IntMapToJson(const std::map<int, int64_t>& m) {
+  Json out = Json::Object();
+  for (const auto& [k, v] : m) out.Set(std::to_string(k), Json::Int(v));
+  return out;
+}
+
+Result<std::map<int, int64_t>> IntMapFromJson(const Json& json) {
+  std::map<int, int64_t> out;
+  for (const auto& [key, value] : json.members()) {
+    if (!value.is_int()) {
+      return Status::InvalidArgument("expected integer map value for key '" +
+                                     key + "'");
+    }
+    out[std::atoi(key.c_str())] = value.int_value();
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* TaskStateToString(TaskState state) {
+  switch (state) {
+    case TaskState::kPlanned:
+      return "PLANNED";
+    case TaskState::kRunning:
+      return "RUNNING";
+    case TaskState::kFinished:
+      return "FINISHED";
+    case TaskState::kCanceled:
+      return "CANCELED";
+    case TaskState::kAborted:
+      return "ABORTED";
+    case TaskState::kFailed:
+      return "FAILED";
+  }
+  return "UNKNOWN";
+}
+
+Result<TaskState> TaskStateFromString(const std::string& text) {
+  if (text == "PLANNED") return TaskState::kPlanned;
+  if (text == "RUNNING") return TaskState::kRunning;
+  if (text == "FINISHED") return TaskState::kFinished;
+  if (text == "CANCELED") return TaskState::kCanceled;
+  if (text == "ABORTED") return TaskState::kAborted;
+  if (text == "FAILED") return TaskState::kFailed;
+  return Status::InvalidArgument("unknown task state '" + text + "'");
+}
+
+bool IsTerminalTaskState(TaskState state) {
+  return state != TaskState::kPlanned && state != TaskState::kRunning;
+}
+
+std::string MakeTaskId(const std::string& query_id, int fragment_id,
+                       int task_index) {
+  return query_id + "." + std::to_string(fragment_id) + "." +
+         std::to_string(task_index);
+}
+
+Json TaskCreateRequest::ToJson() const {
+  Json spec_json = Json::Object();
+  spec_json.Set("queryId", Json::Str(spec.query_id))
+      .Set("fragmentId", Json::Int(spec.fragment_id))
+      .Set("taskIndex", Json::Int(spec.task_index))
+      .Set("numTasks", Json::Int(spec.num_tasks))
+      .Set("consumerPartitions", Json::Int(spec.consumer_partitions))
+      .Set("workerId", Json::Int(spec.worker_id));
+  Json source_counts = Json::Object();
+  for (const auto& [fragment_id, count] : spec.source_task_counts) {
+    source_counts.Set(std::to_string(fragment_id), Json::Int(count));
+  }
+  spec_json.Set("sourceTaskCounts", std::move(source_counts));
+
+  Json endpoints_json = Json::Array();
+  for (const auto& e : endpoints) {
+    Json entry = Json::Array();
+    entry.Append(Json::Int(e[0]));
+    entry.Append(Json::Int(e[1]));
+    entry.Append(Json::Int(e[2]));
+    endpoints_json.Append(std::move(entry));
+  }
+
+  Json out = Json::Object();
+  out.Set("spec", std::move(spec_json))
+      .Set("fragment", fragment)
+      .Set("evalMode", Json::Int(static_cast<int>(eval_mode)))
+      .Set("exchangeBufferBytes", Json::Int(exchange_buffer_bytes))
+      .Set("maxDriversPerPipeline", Json::Int(max_drivers_per_pipeline))
+      .Set("activeWriters", Json::Int(active_writers))
+      .Set("emitResultsViaExchange", Json::Bool(emit_results_via_exchange))
+      .Set("endpoints", std::move(endpoints_json));
+  return out;
+}
+
+Result<TaskCreateRequest> TaskCreateRequest::FromJson(const Json& json) {
+  TaskCreateRequest request;
+  PRESTO_ASSIGN_OR_RETURN(const Json* spec_json, json.GetObject("spec"));
+  PRESTO_ASSIGN_OR_RETURN(request.spec.query_id,
+                          spec_json->GetString("queryId"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t fragment_id,
+                          spec_json->GetInt("fragmentId"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t task_index, spec_json->GetInt("taskIndex"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t num_tasks, spec_json->GetInt("numTasks"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t consumer_partitions,
+                          spec_json->GetInt("consumerPartitions"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t worker_id, spec_json->GetInt("workerId"));
+  request.spec.fragment_id = static_cast<int>(fragment_id);
+  request.spec.task_index = static_cast<int>(task_index);
+  request.spec.num_tasks = static_cast<int>(num_tasks);
+  request.spec.consumer_partitions = static_cast<int>(consumer_partitions);
+  request.spec.worker_id = static_cast<int>(worker_id);
+  if (const Json* counts = spec_json->Find("sourceTaskCounts")) {
+    PRESTO_ASSIGN_OR_RETURN(auto m, IntMapFromJson(*counts));
+    for (const auto& [k, v] : m) {
+      request.spec.source_task_counts[k] = static_cast<int>(v);
+    }
+  }
+
+  const Json* fragment = json.Find("fragment");
+  if (fragment == nullptr || !fragment->is_object()) {
+    return Status::InvalidArgument("task create request missing 'fragment'");
+  }
+  request.fragment = *fragment;
+
+  PRESTO_ASSIGN_OR_RETURN(int64_t eval_mode, json.GetInt("evalMode"));
+  if (eval_mode < 0 || eval_mode > static_cast<int>(EvalMode::kCompiled)) {
+    return Status::InvalidArgument("bad evalMode " + std::to_string(eval_mode));
+  }
+  request.eval_mode = static_cast<EvalMode>(eval_mode);
+  PRESTO_ASSIGN_OR_RETURN(request.exchange_buffer_bytes,
+                          json.GetInt("exchangeBufferBytes"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t max_drivers,
+                          json.GetInt("maxDriversPerPipeline"));
+  request.max_drivers_per_pipeline = static_cast<int>(max_drivers);
+  PRESTO_ASSIGN_OR_RETURN(int64_t writers, json.GetInt("activeWriters"));
+  request.active_writers = static_cast<int>(writers);
+  PRESTO_ASSIGN_OR_RETURN(request.emit_results_via_exchange,
+                          json.GetBool("emitResultsViaExchange"));
+
+  PRESTO_ASSIGN_OR_RETURN(const Json* endpoints_json,
+                          json.GetArray("endpoints"));
+  for (const Json& entry : endpoints_json->items()) {
+    if (!entry.is_array() || entry.size() != 3) {
+      return Status::InvalidArgument("endpoint entry must be [f, t, port]");
+    }
+    std::array<int, 3> e{};
+    for (int i = 0; i < 3; ++i) {
+      const Json& field = entry.items()[i];
+      if (!field.is_int()) {
+        return Status::InvalidArgument("endpoint entry must be integers");
+      }
+      e[i] = static_cast<int>(field.int_value());
+    }
+    request.endpoints.push_back(e);
+  }
+  return request;
+}
+
+Json TaskUpdateRequest::ToJson() const {
+  Json splits_json = Json::Object();
+  for (const auto& [node_id, serialized] : splits) {
+    Json list = Json::Array();
+    for (const std::string& s : serialized) list.Append(Json::Str(s));
+    splits_json.Set(std::to_string(node_id), std::move(list));
+  }
+  Json no_more = Json::Array();
+  for (int node_id : no_more_splits) no_more.Append(Json::Int(node_id));
+
+  Json out = Json::Object();
+  out.Set("splits", std::move(splits_json))
+      .Set("noMoreSplits", std::move(no_more))
+      .Set("activeWriters", Json::Int(active_writers));
+  return out;
+}
+
+Result<TaskUpdateRequest> TaskUpdateRequest::FromJson(const Json& json) {
+  TaskUpdateRequest request;
+  if (const Json* splits_json = json.Find("splits")) {
+    if (!splits_json->is_object()) {
+      return Status::InvalidArgument("'splits' must be an object");
+    }
+    for (const auto& [key, list] : splits_json->members()) {
+      if (!list.is_array()) {
+        return Status::InvalidArgument("'splits' values must be arrays");
+      }
+      std::vector<std::string>& out = request.splits[std::atoi(key.c_str())];
+      for (const Json& item : list.items()) {
+        if (!item.is_string()) {
+          return Status::InvalidArgument("split payloads must be strings");
+        }
+        out.push_back(item.string_value());
+      }
+    }
+  }
+  if (const Json* no_more = json.Find("noMoreSplits")) {
+    if (!no_more->is_array()) {
+      return Status::InvalidArgument("'noMoreSplits' must be an array");
+    }
+    for (const Json& item : no_more->items()) {
+      if (!item.is_int()) {
+        return Status::InvalidArgument("'noMoreSplits' must be integers");
+      }
+      request.no_more_splits.push_back(static_cast<int>(item.int_value()));
+    }
+  }
+  if (const Json* writers = json.Find("activeWriters")) {
+    if (!writers->is_int()) {
+      return Status::InvalidArgument("'activeWriters' must be an integer");
+    }
+    request.active_writers = static_cast<int>(writers->int_value());
+  }
+  return request;
+}
+
+namespace {
+
+Json OperatorStatsToJson(const OperatorStats& op) {
+  Json out = Json::Object();
+  out.Set("label", Json::Str(op.label))
+      .Set("planNodeId", Json::Int(op.plan_node_id))
+      .Set("pipelineId", Json::Int(op.pipeline_id))
+      .Set("fragmentId", Json::Int(op.fragment_id))
+      .Set("instances", Json::Int(op.instances))
+      .Set("inputRows", Json::Int(op.input_rows))
+      .Set("inputPages", Json::Int(op.input_pages))
+      .Set("inputBytes", Json::Int(op.input_bytes))
+      .Set("outputRows", Json::Int(op.output_rows))
+      .Set("outputPages", Json::Int(op.output_pages))
+      .Set("outputBytes", Json::Int(op.output_bytes))
+      .Set("addInputNanos", Json::Int(op.add_input_nanos))
+      .Set("getOutputNanos", Json::Int(op.get_output_nanos))
+      .Set("blockedNanos", Json::Int(op.blocked_nanos))
+      .Set("queuedNanos", Json::Int(op.queued_nanos))
+      .Set("peakMemoryBytes", Json::Int(op.peak_memory_bytes))
+      .Set("spilledBytes", Json::Int(op.spilled_bytes))
+      .Set("serdeNanos", Json::Int(op.serde_nanos));
+  return out;
+}
+
+Result<OperatorStats> OperatorStatsFromJson(const Json& json) {
+  OperatorStats op;
+  PRESTO_ASSIGN_OR_RETURN(op.label, json.GetString("label"));
+  int64_t v = 0;
+  PRESTO_ASSIGN_OR_RETURN(v, json.GetInt("planNodeId"));
+  op.plan_node_id = static_cast<int>(v);
+  PRESTO_ASSIGN_OR_RETURN(v, json.GetInt("pipelineId"));
+  op.pipeline_id = static_cast<int>(v);
+  PRESTO_ASSIGN_OR_RETURN(v, json.GetInt("fragmentId"));
+  op.fragment_id = static_cast<int>(v);
+  PRESTO_ASSIGN_OR_RETURN(v, json.GetInt("instances"));
+  op.instances = static_cast<int>(v);
+  PRESTO_ASSIGN_OR_RETURN(op.input_rows, json.GetInt("inputRows"));
+  PRESTO_ASSIGN_OR_RETURN(op.input_pages, json.GetInt("inputPages"));
+  PRESTO_ASSIGN_OR_RETURN(op.input_bytes, json.GetInt("inputBytes"));
+  PRESTO_ASSIGN_OR_RETURN(op.output_rows, json.GetInt("outputRows"));
+  PRESTO_ASSIGN_OR_RETURN(op.output_pages, json.GetInt("outputPages"));
+  PRESTO_ASSIGN_OR_RETURN(op.output_bytes, json.GetInt("outputBytes"));
+  PRESTO_ASSIGN_OR_RETURN(op.add_input_nanos, json.GetInt("addInputNanos"));
+  PRESTO_ASSIGN_OR_RETURN(op.get_output_nanos, json.GetInt("getOutputNanos"));
+  PRESTO_ASSIGN_OR_RETURN(op.blocked_nanos, json.GetInt("blockedNanos"));
+  PRESTO_ASSIGN_OR_RETURN(op.queued_nanos, json.GetInt("queuedNanos"));
+  PRESTO_ASSIGN_OR_RETURN(op.peak_memory_bytes,
+                          json.GetInt("peakMemoryBytes"));
+  PRESTO_ASSIGN_OR_RETURN(op.spilled_bytes, json.GetInt("spilledBytes"));
+  PRESTO_ASSIGN_OR_RETURN(op.serde_nanos, json.GetInt("serdeNanos"));
+  return op;
+}
+
+}  // namespace
+
+Json TaskStatsToJson(const TaskStats& stats) {
+  Json pipelines = Json::Array();
+  for (const PipelineStats& pipeline : stats.pipelines) {
+    Json operators = Json::Array();
+    for (const OperatorStats& op : pipeline.operators) {
+      operators.Append(OperatorStatsToJson(op));
+    }
+    Json p = Json::Object();
+    p.Set("pipelineId", Json::Int(pipeline.pipeline_id))
+        .Set("numDrivers", Json::Int(pipeline.num_drivers))
+        .Set("operators", std::move(operators));
+    pipelines.Append(std::move(p));
+  }
+  Json out = Json::Object();
+  out.Set("fragmentId", Json::Int(stats.fragment_id))
+      .Set("taskIndex", Json::Int(stats.task_index))
+      .Set("workerId", Json::Int(stats.worker_id))
+      .Set("cpuNanos", Json::Int(stats.cpu_nanos))
+      .Set("pipelines", std::move(pipelines));
+  return out;
+}
+
+Result<TaskStats> TaskStatsFromJson(const Json& json) {
+  TaskStats stats;
+  int64_t v = 0;
+  PRESTO_ASSIGN_OR_RETURN(v, json.GetInt("fragmentId"));
+  stats.fragment_id = static_cast<int>(v);
+  PRESTO_ASSIGN_OR_RETURN(v, json.GetInt("taskIndex"));
+  stats.task_index = static_cast<int>(v);
+  PRESTO_ASSIGN_OR_RETURN(v, json.GetInt("workerId"));
+  stats.worker_id = static_cast<int>(v);
+  PRESTO_ASSIGN_OR_RETURN(stats.cpu_nanos, json.GetInt("cpuNanos"));
+  PRESTO_ASSIGN_OR_RETURN(const Json* pipelines, json.GetArray("pipelines"));
+  for (const Json& p : pipelines->items()) {
+    PipelineStats pipeline;
+    PRESTO_ASSIGN_OR_RETURN(v, p.GetInt("pipelineId"));
+    pipeline.pipeline_id = static_cast<int>(v);
+    PRESTO_ASSIGN_OR_RETURN(v, p.GetInt("numDrivers"));
+    pipeline.num_drivers = static_cast<int>(v);
+    PRESTO_ASSIGN_OR_RETURN(const Json* operators, p.GetArray("operators"));
+    for (const Json& op : operators->items()) {
+      PRESTO_ASSIGN_OR_RETURN(OperatorStats parsed, OperatorStatsFromJson(op));
+      pipeline.operators.push_back(std::move(parsed));
+    }
+    stats.pipelines.push_back(std::move(pipeline));
+  }
+  return stats;
+}
+
+Json TaskStatusResponse::ToJson() const {
+  Json out = Json::Object();
+  out.Set("taskId", Json::Str(task_id))
+      .Set("state", Json::Str(TaskStateToString(state)))
+      .Set("version", Json::Int(version))
+      .Set("errorCode", Json::Int(static_cast<int>(error_code)))
+      .Set("errorMessage", Json::Str(error_message))
+      .Set("queuedSplits", IntMapToJson(queued_splits))
+      .Set("addedSplits", IntMapToJson(added_splits))
+      .Set("outputUtilization", Json::Real(output_utilization))
+      .Set("cpuNanos", Json::Int(cpu_nanos))
+      .Set("userMemoryBytes", Json::Int(user_memory_bytes))
+      .Set("peakUserMemoryBytes", Json::Int(peak_user_memory_bytes))
+      .Set("stats", TaskStatsToJson(stats));
+  return out;
+}
+
+Result<TaskStatusResponse> TaskStatusResponse::FromJson(const Json& json) {
+  TaskStatusResponse status;
+  PRESTO_ASSIGN_OR_RETURN(status.task_id, json.GetString("taskId"));
+  PRESTO_ASSIGN_OR_RETURN(std::string state_text, json.GetString("state"));
+  PRESTO_ASSIGN_OR_RETURN(status.state, TaskStateFromString(state_text));
+  PRESTO_ASSIGN_OR_RETURN(status.version, json.GetInt("version"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t code, json.GetInt("errorCode"));
+  if (code < 0 || code > static_cast<int>(StatusCode::kInternal)) {
+    return Status::InvalidArgument("bad errorCode " + std::to_string(code));
+  }
+  status.error_code = static_cast<StatusCode>(code);
+  PRESTO_ASSIGN_OR_RETURN(status.error_message, json.GetString("errorMessage"));
+  if (const Json* queued = json.Find("queuedSplits")) {
+    PRESTO_ASSIGN_OR_RETURN(status.queued_splits, IntMapFromJson(*queued));
+  }
+  if (const Json* added = json.Find("addedSplits")) {
+    PRESTO_ASSIGN_OR_RETURN(status.added_splits, IntMapFromJson(*added));
+  }
+  PRESTO_ASSIGN_OR_RETURN(status.output_utilization,
+                          json.GetDouble("outputUtilization"));
+  PRESTO_ASSIGN_OR_RETURN(status.cpu_nanos, json.GetInt("cpuNanos"));
+  PRESTO_ASSIGN_OR_RETURN(status.user_memory_bytes,
+                          json.GetInt("userMemoryBytes"));
+  PRESTO_ASSIGN_OR_RETURN(status.peak_user_memory_bytes,
+                          json.GetInt("peakUserMemoryBytes"));
+  if (const Json* stats_json = json.Find("stats")) {
+    PRESTO_ASSIGN_OR_RETURN(status.stats, TaskStatsFromJson(*stats_json));
+  }
+  return status;
+}
+
+Json NodeInfo::ToJson() const {
+  Json out = Json::Object();
+  out.Set("nodeId", Json::Str(node_id))
+      .Set("state", Json::Str(state))
+      .Set("uptimeMillis", Json::Int(uptime_millis))
+      .Set("activeTasks", Json::Int(active_tasks))
+      .Set("heartbeats", Json::Int(heartbeats))
+      .Set("lastRttMicros", Json::Int(last_rtt_micros))
+      .Set("aliveWorkers", Json::Int(alive_workers));
+  return out;
+}
+
+Result<NodeInfo> NodeInfo::FromJson(const Json& json) {
+  NodeInfo info;
+  PRESTO_ASSIGN_OR_RETURN(info.node_id, json.GetString("nodeId"));
+  PRESTO_ASSIGN_OR_RETURN(info.state, json.GetString("state"));
+  PRESTO_ASSIGN_OR_RETURN(info.uptime_millis, json.GetInt("uptimeMillis"));
+  PRESTO_ASSIGN_OR_RETURN(info.active_tasks, json.GetInt("activeTasks"));
+  PRESTO_ASSIGN_OR_RETURN(info.heartbeats, json.GetInt("heartbeats"));
+  PRESTO_ASSIGN_OR_RETURN(info.last_rtt_micros, json.GetInt("lastRttMicros"));
+  PRESTO_ASSIGN_OR_RETURN(info.alive_workers, json.GetInt("aliveWorkers"));
+  return info;
+}
+
+}  // namespace presto

@@ -1,0 +1,130 @@
+#ifndef PRESTOCPP_WORKER_TASK_PROTOCOL_H_
+#define PRESTOCPP_WORKER_TASK_PROTOCOL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "expr/evaluator.h"
+#include "stats/operator_stats.h"
+
+namespace presto {
+
+/// Lifecycle of a task on a worker (§IV-B). Mirrors Presto's task state
+/// machine: PLANNED -> RUNNING -> {FINISHED, CANCELED, ABORTED, FAILED}.
+enum class TaskState {
+  kPlanned,   // created, drivers not yet enqueued
+  kRunning,   // drivers enqueued on the executor
+  kFinished,  // all drivers drained successfully
+  kCanceled,  // canceled by the coordinator (results no longer needed)
+  kAborted,   // aborted by the coordinator (query failed elsewhere)
+  kFailed,    // task itself failed
+};
+
+const char* TaskStateToString(TaskState state);
+Result<TaskState> TaskStateFromString(const std::string& text);
+bool IsTerminalTaskState(TaskState state);
+
+/// "{query_id}.{fragment}.{task}" — the {taskId} path segment of the
+/// /v1/task endpoints.
+std::string MakeTaskId(const std::string& query_id, int fragment_id,
+                       int task_index);
+
+/// Body of POST /v1/task/{taskId} when the task does not exist yet.
+/// Carries everything a worker needs to instantiate a TaskExec: the
+/// serialized plan fragment, the TaskSpec coordinates, execution knobs,
+/// and the exchange endpoints of every producer task this task reads from.
+struct TaskCreateRequest {
+  TaskSpec spec;
+  Json fragment;  // PlanFragmentToJson output
+  EvalMode eval_mode = EvalMode::kCompiled;
+  int64_t exchange_buffer_bytes = 4 << 20;
+  int max_drivers_per_pipeline = 2;
+  /// Initial adaptive-writer count; -1 means "all consumer partitions".
+  int active_writers = -1;
+  /// Root task only: emit output through the exchange (a gather buffer the
+  /// coordinator fetches over HTTP) instead of an in-process ResultQueue.
+  bool emit_results_via_exchange = false;
+  /// (fragment, task) -> exchange HTTP port of the worker hosting it, for
+  /// every producer task feeding this task's RemoteSource operators.
+  std::vector<std::array<int, 3>> endpoints;
+
+  Json ToJson() const;
+  static Result<TaskCreateRequest> FromJson(const Json& json);
+};
+
+/// Body of POST /v1/task/{taskId} for an existing task: incremental split
+/// assignment (§IV-D3) and adaptive writer updates.
+struct TaskUpdateRequest {
+  /// scan node id -> connector-serialized splits to enqueue.
+  std::map<int, std::vector<std::string>> splits;
+  /// Scan node ids whose split streams are complete.
+  std::vector<int> no_more_splits;
+  /// New active-writer count; -1 means unchanged.
+  int active_writers = -1;
+
+  Json ToJson() const;
+  static Result<TaskUpdateRequest> FromJson(const Json& json);
+};
+
+/// Body of GET /v1/task/{taskId}/status responses (and of create/update
+/// responses, which return the post-apply status).
+struct TaskStatusResponse {
+  std::string task_id;
+  TaskState state = TaskState::kPlanned;
+  /// Monotone state-change counter; GET ?since=V long-polls until
+  /// version > V or the wait expires.
+  int64_t version = 0;
+  StatusCode error_code = StatusCode::kOk;
+  std::string error_message;
+  /// Live split accounting per scan node id.
+  std::map<int, int64_t> queued_splits;
+  std::map<int, int64_t> added_splits;
+  double output_utilization = 0.0;
+  int64_t cpu_nanos = 0;
+  int64_t user_memory_bytes = 0;
+  int64_t peak_user_memory_bytes = 0;
+  /// Full operator stats (EXPLAIN ANALYZE material). Always present;
+  /// final once the state is terminal.
+  TaskStats stats;
+
+  int64_t completed_splits() const {
+    int64_t added = 0, queued = 0;
+    for (const auto& [id, n] : added_splits) added += n;
+    for (const auto& [id, n] : queued_splits) queued += n;
+    return added - queued;
+  }
+
+  Status ToStatus() const {
+    return error_code == StatusCode::kOk ? Status::OK()
+                                         : Status(error_code, error_message);
+  }
+
+  Json ToJson() const;
+  static Result<TaskStatusResponse> FromJson(const Json& json);
+};
+
+/// TaskStats <-> JSON (nested pipeline/operator arrays).
+Json TaskStatsToJson(const TaskStats& stats);
+Result<TaskStats> TaskStatsFromJson(const Json& json);
+
+/// Body of GET /v1/info on both workers and the coordinator.
+struct NodeInfo {
+  std::string node_id;
+  std::string state;  // "ACTIVE" or "SHUTTING_DOWN"
+  int64_t uptime_millis = 0;
+  int64_t active_tasks = 0;
+  int64_t heartbeats = 0;       // worker: sent; coordinator: received
+  int64_t last_rtt_micros = 0;  // worker-side last heartbeat round trip
+  int64_t alive_workers = -1;   // coordinator only; -1 = n/a
+
+  Json ToJson() const;
+  static Result<NodeInfo> FromJson(const Json& json);
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_WORKER_TASK_PROTOCOL_H_

@@ -1,0 +1,172 @@
+#include "worker/task_service.h"
+
+#include <cstdlib>
+
+#include "common/fault_injection.h"
+#include "common/json.h"
+#include "stats/trace.h"
+
+namespace presto {
+
+namespace {
+
+HttpResponse JsonResponse(int status, const std::string& reason, Json body) {
+  HttpResponse response;
+  response.status = status;
+  response.reason = reason;
+  response.headers["content-type"] = "application/json";
+  response.body = body.Serialize();
+  return response;
+}
+
+HttpResponse ErrorResponse(int status, const std::string& reason,
+                           const std::string& message) {
+  Json body = Json::Object();
+  body.Set("error", Json::Str(message));
+  return JsonResponse(status, reason, std::move(body));
+}
+
+HttpResponse StatusToResponse(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kUnsupported:
+      return ErrorResponse(400, "Bad Request", status.message());
+    case StatusCode::kNotFound:
+      return ErrorResponse(404, "Not Found", status.message());
+    case StatusCode::kCancelled:
+      return ErrorResponse(409, "Conflict", status.message());
+    default:
+      return ErrorResponse(500, "Internal Server Error", status.message());
+  }
+}
+
+// Parses "?since=V&wait=N" style query strings (integer values only).
+int64_t QueryParam(const std::string& query, const std::string& key,
+                   int64_t fallback) {
+  std::string needle = key + "=";
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string::npos) end = query.size();
+    if (query.compare(pos, needle.size(), needle) == 0) {
+      return std::atoll(query.substr(pos + needle.size(),
+                                     end - pos - needle.size())
+                            .c_str());
+    }
+    pos = end + 1;
+  }
+  return fallback;
+}
+
+}  // namespace
+
+TaskService::TaskService(WorkerTaskManager* manager, int worker_id,
+                         HeartbeatSender* heartbeat)
+    : manager_(manager),
+      worker_id_(worker_id),
+      heartbeat_(heartbeat),
+      start_time_(std::chrono::steady_clock::now()) {}
+
+Status TaskService::Start() {
+  server_ = std::make_unique<HttpServer>(
+      [this](const HttpRequest& request) { return Handle(request); });
+  return server_->Start();
+}
+
+void TaskService::Stop() {
+  if (server_ != nullptr) server_->Stop();
+}
+
+HttpResponse TaskService::Handle(const HttpRequest& request) {
+  if (FaultInjection::Enabled()) {
+    Status fault = FaultInjection::Instance().Hit("worker.task_service");
+    if (!fault.ok()) {
+      return ErrorResponse(500, "Internal Server Error", fault.message());
+    }
+  }
+
+  HttpResponse response;
+  constexpr char kTaskPrefix[] = "/v1/task/";
+  if (request.path == "/v1/info" && request.method == "GET") {
+    response = HandleInfo();
+  } else if (request.path.rfind(kTaskPrefix, 0) == 0) {
+    response = HandleTask(request,
+                          request.path.substr(sizeof(kTaskPrefix) - 1));
+  } else {
+    response = ErrorResponse(404, "Not Found",
+                             "no route for " + request.path);
+  }
+  // Echo the trace id so cross-process spans correlate task RPCs.
+  std::string trace_id = request.header(kTraceHeader);
+  if (!trace_id.empty()) response.headers[kTraceHeader] = trace_id;
+  return response;
+}
+
+HttpResponse TaskService::HandleTask(const HttpRequest& request,
+                                     const std::string& rest) {
+  // rest is "{taskId}", "{taskId}/status", either with an optional query
+  // string.
+  std::string path = rest;
+  std::string query;
+  if (size_t q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
+    path = path.substr(0, q);
+  }
+  std::string task_id = path;
+  std::string action;
+  if (size_t slash = path.find('/'); slash != std::string::npos) {
+    task_id = path.substr(0, slash);
+    action = path.substr(slash + 1);
+  }
+  if (task_id.empty()) {
+    return ErrorResponse(400, "Bad Request", "missing task id");
+  }
+
+  if (request.method == "POST" && action.empty()) {
+    auto body_or = Json::Parse(request.body);
+    if (!body_or.ok()) {
+      return ErrorResponse(400, "Bad Request",
+                           "malformed task JSON: " +
+                               body_or.status().message());
+    }
+    auto status_or = manager_->CreateOrUpdate(task_id, body_or.value());
+    if (!status_or.ok()) return StatusToResponse(status_or.status());
+    return JsonResponse(200, "OK", status_or.value().ToJson());
+  }
+
+  if (request.method == "GET" && action == "status") {
+    int64_t since = QueryParam(query, "since", 0);
+    int64_t wait = QueryParam(query, "wait", 0);
+    auto status_or = manager_->GetStatus(task_id, since, wait);
+    if (!status_or.ok()) return StatusToResponse(status_or.status());
+    return JsonResponse(200, "OK", status_or.value().ToJson());
+  }
+
+  if (request.method == "DELETE" && action.empty()) {
+    bool abort = QueryParam(query, "abort", 0) != 0;
+    auto status_or = manager_->Delete(task_id, abort);
+    if (!status_or.ok()) return StatusToResponse(status_or.status());
+    return JsonResponse(200, "OK", status_or.value().ToJson());
+  }
+
+  return ErrorResponse(405, "Method Not Allowed",
+                       request.method + " not supported on /v1/task/" +
+                           path);
+}
+
+HttpResponse TaskService::HandleInfo() {
+  NodeInfo info;
+  info.node_id = "worker-" + std::to_string(worker_id_);
+  info.state = manager_->shutting_down() ? "SHUTTING_DOWN" : "ACTIVE";
+  info.uptime_millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start_time_)
+                           .count();
+  info.active_tasks = manager_->active_tasks();
+  if (heartbeat_ != nullptr) {
+    info.heartbeats = heartbeat_->sent();
+    info.last_rtt_micros = heartbeat_->last_rtt_micros();
+  }
+  return JsonResponse(200, "OK", info.ToJson());
+}
+
+}  // namespace presto

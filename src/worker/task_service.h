@@ -1,0 +1,52 @@
+#ifndef PRESTOCPP_WORKER_TASK_SERVICE_H_
+#define PRESTOCPP_WORKER_TASK_SERVICE_H_
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "exchange/http/http_server.h"
+#include "worker/liveness.h"
+#include "worker/task_manager.h"
+
+namespace presto {
+
+/// The worker's task-lifecycle HTTP endpoint (§IV-B):
+///
+///   POST   /v1/task/{taskId}            create (body has "spec") / update
+///   GET    /v1/task/{taskId}/status     ?since=V&wait=micros long-poll
+///   DELETE /v1/task/{taskId}[?abort=1]  cancel/abort + retire the entry
+///   GET    /v1/info                     node status
+///
+/// All bodies are JSON. Error mapping: malformed JSON / bad arguments ->
+/// 400, unknown task -> 404, shutdown races -> 409, internal errors ->
+/// 500. The x-presto-trace header is echoed on every response so
+/// cross-process spans can be correlated.
+class TaskService {
+ public:
+  /// `heartbeat` (optional) feeds /v1/info's heartbeat fields.
+  TaskService(WorkerTaskManager* manager, int worker_id,
+              HeartbeatSender* heartbeat = nullptr);
+
+  Status Start();
+  void Stop();
+  int port() const { return server_ == nullptr ? 0 : server_->port(); }
+
+  /// Exposed for in-process tests (no socket needed).
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  HttpResponse HandleTask(const HttpRequest& request,
+                          const std::string& rest);
+  HttpResponse HandleInfo();
+
+  WorkerTaskManager* manager_;
+  int worker_id_;
+  HeartbeatSender* heartbeat_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_WORKER_TASK_SERVICE_H_

@@ -1,0 +1,61 @@
+#include "worker/worker_runtime.h"
+
+namespace presto {
+
+WorkerRuntime::WorkerRuntime(WorkerRuntimeConfig config,
+                             std::shared_ptr<const Catalog> catalog)
+    : config_(std::move(config)), catalog_(std::move(catalog)) {
+  config_.network.transport = TransportMode::kHttp;
+  memory_ = std::make_unique<WorkerMemory>(&config_.memory,
+                                           config_.worker_id);
+  exchange_ = std::make_unique<ExchangeManager>(config_.network);
+  executor_ = std::make_unique<TaskExecutor>(config_.executor,
+                                             config_.worker_id);
+  WorkerTaskManagerOptions options;
+  options.worker_memory = memory_.get();
+  options.memory_config = &config_.memory;
+  options.executor = executor_.get();
+  options.exchange = exchange_.get();
+  options.catalog = catalog_.get();
+  options.worker_id = config_.worker_id;
+  manager_ = std::make_unique<WorkerTaskManager>(options);
+  exchange_service_ = std::make_unique<ExchangeHttpService>(
+      exchange_.get(), config_.worker_id);
+  // Always constructed (so /v1/info can report beat counters) but only
+  // started once a coordinator port is known — at Start() when configured
+  // up front, or later via StartHeartbeat() (stdin command).
+  heartbeat_ = std::make_unique<HeartbeatSender>(
+      config_.coordinator_port, config_.worker_id,
+      config_.heartbeat_interval_micros);
+  task_service_ = std::make_unique<TaskService>(
+      manager_.get(), config_.worker_id, heartbeat_.get());
+}
+
+WorkerRuntime::~WorkerRuntime() { Stop(); }
+
+Status WorkerRuntime::Start() {
+  PRESTO_RETURN_IF_ERROR(exchange_service_->Start());
+  PRESTO_RETURN_IF_ERROR(task_service_->Start());
+  if (config_.coordinator_port >= 0) heartbeat_->Start();
+  return Status::OK();
+}
+
+void WorkerRuntime::StartHeartbeat(int coordinator_port) {
+  if (coordinator_port < 0 || stopped_) return;
+  heartbeat_->Stop();
+  heartbeat_->set_coordinator_port(coordinator_port);
+  heartbeat_->Start();
+}
+
+void WorkerRuntime::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  if (heartbeat_ != nullptr) heartbeat_->Stop();
+  // Quiesce tasks first: in-flight long-polls wake immediately, so the
+  // HTTP servers' Stop() (which joins handler threads) converges fast.
+  manager_->Shutdown();
+  task_service_->Stop();
+  exchange_service_->Stop();
+}
+
+}  // namespace presto

@@ -1,0 +1,84 @@
+#ifndef PRESTOCPP_WORKER_WORKER_RUNTIME_H_
+#define PRESTOCPP_WORKER_WORKER_RUNTIME_H_
+
+#include <memory>
+
+#include "connector/connector.h"
+#include "exchange/http/exchange_http.h"
+#include "memory/memory.h"
+#include "schedule/task_executor.h"
+#include "worker/liveness.h"
+#include "worker/task_manager.h"
+#include "worker/task_service.h"
+
+namespace presto {
+
+struct WorkerRuntimeConfig {
+  int worker_id = 0;
+  ExecutorConfig executor;
+  MemoryConfig memory;
+  /// transport is forced to kHttp: a daemonized worker always serves its
+  /// output buffers over sockets.
+  NetworkConfig network;
+  /// Observability port of the coordinator to heartbeat against; < 0
+  /// disables the heartbeat loop (protocol unit tests).
+  int coordinator_port = -1;
+  int64_t heartbeat_interval_micros = 200'000;
+};
+
+/// Everything one `presto_worker` process hosts: memory pools, the MLFQ
+/// executor, the exchange fabric with its HTTP endpoint, the task manager
+/// behind the /v1/task service, and the coordinator heartbeat. Also used
+/// in-process by protocol tests (it is just objects + two loopback ports).
+///
+/// Teardown order (the ISSUE 6 ordering fix): Stop() first quiesces the
+/// task manager (kills queries, wakes long-polls, waits for the executor
+/// to drain), then stops the HTTP services; only afterwards do members
+/// destruct (services before manager/executor/memory — reverse member
+/// order). A status poll arriving mid-shutdown therefore sees a fast
+/// response or a dropped connection, never a use-after-free.
+class WorkerRuntime {
+ public:
+  WorkerRuntime(WorkerRuntimeConfig config, std::shared_ptr<const Catalog> catalog);
+  ~WorkerRuntime();
+
+  WorkerRuntime(const WorkerRuntime&) = delete;
+  WorkerRuntime& operator=(const WorkerRuntime&) = delete;
+
+  /// Starts the exchange + task HTTP services (and the heartbeat loop
+  /// when a coordinator port was configured).
+  Status Start();
+
+  /// Graceful shutdown; idempotent.
+  void Stop();
+
+  /// Starts (or retargets) the heartbeat loop after launch — for the
+  /// bootstrap order where the coordinator's observability port becomes
+  /// known only once both processes are up (delivered over stdin).
+  void StartHeartbeat(int coordinator_port);
+
+  int task_port() const { return task_service_->port(); }
+  int exchange_port() const { return exchange_service_->port(); }
+
+  WorkerTaskManager& task_manager() { return *manager_; }
+  TaskService& task_service() { return *task_service_; }
+  WorkerMemory& memory() { return *memory_; }
+  TaskExecutor& executor() { return *executor_; }
+  ExchangeManager& exchange() { return *exchange_; }
+
+ private:
+  WorkerRuntimeConfig config_;
+  std::shared_ptr<const Catalog> catalog_;
+  std::unique_ptr<WorkerMemory> memory_;
+  std::unique_ptr<ExchangeManager> exchange_;
+  std::unique_ptr<TaskExecutor> executor_;
+  std::unique_ptr<WorkerTaskManager> manager_;
+  std::unique_ptr<ExchangeHttpService> exchange_service_;
+  std::unique_ptr<HeartbeatSender> heartbeat_;
+  std::unique_ptr<TaskService> task_service_;
+  bool stopped_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_WORKER_WORKER_RUNTIME_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <chrono>
 #include <thread>
 #include <vector>
@@ -177,8 +179,18 @@ TEST_F(ExchangeHttpTest, MalformedPathsAndTokens) {
   EXPECT_EQ(service_->Handle(Get(std::string(kPath) + "/-1")).status, 400);
   // GET without a token segment is malformed.
   EXPECT_EQ(service_->Handle(Get(kPath)).status, 400);
-  // Unknown stream: 404 so the client can distinguish "gone" from "bad".
-  EXPECT_EQ(service_->Handle(Get("/v1/task/q.1.0/results/9/0")).status, 404);
+  // Unknown stream at token 0 is "not created yet" — with out-of-process
+  // workers a consumer can legitimately poll before the producer's create
+  // RPC lands, so the server answers an empty incomplete batch instead of
+  // 404 and the consumer retries.
+  {
+    HttpResponse r = service_->Handle(Get("/v1/task/q.1.0/results/9/0"));
+    EXPECT_EQ(r.status, 200);
+    EXPECT_TRUE(r.body.empty());
+    EXPECT_EQ(r.header("x-presto-buffer-complete"), "false");
+  }
+  // Past token 0 the buffer must have existed, so absence means "gone".
+  EXPECT_EQ(service_->Handle(Get("/v1/task/q.1.0/results/9/3")).status, 404);
 }
 
 TEST_F(ExchangeHttpTest, DeleteMidStreamTearsDownBuffer) {
@@ -361,6 +373,76 @@ TEST_F(ExchangeHttpTest, ServerRejectsGarbageBytes) {
   auto fetch = client.Fetch();
   ASSERT_TRUE(fetch.ok()) << fetch.status().ToString();
   EXPECT_EQ(fetch->frame_count, 1);
+}
+
+namespace {
+// Writes raw bytes on the connection's socket, bypassing WriteRequest's
+// framing (the hardening tests need deliberately broken framing).
+void SendRaw(HttpConnection* conn, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(conn->fd(), data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    sent += static_cast<size_t>(n);
+  }
+}
+}  // namespace
+
+TEST_F(ExchangeHttpTest, OversizedBodyRefusedWith413) {
+  auto conn = ConnectToLoopback(service_->port(), 2'000'000);
+  ASSERT_TRUE(conn.ok());
+  // Content-length over the 256 MiB cap: refused up front, before any
+  // body bytes are read (none are even sent here).
+  SendRaw(conn->get(),
+          "POST /v1/task/q.1.0/results/0 HTTP/1.1\r\n"
+          "content-length: 300000000\r\n\r\n");
+  auto response = (*conn)->ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 413);
+}
+
+TEST_F(ExchangeHttpTest, OversizedRequestLineRefusedWith431) {
+  auto conn = ConnectToLoopback(service_->port(), 2'000'000);
+  ASSERT_TRUE(conn.ok());
+  std::string request_line =
+      "GET /" + std::string(80 << 10, 'a') + " HTTP/1.1\r\n\r\n";
+  SendRaw(conn->get(), request_line);
+  auto response = (*conn)->ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 431);
+}
+
+TEST_F(ExchangeHttpTest, TooManyHeadersRefusedWith431) {
+  auto conn = ConnectToLoopback(service_->port(), 2'000'000);
+  ASSERT_TRUE(conn.ok());
+  std::string request = "GET /v1/task/q.1.0/results/0/0 HTTP/1.1\r\n";
+  for (int i = 0; i < 200; ++i) {
+    request += "x-filler-" + std::to_string(i) + ": v\r\n";
+  }
+  request += "\r\n";
+  SendRaw(conn->get(), request);
+  auto response = (*conn)->ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 431);
+}
+
+TEST_F(ExchangeHttpTest, ServerFaultPointAnswers500) {
+  FaultSpec spec;
+  spec.error = Status::Internal("injected server failure");
+  FaultInjection::Instance().Arm("http.server_serve", spec);
+  auto conn = ConnectToLoopback(service_->port(), 2'000'000);
+  ASSERT_TRUE(conn.ok());
+  ASSERT_TRUE((*conn)->WriteRequest(Get(std::string(kPath) + "/0")).ok());
+  auto response = (*conn)->ReadResponse();
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 500);
+  FaultInjection::Instance().DisarmAll();
+  // The connection and server both survive the injected failure.
+  ASSERT_TRUE((*conn)->WriteRequest(Get(std::string(kPath) + "/0")).ok());
+  auto healthy = (*conn)->ReadResponse();
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_EQ(healthy->status, 200);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,291 @@
+// End-to-end tests of ClusterMode::kProcess (ISSUE 6): a coordinator
+// driving real `presto_worker` daemons over the /v1/task HTTP protocol,
+// including heartbeat-driven failure detection of a kill -9'd worker.
+//
+// The worker binary path arrives via the PRESTO_WORKER_BIN environment
+// variable (set by ctest); the suite skips when it is absent so the test
+// binary stays runnable standalone.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "connectors/memcon/memory_connector.h"
+#include "connectors/tpch/tpch_connector.h"
+#include "engine/engine.h"
+#include "exchange/http/http_io.h"
+#include "worker/subprocess.h"
+
+namespace presto {
+namespace {
+
+constexpr double kScale = 0.05;  // orders=750, lineitem=3000
+
+// Parses "READY task_port=A exchange_port=B".
+bool ParseReady(const std::string& line, RemoteWorkerAddress* address) {
+  int task_port = -1;
+  int exchange_port = -1;
+  if (sscanf(line.c_str(), "READY task_port=%d exchange_port=%d",
+             &task_port, &exchange_port) != 2) {
+    return false;
+  }
+  address->task_port = task_port;
+  address->exchange_port = exchange_port;
+  return true;
+}
+
+std::vector<std::vector<Value>> Sorted(std::vector<std::vector<Value>> rows) {
+  std::sort(rows.begin(), rows.end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                std::string sa = a[i].ToString();
+                std::string sb = b[i].ToString();
+                if (sa != sb) return sa < sb;
+              }
+              return a.size() < b.size();
+            });
+  return rows;
+}
+
+class ProcessClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* bin = std::getenv("PRESTO_WORKER_BIN");
+    if (bin == nullptr || bin[0] == '\0') {
+      GTEST_SKIP() << "PRESTO_WORKER_BIN not set; skipping process tests";
+    }
+    worker_bin_ = bin;
+  }
+
+  // Launches `count` daemons and waits for their READY banners.
+  void StartWorkers(int count, int64_t heartbeat_interval_micros = 100'000) {
+    for (int i = 0; i < count; ++i) {
+      auto worker = std::make_unique<Subprocess>();
+      ASSERT_TRUE(worker
+                      ->Start({worker_bin_,
+                               "--worker_id=" + std::to_string(i),
+                               "--threads=2",
+                               "--tpch_scale=" + std::to_string(kScale),
+                               "--heartbeat_interval_micros=" +
+                                   std::to_string(heartbeat_interval_micros)})
+                      .ok());
+      auto ready = worker->WaitForLine("READY", 20'000);
+      ASSERT_TRUE(ready.ok()) << ready.status().ToString();
+      RemoteWorkerAddress address;
+      ASSERT_TRUE(ParseReady(*ready, &address)) << *ready;
+      addresses_.push_back(address);
+      workers_.push_back(std::move(worker));
+    }
+  }
+
+  // Engine whose coordinator drives the daemons.
+  std::unique_ptr<PrestoEngine> MakeProcessEngine(
+      int64_t heartbeat_timeout_micros = 2'000'000) {
+    EngineOptions options;
+    options.cluster.mode = ClusterMode::kProcess;
+    options.cluster.remote_workers = addresses_;
+    options.cluster.heartbeat_timeout_micros = heartbeat_timeout_micros;
+    auto engine = std::make_unique<PrestoEngine>(std::move(options));
+    engine->catalog().Register(
+        std::make_shared<TpchConnector>("tpch", kScale));
+    engine->catalog().SetDefault("tpch");
+    return engine;
+  }
+
+  // Reference engine running the same catalog in-process.
+  std::unique_ptr<PrestoEngine> MakeThreadsEngine(int num_workers) {
+    EngineOptions options;
+    options.cluster.num_workers = num_workers;
+    options.cluster.executor.threads = 2;
+    auto engine = std::make_unique<PrestoEngine>(std::move(options));
+    engine->catalog().Register(
+        std::make_shared<TpchConnector>("tpch", kScale));
+    engine->catalog().SetDefault("tpch");
+    return engine;
+  }
+
+  // Tells every worker where to heartbeat (the engine's observability
+  // port, which exists only after engine construction).
+  void StartHeartbeats(PrestoEngine* engine) {
+    ASSERT_TRUE(engine->StartObservability().ok());
+    for (auto& worker : workers_) {
+      ASSERT_TRUE(
+          worker
+              ->WriteLine("coordinator_port=" +
+                          std::to_string(engine->observability_port()))
+              .ok());
+    }
+  }
+
+  std::string worker_bin_;
+  std::vector<std::unique_ptr<Subprocess>> workers_;
+  std::vector<RemoteWorkerAddress> addresses_;
+};
+
+TEST_F(ProcessClusterTest, ScanAndAggregateMatchesInProcess) {
+  StartWorkers(2);
+  auto process = MakeProcessEngine();
+  auto threads = MakeThreadsEngine(2);
+
+  for (const char* sql : {
+           "SELECT count(*) FROM lineitem",
+           "SELECT orderstatus, count(*), sum(totalprice) FROM orders "
+           "GROUP BY orderstatus",
+       }) {
+    auto remote = process->ExecuteAndFetch(sql);
+    ASSERT_TRUE(remote.ok()) << sql << ": " << remote.status().ToString();
+    auto local = threads->ExecuteAndFetch(sql);
+    ASSERT_TRUE(local.ok()) << sql << ": " << local.status().ToString();
+    EXPECT_EQ(Sorted(*remote).size(), Sorted(*local).size()) << sql;
+    auto sorted_remote = Sorted(*remote);
+    auto sorted_local = Sorted(*local);
+    for (size_t r = 0; r < sorted_remote.size(); ++r) {
+      for (size_t c = 0; c < sorted_remote[r].size(); ++c) {
+        EXPECT_EQ(sorted_remote[r][c].ToString(),
+                  sorted_local[r][c].ToString())
+            << sql << " row " << r << " col " << c;
+      }
+    }
+  }
+}
+
+TEST_F(ProcessClusterTest, MultiFragmentJoinMatchesInProcess) {
+  StartWorkers(2);
+  auto process = MakeProcessEngine();
+  auto threads = MakeThreadsEngine(2);
+
+  const char* sql =
+      "SELECT o.orderpriority, count(*) FROM orders o "
+      "JOIN lineitem l ON o.orderkey = l.orderkey GROUP BY o.orderpriority";
+  auto remote = process->ExecuteAndFetch(sql);
+  ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+  auto local = threads->ExecuteAndFetch(sql);
+  ASSERT_TRUE(local.ok()) << local.status().ToString();
+  auto sorted_remote = Sorted(*remote);
+  auto sorted_local = Sorted(*local);
+  ASSERT_EQ(sorted_remote.size(), sorted_local.size());
+  for (size_t r = 0; r < sorted_remote.size(); ++r) {
+    ASSERT_EQ(sorted_remote[r].size(), sorted_local[r].size());
+    for (size_t c = 0; c < sorted_remote[r].size(); ++c) {
+      EXPECT_EQ(sorted_remote[r][c].ToString(),
+                sorted_local[r][c].ToString());
+    }
+  }
+  // The distributed run left nothing behind on the coordinator side.
+  EXPECT_EQ(process->cluster().exchange().TotalBufferedBytes(), 0);
+}
+
+TEST_F(ProcessClusterTest, SequentialQueriesReuseWorkers) {
+  StartWorkers(2);
+  auto process = MakeProcessEngine();
+  for (int i = 0; i < 3; ++i) {
+    auto rows = process->ExecuteAndFetch(
+        "SELECT count(*) FROM orders WHERE orderkey > " +
+        std::to_string(i * 10));
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    ASSERT_EQ(rows->size(), 1u);
+  }
+}
+
+TEST_F(ProcessClusterTest, HeartbeatsReachCoordinator) {
+  StartWorkers(2, /*heartbeat_interval_micros=*/50'000);
+  auto process = MakeProcessEngine();
+  StartHeartbeats(process.get());
+
+  // Both workers beat within a couple intervals.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (process->cluster().liveness().SeenHeartbeat(0) &&
+        process->cluster().liveness().SeenHeartbeat(1)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(process->cluster().liveness().SeenHeartbeat(0));
+  EXPECT_TRUE(process->cluster().liveness().SeenHeartbeat(1));
+  EXPECT_EQ(process->cluster().liveness().AliveCount(2), 2);
+  EXPECT_GT(process->cluster().liveness().heartbeats_received(), 0);
+}
+
+TEST_F(ProcessClusterTest, KilledWorkerFailsQueryWithinTimeout) {
+  StartWorkers(2, /*heartbeat_interval_micros=*/50'000);
+  auto process = MakeProcessEngine(/*heartbeat_timeout_micros=*/500'000);
+  StartHeartbeats(process.get());
+
+  // Wait until the failure detector is active for both workers.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline &&
+         !(process->cluster().liveness().SeenHeartbeat(0) &&
+           process->cluster().liveness().SeenHeartbeat(1))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(process->cluster().liveness().SeenHeartbeat(1));
+
+  // A join big enough to stay running while we murder worker 1.
+  auto result = process->Execute(
+      "SELECT count(*) FROM orders o JOIN lineitem l "
+      "ON o.orderkey = l.orderkey");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  workers_[1]->Kill();
+  workers_[1]->Wait();
+
+  auto start = std::chrono::steady_clock::now();
+  Status final = result->FetchAll().status();
+  auto detect_micros = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  // The query fails (never hangs): either the liveness verdict or a
+  // broken-connection error surfaces, well within a few timeouts.
+  EXPECT_FALSE(final.ok());
+  EXPECT_LT(detect_micros, 20'000'000) << final.ToString();
+
+  // The detector eventually declares worker 1 dead and the gauge drops.
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline &&
+         process->cluster().liveness().IsAlive(1)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_FALSE(process->cluster().liveness().IsAlive(1));
+  EXPECT_EQ(process->cluster().liveness().AliveCount(2), 1);
+
+  // Nothing leaked on the coordinator side.
+  EXPECT_EQ(process->cluster().exchange().TotalBufferedBytes(), 0);
+}
+
+TEST_F(ProcessClusterTest, WorkerInfoEndpointReports) {
+  StartWorkers(1);
+  auto conn = ConnectToLoopback(addresses_[0].task_port, 2'000'000);
+  ASSERT_TRUE(conn.ok());
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/v1/info";
+  ASSERT_TRUE((*conn)->WriteRequest(request).ok());
+  auto response = (*conn)->ReadResponse();
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, 200);
+  EXPECT_NE(response->body.find("worker-0"), std::string::npos);
+  EXPECT_NE(response->body.find("ACTIVE"), std::string::npos);
+}
+
+TEST_F(ProcessClusterTest, TableWriteRejectedInProcessMode) {
+  StartWorkers(1);
+  auto process = MakeProcessEngine();
+  process->catalog().Register(
+      std::make_shared<MemoryConnector>("memory"));
+  auto result = process->ExecuteAndFetch(
+      "CREATE TABLE memory.copy AS SELECT orderkey FROM orders");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+  EXPECT_NE(result.status().message().find("out-of-process"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+}  // namespace
+}  // namespace presto
