@@ -1,17 +1,24 @@
 // Out-of-process cluster demo (§III, §IV-B): a coordinator driving two
 // `presto_worker` daemons over the /v1/task HTTP protocol, with
-// heartbeat-driven failure detection of a kill -9'd worker.
+// heartbeat-driven failure detection AND task-level retry (ISSUE 7) of a
+// kill -9'd worker.
 //
 // Usage: process_cluster <path-to-presto_worker>
 //
 // Emits KEY=VALUE lines that scripts/check_cluster.py validates in CI:
-//   WORKERS_ALIVE=<n>          heartbeats seen from every worker
-//   JOIN_ROWS=<n>              distributed join result size
-//   JOIN_MATCHES_LOCAL=<0|1>   distributed result equals in-process result
-//   KILL_DETECTED_MICROS=<n>   query failure latency after kill -9
-//   KILL_STATUS=<text>         the surfaced error
-//   ALIVE_AFTER_KILL=<n>       liveness gauge after detection
-//   BUFFERS_LEAKED=<n>         coordinator-side exchange bytes left behind
+//   WORKERS_ALIVE=<n>             heartbeats seen from every worker
+//   JOIN_ROWS=<n>                 distributed join result size
+//   JOIN_MATCHES_LOCAL=<0|1>      distributed result equals in-process result
+//   KILL_RECOVERED=<0|1>          query SUCCEEDED despite kill -9 mid-query
+//   RECOVERED_MATCHES_LOCAL=<0|1> recovered result equals in-process result
+//   TASK_RETRIES=<n>              presto_task_retries_total after recovery
+//   RECOVERY_MICROS=<n>           fetch latency of the disturbed query
+//   ALIVE_AFTER_KILL=<n>          liveness gauge after the kill
+//   BUFFERS_LEAKED=<n>            coordinator exchange bytes left behind
+//   RETAINED_LEAKED=<n>           replay-retention bytes left behind
+//   NO_RETRY_FAILED=<0|1>         with max_task_retries=0 the dead worker
+//                                 fails the query cleanly (the pre-recovery
+//                                 contract still holds)
 
 #include <algorithm>
 #include <chrono>
@@ -41,6 +48,19 @@ std::vector<std::string> SortedRows(
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::unique_ptr<PrestoEngine> MakeEngine(
+    const std::vector<RemoteWorkerAddress>& addresses, int max_task_retries) {
+  EngineOptions options;
+  options.cluster.mode = ClusterMode::kProcess;
+  options.cluster.remote_workers = addresses;
+  options.cluster.heartbeat_timeout_micros = 1'000'000;
+  options.cluster.max_task_retries = max_task_retries;
+  auto engine = std::make_unique<PrestoEngine>(std::move(options));
+  engine->catalog().Register(std::make_shared<TpchConnector>("tpch", kScale));
+  engine->catalog().SetDefault("tpch");
+  return engine;
 }
 
 }  // namespace
@@ -80,93 +100,128 @@ int main(int argc, char** argv) {
     workers.push_back(std::move(worker));
   }
 
-  // Coordinator in kProcess mode: same scheduling logic as in-process, but
-  // tasks travel as JSON over /v1/task and results come back through the
-  // workers' exchange endpoints.
-  EngineOptions options;
-  options.cluster.mode = ClusterMode::kProcess;
-  options.cluster.remote_workers = addresses;
-  options.cluster.heartbeat_timeout_micros = 1'000'000;
-  PrestoEngine engine(std::move(options));
-  engine.catalog().Register(std::make_shared<TpchConnector>("tpch", kScale));
-  engine.catalog().SetDefault("tpch");
+  // Coordinator in kProcess mode with task retry on (the ClusterConfig
+  // default): same scheduling logic as in-process, but tasks travel as
+  // JSON over /v1/task and results come back through the workers'
+  // exchange endpoints.
+  auto engine = MakeEngine(addresses, /*max_task_retries=*/1);
 
   // Heartbeats flow worker -> coordinator observability port, which only
   // exists now; deliver it over each worker's stdin.
-  Status obs = engine.StartObservability();
+  Status obs = engine->StartObservability();
   if (!obs.ok()) {
     fprintf(stderr, "observability: %s\n", obs.ToString().c_str());
     return 1;
   }
   for (auto& worker : workers) {
     (void)worker->WriteLine("coordinator_port=" +
-                            std::to_string(engine.observability_port()));
+                            std::to_string(engine->observability_port()));
   }
   auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
   while (std::chrono::steady_clock::now() < deadline &&
-         !(engine.cluster().liveness().SeenHeartbeat(0) &&
-           engine.cluster().liveness().SeenHeartbeat(1))) {
+         !(engine->cluster().liveness().SeenHeartbeat(0) &&
+           engine->cluster().liveness().SeenHeartbeat(1))) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
-  bool beat = engine.cluster().liveness().SeenHeartbeat(0) &&
-              engine.cluster().liveness().SeenHeartbeat(1);
-  int alive = static_cast<int>(engine.cluster().liveness().AliveCount(2));
+  bool beat = engine->cluster().liveness().SeenHeartbeat(0) &&
+              engine->cluster().liveness().SeenHeartbeat(1);
+  int alive = static_cast<int>(engine->cluster().liveness().AliveCount(2));
   printf("WORKERS_ALIVE=%d\n", beat ? alive : 0);
 
   // A multi-fragment join, checked against the in-process engine.
-  const char* sql =
+  const char* join_sql =
       "SELECT o.orderpriority, count(*), sum(l.extendedprice) "
       "FROM orders o JOIN lineitem l ON o.orderkey = l.orderkey "
       "GROUP BY o.orderpriority";
-  auto remote = engine.ExecuteAndFetch(sql);
+  const char* kill_sql =
+      "SELECT count(*) FROM orders o JOIN lineitem l "
+      "ON o.orderkey = l.orderkey";
+  auto remote = engine->ExecuteAndFetch(join_sql);
   if (!remote.ok()) {
     fprintf(stderr, "join: %s\n", remote.status().ToString().c_str());
     return 1;
   }
   printf("JOIN_ROWS=%zu\n", remote->size());
+  std::vector<std::vector<Value>> kill_reference;
   {
     EngineOptions local_options;
     local_options.cluster.num_workers = 2;
     PrestoEngine local(std::move(local_options));
     local.catalog().Register(std::make_shared<TpchConnector>("tpch", kScale));
     local.catalog().SetDefault("tpch");
-    auto reference = local.ExecuteAndFetch(sql);
+    auto reference = local.ExecuteAndFetch(join_sql);
     bool matches = reference.ok() &&
                    SortedRows(*remote) == SortedRows(*reference);
     printf("JOIN_MATCHES_LOCAL=%d\n", matches ? 1 : 0);
+    auto kill_ref = local.ExecuteAndFetch(kill_sql);
+    if (!kill_ref.ok()) {
+      fprintf(stderr, "local ref: %s\n",
+              kill_ref.status().ToString().c_str());
+      return 1;
+    }
+    kill_reference = std::move(*kill_ref);
   }
 
-  // Failure detection: kill -9 a worker mid-query. The coordinator's
-  // liveness tracker misses its heartbeats, declares it dead, and fails
-  // the query instead of hanging.
-  auto doomed = engine.Execute(
-      "SELECT count(*) FROM orders o JOIN lineitem l "
-      "ON o.orderkey = l.orderkey");
-  if (!doomed.ok()) {
-    fprintf(stderr, "kill query: %s\n", doomed.status().ToString().c_str());
+  // Task retry (ISSUE 7): kill -9 a worker mid-query. The coordinator's
+  // recovery manager re-creates its tasks on the survivor, replays their
+  // split journal, re-points the exchange consumers, and the query
+  // SUCCEEDS — a dead worker costs latency, not the query.
+  auto disturbed = engine->Execute(kill_sql);
+  if (!disturbed.ok()) {
+    fprintf(stderr, "kill query: %s\n",
+            disturbed.status().ToString().c_str());
     return 1;
   }
   workers[1]->Kill();
   workers[1]->Wait();
   auto start = std::chrono::steady_clock::now();
-  Status final_status = doomed->FetchAll().status();
+  auto recovered = disturbed->FetchAllRows();
   auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
                     std::chrono::steady_clock::now() - start)
                     .count();
-  printf("KILL_DETECTED_MICROS=%lld\n", static_cast<long long>(micros));
-  printf("KILL_STATUS=%s\n",
-         final_status.ok() ? "unexpected-success"
-                           : final_status.ToString().c_str());
+  printf("KILL_RECOVERED=%d\n", recovered.ok() ? 1 : 0);
+  if (!recovered.ok()) {
+    fprintf(stderr, "recovery: %s\n", recovered.status().ToString().c_str());
+  }
+  printf("RECOVERED_MATCHES_LOCAL=%d\n",
+         recovered.ok() && SortedRows(*recovered) == SortedRows(kill_reference)
+             ? 1
+             : 0);
+  printf("TASK_RETRIES=%lld\n",
+         static_cast<long long>(
+             engine->metrics()
+                 .RegisterCounter("presto_task_retries_total", "")
+                 ->value()));
+  printf("RECOVERY_MICROS=%lld\n", static_cast<long long>(micros));
 
   deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
   while (std::chrono::steady_clock::now() < deadline &&
-         engine.cluster().liveness().IsAlive(1)) {
+         engine->cluster().liveness().IsAlive(1)) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   printf("ALIVE_AFTER_KILL=%d\n",
-         static_cast<int>(engine.cluster().liveness().AliveCount(2)));
+         static_cast<int>(engine->cluster().liveness().AliveCount(2)));
   printf("BUFFERS_LEAKED=%lld\n",
          static_cast<long long>(
-             engine.cluster().exchange().TotalBufferedBytes()));
-  return final_status.ok() ? 1 : 0;
+             engine->cluster().exchange().TotalBufferedBytes() +
+             engine->cluster().exchange().TotalInflightBytes()));
+  printf("RETAINED_LEAKED=%lld\n",
+         static_cast<long long>(
+             engine->cluster().exchange().TotalRetainedBytes()));
+
+  // The fault-tolerance envelope is opt-out: with max_task_retries=0 the
+  // same dead worker fails the query cleanly (the PR-6 detection
+  // contract), instead of hanging or silently shrinking the result.
+  bool no_retry_failed = false;
+  {
+    auto strict = MakeEngine(addresses, /*max_task_retries=*/0);
+    Status status = strict->ExecuteAndFetch(kill_sql).status();
+    no_retry_failed = !status.ok();
+    if (status.ok()) {
+      fprintf(stderr, "no-retry engine unexpectedly succeeded\n");
+    }
+  }
+  printf("NO_RETRY_FAILED=%d\n", no_retry_failed ? 1 : 0);
+
+  return recovered.ok() && no_retry_failed ? 0 : 1;
 }

@@ -78,6 +78,17 @@ PrestoEngine::PrestoEngine(EngineOptions options)
       "presto_heartbeat_rtt_micros",
       "Worker heartbeat POST round-trip time in microseconds",
       LogBuckets(100, 4, 8)));
+  // ISSUE 7: task retry on worker death — how often tasks were re-created
+  // and how long a recovery round takes end to end.
+  coordinator_->SetRecoveryInstruments(
+      metrics_->RegisterCounter(
+          "presto_task_retries_total",
+          "Tasks re-created on a replacement worker after a worker death"),
+      metrics_->RegisterHistogram(
+          "presto_task_recovery_seconds",
+          "Latency of one recovery round: restart-set computation through "
+          "replacement launch and split-journal replay",
+          LogBuckets(0.001, 4, 8)));
 }
 
 PrestoEngine::~PrestoEngine() { StopObservability(); }

@@ -35,6 +35,8 @@ void ExchangeBuffer::NoMorePages() {
 }
 
 std::optional<PageCodec::Frame> ExchangeBuffer::Poll(bool* finished) {
+  // In-process transport only; never mixed with retain mode (which exists
+  // for the HTTP replay path), so pop-and-ack keeps base == acked.
   std::lock_guard<std::mutex> lock(mu_);
   if (frames_.empty()) {
     *finished = no_more_;
@@ -44,6 +46,7 @@ std::optional<PageCodec::Frame> ExchangeBuffer::Poll(bool* finished) {
   frames_.pop_front();
   buffered_bytes_ -= frame.wire_bytes();
   ++base_token_;  // fetch + immediate ack
+  acked_token_ = base_token_;
   sent_token_ = std::max(sent_token_, base_token_);
   *finished = false;
   return frame;
@@ -64,21 +67,38 @@ Result<ExchangeBuffer::FrameBatch> ExchangeBuffer::GetBatch(
                                    std::to_string(end_token) + ")");
   }
   // Ack: a request for token n retires everything below n, freeing capacity
-  // for the producer.
-  while (base_token_ < token) {
-    buffered_bytes_ -= frames_.front().wire_bytes();
-    frames_.pop_front();
-    ++base_token_;
+  // for the producer. In retain mode the frames themselves are kept (their
+  // bytes move to the retained pool) so a replacement consumer can replay
+  // the stream from token 0 after a task retry (ISSUE 7). A replay request
+  // (token < acked_token_) acks nothing — those frames were already freed.
+  while (acked_token_ < token) {
+    PageCodec::Frame& acked = frames_[static_cast<size_t>(acked_token_ -
+                                                          base_token_)];
+    buffered_bytes_ -= acked.wire_bytes();
+    if (retain_) {
+      retained_bytes_ += acked.wire_bytes();
+      ++acked_token_;
+    } else {
+      frames_.pop_front();
+      ++base_token_;
+      ++acked_token_;
+    }
   }
-  // Long-poll: wait (releasing the lock) for data or end-of-stream.
-  if (frames_.empty() && !no_more_ && wait_micros > 0) {
-    cv_.wait_for(lock, std::chrono::microseconds(wait_micros),
-                 [this] { return !frames_.empty() || no_more_; });
+  // Long-poll: wait (releasing the lock) for data at/after `token` or
+  // end-of-stream.
+  auto have_data = [this, token] {
+    return token < base_token_ + static_cast<int64_t>(frames_.size()) ||
+           no_more_;
+  };
+  if (!have_data() && wait_micros > 0) {
+    cv_.wait_for(lock, std::chrono::microseconds(wait_micros), have_data);
   }
   FrameBatch batch;
   batch.token = token;
   int64_t bytes = 0;
-  for (const auto& frame : frames_) {
+  for (size_t i = static_cast<size_t>(token - base_token_);
+       i < frames_.size(); ++i) {
+    const auto& frame = frames_[i];
     if (!batch.frames.empty() && bytes + frame.wire_bytes() > max_bytes) {
       break;
     }
@@ -116,26 +136,54 @@ int64_t ExchangeBuffer::buffered_bytes() const {
 
 int64_t ExchangeBuffer::inflight_bytes() const {
   std::lock_guard<std::mutex> lock(mu_);
-  int64_t sent = std::min(sent_token_ - base_token_,
-                          static_cast<int64_t>(frames_.size()));
+  // Frames sent but not yet acked: [acked_token_, min(sent_token_, end)).
+  int64_t from = std::max(acked_token_, base_token_);
+  int64_t to = std::min(sent_token_,
+                        base_token_ + static_cast<int64_t>(frames_.size()));
   int64_t bytes = 0;
-  for (int64_t i = 0; i < sent; ++i) {
-    bytes += frames_[static_cast<size_t>(i)].wire_bytes();
+  for (int64_t t = from; t < to; ++t) {
+    bytes += frames_[static_cast<size_t>(t - base_token_)].wire_bytes();
   }
   return bytes;
+}
+
+int64_t ExchangeBuffer::retained_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retained_bytes_;
 }
 
 void ExchangeManager::CreateOutputBuffers(const std::string& query_id,
                                           int fragment, int task,
                                           int partitions,
-                                          int64_t capacity_bytes) {
+                                          int64_t capacity_bytes,
+                                          int generation) {
   std::lock_guard<std::mutex> lock(mu_);
+  bool retain = retain_for_replay_.load();
   for (int p = 0; p < partitions; ++p) {
     StreamId id{query_id, fragment, task, p};
-    if (buffers_.find(id) == buffers_.end()) {
-      buffers_[id] = std::make_shared<ExchangeBuffer>(
-          capacity_bytes, &serialized_wire_, &serialized_raw_);
+    auto it = buffers_.find(id);
+    // Same-or-newer generation: idempotent create, keep the buffer. Older
+    // generation: a recovery re-creation superseded the task on this
+    // worker — its stale stream must not be served to the new consumers.
+    if (it != buffers_.end() && it->second->generation() >= generation) {
+      continue;
     }
+    buffers_[id] = std::make_shared<ExchangeBuffer>(
+        capacity_bytes, &serialized_wire_, &serialized_raw_, generation,
+        retain);
+  }
+}
+
+void ExchangeManager::RemoveTaskBuffers(const std::string& query_id,
+                                        int fragment, int task) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamId lo{query_id, fragment, task, 0};
+  for (auto it = buffers_.lower_bound(lo); it != buffers_.end();) {
+    if (it->first.query_id != query_id || it->first.fragment != fragment ||
+        it->first.task != task) {
+      break;
+    }
+    it = buffers_.erase(it);
   }
 }
 
@@ -187,16 +235,23 @@ void ExchangeManager::RemoveStream(const StreamId& id) {
 }
 
 void ExchangeManager::RegisterTaskEndpoint(const std::string& query_id,
-                                           int fragment, int task, int port) {
+                                           int fragment, int task, int port,
+                                           int generation) {
   std::lock_guard<std::mutex> lock(mu_);
-  endpoints_[StreamId{query_id, fragment, task, 0}] = port;
+  endpoints_[StreamId{query_id, fragment, task, 0}] =
+      TaskEndpoint{port, generation};
 }
 
 int ExchangeManager::LookupTaskEndpoint(const std::string& query_id,
                                         int fragment, int task) const {
+  return LookupTaskEndpointInfo(query_id, fragment, task).port;
+}
+
+ExchangeManager::TaskEndpoint ExchangeManager::LookupTaskEndpointInfo(
+    const std::string& query_id, int fragment, int task) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = endpoints_.find(StreamId{query_id, fragment, task, 0});
-  return it == endpoints_.end() ? -1 : it->second;
+  return it == endpoints_.end() ? TaskEndpoint{} : it->second;
 }
 
 int64_t ExchangeManager::TotalBufferedBytes() const {
@@ -213,6 +268,15 @@ int64_t ExchangeManager::TotalInflightBytes() const {
   int64_t total = 0;
   for (const auto& [id, buffer] : buffers_) {
     total += buffer->inflight_bytes();
+  }
+  return total;
+}
+
+int64_t ExchangeManager::TotalRetainedBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t total = 0;
+  for (const auto& [id, buffer] : buffers_) {
+    total += buffer->retained_bytes();
   }
   return total;
 }

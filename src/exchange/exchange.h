@@ -67,11 +67,17 @@ class ExchangeBuffer {
  public:
   /// `wire_total`/`raw_total`, when set, receive every enqueued frame's
   /// wire/pre-compression bytes (the manager's cumulative serde counters,
-  /// which must survive buffer teardown at query end).
+  /// which must survive buffer teardown at query end). `generation` stamps
+  /// the producer incarnation (ISSUE 7); with `retain_for_replay` set,
+  /// acked frames are kept (capacity still freed) so a replacement consumer
+  /// can re-fetch the stream from token 0 after a task retry.
   explicit ExchangeBuffer(int64_t capacity_bytes,
                           std::atomic<int64_t>* wire_total = nullptr,
-                          std::atomic<int64_t>* raw_total = nullptr)
+                          std::atomic<int64_t>* raw_total = nullptr,
+                          int generation = 0, bool retain_for_replay = false)
       : capacity_bytes_(capacity_bytes),
+        generation_(generation),
+        retain_(retain_for_replay),
         wire_total_(wire_total),
         raw_total_(raw_total) {}
 
@@ -111,6 +117,9 @@ class ExchangeBuffer {
   int64_t buffered_bytes() const;
   /// Bytes handed to a consumer via GetBatch but not yet acked.
   int64_t inflight_bytes() const;
+  /// Bytes of acked frames kept for replay (0 unless retain_for_replay).
+  int64_t retained_bytes() const;
+  int generation() const { return generation_; }
   int64_t total_bytes_sent() const { return total_bytes_.load(); }
   int64_t total_raw_bytes_sent() const { return total_raw_bytes_.load(); }
   int64_t total_rows_sent() const { return total_rows_.load(); }
@@ -119,10 +128,14 @@ class ExchangeBuffer {
   mutable std::mutex mu_;
   std::condition_variable cv_;  // notified on enqueue / NoMorePages
   std::deque<PageCodec::Frame> frames_;
-  int64_t base_token_ = 0;  // sequence token of frames_.front()
-  int64_t sent_token_ = 0;  // highest next_token ever returned by GetBatch
+  int64_t base_token_ = 0;   // sequence token of frames_.front()
+  int64_t acked_token_ = 0;  // lowest un-acked token (== base_ w/o retain)
+  int64_t sent_token_ = 0;   // highest next_token ever returned by GetBatch
   int64_t buffered_bytes_ = 0;
+  int64_t retained_bytes_ = 0;  // acked-but-kept bytes (retain mode)
   int64_t capacity_bytes_;
+  int generation_ = 0;
+  bool retain_ = false;
   bool no_more_ = false;
   std::atomic<int64_t> total_bytes_{0};
   std::atomic<int64_t> total_raw_bytes_{0};
@@ -168,9 +181,16 @@ class ExchangeManager {
   const NetworkConfig& network() const { return network_; }
   const PageCodec& codec() const { return codec_; }
 
-  /// Creates buffers for all partitions of (query, fragment, task).
+  /// Creates buffers for all partitions of (query, fragment, task) stamped
+  /// with `generation`. Existing buffers of the same-or-newer generation
+  /// are left untouched (idempotent create); an older generation's buffers
+  /// are replaced (a recovery re-creation on the same worker, ISSUE 7).
   void CreateOutputBuffers(const std::string& query_id, int fragment,
-                           int task, int partitions, int64_t capacity_bytes);
+                           int task, int partitions, int64_t capacity_bytes,
+                           int generation = 0);
+
+  /// Drops every partition buffer of one task (recovery supersede).
+  void RemoveTaskBuffers(const std::string& query_id, int fragment, int task);
 
   /// Buffer for a stream; nullptr if not (yet) created.
   std::shared_ptr<ExchangeBuffer> GetBuffer(const StreamId& id) const;
@@ -186,12 +206,18 @@ class ExchangeManager {
   void RemoveStream(const StreamId& id);
 
   /// kHttp routing: the coordinator records which worker's exchange server
-  /// owns the output buffers of (query, fragment, task); consumers resolve
-  /// the port before opening a client. -1 when unknown (not yet launched).
+  /// owns the output buffers of (query, fragment, task) and under which
+  /// producer generation; consumers resolve both before opening a client.
+  struct TaskEndpoint {
+    int port = -1;      // -1 when unknown (not yet launched)
+    int generation = 0;
+  };
   void RegisterTaskEndpoint(const std::string& query_id, int fragment,
-                            int task, int port);
+                            int task, int port, int generation = 0);
   int LookupTaskEndpoint(const std::string& query_id, int fragment,
                          int task) const;
+  TaskEndpoint LookupTaskEndpointInfo(const std::string& query_id,
+                                      int fragment, int task) const;
 
   /// Applies the simulated network cost for transferring `bytes` (actual
   /// wire bytes of a frame, not an in-memory estimate). Sleeps outside any
@@ -208,6 +234,15 @@ class ExchangeManager {
 
   /// Bytes handed to consumers but not yet acked, across every stream.
   int64_t TotalInflightBytes() const;
+
+  /// Acked-but-retained replay bytes across every stream (retain mode).
+  int64_t TotalRetainedBytes() const;
+
+  /// When set, buffers created from now on retain acked frames for replay
+  /// (task recovery, ISSUE 7). Sticky per manager; workers flip it on the
+  /// first create request that asks for it, before any sink runs.
+  void set_retain_for_replay(bool retain) { retain_for_replay_.store(retain); }
+  bool retain_for_replay() const { return retain_for_replay_.load(); }
 
   /// Cumulative bytes moved through the transport since startup.
   int64_t transferred_bytes() const { return transferred_bytes_.load(); }
@@ -250,8 +285,9 @@ class ExchangeManager {
   PageCodec codec_;
   mutable std::mutex mu_;
   std::map<StreamId, std::shared_ptr<ExchangeBuffer>> buffers_;
-  /// (query, fragment, task) -> HTTP port, keyed as StreamId partition 0.
-  std::map<StreamId, int> endpoints_;
+  /// (query, fragment, task) -> endpoint, keyed as StreamId partition 0.
+  std::map<StreamId, TaskEndpoint> endpoints_;
+  std::atomic<bool> retain_for_replay_{false};
   mutable std::atomic<int64_t> transferred_bytes_{0};
   std::atomic<int64_t> serialized_wire_{0};
   std::atomic<int64_t> serialized_raw_{0};

@@ -20,6 +20,11 @@ constexpr char kPageNextToken[] = "x-presto-page-next-token";
 constexpr char kFrameCount[] = "x-presto-frame-count";
 constexpr char kBufferComplete[] = "x-presto-buffer-complete";
 constexpr char kMaxWaitMicros[] = "x-presto-max-wait-micros";
+// Producer-generation handshake (task recovery, ISSUE 7): the consumer
+// advertises the generation it binds to; the server never serves a buffer
+// of a different incarnation.
+constexpr char kBufferGeneration[] = "x-presto-buffer-generation";
+constexpr char kExpectedGeneration[] = "x-presto-expected-generation";
 
 HttpResponse MakeError(int status, const std::string& reason,
                        const std::string& message) {
@@ -119,6 +124,17 @@ HttpResponse ExchangeHttpService::Handle(const HttpRequest& request) {
     return MakeError(400, "Bad Request", "malformed token: " + segments[5]);
   }
   auto buffer = exchange_->GetBuffer(id);
+  int64_t expected_generation = -1;  // -1 = consumer doesn't care
+  if (!ParseInt(request.header(kExpectedGeneration), &expected_generation)) {
+    expected_generation = -1;
+  }
+  if (buffer != nullptr && expected_generation >= 0 &&
+      buffer->generation() != expected_generation) {
+    // Wrong incarnation: a replacement consumer must never read a stale
+    // pre-recovery stream (or vice versa). Treat it exactly like an absent
+    // buffer: a token-0 fetch polls until the right generation appears.
+    buffer = nullptr;
+  }
   if (buffer == nullptr) {
     if (token == 0) {
       // Out-of-process startup race: the producer task's create RPC may
@@ -133,6 +149,10 @@ HttpResponse ExchangeHttpService::Handle(const HttpRequest& request) {
       response.headers[kPageNextToken] = "0";
       response.headers[kFrameCount] = "0";
       response.headers[kBufferComplete] = "false";
+      if (expected_generation >= 0) {
+        response.headers[kBufferGeneration] =
+            std::to_string(expected_generation);
+      }
       return response;
     }
     return MakeError(404, "Not Found", "no buffer for stream");
@@ -190,6 +210,7 @@ HttpResponse ExchangeHttpService::Handle(const HttpRequest& request) {
   response.headers[kFrameCount] =
       std::to_string(static_cast<int64_t>(batch->frames.size()));
   response.headers[kBufferComplete] = batch->complete ? "true" : "false";
+  response.headers[kBufferGeneration] = std::to_string(buffer->generation());
   for (const auto& frame : batch->frames) {
     response.body += frame.bytes;
   }
@@ -305,6 +326,7 @@ Result<ExchangeHttpClient::FetchResult> ExchangeHttpClient::Fetch() {
   HttpRequest request;
   request.method = "GET";
   request.path = BasePath() + "/" + std::to_string(next_token_);
+  request.headers[kExpectedGeneration] = std::to_string(generation_);
   if (trace_ != nullptr) request.headers[kTraceHeader] = stream_.query_id;
   int64_t fetch_start = trace_ != nullptr ? trace_->NowNanos() : 0;
   PRESTO_ASSIGN_OR_RETURN(HttpResponse response, RoundTrip(request));
@@ -336,12 +358,31 @@ Result<ExchangeHttpClient::FetchResult> ExchangeHttpClient::Fetch() {
       token != next_token_ || next < token) {
     return Status::IOError("exchange http: inconsistent token headers");
   }
+  int64_t served_generation = 0;
+  if (ParseInt(response.header(kBufferGeneration), &served_generation) &&
+      served_generation != generation_) {
+    return Status::IOError("exchange http: producer generation mismatch "
+                           "(want " + std::to_string(generation_) + ", got " +
+                           std::to_string(served_generation) + ")");
+  }
   FetchResult result;
   result.body = std::move(response.body);
   result.frame_count = frames;
+  // Replay dedup: frames [token, next) with index below the resume
+  // watermark were delivered before a ResetForReplacement.
+  result.skip_frames = std::clamp<int64_t>(resume_skip_ - token, 0, frames);
   result.complete = response.header(kBufferComplete) == "true";
   next_token_ = next;
+  delivered_frames_ += frames - result.skip_frames;
   return result;
+}
+
+void ExchangeHttpClient::ResetForReplacement(int port, int generation) {
+  port_ = port;
+  generation_ = generation;
+  resume_skip_ = delivered_frames_;
+  next_token_ = 0;
+  conn_.reset();  // the replacement may live on a different worker
 }
 
 Status ExchangeHttpClient::DeleteBuffer() {

@@ -70,8 +70,16 @@ class ExchangeHttpService {
 /// in transit.
 class ExchangeHttpClient {
  public:
-  ExchangeHttpClient(ExchangeManager* exchange, int port, StreamId stream)
-      : exchange_(exchange), port_(port), stream_(std::move(stream)) {}
+  /// `generation` is the producer incarnation this consumer binds to
+  /// (ISSUE 7): every fetch advertises it and the server refuses to serve
+  /// a buffer of a different generation, so a replacement consumer can
+  /// never read a stale pre-recovery stream.
+  ExchangeHttpClient(ExchangeManager* exchange, int port, StreamId stream,
+                     int generation = 0)
+      : exchange_(exchange),
+        port_(port),
+        generation_(generation),
+        stream_(std::move(stream)) {}
 
   /// Attaches the consumer-side trace context: fetches record
   /// "http_fetch"/"http_request" spans and "http_retry" instants against
@@ -86,6 +94,10 @@ class ExchangeHttpClient {
   struct FetchResult {
     std::string body;        // concatenated PGF1 frames
     int64_t frame_count = 0;
+    /// Leading frames of `body` the caller must decode-and-drop: they were
+    /// already delivered before a ResetForReplacement re-fetched the stream
+    /// from token 0 (duplicate suppression across producer generations).
+    int64_t skip_frames = 0;
     bool complete = false;   // stream fully consumed; DeleteBuffer() next
   };
 
@@ -98,7 +110,15 @@ class ExchangeHttpClient {
   /// 404 (already gone) counts as success.
   Status DeleteBuffer();
 
+  /// Re-targets the stream at a replacement producer (ISSUE 7): new port +
+  /// generation, token back to 0. Frames already delivered before the
+  /// reset are reported as skip_frames on subsequent fetches so the caller
+  /// drops them instead of emitting duplicates.
+  void ResetForReplacement(int port, int generation);
+
   int64_t next_token() const { return next_token_; }
+  int port() const { return port_; }
+  int generation() const { return generation_; }
 
  private:
   /// Sends the request, with retries; only <500 responses are returned.
@@ -108,8 +128,14 @@ class ExchangeHttpClient {
 
   ExchangeManager* exchange_;
   int port_;
+  int generation_ = 0;
   StreamId stream_;
   int64_t next_token_ = 0;
+  /// Frames actually handed to the caller (fetched minus skipped); the
+  /// replay watermark a ResetForReplacement deduplicates against.
+  int64_t delivered_frames_ = 0;
+  /// Frames at the head of the replayed stream to drop (set by reset).
+  int64_t resume_skip_ = 0;
   std::unique_ptr<HttpConnection> conn_;
   TraceRecorder* trace_ = nullptr;  // outlived by the query's lifecycle
   int trace_pid_ = 0;

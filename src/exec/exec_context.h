@@ -172,8 +172,38 @@ struct TaskSpec {
   int num_tasks = 1;            // tasks in this fragment
   int consumer_partitions = 1;  // task count of the consumer fragment
   int worker_id = 0;
+  /// Incarnation of this (fragment, task) slot (ISSUE 7): 0 for the
+  /// original attempt, +1 for every recovery re-creation. A create request
+  /// with a higher generation supersedes the worker's existing entry; its
+  /// output buffers and status streams are stamped with the generation so
+  /// consumers never mix frames across incarnations.
+  int generation = 0;
   /// Producer task counts per source fragment (for RemoteSource readers).
   std::map<int, int> source_task_counts;
+};
+
+/// Task-scoped kill switch (ISSUE 7): aborts one task without killing the
+/// per-query memory context that other tasks of the same query share on
+/// the same worker — required when a single task is superseded by a
+/// recovery re-creation while its siblings keep running.
+class TaskKillSwitch {
+ public:
+  void Kill(const Status& reason) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (killed_.load()) return;  // first reason wins
+    reason_ = reason;
+    killed_.store(true);
+  }
+  bool killed() const { return killed_.load(); }
+  Status reason() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return killed_.load() ? reason_ : Status::OK();
+  }
+
+ private:
+  std::atomic<bool> killed_{false};
+  mutable std::mutex mu_;
+  Status reason_;
 };
 
 /// Shared services every operator of a task can reach.
@@ -199,6 +229,9 @@ struct TaskRuntime {
   /// Per-query trace recorder, or null when tracing is off. Raw pointer:
   /// the QueryExecution holds the owning lifecycle alive past every task.
   TraceRecorder* trace = nullptr;
+  /// Task-scoped kill switch owned by the TaskExec; null in contexts that
+  /// predate task construction (e.g. the reference executor).
+  const TaskKillSwitch* task_kill = nullptr;
 };
 
 /// Per-operator context: memory accounting against the worker pools plus
@@ -247,10 +280,13 @@ class OperatorContext {
     return Status::OK();
   }
 
-  /// Fails fast when the query was killed elsewhere.
+  /// Fails fast when the query — or just this task — was killed elsewhere.
   Status CheckNotKilled() const {
     if (runtime_.query_memory != nullptr && runtime_.query_memory->killed()) {
       return runtime_.query_memory->kill_reason();
+    }
+    if (runtime_.task_kill != nullptr && runtime_.task_kill->killed()) {
+      return runtime_.task_kill->reason();
     }
     return Status::OK();
   }

@@ -2,6 +2,7 @@
 #define PRESTOCPP_EXEC_OPERATORS_H_
 
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <memory>
 #include <optional>
@@ -84,10 +85,16 @@ class RemoteSourceOperator final : public Operator {
   /// ready_pages_.
   Status PollInProcess(size_t i);
   /// One HTTP fetch attempt against producer `i`; decodes every returned
-  /// frame into ready_pages_.
+  /// frame into ready_pages_. Under task recovery (retain_for_replay on)
+  /// fetch errors re-resolve the producer's endpoint: a moved or
+  /// re-generationed endpoint re-opens the stream against the replacement
+  /// (replaying from token 0 with duplicate frames dropped), anything else
+  /// is tolerated until a patience deadline before propagating.
   Status FetchHttp(size_t i);
-  /// Decodes all frames of a fetched body into ready_pages_.
-  Status DecodeFrames(const std::string& body);
+  /// Decodes all frames of a fetched body into ready_pages_, dropping the
+  /// first `skip_frames` of them (already delivered before a producer
+  /// replacement replayed the stream).
+  Status DecodeFrames(const std::string& body, int64_t skip_frames);
   std::optional<Page> TakeReadyPage();
 
   int source_fragment_;
@@ -96,6 +103,10 @@ class RemoteSourceOperator final : public Operator {
   std::vector<std::unique_ptr<ExchangeHttpClient>> clients_;  // kHttp
   std::deque<Page> ready_pages_;  // decoded, not yet delivered downstream
   std::vector<bool> done_;
+  /// Per-producer fetch-error deadline (recovery mode): errors within the
+  /// window read as "replacement in flight", past it they propagate.
+  std::vector<std::optional<std::chrono::steady_clock::time_point>>
+      error_deadlines_;
   size_t next_ = 0;
   bool finished_ = false;
   bool blocked_ = false;

@@ -39,7 +39,7 @@ ExchangeSinkOperator::ExchangeSinkOperator(
   const TaskSpec& spec = ctx_->spec();
   ctx_->runtime().exchange->CreateOutputBuffers(
       spec.query_id, spec.fragment_id, spec.task_index, partitions_,
-      ctx_->runtime().exchange_buffer_bytes);
+      ctx_->runtime().exchange_buffer_bytes, spec.generation);
   buffers_.resize(static_cast<size_t>(partitions_));
 }
 

@@ -89,13 +89,15 @@ RemoteSourceOperator::RemoteSourceOperator(
       producer_tasks_(producer_tasks),
       buffers_(static_cast<size_t>(producer_tasks)),
       clients_(static_cast<size_t>(producer_tasks)),
-      done_(static_cast<size_t>(producer_tasks), false) {}
+      done_(static_cast<size_t>(producer_tasks), false),
+      error_deadlines_(static_cast<size_t>(producer_tasks)) {}
 
 Status RemoteSourceOperator::AddInput(Page) {
   return Status::Internal("RemoteSource takes no input");
 }
 
-Status RemoteSourceOperator::DecodeFrames(const std::string& body) {
+Status RemoteSourceOperator::DecodeFrames(const std::string& body,
+                                          int64_t skip_frames) {
   ExchangeManager* exchange = ctx_->runtime().exchange;
   size_t offset = 0;
   while (offset < body.size()) {
@@ -107,6 +109,13 @@ Status RemoteSourceOperator::DecodeFrames(const std::string& body) {
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - start)
             .count());
+    if (skip_frames > 0) {
+      // Replayed frame this consumer already delivered downstream before a
+      // producer replacement reset the stream: decode (to advance the
+      // offset) and drop.
+      --skip_frames;
+      continue;
+    }
     ready_pages_.push_back(std::move(page));
   }
   return Status::OK();
@@ -131,7 +140,7 @@ Status RemoteSourceOperator::PollInProcess(size_t i) {
     // The network charge is the frame's actual wire size — compressed
     // serialized bytes, not the in-memory Page estimate.
     exchange->SimulateTransfer(frame->wire_bytes());
-    PRESTO_RETURN_IF_ERROR(DecodeFrames(frame->bytes));
+    PRESTO_RETURN_IF_ERROR(DecodeFrames(frame->bytes, /*skip_frames=*/0));
   }
   return Status::OK();
 }
@@ -141,29 +150,60 @@ Status RemoteSourceOperator::FetchHttp(size_t i) {
   const TaskSpec& spec = ctx_->spec();
   auto& client = clients_[i];
   if (client == nullptr) {
-    int port = exchange->LookupTaskEndpoint(spec.query_id, source_fragment_,
-                                            static_cast<int>(i));
-    if (port < 0) return Status::OK();  // producer not registered yet
+    auto endpoint = exchange->LookupTaskEndpointInfo(
+        spec.query_id, source_fragment_, static_cast<int>(i));
+    if (endpoint.port < 0) return Status::OK();  // not registered yet
     client = std::make_unique<ExchangeHttpClient>(
-        exchange, port,
+        exchange, endpoint.port,
         StreamId{spec.query_id, source_fragment_, static_cast<int>(i),
-                 spec.task_index});
+                 spec.task_index},
+        endpoint.generation);
     if (ctx_->runtime().trace != nullptr) {
       client->SetTraceContext(ctx_->runtime().trace, spec.worker_id + 1,
                               /*tid=*/0);
     }
   }
-  PRESTO_ASSIGN_OR_RETURN(ExchangeHttpClient::FetchResult fetch,
-                          client->Fetch());
-  if (!fetch.body.empty()) {
-    // Real socket transfer: record the wire bytes, no simulated sleep.
-    exchange->RecordTransfer(static_cast<int64_t>(fetch.body.size()));
-    PRESTO_RETURN_IF_ERROR(DecodeFrames(fetch.body));
+  auto fetched = client->Fetch();
+  if (!fetched.ok()) {
+    if (!exchange->retain_for_replay()) return fetched.status();
+    // Task recovery is live: the producer may have died and be on its way
+    // to a replacement endpoint. Re-resolve; a changed (port, generation)
+    // re-opens the stream there from token 0 (already-delivered frames
+    // come back flagged as skip_frames and are dropped in DecodeFrames).
+    auto endpoint = exchange->LookupTaskEndpointInfo(
+        spec.query_id, source_fragment_, static_cast<int>(i));
+    if (endpoint.port >= 0 && (endpoint.port != client->port() ||
+                               endpoint.generation != client->generation())) {
+      client->ResetForReplacement(endpoint.port, endpoint.generation);
+      error_deadlines_[i].reset();
+      return Status::OK();  // re-poll against the replacement
+    }
+    // Same endpoint still: tolerate the error for a patience window (the
+    // coordinator needs a liveness verdict plus a recovery round before
+    // the replacement registers). If this task itself gets superseded
+    // instead, its kill switch ends the polling via CheckNotKilled.
+    auto now = std::chrono::steady_clock::now();
+    if (!error_deadlines_[i].has_value()) {
+      error_deadlines_[i] = now + std::chrono::seconds(15);
+      return Status::OK();
+    }
+    if (now < *error_deadlines_[i]) return Status::OK();
+    return fetched.status();
   }
-  if (fetch.complete) {
-    // Stream drained: tear the server-side buffer down. Best-effort — the
-    // query-end RemoveQuery sweep is the backstop.
-    (void)client->DeleteBuffer();
+  error_deadlines_[i].reset();
+  if (!fetched->body.empty()) {
+    // Real socket transfer: record the wire bytes, no simulated sleep.
+    exchange->RecordTransfer(static_cast<int64_t>(fetched->body.size()));
+    PRESTO_RETURN_IF_ERROR(DecodeFrames(fetched->body, fetched->skip_frames));
+  }
+  if (fetched->complete) {
+    // Stream drained. Tear the server-side buffer down eagerly — unless
+    // frames are retained for replay: then the buffer must survive this
+    // consumer so a replacement task can re-read it from token 0 after a
+    // worker death, and the query-end RemoveQuery sweep does the cleanup.
+    if (!exchange->retain_for_replay()) {
+      (void)client->DeleteBuffer();
+    }
     done_[i] = true;
   }
   return Status::OK();

@@ -46,6 +46,7 @@ TaskExec::TaskExec(TaskSpec spec, TaskRuntime runtime,
   CollectScanNodes(*fragment_->root, &split_queues_);
   runtime_.split_queues = &split_queues_;
   runtime_.task_cpu_nanos = &cpu_nanos_;
+  runtime_.task_kill = &kill_switch_;
 }
 
 std::unique_ptr<OperatorContext> TaskExec::MakeContext(

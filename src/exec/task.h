@@ -54,6 +54,14 @@ class TaskExec {
   /// after the task's on_done callback fired. Idempotent.
   void ReleaseDrivers();
 
+  /// Aborts this task alone: drivers observe the kill through
+  /// OperatorContext::CheckNotKilled on their next quantum. Unlike
+  /// QueryMemory::Kill this does not touch sibling tasks of the same query
+  /// on this worker (needed when one task is superseded by a recovery
+  /// re-creation, ISSUE 7).
+  void Kill(const Status& reason) { kill_switch_.Kill(reason); }
+  const TaskKillSwitch& kill_switch() const { return kill_switch_; }
+
  private:
   using OperatorFactory = std::function<std::unique_ptr<Operator>()>;
 
@@ -71,6 +79,7 @@ class TaskExec {
 
   TaskSpec spec_;
   TaskRuntime runtime_;
+  TaskKillSwitch kill_switch_;
   const PlanFragment* fragment_;
   std::map<int, SplitQueue> split_queues_;
   std::atomic<int64_t> cpu_nanos_{0};

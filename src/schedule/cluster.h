@@ -62,6 +62,16 @@ struct ClusterConfig {
   /// A worker that heartbeated once and then stayed silent this long is
   /// declared dead; its tasks fail and it stops receiving splits.
   int64_t heartbeat_timeout_micros = 2'000'000;
+  /// Task recovery (ISSUE 7): how many times a (fragment, task) slot may be
+  /// re-created on a surviving worker after its worker died, before the
+  /// query fails with the original error. 0 disables recovery (PR 6's
+  /// clean-failure behavior). Only meaningful in kProcess mode.
+  int max_task_retries = 1;
+  /// Grace period for a registered worker that has never heartbeated: once
+  /// any worker's first heartbeat activates the tracker, a still-silent
+  /// worker is declared dead this long after registration/activation.
+  /// 0 means "use heartbeat_timeout_micros".
+  int64_t first_heartbeat_grace_micros = 0;
 };
 
 /// One worker node: executor threads plus memory pools.
@@ -91,7 +101,18 @@ class Cluster {
       : config_(Normalize(std::move(config))),
         exchange_(config_.network),
         liveness_(config_.heartbeat_timeout_micros) {
-    if (config_.mode == ClusterMode::kProcess) return;
+    if (config_.mode == ClusterMode::kProcess) {
+      liveness_.set_first_beat_grace_micros(
+          config_.first_heartbeat_grace_micros > 0
+              ? config_.first_heartbeat_grace_micros
+              : config_.heartbeat_timeout_micros);
+      // Register every expected worker so a daemon killed before its first
+      // heartbeat is still declared dead once the grace deadline passes.
+      for (size_t i = 0; i < config_.remote_workers.size(); ++i) {
+        liveness_.RegisterWorker(static_cast<int>(i));
+      }
+      return;
+    }
     for (int i = 0; i < config_.num_workers; ++i) {
       workers_.push_back(std::make_unique<WorkerNode>(i, config_));
     }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
+#include <tuple>
 
 #include "common/stopwatch.h"
 #include "plan/plan_serde.h"
@@ -29,7 +31,37 @@ bool ContainsTableWrite(const PlanNodePtr& node) {
 
 }  // namespace
 
+Result<int> ChooseSplitTarget(
+    const std::vector<std::shared_ptr<TaskClient>>& tasks, int node_id) {
+  // Shortest queue among alive candidates; a task that has not reported a
+  // queue depth yet (a remote task whose first status is still in flight)
+  // only serves as a fallback so startup does not stall.
+  int fallback = -1;
+  int best = -1;
+  size_t best_size = SIZE_MAX;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    if (!tasks[t]->worker_alive()) continue;
+    if (fallback < 0) fallback = static_cast<int>(t);
+    auto size = tasks[t]->SplitQueueSize(node_id);
+    if (size.has_value() && *size < best_size) {
+      best_size = *size;
+      best = static_cast<int>(t);
+    }
+  }
+  if (best >= 0) return best;
+  if (fallback >= 0) return fallback;
+  return Status::IOError(
+      "no task with a live worker to take splits of scan node " +
+      std::to_string(node_id));
+}
+
 QueryExecution::~QueryExecution() {
+  // Detach from the failure detector before anything else: a death
+  // callback delivered mid-teardown would walk members being destroyed.
+  // RemoveDeathListener blocks until an in-flight callback returns.
+  if (liveness_listener_ >= 0 && cluster_ != nullptr) {
+    cluster_->liveness().RemoveDeathListener(liveness_listener_);
+  }
   // Tear down any still-running tasks (client abandoned the query) and wait
   // for them: executor callbacks and operators reference our members. Only
   // a launched execution may wait — if Execute() failed before registering
@@ -43,6 +75,16 @@ QueryExecution::~QueryExecution() {
     if (running) Cancel(Status::Cancelled("query abandoned"));
     (void)Wait();
   }
+  // Wait() needed the recovery thread alive (it discharges accounting
+  // holds); stop it only now, before members it touches are destroyed. If
+  // Execute() bailed before completing its launch loop, release the
+  // launch gate first so a queued RunRecovery cannot block Stop() forever.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    launch_complete_ = true;
+  }
+  done_cv_.notify_all();
+  if (recovery_ != nullptr) recovery_->Stop();
   stop_split_thread_.store(true);
   if (split_thread_.joinable()) split_thread_.join();
   stop_fetch_thread_.store(true);
@@ -77,24 +119,35 @@ void QueryExecution::Cancel(const Status& reason) {
 }
 
 void QueryExecution::AbortAllTasks() {
-  for (auto& fragment_tasks : tasks_) {
-    for (auto& task : fragment_tasks) task->Abort();
+  std::vector<std::shared_ptr<TaskClient>> snapshot;
+  {
+    std::lock_guard<std::mutex> tlock(tasks_mu_);
+    for (auto& fragment_tasks : tasks_) {
+      for (auto& task : fragment_tasks) snapshot.push_back(task);
+    }
   }
+  for (auto& task : snapshot) task->Abort();
 }
 
 QueryStats QueryExecution::StatsSnapshot() const {
+  std::vector<std::shared_ptr<TaskClient>> snapshot;
+  {
+    std::lock_guard<std::mutex> tlock(tasks_mu_);
+    for (const auto& fragment_tasks : tasks_) {
+      for (const auto& task : fragment_tasks) snapshot.push_back(task);
+    }
+  }
   std::vector<TaskStats> task_stats;
   int64_t peak = memory_->peak_user();
-  for (const auto& fragment_tasks : tasks_) {
-    for (const auto& task : fragment_tasks) {
-      task_stats.push_back(task->CollectStats());
-      peak = std::max(peak, task->peak_user_memory_bytes());
-    }
+  for (const auto& task : snapshot) {
+    task_stats.push_back(task->CollectStats());
+    peak = std::max(peak, task->peak_user_memory_bytes());
   }
   return BuildQueryStats(std::move(task_stats), peak);
 }
 
 int64_t QueryExecution::total_cpu_nanos() const {
+  std::lock_guard<std::mutex> tlock(tasks_mu_);
   int64_t total = 0;
   for (const auto& fragment_tasks : tasks_) {
     for (const auto& task : fragment_tasks) {
@@ -113,7 +166,8 @@ int QueryExecution::active_writers(int fragment) const {
   return counter == nullptr ? -1 : counter->load();
 }
 
-void QueryExecution::OnTaskDone(int fragment, const Status& status) {
+void QueryExecution::OnTaskDone(int fragment, int task, int generation,
+                                const Status& status) {
   // NOTE: once remaining_tasks_ hits zero, a waiter in Wait() may destroy
   // this object — and the engine around it — the moment mu_ is released, so
   // ALL finalization (resource release, exchange cleanup, lifecycle, the
@@ -121,10 +175,48 @@ void QueryExecution::OnTaskDone(int fragment, const Status& status) {
   // wake before the unlock. Touch no members after the scope ends.
   {
     std::lock_guard<std::mutex> lock(mu_);
+    size_t f = static_cast<size_t>(fragment);
+    size_t t = static_cast<size_t>(task);
+    if (recovery_enabled_) {
+      bool stale = false;
+      bool absorbed = false;
+      {
+        std::lock_guard<std::mutex> tlock(tasks_mu_);
+        if (generation != generations_[f][t]) {
+          stale = true;
+        } else if (!status.ok() && !finished_ && !memory_->killed() &&
+                   status.code() != StatusCode::kCancelled &&
+                   !slot_recovering_[f][t] && tasks_[f][t]->worker_lost() &&
+                   retry_counts_[f][t] < max_task_retries_) {
+          // Worker-loss failure with retry budget left: absorb it into a
+          // recovery request. The slot keeps its place in remaining_tasks_
+          // (the "hold") until the recovery thread launches a replacement
+          // or gives up and fails the query.
+          slot_recovering_[f][t] = true;
+          absorbed = true;
+        } else if (status.ok()) {
+          slot_finished_[f][t] = true;
+        }
+      }
+      if (stale) {
+        // A superseded incarnation settled: the recovery round that
+        // replaced it already re-accounted the slot, so only the callback
+        // count drops here. Its status — success or failure — is moot.
+        --remaining_tasks_;
+        FinishIfDrainedLocked();
+        done_cv_.notify_all();
+        return;
+      }
+      if (absorbed) {
+        recovery_pause_.store(true);
+        recovery_->Enqueue({fragment, task, generation, status});
+        return;
+      }
+    }
     --remaining_tasks_;
-    --fragment_remaining_[static_cast<size_t>(fragment)];
-    if (fragment_remaining_[static_cast<size_t>(fragment)] == 0) {
-      fragment_done_[static_cast<size_t>(fragment)] = true;
+    --fragment_remaining_[f];
+    if (fragment_remaining_[f] == 0) {
+      fragment_done_[f] = true;
     }
     if (!status.ok() && !finished_ &&
         status.code() != StatusCode::kCancelled) {
@@ -136,8 +228,7 @@ void QueryExecution::OnTaskDone(int fragment, const Status& status) {
       // memory context does not reach them.
       if (process_mode_) AbortAllTasks();
     }
-    if (fragment == plan_.root_id &&
-        fragment_done_[static_cast<size_t>(fragment)] && !finished_ &&
+    if (fragment == plan_.root_id && fragment_done_[f] && !finished_ &&
         !process_mode_) {
       // Root produced everything: complete the result stream and tear down
       // any still-running upstream producers (e.g. after LIMIT). In
@@ -147,26 +238,347 @@ void QueryExecution::OnTaskDone(int fragment, const Status& status) {
       results_.Finish(Status::OK());
       memory_->Kill(Status::Cancelled("query completed"));
     }
-    if (remaining_tasks_ == 0) {
-      if (!finished_ && process_mode_ && final_status_.ok() &&
-          !results_.finished()) {
-        // A successful out-of-process query: the root task finished, but
-        // its output buffer may still hold pages the result-fetch thread
-        // has not pulled yet. Finishing the stream (or releasing the
-        // worker-side tasks, which drops that buffer) now would lose
-        // them, so the fetch thread finishes the stream and runs
-        // FinalizeLocked() once the buffer reports complete.
-        defer_finalize_ = true;
-      } else {
-        if (!finished_) {
-          finished_ = true;
-          results_.Finish(final_status_);
-        }
-        FinalizeLocked();
-      }
-    }
+    FinishIfDrainedLocked();
     done_cv_.notify_all();
   }
+}
+
+void QueryExecution::FinishIfDrainedLocked() {
+  if (remaining_tasks_ != 0) return;
+  if (!finished_ && process_mode_ && final_status_.ok() &&
+      !results_.finished()) {
+    // A successful out-of-process query: the root task finished, but
+    // its output buffer may still hold pages the result-fetch thread
+    // has not pulled yet. Finishing the stream (or releasing the
+    // worker-side tasks, which drops that buffer) now would lose
+    // them, so the fetch thread finishes the stream and runs
+    // FinalizeLocked() once the buffer reports complete.
+    defer_finalize_ = true;
+  } else {
+    if (!finished_) {
+      finished_ = true;
+      results_.Finish(final_status_);
+    }
+    FinalizeLocked();
+  }
+}
+
+void QueryExecution::DischargeRecoveryHoldsLocked() {
+  for (size_t f = 0; f < slot_recovering_.size(); ++f) {
+    for (size_t t = 0; t < slot_recovering_[f].size(); ++t) {
+      if (!slot_recovering_[f][t]) continue;
+      slot_recovering_[f][t] = false;
+      --remaining_tasks_;
+      --fragment_remaining_[f];
+      if (fragment_remaining_[f] == 0) fragment_done_[f] = true;
+    }
+  }
+}
+
+void QueryExecution::OnWorkerDeath(int worker) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_ || finalized_ || defer_finalize_ || memory_->killed()) {
+    return;
+  }
+  std::lock_guard<std::mutex> tlock(tasks_mu_);
+  // Every slot hosted on the dead worker becomes a recovery request —
+  // including finished ones, whose retained replay buffers died with the
+  // process; RunRecovery prunes the ones nobody still needs.
+  for (size_t f = 0; f < placement_.size(); ++f) {
+    for (size_t t = 0; t < placement_[f].size(); ++t) {
+      if (placement_[f][t] != worker || slot_recovering_[f][t]) continue;
+      recovery_pause_.store(true);
+      recovery_->Enqueue(
+          {static_cast<int>(f), static_cast<int>(t), generations_[f][t],
+           Status::IOError("worker " + std::to_string(worker) +
+                           " lost: missed heartbeats past liveness "
+                           "timeout")});
+    }
+  }
+}
+
+void QueryExecution::RunRecovery(const RecoveryRequest& request) {
+  Stopwatch timer;
+  TraceRecorder* trace =
+      lifecycle_ != nullptr ? lifecycle_->trace().get() : nullptr;
+  int64_t span_start = trace != nullptr ? trace->NowNanos() : 0;
+
+  struct Replacement {
+    int fragment;
+    int task;
+    int generation;
+    std::shared_ptr<TaskClient> client;
+  };
+  std::vector<Replacement> replacements;
+  bool failed_query = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // A worker can die while Execute()'s launch loop is still issuing the
+    // gen-0 creates; recovering before the loop finishes would mutate
+    // tasks_ under its feet (and double-Launch replacements). Wait it out.
+    done_cv_.wait(lock, [this] { return launch_complete_; });
+    if (finished_ || finalized_ || defer_finalize_ || memory_->killed()) {
+      // The query settled (or is settling) — nothing to recover; convert
+      // any absorbed holds back into completions so Wait() can drain.
+      {
+        std::lock_guard<std::mutex> tlock(tasks_mu_);
+        DischargeRecoveryHoldsLocked();
+      }
+      FinishIfDrainedLocked();
+      done_cv_.notify_all();
+      recovery_pause_.store(false);
+      return;
+    }
+    Status cause = request.cause;
+    std::vector<std::pair<int, int>> restart;
+    int dead = -1;
+    {
+      std::lock_guard<std::mutex> tlock(tasks_mu_);
+      size_t rf = static_cast<size_t>(request.fragment);
+      size_t rt = static_cast<size_t>(request.task);
+      if (request.generation != generations_[rf][rt]) {
+        // An earlier round already replaced this incarnation.
+        recovery_pause_.store(false);
+        return;
+      }
+      dead = placement_[rf][rt];
+      std::vector<std::vector<int>> inputs_of(plan_.fragments.size());
+      for (const auto& fragment : plan_.fragments) {
+        inputs_of[static_cast<size_t>(fragment.id)] = fragment.inputs;
+      }
+      restart = ComputeRestartSet(placement_, slot_finished_, inputs_of,
+                                  plan_.root_id, !results_.finished(), dead);
+      if (restart.empty()) {
+        // Nobody needs the dead worker's output anymore (e.g. LIMIT cut
+        // its consumers off). Settle the requesting slot's hold, if any.
+        if (slot_recovering_[rf][rt]) {
+          slot_recovering_[rf][rt] = false;
+          --remaining_tasks_;
+          --fragment_remaining_[rf];
+          if (fragment_remaining_[rf] == 0) fragment_done_[rf] = true;
+        }
+      } else {
+        // Retry budget: every slot that dies with its worker consumes one
+        // retry; closure-collateral restarts on live workers do not.
+        for (const auto& [f, t] : restart) {
+          if (placement_[static_cast<size_t>(f)][static_cast<size_t>(t)] ==
+                  dead &&
+              retry_counts_[static_cast<size_t>(f)]
+                           [static_cast<size_t>(t)] >= max_task_retries_) {
+            failed_query = true;
+            break;
+          }
+        }
+        std::vector<int> alive;
+        for (int w = 0; w < cluster_->num_workers(); ++w) {
+          if (w != dead && cluster_->liveness().IsAlive(w)) {
+            alive.push_back(w);
+          }
+        }
+        if (!failed_query && alive.empty()) {
+          failed_query = true;
+          cause = Status::IOError("no live worker left to host replacement "
+                                  "tasks (" + cause.message() + ")");
+        }
+        bool restarts_root = false;
+        for (const auto& [f, t] : restart) {
+          if (f == plan_.root_id) restarts_root = true;
+        }
+        std::unique_lock<std::mutex> flock(fetch_mu_, std::defer_lock);
+        if (!failed_query && restarts_root) {
+          // May wait for an in-flight result batch to commit its frame
+          // count; a batch committed after this lock lands is either
+          // counted here or dropped by the fetch loop's epoch check.
+          flock.lock();
+          if (root_frames_consumed_ > 0) {
+            failed_query = true;
+            cause = Status::IOError(
+                "worker " + std::to_string(dead) + " lost after " +
+                std::to_string(root_frames_consumed_) +
+                " result frames were already delivered to the client; the "
+                "root stage is not replayable (" + cause.message() + ")");
+          }
+        }
+        if (!failed_query) {
+          size_t cursor = 0;
+          for (const auto& [fi, ti] : restart) {
+            size_t f = static_cast<size_t>(fi);
+            size_t t = static_cast<size_t>(ti);
+            if (placement_[f][t] == dead) {
+              // Dead-worker victims move to a live worker; collateral
+              // restarts stay put (their worker is fine, only their
+              // input streams went stale).
+              placement_[f][t] = alive[cursor++ % alive.size()];
+              ++retry_counts_[f][t];
+            }
+            ++generations_[f][t];
+            if (slot_recovering_[f][t]) {
+              // The hold becomes the replacement's outstanding callback.
+              slot_recovering_[f][t] = false;
+            } else {
+              // Still running (its stale callback will subtract later) or
+              // finished (its completion was already counted): either way
+              // the replacement adds one outstanding callback.
+              ++remaining_tasks_;
+            }
+            if (slot_finished_[f][t]) {
+              slot_finished_[f][t] = false;
+              ++fragment_remaining_[f];
+              fragment_done_[f] = false;
+            }
+          }
+          if (restarts_root) {
+            ++root_epoch_;
+            size_t root = static_cast<size_t>(plan_.root_id);
+            root_fetch_port_ = cluster_->http_port(placement_[root][0]);
+            root_fetch_generation_ = generations_[root][0];
+          }
+          if (flock.owns_lock()) flock.unlock();
+          for (const auto& [fi, ti] : restart) {
+            size_t f = static_cast<size_t>(fi);
+            size_t t = static_cast<size_t>(ti);
+            // The old client stays alive until its callback settles, but
+            // must never feed splits or writer updates to the worker-side
+            // replacement entry that now owns the task id.
+            tasks_[f][t]->MarkSuperseded();
+            superseded_clients_.push_back(tasks_[f][t]);
+            auto fresh = MakeRemoteClientLocked(fi, ti);
+            tasks_[f][t] = fresh;
+            replacements.push_back({fi, ti, generations_[f][t], fresh});
+          }
+          if (retries_counter_ != nullptr) {
+            retries_counter_->Increment(
+                static_cast<int64_t>(replacements.size()));
+          }
+        }
+      }
+    }
+    if (failed_query) {
+      final_status_ = cause;
+      finished_ = true;
+      results_.Finish(cause);
+      memory_->Kill(cause);
+      AbortAllTasks();
+      {
+        std::lock_guard<std::mutex> tlock(tasks_mu_);
+        DischargeRecoveryHoldsLocked();
+      }
+    }
+    FinishIfDrainedLocked();
+    done_cv_.notify_all();
+  }
+  if (failed_query || replacements.empty()) {
+    recovery_pause_.store(false);
+    return;
+  }
+
+  // Launch the replacements (create RPCs) outside every lock: a launch
+  // failure re-enters OnTaskDone, which takes mu_.
+  std::vector<std::tuple<int, int, int, Status>> launch_failures;
+  for (const auto& r : replacements) {
+    QueryExecution* raw = this;
+    int f = r.fragment;
+    int t = r.task;
+    int gen = r.generation;
+    Status launched = r.client->Launch([raw, f, t, gen](Status status) {
+      raw->OnTaskDone(f, t, gen, status);
+    });
+    if (!launched.ok()) {
+      launch_failures.emplace_back(f, t, gen, launched);
+    }
+  }
+
+  // Replay the journal: every split the dead incarnation (and everything
+  // restarted with it) ever received, plus the no-more-splits markers the
+  // scheduler already sent. Holding tasks_mu_ keeps the split loop from
+  // interleaving fresh assignments mid-replay.
+  {
+    std::lock_guard<std::mutex> tlock(tasks_mu_);
+    for (const auto& r : replacements) {
+      size_t f = static_cast<size_t>(r.fragment);
+      size_t t = static_cast<size_t>(r.task);
+      if (generations_[f][t] != r.generation) continue;  // superseded again
+      for (const auto& [node, entries] : journal_[f][t].splits) {
+        for (const auto& [split, connector] : entries) {
+          r.client->AddSplit(node, split, connector);
+        }
+      }
+      (void)r.client->FlushSplits();
+      for (int node : no_more_splits_[f]) {
+        r.client->NoMoreSplits(node);
+      }
+    }
+  }
+  recovery_pause_.store(false);
+
+  for (const auto& [f, t, gen, launched] : launch_failures) {
+    OnTaskDone(f, t, gen,
+               Status::IOError("replacement task create failed: " +
+                               launched.message()));
+  }
+
+  if (recovery_histogram_ != nullptr) {
+    recovery_histogram_->Observe(timer.ElapsedSeconds());
+  }
+  if (trace != nullptr) {
+    trace->RecordSpan("coordinator", "task_recovery", 0, 0, span_start,
+                      trace->NowNanos() - span_start,
+                      {{"slots", std::to_string(replacements.size())},
+                       {"trigger_fragment",
+                        std::to_string(request.fragment)},
+                       {"trigger_task", std::to_string(request.task)}});
+  }
+}
+
+std::shared_ptr<TaskClient> QueryExecution::MakeRemoteClientLocked(
+    int fragment_id, int task_index) {
+  const ClusterConfig& config = cluster_->config();
+  size_t f = static_cast<size_t>(fragment_id);
+  size_t t = static_cast<size_t>(task_index);
+  const PlanFragment& fragment = plan_.fragments[f];
+  int worker = placement_[f][t];
+
+  TaskSpec spec;
+  spec.query_id = query_id_;
+  spec.fragment_id = fragment_id;
+  spec.task_index = task_index;
+  spec.num_tasks = task_counts_[f];
+  spec.consumer_partitions =
+      fragment.consumer >= 0
+          ? task_counts_[static_cast<size_t>(fragment.consumer)]
+          : 1;
+  spec.worker_id = worker;
+  spec.generation = generations_[f][t];
+  for (int input : fragment.inputs) {
+    spec.source_task_counts[input] =
+        task_counts_[static_cast<size_t>(input)];
+  }
+
+  TaskCreateRequest create;
+  create.spec = spec;
+  create.fragment = fragment_jsons_[f];
+  create.eval_mode = config.eval_mode;
+  create.exchange_buffer_bytes = config.exchange_buffer_bytes;
+  create.max_drivers_per_pipeline = config.max_drivers_per_pipeline;
+  create.retain_exchange_frames = recovery_enabled_;
+  const auto& writer_counter = active_writers_[f];
+  create.active_writers =
+      writer_counter != nullptr ? writer_counter->load() : -1;
+  create.emit_results_via_exchange = fragment_id == plan_.root_id;
+  for (int input : fragment.inputs) {
+    size_t in = static_cast<size_t>(input);
+    for (int it = 0; it < task_counts_[in]; ++it) {
+      create.endpoints.push_back(
+          {input, it,
+           cluster_->http_port(placement_[in][static_cast<size_t>(it)]),
+           generations_[in][static_cast<size_t>(it)]});
+    }
+  }
+
+  HttpTaskClient::Options options;
+  options.task_port = cluster_->task_port(worker);
+  options.liveness = &cluster_->liveness();
+  return std::make_shared<HttpTaskClient>(spec, create.ToJson(), options);
 }
 
 void QueryExecution::FinalizeLocked() {
@@ -178,10 +590,17 @@ void QueryExecution::FinalizeLocked() {
   // cancelled, or was abandoned — returning every memory-pool
   // reservation, dropping exchange-buffer references, and deleting
   // spill files. A final stats snapshot is cached first so EXPLAIN
-  // ANALYZE still works after teardown.
+  // ANALYZE still works after teardown. (Recovery swaps hold mu_ too,
+  // so iterating tasks_ under mu_ alone is race-free here.)
   for (auto& fragment_tasks : tasks_) {
     for (auto& task : fragment_tasks) task->ReleaseResources();
   }
+  // Superseded pre-recovery clients are NOT destroyed here: the last stale
+  // callback is delivered on its own client's poll thread, which may be
+  // the very thread running this finalization — destroying that client
+  // would join the current thread with itself. ~QueryExecution (a waiter
+  // thread) frees them instead. No ReleaseResources for them either —
+  // their task ids now belong to the replacements released above.
   if (cluster_ != nullptr) cluster_->exchange().RemoveQuery(query_id_);
   // Finalize the lifecycle before mu_ is released: a Wait()-er may
   // destroy this object the moment the lock drops, and QueryInfoFor
@@ -214,21 +633,71 @@ void QueryExecution::FinalizeIfDeferred() {
 }
 
 void QueryExecution::ResultFetchLoop() {
+  int my_epoch;
+  int port;
+  int generation;
+  {
+    std::lock_guard<std::mutex> flock(fetch_mu_);
+    my_epoch = root_epoch_;
+    port = root_fetch_port_;
+    generation = root_fetch_generation_;
+  }
   ExchangeHttpClient fetcher(
-      &cluster_->exchange(), root_fetch_port_,
-      StreamId{query_id_, plan_.root_id, /*task=*/0, /*partition=*/0});
+      &cluster_->exchange(), port,
+      StreamId{query_id_, plan_.root_id, /*task=*/0, /*partition=*/0},
+      generation);
   TraceRecorder* trace =
       lifecycle_ != nullptr ? lifecycle_->trace().get() : nullptr;
   if (trace != nullptr) fetcher.SetTraceContext(trace, 0, 0);
+  // Fetch errors are tolerated for this long while recovery is enabled:
+  // the window covers the liveness verdict on a dead root worker plus the
+  // recovery round that re-points us at the replacement.
+  const int64_t patience_micros =
+      cluster_->config().heartbeat_timeout_micros * 3 + 2'000'000;
+  Stopwatch error_timer;
+  bool error_window_open = false;
   while (!stop_fetch_thread_.load() && !results_.finished()) {
+    {
+      std::lock_guard<std::mutex> flock(fetch_mu_);
+      if (root_epoch_ != my_epoch) {
+        // Recovery moved the root task: re-open against the replacement,
+        // back at token 0 (nothing was delivered — a root restart is only
+        // legal at zero consumed frames).
+        my_epoch = root_epoch_;
+        fetcher.ResetForReplacement(root_fetch_port_,
+                                    root_fetch_generation_);
+        error_window_open = false;
+      }
+    }
     auto fetched = fetcher.Fetch();
     if (!fetched.ok()) {
+      if (recovery_enabled_) {
+        if (!error_window_open) {
+          error_window_open = true;
+          error_timer.Reset();
+        }
+        if (error_timer.ElapsedMicros() < patience_micros) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          continue;
+        }
+      }
       Cancel(fetched.status());
       break;
+    }
+    error_window_open = false;
+    // Commit the batch to the current epoch BEFORE delivering any page:
+    // recovery may only restart the root while the consumed count is
+    // zero, so the count must be visible first — and a batch that raced a
+    // root restart is dropped (the replacement replays from token 0).
+    {
+      std::lock_guard<std::mutex> flock(fetch_mu_);
+      if (root_epoch_ != my_epoch) continue;
+      root_frames_consumed_ += fetched->frame_count - fetched->skip_frames;
     }
     cluster_->exchange().RecordTransfer(
         static_cast<int64_t>(fetched->body.size()));
     size_t offset = 0;
+    int64_t to_skip = fetched->skip_frames;
     bool decode_failed = false;
     while (offset < fetched->body.size()) {
       auto page = cluster_->exchange().codec().Decode(fetched->body, &offset);
@@ -236,6 +705,12 @@ void QueryExecution::ResultFetchLoop() {
         Cancel(page.status());
         decode_failed = true;
         break;
+      }
+      if (to_skip > 0) {
+        // Replayed frame already delivered before a reset: decode (to
+        // advance the offset) and drop.
+        --to_skip;
+        continue;
       }
       // TryPush consumes its argument even on failure, so retry with
       // copies; the bounded queue is the client-backpressure point.
@@ -248,7 +723,9 @@ void QueryExecution::ResultFetchLoop() {
     }
     if (decode_failed) break;
     if (fetched->complete) {
-      (void)fetcher.DeleteBuffer();
+      // With recovery enabled the root buffer is retained like any other;
+      // FinalizeLocked()'s task release tears it down with the query.
+      if (!recovery_enabled_) (void)fetcher.DeleteBuffer();
       // First-wins with Cancel()/task-failure finalization: whichever
       // reason reached the queue first sticks.
       results_.Finish(Status::OK());
@@ -280,6 +757,9 @@ void QueryExecution::SplitSchedulingLoop() {
     Connector* connector;
     std::unique_ptr<SplitSource> source;
     bool exhausted = false;
+    /// Splits pulled but not yet assignable (no live task at the time);
+    /// retried once recovery re-created the fragment's tasks.
+    std::vector<SplitPtr> carryover;
   };
   std::vector<PendingSource> sources;
   for (const auto& fragment : plan_.fragments) {
@@ -307,7 +787,8 @@ void QueryExecution::SplitSchedulingLoop() {
         return;
       }
       sources.push_back(PendingSource{fragment.id, scan->id(), scan,
-                                      *connector, std::move(*source), false});
+                                      *connector, std::move(*source), false,
+                                      {}});
     }
   }
   // Writer-scaling bookkeeping.
@@ -320,9 +801,19 @@ void QueryExecution::SplitSchedulingLoop() {
     }
     return true;
   };
+  auto snapshot_tasks = [this](int fragment) {
+    std::lock_guard<std::mutex> tlock(tasks_mu_);
+    return tasks_[static_cast<size_t>(fragment)];
+  };
 
   bool work_left = true;
   while (!stop_split_thread_.load() && !memory_->killed()) {
+    if (recovery_pause_.load()) {
+      // A recovery round is swapping task clients and replaying journals;
+      // park until the tables are consistent again.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
     work_left = false;
     for (auto& pending : sources) {
       if (pending.exhausted) continue;
@@ -335,7 +826,8 @@ void QueryExecution::SplitSchedulingLoop() {
           !all_deps_done(fragment)) {
         continue;
       }
-      auto& fragment_tasks = tasks_[static_cast<size_t>(pending.fragment)];
+      std::vector<std::shared_ptr<TaskClient>> fragment_tasks =
+          snapshot_tasks(pending.fragment);
       // Lazy enumeration: pause while queues are deep (§IV-D3).
       size_t min_queue = SIZE_MAX;
       for (const auto& task : fragment_tasks) {
@@ -346,60 +838,109 @@ void QueryExecution::SplitSchedulingLoop() {
           min_queue > static_cast<size_t>(config.split_queue_soft_limit)) {
         continue;
       }
-      auto batch = pending.source->NextBatch(config.split_batch_size);
-      if (!batch.ok()) {
-        Cancel(batch.status());
-        return;
-      }
-      if (batch->empty()) {
-        pending.exhausted = true;
-        for (const auto& task : fragment_tasks) {
-          task->NoMoreSplits(pending.node_id);
+      std::vector<SplitPtr> batch;
+      if (!pending.carryover.empty()) {
+        batch = std::move(pending.carryover);
+        pending.carryover.clear();
+      } else {
+        auto batch_or = pending.source->NextBatch(config.split_batch_size);
+        if (!batch_or.ok()) {
+          Cancel(batch_or.status());
+          return;
         }
-        if (trace != nullptr) {
-          trace->RecordInstant(
-              "scheduler", "splits_exhausted", 0, 0,
-              {{"fragment", std::to_string(pending.fragment)},
-               {"scan_node", std::to_string(pending.node_id)}});
+        if (batch_or->empty()) {
+          pending.exhausted = true;
+          {
+            // Journal the end-of-splits marker and deliver it to the
+            // CURRENT clients under the same lock, so a replacement
+            // created concurrently can never miss it (it either gets the
+            // RPC directly or finds the marker in the journal replay).
+            std::lock_guard<std::mutex> tlock(tasks_mu_);
+            if (recovery_enabled_) {
+              no_more_splits_[static_cast<size_t>(pending.fragment)].insert(
+                  pending.node_id);
+            }
+            for (const auto& task :
+                 tasks_[static_cast<size_t>(pending.fragment)]) {
+              task->NoMoreSplits(pending.node_id);
+            }
+          }
+          if (trace != nullptr) {
+            trace->RecordInstant(
+                "scheduler", "splits_exhausted", 0, 0,
+                {{"fragment", std::to_string(pending.fragment)},
+                 {"scan_node", std::to_string(pending.node_id)}});
+          }
+          continue;
         }
-        continue;
+        batch = std::move(*batch_or);
       }
       if (trace != nullptr) {
         trace->RecordInstant(
             "scheduler", "split_batch", 0, 0,
             {{"fragment", std::to_string(pending.fragment)},
              {"scan_node", std::to_string(pending.node_id)},
-             {"splits", std::to_string(batch->size())}});
+             {"splits", std::to_string(batch.size())}});
       }
-      for (const auto& split : *batch) {
-        int target = -1;
-        if (split->preferred_worker() >= 0 && split->hard_affinity()) {
-          // Shared-nothing placement (§IV-D2).
-          target = split->preferred_worker() %
-                   static_cast<int>(fragment_tasks.size());
-        } else {
-          // Shortest-queue assignment (§IV-D3), skipping tasks on workers
-          // the failure detector declared dead (their queues would only
-          // grow; the task failure is already in flight).
-          size_t best = 0;
-          size_t best_size = SIZE_MAX;
-          for (size_t t = 0; t < fragment_tasks.size(); ++t) {
-            if (!fragment_tasks[t]->worker_alive()) continue;
-            auto size = fragment_tasks[t]->SplitQueueSize(pending.node_id);
-            if (size.has_value() && *size < best_size) {
-              best_size = *size;
-              best = t;
+      Status assign_failure = Status::OK();
+      {
+        // One lock scope covers target choice, journal append, and the
+        // AddSplit — a recovery swap can therefore never slip between the
+        // choice and the delivery and strand the split on a superseded
+        // client whose buffered updates go nowhere.
+        std::lock_guard<std::mutex> tlock(tasks_mu_);
+        auto& current = tasks_[static_cast<size_t>(pending.fragment)];
+        for (size_t si = 0; si < batch.size(); ++si) {
+          const auto& split = batch[si];
+          int target = -1;
+          if (split->preferred_worker() >= 0 && split->hard_affinity()) {
+            // Shared-nothing placement (§IV-D2).
+            target = split->preferred_worker() %
+                     static_cast<int>(current.size());
+          } else {
+            // Shortest-queue assignment (§IV-D3) over live workers only.
+            auto target_or = ChooseSplitTarget(current, pending.node_id);
+            if (!target_or.ok()) {
+              if (recovery_enabled_) {
+                // Park the unassigned remainder; recovery is about to
+                // re-create the fragment's tasks on live workers.
+                pending.carryover.assign(batch.begin() +
+                                             static_cast<int64_t>(si),
+                                         batch.end());
+              } else {
+                // Fail fast instead of silently dumping the split on task
+                // 0 (which may sit on the very worker that just died).
+                assign_failure = target_or.status();
+              }
+              break;
             }
+            target = *target_or;
           }
-          target = static_cast<int>(best);
+          if (recovery_enabled_) {
+            journal_[static_cast<size_t>(pending.fragment)]
+                    [static_cast<size_t>(target)]
+                        .splits[pending.node_id]
+                        .emplace_back(split, pending.connector);
+          }
+          current[static_cast<size_t>(target)]->AddSplit(
+              pending.node_id, split, pending.connector);
         }
-        fragment_tasks[static_cast<size_t>(target)]->AddSplit(
-            pending.node_id, split, pending.connector);
       }
-      // Ship the batch (buffered update POSTs; no-op in-process).
-      for (const auto& task : fragment_tasks) {
+      if (!assign_failure.ok()) {
+        Cancel(assign_failure);
+        return;
+      }
+      // Ship the batch (buffered update POSTs; no-op in-process). A
+      // superseded client turns this into a no-op; a client whose worker
+      // just died reports an IOError the journal replay makes good.
+      for (const auto& task : snapshot_tasks(pending.fragment)) {
         Status flushed = task->FlushSplits();
         if (!flushed.ok()) {
+          if (recovery_enabled_ &&
+              flushed.code() == StatusCode::kIOError &&
+              !task->worker_alive()) {
+            continue;
+          }
           Cancel(flushed);
           return;
         }
@@ -414,12 +955,14 @@ void QueryExecution::SplitSchedulingLoop() {
         if (fragment.output_kind != ExchangeKind::kRoundRobin) continue;
         auto& counter = active_writers_[static_cast<size_t>(fragment.id)];
         if (counter == nullptr) continue;
-        int consumer_tasks = static_cast<int>(
-            tasks_[static_cast<size_t>(fragment.consumer)].size());
+        std::vector<std::shared_ptr<TaskClient>> producer_tasks =
+            snapshot_tasks(fragment.id);
+        int consumer_tasks =
+            static_cast<int>(snapshot_tasks(fragment.consumer).size());
         if (counter->load() >= consumer_tasks) continue;
         double utilization = 0;
         int count = 0;
-        for (const auto& task : tasks_[static_cast<size_t>(fragment.id)]) {
+        for (const auto& task : producer_tasks) {
           utilization += task->OutputUtilization();
           ++count;
         }
@@ -428,8 +971,7 @@ void QueryExecution::SplitSchedulingLoop() {
           // Direct tasks read the shared counter; remote tasks learn the
           // new width over the wire.
           int writers = counter->load();
-          for (const auto& task :
-               tasks_[static_cast<size_t>(fragment.id)]) {
+          for (const auto& task : producer_tasks) {
             task->SetActiveWriters(writers);
           }
         }
@@ -558,20 +1100,76 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
   round_robin_worker_.store(single_task_worker % cluster_->num_workers(),
                             std::memory_order_relaxed);
 
+  // Route around workers already known to be dead: launching a task there
+  // would only fail the create and bounce through a recovery round (or,
+  // with retries exhausted, fail the query outright). Dead slots re-home
+  // to live workers round-robin; a cluster with no live worker at all
+  // cannot run anything.
+  if (process_mode) {
+    std::vector<int> live;
+    for (int w = 0; w < cluster_->num_workers(); ++w) {
+      if (cluster_->liveness().IsAlive(w)) live.push_back(w);
+    }
+    if (live.empty()) {
+      return Status::IOError("no live workers to place query tasks on");
+    }
+    size_t cursor = 0;
+    for (auto& fragment_slots : placement) {
+      for (int& worker : fragment_slots) {
+        if (cluster_->liveness().IsAlive(worker)) continue;
+        worker = live[cursor++ % live.size()];
+      }
+    }
+  }
+
+  // Scheduling tables: kept for the query's lifetime so recovery can
+  // rebuild any task's create request (ISSUE 7).
+  execution->recovery_enabled_ =
+      process_mode && config.max_task_retries > 0;
+  execution->max_task_retries_ = config.max_task_retries;
+  execution->task_counts_ = task_counts;
+  execution->placement_ = placement;
+  execution->fragment_jsons_.resize(num_fragments);
+  execution->generations_.resize(num_fragments);
+  execution->retry_counts_.resize(num_fragments);
+  execution->slot_finished_.resize(num_fragments);
+  execution->slot_recovering_.resize(num_fragments);
+  execution->journal_.resize(num_fragments);
+  execution->no_more_splits_.resize(num_fragments);
+  for (size_t f = 0; f < num_fragments; ++f) {
+    size_t count = static_cast<size_t>(task_counts[f]);
+    execution->generations_[f].assign(count, 0);
+    execution->retry_counts_[f].assign(count, 0);
+    execution->slot_finished_[f].assign(count, false);
+    execution->slot_recovering_[f].assign(count, false);
+    execution->journal_[f].resize(count);
+  }
+  execution->retries_counter_ = retries_counter_;
+  execution->recovery_histogram_ = recovery_histogram_;
+
   // Create the per-task clients.
   for (const auto& fragment : fplan.fragments) {
     int count = task_counts[static_cast<size_t>(fragment.id)];
     execution->fragment_remaining_[static_cast<size_t>(fragment.id)] = count;
     execution->remaining_tasks_ += count;
-    Json fragment_json;
     if (process_mode) {
       auto serialized = PlanFragmentToJson(fragment);
       if (!serialized.ok()) return serialized.status();
-      fragment_json = std::move(*serialized);
+      execution->fragment_jsons_[static_cast<size_t>(fragment.id)] =
+          std::move(*serialized);
     }
     for (int t = 0; t < count; ++t) {
       int worker = placement[static_cast<size_t>(fragment.id)]
                             [static_cast<size_t>(t)];
+      if (process_mode) {
+        // Out-of-process task: ship the serialized fragment plus the
+        // exchange endpoints of every producer task feeding it. (No lock
+        // needed pre-launch — nothing else references the tables yet.)
+        execution->tasks_[static_cast<size_t>(fragment.id)].push_back(
+            execution->MakeRemoteClientLocked(fragment.id, t));
+        continue;
+      }
+
       TaskSpec spec;
       spec.query_id = query_id;
       spec.fragment_id = fragment.id;
@@ -585,38 +1183,6 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
       for (int input : fragment.inputs) {
         spec.source_task_counts[input] =
             task_counts[static_cast<size_t>(input)];
-      }
-
-      if (process_mode) {
-        // Out-of-process task: ship the serialized fragment plus the
-        // exchange endpoints of every producer task feeding it.
-        TaskCreateRequest create;
-        create.spec = spec;
-        create.fragment = fragment_json;
-        create.eval_mode = config.eval_mode;
-        create.exchange_buffer_bytes = config.exchange_buffer_bytes;
-        create.max_drivers_per_pipeline = config.max_drivers_per_pipeline;
-        const auto& writer_counter =
-            execution->active_writers_[static_cast<size_t>(fragment.id)];
-        create.active_writers =
-            writer_counter != nullptr ? writer_counter->load() : -1;
-        create.emit_results_via_exchange = fragment.id == fplan.root_id;
-        for (int input : fragment.inputs) {
-          const auto& input_placement =
-              placement[static_cast<size_t>(input)];
-          for (size_t it = 0; it < input_placement.size(); ++it) {
-            create.endpoints.push_back(
-                {input, static_cast<int>(it),
-                 cluster_->http_port(input_placement[it])});
-          }
-        }
-        HttpTaskClient::Options options;
-        options.task_port = cluster_->task_port(worker);
-        options.liveness = &cluster_->liveness();
-        execution->tasks_[static_cast<size_t>(fragment.id)].push_back(
-            std::make_shared<HttpTaskClient>(spec, create.ToJson(),
-                                             options));
-        continue;
       }
 
       // In-process task: the pre-ISSUE-6 path, byte for byte, behind
@@ -666,6 +1232,27 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
     execution->lifecycle_->MarkRunning(std::move(fragment_task_counts));
   }
 
+  // The root fetch target must be set before any Launch is issued: a
+  // create that fails synchronously can trigger a recovery round that
+  // re-points root_fetch_port_ at a replacement worker (with an epoch
+  // bump), and a later assignment from the stale local placement would
+  // silently undo that redirect.
+  if (process_mode) {
+    execution->root_fetch_port_ = cluster_->http_port(
+        placement[static_cast<size_t>(fplan.root_id)][0]);
+  }
+
+  // Recovery plumbing must exist before the first Launch: a create that
+  // fails on a just-dead worker re-enters OnTaskDone, which may absorb
+  // the failure into a recovery request immediately.
+  QueryExecution* raw = execution.get();
+  if (execution->recovery_enabled_) {
+    execution->recovery_ = std::make_unique<TaskRecoveryManager>(
+        [raw](const RecoveryRequest& request) { raw->RunRecovery(request); });
+    execution->liveness_listener_ = cluster_->liveness().AddDeathListener(
+        [raw](int worker) { raw->OnWorkerDeath(worker); });
+  }
+
   // Launch: register every task with its worker's executor — local MLFQ in
   // kThreads mode, a remote daemon's via the create RPC in kProcess mode
   // (all-at-once; phased mode defers only split enumeration, keeping
@@ -680,30 +1267,61 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
     }
     for (const auto& task : fragment_tasks) {
       int fragment = task->spec().fragment_id;
+      int task_index = task->spec().task_index;
+      // A create failure earlier in this loop may already have failed the
+      // query (no retry budget) and aborted every task launched so far.
+      // Creating MORE tasks after that sweep would strand them: nothing
+      // aborts them again, their callbacks never fire, and Wait() hangs.
+      // Settle the accounting without launching instead.
+      bool already_failed;
+      {
+        std::lock_guard<std::mutex> lock(execution->mu_);
+        already_failed = execution->finished_;
+      }
+      if (already_failed) {
+        raw->OnTaskDone(fragment, task_index, /*generation=*/0,
+                        Status::Cancelled("query failed before launch"));
+        continue;
+      }
       // Raw capture is safe: ~QueryExecution waits for every task callback
       // before releasing the object.
-      QueryExecution* raw_exec = execution.get();
       Status launched =
-          task->Launch([raw_exec, fragment](Status status) {
-            raw_exec->OnTaskDone(fragment, status);
+          task->Launch([raw, fragment, task_index](Status status) {
+            raw->OnTaskDone(fragment, task_index, /*generation=*/0, status);
           });
       if (!launched.ok()) {
         // The callback will never fire for this task; settle its
         // accounting directly so Wait() terminates and the failure
-        // becomes the query status.
-        raw_exec->OnTaskDone(fragment, launched);
+        // becomes the query status (or a recovery request).
+        raw->OnTaskDone(fragment, task_index, /*generation=*/0, launched);
       }
     }
   }
+  // An asynchronous failure can interleave with the loop above: a task
+  // launched after that failure's abort sweep would be missed by it.
+  // Re-sweep now that the task set is complete.
+  if (process_mode) {
+    bool failed_during_launch;
+    {
+      std::lock_guard<std::mutex> lock(execution->mu_);
+      failed_during_launch = execution->finished_;
+    }
+    if (failed_during_launch) execution->AbortAllTasks();
+  }
+
+  // Unblock recovery: every gen-0 Launch has been issued, so the recovery
+  // thread may now swap replacement clients into tasks_.
+  {
+    std::lock_guard<std::mutex> lock(execution->mu_);
+    execution->launch_complete_ = true;
+  }
+  execution->done_cv_.notify_all();
 
   // Start the split/monitor thread. It captures a raw pointer: the
   // destructor joins the thread before members are destroyed.
-  QueryExecution* raw = execution.get();
   execution->split_thread_ =
       std::thread([raw] { raw->SplitSchedulingLoop(); });
   if (process_mode) {
-    execution->root_fetch_port_ = cluster_->http_port(
-        placement[static_cast<size_t>(fplan.root_id)][0]);
     execution->result_fetch_thread_ =
         std::thread([raw] { raw->ResultFetchLoop(); });
   }

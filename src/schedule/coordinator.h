@@ -3,20 +3,33 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "connector/connector.h"
 #include "exec/task.h"
 #include "fragment/fragmenter.h"
 #include "schedule/cluster.h"
+#include "schedule/task_recovery.h"
+#include "stats/metrics_registry.h"
 #include "stats/query_stats.h"
 #include "worker/task_client.h"
 
 namespace presto {
+
+/// Shortest-queue split assignment (§IV-D3) restricted to tasks whose
+/// worker is alive and which actually own a split queue for `node_id`.
+/// Errors when no candidate exists — the pre-ISSUE-7 code silently fell
+/// back to task index 0 then, quietly feeding splits to a task that could
+/// be sitting on a dead worker.
+Result<int> ChooseSplitTarget(
+    const std::vector<std::shared_ptr<TaskClient>>& tasks, int node_id);
 
 /// A running (or finished) distributed query: owns the per-fragment task
 /// clients, the lazy split-scheduling thread, the writer-scaling monitor,
@@ -56,11 +69,37 @@ class QueryExecution {
   QueryExecution() = default;
 
   void SplitSchedulingLoop();
-  void OnTaskDone(int fragment, const Status& status);
+  /// Terminal-status callback for task slot (fragment, task). `generation`
+  /// identifies the incarnation that completed: a callback from a
+  /// superseded incarnation only settles its accounting, while a
+  /// current-generation worker-loss failure is absorbed into a recovery
+  /// request instead of failing the query (ISSUE 7).
+  void OnTaskDone(int fragment, int task, int generation,
+                  const Status& status);
   /// Best-effort cancel RPC to every task (no-op clients ignore it).
-  /// Touches only the immutable tasks_ vector, so callable with or
-  /// without mu_ held.
+  /// Snapshots the client vector under tasks_mu_, then calls outside it.
   void AbortAllTasks();
+  /// Liveness death listener (kProcess with retries): queues a recovery
+  /// request for every unfinished slot placed on `worker`.
+  void OnWorkerDeath(int worker);
+  /// Recovery-thread handler for one queued request: computes the restart
+  /// closure, re-places the dead worker's slots on live workers, launches
+  /// generation+1 replacements, and replays their journaled splits — or
+  /// fails the query cleanly when retries are exhausted, no live worker
+  /// remains, or a non-replayable stage (result frames already delivered
+  /// to the client) is involved.
+  void RunRecovery(const RecoveryRequest& request);
+  /// Builds the HTTP client + create request for slot (fragment, task)
+  /// from the current placement_/generations_ tables. Caller holds
+  /// tasks_mu_ (or is single-threaded pre-launch inside Execute()).
+  std::shared_ptr<TaskClient> MakeRemoteClientLocked(int fragment, int task);
+  /// The shared tail of OnTaskDone/RunRecovery under mu_: finishes the
+  /// stream and finalizes once remaining_tasks_ drained to zero.
+  void FinishIfDrainedLocked();
+  /// Converts every absorbed recovery hold back into a completed-task
+  /// decrement (the query is failing; no replacement will consume them).
+  /// Caller holds mu_ and tasks_mu_.
+  void DischargeRecoveryHoldsLocked();
   /// kProcess only: pulls the root task's output buffer over the exchange
   /// protocol into results_, finishing the stream when the buffer
   /// completes (and aborting still-running upstream producers, e.g. after
@@ -82,7 +121,8 @@ class QueryExecution {
   std::unique_ptr<QueryMemory> memory_;
   ResultQueue results_;
   // tasks_[fragment][task_index]; DirectTaskClient in kThreads mode,
-  // HttpTaskClient in kProcess mode. Immutable once launched.
+  // HttpTaskClient in kProcess mode. The vector shape is immutable once
+  // launched; individual elements are swapped by recovery under tasks_mu_.
   std::vector<std::vector<std::shared_ptr<TaskClient>>> tasks_;
   // Round-robin writer-scaling state per fragment (producer side).
   std::vector<std::unique_ptr<std::atomic<int>>> active_writers_;
@@ -99,6 +139,13 @@ class QueryExecution {
   /// thread then owns finishing the stream and running FinalizeLocked().
   bool defer_finalize_ = false;
   bool finalized_ = false;
+  /// Set (under mu_) once Execute()'s initial launch loop has issued every
+  /// gen-0 Launch. RunRecovery() blocks on it: a create that fails
+  /// synchronously mid-loop (worker died before the query started) would
+  /// otherwise let the recovery thread swap replacement clients into
+  /// tasks_ while the loop is still walking it — and the loop would then
+  /// Launch an already-launched replacement a second time.
+  bool launch_complete_ = false;
 
   std::thread split_thread_;
   std::atomic<bool> stop_split_thread_{false};
@@ -116,6 +163,58 @@ class QueryExecution {
   int root_fetch_port_ = -1;
   std::thread result_fetch_thread_;
   std::atomic<bool> stop_fetch_thread_{false};
+
+  /// ---- Task recovery on worker death (ISSUE 7; kProcess only). ----
+  /// Guards the slot tables below plus the elements of tasks_. Lock order:
+  /// mu_ before tasks_mu_ before fetch_mu_; never the reverse.
+  mutable std::mutex tasks_mu_;
+  bool recovery_enabled_ = false;
+  int max_task_retries_ = 0;
+  /// Serialized fragments + scheduling tables kept so a replacement task's
+  /// create request can be rebuilt at any time.
+  std::vector<Json> fragment_jsons_;
+  std::vector<int> task_counts_;
+  std::vector<std::vector<int>> placement_;    // [fragment][task] -> worker
+  std::vector<std::vector<int>> generations_;  // current incarnation
+  std::vector<std::vector<int>> retry_counts_; // dead-worker restarts only
+  std::vector<std::vector<bool>> slot_finished_;
+  /// Slot whose terminal callback was absorbed into a pending recovery
+  /// request: remaining_tasks_ still counts it (the "hold") until a
+  /// recovery round launches its replacement or fails the query.
+  std::vector<std::vector<bool>> slot_recovering_;
+  /// Split-assignment journal: everything ever routed to a slot, replayed
+  /// verbatim into its replacement. Connector pointers outlive the query
+  /// (catalog-owned).
+  struct SlotJournal {
+    std::map<int, std::vector<std::pair<SplitPtr, Connector*>>> splits;
+  };
+  std::vector<std::vector<SlotJournal>> journal_;
+  std::vector<std::set<int>> no_more_splits_;  // per fragment: closed nodes
+  /// Clients replaced by recovery, kept alive until the execution is
+  /// destroyed: destroying an HttpTaskClient joins its poll thread, and
+  /// that thread may be blocked on mu_ delivering the stale callback (so
+  /// freeing inside the recovery round would deadlock) or may itself be
+  /// the thread running FinalizeLocked() (a self-join). Only
+  /// ~QueryExecution — a waiter thread, after every callback settled —
+  /// may free them. Guarded by tasks_mu_.
+  std::vector<std::shared_ptr<TaskClient>> superseded_clients_;
+  /// Parks the split-scheduling loop while a recovery round swaps clients
+  /// and replays journals.
+  std::atomic<bool> recovery_pause_{false};
+  std::unique_ptr<TaskRecoveryManager> recovery_;
+  int liveness_listener_ = -1;
+  Counter* retries_counter_ = nullptr;        // presto_task_retries_total
+  Histogram* recovery_histogram_ = nullptr;   // recovery latency, seconds
+
+  /// Root result-stream epoch: the fetch loop rebinds its exchange client
+  /// whenever recovery moved the root task. root_frames_consumed_ counts
+  /// frames already delivered to the client under the current epoch — a
+  /// root restart is only legal while it is zero (otherwise replayed
+  /// frames would duplicate delivered rows, so the query fails cleanly).
+  std::mutex fetch_mu_;
+  int root_epoch_ = 0;
+  int root_fetch_generation_ = 0;
+  int64_t root_frames_consumed_ = 0;
 
   /// Lifecycle record finalized when the last task completes; may be null
   /// (tests that drive the coordinator directly).
@@ -140,6 +239,15 @@ class Coordinator {
       const std::string& query_id, FragmentedPlan plan,
       std::shared_ptr<QueryLifecycle> lifecycle = nullptr);
 
+  /// Installs the recovery observability instruments (ISSUE 7): the
+  /// presto_task_retries_total counter and the recovery-latency histogram,
+  /// both registry-owned and outliving the coordinator. Either may be
+  /// null (tests that drive the coordinator directly).
+  void SetRecoveryInstruments(Counter* retries, Histogram* latency) {
+    retries_counter_ = retries;
+    recovery_histogram_ = latency;
+  }
+
   int running_queries() const {
     std::lock_guard<std::mutex> lock(admission_mu_);
     return running_;
@@ -159,6 +267,8 @@ class Coordinator {
   // because concurrent Execute() calls may interleave and exact rotation
   // does not matter, only rough spread.
   std::atomic<int> round_robin_worker_{0};
+  Counter* retries_counter_ = nullptr;
+  Histogram* recovery_histogram_ = nullptr;
 };
 
 }  // namespace presto

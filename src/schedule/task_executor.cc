@@ -246,7 +246,15 @@ void TaskExecutor::WorkerLoop() {
     }
     entry.last_level = level;
     if (!result.ok()) {
-      if (task.runtime().query_memory != nullptr) {
+      // Fail-fast propagation: a genuine error kills the query's sibling
+      // drivers via the shared memory context. A Cancelled status is
+      // excluded — it is aimed at one task (recovery superseding it, or a
+      // coordinator task-delete), and killing the query-wide context here
+      // would take down the very replacement tasks recovery just created
+      // on this worker (ISSUE 7). Query-wide cancels kill the memory
+      // context at their source already.
+      if (task.runtime().query_memory != nullptr &&
+          result.status().code() != StatusCode::kCancelled) {
         task.runtime().query_memory->Kill(result.status());
       }
       DriverDone(entry, result.status());

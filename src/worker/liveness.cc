@@ -1,14 +1,32 @@
 #include "worker/liveness.h"
 
+#include <algorithm>
+
 #include "common/json.h"
 #include "exchange/http/http_io.h"
 
 namespace presto {
 
+WorkerLivenessTracker::~WorkerLivenessTracker() {
+  {
+    std::lock_guard<std::mutex> lock(listener_mu_);
+    monitor_stop_ = true;
+    listener_cv_.notify_all();
+  }
+  if (monitor_.joinable()) monitor_.join();
+}
+
+void WorkerLivenessTracker::RegisterWorker(int worker_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  registered_.emplace(worker_id, Clock::now());  // first call wins
+}
+
 void WorkerLivenessTracker::Heartbeat(int worker_id, int64_t rtt_micros) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     last_beat_[worker_id] = Clock::now();
+    if (!activated_at_.has_value()) activated_at_ = Clock::now();
+    death_fired_.erase(worker_id);  // revived: re-arm death notification
   }
   heartbeats_received_.fetch_add(1, std::memory_order_relaxed);
   if (rtt_histogram_ != nullptr && rtt_micros > 0) {
@@ -21,29 +39,96 @@ bool WorkerLivenessTracker::SeenHeartbeat(int worker_id) const {
   return last_beat_.count(worker_id) > 0;
 }
 
+bool WorkerLivenessTracker::IsAliveLocked(int worker_id,
+                                          Clock::time_point now) const {
+  auto it = last_beat_.find(worker_id);
+  if (it != last_beat_.end()) {
+    int64_t silent_micros =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - it->second)
+            .count();
+    return silent_micros <= timeout_micros_.load();
+  }
+  // Never heartbeated. Unregistered workers — or any worker before the
+  // tracker saw its first heartbeat — are passive (alive): in-process
+  // clusters and heartbeat-less tests must never expire.
+  auto reg = registered_.find(worker_id);
+  if (reg == registered_.end() || !activated_at_.has_value()) return true;
+  int64_t grace = first_beat_grace_micros_.load();
+  if (grace <= 0) grace = timeout_micros_.load();
+  Clock::time_point since = std::max(reg->second, *activated_at_);
+  int64_t waited_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(now - since)
+          .count();
+  return waited_micros <= grace;
+}
+
 bool WorkerLivenessTracker::IsAlive(int worker_id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  auto it = last_beat_.find(worker_id);
-  if (it == last_beat_.end()) return true;  // never heartbeated: passive
-  int64_t silent_micros = std::chrono::duration_cast<std::chrono::microseconds>(
-                              Clock::now() - it->second)
-                              .count();
-  return silent_micros <= timeout_micros_.load();
+  return IsAliveLocked(worker_id, Clock::now());
 }
 
 int64_t WorkerLivenessTracker::AliveCount(int total_workers) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto now = Clock::now();
   int64_t alive = 0;
   for (int w = 0; w < total_workers; ++w) {
-    if (IsAlive(w)) ++alive;
+    if (IsAliveLocked(w, now)) ++alive;
   }
   return alive;
+}
+
+int WorkerLivenessTracker::AddDeathListener(std::function<void(int)> fn) {
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  int token = next_listener_token_++;
+  listeners_[token] = std::move(fn);
+  if (!monitor_.joinable()) {
+    monitor_ = std::thread([this] { MonitorLoop(); });
+  }
+  return token;
+}
+
+void WorkerLivenessTracker::RemoveDeathListener(int token) {
+  // listener_mu_ is held while callbacks run, so returning from here
+  // guarantees no further (or in-flight) invocation of this listener.
+  std::lock_guard<std::mutex> lock(listener_mu_);
+  listeners_.erase(token);
+}
+
+void WorkerLivenessTracker::MonitorLoop() {
+  while (true) {
+    // Collect fresh alive->dead transitions without listener_mu_ held.
+    std::vector<int> newly_dead;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto now = Clock::now();
+      auto check = [&](int worker) {
+        if (death_fired_.count(worker) > 0) return;
+        if (IsAliveLocked(worker, now)) return;
+        death_fired_[worker] = true;
+        newly_dead.push_back(worker);
+      };
+      for (const auto& [worker, when] : last_beat_) check(worker);
+      for (const auto& [worker, when] : registered_) check(worker);
+    }
+    std::unique_lock<std::mutex> lock(listener_mu_);
+    for (int worker : newly_dead) {
+      for (const auto& [token, fn] : listeners_) fn(worker);
+    }
+    int64_t poll_micros =
+        std::clamp<int64_t>(timeout_micros_.load() / 8, 5'000, 100'000);
+    listener_cv_.wait_for(lock, std::chrono::microseconds(poll_micros),
+                          [this] { return monitor_stop_; });
+    if (monitor_stop_) return;
+  }
 }
 
 HeartbeatSender::HeartbeatSender(int coordinator_port, int worker_id,
                                  int64_t interval_micros)
     : coordinator_port_(coordinator_port),
       worker_id_(worker_id),
-      interval_micros_(interval_micros) {}
+      // A non-positive interval would busy-spin the loop and zero the
+      // connect timeout; fall back to the default cadence.
+      interval_micros_(interval_micros > 0 ? interval_micros : 200'000) {}
 
 HeartbeatSender::~HeartbeatSender() { Stop(); }
 
@@ -83,13 +168,23 @@ void HeartbeatSender::Loop() {
 
 bool HeartbeatSender::SendOnce() {
   auto start = std::chrono::steady_clock::now();
-  auto conn_or = ConnectToLoopback(coordinator_port_, interval_micros_ * 4);
+  // Connect timeout: 4 beat intervals, clamped to [10ms, 2s] so a huge
+  // configured interval cannot overflow (or stall a beat for minutes) and
+  // a tiny one cannot starve the connect.
+  int64_t connect_timeout_micros =
+      interval_micros_ > 500'000 ? 2'000'000 : interval_micros_ * 4;
+  connect_timeout_micros =
+      std::clamp<int64_t>(connect_timeout_micros, 10'000, 2'000'000);
+  auto conn_or = ConnectToLoopback(coordinator_port_, connect_timeout_micros);
   if (!conn_or.ok()) return false;
   std::unique_ptr<HttpConnection> conn = std::move(conn_or).value();
 
   Json body = Json::Object();
+  // rttMicros -1 = "no round trip measured yet" (first beat); the
+  // coordinator only records positive samples.
+  int64_t last_rtt = last_rtt_micros_.load();
   body.Set("worker", Json::Int(worker_id_))
-      .Set("rttMicros", Json::Int(last_rtt_micros_.load()));
+      .Set("rttMicros", Json::Int(last_rtt > 0 ? last_rtt : -1));
 
   HttpRequest request;
   request.method = "POST";
@@ -99,9 +194,12 @@ bool HeartbeatSender::SendOnce() {
   auto response_or = conn->ReadResponse();
   if (!response_or.ok() || response_or.value().status != 200) return false;
 
-  last_rtt_micros_.store(std::chrono::duration_cast<std::chrono::microseconds>(
-                             std::chrono::steady_clock::now() - start)
-                             .count());
+  // A sub-microsecond loopback round trip would store 0 and look "never
+  // measured" forever; report at least 1µs so the first real RTT sticks.
+  int64_t rtt = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  last_rtt_micros_.store(std::max<int64_t>(rtt, 1));
   return true;
 }
 

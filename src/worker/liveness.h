@@ -5,8 +5,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -15,26 +17,42 @@
 
 namespace presto {
 
-/// Coordinator-side failure detector (ISSUE 6): workers POST periodic
+/// Coordinator-side failure detector (ISSUE 6/7): workers POST periodic
 /// heartbeats; a worker that has heartbeated at least once and then goes
-/// silent past the timeout is declared dead. Workers that never heartbeated
-/// are treated as alive — in-process clusters (and tests that never start
-/// heartbeat senders) stay fully passive.
+/// silent past the timeout is declared dead. A *registered* worker that
+/// never heartbeated is granted a first-heartbeat grace period measured
+/// from max(its registration, the tracker's activation — the first
+/// heartbeat from any worker): once heartbeats are demonstrably flowing,
+/// a still-silent worker is dead, closing the "killed before the first
+/// beat = immortal" hole. Unregistered workers (in-process clusters,
+/// tests that never start heartbeat senders) stay fully passive.
 class WorkerLivenessTracker {
  public:
   explicit WorkerLivenessTracker(int64_t timeout_micros = 2'000'000)
       : timeout_micros_(timeout_micros) {}
+  ~WorkerLivenessTracker();
 
   void set_timeout_micros(int64_t micros) { timeout_micros_ = micros; }
   int64_t timeout_micros() const { return timeout_micros_; }
+  /// Grace before a registered, never-heartbeated worker is declared dead
+  /// (only once the tracker is activated by some worker's first beat).
+  /// 0 means "use timeout_micros".
+  void set_first_beat_grace_micros(int64_t micros) {
+    first_beat_grace_micros_ = micros;
+  }
+
+  /// Declares that `worker_id` is expected to heartbeat, starting its
+  /// first-heartbeat grace clock. Idempotent (first call wins).
+  void RegisterWorker(int worker_id);
 
   /// Records a heartbeat from `worker_id` (rtt as reported by the worker:
   /// the round trip of its previous heartbeat POST).
   void Heartbeat(int worker_id, int64_t rtt_micros);
 
   bool SeenHeartbeat(int worker_id) const;
-  /// False only for workers that heartbeated and then went silent past the
-  /// timeout.
+  /// False for workers that heartbeated and then went silent past the
+  /// timeout, and for registered workers that never heartbeated within the
+  /// grace period of an activated tracker.
   bool IsAlive(int worker_id) const;
 
   /// Workers among [0, total) currently considered alive.
@@ -45,14 +63,43 @@ class WorkerLivenessTracker {
   /// Heartbeat round-trip latency histogram (micros), optional.
   void set_rtt_histogram(Histogram* histogram) { rtt_histogram_ = histogram; }
 
+  /// Death notifications (ISSUE 7): `fn(worker_id)` fires once per
+  /// alive->dead transition (a later heartbeat revives the worker and
+  /// re-arms the notification). Callbacks run on an internal monitor
+  /// thread, started lazily with the first listener, without any tracker
+  /// lock held. Returns a token for RemoveDeathListener, which blocks
+  /// until any in-flight callback has returned.
+  int AddDeathListener(std::function<void(int)> fn);
+  void RemoveDeathListener(int token);
+
  private:
   using Clock = std::chrono::steady_clock;
 
+  bool IsAliveLocked(int worker_id, Clock::time_point now) const;
+  void MonitorLoop();
+
   std::atomic<int64_t> timeout_micros_;
+  std::atomic<int64_t> first_beat_grace_micros_{0};
   mutable std::mutex mu_;
   std::map<int, Clock::time_point> last_beat_;
+  std::map<int, Clock::time_point> registered_;
+  /// Set by the first heartbeat from any worker; grace clocks only run
+  /// against an activated tracker so heartbeat-less setups never expire.
+  std::optional<Clock::time_point> activated_at_;
+  /// Workers whose death has been reported and not yet revived.
+  std::map<int, bool> death_fired_;
   std::atomic<int64_t> heartbeats_received_{0};
   Histogram* rtt_histogram_ = nullptr;
+
+  /// Listener registry + monitor thread. listener_mu_ is held while
+  /// invoking callbacks, so RemoveDeathListener synchronizes with them;
+  /// it is never taken while mu_ is held with callbacks pending.
+  std::mutex listener_mu_;
+  std::condition_variable listener_cv_;
+  std::map<int, std::function<void(int)>> listeners_;
+  int next_listener_token_ = 0;
+  bool monitor_stop_ = false;
+  std::thread monitor_;
 };
 
 /// Worker-side heartbeat loop: POSTs /v1/heartbeat to the coordinator's

@@ -102,15 +102,28 @@ Result<std::string> Subprocess::WaitForLine(const std::string& prefix,
 
 Status Subprocess::WriteLine(const std::string& line) {
   if (stdin_fd_ < 0) return Status::Internal("no child stdin");
+  // Writing to a child that already died must surface as an error, not
+  // kill this process: pipes raise SIGPIPE (there is no MSG_NOSIGNAL for
+  // write), so suppress it for the duration of the write.
+  struct sigaction ignore_pipe;
+  struct sigaction saved_pipe;
+  memset(&ignore_pipe, 0, sizeof(ignore_pipe));
+  ignore_pipe.sa_handler = SIG_IGN;
+  sigaction(SIGPIPE, &ignore_pipe, &saved_pipe);
   std::string payload = line + "\n";
   size_t written = 0;
+  Status result = Status::OK();
   while (written < payload.size()) {
     ssize_t n = write(stdin_fd_, payload.data() + written,
                       payload.size() - written);
-    if (n <= 0) return Status::IOError("write to child stdin failed");
+    if (n <= 0) {
+      result = Status::IOError("write to child stdin failed");
+      break;
+    }
     written += static_cast<size_t>(n);
   }
-  return Status::OK();
+  sigaction(SIGPIPE, &saved_pipe, nullptr);
+  return result;
 }
 
 void Subprocess::Kill() {

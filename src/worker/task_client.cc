@@ -109,6 +109,12 @@ Status HttpTaskClient::Launch(std::function<void(Status)> on_done) {
     std::lock_guard<std::mutex> lock(control_mu_);
     auto status_or = PostControl(create_request_);
     if (!status_or.ok()) {
+      // A create that cannot reach (or be served by) the worker is a
+      // worker-loss signal, not a query error — lets recovery retry the
+      // replacement elsewhere when the chosen worker died in between.
+      if (status_or.status().code() == StatusCode::kIOError) {
+        worker_lost_.store(true);
+      }
       return Status::IOError("task create failed on worker " +
                              std::to_string(spec_.worker_id) + ": " +
                              status_or.status().ToString());
@@ -134,6 +140,7 @@ std::optional<size_t> HttpTaskClient::SplitQueueSize(int node_id) const {
 
 void HttpTaskClient::AddSplit(int node_id, const SplitPtr& split,
                               Connector* connector) {
+  if (superseded_.load()) return;  // replacement generation owns the splits
   if (connector == nullptr) {
     std::lock_guard<std::mutex> lock(control_mu_);
     if (pending_error_.ok()) {
@@ -154,6 +161,7 @@ void HttpTaskClient::AddSplit(int node_id, const SplitPtr& split,
 }
 
 void HttpTaskClient::NoMoreSplits(int node_id) {
+  if (superseded_.load()) return;
   // Flush anything buffered for the node first so ordering holds.
   (void)FlushSplits();
   TaskUpdateRequest update;
@@ -164,6 +172,7 @@ void HttpTaskClient::NoMoreSplits(int node_id) {
 }
 
 Status HttpTaskClient::FlushSplits() {
+  if (superseded_.load()) return Status::OK();
   TaskUpdateRequest update;
   {
     std::lock_guard<std::mutex> lock(control_mu_);
@@ -200,6 +209,7 @@ double HttpTaskClient::OutputUtilization() const {
 }
 
 void HttpTaskClient::SetActiveWriters(int writers) {
+  if (superseded_.load()) return;
   TaskUpdateRequest update;
   update.active_writers = writers;
   std::lock_guard<std::mutex> lock(control_mu_);
@@ -265,6 +275,7 @@ void HttpTaskClient::PollLoop() {
         options_.liveness->SeenHeartbeat(spec_.worker_id) &&
         !options_.liveness->IsAlive(spec_.worker_id)) {
       worker_dead_.store(true);
+      worker_lost_.store(true);
       FireDone(Status::IOError(
           "worker " + std::to_string(spec_.worker_id) +
           " lost: missed heartbeats past liveness timeout; task " +
@@ -277,6 +288,7 @@ void HttpTaskClient::PollLoop() {
           ConnectToLoopback(options_.task_port, options_.io_timeout_micros);
       if (!conn_or.ok()) {
         if (++consecutive_failures > options_.max_consecutive_failures) {
+          if (!aborted_.load()) worker_lost_.store(true);
           FireDone(aborted_.load()
                        ? Status::Cancelled("task " + task_id_ + " aborted")
                        : Status::IOError("worker " +
@@ -309,6 +321,7 @@ void HttpTaskClient::PollLoop() {
     if (!response_or.ok()) {
       conn.reset();
       if (++consecutive_failures > options_.max_consecutive_failures) {
+        if (!aborted_.load()) worker_lost_.store(true);
         FireDone(aborted_.load()
                      ? Status::Cancelled("task " + task_id_ + " aborted")
                      : Status::IOError(

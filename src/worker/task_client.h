@@ -60,6 +60,18 @@ class TaskClient {
   /// in-process tasks).
   virtual bool worker_alive() const = 0;
 
+  /// True when the task's terminal status is attributable to losing the
+  /// hosting worker (liveness death verdict, connect/poll retry
+  /// exhaustion, create-on-dead-worker) rather than to query execution —
+  /// the coordinator's recoverable-vs-terminal classification (ISSUE 7).
+  /// Always false in-process: a vanished in-process task is a real bug.
+  virtual bool worker_lost() const { return false; }
+
+  /// Marks this client as superseded by a replacement generation: split
+  /// and writer updates become no-op OK so schedulers still holding the
+  /// stale handle cannot fail the query or resurrect worker-side state.
+  virtual void MarkSuperseded() {}
+
   /// Requests cancellation (HTTP DELETE; no-op in-process where killing
   /// the query memory context already stops the drivers). Idempotent.
   virtual void Abort() = 0;
@@ -164,6 +176,8 @@ class HttpTaskClient final : public TaskClient {
   int64_t cpu_nanos() const override;
   int64_t peak_user_memory_bytes() const override;
   bool worker_alive() const override;
+  bool worker_lost() const override { return worker_lost_.load(); }
+  void MarkSuperseded() override { superseded_.store(true); }
   void Abort() override;
   void ReleaseResources() override;
 
@@ -201,6 +215,8 @@ class HttpTaskClient final : public TaskClient {
   std::atomic<bool> aborted_{false};
   std::atomic<bool> stop_{false};
   std::atomic<bool> worker_dead_{false};
+  std::atomic<bool> worker_lost_{false};
+  std::atomic<bool> superseded_{false};
   std::thread poll_thread_;
 };
 

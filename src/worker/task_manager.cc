@@ -41,6 +41,10 @@ struct WorkerTaskManager::TaskEntry {
   bool cancel_requested = false;
   bool abort_requested = false;
   bool remove_on_terminal = false;
+  /// Detached by a higher-generation create (task recovery, ISSUE 7): the
+  /// entry no longer owns its task id in tasks_ and is parked in retired_
+  /// until its executor callback fires.
+  bool superseded = false;
   std::map<int, int64_t> added_splits;
   std::condition_variable cv;
 };
@@ -107,7 +111,34 @@ Result<TaskStatusResponse> WorkerTaskManager::CreateOrUpdate(
     return Status::Cancelled("worker is shutting down");
   }
   if (auto it = tasks_.find(task_id); it != tasks_.end()) {
-    return BuildStatusLocked(*it->second);  // duplicate create: idempotent
+    if (request.spec.generation <= it->second->spec.generation) {
+      return BuildStatusLocked(*it->second);  // duplicate create: idempotent
+    }
+    // Higher generation: a recovery re-creation supersedes this entry
+    // (ISSUE 7). Kill just this task — sibling tasks of the same query on
+    // this worker keep running — park it until its executor callback
+    // fires, and drop its stale output buffers so the replacement's sink
+    // recreates them under the new generation.
+    std::shared_ptr<TaskEntry> old = it->second;
+    tasks_.erase(it);
+    if (!IsTerminalTaskState(old->state)) {
+      old->superseded = true;
+      old->cancel_requested = true;
+      old->abort_requested = true;
+      old->exec->Kill(Status::Cancelled(
+          "task " + task_id + " superseded by generation " +
+          std::to_string(request.spec.generation)));
+      ++old->version;
+      old->cv.notify_all();
+      retired_.push_back(old);
+    } else {
+      // Already terminal: it will get no further callback, so release its
+      // query ref now (mirrors RemoveEntryLocked).
+      ReleaseQueryRefLocked(old->spec.query_id);
+    }
+    options_.exchange->RemoveTaskBuffers(request.spec.query_id,
+                                         request.spec.fragment_id,
+                                         request.spec.task_index);
   }
 
   PRESTO_ASSIGN_OR_RETURN(
@@ -142,10 +173,16 @@ Result<TaskStatusResponse> WorkerTaskManager::CreateOrUpdate(
   ++query_slot.second;
   entry->query_memory = query_slot.first;
 
+  // Retention must be on before the sink creates its buffers during
+  // Initialize(); the flag is sticky for the life of this manager.
+  if (request.retain_exchange_frames) {
+    options_.exchange->set_retain_for_replay(true);
+  }
+
   for (const auto& endpoint : request.endpoints) {
     options_.exchange->RegisterTaskEndpoint(request.spec.query_id,
                                             endpoint[0], endpoint[1],
-                                            endpoint[2]);
+                                            endpoint[2], endpoint[3]);
   }
 
   TaskRuntime runtime;
@@ -241,7 +278,7 @@ Result<TaskStatusResponse> WorkerTaskManager::Delete(
   PRESTO_ASSIGN_OR_RETURN(auto entry, FindLocked(task_id));
   if (IsTerminalTaskState(entry->state)) {
     TaskStatusResponse response = BuildStatusLocked(*entry);
-    RemoveEntryLocked(task_id);
+    RemoveEntryLocked(entry);
     return response;
   }
   entry->cancel_requested = true;
@@ -249,7 +286,13 @@ Result<TaskStatusResponse> WorkerTaskManager::Delete(
   entry->remove_on_terminal = true;
   ++entry->version;
   entry->cv.notify_all();
-  entry->query_memory->Kill(Status::Cancelled(
+  // Task-scoped kill (ISSUE 7): a whole-query abort arrives as one DELETE
+  // per task, so net behavior is unchanged, but aborting a single task
+  // (recovery superseding one slot) no longer kills the per-query memory
+  // context its sibling tasks on this worker share. Limitation: a driver
+  // parked inside a memory-revocation wait only observes the query-level
+  // kill; task-level kills reach it on its next scheduled quantum.
+  entry->exec->Kill(Status::Cancelled(
       "task " + task_id + (abort ? " aborted" : " canceled") +
       " by coordinator"));
   return BuildStatusLocked(*entry);
@@ -277,18 +320,31 @@ void WorkerTaskManager::OnTaskDone(const std::shared_ptr<TaskEntry>& entry,
   ++entry->version;
   entry->cv.notify_all();
   --running_tasks_;
-  if (entry->remove_on_terminal) {
-    RemoveEntryLocked(entry->id);
+  if (entry->superseded) {
+    // The entry was detached from tasks_ when a higher generation took its
+    // id; removing "by id" here would erase the replacement. Drop it from
+    // the retired list and release its query ref directly.
+    for (auto it = retired_.begin(); it != retired_.end(); ++it) {
+      if (*it == entry) {
+        retired_.erase(it);
+        break;
+      }
+    }
+    ReleaseQueryRefLocked(entry->spec.query_id);
+  } else if (entry->remove_on_terminal) {
+    RemoveEntryLocked(entry);
   }
   idle_cv_.notify_all();
 }
 
-void WorkerTaskManager::RemoveEntryLocked(const std::string& task_id) {
-  auto it = tasks_.find(task_id);
-  if (it == tasks_.end()) return;
-  std::string query_id = it->second->spec.query_id;
+void WorkerTaskManager::RemoveEntryLocked(
+    const std::shared_ptr<TaskEntry>& entry) {
+  // Pointer-identity removal: a same-id entry in tasks_ may be a newer
+  // generation that must survive this entry's teardown.
+  auto it = tasks_.find(entry->id);
+  if (it == tasks_.end() || it->second != entry) return;
   tasks_.erase(it);
-  ReleaseQueryRefLocked(query_id);
+  ReleaseQueryRefLocked(entry->spec.query_id);
 }
 
 void WorkerTaskManager::ReleaseQueryRefLocked(const std::string& query_id) {
@@ -322,6 +378,15 @@ void WorkerTaskManager::Shutdown() {
   for (auto& [id, entry] : tasks_) {
     if (!IsTerminalTaskState(entry->state)) {
       entry->abort_requested = true;
+      // Whole-worker teardown: the query-level kill is both faster and
+      // reaches drivers parked in memory waits.
+      entry->query_memory->Kill(
+          Status::Cancelled("worker is shutting down"));
+    }
+    entry->cv.notify_all();
+  }
+  for (auto& entry : retired_) {
+    if (!IsTerminalTaskState(entry->state)) {
       entry->query_memory->Kill(
           Status::Cancelled("worker is shutting down"));
     }
@@ -332,6 +397,7 @@ void WorkerTaskManager::Shutdown() {
   query_ids.reserve(queries_.size());
   for (auto& [query_id, slot] : queries_) query_ids.push_back(query_id);
   tasks_.clear();
+  retired_.clear();
   queries_.clear();
   for (const std::string& query_id : query_ids) {
     options_.exchange->RemoveQuery(query_id);

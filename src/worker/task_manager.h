@@ -56,14 +56,18 @@ class WorkerTaskManager {
                                        int64_t since_version,
                                        int64_t wait_micros);
 
-  /// DELETE /v1/task/{taskId}[?abort=1]: cancels a running task (kills its
-  /// query's memory context on this worker — our coordinator only cancels
-  /// whole queries) and schedules the entry for removal. Responds
-  /// immediately with the current status; the caller polls to terminal.
+  /// DELETE /v1/task/{taskId}[?abort=1]: cancels a running task via its
+  /// task-scoped kill switch (sibling tasks of the same query on this
+  /// worker keep running — needed when recovery aborts one slot, ISSUE 7)
+  /// and schedules the entry for removal. Responds immediately with the
+  /// current status; the caller polls to terminal.
   Result<TaskStatusResponse> Delete(const std::string& task_id, bool abort);
 
   int64_t active_tasks() const;
   bool shutting_down() const;
+
+  /// The worker's exchange manager (leak gauges for /v1/info).
+  ExchangeManager* exchange() const { return options_.exchange; }
 
   /// Kills every query, wakes all long-polls, waits for all tasks to
   /// drain, and drops all entries. Called before the HTTP services stop
@@ -77,7 +81,7 @@ class WorkerTaskManager {
   Result<std::shared_ptr<TaskEntry>> FindLocked(const std::string& task_id);
   Status ApplyUpdateLocked(TaskEntry& entry, const TaskUpdateRequest& update);
   void OnTaskDone(const std::shared_ptr<TaskEntry>& entry, Status status);
-  void RemoveEntryLocked(const std::string& task_id);
+  void RemoveEntryLocked(const std::shared_ptr<TaskEntry>& entry);
   void ReleaseQueryRefLocked(const std::string& query_id);
 
   WorkerTaskManagerOptions options_;
@@ -85,6 +89,9 @@ class WorkerTaskManager {
   mutable std::mutex mu_;
   std::condition_variable idle_cv_;
   std::map<std::string, std::shared_ptr<TaskEntry>> tasks_;
+  /// Entries detached by a higher-generation create, still draining on the
+  /// executor (their callbacks release them).
+  std::vector<std::shared_ptr<TaskEntry>> retired_;
   /// query id -> (memory context, live task refcount).
   std::map<std::string, std::pair<std::shared_ptr<QueryMemory>, int>> queries_;
   int64_t running_tasks_ = 0;

@@ -70,7 +70,8 @@ Json TaskCreateRequest::ToJson() const {
       .Set("taskIndex", Json::Int(spec.task_index))
       .Set("numTasks", Json::Int(spec.num_tasks))
       .Set("consumerPartitions", Json::Int(spec.consumer_partitions))
-      .Set("workerId", Json::Int(spec.worker_id));
+      .Set("workerId", Json::Int(spec.worker_id))
+      .Set("generation", Json::Int(spec.generation));
   Json source_counts = Json::Object();
   for (const auto& [fragment_id, count] : spec.source_task_counts) {
     source_counts.Set(std::to_string(fragment_id), Json::Int(count));
@@ -83,6 +84,7 @@ Json TaskCreateRequest::ToJson() const {
     entry.Append(Json::Int(e[0]));
     entry.Append(Json::Int(e[1]));
     entry.Append(Json::Int(e[2]));
+    entry.Append(Json::Int(e[3]));
     endpoints_json.Append(std::move(entry));
   }
 
@@ -94,6 +96,7 @@ Json TaskCreateRequest::ToJson() const {
       .Set("maxDriversPerPipeline", Json::Int(max_drivers_per_pipeline))
       .Set("activeWriters", Json::Int(active_writers))
       .Set("emitResultsViaExchange", Json::Bool(emit_results_via_exchange))
+      .Set("retainExchangeFrames", Json::Bool(retain_exchange_frames))
       .Set("endpoints", std::move(endpoints_json));
   return out;
 }
@@ -115,6 +118,12 @@ Result<TaskCreateRequest> TaskCreateRequest::FromJson(const Json& json) {
   request.spec.num_tasks = static_cast<int>(num_tasks);
   request.spec.consumer_partitions = static_cast<int>(consumer_partitions);
   request.spec.worker_id = static_cast<int>(worker_id);
+  if (const Json* generation = spec_json->Find("generation")) {
+    if (!generation->is_int()) {
+      return Status::InvalidArgument("spec.generation must be an integer");
+    }
+    request.spec.generation = static_cast<int>(generation->int_value());
+  }
   if (const Json* counts = spec_json->Find("sourceTaskCounts")) {
     PRESTO_ASSIGN_OR_RETURN(auto m, IntMapFromJson(*counts));
     for (const auto& [k, v] : m) {
@@ -142,15 +151,24 @@ Result<TaskCreateRequest> TaskCreateRequest::FromJson(const Json& json) {
   request.active_writers = static_cast<int>(writers);
   PRESTO_ASSIGN_OR_RETURN(request.emit_results_via_exchange,
                           json.GetBool("emitResultsViaExchange"));
+  if (const Json* retain = json.Find("retainExchangeFrames")) {
+    if (!retain->is_bool()) {
+      return Status::InvalidArgument("retainExchangeFrames must be a bool");
+    }
+    request.retain_exchange_frames = retain->bool_value();
+  }
 
   PRESTO_ASSIGN_OR_RETURN(const Json* endpoints_json,
                           json.GetArray("endpoints"));
   for (const Json& entry : endpoints_json->items()) {
-    if (!entry.is_array() || entry.size() != 3) {
-      return Status::InvalidArgument("endpoint entry must be [f, t, port]");
+    // Generation-less [f, t, port] entries (pre-recovery senders) default
+    // the producer generation to 0.
+    if (!entry.is_array() || entry.size() < 3 || entry.size() > 4) {
+      return Status::InvalidArgument(
+          "endpoint entry must be [f, t, port, generation]");
     }
-    std::array<int, 3> e{};
-    for (int i = 0; i < 3; ++i) {
+    std::array<int, 4> e{};
+    for (size_t i = 0; i < entry.size(); ++i) {
       const Json& field = entry.items()[i];
       if (!field.is_int()) {
         return Status::InvalidArgument("endpoint entry must be integers");
@@ -379,7 +397,9 @@ Json NodeInfo::ToJson() const {
       .Set("activeTasks", Json::Int(active_tasks))
       .Set("heartbeats", Json::Int(heartbeats))
       .Set("lastRttMicros", Json::Int(last_rtt_micros))
-      .Set("aliveWorkers", Json::Int(alive_workers));
+      .Set("aliveWorkers", Json::Int(alive_workers))
+      .Set("bufferedBytes", Json::Int(buffered_bytes))
+      .Set("retainedBytes", Json::Int(retained_bytes));
   return out;
 }
 
@@ -392,6 +412,15 @@ Result<NodeInfo> NodeInfo::FromJson(const Json& json) {
   PRESTO_ASSIGN_OR_RETURN(info.heartbeats, json.GetInt("heartbeats"));
   PRESTO_ASSIGN_OR_RETURN(info.last_rtt_micros, json.GetInt("lastRttMicros"));
   PRESTO_ASSIGN_OR_RETURN(info.alive_workers, json.GetInt("aliveWorkers"));
+  // Optional (absent in pre-recovery payloads).
+  if (json.Find("bufferedBytes") != nullptr) {
+    PRESTO_ASSIGN_OR_RETURN(info.buffered_bytes,
+                            json.GetInt("bufferedBytes"));
+  }
+  if (json.Find("retainedBytes") != nullptr) {
+    PRESTO_ASSIGN_OR_RETURN(info.retained_bytes,
+                            json.GetInt("retainedBytes"));
+  }
   return info;
 }
 

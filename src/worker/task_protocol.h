@@ -48,9 +48,13 @@ struct TaskCreateRequest {
   /// Root task only: emit output through the exchange (a gather buffer the
   /// coordinator fetches over HTTP) instead of an in-process ResultQueue.
   bool emit_results_via_exchange = false;
-  /// (fragment, task) -> exchange HTTP port of the worker hosting it, for
-  /// every producer task feeding this task's RemoteSource operators.
-  std::vector<std::array<int, 3>> endpoints;
+  /// Retain acked exchange frames so a replacement consumer can re-fetch
+  /// from token 0 after a task retry (ISSUE 7). Set by the coordinator when
+  /// task recovery is enabled.
+  bool retain_exchange_frames = false;
+  /// [fragment, task, exchange HTTP port, producer generation] for every
+  /// producer task feeding this task's RemoteSource operators.
+  std::vector<std::array<int, 4>> endpoints;
 
   Json ToJson() const;
   static Result<TaskCreateRequest> FromJson(const Json& json);
@@ -120,6 +124,11 @@ struct NodeInfo {
   int64_t heartbeats = 0;       // worker: sent; coordinator: received
   int64_t last_rtt_micros = 0;  // worker-side last heartbeat round trip
   int64_t alive_workers = -1;   // coordinator only; -1 = n/a
+  /// Exchange-memory gauges (leak detection in recovery tests): bytes
+  /// sitting in live output buffers and bytes retained for task-retry
+  /// replay. Both must drop to zero once every query is torn down.
+  int64_t buffered_bytes = 0;
+  int64_t retained_bytes = 0;
 
   Json ToJson() const;
   static Result<NodeInfo> FromJson(const Json& json);

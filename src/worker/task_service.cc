@@ -162,6 +162,10 @@ HttpResponse TaskService::HandleInfo() {
                            std::chrono::steady_clock::now() - start_time_)
                            .count();
   info.active_tasks = manager_->active_tasks();
+  if (ExchangeManager* exchange = manager_->exchange()) {
+    info.buffered_bytes = exchange->TotalBufferedBytes();
+    info.retained_bytes = exchange->TotalRetainedBytes();
+  }
   if (heartbeat_ != nullptr) {
     info.heartbeats = heartbeat_->sent();
     info.last_rtt_micros = heartbeat_->last_rtt_micros();

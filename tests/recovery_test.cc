@@ -1,0 +1,291 @@
+// Unit tests for the task-recovery building blocks (ISSUE 7): split-target
+// selection around dead workers, the restart-set fixpoint, the liveness
+// tracker's first-heartbeat grace, and the heartbeat sender's RTT
+// reporting. The end-to-end kill -9 recovery paths live in
+// process_cluster_test.cc; these tests pin the pieces in isolation.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "exchange/http/http_server.h"
+#include "schedule/coordinator.h"
+#include "schedule/task_recovery.h"
+#include "worker/liveness.h"
+#include "worker/task_client.h"
+
+namespace presto {
+namespace {
+
+// A TaskClient stub exposing exactly what ChooseSplitTarget consumes: the
+// hosting worker's liveness and an optional reported queue depth.
+class StubTaskClient final : public TaskClient {
+ public:
+  StubTaskClient(bool alive, std::optional<size_t> queue_size)
+      : alive_(alive), queue_size_(queue_size) {}
+
+  const TaskSpec& spec() const override { return spec_; }
+  Status Launch(std::function<void(Status)>) override {
+    return Status::OK();
+  }
+  std::optional<size_t> SplitQueueSize(int) const override {
+    return queue_size_;
+  }
+  void AddSplit(int, const SplitPtr&, Connector*) override {}
+  void NoMoreSplits(int) override {}
+  Status FlushSplits() override { return Status::OK(); }
+  double OutputUtilization() const override { return 0.0; }
+  void SetActiveWriters(int) override {}
+  TaskStats CollectStats() const override { return {}; }
+  int64_t cpu_nanos() const override { return 0; }
+  int64_t peak_user_memory_bytes() const override { return 0; }
+  bool worker_alive() const override { return alive_; }
+  void Abort() override {}
+  void ReleaseResources() override {}
+
+ private:
+  TaskSpec spec_;
+  bool alive_;
+  std::optional<size_t> queue_size_;
+};
+
+std::shared_ptr<TaskClient> Stub(bool alive,
+                                 std::optional<size_t> queue_size) {
+  return std::make_shared<StubTaskClient>(alive, queue_size);
+}
+
+TEST(ChooseSplitTargetTest, PicksShortestReportedQueue) {
+  std::vector<std::shared_ptr<TaskClient>> tasks = {
+      Stub(true, 5), Stub(true, 2), Stub(true, 9)};
+  auto target = ChooseSplitTarget(tasks, /*node_id=*/0);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, 1);
+}
+
+// Regression (ISSUE 7): with every queue size unreported, the old code left
+// `best` at 0 and silently funneled splits to task 0 even when its worker
+// was dead. A dead task must never be chosen.
+TEST(ChooseSplitTargetTest, NeverPicksTaskOnDeadWorker) {
+  std::vector<std::shared_ptr<TaskClient>> tasks = {
+      Stub(false, std::nullopt), Stub(true, std::nullopt)};
+  auto target = ChooseSplitTarget(tasks, /*node_id=*/0);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, 1);
+
+  // Dead task 0 reporting a tempting queue size must still lose.
+  tasks = {Stub(false, 0), Stub(true, 100)};
+  target = ChooseSplitTarget(tasks, /*node_id=*/0);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, 1);
+}
+
+TEST(ChooseSplitTargetTest, FailsFastWhenEveryWorkerIsDead) {
+  std::vector<std::shared_ptr<TaskClient>> tasks = {
+      Stub(false, 1), Stub(false, std::nullopt)};
+  auto target = ChooseSplitTarget(tasks, /*node_id=*/3);
+  ASSERT_FALSE(target.ok());
+  EXPECT_EQ(target.status().code(), StatusCode::kIOError);
+}
+
+TEST(ChooseSplitTargetTest, UnreportedQueueOnlyServesAsFallback) {
+  // Task 1 has not reported a depth yet; task 2 has. The reported depth
+  // wins, the unreported task is only a last resort.
+  std::vector<std::shared_ptr<TaskClient>> tasks = {
+      Stub(false, std::nullopt), Stub(true, std::nullopt), Stub(true, 7)};
+  auto target = ChooseSplitTarget(tasks, /*node_id=*/0);
+  ASSERT_TRUE(target.ok());
+  EXPECT_EQ(*target, 2);
+}
+
+// ---- ComputeRestartSet ----
+//
+// Fragment graph used below: fragment 1 (2 tasks) feeds fragment 0 (the
+// root, 1 task). inputs_of[0] = {1}.
+
+TEST(ComputeRestartSetTest, DeadSlotAndItsConsumersRestart) {
+  std::vector<std::vector<int>> placement = {{0}, {0, 1}};
+  std::vector<std::vector<bool>> finished = {{false}, {false, false}};
+  std::vector<std::vector<int>> inputs_of = {{1}, {}};
+  auto restart = ComputeRestartSet(placement, finished, inputs_of,
+                                   /*root_fragment=*/0, /*root_needed=*/true,
+                                   /*dead_worker=*/1);
+  // (1,1) died; the unfinished root consuming it is collateral. (1,0) is
+  // alive, unfinished, and has no restarting inputs — it keeps running.
+  ASSERT_EQ(restart.size(), 2u);
+  EXPECT_EQ(restart[0], std::make_pair(0, 0));
+  EXPECT_EQ(restart[1], std::make_pair(1, 1));
+}
+
+TEST(ComputeRestartSetTest, FinishedConsumersPruneDeadProducers) {
+  // Every consumer of fragment 1 finished and the root stream is done:
+  // nobody needs the dead worker's output, so nothing restarts.
+  std::vector<std::vector<int>> placement = {{0}, {0, 1}};
+  std::vector<std::vector<bool>> finished = {{true}, {true, false}};
+  std::vector<std::vector<int>> inputs_of = {{1}, {}};
+  auto restart = ComputeRestartSet(placement, finished, inputs_of,
+                                   /*root_fragment=*/0, /*root_needed=*/false,
+                                   /*dead_worker=*/1);
+  EXPECT_TRUE(restart.empty());
+}
+
+TEST(ComputeRestartSetTest, FinishedVictimRestartsWhenOutputStillNeeded) {
+  // The dead worker's task had FINISHED — but its retained replay frames
+  // died with the process, and the root still needs them.
+  std::vector<std::vector<int>> placement = {{0}, {0, 1}};
+  std::vector<std::vector<bool>> finished = {{false}, {false, true}};
+  std::vector<std::vector<int>> inputs_of = {{1}, {}};
+  auto restart = ComputeRestartSet(placement, finished, inputs_of,
+                                   /*root_fragment=*/0, /*root_needed=*/true,
+                                   /*dead_worker=*/1);
+  ASSERT_EQ(restart.size(), 2u);
+  EXPECT_EQ(restart[0], std::make_pair(0, 0));
+  EXPECT_EQ(restart[1], std::make_pair(1, 1));
+}
+
+TEST(ComputeRestartSetTest, CollateralPropagatesTransitively) {
+  // Chain: 2 -> 1 -> 0(root). The dead leaf drags every unfinished
+  // downstream consumer with it, across two hops.
+  std::vector<std::vector<int>> placement = {{0}, {0}, {1}};
+  std::vector<std::vector<bool>> finished = {{false}, {false}, {false}};
+  std::vector<std::vector<int>> inputs_of = {{1}, {2}, {}};
+  auto restart = ComputeRestartSet(placement, finished, inputs_of,
+                                   /*root_fragment=*/0, /*root_needed=*/true,
+                                   /*dead_worker=*/1);
+  ASSERT_EQ(restart.size(), 3u);
+  EXPECT_EQ(restart[0], std::make_pair(0, 0));
+  EXPECT_EQ(restart[1], std::make_pair(1, 0));
+  EXPECT_EQ(restart[2], std::make_pair(2, 0));
+}
+
+// ---- WorkerLivenessTracker first-heartbeat grace ----
+
+TEST(WorkerLivenessTest, UnregisteredWorkersStayPassive) {
+  WorkerLivenessTracker tracker(/*timeout_micros=*/20'000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(tracker.IsAlive(0));
+  EXPECT_TRUE(tracker.IsAlive(42));
+}
+
+TEST(WorkerLivenessTest, RegisteredWorkersPassiveUntilTrackerActivates) {
+  // Registration alone must not start any death clock: a cluster whose
+  // heartbeat wiring never comes up (in-process tests) must never expire.
+  WorkerLivenessTracker tracker(/*timeout_micros=*/20'000);
+  tracker.RegisterWorker(0);
+  tracker.RegisterWorker(1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_TRUE(tracker.IsAlive(0));
+  EXPECT_TRUE(tracker.IsAlive(1));
+}
+
+// Regression (ISSUE 7): a worker killed before its very first heartbeat
+// used to be immortal — IsAlive only consulted last-heartbeat times. Once
+// heartbeats are demonstrably flowing (any worker beat), a registered
+// worker that stays silent past the grace window is dead.
+TEST(WorkerLivenessTest, NeverHeartbeatedWorkerDiesAfterGrace) {
+  WorkerLivenessTracker tracker(/*timeout_micros=*/20'000);
+  tracker.RegisterWorker(0);
+  tracker.RegisterWorker(1);
+  tracker.Heartbeat(0, /*rtt_micros=*/100);  // activates the tracker
+  EXPECT_TRUE(tracker.IsAlive(1));           // inside the grace window
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_FALSE(tracker.IsAlive(1));
+  EXPECT_FALSE(tracker.SeenHeartbeat(1));
+}
+
+TEST(WorkerLivenessTest, LateFirstHeartbeatRevives) {
+  WorkerLivenessTracker tracker(/*timeout_micros=*/20'000);
+  tracker.RegisterWorker(0);
+  tracker.RegisterWorker(1);
+  tracker.Heartbeat(0, 100);
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  ASSERT_FALSE(tracker.IsAlive(1));
+  tracker.Heartbeat(1, 100);  // better late than never
+  EXPECT_TRUE(tracker.IsAlive(1));
+}
+
+TEST(WorkerLivenessTest, DeathListenerFiresForSilentRegisteredWorker) {
+  WorkerLivenessTracker tracker(/*timeout_micros=*/20'000);
+  tracker.RegisterWorker(0);
+  tracker.RegisterWorker(1);
+
+  std::mutex mu;
+  std::vector<int> dead;
+  int token = tracker.AddDeathListener([&](int worker) {
+    std::lock_guard<std::mutex> lock(mu);
+    dead.push_back(worker);
+  });
+
+  tracker.Heartbeat(0, 100);
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool saw_one = false;
+  while (std::chrono::steady_clock::now() < deadline && !saw_one) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      for (int w : dead) saw_one = saw_one || w == 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  tracker.RemoveDeathListener(token);
+  EXPECT_TRUE(saw_one);
+}
+
+// ---- HeartbeatSender ----
+
+TEST(HeartbeatSenderTest, ReportsPositiveRttAfterFirstBeat) {
+  // Regression (ISSUE 7): the first beat used to leave last_rtt_micros_
+  // at 0 (and a sub-microsecond loopback round trip would keep it there),
+  // so the coordinator never saw an RTT sample.
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.status = request.path == "/v1/heartbeat" ? 200 : 404;
+    response.reason = response.status == 200 ? "OK" : "Not Found";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  HeartbeatSender sender(server.port(), /*worker_id=*/7,
+                         /*interval_micros=*/20'000);
+  sender.Start();
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline && sender.sent() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  sender.Stop();
+  EXPECT_GE(sender.sent(), 2);
+  EXPECT_GE(sender.last_rtt_micros(), 1);
+  server.Stop();
+}
+
+TEST(HeartbeatSenderTest, NonPositiveIntervalFallsBackToDefault) {
+  // Regression (ISSUE 7): interval 0 used to busy-spin the loop AND zero
+  // the connect timeout (interval * 4), so every beat failed instantly.
+  // With the fallback the first beat still goes out and succeeds.
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response;
+    response.status = 200;
+    response.reason = "OK";
+    return response;
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  HeartbeatSender sender(server.port(), /*worker_id=*/7,
+                         /*interval_micros=*/0);
+  sender.Start();
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline && sender.sent() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  sender.Stop();
+  EXPECT_GE(sender.sent(), 1);
+  EXPECT_EQ(sender.failed(), 0);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace presto
