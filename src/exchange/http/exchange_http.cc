@@ -377,9 +377,11 @@ Result<ExchangeHttpClient::FetchResult> ExchangeHttpClient::Fetch() {
   return result;
 }
 
-void ExchangeHttpClient::ResetForReplacement(int port, int generation) {
+void ExchangeHttpClient::ResetForReplacement(int port, int generation,
+                                             int64_t delivered) {
   port_ = port;
   generation_ = generation;
+  if (delivered >= 0) delivered_frames_ = delivered;
   resume_skip_ = delivered_frames_;
   next_token_ = 0;
   conn_.reset();  // the replacement may live on a different worker

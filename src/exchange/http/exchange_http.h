@@ -113,8 +113,14 @@ class ExchangeHttpClient {
   /// Re-targets the stream at a replacement producer (ISSUE 7): new port +
   /// generation, token back to 0. Frames already delivered before the
   /// reset are reported as skip_frames on subsequent fetches so the caller
-  /// drops them instead of emitting duplicates.
-  void ResetForReplacement(int port, int generation);
+  /// drops them instead of emitting duplicates. `delivered` overrides the
+  /// internally tracked count: a caller that may drop a fetched batch
+  /// without consuming it (the coordinator's result-fetch loop drops
+  /// batches that lose the root-epoch race) must pass the number of frames
+  /// it actually committed, or replay would skip frames nobody received.
+  /// The default (-1) trusts the internal count, which is correct for
+  /// callers that consume every frame Fetch() returns.
+  void ResetForReplacement(int port, int generation, int64_t delivered = -1);
 
   int64_t next_token() const { return next_token_; }
   int port() const { return port_; }

@@ -95,6 +95,21 @@ QueryExecution::~QueryExecution() {
     // idempotent, and unlaunched executions still need the cleanup.
     cluster_->exchange().RemoveQuery(query_id_);
   }
+  // Execute() can fail after admission but before launch (no live workers,
+  // fragment serialization, task Initialize); no task callback will ever
+  // reach FinalizeLocked() then, so the admission slot must be released
+  // here or repeated failures wedge max_concurrent_queries. For launched
+  // executions Wait() + the thread joins above guarantee finalization
+  // already ran (and cleared on_complete_), making this a no-op.
+  std::function<void()> release_slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!finalized_ && on_complete_) {
+      release_slot = std::move(on_complete_);
+      on_complete_ = nullptr;
+    }
+  }
+  if (release_slot) release_slot();
 }
 
 Status QueryExecution::Wait() {
@@ -298,6 +313,14 @@ void QueryExecution::OnWorkerDeath(int worker) {
 }
 
 void QueryExecution::RunRecovery(const RecoveryRequest& request) {
+  // Enqueuers set the pause too, but the previous request of a multi-slot
+  // round cleared it on completion; re-assert it here so the flag is
+  // reliably up BEFORE this round swaps any client. Together with the
+  // split loop re-checking it under tasks_mu_, that makes the pause a hard
+  // barrier: no split can be delivered to a fresh client in the window
+  // between the swap and the journal replay (where the replay would then
+  // deliver it a second time).
+  recovery_pause_.store(true);
   Stopwatch timer;
   TraceRecorder* trace =
       lifecycle_ != nullptr ? lifecycle_->trace().get() : nullptr;
@@ -661,11 +684,16 @@ void QueryExecution::ResultFetchLoop() {
       std::lock_guard<std::mutex> flock(fetch_mu_);
       if (root_epoch_ != my_epoch) {
         // Recovery moved the root task: re-open against the replacement,
-        // back at token 0 (nothing was delivered — a root restart is only
-        // legal at zero consumed frames).
+        // back at token 0. The fetcher's internal delivered count may
+        // exceed root_frames_consumed_ — a batch Fetch() returned but the
+        // epoch check below dropped was counted there yet never reached
+        // the client — so the replay watermark must be the committed
+        // count (zero: a root restart is only legal at zero consumed
+        // frames), not the fetcher's.
         my_epoch = root_epoch_;
         fetcher.ResetForReplacement(root_fetch_port_,
-                                    root_fetch_generation_);
+                                    root_fetch_generation_,
+                                    root_frames_consumed_);
         error_window_open = false;
       }
     }
@@ -849,13 +877,20 @@ void QueryExecution::SplitSchedulingLoop() {
           return;
         }
         if (batch_or->empty()) {
-          pending.exhausted = true;
           {
             // Journal the end-of-splits marker and deliver it to the
             // CURRENT clients under the same lock, so a replacement
             // created concurrently can never miss it (it either gets the
             // RPC directly or finds the marker in the journal replay).
             std::lock_guard<std::mutex> tlock(tasks_mu_);
+            if (recovery_pause_.load()) {
+              // A recovery round is between its client swap and its
+              // journal replay: a marker delivered to a fresh client now
+              // would precede the replayed splits. Retry after the round
+              // (the drained source returns another empty batch).
+              continue;
+            }
+            pending.exhausted = true;
             if (recovery_enabled_) {
               no_more_splits_[static_cast<size_t>(pending.fragment)].insert(
                   pending.node_id);
@@ -889,6 +924,14 @@ void QueryExecution::SplitSchedulingLoop() {
         // choice and the delivery and strand the split on a superseded
         // client whose buffered updates go nowhere.
         std::lock_guard<std::mutex> tlock(tasks_mu_);
+        if (recovery_pause_.load()) {
+          // Loop-top check raced a recovery round: the round may already
+          // have swapped fresh clients but not replayed their journals
+          // yet, and a split journaled + delivered now would arrive a
+          // second time with the replay. Park the batch instead.
+          pending.carryover = std::move(batch);
+          continue;
+        }
         auto& current = tasks_[static_cast<size_t>(pending.fragment)];
         for (size_t si = 0; si < batch.size(); ++si) {
           const auto& split = batch[si];

@@ -174,18 +174,19 @@ void HttpTaskClient::NoMoreSplits(int node_id) {
 Status HttpTaskClient::FlushSplits() {
   if (superseded_.load()) return Status::OK();
   TaskUpdateRequest update;
-  {
-    std::lock_guard<std::mutex> lock(control_mu_);
-    if (!pending_error_.ok()) {
-      Status error = pending_error_;
-      pending_error_ = Status::OK();
-      return error;
-    }
-    if (pending_splits_.empty()) return Status::OK();
-    update.splits = std::move(pending_splits_);
-    pending_splits_.clear();
-  }
+  // control_mu_ stays held from the pending_splits_ move through the POST:
+  // dropping it in between would let a concurrent NoMoreSplits (recovery
+  // replay racing the split thread's flush) post the end-of-splits marker
+  // first, and the worker would drop the splits arriving after it.
   std::lock_guard<std::mutex> lock(control_mu_);
+  if (!pending_error_.ok()) {
+    Status error = pending_error_;
+    pending_error_ = Status::OK();
+    return error;
+  }
+  if (pending_splits_.empty()) return Status::OK();
+  update.splits = std::move(pending_splits_);
+  pending_splits_.clear();
   auto status_or = PostControl(update.ToJson());
   {
     std::lock_guard<std::mutex> cache_lock(cache_mu_);

@@ -158,6 +158,55 @@ TEST_F(ExchangeHttpTest, DuplicateFetchReturnsIdenticalFrames) {
             second.header("x-presto-page-next-token"));
 }
 
+// Regression: the coordinator's result-fetch loop can drop a fetched
+// batch on its root-epoch check, so the client's internal delivered count
+// overstates what the consumer actually committed. A reset that trusted
+// the internal count would skip replayed frames nobody ever received —
+// the caller passes its own committed count instead.
+TEST_F(ExchangeHttpTest, ResetWithExplicitDeliveredCountReplaysEverything) {
+  auto buffer = CreateStream();
+  PageCodec::Frame f0 = MakeFrame({1});
+  PageCodec::Frame f1 = MakeFrame({2});
+  ASSERT_TRUE(buffer->TryEnqueue(f0));
+  ASSERT_TRUE(buffer->TryEnqueue(f1));
+
+  ExchangeHttpClient client = MakeClient();
+  auto first = client.Fetch();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->frame_count, 2);
+  EXPECT_EQ(first->skip_frames, 0);
+
+  // The caller dropped that batch without consuming it: zero frames
+  // committed. The replay must hand both frames over again, unskipped.
+  client.ResetForReplacement(service_->port(), /*generation=*/0,
+                             /*delivered=*/0);
+  auto replay = client.Fetch();
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->frame_count, 2);
+  EXPECT_EQ(replay->skip_frames, 0);
+  EXPECT_EQ(replay->body, f0.bytes + f1.bytes);
+}
+
+TEST_F(ExchangeHttpTest, ResetDefaultSkipsInternallyDeliveredFrames) {
+  auto buffer = CreateStream();
+  ASSERT_TRUE(buffer->TryEnqueue(MakeFrame({1})));
+  ASSERT_TRUE(buffer->TryEnqueue(MakeFrame({2})));
+
+  ExchangeHttpClient client = MakeClient();
+  auto first = client.Fetch();
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_EQ(first->frame_count, 2);
+
+  // A consumer that handed both frames downstream (the operator path)
+  // re-fetches from token 0 after a producer replacement: both replayed
+  // frames come back flagged for decode-and-drop.
+  client.ResetForReplacement(service_->port(), /*generation=*/0);
+  auto replay = client.Fetch();
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->frame_count, 2);
+  EXPECT_EQ(replay->skip_frames, 2);
+}
+
 TEST_F(ExchangeHttpTest, TokenOutsideWindowIsBadRequest) {
   auto buffer = CreateStream();
   ASSERT_TRUE(buffer->TryEnqueue(MakeFrame({1})));

@@ -411,6 +411,53 @@ TEST_F(ProcessClusterTest, RetryExhaustionSurfacesOriginalError) {
   EXPECT_LT(detect_micros, 20'000'000);
 }
 
+// Regression: an Execute() that fails after taking an admission slot
+// (here: no live worker left to place tasks on) must release the slot on
+// teardown of the unlaunched execution. Before the fix every such failure
+// leaked one slot, and max_concurrent_queries failures wedged the
+// coordinator permanently.
+TEST_F(ProcessClusterTest, FailedPlacementReleasesAdmissionSlots) {
+  StartWorkers(1, /*heartbeat_interval_micros=*/50'000);
+  EngineOptions options;
+  options.cluster.mode = ClusterMode::kProcess;
+  options.cluster.remote_workers = addresses_;
+  options.cluster.heartbeat_timeout_micros = 300'000;
+  options.cluster.max_concurrent_queries = 2;
+  auto process = std::make_unique<PrestoEngine>(std::move(options));
+  process->catalog().Register(
+      std::make_shared<TpchConnector>("tpch", kScale));
+  process->catalog().SetDefault("tpch");
+  StartHeartbeats(process.get());
+
+  // Let the failure detector activate before the kill: with no heartbeat
+  // ever seen a single-worker tracker stays passive and the worker would
+  // count as alive forever.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline &&
+         !process->cluster().liveness().SeenHeartbeat(0)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(process->cluster().liveness().SeenHeartbeat(0));
+  workers_[0]->Kill();
+  workers_[0]->Wait();
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline &&
+         process->cluster().liveness().IsAlive(0)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_FALSE(process->cluster().liveness().IsAlive(0));
+
+  // More failed queries than admission slots: each must fail promptly and
+  // leave running_queries() at zero. ASSERT (not EXPECT) so a leak aborts
+  // the test before an attempt would block forever on a wedged slot.
+  for (int i = 0; i < 5; ++i) {
+    auto rows = process->ExecuteAndFetch("SELECT count(*) FROM orders");
+    EXPECT_FALSE(rows.ok()) << "query " << i << " ran with no live workers";
+    ASSERT_EQ(process->coordinator().running_queries(), 0)
+        << "admission slot leaked by failed Execute (attempt " << i << ")";
+  }
+}
+
 // Recovery edge: result frames already delivered to the client are not
 // replayable — a death that forces the root stage to restart after
 // delivery must end in a clean failure (or, if the kill raced the stream's
