@@ -1,0 +1,187 @@
+// ISSUE 8 benchmark: planning-path QPS with the metadata/split/plan caches
+// on (warm) vs off (cold). Repeatedly plans a mix of analytical queries
+// through PrestoEngine::Explain — parse -> analyze/plan -> optimize ->
+// fragment, no execution — and reports cold-vs-warm p50/p99 planning
+// latency, planning QPS, and the warm engine's cache hit ratios. A final
+// staleness segment mutates a table between cached executions and counts
+// stale reads (must be zero: the invalidation hook runs synchronously on
+// the write path).
+//
+//   ./build/bench/bench_planning_qps [rounds]
+//
+// Emits BENCH_planning.json (see scripts/check_planning.py).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stopwatch.h"
+#include "connectors/memcon/memory_connector.h"
+#include "vector/block.h"
+
+using namespace presto;         // NOLINT
+using namespace presto::bench;  // NOLINT
+
+namespace {
+
+// A planning-heavy mix: deep multi-joins and aggregates that exercise the
+// cost-based optimizer (per-table stats fetches, join ordering, property
+// propagation) and the fragmenter. Cold planning cost scales with join
+// depth; a plan-cache hit costs the same regardless.
+const char* kQueries[] = {
+    "SELECT n.name, sum(l.extendedprice * (1 - l.discount)) "
+    "FROM lineitem l JOIN orders o ON l.orderkey = o.orderkey "
+    "JOIN customer c ON o.custkey = c.custkey "
+    "JOIN supplier s ON l.suppkey = s.suppkey "
+    "JOIN nation n ON s.nationkey = n.nationkey "
+    "WHERE o.totalprice > 1000 GROUP BY n.name",
+    "SELECT p.type, avg(ps.supplycost), count(*) "
+    "FROM partsupp ps JOIN part p ON ps.partkey = p.partkey "
+    "JOIN supplier s ON ps.suppkey = s.suppkey "
+    "JOIN nation n ON s.nationkey = n.nationkey "
+    "JOIN region r ON n.regionkey = r.regionkey "
+    "WHERE p.size < 30 GROUP BY p.type",
+    "SELECT r.name, count(*) "
+    "FROM lineitem l JOIN orders o ON l.orderkey = o.orderkey "
+    "JOIN customer c ON o.custkey = c.custkey "
+    "JOIN nation n ON c.nationkey = n.nationkey "
+    "JOIN region r ON n.regionkey = r.regionkey "
+    "WHERE l.quantity < 25 GROUP BY r.name",
+    "SELECT s.name, sum(ps.availqty) "
+    "FROM partsupp ps JOIN supplier s ON ps.suppkey = s.suppkey "
+    "JOIN part p ON ps.partkey = p.partkey "
+    "WHERE p.brand = 'Brand#23' GROUP BY s.name "
+    "ORDER BY 2 DESC LIMIT 10",
+    "SELECT c.mktsegment, o.orderstatus, count(*), avg(o.totalprice) "
+    "FROM orders o JOIN customer c ON o.custkey = c.custkey "
+    "JOIN nation n ON c.nationkey = n.nationkey "
+    "GROUP BY c.mktsegment, o.orderstatus",
+};
+
+struct Latencies {
+  std::vector<double> micros;
+  double p50() const { return Percentile(micros, 50); }
+  double p99() const { return Percentile(micros, 99); }
+  double qps() const {
+    double total_s = 0;
+    for (double us : micros) total_s += us * 1e-6;
+    return total_s > 0 ? static_cast<double>(micros.size()) / total_s : 0;
+  }
+};
+
+Latencies PlanRounds(PrestoEngine* engine, int rounds) {
+  Latencies out;
+  for (int r = 0; r < rounds; ++r) {
+    for (const char* sql : kQueries) {
+      Stopwatch timer;
+      auto plan = engine->Explain(sql);
+      PRESTO_CHECK(plan.ok());
+      out.micros.push_back(static_cast<double>(timer.ElapsedMicros()));
+    }
+  }
+  return out;
+}
+
+RowSchema EventsSchema() {
+  RowSchema schema;
+  schema.Add("k", TypeKind::kBigint);
+  return schema;
+}
+
+Page EventsPage(int64_t rows) {
+  std::vector<int64_t> values;
+  for (int64_t i = 0; i < rows; ++i) values.push_back(i);
+  return Page({MakeBigintBlock(std::move(values))});
+}
+
+// Executes the same cached count query across `mutations` table rewrites;
+// returns how many executions observed a stale row count.
+int64_t StalenessSegment(int mutations) {
+  EngineOptions options;
+  options.cluster.num_workers = 2;
+  options.cluster.executor.threads = 2;
+  PrestoEngine engine(options);
+  auto mem = std::make_shared<MemoryConnector>("memory");
+  PRESTO_CHECK(mem->CreateTable("events", EventsSchema(),
+                                {EventsPage(100)}).ok());
+  engine.catalog().Register(mem);
+  engine.catalog().SetDefault("memory");
+
+  int64_t stale = 0;
+  int64_t expected = 100;
+  for (int m = 0; m < mutations; ++m) {
+    // Warm the plan cache, then mutate, then re-query.
+    for (int i = 0; i < 2; ++i) {
+      auto rows = engine.ExecuteAndFetch("SELECT count(*) FROM events");
+      PRESTO_CHECK(rows.ok());
+      if ((*rows)[0][0] != Value::Bigint(expected)) ++stale;
+    }
+    expected = 100 + m + 1;
+    PRESTO_CHECK(mem->CreateTable("events", EventsSchema(),
+                                  {EventsPage(expected)}).ok());
+    auto rows = engine.ExecuteAndFetch("SELECT count(*) FROM events");
+    PRESTO_CHECK(rows.ok());
+    if ((*rows)[0][0] != Value::Bigint(expected)) ++stale;
+  }
+  return stale;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rounds = argc > 1 ? std::atoi(argv[1]) : 200;
+
+  EngineOptions cold_options;
+  cold_options.metadata.enable_metadata_cache = false;
+  cold_options.metadata.enable_split_cache = false;
+  cold_options.metadata.enable_plan_cache = false;
+  auto cold = MakeTpchEngine(0.01, cold_options);
+
+  auto warm = MakeTpchEngine(0.01);
+
+  // One untimed pass each: JIT-free engine, but first-touch tpch table
+  // generation would otherwise skew the cold numbers.
+  PlanRounds(cold.get(), 1);
+  PlanRounds(warm.get(), 1);
+
+  Latencies cold_lat = PlanRounds(cold.get(), rounds);
+  Latencies warm_lat = PlanRounds(warm.get(), rounds);
+
+  MetadataManager& manager = warm->metadata_manager();
+  int64_t hits = manager.plan_cache().hits();
+  int64_t misses = manager.plan_cache().misses();
+  double hit_ratio = hits + misses > 0
+                         ? static_cast<double>(hits) /
+                               static_cast<double>(hits + misses)
+                         : 0.0;
+  int64_t stale_reads = StalenessSegment(20);
+  double speedup = warm_lat.p99() > 0 ? cold_lat.p99() / warm_lat.p99() : 0;
+
+  std::printf("planning latency over %d rounds x %zu queries\n", rounds,
+              sizeof(kQueries) / sizeof(kQueries[0]));
+  std::printf("  cold (caches off): p50 %8.1f us   p99 %8.1f us   %8.0f qps\n",
+              cold_lat.p50(), cold_lat.p99(), cold_lat.qps());
+  std::printf("  warm (caches on):  p50 %8.1f us   p99 %8.1f us   %8.0f qps\n",
+              warm_lat.p50(), warm_lat.p99(), warm_lat.qps());
+  std::printf("  warm p99 speedup: %.1fx   plan-cache hit ratio: %.3f\n",
+              speedup, hit_ratio);
+  std::printf("  staleness segment: %lld stale reads\n",
+              static_cast<long long>(stale_reads));
+
+  BenchReport report("planning");
+  report.Add("cold", "planning_p50", cold_lat.p50(), "us");
+  report.Add("cold", "planning_p99", cold_lat.p99(), "us");
+  report.Add("cold", "planning_qps", cold_lat.qps(), "qps");
+  report.Add("warm", "planning_p50", warm_lat.p50(), "us");
+  report.Add("warm", "planning_p99", warm_lat.p99(), "us");
+  report.Add("warm", "planning_qps", warm_lat.qps(), "qps");
+  report.Add("warm", "plan_cache_hit_ratio", hit_ratio, "");
+  report.Add("warm", "p99_speedup", speedup, "x");
+  report.Add("staleness", "stale_reads", static_cast<double>(stale_reads),
+             "reads");
+  std::string path = report.WriteJson();
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""CI smoke check for the planning-path caches (ISSUE 8).
+
+Usage: check_planning.py BENCH_PLANNING_JSON
+
+Validates BENCH_planning.json from bench_planning_qps:
+  - warm (caches on) p99 planning latency beats cold (caches off) p99;
+  - the plan-cache hit ratio of the repeated-query workload is > 0.9;
+  - the staleness segment observed zero stale reads (every mutation
+    invalidated the cached plan before the next query ran).
+"""
+
+import json
+import sys
+
+
+def load_samples(path):
+    with open(path) as f:
+        report = json.load(f)
+    samples = {}
+    for s in report["samples"]:
+        samples[(s["label"], s["metric"])] = s["value"]
+    return samples
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    samples = load_samples(sys.argv[1])
+
+    cold_p99 = samples[("cold", "planning_p99")]
+    warm_p99 = samples[("warm", "planning_p99")]
+    hit_ratio = samples[("warm", "plan_cache_hit_ratio")]
+    stale = samples[("staleness", "stale_reads")]
+
+    assert warm_p99 < cold_p99, (
+        f"warm p99 {warm_p99:.1f}us not better than cold p99 {cold_p99:.1f}us"
+    )
+    assert hit_ratio > 0.9, f"plan-cache hit ratio {hit_ratio:.3f} <= 0.9"
+    assert stale == 0, f"{stale:.0f} stale reads after invalidation"
+
+    print(
+        f"planning OK: cold p99 {cold_p99:.1f}us -> warm p99 {warm_p99:.1f}us "
+        f"({cold_p99 / warm_p99:.1f}x), hit ratio {hit_ratio:.3f}, "
+        f"0 stale reads"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -30,7 +30,7 @@ std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
   return out;
 }
 
-std::vector<std::string> Split(std::string_view s, char sep) {
+std::vector<std::string> SplitString(std::string_view s, char sep) {
   std::vector<std::string> out;
   size_t start = 0;
   for (size_t i = 0; i <= s.size(); ++i) {

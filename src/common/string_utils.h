@@ -18,7 +18,7 @@ std::string ToUpperAscii(std::string_view s);
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
 /// Splits `s` on `sep` (single char); keeps empty fields.
-std::vector<std::string> Split(std::string_view s, char sep);
+std::vector<std::string> SplitString(std::string_view s, char sep);
 
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);

@@ -1,6 +1,10 @@
 #include "connector/connector.h"
 
+#include <algorithm>
+
 #include "common/check.h"
+#include "common/hash.h"
+#include "types/type.h"
 
 namespace presto {
 
@@ -44,6 +48,81 @@ std::string ColumnPredicate::ToString() const {
     out += values[0].ToString();
   }
   return out;
+}
+
+std::string ColumnPredicate::CanonicalString() const {
+  std::string out = column;
+  out += '|';
+  out += std::to_string(static_cast<int>(op));
+  for (const Value& v : values) {
+    out += '|';
+    out += TypeToString(v.type());
+    out += ':';
+    out += v.is_null() ? "<null>" : v.ToString();
+  }
+  return out;
+}
+
+std::string ScanSpec::CanonicalString() const {
+  std::string out = table != nullptr ? table->name() : "<none>";
+  out += "/layout=";
+  out += layout_id;
+  out += "/cols=";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(columns[i]);
+  }
+  out += "/preds=";
+  std::vector<std::string> canonical;
+  canonical.reserve(predicates.size());
+  for (const auto& p : predicates) canonical.push_back(p.CanonicalString());
+  // Conjunct order is semantically irrelevant; sort so `a AND b` and
+  // `b AND a` fingerprint identically.
+  std::sort(canonical.begin(), canonical.end());
+  for (size_t i = 0; i < canonical.size(); ++i) {
+    if (i > 0) out += '&';
+    out += canonical[i];
+  }
+  out += "/workers=";
+  out += std::to_string(num_workers);
+  return out;
+}
+
+uint64_t ScanSpec::Fingerprint() const {
+  std::string canonical = CanonicalString();
+  return XxHash64(canonical.data(), canonical.size());
+}
+
+MetadataVersion ConnectorMetadata::GetTableVersion(
+    const std::string& table) const {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  auto it = versions_.find(table);
+  return it != versions_.end() ? it->second : 0;
+}
+
+int ConnectorMetadata::AddInvalidationHook(InvalidationHook hook) {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  int id = next_hook_id_++;
+  hooks_[id] = std::move(hook);
+  return id;
+}
+
+void ConnectorMetadata::RemoveInvalidationHook(int id) {
+  std::lock_guard<std::mutex> lock(version_mu_);
+  hooks_.erase(id);
+}
+
+void ConnectorMetadata::BumpTableVersion(const std::string& table) {
+  std::vector<InvalidationHook> hooks;
+  {
+    std::lock_guard<std::mutex> lock(version_mu_);
+    ++versions_[table];
+    hooks.reserve(hooks_.size());
+    for (const auto& [_, hook] : hooks_) hooks.push_back(hook);
+  }
+  // Fire outside the lock: hooks typically take a cache mutex and may call
+  // GetTableVersion back; the bump is already visible to them.
+  for (const auto& hook : hooks) hook(table);
 }
 
 void Catalog::Register(ConnectorPtr connector) {

@@ -1,8 +1,11 @@
 #ifndef PRESTOCPP_CONNECTOR_CONNECTOR_H_
 #define PRESTOCPP_CONNECTOR_CONNECTOR_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -13,6 +16,14 @@
 #include "vector/page.h"
 
 namespace presto {
+
+/// Monotonic per-table metadata version (ISSUE 8). Every write-path
+/// mutation of a table (DataSink commit, fixture CreateTable, CTAS begin)
+/// bumps it; planning-path caches record the version they read and treat
+/// any mismatch as an invalidation. Version 0 means "never mutated since
+/// the connector was constructed" — immutable connectors (tpch) stay at 0
+/// forever, which makes their cached metadata valid forever.
+using MetadataVersion = int64_t;
 
 // ---------------------------------------------------------------------------
 // The Connector API (§III): Metadata API, Data Location API (splits +
@@ -67,6 +78,12 @@ struct ColumnPredicate {
   std::vector<Value> values;  // one value, or several for kIn
 
   std::string ToString() const;
+
+  /// Stable, type-tagged serialization for fingerprinting: unlike
+  /// ToString() (a debug rendering), it distinguishes BIGINT 1 from
+  /// VARCHAR '1' and is the canonical comparison form — use it (or
+  /// ScanSpec::Fingerprint) instead of comparing ToString() output.
+  std::string CanonicalString() const;
 };
 
 /// How completely a connector enforces a pushed-down predicate.
@@ -121,11 +138,38 @@ class DataSink {
   virtual Result<int64_t> Finish() = 0;
 };
 
-/// Everything a connector tells the engine about its tables.
+/// Everything a connector tells the engine about its tables — the
+/// Metadata API (§III), redesigned in ISSUE 8 around an explicit version/
+/// invalidation protocol so planning-path caches can be *invalidated*
+/// instead of merely expired:
+///
+///  - every table carries a monotonic MetadataVersion (GetTableVersion);
+///  - write paths call BumpTableVersion, which increments the version and
+///    then fires every registered invalidation hook *after* the bump, so
+///    by the time a hook observes the mutation the new version is already
+///    visible — a cache entry recorded under the old version can never
+///    revalidate;
+///  - the analyzer/optimizer/coordinator read tables only through this
+///    interface (via MetadataResolver snapshots, src/metadata/).
+///
+/// The version/hook machinery is virtual so delegating wrappers (test
+/// doubles, federated views) can forward to an inner connector's state.
 class ConnectorMetadata {
  public:
+  /// Fired after a table's version was bumped; receives the table name.
+  /// Called outside the version lock — hooks may call GetTableVersion.
+  using InvalidationHook = std::function<void(const std::string& table)>;
+
   virtual ~ConnectorMetadata() = default;
   virtual std::vector<std::string> ListTables() const = 0;
+
+  /// Current metadata version of `table`; 0 if never mutated.
+  virtual MetadataVersion GetTableVersion(const std::string& table) const;
+
+  /// Registers an invalidation hook; returns an id for removal. Hooks run
+  /// synchronously on the mutating thread, after the version bump.
+  virtual int AddInvalidationHook(InvalidationHook hook);
+  virtual void RemoveInvalidationHook(int id);
   virtual Result<TableHandlePtr> GetTable(const std::string& name) const = 0;
   virtual Result<TableStats> GetStats(const TableHandle& table) const {
     (void)table;
@@ -149,11 +193,24 @@ class ConnectorMetadata {
     (void)schema;
     return Status::Unsupported("connector does not support CREATE TABLE");
   }
-  /// Commits a CTAS/INSERT once all sinks finished.
+  /// Commits a CTAS/INSERT once all sinks finished. Implementations must
+  /// call BumpTableVersion(table.name()) so dependent caches invalidate.
   virtual Status FinishWrite(const TableHandle& table) {
     (void)table;
     return Status::OK();
   }
+
+ protected:
+  /// The write-path mutation hook: increments `table`'s version, then
+  /// fires every invalidation hook (outside the lock). Connectors call
+  /// this from every path that changes a table's data or shape.
+  void BumpTableVersion(const std::string& table);
+
+ private:
+  mutable std::mutex version_mu_;
+  std::map<std::string, MetadataVersion> versions_;
+  std::map<int, InvalidationHook> hooks_;
+  int next_hook_id_ = 0;
 };
 
 /// Everything the engine has decided about one scan, handed to the
@@ -174,6 +231,17 @@ struct ScanSpec {
   std::vector<ColumnPredicate> predicates;
   /// Worker count, sizing split granularity (§IV-D3).
   int num_workers = 1;
+
+  /// Canonical text form of everything that determines this scan's split
+  /// set and page stream: table name, layout, projected columns, the
+  /// predicates in sorted canonical form (conjunct order is irrelevant),
+  /// and the worker count (which sizes split granularity). Two specs with
+  /// equal CanonicalString() describe the same scan.
+  std::string CanonicalString() const;
+
+  /// Stable 64-bit hash of CanonicalString() — the split-cache key and the
+  /// canonical way to compare specs/predicate sets for equality.
+  uint64_t Fingerprint() const;
 };
 
 /// A connector instance registered in the catalog under a name ("hive",

@@ -143,14 +143,22 @@ class HiveConnector::Metadata final : public ConnectorMetadata {
   }
 
   Status FinishWrite(const TableHandle& table) override {
-    std::lock_guard<std::mutex> lock(parent_->mu_);
-    auto it = parent_->tables_.find(table.name());
-    if (it == parent_->tables_.end()) {
-      return Status::NotFound("hive table not found: " + table.name());
+    {
+      std::lock_guard<std::mutex> lock(parent_->mu_);
+      auto it = parent_->tables_.find(table.name());
+      if (it == parent_->tables_.end()) {
+        return Status::NotFound("hive table not found: " + table.name());
+      }
+      it->second->pending = false;
     }
-    it->second->pending = false;
+    // Write commit: invalidate dependent planning-path caches.
+    BumpTableVersion(table.name());
     return Status::OK();
   }
+
+  /// Connector-level mutators (CreateTable/LoadTable/AnalyzeTable) funnel
+  /// through this to reach the protected version bump.
+  void Bump(const std::string& table) { BumpTableVersion(table); }
 
  private:
   HiveConnector* parent_;
@@ -212,11 +220,14 @@ Status HiveConnector::CreateTable(const std::string& table_name,
     return Status::InvalidArgument("partition column not in schema: " +
                                    partition_column);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto info = std::make_shared<TableInfo>();
-  info->schema = std::move(schema);
-  info->partition_column = partition_column;
-  tables_[table_name] = std::move(info);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto info = std::make_shared<TableInfo>();
+    info->schema = std::move(schema);
+    info->partition_column = partition_column;
+    tables_[table_name] = std::move(info);
+  }
+  metadata_->Bump(table_name);
   return Status::OK();
 }
 
@@ -270,6 +281,7 @@ Status HiveConnector::LoadTable(const std::string& table_name,
       if (rows_in_file >= config_.file_rows) PRESTO_RETURN_IF_ERROR(flush());
     }
     PRESTO_RETURN_IF_ERROR(flush());
+    metadata_->Bump(table_name);
     return Status::OK();
   }
   size_t pcol = *info->schema.IndexOf(info->partition_column);
@@ -299,6 +311,7 @@ Status HiveConnector::LoadTable(const std::string& table_name,
     }
     PRESTO_RETURN_IF_ERROR(dfs_.Write(path, writer->Finish()));
   }
+  metadata_->Bump(table_name);
   return Status::OK();
 }
 
@@ -361,8 +374,12 @@ Status HiveConnector::AnalyzeTable(const std::string& table_name) {
     cs.max = maxs[c];
     stats.columns[info->schema.at(c).name] = std::move(cs);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  info->stats = std::move(stats);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    info->stats = std::move(stats);
+  }
+  // Stats changed: cached TableStats for this table are now stale.
+  metadata_->Bump(table_name);
   return Status::OK();
 }
 

@@ -161,23 +161,35 @@ class MemoryConnector::Metadata final : public ConnectorMetadata {
 
   Result<TableHandlePtr> BeginCreateTable(const std::string& name,
                                           const RowSchema& schema) override {
-    std::lock_guard<std::mutex> lock(parent_->mu_);
-    auto data = std::make_shared<TableData>();
-    data->schema = schema;
-    data->pending = true;
-    parent_->tables_[name] = data;
+    {
+      std::lock_guard<std::mutex> lock(parent_->mu_);
+      auto data = std::make_shared<TableData>();
+      data->schema = schema;
+      data->pending = true;
+      parent_->tables_[name] = data;
+    }
+    BumpTableVersion(name);
     return TableHandlePtr(std::make_shared<MemoryTableHandle>(name, schema));
   }
 
   Status FinishWrite(const TableHandle& table) override {
-    std::lock_guard<std::mutex> lock(parent_->mu_);
-    auto it = parent_->tables_.find(table.name());
-    if (it == parent_->tables_.end()) {
-      return Status::NotFound("memory table not found: " + table.name());
+    {
+      std::lock_guard<std::mutex> lock(parent_->mu_);
+      auto it = parent_->tables_.find(table.name());
+      if (it == parent_->tables_.end()) {
+        return Status::NotFound("memory table not found: " + table.name());
+      }
+      it->second->pending = false;
     }
-    it->second->pending = false;
+    // The write commit: cached plans/splits/stats for this table are stale
+    // the moment this returns.
+    BumpTableVersion(table.name());
     return Status::OK();
   }
+
+  /// Connector-level mutators (fixture CreateTable) funnel through this to
+  /// reach the protected version bump.
+  void Bump(const std::string& table) { BumpTableVersion(table); }
 
  private:
   MemoryConnector* parent_;
@@ -223,11 +235,14 @@ Status MemoryConnector::CreateTable(const std::string& table_name,
       return Status::InvalidArgument("page width does not match schema");
     }
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto data = std::make_shared<TableData>();
-  data->schema = std::move(schema);
-  data->pages = std::move(pages);
-  tables_[table_name] = std::move(data);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto data = std::make_shared<TableData>();
+    data->schema = std::move(schema);
+    data->pages = std::move(pages);
+    tables_[table_name] = std::move(data);
+  }
+  metadata_->Bump(table_name);
   return Status::OK();
 }
 

@@ -133,6 +133,10 @@ class RaptorConnector::Metadata final : public ConnectorMetadata {
     return PushdownSupport::kInexact;  // stripe statistics pruning
   }
 
+  /// Connector-level mutators (CreateTable/LoadTable) funnel through this
+  /// to reach the protected version bump.
+  void Bump(const std::string& table) { BumpTableVersion(table); }
+
  private:
   RaptorConnector* parent_;
 };
@@ -163,14 +167,17 @@ Status RaptorConnector::CreateTable(const std::string& table_name,
   if (bucket_count <= 0) {
     return Status::InvalidArgument("bucket count must be positive");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto info = std::make_shared<TableInfo>();
-  info->schema = std::move(schema);
-  info->bucket_column = bucket_column;
-  info->bucket_count = bucket_count;
-  info->sort_column = sort_column;
-  info->bucket_files.assign(static_cast<size_t>(bucket_count), "");
-  tables_[table_name] = std::move(info);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto info = std::make_shared<TableInfo>();
+    info->schema = std::move(schema);
+    info->bucket_column = bucket_column;
+    info->bucket_count = bucket_count;
+    info->sort_column = sort_column;
+    info->bucket_files.assign(static_cast<size_t>(bucket_count), "");
+    tables_[table_name] = std::move(info);
+  }
+  metadata_->Bump(table_name);
   return Status::OK();
 }
 
@@ -254,8 +261,11 @@ Status RaptorConnector::LoadTable(const std::string& table_name,
     cs.max = maxs[c];
     stats.columns[info->schema.at(c).name] = std::move(cs);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  info->stats = std::move(stats);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    info->stats = std::move(stats);
+  }
+  metadata_->Bump(table_name);
   return Status::OK();
 }
 

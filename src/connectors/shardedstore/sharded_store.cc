@@ -177,6 +177,10 @@ class ShardedStoreConnector::Metadata final : public ConnectorMetadata {
     return PushdownSupport::kUnsupported;
   }
 
+  /// Connector-level mutators (CreateTable/LoadTable) funnel through this
+  /// to reach the protected version bump.
+  void Bump(const std::string& table) { BumpTableVersion(table); }
+
  private:
   ShardedStoreConnector* parent_;
 };
@@ -208,15 +212,18 @@ Status ShardedStoreConnector::CreateTable(
       index_columns.end()) {
     index_columns.push_back(shard_column);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  auto info = std::make_shared<TableInfo>();
-  info->schema = std::move(schema);
-  info->shard_column = shard_column;
-  info->index_columns = std::move(index_columns);
-  for (int s = 0; s < config_.num_shards; ++s) {
-    info->shards.push_back(std::make_shared<Shard>());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto info = std::make_shared<TableInfo>();
+    info->schema = std::move(schema);
+    info->shard_column = shard_column;
+    info->index_columns = std::move(index_columns);
+    for (int s = 0; s < config_.num_shards; ++s) {
+      info->shards.push_back(std::make_shared<Shard>());
+    }
+    tables_[table_name] = std::move(info);
   }
-  tables_[table_name] = std::move(info);
+  metadata_->Bump(table_name);
   return Status::OK();
 }
 
@@ -276,8 +283,11 @@ Status ShardedStoreConnector::LoadTable(const std::string& table_name,
     cs.max = maxs[c];
     stats.columns[info->schema.at(c).name] = std::move(cs);
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  info->stats = std::move(stats);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    info->stats = std::move(stats);
+  }
+  metadata_->Bump(table_name);
   return Status::OK();
 }
 

@@ -48,10 +48,13 @@ void QueryResult::Cancel() {
 
 PrestoEngine::PrestoEngine(EngineOptions options)
     : options_(std::move(options)),
+      metadata_manager_(
+          std::make_unique<MetadataManager>(&catalog_, options_.metadata)),
       metrics_(std::make_unique<MetricsRegistry>()),
       tracker_(std::make_unique<QueryTracker>(metrics_.get())),
       cluster_(std::make_unique<Cluster>(options_.cluster)),
       coordinator_(std::make_unique<Coordinator>(cluster_.get(), &catalog_)) {
+  coordinator_->SetMetadataManager(metadata_manager_.get());
   RegisterEngineGauges();
   cluster_->exchange().SetTraceRegistry(&traces_);
   // Latency histograms, installed into the executors/exchange as raw
@@ -240,10 +243,84 @@ void PrestoEngine::RegisterEngineGauges() {
         },
         {{"level", std::to_string(level)}});
   }
+  // ISSUE 8: planning-path cache layers. Gauges read the caches' internal
+  // monotonic counters, so /v1/metrics always reports live totals.
+  MetadataManager* mm = metadata_manager_.get();
+  metrics_->RegisterGauge("presto_metadata_cache_hits",
+                          "Metadata cache lookups served from cache",
+                          [mm] {
+                            return static_cast<double>(
+                                mm->metadata_cache().hits());
+                          });
+  metrics_->RegisterGauge("presto_metadata_cache_misses",
+                          "Metadata cache lookups that fetched from the "
+                          "connector",
+                          [mm] {
+                            return static_cast<double>(
+                                mm->metadata_cache().misses());
+                          });
+  metrics_->RegisterGauge("presto_metadata_cache_invalidations",
+                          "Metadata cache entries dropped by version bumps "
+                          "or explicit invalidation",
+                          [mm] {
+                            return static_cast<double>(
+                                mm->metadata_cache().invalidations());
+                          });
+  metrics_->RegisterGauge("presto_split_cache_hits",
+                          "Split enumerations replayed from cache", [mm] {
+                            return static_cast<double>(
+                                mm->split_cache().hits());
+                          });
+  metrics_->RegisterGauge("presto_split_cache_misses",
+                          "Split enumerations that ran against the connector",
+                          [mm] {
+                            return static_cast<double>(
+                                mm->split_cache().misses());
+                          });
+  metrics_->RegisterGauge("presto_split_cache_invalidations",
+                          "Cached split enumerations dropped by table "
+                          "mutations",
+                          [mm] {
+                            return static_cast<double>(
+                                mm->split_cache().invalidations());
+                          });
+  metrics_->RegisterGauge("presto_plan_cache_hits",
+                          "Queries planned from a cached fragmented plan",
+                          [mm] {
+                            return static_cast<double>(
+                                mm->plan_cache().hits());
+                          });
+  metrics_->RegisterGauge("presto_plan_cache_misses",
+                          "Queries that ran the full planning pipeline",
+                          [mm] {
+                            return static_cast<double>(
+                                mm->plan_cache().misses());
+                          });
+  metrics_->RegisterGauge("presto_plan_cache_invalidations",
+                          "Cached plans dropped because a dependency table "
+                          "mutated",
+                          [mm] {
+                            return static_cast<double>(
+                                mm->plan_cache().invalidations());
+                          });
+}
+
+Status PrestoEngine::InvalidateMetadata(const std::string& catalog,
+                                        const std::string& table) {
+  PRESTO_ASSIGN_OR_RETURN(Connector * connector, catalog_.Get(catalog));
+  if (!table.empty()) {
+    metadata_manager_->Invalidate(catalog, table);
+    return Status::OK();
+  }
+  for (const auto& name : connector->metadata().ListTables()) {
+    metadata_manager_->Invalidate(catalog, name);
+  }
+  return Status::OK();
 }
 
 Result<FragmentedPlan> PrestoEngine::PlanStatement(
-    const sql::Statement& stmt, TraceRecorder* trace) {
+    const sql::Statement& stmt, const std::string& sql,
+    TraceRecorder* trace) {
   auto timed = [trace](const char* name, auto fn) {
     int64_t start = trace != nullptr ? trace->NowNanos() : 0;
     auto result = fn();
@@ -253,20 +330,52 @@ Result<FragmentedPlan> PrestoEngine::PlanStatement(
     }
     return result;
   };
-  Planner planner(&catalog_);
+  // Only SELECT plans are cacheable: CTAS/INSERT planning calls
+  // BeginCreateTable, which mutates connector state and must run per query.
+  bool cacheable = options_.metadata.enable_plan_cache &&
+                   stmt.kind == sql::StatementKind::kSelect;
+  uint64_t fingerprint = 0;
+  if (cacheable) {
+    fingerprint = FingerprintSql(sql);
+    if (std::optional<FragmentedPlan> cached =
+            metadata_manager_->plan_cache().Lookup(fingerprint, catalog_)) {
+      if (trace != nullptr) {
+        trace->RecordInstant("coordinator", "plan-cache-hit", /*pid=*/0,
+                             /*tid=*/0,
+                             {{"fingerprint", std::to_string(fingerprint)}});
+      }
+      return std::move(*cached);
+    }
+  }
+  std::unique_ptr<MetadataSnapshot> snapshot = metadata_manager_->NewSnapshot();
+  Planner planner(snapshot.get());
   PRESTO_ASSIGN_OR_RETURN(
       PlanNodePtr plan, timed("plan", [&] { return planner.Plan(stmt); }));
-  Optimizer optimizer(&catalog_, options_.optimizer);
+  Optimizer optimizer(snapshot.get(), options_.optimizer);
   PRESTO_ASSIGN_OR_RETURN(plan, timed("optimize", [&] {
                             return optimizer.Optimize(std::move(plan));
                           }));
   Fragmenter fragmenter;
-  return timed("fragment", [&] { return fragmenter.Fragment(plan); });
+  PRESTO_ASSIGN_OR_RETURN(FragmentedPlan fragments, timed("fragment", [&] {
+                            return fragmenter.Fragment(plan);
+                          }));
+  if (trace != nullptr && snapshot->cache_hits() > 0) {
+    trace->RecordInstant(
+        "coordinator", "metadata-cache-hit", /*pid=*/0, /*tid=*/0,
+        {{"tables_from_cache", std::to_string(snapshot->cache_hits())},
+         {"tables_resolved", std::to_string(snapshot->resolutions())}});
+  }
+  if (cacheable) {
+    metadata_manager_->plan_cache().Insert(fingerprint, fragments,
+                                           snapshot->deps(), catalog_);
+  }
+  return fragments;
 }
 
 Result<std::string> PrestoEngine::Explain(const std::string& sql) {
   PRESTO_ASSIGN_OR_RETURN(sql::StatementPtr stmt, sql::ParseStatement(sql));
-  PRESTO_ASSIGN_OR_RETURN(FragmentedPlan fragments, PlanStatement(*stmt));
+  PRESTO_ASSIGN_OR_RETURN(FragmentedPlan fragments,
+                          PlanStatement(*stmt, sql));
   return fragments.ToString();
 }
 
@@ -278,7 +387,7 @@ Result<std::shared_ptr<QueryExecution>> PrestoEngine::Launch(
   traces_.Register(query_id, lifecycle->trace());
   lifecycle->MarkPlanning();
   Result<FragmentedPlan> fragments =
-      PlanStatement(stmt, lifecycle->trace().get());
+      PlanStatement(stmt, sql, lifecycle->trace().get());
   if (!fragments.ok()) {
     lifecycle->Finalize(fragments.status(), /*cancelled=*/false,
                         QueryStats{});

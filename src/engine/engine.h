@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "connector/connector.h"
+#include "metadata/metadata_manager.h"
 #include "optimizer/optimizer.h"
 #include "schedule/cluster.h"
 #include "schedule/coordinator.h"
@@ -18,10 +19,12 @@ namespace presto {
 
 class ObservabilityHttpService;
 
-/// Engine-wide options: the simulated cluster plus optimizer settings.
+/// Engine-wide options: the simulated cluster plus optimizer settings and
+/// the planning-path cache configuration (ISSUE 8).
 struct EngineOptions {
   ClusterConfig cluster;
   OptimizerOptions optimizer;
+  MetadataManagerOptions metadata;
 };
 
 /// A client-held handle to a running query: streams result pages as they
@@ -103,6 +106,15 @@ class PrestoEngine {
   /// Engine-wide counters/gauges/histograms (Prometheus RenderText()).
   MetricsRegistry& metrics() { return *metrics_; }
 
+  /// The planning-path cache subsystem (metadata/split/plan caches).
+  MetadataManager& metadata_manager() { return *metadata_manager_; }
+
+  /// Drops (catalog, table) from all planning-path caches without touching
+  /// connector state — for out-of-band mutations no invalidation hook saw.
+  /// Empty `table` drops every table of that catalog.
+  Status InvalidateMetadata(const std::string& catalog,
+                            const std::string& table);
+
   /// Chrome trace_event JSON of one query's distributed trace (load in
   /// Perfetto / chrome://tracing). Available while the query runs and for
   /// as long as it stays in the tracked-query history.
@@ -119,9 +131,13 @@ class PrestoEngine {
   int observability_port() const;
 
  private:
-  /// plan -> optimize -> fragment (shared by Execute/Explain/ExplainAnalyze).
-  /// With a recorder, each phase gets a coordinator-side span.
+  /// plan -> optimize -> fragment (shared by Execute/Explain/ExplainAnalyze),
+  /// fronted by the plan cache: a SELECT whose canonical SQL fingerprint is
+  /// cached (and whose metadata dependencies are still at their recorded
+  /// versions) skips all three phases. With a recorder, each phase gets a
+  /// coordinator-side span and cache hits get instant events.
   Result<FragmentedPlan> PlanStatement(const sql::Statement& stmt,
+                                       const std::string& sql,
                                        TraceRecorder* trace = nullptr);
 
   /// Registers the lifecycle, plans, and launches the statement.
@@ -133,6 +149,9 @@ class PrestoEngine {
 
   EngineOptions options_;
   Catalog catalog_;
+  // Destroyed after everything that plans (coordinator, observability);
+  // needs only catalog_ alive beneath it for hook removal.
+  std::unique_ptr<MetadataManager> metadata_manager_;
   // Declaration order is destruction-order-sensitive: lifecycles hold a
   // pointer to the tracker, which holds a pointer to the registry; the
   // cluster's exchange holds a pointer to the trace registry; the

@@ -150,6 +150,12 @@ HttpResponse ObservabilityHttpService::Handle(const HttpRequest& request) {
   if (segments[1] == "info" && segments.size() == 2) {
     return HandleInfo();
   }
+  // ISSUE 8: planning-path cache observability — per-layer sizes, hit
+  // ratios, invalidation counts, and per-table live metadata versions.
+  if (segments[1] == "metadata" && segments.size() == 3 &&
+      segments[2] == "cache") {
+    return MakeOk("application/json", engine_->metadata_manager().ToJson());
+  }
   if (segments[1] != "query") {
     return MakeError(404, "Not Found", "unknown path: " + request.path);
   }

@@ -21,6 +21,9 @@ class PrestoEngine;
 ///   GET  /v1/query             JSON list of every tracked query
 ///   GET  /v1/query/{id}        One query's lifecycle + QueryStats as JSON
 ///   GET  /v1/query/{id}/trace  Chrome trace_event JSON (load in Perfetto)
+///   GET  /v1/metadata/cache    Planning-path cache layers: sizes, hit
+///                              ratios, invalidations, live per-table
+///                              metadata versions (ISSUE 8)
 ///   POST /v1/heartbeat         Worker liveness beat {"worker","rttMicros"}
 ///                              (ISSUE 6 failure detection)
 ///

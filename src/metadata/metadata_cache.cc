@@ -1,0 +1,71 @@
+#include "metadata/metadata_cache.h"
+
+namespace presto {
+
+namespace {
+std::string Key(const std::string& catalog, const std::string& table) {
+  std::string key = catalog;
+  key += '\0';
+  key += table;
+  return key;
+}
+}  // namespace
+
+std::shared_ptr<const MetadataCache::Entry> MetadataCache::Lookup(
+    const std::string& catalog, const std::string& table,
+    MetadataVersion current_version, int64_t now_nanos) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(Key(catalog, table));
+  if (it == entries_.end()) {
+    misses_.fetch_add(1);
+    return nullptr;
+  }
+  const Entry& entry = *it->second;
+  if (entry.version != current_version) {
+    // The table mutated since this entry was fetched; the version check is
+    // what makes a hook-less mutation path safe too.
+    entries_.erase(it);
+    invalidations_.fetch_add(1);
+    misses_.fetch_add(1);
+    return nullptr;
+  }
+  if (entry.expires_nanos != 0 && now_nanos >= entry.expires_nanos) {
+    entries_.erase(it);
+    misses_.fetch_add(1);
+    return nullptr;
+  }
+  hits_.fetch_add(1);
+  return it->second;
+}
+
+void MetadataCache::Insert(const std::string& catalog,
+                           const std::string& table,
+                           std::shared_ptr<const Entry> entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() >= options_.max_entries) {
+    // Simple overflow policy: start over. Planning re-warms quickly and the
+    // cap exists only to bound memory.
+    entries_.clear();
+  }
+  entries_[Key(catalog, table)] = std::move(entry);
+}
+
+void MetadataCache::Invalidate(const std::string& catalog,
+                               const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(Key(catalog, table)) > 0) {
+    invalidations_.fetch_add(1);
+  }
+}
+
+void MetadataCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t MetadataCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace presto

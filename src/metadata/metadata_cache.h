@@ -1,0 +1,87 @@
+#ifndef PRESTOCPP_METADATA_METADATA_CACHE_H_
+#define PRESTOCPP_METADATA_METADATA_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+
+namespace presto {
+
+/// Coordinator-side cache of per-table metadata bundles — the first of the
+/// three planning-path cache layers (ISSUE 8, after "Metadata Caching in
+/// Presto", arXiv 2211.10889). An entry holds everything one planning
+/// session needs about a table (handle, stats, layouts) together with the
+/// MetadataVersion it was fetched under. Entries die in two ways:
+///
+///  - *invalidation*: the connector bumped the table's version (the caller
+///    passes the current version to Lookup, and write-path hooks call
+///    Invalidate eagerly), or
+///  - *expiry*: a wall-clock TTL, the backstop for external mutations no
+///    hook observes.
+struct MetadataCacheOptions {
+  /// Entry lifetime; <= 0 disables expiry (version checks still apply).
+  int64_t ttl_nanos = 60LL * 1000 * 1000 * 1000;
+  size_t max_entries = 4096;
+};
+
+class MetadataCache {
+ public:
+
+  /// One cached per-table metadata bundle. Immutable once inserted.
+  struct Entry {
+    TableHandlePtr handle;
+    TableStats stats;
+    std::vector<DataLayout> layouts;
+    MetadataVersion version = 0;
+    int64_t expires_nanos = 0;  // vs the caller-supplied clock; 0 = never
+  };
+
+  explicit MetadataCache(MetadataCacheOptions options = {})
+      : options_(options) {}
+
+  /// Returns the entry for catalog.table iff it is still valid: its
+  /// recorded version equals `current_version` and it has not expired at
+  /// `now_nanos`. An invalid entry is erased on the way out.
+  std::shared_ptr<const Entry> Lookup(const std::string& catalog,
+                                      const std::string& table,
+                                      MetadataVersion current_version,
+                                      int64_t now_nanos);
+
+  /// Inserts (replacing any previous entry). `entry->version` must be the
+  /// version read *before* the metadata was fetched, so a concurrent bump
+  /// makes the entry unservable rather than stale.
+  void Insert(const std::string& catalog, const std::string& table,
+              std::shared_ptr<const Entry> entry);
+
+  /// Drops the entry for one table (invalidation hooks + manual drops).
+  void Invalidate(const std::string& catalog, const std::string& table);
+
+  void Clear();
+
+  /// Entry lifetime for callers computing expires_nanos; <= 0 = no expiry.
+  int64_t ttl_nanos() const { return options_.ttl_nanos; }
+
+  size_t size() const;
+  int64_t hits() const { return hits_.load(); }
+  int64_t misses() const { return misses_.load(); }
+  int64_t invalidations() const { return invalidations_.load(); }
+
+ private:
+  MetadataCacheOptions options_;
+  mutable std::mutex mu_;
+  // Key: "catalog\0table" (catalog and table names never contain NUL).
+  std::map<std::string, std::shared_ptr<const Entry>> entries_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> invalidations_{0};
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_METADATA_METADATA_CACHE_H_

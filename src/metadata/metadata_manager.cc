@@ -1,0 +1,138 @@
+#include "metadata/metadata_manager.h"
+
+#include "common/json.h"
+
+namespace presto {
+
+MetadataManager::MetadataManager(const Catalog* catalog,
+                                 MetadataManagerOptions options)
+    : catalog_(catalog),
+      options_(options),
+      metadata_cache_(options.metadata_cache),
+      split_cache_(options.split_cache),
+      plan_cache_(options.plan_cache) {}
+
+MetadataManager::~MetadataManager() {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  for (auto& [_, hooked] : hooked_) {
+    hooked.first->metadata().RemoveInvalidationHook(hooked.second);
+  }
+  hooked_.clear();
+}
+
+void MetadataManager::EnsureHooked(const std::string& catalog_name,
+                                   Connector* connector) {
+  std::lock_guard<std::mutex> lock(hooks_mu_);
+  if (hooked_.count(catalog_name) > 0) return;
+  int id = connector->metadata().AddInvalidationHook(
+      [this, catalog_name](const std::string& table) {
+        OnTableMutated(catalog_name, table);
+      });
+  hooked_[catalog_name] = {connector, id};
+}
+
+void MetadataManager::OnTableMutated(const std::string& catalog_name,
+                                     const std::string& table) {
+  // Runs synchronously on the mutating thread, after the version bump: by
+  // the time the write call returns, no cache layer serves the table.
+  metadata_cache_.Invalidate(catalog_name, table);
+  split_cache_.Invalidate(catalog_name, table);
+  plan_cache_.InvalidateTable(catalog_name, table);
+}
+
+std::unique_ptr<MetadataSnapshot> MetadataManager::NewSnapshot() {
+  // Hook everything currently registered so a first-ever write to a table
+  // this query reads still fires invalidation.
+  for (const auto& name : catalog_->ConnectorNames()) {
+    if (Result<Connector*> connector = catalog_->Get(name); connector.ok()) {
+      EnsureHooked(name, *connector);
+    }
+  }
+  return std::make_unique<MetadataSnapshot>(
+      catalog_, options_.enable_metadata_cache ? &metadata_cache_ : nullptr);
+}
+
+Result<std::unique_ptr<SplitSource>> MetadataManager::GetSplits(
+    const std::string& catalog_name, Connector* connector,
+    const ScanSpec& spec) {
+  if (!options_.enable_split_cache || spec.table == nullptr) {
+    return connector->GetSplits(spec);
+  }
+  EnsureHooked(catalog_name, connector);
+  ConnectorMetadata& metadata = connector->metadata();
+  const std::string& table = spec.table->name();
+  MetadataVersion version = metadata.GetTableVersion(table);
+  uint64_t fingerprint = spec.Fingerprint();
+  if (auto cached =
+          split_cache_.Lookup(catalog_name, table, fingerprint, version)) {
+    return std::unique_ptr<SplitSource>(
+        new CachedSplitSource(std::move(*cached)));
+  }
+  PRESTO_ASSIGN_OR_RETURN(std::unique_ptr<SplitSource> source,
+                          connector->GetSplits(spec));
+  return std::unique_ptr<SplitSource>(new RecordingSplitSource(
+      std::move(source), &split_cache_, catalog_name, table, fingerprint,
+      version,
+      [m = &metadata, table] { return m->GetTableVersion(table); }));
+}
+
+void MetadataManager::Invalidate(const std::string& catalog_name,
+                                 const std::string& table) {
+  OnTableMutated(catalog_name, table);
+}
+
+namespace {
+
+Json LayerJson(const char* name, size_t size, int64_t hits, int64_t misses,
+               int64_t invalidations) {
+  Json layer = Json::Object();
+  int64_t total = hits + misses;
+  layer.Set("name", Json::Str(name))
+      .Set("size", Json::Int(static_cast<int64_t>(size)))
+      .Set("hits", Json::Int(hits))
+      .Set("misses", Json::Int(misses))
+      .Set("invalidations", Json::Int(invalidations))
+      .Set("hit_ratio",
+           Json::Real(total == 0 ? 0.0
+                                 : static_cast<double>(hits) /
+                                       static_cast<double>(total)));
+  return layer;
+}
+
+}  // namespace
+
+std::string MetadataManager::ToJson() const {
+  Json out = Json::Object();
+  out.Set("metadata_cache",
+          LayerJson("metadata_cache", metadata_cache_.size(),
+                    metadata_cache_.hits(), metadata_cache_.misses(),
+                    metadata_cache_.invalidations()));
+  out.Set("split_cache",
+          LayerJson("split_cache", split_cache_.size(), split_cache_.hits(),
+                    split_cache_.misses(), split_cache_.invalidations()));
+  out.Set("plan_cache",
+          LayerJson("plan_cache", plan_cache_.size(), plan_cache_.hits(),
+                    plan_cache_.misses(), plan_cache_.invalidations()));
+  Json enabled = Json::Object();
+  enabled.Set("metadata_cache", Json::Bool(options_.enable_metadata_cache))
+      .Set("split_cache", Json::Bool(options_.enable_split_cache))
+      .Set("plan_cache", Json::Bool(options_.enable_plan_cache));
+  out.Set("enabled", std::move(enabled));
+  Json tables = Json::Array();
+  for (const auto& name : catalog_->ConnectorNames()) {
+    Result<Connector*> connector = catalog_->Get(name);
+    if (!connector.ok()) continue;
+    ConnectorMetadata& metadata = (*connector)->metadata();
+    for (const auto& table : metadata.ListTables()) {
+      Json row = Json::Object();
+      row.Set("catalog", Json::Str(name))
+          .Set("table", Json::Str(table))
+          .Set("version", Json::Int(metadata.GetTableVersion(table)));
+      tables.Append(std::move(row));
+    }
+  }
+  out.Set("tables", std::move(tables));
+  return out.Serialize();
+}
+
+}  // namespace presto

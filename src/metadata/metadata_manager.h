@@ -1,0 +1,93 @@
+#ifndef PRESTOCPP_METADATA_METADATA_MANAGER_H_
+#define PRESTOCPP_METADATA_METADATA_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "metadata/metadata_cache.h"
+#include "metadata/metadata_snapshot.h"
+#include "metadata/plan_cache.h"
+#include "metadata/split_cache.h"
+
+namespace presto {
+
+struct MetadataManagerOptions {
+  bool enable_metadata_cache = true;
+  bool enable_split_cache = true;
+  bool enable_plan_cache = true;
+  MetadataCacheOptions metadata_cache;
+  SplitCacheOptions split_cache;
+  PlanCacheOptions plan_cache;
+};
+
+/// Owns the three planning-path cache layers (ISSUE 8) and wires them to
+/// the versioned ConnectorMetadata API: the first time a connector is seen
+/// on any cached path, the manager registers an invalidation hook with it,
+/// so every write-path BumpTableVersion synchronously erases the table's
+/// metadata entry, its split enumerations, and every dependent cached plan
+/// before the mutating call returns.
+///
+/// Connectors register with the catalog at any time (tests add them after
+/// engine construction), hence the lazy hooking; version validation at
+/// every cache lookup keeps the window before the first hook safe.
+class MetadataManager {
+ public:
+  explicit MetadataManager(const Catalog* catalog,
+                           MetadataManagerOptions options = {});
+  ~MetadataManager();
+
+  MetadataManager(const MetadataManager&) = delete;
+  MetadataManager& operator=(const MetadataManager&) = delete;
+
+  const Catalog* catalog() const { return catalog_; }
+  const MetadataManagerOptions& options() const { return options_; }
+
+  MetadataCache& metadata_cache() { return metadata_cache_; }
+  SplitCache& split_cache() { return split_cache_; }
+  PlanCache& plan_cache() { return plan_cache_; }
+
+  /// A per-query resolver over the shared MetadataCache (or uncached when
+  /// the metadata cache is disabled). Hooks the touched connectors.
+  std::unique_ptr<MetadataSnapshot> NewSnapshot();
+
+  /// Split enumeration through the split cache: returns a replaying source
+  /// on a hit, a recording wrapper around the connector's live enumeration
+  /// on a miss, or the raw source when the split cache is disabled.
+  Result<std::unique_ptr<SplitSource>> GetSplits(
+      const std::string& catalog_name, Connector* connector,
+      const ScanSpec& spec);
+
+  /// Manually drops (catalog, table) from all three cache layers without
+  /// touching connector versions — PrestoEngine::InvalidateMetadata.
+  void Invalidate(const std::string& catalog_name, const std::string& table);
+
+  /// Registers a write-path invalidation hook with `connector` once
+  /// (idempotent). Called lazily from every cached path; public so tests
+  /// and the engine can hook eagerly after catalog registration.
+  void EnsureHooked(const std::string& catalog_name, Connector* connector);
+
+  /// JSON for GET /v1/metadata/cache: per-layer sizes/hits/misses/
+  /// invalidations/hit ratios plus per-table live versions.
+  std::string ToJson() const;
+
+ private:
+  void OnTableMutated(const std::string& catalog_name,
+                      const std::string& table);
+
+  const Catalog* catalog_;
+  MetadataManagerOptions options_;
+  MetadataCache metadata_cache_;
+  SplitCache split_cache_;
+  PlanCache plan_cache_;
+
+  std::mutex hooks_mu_;
+  // catalog name -> (connector hooked, hook id for removal at shutdown).
+  std::map<std::string, std::pair<Connector*, int>> hooked_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_METADATA_METADATA_MANAGER_H_

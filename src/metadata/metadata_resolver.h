@@ -1,0 +1,51 @@
+#ifndef PRESTOCPP_METADATA_METADATA_RESOLVER_H_
+#define PRESTOCPP_METADATA_METADATA_RESOLVER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+
+namespace presto {
+
+/// Everything one planning session needs about one table, resolved as a
+/// consistent bundle under one MetadataVersion.
+struct ResolvedTable {
+  std::string catalog;  // resolved catalog name (never empty)
+  TableHandlePtr handle;
+  TableStats stats;  // invalid (row_count < 0) if the connector has none
+  std::vector<DataLayout> layouts;
+  MetadataVersion version = 0;
+};
+
+/// The seam between the planning path and connector metadata (ISSUE 8):
+/// the analyzer/planner/optimizer never call ConnectorMetadata directly —
+/// they resolve tables through this interface, which lets one query see a
+/// single consistent version per table (MetadataSnapshot) and lets the
+/// engine layer a cross-query MetadataCache underneath without either
+/// component knowing.
+class MetadataResolver {
+ public:
+  virtual ~MetadataResolver() = default;
+
+  /// The catalog behind this resolver (for default-name resolution and
+  /// write-path operations, which are never cached).
+  virtual const Catalog* catalog() const = 0;
+
+  /// Resolves `catalog_name` (empty = default catalog) + `table` to a
+  /// metadata bundle. The pointer stays valid for the resolver's lifetime;
+  /// repeated calls for the same table return the same bundle.
+  virtual Result<const ResolvedTable*> Resolve(
+      const std::string& catalog_name, const std::string& table) = 0;
+
+  /// Pushdown capability check, forwarded to the connector (a pure
+  /// function of the handle + predicate; not cached).
+  virtual PushdownSupport GetPushdownSupport(const std::string& catalog_name,
+                                             const TableHandle& table,
+                                             const ColumnPredicate& pred) = 0;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_METADATA_METADATA_RESOLVER_H_

@@ -1,0 +1,90 @@
+#include "metadata/metadata_snapshot.h"
+
+#include <chrono>
+
+namespace presto {
+
+namespace {
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Result<const ResolvedTable*> MetadataSnapshot::Resolve(
+    const std::string& catalog_name, const std::string& table) {
+  std::string resolved_catalog =
+      catalog_name.empty() ? catalog_->default_name() : catalog_name;
+  std::string key = resolved_catalog;
+  key += '\0';
+  key += table;
+  auto memo_it = memo_.find(key);
+  if (memo_it != memo_.end()) {
+    // Second reference within this query (self-join / subquery): same
+    // bundle, same version — and no second connector round trip.
+    return &memo_it->second;
+  }
+  ++resolutions_;
+  PRESTO_ASSIGN_OR_RETURN(Connector * connector,
+                          catalog_->Get(resolved_catalog));
+  ConnectorMetadata& metadata = connector->metadata();
+  // Read the version BEFORE fetching: if a write lands mid-fetch, the
+  // recorded version is older than what the write published, so dependent
+  // cache entries fail validation instead of serving mixed-version state.
+  MetadataVersion version = metadata.GetTableVersion(table);
+  ResolvedTable entry;
+  bool from_cache = false;
+  if (cache_ != nullptr) {
+    if (auto cached =
+            cache_->Lookup(resolved_catalog, table, version, NowNanos())) {
+      entry.catalog = resolved_catalog;
+      entry.handle = cached->handle;
+      entry.stats = cached->stats;
+      entry.layouts = cached->layouts;
+      entry.version = cached->version;
+      from_cache = true;
+      ++cache_hits_;
+    }
+  }
+  if (!from_cache) {
+    PRESTO_ASSIGN_OR_RETURN(TableHandlePtr handle, metadata.GetTable(table));
+    entry.catalog = resolved_catalog;
+    entry.handle = std::move(handle);
+    if (Result<TableStats> stats = metadata.GetStats(*entry.handle);
+        stats.ok()) {
+      entry.stats = *stats;
+    }
+    entry.layouts = metadata.GetLayouts(*entry.handle);
+    entry.version = version;
+    if (cache_ != nullptr &&
+        metadata.GetTableVersion(table) == version) {
+      // Only publish if the table held still across the fetch.
+      auto cached = std::make_shared<MetadataCache::Entry>();
+      cached->handle = entry.handle;
+      cached->stats = entry.stats;
+      cached->layouts = entry.layouts;
+      cached->version = version;
+      cached->expires_nanos =
+          cache_->ttl_nanos() > 0 ? NowNanos() + cache_->ttl_nanos() : 0;
+      cache_->Insert(resolved_catalog, table, std::move(cached));
+    }
+  }
+  deps_.push_back(PlanDependency{resolved_catalog, table, entry.version});
+  auto [it, _] = memo_.emplace(std::move(key), std::move(entry));
+  return &it->second;
+}
+
+PushdownSupport MetadataSnapshot::GetPushdownSupport(
+    const std::string& catalog_name, const TableHandle& table,
+    const ColumnPredicate& pred) {
+  std::string resolved_catalog =
+      catalog_name.empty() ? catalog_->default_name() : catalog_name;
+  Result<Connector*> connector = catalog_->Get(resolved_catalog);
+  if (!connector.ok()) return PushdownSupport::kUnsupported;
+  return (*connector)->metadata().GetPushdownSupport(table, pred);
+}
+
+}  // namespace presto

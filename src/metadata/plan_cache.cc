@@ -1,0 +1,100 @@
+#include "metadata/plan_cache.h"
+
+#include "common/hash.h"
+#include "sql/lexer.h"
+
+namespace presto {
+
+uint64_t FingerprintSql(const std::string& sql) {
+  Result<std::vector<sql::Token>> tokens = sql::Tokenize(sql);
+  if (!tokens.ok()) {
+    return XxHash64(sql.data(), sql.size());
+  }
+  std::string canonical;
+  canonical.reserve(sql.size());
+  for (const auto& token : *tokens) {
+    if (token.kind == sql::TokenKind::kEnd) break;
+    // Type-tag each token so VARCHAR '1' and INTEGER 1 cannot collide.
+    canonical += static_cast<char>('a' + static_cast<int>(token.kind));
+    canonical += token.text;
+    canonical += '\x1f';
+  }
+  return XxHash64(canonical.data(), canonical.size());
+}
+
+bool PlanCache::DepsValid(const std::vector<PlanDependency>& deps,
+                          const Catalog& catalog) {
+  for (const auto& dep : deps) {
+    Result<Connector*> connector = catalog.Get(dep.catalog);
+    if (!connector.ok()) return false;
+    if ((*connector)->metadata().GetTableVersion(dep.table) != dep.version) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<FragmentedPlan> PlanCache::Lookup(uint64_t fingerprint,
+                                                const Catalog& catalog) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fingerprint);
+  if (it == entries_.end()) {
+    misses_.fetch_add(1);
+    return std::nullopt;
+  }
+  if (!DepsValid(it->second.deps, catalog)) {
+    entries_.erase(it);
+    invalidations_.fetch_add(1);
+    misses_.fetch_add(1);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1);
+  return it->second.plan;
+}
+
+void PlanCache::Insert(uint64_t fingerprint, FragmentedPlan plan,
+                       std::vector<PlanDependency> deps,
+                       const Catalog& catalog) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Revalidate under the cache lock: if a write bumped any dependency
+  // between planning and here, its hook either already ran (nothing to
+  // erase — we must not insert) or will run after we insert (and will
+  // erase). Both orders leave no stale entry behind.
+  if (!DepsValid(deps, catalog)) return;
+  if (entries_.size() >= options_.max_entries) {
+    entries_.clear();
+  }
+  entries_[fingerprint] = Entry{std::move(plan), std::move(deps)};
+}
+
+void PlanCache::InvalidateTable(const std::string& catalog,
+                                const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    bool depends = false;
+    for (const auto& dep : it->second.deps) {
+      if (dep.catalog == catalog && dep.table == table) {
+        depends = true;
+        break;
+      }
+    }
+    if (depends) {
+      it = entries_.erase(it);
+      invalidations_.fetch_add(1);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace presto

@@ -1,0 +1,92 @@
+#ifndef PRESTOCPP_METADATA_PLAN_CACHE_H_
+#define PRESTOCPP_METADATA_PLAN_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+#include "fragment/fragmenter.h"
+
+namespace presto {
+
+/// One (catalog, table, version) triple a cached plan was built against.
+struct PlanDependency {
+  std::string catalog;
+  std::string table;
+  MetadataVersion version = 0;
+};
+
+/// Canonical 64-bit fingerprint of a SQL statement: the token stream
+/// (keywords and unquoted identifiers already case-folded by the lexer,
+/// comments and whitespace gone) hashed with type tags, so `SELECT 1` and
+/// `select   1 -- x` collide and `'1'` vs `1` do not. Unparseable input
+/// falls back to hashing the raw text (still deterministic, never errors).
+uint64_t FingerprintSql(const std::string& sql);
+
+/// Prepared-plan cache — the third planning-path cache layer (ISSUE 8).
+/// Keyed by FingerprintSql; a hit returns the optimized FragmentedPlan
+/// (immutable shared plan-node trees, safe to re-execute concurrently)
+/// without re-running analyze/plan/optimize/fragment.
+///
+/// Correctness protocol: every entry carries the PlanDependency list its
+/// planning session recorded — each dependency's version was read *before*
+/// that table's metadata was fetched. Lookup revalidates every dependency
+/// against the live connector versions; Insert does the same under the
+/// cache lock, so with bump-then-hook ordering on the write path there is
+/// no interleaving in which a stale plan survives: either the hook's
+/// InvalidateTable erases the entry, or the version check refuses it.
+struct PlanCacheOptions {
+  size_t max_entries = 1024;
+};
+
+class PlanCache {
+ public:
+
+  explicit PlanCache(PlanCacheOptions options = {}) : options_(options) {}
+
+  /// Returns the cached plan iff every dependency is still at its recorded
+  /// version (resolved via `catalog`); erases invalid entries.
+  std::optional<FragmentedPlan> Lookup(uint64_t fingerprint,
+                                       const Catalog& catalog);
+
+  /// Caches a freshly built plan; a no-op if any dependency already moved
+  /// past its recorded version (the query raced a write).
+  void Insert(uint64_t fingerprint, FragmentedPlan plan,
+              std::vector<PlanDependency> deps, const Catalog& catalog);
+
+  /// Drops every plan that depends on (catalog, table) — the invalidation
+  /// hook path, run synchronously on the mutating thread.
+  void InvalidateTable(const std::string& catalog, const std::string& table);
+
+  void Clear();
+
+  size_t size() const;
+  int64_t hits() const { return hits_.load(); }
+  int64_t misses() const { return misses_.load(); }
+  int64_t invalidations() const { return invalidations_.load(); }
+
+ private:
+  struct Entry {
+    FragmentedPlan plan;
+    std::vector<PlanDependency> deps;
+  };
+
+  static bool DepsValid(const std::vector<PlanDependency>& deps,
+                        const Catalog& catalog);
+
+  PlanCacheOptions options_;
+  mutable std::mutex mu_;
+  std::map<uint64_t, Entry> entries_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> invalidations_{0};
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_METADATA_PLAN_CACHE_H_

@@ -1,0 +1,103 @@
+#include "metadata/split_cache.h"
+
+namespace presto {
+
+namespace {
+std::string Key(const std::string& catalog, const std::string& table) {
+  std::string key = catalog;
+  key += '\0';
+  key += table;
+  return key;
+}
+}  // namespace
+
+std::optional<std::vector<SplitPtr>> SplitCache::Lookup(
+    const std::string& catalog, const std::string& table,
+    uint64_t fingerprint, MetadataVersion current_version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(Key(catalog, table));
+  if (it == tables_.end()) {
+    misses_.fetch_add(1);
+    return std::nullopt;
+  }
+  if (it->second.version != current_version) {
+    invalidations_.fetch_add(1);
+    misses_.fetch_add(1);
+    tables_.erase(it);
+    return std::nullopt;
+  }
+  auto fit = it->second.by_fingerprint.find(fingerprint);
+  if (fit == it->second.by_fingerprint.end()) {
+    misses_.fetch_add(1);
+    return std::nullopt;
+  }
+  hits_.fetch_add(1);
+  return fit->second;
+}
+
+void SplitCache::Insert(const std::string& catalog, const std::string& table,
+                        uint64_t fingerprint, MetadataVersion version,
+                        std::vector<SplitPtr> splits) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.size() >= options_.max_tables) {
+    tables_.clear();
+  }
+  TableEntry& entry = tables_[Key(catalog, table)];
+  if (entry.version != version) {
+    // Either a fresh entry or one recorded under a different version;
+    // every fingerprint list must share one version, so start over.
+    entry.version = version;
+    entry.by_fingerprint.clear();
+  }
+  entry.by_fingerprint[fingerprint] = std::move(splits);
+}
+
+void SplitCache::Invalidate(const std::string& catalog,
+                            const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tables_.erase(Key(catalog, table)) > 0) {
+    invalidations_.fetch_add(1);
+  }
+}
+
+void SplitCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.clear();
+}
+
+size_t SplitCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [_, entry] : tables_) total += entry.by_fingerprint.size();
+  return total;
+}
+
+Result<std::vector<SplitPtr>> CachedSplitSource::NextBatch(int max_batch) {
+  std::vector<SplitPtr> out;
+  while (pos_ < splits_.size() && static_cast<int>(out.size()) < max_batch) {
+    out.push_back(splits_[pos_++]);
+  }
+  return out;
+}
+
+Result<std::vector<SplitPtr>> RecordingSplitSource::NextBatch(int max_batch) {
+  PRESTO_ASSIGN_OR_RETURN(std::vector<SplitPtr> batch,
+                          inner_->NextBatch(max_batch));
+  if (!done_) {
+    for (const auto& split : batch) recorded_.push_back(split);
+    if (batch.empty()) {
+      done_ = true;
+      // Only publish if the table did not move while we enumerated; a
+      // write that landed mid-enumeration may have produced a split list
+      // that reflects neither the old nor the new table state.
+      if (cache_ != nullptr && current_version_() == version_) {
+        cache_->Insert(catalog_, table_, fingerprint_, version_,
+                       std::move(recorded_));
+      }
+      recorded_.clear();
+    }
+  }
+  return batch;
+}
+
+}  // namespace presto

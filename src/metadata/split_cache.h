@@ -1,0 +1,128 @@
+#ifndef PRESTOCPP_METADATA_SPLIT_CACHE_H_
+#define PRESTOCPP_METADATA_SPLIT_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "connector/connector.h"
+
+namespace presto {
+
+/// Split-enumeration cache — the second planning-path cache layer (ISSUE
+/// 8). Split enumeration is a pure function of (table contents, ScanSpec):
+/// the cache stores the fully materialized split list keyed by catalog +
+/// table + ScanSpec::Fingerprint() (which canonicalizes layout, projected
+/// columns, sorted predicates, and worker count), validated against the
+/// table's MetadataVersion on every lookup.
+///
+/// Split objects are immutable shared_ptrs, so replaying a cached list to
+/// a new query is safe; only the enumeration cost (directory listing,
+/// shard lookup, per-split construction) is elided.
+struct SplitCacheOptions {
+  size_t max_tables = 1024;
+};
+
+class SplitCache {
+ public:
+
+  explicit SplitCache(SplitCacheOptions options = {}) : options_(options) {}
+
+  /// Returns the cached split list for (catalog, table, fingerprint) iff
+  /// it was recorded under `current_version`; erases and misses otherwise.
+  std::optional<std::vector<SplitPtr>> Lookup(const std::string& catalog,
+                                              const std::string& table,
+                                              uint64_t fingerprint,
+                                              MetadataVersion current_version);
+
+  /// Records a fully enumerated split list. `version` must be the table
+  /// version read *before* enumeration started; if the table has already
+  /// moved past it the caller should not insert (see RecordingSplitSource).
+  void Insert(const std::string& catalog, const std::string& table,
+              uint64_t fingerprint, MetadataVersion version,
+              std::vector<SplitPtr> splits);
+
+  /// Drops every cached enumeration for one table.
+  void Invalidate(const std::string& catalog, const std::string& table);
+
+  void Clear();
+
+  /// Number of cached split lists (across all tables/fingerprints).
+  size_t size() const;
+  int64_t hits() const { return hits_.load(); }
+  int64_t misses() const { return misses_.load(); }
+  int64_t invalidations() const { return invalidations_.load(); }
+
+ private:
+  struct TableEntry {
+    MetadataVersion version = 0;
+    // fingerprint -> materialized splits, all recorded under `version`.
+    std::map<uint64_t, std::vector<SplitPtr>> by_fingerprint;
+  };
+
+  SplitCacheOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, TableEntry> tables_;  // key "catalog\0table"
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> invalidations_{0};
+};
+
+/// Replays a cached split list through the lazy SplitSource protocol
+/// (§IV-D3) — the scheduling loop cannot tell a cached enumeration from a
+/// live one.
+class CachedSplitSource final : public SplitSource {
+ public:
+  explicit CachedSplitSource(std::vector<SplitPtr> splits)
+      : splits_(std::move(splits)) {}
+  Result<std::vector<SplitPtr>> NextBatch(int max_batch) override;
+
+ private:
+  std::vector<SplitPtr> splits_;
+  size_t pos_ = 0;
+};
+
+/// Wraps a live connector SplitSource, accumulating every batch; when the
+/// source is exhausted, inserts the full list into `cache` — but only if
+/// the table is still at the version observed before enumeration began
+/// (`FinishFn` re-reads the live version), so a mid-enumeration write can
+/// never leave a stale list behind.
+class RecordingSplitSource final : public SplitSource {
+ public:
+  using VersionFn = std::function<MetadataVersion()>;
+
+  RecordingSplitSource(std::unique_ptr<SplitSource> inner, SplitCache* cache,
+                       std::string catalog, std::string table,
+                       uint64_t fingerprint, MetadataVersion version,
+                       VersionFn current_version)
+      : inner_(std::move(inner)),
+        cache_(cache),
+        catalog_(std::move(catalog)),
+        table_(std::move(table)),
+        fingerprint_(fingerprint),
+        version_(version),
+        current_version_(std::move(current_version)) {}
+
+  Result<std::vector<SplitPtr>> NextBatch(int max_batch) override;
+
+ private:
+  std::unique_ptr<SplitSource> inner_;
+  SplitCache* cache_;
+  std::string catalog_;
+  std::string table_;
+  uint64_t fingerprint_;
+  MetadataVersion version_;
+  VersionFn current_version_;
+  std::vector<SplitPtr> recorded_;
+  bool done_ = false;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_METADATA_SPLIT_CACHE_H_

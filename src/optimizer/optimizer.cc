@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "expr/evaluator.h"
 #include "expr/function_registry.h"
+#include "metadata/metadata_snapshot.h"
 #include "optimizer/stats_estimator.h"
 
 namespace presto {
@@ -17,6 +18,7 @@ using Conjuncts = std::vector<ExprPtr>;
 struct Ctx {
   const Catalog* catalog;
   const OptimizerOptions* options;
+  MetadataResolver* resolver;
   int next_id = 100000;
   int NewId() { return next_id++; }
 };
@@ -355,21 +357,17 @@ PlanNodePtr PushFilters(const PlanNodePtr& node, Conjuncts incoming,
     }
     case PlanNodeKind::kTableScan: {
       const auto& scan = static_cast<const TableScanNode&>(*node);
-      auto connector = ctx->catalog->Get(scan.connector());
       std::vector<ColumnPredicate> pushed = scan.predicates();
       Conjuncts remaining;
       for (auto& conj : incoming) {
         bool handled = false;
-        if (connector.ok()) {
-          auto pred = TryMakeColumnPredicate(*conj, scan);
-          if (pred.has_value()) {
-            PushdownSupport support =
-                (*connector)->metadata().GetPushdownSupport(*scan.table(),
-                                                            *pred);
-            if (support != PushdownSupport::kUnsupported) {
-              pushed.push_back(*pred);
-              if (support == PushdownSupport::kExact) handled = true;
-            }
+        auto pred = TryMakeColumnPredicate(*conj, scan);
+        if (pred.has_value()) {
+          PushdownSupport support = ctx->resolver->GetPushdownSupport(
+              scan.connector(), *scan.table(), *pred);
+          if (support != PushdownSupport::kUnsupported) {
+            pushed.push_back(*pred);
+            if (support == PushdownSupport::kExact) handled = true;
           }
         }
         if (!handled) remaining.push_back(std::move(conj));
@@ -880,11 +878,13 @@ std::optional<ColocationMatch> FindColocation(const JoinNode& join,
     left_cols.push_back(l->column_name);
     right_cols.push_back(r->column_name);
   }
-  auto lc = ctx->catalog->Get(left_scan->connector());
-  auto rc = ctx->catalog->Get(right_scan->connector());
-  if (!lc.ok() || !rc.ok()) return std::nullopt;
-  auto left_layouts = (*lc)->metadata().GetLayouts(*left_scan->table());
-  auto right_layouts = (*rc)->metadata().GetLayouts(*right_scan->table());
+  auto lt = ctx->resolver->Resolve(left_scan->connector(),
+                                   left_scan->table()->name());
+  auto rt = ctx->resolver->Resolve(right_scan->connector(),
+                                   right_scan->table()->name());
+  if (!lt.ok() || !rt.ok()) return std::nullopt;
+  const std::vector<DataLayout>& left_layouts = (*lt)->layouts;
+  const std::vector<DataLayout>& right_layouts = (*rt)->layouts;
   for (const auto& ll : left_layouts) {
     if (ll.bucket_count <= 0 || ll.partition_columns != left_cols) continue;
     for (const auto& rl : right_layouts) {
@@ -1266,8 +1266,19 @@ PlanNodePtr ApplyCbo(const PlanNodePtr& node, Ctx* ctx) {
 
 }  // namespace
 
+Optimizer::Optimizer(const Catalog* catalog, OptimizerOptions options)
+    : catalog_(catalog),
+      options_(options),
+      owned_snapshot_(std::make_unique<MetadataSnapshot>(catalog)),
+      resolver_(owned_snapshot_.get()) {}
+
+Optimizer::Optimizer(MetadataResolver* resolver, OptimizerOptions options)
+    : catalog_(resolver->catalog()), options_(options), resolver_(resolver) {}
+
+Optimizer::~Optimizer() = default;
+
 Result<PlanNodePtr> Optimizer::Optimize(PlanNodePtr plan) {
-  Ctx ctx{catalog_, &options_, 100000};
+  Ctx ctx{catalog_, &options_, resolver_, 100000};
   if (options_.enable_constant_folding) {
     plan = FoldConstantsInPlan(plan, &ctx);
   }

@@ -1,11 +1,16 @@
 #ifndef PRESTOCPP_OPTIMIZER_OPTIMIZER_H_
 #define PRESTOCPP_OPTIMIZER_OPTIMIZER_H_
 
+#include <memory>
+
 #include "common/status.h"
 #include "connector/connector.h"
+#include "metadata/metadata_resolver.h"
 #include "plan/plan_node.h"
 
 namespace presto {
+
+class MetadataSnapshot;
 
 /// Optimizer configuration. The Fig. 6 experiment toggles `enable_cbo` to
 /// contrast the "no stats" and "table/column stats" configurations.
@@ -27,14 +32,24 @@ struct OptimizerOptions {
 /// selection driven by connector statistics.
 class Optimizer {
  public:
-  Optimizer(const Catalog* catalog, OptimizerOptions options = {})
-      : catalog_(catalog), options_(options) {}
+  /// Compatibility constructor: reads metadata through an owned, uncached
+  /// per-optimizer MetadataSnapshot over `catalog`.
+  explicit Optimizer(const Catalog* catalog, OptimizerOptions options = {});
+
+  /// Reads all table metadata through `resolver` (ISSUE 8) — typically the
+  /// query's MetadataSnapshot, so the optimizer sees the same versions the
+  /// planner saw and its reads are recorded as plan dependencies.
+  explicit Optimizer(MetadataResolver* resolver, OptimizerOptions options = {});
+
+  ~Optimizer();
 
   Result<PlanNodePtr> Optimize(PlanNodePtr plan);
 
  private:
   const Catalog* catalog_;
   OptimizerOptions options_;
+  std::unique_ptr<MetadataSnapshot> owned_snapshot_;  // compat ctor only
+  MetadataResolver* resolver_;
 };
 
 }  // namespace presto

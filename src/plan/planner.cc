@@ -4,8 +4,19 @@
 
 #include "common/string_utils.h"
 #include "expr/function_registry.h"
+#include "metadata/metadata_snapshot.h"
 
 namespace presto {
+
+Planner::Planner(const Catalog* catalog)
+    : catalog_(catalog),
+      owned_snapshot_(std::make_unique<MetadataSnapshot>(catalog)),
+      resolver_(owned_snapshot_.get()) {}
+
+Planner::Planner(MetadataResolver* resolver)
+    : catalog_(resolver->catalog()), resolver_(resolver) {}
+
+Planner::~Planner() = default;
 
 namespace {
 
@@ -135,8 +146,11 @@ Result<PlanNodePtr> Planner::PlanWrite(const sql::Statement& stmt,
         target, connector->metadata().BeginCreateTable(
                     table_name, query.node->output()));
   } else {
-    PRESTO_ASSIGN_OR_RETURN(target,
-                            connector->metadata().GetTable(table_name));
+    // Resolve through the snapshot: the INSERT target's version becomes a
+    // plan dependency like any read table's.
+    PRESTO_ASSIGN_OR_RETURN(const ResolvedTable* resolved,
+                            resolver_->Resolve(connector_name, table_name));
+    target = resolved->handle;
     // Schema compatibility: positional, with implicit coercions.
     const RowSchema& src = query.node->output();
     const RowSchema& dst = target->schema();
@@ -331,14 +345,13 @@ Result<Planner::RelationPlan> Planner::PlanNamedTable(const TableRef& ref) {
     return Status::InvalidArgument("invalid table name: " +
                                    Join(ref.name_parts, "."));
   }
-  PRESTO_ASSIGN_OR_RETURN(Connector * connector,
-                          catalog_->Get(connector_name));
-  PRESTO_ASSIGN_OR_RETURN(TableHandlePtr table,
-                          connector->metadata().GetTable(table_name));
-  TableStats stats;
-  if (auto s = connector->metadata().GetStats(*table); s.ok()) {
-    stats = *s;
-  }
+  // One resolver round trip per distinct table per query: the snapshot
+  // memoizes, so a self-join's second reference reuses this bundle (and
+  // the same MetadataVersion) instead of re-invoking Connector::GetTable.
+  PRESTO_ASSIGN_OR_RETURN(const ResolvedTable* resolved,
+                          resolver_->Resolve(connector_name, table_name));
+  TableHandlePtr table = resolved->handle;
+  TableStats stats = resolved->stats;
   const RowSchema& schema = table->schema();
   std::vector<int> columns;
   for (size_t i = 0; i < schema.size(); ++i) {

@@ -1,16 +1,20 @@
 #ifndef PRESTOCPP_PLAN_PLANNER_H_
 #define PRESTOCPP_PLAN_PLANNER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "connector/connector.h"
+#include "metadata/metadata_resolver.h"
 #include "plan/plan_node.h"
 #include "sql/analyzer.h"
 #include "sql/ast.h"
 
 namespace presto {
+
+class MetadataSnapshot;
 
 /// Lowers an analyzed AST into the logical plan IR (§IV-B3). The planner
 /// performs name resolution and typing via sql::ExprBinder, extracts
@@ -20,7 +24,17 @@ namespace presto {
 /// those are added by the optimizer and fragmenter.
 class Planner {
  public:
-  explicit Planner(const Catalog* catalog) : catalog_(catalog) {}
+  /// Compatibility constructor: resolves tables through an owned, uncached
+  /// per-planner MetadataSnapshot over `catalog` (still memoized, so one
+  /// query does one GetTable per distinct table).
+  explicit Planner(const Catalog* catalog);
+
+  /// Resolves all table metadata through `resolver` (ISSUE 8) — the
+  /// query's MetadataSnapshot, so repeated references see one consistent
+  /// MetadataVersion and the reads become plan-cache dependencies.
+  explicit Planner(MetadataResolver* resolver);
+
+  ~Planner();
 
   /// Plans a full statement. SELECT produces Output(...); CTAS/INSERT
   /// produce Output(TableWrite(...)).
@@ -44,6 +58,8 @@ class Planner {
                                 RelationPlan query);
 
   const Catalog* catalog_;
+  std::unique_ptr<MetadataSnapshot> owned_snapshot_;  // compat ctor only
+  MetadataResolver* resolver_;
   int next_id_ = 0;
 };
 

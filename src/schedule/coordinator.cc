@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "common/stopwatch.h"
+#include "metadata/metadata_manager.h"
 #include "plan/plan_serde.h"
 
 namespace presto {
@@ -809,7 +810,13 @@ void QueryExecution::SplitSchedulingLoop() {
       spec.columns = scan->columns();
       spec.predicates = scan->predicates();
       spec.num_workers = cluster_->num_workers();
-      auto source = (*connector)->GetSplits(spec);
+      // Through the split cache when attached (ISSUE 8): a repeated scan
+      // of an unchanged table replays the materialized split list instead
+      // of re-enumerating against the connector.
+      auto source = metadata_manager_ != nullptr
+                        ? metadata_manager_->GetSplits(scan->connector(),
+                                                       *connector, spec)
+                        : (*connector)->GetSplits(spec);
       if (!source.ok()) {
         Cancel(source.status());
         return;
@@ -1073,6 +1080,7 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
   execution->lifecycle_ = std::move(lifecycle);
   execution->cluster_ = cluster_;
   execution->catalog_ = catalog_;
+  execution->metadata_manager_ = metadata_manager_;
   execution->plan_ = std::move(plan);
   execution->process_mode_ = process_mode;
   execution->memory_ =

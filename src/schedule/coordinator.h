@@ -23,6 +23,8 @@
 
 namespace presto {
 
+class MetadataManager;
+
 /// Shortest-queue split assignment (§IV-D3) restricted to tasks whose
 /// worker is alive and which actually own a split queue for `node_id`.
 /// Errors when no candidate exists — the pre-ISSUE-7 code silently fell
@@ -117,6 +119,9 @@ class QueryExecution {
   RowSchema schema_;
   Cluster* cluster_ = nullptr;
   const Catalog* catalog_ = nullptr;
+  // Optional split-enumeration cache (ISSUE 8); null when the coordinator
+  // is driven without an engine (direct tests).
+  MetadataManager* metadata_manager_ = nullptr;
   FragmentedPlan plan_;
   std::unique_ptr<QueryMemory> memory_;
   ResultQueue results_;
@@ -248,6 +253,13 @@ class Coordinator {
     recovery_histogram_ = latency;
   }
 
+  /// Installs the planning-path cache subsystem (ISSUE 8): split
+  /// enumeration then goes through the manager's split cache. May be null
+  /// (tests that drive the coordinator directly enumerate uncached).
+  void SetMetadataManager(MetadataManager* manager) {
+    metadata_manager_ = manager;
+  }
+
   int running_queries() const {
     std::lock_guard<std::mutex> lock(admission_mu_);
     return running_;
@@ -269,6 +281,7 @@ class Coordinator {
   std::atomic<int> round_robin_worker_{0};
   Counter* retries_counter_ = nullptr;
   Histogram* recovery_histogram_ = nullptr;
+  MetadataManager* metadata_manager_ = nullptr;
 };
 
 }  // namespace presto

@@ -121,7 +121,7 @@ TEST(StringUtilsTest, CaseConversion) {
 TEST(StringUtilsTest, JoinAndSplit) {
   EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(Join({}, ","), "");
-  auto parts = Split("a,b,,c", ',');
+  auto parts = SplitString("a,b,,c", ',');
   ASSERT_EQ(parts.size(), 4u);
   EXPECT_EQ(parts[2], "");
 }

@@ -1,0 +1,592 @@
+// Tests for the ISSUE 8 planning-path caching subsystem: the versioned
+// ConnectorMetadata API (GetTableVersion / BumpTableVersion / invalidation
+// hooks), ScanSpec fingerprinting, the three cache layers (metadata,
+// split, plan), per-query MetadataSnapshot dedup, concurrent-invalidation
+// races, E2E staleness under both kThreads and kProcess-style clusters,
+// and the GET /v1/metadata/cache observability endpoint.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "connector/connector.h"
+#include "connectors/memcon/memory_connector.h"
+#include "engine/engine.h"
+#include "engine/observability_http.h"
+#include "metadata/metadata_cache.h"
+#include "metadata/metadata_manager.h"
+#include "metadata/metadata_snapshot.h"
+#include "metadata/plan_cache.h"
+#include "metadata/split_cache.h"
+#include "plan/planner.h"
+#include "sql/parser.h"
+#include "worker/worker_runtime.h"
+
+namespace presto {
+namespace {
+
+RowSchema BigintSchema(const std::string& column) {
+  RowSchema schema;
+  schema.Add(column, TypeKind::kBigint);
+  return schema;
+}
+
+Page BigintPage(int64_t begin, int64_t end) {
+  std::vector<int64_t> values;
+  for (int64_t i = begin; i < end; ++i) values.push_back(i);
+  return Page({MakeBigintBlock(std::move(values))});
+}
+
+// A memory connector holding k(bigint) tables; `rows` half-open ranges.
+std::shared_ptr<MemoryConnector> MakeMemory(
+    const std::vector<std::pair<std::string, int64_t>>& tables) {
+  auto mem = std::make_shared<MemoryConnector>("memory");
+  for (const auto& [name, rows] : tables) {
+    EXPECT_TRUE(
+        mem->CreateTable(name, BigintSchema("k"), {BigintPage(0, rows)})
+            .ok());
+  }
+  return mem;
+}
+
+// ---------------------------------------------------------------------------
+// ScanSpec fingerprinting (satellite: canonical comparison form replacing
+// ad-hoc predicate ToString() comparisons).
+// ---------------------------------------------------------------------------
+
+class FingerprintTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    mem_ = MakeMemory({{"t", 10}});
+    auto table = mem_->metadata().GetTable("t");
+    ASSERT_TRUE(table.ok());
+    table_ = *table;
+  }
+
+  ScanSpec Spec(std::vector<ColumnPredicate> predicates) {
+    ScanSpec spec;
+    spec.table = table_;
+    spec.columns = {0};
+    spec.predicates = std::move(predicates);
+    spec.num_workers = 4;
+    return spec;
+  }
+
+  std::shared_ptr<MemoryConnector> mem_;
+  TableHandlePtr table_;
+};
+
+TEST_F(FingerprintTest, PredicateOrderDoesNotMatter) {
+  ColumnPredicate lt{"k", ColumnPredicate::Op::kLt, {Value::Bigint(7)}};
+  ColumnPredicate gt{"k", ColumnPredicate::Op::kGt, {Value::Bigint(2)}};
+  ScanSpec a = Spec({lt, gt});
+  ScanSpec b = Spec({gt, lt});
+  EXPECT_EQ(a.CanonicalString(), b.CanonicalString());
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST_F(FingerprintTest, DifferentPredicatesDiffer) {
+  ScanSpec a = Spec({{"k", ColumnPredicate::Op::kLt, {Value::Bigint(7)}}});
+  ScanSpec b = Spec({{"k", ColumnPredicate::Op::kLt, {Value::Bigint(8)}}});
+  ScanSpec c = Spec({{"k", ColumnPredicate::Op::kLte, {Value::Bigint(7)}}});
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+  EXPECT_NE(a.Fingerprint(), Spec({}).Fingerprint());
+}
+
+TEST_F(FingerprintTest, CanonicalStringIsTypeTagged) {
+  // BIGINT 1 and VARCHAR '1' render identically through ToString()-style
+  // debug output but must not compare equal canonically.
+  ColumnPredicate num{"k", ColumnPredicate::Op::kEq, {Value::Bigint(1)}};
+  ColumnPredicate str{"k", ColumnPredicate::Op::kEq, {Value::Varchar("1")}};
+  EXPECT_NE(num.CanonicalString(), str.CanonicalString());
+  EXPECT_NE(Spec({num}).Fingerprint(), Spec({str}).Fingerprint());
+}
+
+TEST(FingerprintSqlTest, NormalizesWhitespaceCaseAndComments) {
+  uint64_t base = FingerprintSql("SELECT k FROM t WHERE k < 5");
+  EXPECT_EQ(base,
+            FingerprintSql("select   k\nFROM t  WHERE k < 5 -- trailing"));
+  EXPECT_NE(base, FingerprintSql("SELECT k FROM t WHERE k < 6"));
+  EXPECT_NE(FingerprintSql("SELECT 1"), FingerprintSql("SELECT '1'"));
+}
+
+// ---------------------------------------------------------------------------
+// Cache layers in isolation.
+// ---------------------------------------------------------------------------
+
+TEST(MetadataCacheTest, HitMissVersionInvalidationAndTtl) {
+  MetadataCacheOptions options;
+  options.ttl_nanos = 1000;
+  MetadataCache cache(options);
+
+  auto entry = std::make_shared<MetadataCache::Entry>();
+  entry->version = 3;
+  entry->expires_nanos = 1000;
+  cache.Insert("memory", "t", entry);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Hit: version matches, not expired.
+  EXPECT_NE(cache.Lookup("memory", "t", 3, 500), nullptr);
+  EXPECT_EQ(cache.hits(), 1);
+
+  // Unknown table: plain miss.
+  EXPECT_EQ(cache.Lookup("memory", "other", 0, 500), nullptr);
+  EXPECT_EQ(cache.misses(), 1);
+
+  // Version moved on: invalidation + miss, entry erased.
+  EXPECT_EQ(cache.Lookup("memory", "t", 4, 500), nullptr);
+  EXPECT_EQ(cache.invalidations(), 1);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // TTL expiry.
+  cache.Insert("memory", "t", entry);
+  EXPECT_EQ(cache.Lookup("memory", "t", 3, 2000), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // Manual invalidation.
+  cache.Insert("memory", "t", entry);
+  cache.Invalidate("memory", "t");
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(SplitCacheTest, VersionValidatedLookup) {
+  SplitCache cache;
+  cache.Insert("memory", "t", /*fingerprint=*/42, /*version=*/1, {});
+  EXPECT_TRUE(cache.Lookup("memory", "t", 42, 1).has_value());
+  EXPECT_EQ(cache.hits(), 1);
+  // Different fingerprint under the same version: miss, entry survives.
+  EXPECT_FALSE(cache.Lookup("memory", "t", 43, 1).has_value());
+  EXPECT_EQ(cache.size(), 1u);
+  // Version bump: every enumeration for the table dies.
+  EXPECT_FALSE(cache.Lookup("memory", "t", 42, 2).has_value());
+  EXPECT_EQ(cache.invalidations(), 1);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, InsertRefusedWhenDependencyMovedOn) {
+  Catalog catalog;
+  auto mem = MakeMemory({{"t", 10}});
+  catalog.Register(mem);
+  PlanCache cache;
+
+  MetadataVersion v = mem->metadata().GetTableVersion("t");
+  FragmentedPlan plan;
+  // The race: version read at planning start, table mutated before Insert.
+  ASSERT_TRUE(
+      mem->CreateTable("t", BigintSchema("k"), {BigintPage(0, 20)}).ok());
+  cache.Insert(1, plan, {{"memory", "t", v}}, catalog);
+  EXPECT_EQ(cache.size(), 0u);
+
+  // With the live version the insert lands and the lookup hits.
+  v = mem->metadata().GetTableVersion("t");
+  cache.Insert(1, plan, {{"memory", "t", v}}, catalog);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.Lookup(1, catalog).has_value());
+
+  // Lookup revalidates: a bump after insert erases on the way out.
+  ASSERT_TRUE(
+      mem->CreateTable("t", BigintSchema("k"), {BigintPage(0, 30)}).ok());
+  EXPECT_FALSE(cache.Lookup(1, catalog).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Versioned-metadata protocol: bumps and synchronous hooks.
+// ---------------------------------------------------------------------------
+
+TEST(VersionedMetadataTest, FixtureWritesBumpVersionsAndFireHooks) {
+  auto mem = MakeMemory({{"t", 10}});
+  ConnectorMetadata& metadata = mem->metadata();
+  MetadataVersion v0 = metadata.GetTableVersion("t");
+
+  std::vector<std::string> invalidated;
+  int id = metadata.AddInvalidationHook(
+      [&](const std::string& table) { invalidated.push_back(table); });
+
+  ASSERT_TRUE(
+      mem->CreateTable("t", BigintSchema("k"), {BigintPage(0, 20)}).ok());
+  EXPECT_GT(metadata.GetTableVersion("t"), v0);
+  ASSERT_EQ(invalidated.size(), 1u);
+  EXPECT_EQ(invalidated[0], "t");
+
+  metadata.RemoveInvalidationHook(id);
+  ASSERT_TRUE(
+      mem->CreateTable("t", BigintSchema("k"), {BigintPage(0, 30)}).ok());
+  EXPECT_EQ(invalidated.size(), 1u);  // removed hook stays silent
+}
+
+// ---------------------------------------------------------------------------
+// MetadataSnapshot: per-query GetTable dedup (the self-join bugfix).
+// ---------------------------------------------------------------------------
+
+// Delegating wrapper counting GetTable calls; forwards the virtual
+// version/hook machinery to the inner connector's state.
+class CountingMetadata final : public ConnectorMetadata {
+ public:
+  explicit CountingMetadata(ConnectorMetadata* inner) : inner_(inner) {}
+
+  std::vector<std::string> ListTables() const override {
+    return inner_->ListTables();
+  }
+  MetadataVersion GetTableVersion(const std::string& table) const override {
+    return inner_->GetTableVersion(table);
+  }
+  int AddInvalidationHook(InvalidationHook hook) override {
+    return inner_->AddInvalidationHook(std::move(hook));
+  }
+  void RemoveInvalidationHook(int id) override {
+    inner_->RemoveInvalidationHook(id);
+  }
+  Result<TableHandlePtr> GetTable(const std::string& name) const override {
+    ++get_table_calls_;
+    return inner_->GetTable(name);
+  }
+  Result<TableStats> GetStats(const TableHandle& table) const override {
+    return inner_->GetStats(table);
+  }
+  std::vector<DataLayout> GetLayouts(const TableHandle& table) const override {
+    return inner_->GetLayouts(table);
+  }
+  PushdownSupport GetPushdownSupport(
+      const TableHandle& table, const ColumnPredicate& pred) const override {
+    return inner_->GetPushdownSupport(table, pred);
+  }
+
+  int get_table_calls() const { return get_table_calls_.load(); }
+
+ private:
+  ConnectorMetadata* inner_;
+  mutable std::atomic<int> get_table_calls_{0};
+};
+
+class CountingConnector final : public Connector {
+ public:
+  explicit CountingConnector(std::shared_ptr<MemoryConnector> inner)
+      : inner_(std::move(inner)), metadata_(&inner_->metadata()) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  ConnectorMetadata& metadata() override { return metadata_; }
+  Result<std::unique_ptr<SplitSource>> GetSplits(
+      const ScanSpec& spec) override {
+    return inner_->GetSplits(spec);
+  }
+  Result<std::unique_ptr<DataSource>> CreateDataSource(
+      const Split& split, const ScanSpec& spec) override {
+    return inner_->CreateDataSource(split, spec);
+  }
+  Result<std::unique_ptr<DataSink>> CreateDataSink(const TableHandle& table,
+                                                   int writer_id) override {
+    return inner_->CreateDataSink(table, writer_id);
+  }
+
+  const CountingMetadata& counting() const { return metadata_; }
+
+ private:
+  std::shared_ptr<MemoryConnector> inner_;
+  CountingMetadata metadata_;
+};
+
+TEST(MetadataSnapshotTest, SelfJoinResolvesTableOnce) {
+  Catalog catalog;
+  auto counting = std::make_shared<CountingConnector>(MakeMemory({{"t", 100}}));
+  catalog.Register(counting);
+  catalog.SetDefault("memory");
+
+  MetadataSnapshot snapshot(&catalog);
+  Planner planner(&snapshot);
+  auto stmt = sql::ParseStatement(
+      "SELECT a.k FROM t a JOIN t b ON a.k = b.k");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  auto plan = planner.Plan(**stmt);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+
+  // Two references to `t`, one connector round-trip (was two before the
+  // per-query snapshot), and a single recorded dependency.
+  EXPECT_EQ(counting->counting().get_table_calls(), 1);
+  ASSERT_EQ(snapshot.deps().size(), 1u);
+  EXPECT_EQ(snapshot.deps()[0].table, "t");
+  EXPECT_EQ(snapshot.resolutions(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent invalidation: a writer bumping the table while N planner
+// threads resolve + insert plans. Invariant: once a write call has
+// returned (its invalidation hook ran synchronously), the plan cache never
+// serves a plan built against an older version.
+// ---------------------------------------------------------------------------
+
+TEST(MetadataManagerTest, ConcurrentInvalidationNeverServesStalePlan) {
+  Catalog catalog;
+  auto mem = MakeMemory({{"t", 10}});
+  catalog.Register(mem);
+  catalog.SetDefault("memory");
+  MetadataManager manager(&catalog);
+  manager.EnsureHooked("memory", mem.get());
+
+  const uint64_t fp = FingerprintSql("SELECT k FROM t");
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> planners;
+  for (int i = 0; i < 4; ++i) {
+    planners.emplace_back([&] {
+      while (!stop.load()) {
+        auto snapshot = manager.NewSnapshot();
+        auto resolved = snapshot->Resolve("", "t");
+        if (!resolved.ok()) continue;
+        // Tag the "plan" with the version it was built against, so a
+        // served stale plan is detectable from the outside.
+        FragmentedPlan plan;
+        plan.root_id = static_cast<int>((*resolved)->version);
+        manager.plan_cache().Insert(fp, plan, snapshot->deps(), catalog);
+        if (auto hit = manager.plan_cache().Lookup(fp, catalog)) {
+          // A served plan's build version can never exceed the live one.
+          EXPECT_LE(hit->root_id,
+                    static_cast<int>(mem->metadata().GetTableVersion("t")));
+        }
+      }
+    });
+  }
+
+  for (int round = 0; round < 50; ++round) {
+    ASSERT_TRUE(mem->CreateTable("t", BigintSchema("k"),
+                                 {BigintPage(0, 10 + round)})
+                    .ok());
+    // The mutation has returned; its hook has run. The only plans the
+    // cache may serve now were built against the post-bump version
+    // (single writer, so the live version is stable here).
+    MetadataVersion live = mem->metadata().GetTableVersion("t");
+    if (auto hit = manager.plan_cache().Lookup(fp, catalog)) {
+      EXPECT_EQ(hit->root_id, static_cast<int>(live))
+          << "stale plan served after invalidation hook returned";
+    }
+  }
+  stop.store(true);
+  for (auto& t : planners) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// E2E staleness, kThreads: INSERT through SQL must invalidate the cached
+// plan; the next query sees the new rows.
+// ---------------------------------------------------------------------------
+
+TEST(StalenessTest, InsertInvalidatesCachedPlanKThreads) {
+  EngineOptions options;
+  options.cluster.num_workers = 2;
+  options.cluster.executor.threads = 2;
+  auto engine = std::make_unique<PrestoEngine>(options);
+  auto mem = MakeMemory({{"events", 100}, {"src", 50}});
+  engine->catalog().Register(mem);
+  engine->catalog().SetDefault("memory");
+
+  const std::string count_sql = "SELECT count(*) FROM events";
+  auto rows = engine->ExecuteAndFetch(count_sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0], Value::Bigint(100));
+
+  PlanCache& plans = engine->metadata_manager().plan_cache();
+  int64_t hits_before = plans.hits();
+  rows = engine->ExecuteAndFetch(count_sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0], Value::Bigint(100));
+  EXPECT_GT(plans.hits(), hits_before) << "second run should hit plan cache";
+
+  // The INSERT commit bumps events' version; the hook must erase the
+  // cached count plan before the INSERT returns.
+  int64_t invalidations_before = plans.invalidations();
+  auto insert = engine->ExecuteAndFetch("INSERT INTO events SELECT k FROM src");
+  ASSERT_TRUE(insert.ok()) << insert.status().ToString();
+  EXPECT_GT(plans.invalidations(), invalidations_before);
+
+  rows = engine->ExecuteAndFetch(count_sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0], Value::Bigint(150)) << "stale read after INSERT";
+
+  // And the re-planned query is cacheable again.
+  hits_before = plans.hits();
+  rows = engine->ExecuteAndFetch(count_sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0], Value::Bigint(150));
+  EXPECT_GT(plans.hits(), hits_before);
+}
+
+// ---------------------------------------------------------------------------
+// E2E staleness, kProcess: same invariant with the coordinator driving
+// workers over the /v1/task HTTP protocol. In-process WorkerRuntimes share
+// the connector instance (kProcess rejects SQL writes, so the mutation
+// goes through the fixture API — which bumps the version like any write).
+// ---------------------------------------------------------------------------
+
+TEST(StalenessTest, MutationInvalidatesCachedPlanKProcess) {
+  auto mem = MakeMemory({{"events", 100}});
+  auto worker_catalog = std::make_shared<Catalog>();
+  worker_catalog->Register(mem);
+  worker_catalog->SetDefault("memory");
+
+  std::vector<std::unique_ptr<WorkerRuntime>> runtimes;
+  std::vector<RemoteWorkerAddress> addresses;
+  for (int i = 0; i < 2; ++i) {
+    WorkerRuntimeConfig config;
+    config.worker_id = i;
+    config.executor.threads = 2;
+    auto runtime = std::make_unique<WorkerRuntime>(config, worker_catalog);
+    ASSERT_TRUE(runtime->Start().ok());
+    addresses.push_back({runtime->task_port(), runtime->exchange_port()});
+    runtimes.push_back(std::move(runtime));
+  }
+
+  EngineOptions options;
+  options.cluster.mode = ClusterMode::kProcess;
+  options.cluster.remote_workers = addresses;
+  auto engine = std::make_unique<PrestoEngine>(std::move(options));
+  engine->catalog().Register(mem);
+  engine->catalog().SetDefault("memory");
+
+  const std::string count_sql = "SELECT count(*) FROM events";
+  auto rows = engine->ExecuteAndFetch(count_sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0], Value::Bigint(100));
+
+  PlanCache& plans = engine->metadata_manager().plan_cache();
+  int64_t hits_before = plans.hits();
+  rows = engine->ExecuteAndFetch(count_sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0], Value::Bigint(100));
+  EXPECT_GT(plans.hits(), hits_before);
+
+  int64_t invalidations_before = plans.invalidations();
+  ASSERT_TRUE(mem->CreateTable("events", BigintSchema("k"),
+                               {BigintPage(0, 100), BigintPage(100, 150)})
+                  .ok());
+  EXPECT_GT(plans.invalidations(), invalidations_before);
+
+  rows = engine->ExecuteAndFetch(count_sql);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ((*rows)[0][0], Value::Bigint(150)) << "stale read after mutation";
+
+  engine.reset();
+  for (auto& runtime : runtimes) runtime->Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Split-cache behavior through the engine, plus manual invalidation and
+// the observability endpoint.
+// ---------------------------------------------------------------------------
+
+class MetadataEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    EngineOptions options;
+    options.cluster.num_workers = 2;
+    options.cluster.executor.threads = 2;
+    engine_ = std::make_unique<PrestoEngine>(options);
+    mem_ = MakeMemory({{"events", 200}});
+    engine_->catalog().Register(mem_);
+    engine_->catalog().SetDefault("memory");
+  }
+
+  void RunCount(int64_t expect) {
+    auto rows = engine_->ExecuteAndFetch("SELECT count(*) FROM events");
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ((*rows)[0][0], Value::Bigint(expect));
+  }
+
+  std::unique_ptr<PrestoEngine> engine_;
+  std::shared_ptr<MemoryConnector> mem_;
+};
+
+TEST_F(MetadataEngineTest, RepeatQueriesWarmAllThreeLayers) {
+  RunCount(200);
+  RunCount(200);
+  RunCount(200);
+  MetadataManager& manager = engine_->metadata_manager();
+  EXPECT_GT(manager.plan_cache().hits(), 0);
+  EXPECT_GT(manager.split_cache().hits(), 0);
+  EXPECT_GT(manager.metadata_cache().hits() + manager.plan_cache().hits(), 0);
+  EXPECT_EQ(manager.metadata_cache().size(), 1u);
+}
+
+TEST_F(MetadataEngineTest, InvalidateMetadataDropsAllLayers) {
+  RunCount(200);
+  RunCount(200);
+  MetadataManager& manager = engine_->metadata_manager();
+  ASSERT_GT(manager.plan_cache().size() + manager.split_cache().size(), 0u);
+
+  ASSERT_TRUE(engine_->InvalidateMetadata("memory", "events").ok());
+  EXPECT_EQ(manager.metadata_cache().size(), 0u);
+  EXPECT_EQ(manager.split_cache().size(), 0u);
+  EXPECT_EQ(manager.plan_cache().size(), 0u);
+
+  // Empty table name drops every table of the catalog; unknown catalog
+  // errors.
+  RunCount(200);
+  ASSERT_TRUE(engine_->InvalidateMetadata("memory", "").ok());
+  EXPECT_EQ(manager.metadata_cache().size(), 0u);
+  EXPECT_FALSE(engine_->InvalidateMetadata("nope", "events").ok());
+
+  RunCount(200);  // still correct after the flush
+}
+
+TEST_F(MetadataEngineTest, MetadataCacheEndpointReportsLayersAndVersions) {
+  RunCount(200);
+  RunCount(200);
+  ASSERT_TRUE(mem_->CreateTable("events", BigintSchema("k"),
+                                {BigintPage(0, 300)})
+                  .ok());
+  RunCount(300);
+
+  ObservabilityHttpService service(engine_.get());
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/v1/metadata/cache";
+  HttpResponse response = service.Handle(request);
+  ASSERT_EQ(response.status, 200);
+
+  auto body = Json::Parse(response.body);
+  ASSERT_TRUE(body.ok()) << body.status().ToString();
+  for (const char* layer : {"metadata_cache", "split_cache", "plan_cache"}) {
+    auto obj = body->GetObject(layer);
+    ASSERT_TRUE(obj.ok()) << layer;
+    EXPECT_TRUE((*obj)->GetInt("hits").ok());
+    EXPECT_TRUE((*obj)->GetInt("invalidations").ok());
+  }
+  auto plan_layer = body->GetObject("plan_cache");
+  ASSERT_TRUE(plan_layer.ok());
+  EXPECT_GT(*(*plan_layer)->GetInt("hits"), 0);
+  EXPECT_GT(*(*plan_layer)->GetInt("invalidations"), 0);
+
+  // Per-table live versions: events was mutated once, so version >= 1.
+  auto tables = body->GetArray("tables");
+  ASSERT_TRUE(tables.ok());
+  EXPECT_NE(response.body.find("\"table\":\"events\""), std::string::npos);
+  EXPECT_GE(mem_->metadata().GetTableVersion("events"), 1);
+}
+
+TEST_F(MetadataEngineTest, CachesCanBeDisabled) {
+  EngineOptions options;
+  options.cluster.num_workers = 2;
+  options.cluster.executor.threads = 2;
+  options.metadata.enable_metadata_cache = false;
+  options.metadata.enable_split_cache = false;
+  options.metadata.enable_plan_cache = false;
+  auto cold = std::make_unique<PrestoEngine>(options);
+  cold->catalog().Register(mem_);
+  cold->catalog().SetDefault("memory");
+
+  for (int i = 0; i < 3; ++i) {
+    auto rows = cold->ExecuteAndFetch("SELECT count(*) FROM events");
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    EXPECT_EQ((*rows)[0][0], Value::Bigint(200));
+  }
+  MetadataManager& manager = cold->metadata_manager();
+  EXPECT_EQ(manager.plan_cache().hits() + manager.split_cache().hits() +
+                manager.metadata_cache().hits(),
+            0);
+}
+
+}  // namespace
+}  // namespace presto
