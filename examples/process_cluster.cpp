@@ -9,6 +9,12 @@
 //   WORKERS_ALIVE=<n>             heartbeats seen from every worker
 //   JOIN_ROWS=<n>                 distributed join result size
 //   JOIN_MATCHES_LOCAL=<0|1>      distributed result equals in-process result
+//   SPECULATIONS=<n>              speculative replicas launched against the
+//                                 deterministically stalled worker (ISSUE 9)
+//   SPECULATION_WINS=<n>          replicas that beat their original
+//   SPECULATION_MATCHES_LOCAL=<0|1> speculated result equals in-process
+//   SPECULATION_BUFFERS_LEAKED=<n>  exchange bytes left after the race
+//   SPECULATION_RETAINED_LEAKED=<n> replay-retention bytes left after it
 //   KILL_RECOVERED=<0|1>          query SUCCEEDED despite kill -9 mid-query
 //   RECOVERED_MATCHES_LOCAL=<0|1> recovered result equals in-process result
 //   TASK_RETRIES=<n>              presto_task_retries_total after recovery
@@ -142,7 +148,9 @@ int main(int argc, char** argv) {
     return 1;
   }
   printf("JOIN_ROWS=%zu\n", remote->size());
+  const char* spec_sql = "SELECT count(*) FROM lineitem";
   std::vector<std::vector<Value>> kill_reference;
+  std::vector<std::vector<Value>> spec_reference;
   {
     EngineOptions local_options;
     local_options.cluster.num_workers = 2;
@@ -160,6 +168,74 @@ int main(int argc, char** argv) {
       return 1;
     }
     kill_reference = std::move(*kill_ref);
+    auto spec_ref = local.ExecuteAndFetch(spec_sql);
+    if (!spec_ref.ok()) {
+      fprintf(stderr, "local spec ref: %s\n",
+              spec_ref.status().ToString().c_str());
+      return 1;
+    }
+    spec_reference = std::move(*spec_ref);
+  }
+
+  // Speculative execution (ISSUE 9), while BOTH workers are still alive:
+  // worker 1 is deterministically stalled (every driver quantum pays one
+  // second), so it never dies — recovery can't help. The speculative
+  // engine's coordinator notices the straggling task via the progress
+  // counters in the status poll, races a replica on worker 0, and the
+  // replica wins. Its liveness tracker never sees heartbeats (passive),
+  // so the stalled worker stays "alive" throughout — exactly the
+  // straggler-not-failure regime speculation exists for.
+  bool spec_ok = false;
+  {
+    EngineOptions spec_options;
+    spec_options.cluster.mode = ClusterMode::kProcess;
+    spec_options.cluster.remote_workers = addresses;
+    spec_options.cluster.heartbeat_timeout_micros = 60'000'000;
+    spec_options.cluster.max_speculative_tasks = 4;
+    spec_options.cluster.speculation_min_stall_micros = 250'000;
+    spec_options.cluster.speculation_interval_micros = 25'000;
+    auto speculative = std::make_unique<PrestoEngine>(std::move(spec_options));
+    speculative->catalog().Register(
+        std::make_shared<TpchConnector>("tpch", kScale));
+    speculative->catalog().SetDefault("tpch");
+
+    (void)workers[1]->WriteLine("arm_stall_micros=1000000");
+    auto raced = speculative->ExecuteAndFetch(spec_sql);
+    (void)workers[1]->WriteLine("arm_stall_micros=0");
+    long long speculations =
+        speculative->metrics()
+            .RegisterCounter("presto_task_speculations_total", "")
+            ->value();
+    long long wins = speculative->metrics()
+                         .RegisterCounter("presto_speculation_wins_total", "")
+                         ->value();
+    printf("SPECULATIONS=%lld\n", speculations);
+    printf("SPECULATION_WINS=%lld\n", wins);
+    bool matches = raced.ok() &&
+                   SortedRows(*raced) == SortedRows(spec_reference);
+    if (!raced.ok()) {
+      fprintf(stderr, "speculated query: %s\n",
+              raced.status().ToString().c_str());
+    }
+    printf("SPECULATION_MATCHES_LOCAL=%d\n", matches ? 1 : 0);
+
+    // The aborted original drains once its in-flight stalled quantum
+    // finishes; insist every byte is gone before moving on.
+    auto drain_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    long long leaked_buffers = -1;
+    long long leaked_retained = -1;
+    while (std::chrono::steady_clock::now() < drain_deadline) {
+      leaked_buffers = speculative->cluster().exchange().TotalBufferedBytes() +
+                       speculative->cluster().exchange().TotalInflightBytes();
+      leaked_retained = speculative->cluster().exchange().TotalRetainedBytes();
+      if (leaked_buffers == 0 && leaked_retained == 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    printf("SPECULATION_BUFFERS_LEAKED=%lld\n", leaked_buffers);
+    printf("SPECULATION_RETAINED_LEAKED=%lld\n", leaked_retained);
+    spec_ok = matches && speculations >= 1 && wins >= 1 &&
+              leaked_buffers == 0 && leaked_retained == 0;
   }
 
   // Task retry (ISSUE 7): kill -9 a worker mid-query. The coordinator's
@@ -223,5 +299,5 @@ int main(int argc, char** argv) {
   }
   printf("NO_RETRY_FAILED=%d\n", no_retry_failed ? 1 : 0);
 
-  return recovered.ok() && no_retry_failed ? 0 : 1;
+  return recovered.ok() && no_retry_failed && spec_ok ? 0 : 1;
 }

@@ -7,6 +7,10 @@ Validates the KEY=VALUE output of examples/process_cluster:
   - both worker daemons heartbeated and were counted alive;
   - the distributed multi-fragment join produced rows identical to the
     in-process engine;
+  - with one worker deterministically stalled (not dead), the coordinator
+    launched at least one speculative replica that won the race (ISSUE 9),
+    the speculated result matched the in-process engine, and no exchange
+    bytes were leaked by the aborted loser;
   - after kill -9 of a worker mid-query, the query SUCCEEDED via task
     retry (ISSUE 7) with rows identical to the in-process engine and at
     least one recorded retry, well within the recovery budget;
@@ -42,6 +46,11 @@ def main():
         "WORKERS_ALIVE",
         "JOIN_ROWS",
         "JOIN_MATCHES_LOCAL",
+        "SPECULATIONS",
+        "SPECULATION_WINS",
+        "SPECULATION_MATCHES_LOCAL",
+        "SPECULATION_BUFFERS_LEAKED",
+        "SPECULATION_RETAINED_LEAKED",
         "KILL_RECOVERED",
         "RECOVERED_MATCHES_LOCAL",
         "TASK_RETRIES",
@@ -57,6 +66,24 @@ def main():
     assert v["WORKERS_ALIVE"] == "2", f"workers alive: {v['WORKERS_ALIVE']}"
     assert int(v["JOIN_ROWS"]) > 0, "distributed join returned no rows"
     assert v["JOIN_MATCHES_LOCAL"] == "1", "distributed != in-process result"
+
+    assert int(v["SPECULATIONS"]) >= 1, (
+        f"no speculative replica launched against the stalled worker, "
+        f"got {v['SPECULATIONS']}"
+    )
+    assert int(v["SPECULATION_WINS"]) >= 1, (
+        f"no speculative replica won its race, got {v['SPECULATION_WINS']}"
+    )
+    assert v["SPECULATION_MATCHES_LOCAL"] == "1", (
+        "speculated result != in-process result"
+    )
+    assert v["SPECULATION_BUFFERS_LEAKED"] == "0", (
+        f"speculation leaked exchange bytes: {v['SPECULATION_BUFFERS_LEAKED']}"
+    )
+    assert v["SPECULATION_RETAINED_LEAKED"] == "0", (
+        f"speculation leaked replay-retention bytes: "
+        f"{v['SPECULATION_RETAINED_LEAKED']}"
+    )
 
     assert v["KILL_RECOVERED"] == "1", (
         "query did not survive a killed worker"
@@ -85,7 +112,9 @@ def main():
     )
 
     print(
-        f"cluster smoke OK: join rows={v['JOIN_ROWS']}, kill -9 recovered "
+        f"cluster smoke OK: join rows={v['JOIN_ROWS']}, "
+        f"{v['SPECULATION_WINS']}/{v['SPECULATIONS']} speculation wins on a "
+        f"stalled worker, kill -9 recovered "
         f"in {recovery / 1e6:.2f}s with {v['TASK_RETRIES']} retr"
         f"{'y' if v['TASK_RETRIES'] == '1' else 'ies'}, no leaks"
     )

@@ -59,6 +59,13 @@ struct FaultSpec {
 ///   spill.decompress     per-frame decode in Spiller::ReadRun
 ///   memory.reserve       WorkerMemory::Reserve admission
 ///   executor.run_driver  TaskExecutor before each driver quantum
+///   executor.driver_stall  delay-only stall before each driver quantum
+///                          (straggler injection, ISSUE 9); armed errors
+///                          are ignored by the executor
+///   worker.status_progress_freeze  pins the progress counters reported in
+///                          GET /v1/task/{id}/status at their last values
+///                          when armed with any non-OK error (the error is
+///                          never propagated)
 class FaultInjection {
  public:
   static FaultInjection& Instance();

@@ -92,6 +92,16 @@ PrestoEngine::PrestoEngine(EngineOptions options)
           "Latency of one recovery round: restart-set computation through "
           "replacement launch and split-journal replay",
           LogBuckets(0.001, 4, 8)));
+  // ISSUE 9: speculative execution of stragglers — replicas launched and
+  // replicas that beat their original to completion.
+  coordinator_->SetSpeculationInstruments(
+      metrics_->RegisterCounter(
+          "presto_task_speculations_total",
+          "Speculative replicas launched against straggling tasks"),
+      metrics_->RegisterCounter(
+          "presto_speculation_wins_total",
+          "Speculative replicas that finished before their original and "
+          "were promoted"));
 }
 
 PrestoEngine::~PrestoEngine() { StopObservability(); }

@@ -72,6 +72,23 @@ struct ClusterConfig {
   /// worker is declared dead this long after registration/activation.
   /// 0 means "use heartbeat_timeout_micros".
   int64_t first_heartbeat_grace_micros = 0;
+  /// Speculative execution of stragglers (ISSUE 9; kProcess mode with
+  /// recovery enabled). A running task whose progress falls strictly below
+  /// speculation_quantile of its fragment siblings' progress — and whose
+  /// progress has stalled for at least speculation_min_stall_micros
+  /// (scaled up by the observed heartbeat RTT) — gets a higher-generation
+  /// replica raced against it on a different live worker; the first
+  /// finisher wins and the loser is aborted with task-scoped kCancelled.
+  /// max_speculative_tasks bounds concurrent replicas per query; 0
+  /// disables speculation entirely.
+  int max_speculative_tasks = 0;
+  double speculation_quantile = 0.5;
+  /// Minimum sibling samples per fragment before quantiles mean anything;
+  /// single-task fragments are never speculated.
+  int speculation_min_samples = 2;
+  int64_t speculation_min_stall_micros = 1'000'000;
+  /// Progress-sampling cadence of the SpeculationManager.
+  int64_t speculation_interval_micros = 50'000;
 };
 
 /// One worker node: executor threads plus memory pools.

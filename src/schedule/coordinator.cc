@@ -86,6 +86,9 @@ QueryExecution::~QueryExecution() {
   }
   done_cv_.notify_all();
   if (recovery_ != nullptr) recovery_->Stop();
+  // Same for the speculation thread: Wait() may have needed a queued
+  // promotion to discharge a won replica's held callback.
+  if (speculation_ != nullptr) speculation_->Stop();
   stop_split_thread_.store(true);
   if (split_thread_.joinable()) split_thread_.join();
   stop_fetch_thread_.store(true);
@@ -140,6 +143,10 @@ void QueryExecution::AbortAllTasks() {
     std::lock_guard<std::mutex> tlock(tasks_mu_);
     for (auto& fragment_tasks : tasks_) {
       for (auto& task : fragment_tasks) snapshot.push_back(task);
+    }
+    // Speculative replicas race outside tasks_ but must die with the query.
+    for (auto& [slot, replica] : spec_replicas_) {
+      snapshot.push_back(replica.client);
     }
   }
   for (auto& task : snapshot) task->Abort();
@@ -196,9 +203,36 @@ void QueryExecution::OnTaskDone(int fragment, int task, int generation,
     if (recovery_enabled_) {
       bool stale = false;
       bool absorbed = false;
+      bool replica_won = false;
+      bool replica_lost = false;
+      std::shared_ptr<TaskClient> losing_replica;
       {
         std::lock_guard<std::mutex> tlock(tasks_mu_);
-        if (generation != generations_[f][t]) {
+        auto rit = spec_replicas_.find({fragment, task});
+        if (rit != spec_replicas_.end() &&
+            rit->second.generation == generation) {
+          // A speculative replica's terminal callback (ISSUE 9). The
+          // registry entry — not the generation table — identifies it:
+          // replicas run at generations_[f][t]+1 without bumping the table
+          // until promotion.
+          if (speculation_ != nullptr && status.ok() && !rit->second.won &&
+              !slot_finished_[f][t] && !finished_ && !memory_->killed()) {
+            // The replica finished first. Hold the callback (no accounting
+            // yet, mirroring the recovery holds): the promotion job decides
+            // commit-vs-abandon atomically against the result stream and
+            // any concurrent recovery round.
+            rit->second.won = true;
+            replica_won = true;
+          } else {
+            // Failed, cancelled, or the original beat it: speculation
+            // lost. The client is parked like any superseded client (its
+            // poll thread may be the very thread delivering this).
+            rit->second.client->MarkSuperseded();
+            superseded_clients_.push_back(rit->second.client);
+            spec_replicas_.erase(rit);
+            replica_lost = true;
+          }
+        } else if (generation != generations_[f][t]) {
           stale = true;
         } else if (!status.ok() && !finished_ && !memory_->killed() &&
                    status.code() != StatusCode::kCancelled &&
@@ -212,8 +246,35 @@ void QueryExecution::OnTaskDone(int fragment, int task, int generation,
           absorbed = true;
         } else if (status.ok()) {
           slot_finished_[f][t] = true;
+          auto ait = spec_replicas_.find({fragment, task});
+          if (ait != spec_replicas_.end() && !ait->second.won) {
+            // The original out-raced its replica: abort the loser with a
+            // task-scoped kCancelled; its callback settles above.
+            losing_replica = ait->second.client;
+          }
         }
       }
+      if (replica_won) {
+        QueryExecution* self = this;
+        speculation_->Enqueue([self, fragment, task, generation] {
+          self->RunPromotion(fragment, task, generation);
+        });
+        return;
+      }
+      if (replica_lost) {
+        --remaining_tasks_;
+        if (lifecycle_ != nullptr && lifecycle_->trace() != nullptr) {
+          lifecycle_->trace()->RecordInstant(
+              "coordinator", "speculation_lose", 0, 0,
+              {{"fragment", std::to_string(fragment)},
+               {"task", std::to_string(task)},
+               {"generation", std::to_string(generation)}});
+        }
+        FinishIfDrainedLocked();
+        done_cv_.notify_all();
+        return;
+      }
+      if (losing_replica != nullptr) losing_replica->Abort();
       if (stale) {
         // A superseded incarnation settled: the recovery round that
         // replaced it already re-accounted the slot, so only the callback
@@ -347,6 +408,7 @@ void QueryExecution::RunRecovery(const RecoveryRequest& request) {
       {
         std::lock_guard<std::mutex> tlock(tasks_mu_);
         DischargeRecoveryHoldsLocked();
+        DischargeSpeculationLocked();
       }
       FinishIfDrainedLocked();
       done_cv_.notify_all();
@@ -435,6 +497,22 @@ void QueryExecution::RunRecovery(const RecoveryRequest& request) {
               placement_[f][t] = alive[cursor++ % alive.size()];
               ++retry_counts_[f][t];
             }
+            if (auto sit = spec_replicas_.find({fi, ti});
+                sit != spec_replicas_.end()) {
+              // A replica racing a restarting slot loses: the restart
+              // replaces the slot wholesale. Bump the table past the
+              // replica's generation first so neither its pending callback
+              // nor the replacement can collide with it, and discharge a
+              // won replica's held callback (its queued promotion later
+              // no-ops on the missing entry).
+              generations_[f][t] =
+                  std::max(generations_[f][t], sit->second.generation);
+              if (sit->second.won) --remaining_tasks_;
+              sit->second.client->MarkSuperseded();
+              sit->second.client->Abort();
+              superseded_clients_.push_back(sit->second.client);
+              spec_replicas_.erase(sit);
+            }
             ++generations_[f][t];
             if (slot_recovering_[f][t]) {
               // The hold becomes the replacement's outstanding callback.
@@ -486,6 +564,7 @@ void QueryExecution::RunRecovery(const RecoveryRequest& request) {
       {
         std::lock_guard<std::mutex> tlock(tasks_mu_);
         DischargeRecoveryHoldsLocked();
+        DischargeSpeculationLocked();
       }
     }
     FinishIfDrainedLocked();
@@ -556,11 +635,17 @@ void QueryExecution::RunRecovery(const RecoveryRequest& request) {
 
 std::shared_ptr<TaskClient> QueryExecution::MakeRemoteClientLocked(
     int fragment_id, int task_index) {
-  const ClusterConfig& config = cluster_->config();
   size_t f = static_cast<size_t>(fragment_id);
   size_t t = static_cast<size_t>(task_index);
+  return MakeRemoteClientForLocked(fragment_id, task_index,
+                                   placement_[f][t], generations_[f][t]);
+}
+
+std::shared_ptr<TaskClient> QueryExecution::MakeRemoteClientForLocked(
+    int fragment_id, int task_index, int worker, int generation) {
+  const ClusterConfig& config = cluster_->config();
+  size_t f = static_cast<size_t>(fragment_id);
   const PlanFragment& fragment = plan_.fragments[f];
-  int worker = placement_[f][t];
 
   TaskSpec spec;
   spec.query_id = query_id_;
@@ -572,7 +657,7 @@ std::shared_ptr<TaskClient> QueryExecution::MakeRemoteClientLocked(
           ? task_counts_[static_cast<size_t>(fragment.consumer)]
           : 1;
   spec.worker_id = worker;
-  spec.generation = generations_[f][t];
+  spec.generation = generation;
   for (int input : fragment.inputs) {
     spec.source_task_counts[input] =
         task_counts_[static_cast<size_t>(input)];
@@ -603,6 +688,376 @@ std::shared_ptr<TaskClient> QueryExecution::MakeRemoteClientLocked(
   options.task_port = cluster_->task_port(worker);
   options.liveness = &cluster_->liveness();
   return std::make_shared<HttpTaskClient>(spec, create.ToJson(), options);
+}
+
+void QueryExecution::DischargeSpeculationLocked() {
+  for (auto it = spec_replicas_.begin(); it != spec_replicas_.end();
+       it = spec_replicas_.erase(it)) {
+    SpecReplica& replica = it->second;
+    replica.client->MarkSuperseded();
+    replica.client->Abort();
+    superseded_clients_.push_back(replica.client);
+    if (replica.won) {
+      // Its terminal callback already fired and was held; discharge it
+      // here (the queued promotion no-ops on the missing entry). A still-
+      // racing replica's pending callback settles itself instead: with
+      // the entry gone it lands on the stale path (its generation never
+      // entered the generations_ table).
+      --remaining_tasks_;
+    }
+  }
+}
+
+void QueryExecution::SpeculationTick() {
+  struct ReplicaLaunch {
+    int fragment;
+    int task;
+    int generation;
+    std::shared_ptr<TaskClient> client;
+    bool launch_failed = false;
+    Status launch_status = Status::OK();
+  };
+  std::vector<ReplicaLaunch> launches;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!launch_complete_ || finished_ || finalized_ || defer_finalize_ ||
+        memory_->killed()) {
+      return;
+    }
+    std::lock_guard<std::mutex> tlock(tasks_mu_);
+    // Budget counts CONCURRENT replicas: a settled race frees its slot.
+    SpeculationPolicy policy = speculation_policy_;
+    policy.max_speculative_tasks -= static_cast<int>(spec_replicas_.size());
+    if (policy.max_speculative_tasks <= 0) return;
+    std::vector<int> alive;
+    for (int w = 0; w < cluster_->num_workers(); ++w) {
+      if (cluster_->liveness().IsAlive(w)) alive.push_back(w);
+    }
+    if (alive.size() < 2) return;
+    // Scale the stall floor by the observed heartbeat RTT: on a slow
+    // control plane the status caches themselves lag, and a healthy task
+    // must not look stalled just because its progress reports do.
+    if (Histogram* rtt = cluster_->liveness().rtt_histogram()) {
+      Histogram::Snapshot rtt_snapshot = rtt->snapshot();
+      if (rtt_snapshot.count > 0) {
+        policy.min_stall_micros = std::max(
+            policy.min_stall_micros,
+            static_cast<int64_t>(8.0 * rtt_snapshot.sum /
+                                 static_cast<double>(rtt_snapshot.count)));
+      }
+    }
+    // Sample every slot — finished siblings included, so a fragment whose
+    // fast tasks already completed still anchors the quantile the stalled
+    // one must be measured against.
+    std::vector<TaskProgressSample> samples;
+    for (size_t f = 0; f < tasks_.size(); ++f) {
+      for (size_t t = 0; t < tasks_[f].size(); ++t) {
+        TaskProgressSample sample;
+        sample.fragment = static_cast<int>(f);
+        sample.task = static_cast<int>(t);
+        const auto& client = tasks_[f][t];
+        sample.progress = static_cast<double>(client->rows_out());
+        sample.stall_micros = client->progress_age_micros();
+        sample.speculatable =
+            !slot_finished_[f][t] && !slot_recovering_[f][t] &&
+            speculated_.count({static_cast<int>(f),
+                               static_cast<int>(t)}) == 0 &&
+            client->worker_alive();
+        samples.push_back(sample);
+      }
+    }
+    std::vector<std::pair<int, int>> stragglers =
+        PickStragglers(samples, policy, static_cast<int>(alive.size()));
+    size_t cursor = 0;
+    for (const auto& [fi, ti] : stragglers) {
+      size_t f = static_cast<size_t>(fi);
+      size_t t = static_cast<size_t>(ti);
+      // The replica must run on a different live worker than the original.
+      int target = -1;
+      for (size_t i = 0; i < alive.size(); ++i) {
+        int w = alive[(cursor + i) % alive.size()];
+        if (w != placement_[f][t]) {
+          target = w;
+          cursor = cursor + i + 1;
+          break;
+        }
+      }
+      if (target < 0) continue;
+      const int replica_generation = generations_[f][t] + 1;
+      auto client =
+          MakeRemoteClientForLocked(fi, ti, target, replica_generation);
+      SpecReplica replica;
+      replica.generation = replica_generation;
+      replica.worker = target;
+      replica.client = client;
+      spec_replicas_[{fi, ti}] = replica;
+      speculated_.insert({fi, ti});
+      // The replica's own terminal callback joins the drain count; every
+      // exit path (win, loss, recovery absorption, query failure) settles
+      // exactly this +1.
+      ++remaining_tasks_;
+      launches.push_back({fi, ti, replica_generation, client});
+      if (speculations_counter_ != nullptr) {
+        speculations_counter_->Increment();
+      }
+      if (lifecycle_ != nullptr && lifecycle_->trace() != nullptr) {
+        lifecycle_->trace()->RecordInstant(
+            "coordinator", "task_speculate", 0, 0,
+            {{"fragment", std::to_string(fi)},
+             {"task", std::to_string(ti)},
+             {"generation", std::to_string(replica_generation)},
+             {"worker", std::to_string(target)}});
+      }
+    }
+  }
+  if (launches.empty()) return;
+
+  // Create RPCs outside every lock (a failure re-enters OnTaskDone).
+  for (auto& launch : launches) {
+    QueryExecution* self = this;
+    const int f = launch.fragment;
+    const int t = launch.task;
+    const int gen = launch.generation;
+    Status launched = launch.client->Launch([self, f, t, gen](Status status) {
+      self->OnTaskDone(f, t, gen, status);
+    });
+    if (!launched.ok()) {
+      launch.launch_failed = true;
+      launch.launch_status = launched;
+    }
+  }
+
+  // Journal replay: everything the original ever received, then mark the
+  // replica live for split-loop forwarding — atomically under tasks_mu_,
+  // so no split can be both replayed and forwarded.
+  {
+    std::lock_guard<std::mutex> tlock(tasks_mu_);
+    for (const auto& launch : launches) {
+      if (launch.launch_failed) continue;
+      auto it = spec_replicas_.find({launch.fragment, launch.task});
+      if (it == spec_replicas_.end() ||
+          it->second.generation != launch.generation) {
+        continue;  // already settled (e.g. a recovery round absorbed it)
+      }
+      size_t f = static_cast<size_t>(launch.fragment);
+      size_t t = static_cast<size_t>(launch.task);
+      for (const auto& [node, entries] : journal_[f][t].splits) {
+        for (const auto& [split, connector] : entries) {
+          launch.client->AddSplit(node, split, connector);
+        }
+      }
+      (void)launch.client->FlushSplits();
+      for (int node : no_more_splits_[f]) {
+        launch.client->NoMoreSplits(node);
+      }
+      it->second.replayed = true;
+    }
+  }
+
+  for (const auto& launch : launches) {
+    if (!launch.launch_failed) continue;
+    // No callback will ever fire for this replica; settle it through the
+    // lost path directly.
+    OnTaskDone(launch.fragment, launch.task, launch.generation,
+               Status::IOError("speculative replica create failed: " +
+                               launch.launch_status.message()));
+  }
+}
+
+void QueryExecution::RunPromotion(int fragment, int task, int generation) {
+  // Same hard barrier as a recovery round: the split loop must not feed a
+  // client between the swap below and its (already-complete) replay state.
+  recovery_pause_.store(true);
+  struct Replacement {
+    int fragment;
+    int task;
+    int generation;
+    std::shared_ptr<TaskClient> client;
+  };
+  std::vector<Replacement> replacements;
+  std::shared_ptr<TaskClient> losing_original;
+  bool promoted = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return launch_complete_; });
+    size_t f = static_cast<size_t>(fragment);
+    size_t t = static_cast<size_t>(task);
+    const bool settled =
+        finished_ || finalized_ || defer_finalize_ || memory_->killed();
+    {
+      std::lock_guard<std::mutex> tlock(tasks_mu_);
+      auto rit = spec_replicas_.find({fragment, task});
+      if (rit == spec_replicas_.end() ||
+          rit->second.generation != generation || !rit->second.won) {
+        // A recovery round or teardown already settled this replica (and
+        // discharged its held callback).
+        recovery_pause_.store(false);
+        return;
+      }
+      // Decide commit vs abandon. Promotion restarts every unfinished
+      // task of every fragment transitively consuming the promoted one:
+      // their RemoteSources are bound to the losing original's buffers
+      // and their own partial frame sequences are not reproducible — the
+      // same collateral rule recovery applies (DESIGN.md §13).
+      bool illegal = settled || slot_finished_[f][t] || slot_recovering_[f][t];
+      std::vector<std::pair<int, int>> restart;
+      bool restarts_root = fragment == plan_.root_id;
+      if (!illegal) {
+        std::vector<std::vector<int>> consumers_of(plan_.fragments.size());
+        for (const auto& frag : plan_.fragments) {
+          for (int input : frag.inputs) {
+            consumers_of[static_cast<size_t>(input)].push_back(frag.id);
+          }
+        }
+        std::set<int> affected;
+        std::vector<int> worklist{fragment};
+        while (!worklist.empty()) {
+          int g = worklist.back();
+          worklist.pop_back();
+          for (int consumer : consumers_of[static_cast<size_t>(g)]) {
+            if (affected.insert(consumer).second) worklist.push_back(consumer);
+          }
+        }
+        for (int af : affected) {
+          size_t a = static_cast<size_t>(af);
+          for (size_t at = 0; at < slot_finished_[a].size(); ++at) {
+            if (slot_finished_[a][at]) continue;
+            if (slot_recovering_[a][at]) {
+              // A recovery round owns part of the closure; bail out of the
+              // promotion rather than fight it (the original keeps
+              // running — slow but correct).
+              illegal = true;
+              break;
+            }
+            restart.emplace_back(af, static_cast<int>(at));
+            if (af == plan_.root_id) restarts_root = true;
+          }
+          if (illegal) break;
+        }
+      }
+      std::unique_lock<std::mutex> flock(fetch_mu_, std::defer_lock);
+      if (!illegal && restarts_root) {
+        flock.lock();
+        // Frames already delivered to the client cannot be un-delivered;
+        // a root restart is only legal before the first one.
+        if (root_frames_consumed_ > 0) illegal = true;
+      }
+      if (illegal) {
+        // Abandon the win: abort the replica and let the original keep
+        // running. Its held callback settles as a plain count drop.
+        SpecReplica replica = rit->second;
+        spec_replicas_.erase(rit);
+        replica.client->MarkSuperseded();
+        replica.client->Abort();
+        superseded_clients_.push_back(replica.client);
+        --remaining_tasks_;
+        if (lifecycle_ != nullptr && lifecycle_->trace() != nullptr) {
+          lifecycle_->trace()->RecordInstant(
+              "coordinator", "speculation_lose", 0, 0,
+              {{"fragment", std::to_string(fragment)},
+               {"task", std::to_string(task)},
+               {"generation", std::to_string(generation)},
+               {"reason", "promotion_illegal"}});
+        }
+      } else {
+        promoted = true;
+        SpecReplica replica = rit->second;
+        spec_replicas_.erase(rit);
+        // The replica becomes the slot's incarnation; its held callback
+        // becomes the slot's completion.
+        losing_original = tasks_[f][t];
+        losing_original->MarkSuperseded();
+        superseded_clients_.push_back(losing_original);
+        tasks_[f][t] = replica.client;
+        generations_[f][t] = replica.generation;
+        placement_[f][t] = replica.worker;
+        slot_finished_[f][t] = true;
+        --remaining_tasks_;
+        --fragment_remaining_[f];
+        if (fragment_remaining_[f] == 0) fragment_done_[f] = true;
+        // Collateral consumer restarts, exactly like RunRecovery's: they
+        // stay on their workers (the same-id higher-generation create
+        // supersedes the old worker-side entry in place).
+        for (const auto& [ci, cti] : restart) {
+          size_t cf = static_cast<size_t>(ci);
+          size_t ct = static_cast<size_t>(cti);
+          ++generations_[cf][ct];
+          // The replacement's callback joins the count; the still-running
+          // original settles later through the stale path.
+          ++remaining_tasks_;
+          tasks_[cf][ct]->MarkSuperseded();
+          superseded_clients_.push_back(tasks_[cf][ct]);
+          auto fresh = MakeRemoteClientLocked(ci, cti);
+          tasks_[cf][ct] = fresh;
+          replacements.push_back({ci, cti, generations_[cf][ct], fresh});
+        }
+        if (restarts_root) {
+          ++root_epoch_;
+          size_t root = static_cast<size_t>(plan_.root_id);
+          root_fetch_port_ = cluster_->http_port(placement_[root][0]);
+          root_fetch_generation_ = generations_[root][0];
+        }
+        if (wins_counter_ != nullptr) wins_counter_->Increment();
+        if (lifecycle_ != nullptr && lifecycle_->trace() != nullptr) {
+          lifecycle_->trace()->RecordInstant(
+              "coordinator", "speculation_win", 0, 0,
+              {{"fragment", std::to_string(fragment)},
+               {"task", std::to_string(task)},
+               {"generation", std::to_string(generation)},
+               {"collateral", std::to_string(restart.size())}});
+        }
+      }
+    }
+    // The losing original gets a task-scoped kCancelled: the worker kills
+    // its drivers and retires the entry, and the coordinator-side callback
+    // settles through the stale path (its generation is now behind).
+    if (losing_original != nullptr) losing_original->Abort();
+    FinishIfDrainedLocked();
+    done_cv_.notify_all();
+  }
+  if (!promoted || replacements.empty()) {
+    recovery_pause_.store(false);
+    return;
+  }
+
+  // Launch the collateral replacements outside every lock, then replay
+  // their journals — the same tail as a recovery round.
+  std::vector<std::tuple<int, int, int, Status>> launch_failures;
+  for (const auto& r : replacements) {
+    QueryExecution* self = this;
+    const int rf = r.fragment;
+    const int rt = r.task;
+    const int rgen = r.generation;
+    Status launched = r.client->Launch([self, rf, rt, rgen](Status status) {
+      self->OnTaskDone(rf, rt, rgen, status);
+    });
+    if (!launched.ok()) {
+      launch_failures.emplace_back(rf, rt, rgen, launched);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> tlock(tasks_mu_);
+    for (const auto& r : replacements) {
+      size_t rf = static_cast<size_t>(r.fragment);
+      size_t rt = static_cast<size_t>(r.task);
+      if (generations_[rf][rt] != r.generation) continue;  // superseded again
+      for (const auto& [node, entries] : journal_[rf][rt].splits) {
+        for (const auto& [split, connector] : entries) {
+          r.client->AddSplit(node, split, connector);
+        }
+      }
+      (void)r.client->FlushSplits();
+      for (int node : no_more_splits_[rf]) {
+        r.client->NoMoreSplits(node);
+      }
+    }
+  }
+  recovery_pause_.store(false);
+  for (const auto& [rf, rt, rgen, launched] : launch_failures) {
+    OnTaskDone(rf, rt, rgen,
+               Status::IOError("post-promotion restart create failed: " +
+                               launched.message()));
+  }
 }
 
 void QueryExecution::FinalizeLocked() {
@@ -906,6 +1361,13 @@ void QueryExecution::SplitSchedulingLoop() {
                  tasks_[static_cast<size_t>(pending.fragment)]) {
               task->NoMoreSplits(pending.node_id);
             }
+            // Racing speculative replicas of this fragment see the marker
+            // too (pre-replay replicas get it from the journal replay).
+            for (auto& [slot, replica] : spec_replicas_) {
+              if (slot.first == pending.fragment && replica.replayed) {
+                replica.client->NoMoreSplits(pending.node_id);
+              }
+            }
           }
           if (trace != nullptr) {
             trace->RecordInstant(
@@ -974,6 +1436,15 @@ void QueryExecution::SplitSchedulingLoop() {
           }
           current[static_cast<size_t>(target)]->AddSplit(
               pending.node_id, split, pending.connector);
+          // Mirror the delivery into a racing replica of the same slot —
+          // only once its journal replay completed; earlier splits reach
+          // it through the replay (forwarding before that would deliver
+          // this split twice).
+          auto rit = spec_replicas_.find({pending.fragment, target});
+          if (rit != spec_replicas_.end() && rit->second.replayed) {
+            rit->second.client->AddSplit(pending.node_id, split,
+                                         pending.connector);
+          }
         }
       }
       if (!assign_failure.ok()) {
@@ -994,6 +1465,20 @@ void QueryExecution::SplitSchedulingLoop() {
           Cancel(flushed);
           return;
         }
+      }
+      // Best-effort flush for racing replicas: a failing replica cannot
+      // fail the query (its own terminal callback settles the race).
+      if (speculation_enabled_) {
+        std::vector<std::shared_ptr<TaskClient>> replica_tasks;
+        {
+          std::lock_guard<std::mutex> tlock(tasks_mu_);
+          for (auto& [slot, replica] : spec_replicas_) {
+            if (slot.first == pending.fragment && replica.replayed) {
+              replica_tasks.push_back(replica.client);
+            }
+          }
+        }
+        for (const auto& task : replica_tasks) (void)task->FlushSplits();
       }
     }
 
@@ -1197,6 +1682,22 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
   }
   execution->retries_counter_ = retries_counter_;
   execution->recovery_histogram_ = recovery_histogram_;
+  execution->speculations_counter_ = speculations_counter_;
+  execution->wins_counter_ = speculation_wins_counter_;
+  // Speculation rides on the recovery machinery (journal replay,
+  // generations, superseded clients) and needs a second worker to place
+  // replicas on; off by default (max_speculative_tasks = 0).
+  execution->speculation_enabled_ = execution->recovery_enabled_ &&
+                                    config.max_speculative_tasks > 0 &&
+                                    cluster_->num_workers() > 1;
+  if (execution->speculation_enabled_) {
+    execution->speculation_policy_.max_speculative_tasks =
+        config.max_speculative_tasks;
+    execution->speculation_policy_.quantile = config.speculation_quantile;
+    execution->speculation_policy_.min_samples = config.speculation_min_samples;
+    execution->speculation_policy_.min_stall_micros =
+        config.speculation_min_stall_micros;
+  }
 
   // Create the per-task clients.
   for (const auto& fragment : fplan.fragments) {
@@ -1302,6 +1803,12 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
         [raw](const RecoveryRequest& request) { raw->RunRecovery(request); });
     execution->liveness_listener_ = cluster_->liveness().AddDeathListener(
         [raw](int worker) { raw->OnWorkerDeath(worker); });
+  }
+  if (execution->speculation_enabled_) {
+    // Ticks started now are harmless: SpeculationTick early-outs until
+    // launch_complete_.
+    execution->speculation_ = std::make_unique<SpeculationManager>(
+        config.speculation_interval_micros, [raw] { raw->SpeculationTick(); });
   }
 
   // Launch: register every task with its worker's executor — local MLFQ in

@@ -16,6 +16,7 @@
 #include "exec/task.h"
 #include "fragment/fragmenter.h"
 #include "schedule/cluster.h"
+#include "schedule/speculation.h"
 #include "schedule/task_recovery.h"
 #include "stats/metrics_registry.h"
 #include "stats/query_stats.h"
@@ -95,6 +96,26 @@ class QueryExecution {
   /// from the current placement_/generations_ tables. Caller holds
   /// tasks_mu_ (or is single-threaded pre-launch inside Execute()).
   std::shared_ptr<TaskClient> MakeRemoteClientLocked(int fragment, int task);
+  /// Same, but for an explicit worker and generation (speculative replicas
+  /// run at generation+1 on a worker the placement table does not know
+  /// about until the replica is promoted). Caller holds tasks_mu_.
+  std::shared_ptr<TaskClient> MakeRemoteClientForLocked(int fragment,
+                                                        int task, int worker,
+                                                        int generation);
+  /// SpeculationManager tick (ISSUE 9): samples every slot's progress from
+  /// the status caches, picks stragglers via PickStragglers, and races a
+  /// higher-generation replica on a different live worker against each.
+  void SpeculationTick();
+  /// Speculation-thread handler for a replica that finished first: decides
+  /// promotion (the replica becomes the slot's incarnation, consumers of
+  /// its fragment restart like a recovery round, the original is aborted
+  /// kCancelled) or abandonment (results already delivered / recovery owns
+  /// the slot — the replica is aborted and the original keeps running).
+  void RunPromotion(int fragment, int task, int generation);
+  /// Settles every speculative replica during query failure/teardown:
+  /// aborts it, parks its client in superseded_clients_, and discharges a
+  /// won-replica's held completion. Caller holds mu_ and tasks_mu_.
+  void DischargeSpeculationLocked();
   /// The shared tail of OnTaskDone/RunRecovery under mu_: finishes the
   /// stream and finalizes once remaining_tasks_ drained to zero.
   void FinishIfDrainedLocked();
@@ -211,6 +232,32 @@ class QueryExecution {
   Counter* retries_counter_ = nullptr;        // presto_task_retries_total
   Histogram* recovery_histogram_ = nullptr;   // recovery latency, seconds
 
+  /// ---- Speculative execution of stragglers (ISSUE 9; kProcess only). ----
+  /// One active replica racing a slot's current incarnation. Guarded by
+  /// tasks_mu_. Every registry entry holds +1 in remaining_tasks_ (the
+  /// replica's own terminal callback), so the registry is provably empty
+  /// by the time FinalizeLocked() runs.
+  struct SpecReplica {
+    int generation = 0;   // original generation + 1 at launch time
+    int worker = -1;      // never equal to placement_[fragment][task]
+    /// Journal replayed into the replica; the split loop may forward live
+    /// deliveries only afterwards (pre-replay splits reach the replica via
+    /// the journal — forwarding earlier would deliver them twice).
+    bool replayed = false;
+    /// The replica finished OK and its callback is held until RunPromotion
+    /// decides commit-vs-abandon (mirrors the recovery holds).
+    bool won = false;
+    std::shared_ptr<TaskClient> client;
+  };
+  std::map<std::pair<int, int>, SpecReplica> spec_replicas_;
+  /// Slots ever speculated this query — never two replicas of one task.
+  std::set<std::pair<int, int>> speculated_;
+  bool speculation_enabled_ = false;
+  SpeculationPolicy speculation_policy_;
+  std::unique_ptr<SpeculationManager> speculation_;
+  Counter* speculations_counter_ = nullptr;  // presto_task_speculations_total
+  Counter* wins_counter_ = nullptr;          // presto_speculation_wins_total
+
   /// Root result-stream epoch: the fetch loop rebinds its exchange client
   /// whenever recovery moved the root task. root_frames_consumed_ counts
   /// frames already delivered to the client under the current epoch — a
@@ -253,6 +300,14 @@ class Coordinator {
     recovery_histogram_ = latency;
   }
 
+  /// Installs the speculation observability instruments (ISSUE 9):
+  /// presto_task_speculations_total and presto_speculation_wins_total.
+  /// Either may be null (tests that drive the coordinator directly).
+  void SetSpeculationInstruments(Counter* speculations, Counter* wins) {
+    speculations_counter_ = speculations;
+    speculation_wins_counter_ = wins;
+  }
+
   /// Installs the planning-path cache subsystem (ISSUE 8): split
   /// enumeration then goes through the manager's split cache. May be null
   /// (tests that drive the coordinator directly enumerate uncached).
@@ -281,6 +336,8 @@ class Coordinator {
   std::atomic<int> round_robin_worker_{0};
   Counter* retries_counter_ = nullptr;
   Histogram* recovery_histogram_ = nullptr;
+  Counter* speculations_counter_ = nullptr;
+  Counter* speculation_wins_counter_ = nullptr;
   MetadataManager* metadata_manager_ = nullptr;
 };
 

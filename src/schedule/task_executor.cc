@@ -196,6 +196,10 @@ void TaskExecutor::WorkerLoop() {
     }
 
     if (FaultInjection::Enabled()) {
+      // Deterministic straggler injection (ISSUE 9): a delay-only point
+      // that stalls the quantum without failing it. Any armed error is
+      // ignored here — failures belong to executor.run_driver below.
+      (void)FaultInjection::Instance().Hit("executor.driver_stall");
       Status injected = FaultInjection::Instance().Hit("executor.run_driver");
       if (!injected.ok()) {
         if (task.runtime().query_memory != nullptr) {

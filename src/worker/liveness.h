@@ -62,6 +62,9 @@ class WorkerLivenessTracker {
 
   /// Heartbeat round-trip latency histogram (micros), optional.
   void set_rtt_histogram(Histogram* histogram) { rtt_histogram_ = histogram; }
+  /// Null until set_rtt_histogram; speculation (ISSUE 9) reads the mean
+  /// RTT to scale its minimum-stall threshold on slow control planes.
+  Histogram* rtt_histogram() const { return rtt_histogram_; }
 
   /// Death notifications (ISSUE 7): `fn(worker_id)` fires once per
   /// alive->dead transition (a later heartbeat revives the worker and

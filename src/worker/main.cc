@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "connectors/tpch/tpch_connector.h"
 #include "worker/worker_runtime.h"
 
@@ -64,6 +65,10 @@ int main(int argc, char** argv) {
       FlagInt(argc, argv, "heartbeat_interval_micros", 200'000);
   config.executor.threads =
       static_cast<int>(FlagInt(argc, argv, "threads", 2));
+  // Driver time slice; tests shrink it so work splits into many quanta
+  // (each quantum is a straggler-injection point, ISSUE 9).
+  config.executor.quantum_nanos =
+      FlagInt(argc, argv, "quantum_nanos", config.executor.quantum_nanos);
   config.memory.per_worker_general =
       FlagInt(argc, argv, "general_memory_bytes",
               config.memory.per_worker_general);
@@ -90,9 +95,16 @@ int main(int argc, char** argv) {
 
   // Serve until asked to stop: SIGTERM, or stdin EOF (the parent process
   // died or dropped the pipe — keeps CI from leaking daemons). Complete
-  // stdin lines are commands; the one understood today is
-  // "coordinator_port=N", which starts heartbeating against a coordinator
-  // whose ephemeral port only became known after this worker launched.
+  // stdin lines are commands:
+  //   coordinator_port=N     start heartbeating against a coordinator whose
+  //                          ephemeral port only became known after launch
+  //   arm_stall_micros=N     straggler injection (ISSUE 9): N>0 arms the
+  //                          executor.driver_stall delay point so every
+  //                          driver quantum on THIS worker pays N micros;
+  //                          N=0 disarms it
+  //   arm_progress_freeze=B  B=1 pins this worker's reported task-progress
+  //                          counters (worker.status_progress_freeze);
+  //                          B=0 disarms
   std::string command_buffer;
   bool eof = false;
   while (!g_stop.load() && !eof) {
@@ -112,9 +124,32 @@ int main(int argc, char** argv) {
           std::string line = command_buffer.substr(0, newline);
           command_buffer.erase(0, newline + 1);
           constexpr char kPortCommand[] = "coordinator_port=";
+          constexpr char kStallCommand[] = "arm_stall_micros=";
+          constexpr char kFreezeCommand[] = "arm_progress_freeze=";
           if (line.rfind(kPortCommand, 0) == 0) {
             runtime.StartHeartbeat(
                 atoi(line.c_str() + sizeof(kPortCommand) - 1));
+          } else if (line.rfind(kStallCommand, 0) == 0) {
+            int64_t micros = atoll(line.c_str() + sizeof(kStallCommand) - 1);
+            if (micros > 0) {
+              presto::FaultSpec spec;
+              spec.delay_micros = micros;
+              presto::FaultInjection::Instance().Arm("executor.driver_stall",
+                                                     spec);
+            } else {
+              presto::FaultInjection::Instance().Disarm(
+                  "executor.driver_stall");
+            }
+          } else if (line.rfind(kFreezeCommand, 0) == 0) {
+            if (atoi(line.c_str() + sizeof(kFreezeCommand) - 1) != 0) {
+              presto::FaultSpec spec;
+              spec.error = presto::Status::Internal("progress frozen");
+              presto::FaultInjection::Instance().Arm(
+                  "worker.status_progress_freeze", spec);
+            } else {
+              presto::FaultInjection::Instance().Disarm(
+                  "worker.status_progress_freeze");
+            }
           }
         }
       }

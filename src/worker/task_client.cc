@@ -233,6 +233,21 @@ int64_t HttpTaskClient::peak_user_memory_bytes() const {
   return cached_.peak_user_memory_bytes;
 }
 
+int64_t HttpTaskClient::rows_out() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cached_.rows_out;
+}
+
+int64_t HttpTaskClient::completed_splits() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cached_.completed_splits();
+}
+
+int64_t HttpTaskClient::progress_age_micros() const {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  return cached_.progress_age_micros;
+}
+
 bool HttpTaskClient::worker_alive() const {
   if (worker_dead_.load()) return false;
   return options_.liveness == nullptr ||

@@ -60,6 +60,14 @@ class TaskClient {
   /// in-process tasks).
   virtual bool worker_alive() const = 0;
 
+  /// Straggler-detection progress counters (ISSUE 9), from the cached
+  /// status long-poll: rows emitted by the task's pipeline sinks, splits
+  /// the worker finished, and micros since the hosting worker last saw
+  /// progress advance. Zero in-process — speculation is kProcess-only.
+  virtual int64_t rows_out() const { return 0; }
+  virtual int64_t completed_splits() const { return 0; }
+  virtual int64_t progress_age_micros() const { return 0; }
+
   /// True when the task's terminal status is attributable to losing the
   /// hosting worker (liveness death verdict, connect/poll retry
   /// exhaustion, create-on-dead-worker) rather than to query execution —
@@ -176,6 +184,9 @@ class HttpTaskClient final : public TaskClient {
   int64_t cpu_nanos() const override;
   int64_t peak_user_memory_bytes() const override;
   bool worker_alive() const override;
+  int64_t rows_out() const override;
+  int64_t completed_splits() const override;
+  int64_t progress_age_micros() const override;
   bool worker_lost() const override { return worker_lost_.load(); }
   void MarkSuperseded() override { superseded_.store(true); }
   void Abort() override;

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "plan/plan_serde.h"
 
 namespace presto {
@@ -46,6 +47,12 @@ struct WorkerTaskManager::TaskEntry {
   /// until its executor callback fires.
   bool superseded = false;
   std::map<int, int64_t> added_splits;
+  /// Straggler-signal progress tracking (ISSUE 9): the last observed
+  /// progress counters and when they last advanced.
+  int64_t progress_rows = 0;
+  int64_t progress_splits = 0;
+  std::chrono::steady_clock::time_point progress_at =
+      std::chrono::steady_clock::now();
   std::condition_variable cv;
 };
 
@@ -81,6 +88,36 @@ TaskStatusResponse WorkerTaskManager::BuildStatusLocked(TaskEntry& entry) {
   response.user_memory_bytes = entry.query_memory->global_user();
   response.peak_user_memory_bytes = entry.query_memory->peak_user();
   response.stats = entry.exec->CollectStats();
+  // Per-task progress counters (ISSUE 9): rows_out sums each pipeline's
+  // sink-operator output rows; together with completed splits it is the
+  // coordinator's straggler signal. The worker.status_progress_freeze
+  // fault point (armed with any non-OK error) pins the reported counters
+  // at their last values so tests can fake a stalled task without slowing
+  // real execution — the injected error itself is never propagated.
+  bool frozen = false;
+  if (FaultInjection::Enabled()) {
+    frozen = !FaultInjection::Instance().Hit("worker.status_progress_freeze")
+                  .ok();
+  }
+  if (!frozen) {
+    int64_t rows = 0;
+    for (const auto& pipeline : response.stats.pipelines) {
+      if (!pipeline.operators.empty()) {
+        rows += pipeline.operators.back().output_rows;
+      }
+    }
+    const int64_t splits = response.completed_splits();
+    if (rows != entry.progress_rows || splits != entry.progress_splits) {
+      entry.progress_rows = rows;
+      entry.progress_splits = splits;
+      entry.progress_at = std::chrono::steady_clock::now();
+    }
+  }
+  response.rows_out = entry.progress_rows;
+  response.progress_age_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - entry.progress_at)
+          .count();
   return response;
 }
 

@@ -354,7 +354,9 @@ Json TaskStatusResponse::ToJson() const {
       .Set("cpuNanos", Json::Int(cpu_nanos))
       .Set("userMemoryBytes", Json::Int(user_memory_bytes))
       .Set("peakUserMemoryBytes", Json::Int(peak_user_memory_bytes))
-      .Set("stats", TaskStatsToJson(stats));
+      .Set("stats", TaskStatsToJson(stats))
+      .Set("rowsOut", Json::Int(rows_out))
+      .Set("progressAgeMicros", Json::Int(progress_age_micros));
   return out;
 }
 
@@ -385,6 +387,14 @@ Result<TaskStatusResponse> TaskStatusResponse::FromJson(const Json& json) {
                           json.GetInt("peakUserMemoryBytes"));
   if (const Json* stats_json = json.Find("stats")) {
     PRESTO_ASSIGN_OR_RETURN(status.stats, TaskStatsFromJson(*stats_json));
+  }
+  // Optional (absent in pre-speculation payloads).
+  if (json.Find("rowsOut") != nullptr) {
+    PRESTO_ASSIGN_OR_RETURN(status.rows_out, json.GetInt("rowsOut"));
+  }
+  if (json.Find("progressAgeMicros") != nullptr) {
+    PRESTO_ASSIGN_OR_RETURN(status.progress_age_micros,
+                            json.GetInt("progressAgeMicros"));
   }
   return status;
 }

@@ -94,6 +94,12 @@ struct TaskStatusResponse {
   /// Full operator stats (EXPLAIN ANALYZE material). Always present;
   /// final once the state is terminal.
   TaskStats stats;
+  /// Per-task progress counters for straggler detection (ISSUE 9): rows
+  /// emitted by each pipeline's sink operator, and micros since the
+  /// hosting worker last observed progress advance (rows_out or completed
+  /// splits changing).
+  int64_t rows_out = 0;
+  int64_t progress_age_micros = 0;
 
   int64_t completed_splits() const {
     int64_t added = 0, queued = 0;

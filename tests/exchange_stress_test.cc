@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -196,6 +197,135 @@ TEST_F(ExchangeStressTest, SeededFaultsNoLossNoDupNoLeak) {
   EXPECT_GT(manager_->http_requests(), 0);
   // ~2% of thousands of attempts: retries must actually have happened.
   EXPECT_GT(manager_->http_retries(), 0);
+}
+
+// Speculation race at the exchange layer (ISSUE 9): a generation-0
+// original and a generation-1 replica of the same task produce the
+// identical frame sequence on two separate exchange fabrics (two
+// "workers"). The consumer fetches from the original and, at a seeded
+// point mid-stream, a seeded coin decides whether the replica wins — a
+// ResetForReplacement onto the replica's port and generation, re-fetching
+// from token 0 with skip_frames suppressing everything already delivered.
+// 100 seeded iterations; every one must decode an exactly-once multiset
+// and leave zero buffered/in-flight bytes on both fabrics.
+TEST_F(ExchangeStressTest, SpeculationReplacementRaceExactlyOnce) {
+  NetworkConfig network;
+  network.latency_micros = 0;
+  network.bytes_per_second = 0;
+  network.transport = TransportMode::kHttp;
+  network.http_long_poll_micros = 2'000;
+  network.http_max_retries = 6;
+  network.http_retry_backoff_micros = 100;
+  // One frame per GET (the server always returns at least one), so the
+  // seeded switch point lands BETWEEN frames instead of the whole stream
+  // arriving in a single fetch.
+  network.http_response_max_bytes = 1;
+  auto original_manager = std::make_unique<ExchangeManager>(
+      network, PageCodecOptions{PageCompression::kNone, true, true});
+  auto original_service =
+      std::make_unique<ExchangeHttpService>(original_manager.get());
+  ASSERT_TRUE(original_service->Start().ok());
+  auto replica_manager = std::make_unique<ExchangeManager>(
+      network, PageCodecOptions{PageCompression::kNone, true, true});
+  auto replica_service =
+      std::make_unique<ExchangeHttpService>(replica_manager.get());
+  ASSERT_TRUE(replica_service->Start().ok());
+
+  constexpr int kFrames = 10;
+  constexpr int kRows = 8;
+  // Capacity above the full stream: the race under test is the consumer's
+  // switch, not producer backpressure.
+  constexpr int64_t kCapacity = 1 << 20;
+
+  for (int iter = 0; iter < kIterations; ++iter) {
+    SCOPED_TRACE("iteration " + std::to_string(iter));
+    std::mt19937_64 rng(static_cast<uint64_t>(iter) * 7919 + 13);
+    const std::string query = "spec_" + std::to_string(iter);
+
+    // The same (query, fragment, task) exists at generation 0 on the
+    // original fabric and generation 1 on the replica's — exactly how a
+    // speculative task pair looks from the consumer's seat.
+    original_manager->CreateOutputBuffers(query, kFragment, /*task=*/0,
+                                  /*partitions=*/1, kCapacity,
+                                  /*generation=*/0);
+    replica_manager->CreateOutputBuffers(query, kFragment, /*task=*/0,
+                                         /*partitions=*/1, kCapacity,
+                                         /*generation=*/1);
+    for (int frame = 0; frame < kFrames; ++frame) {
+      std::vector<int64_t> values;
+      for (int row = 0; row < kRows; ++row) {
+        values.push_back(frame * kRows + row);
+      }
+      PageCodec::Frame encoded =
+          original_manager->codec().Encode(Page({MakeBigintBlock(values)}));
+      ASSERT_TRUE(original_manager->GetBuffer({query, kFragment, 0, 0})
+                      ->TryEnqueue(encoded));
+      ASSERT_TRUE(replica_manager->GetBuffer({query, kFragment, 0, 0})
+                      ->TryEnqueue(encoded));
+    }
+    original_manager->GetBuffer({query, kFragment, 0, 0})->NoMorePages();
+    replica_manager->GetBuffer({query, kFragment, 0, 0})->NoMorePages();
+
+    const bool replica_wins = (rng() & 1) != 0;
+    // In [0, kFrames): at kFrames the original would complete first and
+    // the race would (legitimately) settle without a switch.
+    const int64_t switch_after = static_cast<int64_t>(rng() % kFrames);
+
+    ExchangeHttpClient fetcher(manager_.get(), original_service->port(),
+                               StreamId{query, kFragment, 0, 0},
+                               /*generation=*/0);
+    bool switched = false;
+    int64_t delivered = 0;
+    std::vector<int64_t> got;
+    for (;;) {
+      if (replica_wins && !switched && delivered >= switch_after) {
+        fetcher.ResetForReplacement(replica_service->port(),
+                                    /*generation=*/1);
+        switched = true;
+      }
+      auto fetch = fetcher.Fetch();
+      ASSERT_TRUE(fetch.ok()) << fetch.status().ToString();
+      size_t offset = 0;
+      int64_t index = 0;
+      while (offset < fetch->body.size()) {
+        auto page = original_manager->codec().Decode(fetch->body, &offset);
+        ASSERT_TRUE(page.ok()) << page.status().ToString();
+        // Leading skip_frames frames were delivered before the switch;
+        // emitting them again would double-count.
+        if (index++ < fetch->skip_frames) continue;
+        const Block& column = *page->block(0);
+        for (int64_t row = 0; row < column.size(); ++row) {
+          got.push_back(column.GetValue(row).AsBigint());
+        }
+        ++delivered;
+      }
+      if (fetch->complete) {
+        ASSERT_TRUE(fetcher.DeleteBuffer().ok());
+        break;
+      }
+    }
+    EXPECT_EQ(switched, replica_wins);
+
+    std::vector<int64_t> expected;
+    for (int64_t v = 0; v < kFrames * kRows; ++v) expected.push_back(v);
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expected) << "lost or duplicated frames across the "
+                             << (replica_wins ? "switch" : "no-switch")
+                             << " at " << switch_after;
+
+    // Loser teardown: the un-drained generation's buffers go away with
+    // its query (the worker-side kill path), after which NOTHING may
+    // remain on either fabric.
+    original_manager->RemoveQuery(query);
+    replica_manager->RemoveQuery(query);
+    EXPECT_EQ(original_manager->TotalBufferedBytes(), 0);
+    EXPECT_EQ(original_manager->TotalInflightBytes(), 0);
+    EXPECT_EQ(original_manager->TotalRetainedBytes(), 0);
+    EXPECT_EQ(replica_manager->TotalBufferedBytes(), 0);
+    EXPECT_EQ(replica_manager->TotalInflightBytes(), 0);
+    EXPECT_EQ(replica_manager->TotalRetainedBytes(), 0);
+  }
+  replica_service->Stop();
 }
 
 }  // namespace

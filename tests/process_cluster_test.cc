@@ -65,17 +65,17 @@ class ProcessClusterTest : public ::testing::Test {
   }
 
   // Launches `count` daemons and waits for their READY banners.
-  void StartWorkers(int count, int64_t heartbeat_interval_micros = 100'000) {
+  void StartWorkers(int count, int64_t heartbeat_interval_micros = 100'000,
+                    std::vector<std::string> extra_args = {}) {
     for (int i = 0; i < count; ++i) {
       auto worker = std::make_unique<Subprocess>();
-      ASSERT_TRUE(worker
-                      ->Start({worker_bin_,
-                               "--worker_id=" + std::to_string(i),
-                               "--threads=2",
-                               "--tpch_scale=" + std::to_string(kScale),
-                               "--heartbeat_interval_micros=" +
-                                   std::to_string(heartbeat_interval_micros)})
-                      .ok());
+      std::vector<std::string> args = {
+          worker_bin_, "--worker_id=" + std::to_string(i), "--threads=2",
+          "--tpch_scale=" + std::to_string(kScale),
+          "--heartbeat_interval_micros=" +
+              std::to_string(heartbeat_interval_micros)};
+      args.insert(args.end(), extra_args.begin(), extra_args.end());
+      ASSERT_TRUE(worker->Start(args).ok());
       auto ready = worker->WaitForLine("READY", 20'000);
       ASSERT_TRUE(ready.ok()) << ready.status().ToString();
       RemoteWorkerAddress address;
@@ -503,6 +503,137 @@ TEST_F(ProcessClusterTest, MidStreamDeathNeverHangsOrDuplicates) {
         << rows.status().ToString();
   }
   EXPECT_EQ(process->cluster().exchange().TotalBufferedBytes(), 0);
+}
+
+// The ISSUE 9 headline: a worker that is alive (heartbeating) but
+// crawling — every driver quantum stalls for a second — must not hold the
+// query hostage. The coordinator notices the straggling task via the
+// progress counters in the status poll, races a higher-generation replica
+// on the healthy worker, promotes the replica when it finishes first, and
+// aborts the original. The result is row-identical to an in-process run
+// (exactly-once), recovery never fires (the worker never dies), and no
+// exchange bytes leak once the stalled quantum drains.
+TEST_F(ProcessClusterTest, StalledWorkerIsOutRacedBySpeculation) {
+  // A tiny driver time slice splits the scan into many quanta, so the
+  // stalled worker pays the injected delay several times over — the
+  // speculated run pays it at most once (the in-flight quantum of the
+  // aborted original draining).
+  StartWorkers(2, /*heartbeat_interval_micros=*/50'000,
+               {"--quantum_nanos=25000"});
+
+  const char* sql = "SELECT count(*) FROM lineitem";
+  auto expected = MakeThreadsEngine(2)->ExecuteAndFetch(sql);
+  ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+
+  // Heartbeat timeout far beyond the test's lifetime: the stalled worker
+  // keeps beating, so the failure detector never declares it dead and
+  // ONLY speculation can rescue the query.
+  auto speculative = [this] {
+    EngineOptions options;
+    options.cluster.mode = ClusterMode::kProcess;
+    options.cluster.remote_workers = addresses_;
+    options.cluster.heartbeat_timeout_micros = 60'000'000;
+    options.cluster.max_speculative_tasks = 4;
+    options.cluster.speculation_quantile = 0.5;
+    options.cluster.speculation_min_samples = 2;
+    options.cluster.speculation_min_stall_micros = 250'000;
+    options.cluster.speculation_interval_micros = 25'000;
+    auto engine = std::make_unique<PrestoEngine>(std::move(options));
+    engine->catalog().Register(
+        std::make_shared<TpchConnector>("tpch", kScale));
+    engine->catalog().SetDefault("tpch");
+    return engine;
+  };
+
+  auto process = speculative();
+  StartHeartbeats(process.get());
+
+  // Every driver quantum on worker 1 now pays a one-second stall.
+  ASSERT_TRUE(workers_[1]->WriteLine("arm_stall_micros=1000000").ok());
+
+  auto speculated_start = std::chrono::steady_clock::now();
+  auto rows = process->ExecuteAndFetch(sql);
+  auto speculated_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - speculated_start)
+          .count();
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  auto sorted_got = Sorted(*rows);
+  auto sorted_want = Sorted(*expected);
+  ASSERT_EQ(sorted_got.size(), sorted_want.size());
+  for (size_t r = 0; r < sorted_got.size(); ++r) {
+    ASSERT_EQ(sorted_got[r].size(), sorted_want[r].size());
+    for (size_t c = 0; c < sorted_got[r].size(); ++c) {
+      EXPECT_EQ(sorted_got[r][c].ToString(), sorted_want[r][c].ToString());
+    }
+  }
+
+  // Speculation — not recovery — carried the query.
+  EXPECT_GE(process->metrics()
+                .RegisterCounter("presto_task_speculations_total", "")
+                ->value(),
+            1);
+  EXPECT_GE(process->metrics()
+                .RegisterCounter("presto_speculation_wins_total", "")
+                ->value(),
+            1);
+  EXPECT_EQ(RetriesTotal(process.get()), 0);
+  EXPECT_TRUE(process->cluster().liveness().IsAlive(1));
+
+  // Release the stalled worker, then insist every byte drains: the aborted
+  // original needs its in-flight stalled quantum to finish before the
+  // worker can retire the task and free its buffers.
+  ASSERT_TRUE(workers_[1]->WriteLine("arm_stall_micros=0").ok());
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(15);
+  bool drained = false;
+  while (std::chrono::steady_clock::now() < deadline && !drained) {
+    drained = process->cluster().exchange().TotalBufferedBytes() == 0 &&
+              process->cluster().exchange().TotalInflightBytes() == 0 &&
+              process->cluster().exchange().TotalRetainedBytes() == 0;
+    for (int w = 0; w < 2 && drained; ++w) {
+      auto info = FetchWorkerInfo(w);
+      drained = info.ok() && info->active_tasks == 0 &&
+                info->buffered_bytes == 0 && info->retained_bytes == 0;
+    }
+    if (!drained) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  EXPECT_TRUE(drained) << "exchange bytes leaked after speculation";
+
+  // Control: same stall, speculation disabled. The query still finishes
+  // (the worker is alive, just slow) with correct rows — but measurably
+  // slower than the speculated run.
+  process.reset();
+  EngineOptions options;
+  options.cluster.mode = ClusterMode::kProcess;
+  options.cluster.remote_workers = addresses_;
+  options.cluster.heartbeat_timeout_micros = 60'000'000;
+  options.cluster.max_speculative_tasks = 0;
+  auto disabled = std::make_unique<PrestoEngine>(std::move(options));
+  disabled->catalog().Register(
+      std::make_shared<TpchConnector>("tpch", kScale));
+  disabled->catalog().SetDefault("tpch");
+  StartHeartbeats(disabled.get());
+  ASSERT_TRUE(workers_[1]->WriteLine("arm_stall_micros=1000000").ok());
+
+  auto disabled_start = std::chrono::steady_clock::now();
+  auto slow_rows = disabled->ExecuteAndFetch(sql);
+  auto disabled_micros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - disabled_start)
+          .count();
+  ASSERT_TRUE(workers_[1]->WriteLine("arm_stall_micros=0").ok());
+  ASSERT_TRUE(slow_rows.ok()) << slow_rows.status().ToString();
+  ASSERT_EQ(slow_rows->size(), 1u);
+  EXPECT_EQ((*slow_rows)[0][0].ToString(), sorted_want[0][0].ToString());
+  EXPECT_EQ(disabled->metrics()
+                .RegisterCounter("presto_task_speculations_total", "")
+                ->value(),
+            0);
+  EXPECT_LT(speculated_micros, disabled_micros)
+      << "speculation did not beat the stalled run";
 }
 
 TEST_F(ProcessClusterTest, WorkerInfoEndpointReports) {

@@ -1,8 +1,10 @@
 // Unit tests for the task-recovery building blocks (ISSUE 7): split-target
 // selection around dead workers, the restart-set fixpoint, the liveness
 // tracker's first-heartbeat grace, and the heartbeat sender's RTT
-// reporting. The end-to-end kill -9 recovery paths live in
-// process_cluster_test.cc; these tests pin the pieces in isolation.
+// reporting — plus the straggler candidate selection that speculation
+// (ISSUE 9) builds on. The end-to-end kill -9 recovery and speculation
+// paths live in process_cluster_test.cc; these tests pin the pieces in
+// isolation.
 
 #include <gtest/gtest.h>
 
@@ -158,6 +160,114 @@ TEST(ComputeRestartSetTest, CollateralPropagatesTransitively) {
   EXPECT_EQ(restart[0], std::make_pair(0, 0));
   EXPECT_EQ(restart[1], std::make_pair(1, 0));
   EXPECT_EQ(restart[2], std::make_pair(2, 0));
+}
+
+// ---- PickStragglers (ISSUE 9) ----
+
+TaskProgressSample Sample(int fragment, int task, double progress,
+                          int64_t stall_micros, bool speculatable = true) {
+  TaskProgressSample sample;
+  sample.fragment = fragment;
+  sample.task = task;
+  sample.progress = progress;
+  sample.stall_micros = stall_micros;
+  sample.speculatable = speculatable;
+  return sample;
+}
+
+TEST(PickStragglersTest, FlagsClearStragglerSlowestFirst) {
+  SpeculationPolicy policy;  // quantile 0.5, min_samples 2, budget 2
+  std::vector<TaskProgressSample> samples = {
+      Sample(0, 0, 100, 0), Sample(0, 1, 100, 0), Sample(0, 2, 3, 50'000)};
+  auto picked = PickStragglers(samples, policy, /*live_workers=*/3);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], std::make_pair(0, 2));
+}
+
+TEST(PickStragglersTest, FewerThanMinSamplesSelectsNobody) {
+  SpeculationPolicy policy;
+  policy.min_samples = 3;
+  // Only two samples in the fragment: no distribution to judge against.
+  std::vector<TaskProgressSample> samples = {Sample(0, 0, 100, 0),
+                                             Sample(0, 1, 0, 50'000)};
+  EXPECT_TRUE(PickStragglers(samples, policy, 3).empty());
+}
+
+TEST(PickStragglersTest, AllEqualProgressSelectsNobody) {
+  // Startup: everyone at zero must not look like everyone straggling —
+  // the strict-below-threshold rule keeps an all-equal fragment quiet.
+  SpeculationPolicy policy;
+  std::vector<TaskProgressSample> samples = {
+      Sample(0, 0, 0, 50'000), Sample(0, 1, 0, 50'000),
+      Sample(0, 2, 0, 50'000)};
+  EXPECT_TRUE(PickStragglers(samples, policy, 3).empty());
+}
+
+TEST(PickStragglersTest, SingleLiveWorkerSelectsNobody) {
+  // A replica must run on a DIFFERENT worker; with one live worker there
+  // is nowhere to put it.
+  SpeculationPolicy policy;
+  std::vector<TaskProgressSample> samples = {Sample(0, 0, 100, 0),
+                                             Sample(0, 1, 0, 50'000)};
+  EXPECT_TRUE(PickStragglers(samples, policy, /*live_workers=*/1).empty());
+}
+
+TEST(PickStragglersTest, BudgetClampsToSlowestCandidates) {
+  SpeculationPolicy policy;
+  policy.max_speculative_tasks = 2;
+  policy.quantile = 0.9;
+  std::vector<TaskProgressSample> samples = {
+      Sample(0, 0, 100, 0),     Sample(0, 1, 5, 50'000),
+      Sample(0, 2, 1, 50'000),  Sample(0, 3, 3, 50'000),
+      Sample(0, 4, 90, 0)};
+  auto picked = PickStragglers(samples, policy, 3);
+  // Three tasks sit below the 90th-percentile threshold; the budget keeps
+  // the two slowest, slowest first.
+  ASSERT_EQ(picked.size(), 2u);
+  EXPECT_EQ(picked[0], std::make_pair(0, 2));
+  EXPECT_EQ(picked[1], std::make_pair(0, 3));
+}
+
+TEST(PickStragglersTest, NonSpeculatableSlotAnchorsButIsNeverPicked) {
+  // A slot that already has a racing replica (speculatable = false) must
+  // never get a second one — but its progress still shapes the quantile,
+  // and a FINISHED sibling's full progress still exposes the straggler.
+  SpeculationPolicy policy;
+  std::vector<TaskProgressSample> samples = {
+      Sample(0, 0, 0, 50'000, /*speculatable=*/false),
+      Sample(0, 1, 100, 0, /*speculatable=*/false)};
+  EXPECT_TRUE(PickStragglers(samples, policy, 3).empty());
+
+  samples = {Sample(0, 0, 0, 50'000, /*speculatable=*/true),
+             Sample(0, 1, 100, 0, /*speculatable=*/false)};
+  auto picked = PickStragglers(samples, policy, 3);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], std::make_pair(0, 0));
+}
+
+TEST(PickStragglersTest, StallBelowMinimumIsNotFlagged) {
+  SpeculationPolicy policy;
+  policy.min_stall_micros = 100'000;
+  std::vector<TaskProgressSample> samples = {Sample(0, 0, 100, 0),
+                                             Sample(0, 1, 0, 99'999)};
+  EXPECT_TRUE(PickStragglers(samples, policy, 3).empty());
+  samples[1].stall_micros = 100'000;
+  auto picked = PickStragglers(samples, policy, 3);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], std::make_pair(0, 1));
+}
+
+TEST(PickStragglersTest, FragmentsAreJudgedIndependently) {
+  // Fragment 1's fast tasks must not make fragment 0's slow-but-uniform
+  // tasks look like stragglers: the quantile is per fragment.
+  SpeculationPolicy policy;
+  policy.max_speculative_tasks = 4;
+  std::vector<TaskProgressSample> samples = {
+      Sample(0, 0, 2, 50'000),  Sample(0, 1, 2, 50'000),
+      Sample(1, 0, 1000, 0),    Sample(1, 1, 7, 50'000)};
+  auto picked = PickStragglers(samples, policy, 3);
+  ASSERT_EQ(picked.size(), 1u);
+  EXPECT_EQ(picked[0], std::make_pair(1, 1));
 }
 
 // ---- WorkerLivenessTracker first-heartbeat grace ----
