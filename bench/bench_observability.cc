@@ -1,0 +1,209 @@
+// Observability-plane benchmark (ISSUE 10): what does watching the
+// cluster cost?
+//
+//   1. Cross-process trace shipping: median latency of a multi-fragment
+//      join over a 4-worker process cluster with span shipping on
+//      (ClusterConfig::ship_worker_trace, the default) vs off. Shipped
+//      spans ride status long-polls the coordinator already makes, so the
+//      overhead should be noise.
+//   2. Federated scrape: latency of GET /v1/cluster/metrics while the
+//      coordinator scrapes all 4 live workers' /v1/metrics endpoints and
+//      merges the expositions.
+//
+// Usage: bench_observability <path-to-presto_worker> [iterations]
+// Emits BENCH_observability.json via BenchReport.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "exchange/http/http_io.h"
+#include "worker/subprocess.h"
+
+namespace presto::bench {
+namespace {
+
+constexpr double kScale = 0.05;
+constexpr int kWorkers = 4;
+
+const char* kJoinSql =
+    "SELECT o.orderpriority, count(*), sum(l.extendedprice) "
+    "FROM orders o JOIN lineitem l ON o.orderkey = l.orderkey "
+    "GROUP BY o.orderpriority";
+
+struct WorkerFleet {
+  std::vector<std::unique_ptr<Subprocess>> workers;
+  std::vector<RemoteWorkerAddress> addresses;
+};
+
+bool StartFleet(const std::string& worker_bin, WorkerFleet* fleet) {
+  for (int i = 0; i < kWorkers; ++i) {
+    auto worker = std::make_unique<Subprocess>();
+    Status started = worker->Start(
+        {worker_bin, "--worker_id=" + std::to_string(i), "--threads=2",
+         "--tpch_scale=" + std::to_string(kScale),
+         "--heartbeat_interval_micros=100000"});
+    if (!started.ok()) {
+      fprintf(stderr, "worker %d: %s\n", i, started.ToString().c_str());
+      return false;
+    }
+    auto ready = worker->WaitForLine("READY", 20'000);
+    if (!ready.ok()) {
+      fprintf(stderr, "worker %d: %s\n", i, ready.status().ToString().c_str());
+      return false;
+    }
+    RemoteWorkerAddress address;
+    if (sscanf(ready->c_str(),
+               "READY task_port=%d exchange_port=%d metrics_port=%d",
+               &address.task_port, &address.exchange_port,
+               &address.metrics_port) < 2) {
+      fprintf(stderr, "worker %d: bad banner '%s'\n", i, ready->c_str());
+      return false;
+    }
+    fleet->addresses.push_back(address);
+    fleet->workers.push_back(std::move(worker));
+  }
+  return true;
+}
+
+std::unique_ptr<PrestoEngine> MakeProcessEngine(const WorkerFleet& fleet,
+                                                bool ship_worker_trace) {
+  EngineOptions options;
+  options.cluster.mode = ClusterMode::kProcess;
+  options.cluster.remote_workers = fleet.addresses;
+  options.cluster.heartbeat_timeout_micros = 10'000'000;
+  options.cluster.ship_worker_trace = ship_worker_trace;
+  auto engine = std::make_unique<PrestoEngine>(std::move(options));
+  engine->catalog().Register(std::make_shared<TpchConnector>("tpch", kScale));
+  engine->catalog().SetDefault("tpch");
+  return engine;
+}
+
+// Points every worker's heartbeat at the engine and waits until all beat.
+bool ConnectHeartbeats(PrestoEngine* engine, WorkerFleet* fleet) {
+  if (!engine->StartObservability().ok()) return false;
+  for (auto& worker : fleet->workers) {
+    (void)worker->WriteLine("coordinator_port=" +
+                            std::to_string(engine->observability_port()));
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    bool all = true;
+    for (int w = 0; w < kWorkers; ++w) {
+      all = all && engine->cluster().liveness().SeenHeartbeat(w);
+    }
+    if (all) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  return false;
+}
+
+// Median query latency (ms) over `iterations` runs after one warmup.
+double MedianLatencyMs(PrestoEngine* engine, int iterations) {
+  (void)RunQuery(engine, kJoinSql);
+  std::vector<double> samples;
+  for (int i = 0; i < iterations; ++i) {
+    samples.push_back(static_cast<double>(TimeQuery(engine, kJoinSql)) / 1e3);
+  }
+  return Percentile(samples, 50);
+}
+
+// One timed GET of /v1/cluster/metrics; latency in ms, -1 on failure.
+double TimedScrapeMs(int port, std::string* body) {
+  auto start = std::chrono::steady_clock::now();
+  auto conn = ConnectToLoopback(port, 5'000'000);
+  if (!conn.ok()) return -1;
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/v1/cluster/metrics";
+  if (!(*conn)->WriteRequest(request).ok()) return -1;
+  auto response = (*conn)->ReadResponse();
+  if (!response.ok() || response->status != 200) return -1;
+  *body = response->body;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::microseconds>(
+                 std::chrono::steady_clock::now() - start)
+                 .count()) /
+         1e3;
+}
+
+int Run(const std::string& worker_bin, int iterations) {
+  WorkerFleet fleet;
+  if (!StartFleet(worker_bin, &fleet)) return 1;
+  BenchReport report("observability");
+
+  // Tracing off first so the traced engine (which the scrape section
+  // reuses) is the one left standing.
+  double untraced_ms = 0;
+  {
+    auto engine = MakeProcessEngine(fleet, /*ship_worker_trace=*/false);
+    untraced_ms = MedianLatencyMs(engine.get(), iterations);
+  }
+  auto engine = MakeProcessEngine(fleet, /*ship_worker_trace=*/true);
+  double traced_ms = MedianLatencyMs(engine.get(), iterations);
+  double overhead_pct =
+      untraced_ms > 0 ? (traced_ms - untraced_ms) / untraced_ms * 100 : 0;
+  report.Add("trace_shipping_off", "median_latency", untraced_ms, "ms");
+  report.Add("trace_shipping_on", "median_latency", traced_ms, "ms");
+  report.Add("trace_shipping", "overhead", overhead_pct, "%");
+  printf("join over %d workers: traced %.2fms vs untraced %.2fms "
+         "(%+.1f%%)\n",
+         kWorkers, traced_ms, untraced_ms, overhead_pct);
+
+  // Federated scrape latency: every sample re-scrapes all live workers.
+  if (!ConnectHeartbeats(engine.get(), &fleet)) {
+    fprintf(stderr, "workers never heartbeated\n");
+    return 1;
+  }
+  std::vector<double> scrape_ms;
+  std::string body;
+  for (int i = 0; i < iterations * 4; ++i) {
+    double sample = TimedScrapeMs(engine->observability_port(), &body);
+    if (sample < 0) {
+      fprintf(stderr, "cluster metrics scrape failed\n");
+      return 1;
+    }
+    scrape_ms.push_back(sample);
+  }
+  long long scraped = -1;
+  const char* key = "\npresto_cluster_scraped_workers ";
+  size_t pos = body.find(key);
+  if (pos != std::string::npos) {
+    scraped = atoll(body.c_str() + pos + strlen(key));
+  }
+  report.Add("cluster_metrics", "scrape_p50", Percentile(scrape_ms, 50),
+             "ms");
+  report.Add("cluster_metrics", "scrape_p95", Percentile(scrape_ms, 95),
+             "ms");
+  report.Add("cluster_metrics", "workers_scraped",
+             static_cast<double>(scraped), "workers");
+  printf("/v1/cluster/metrics over %lld workers: p50 %.2fms p95 %.2fms\n",
+         scraped, Percentile(scrape_ms, 50), Percentile(scrape_ms, 95));
+
+  std::string path = report.WriteJson();
+  if (path.empty()) {
+    fprintf(stderr, "failed to write report\n");
+    return 1;
+  }
+  printf("wrote %s\n", path.c_str());
+  return scraped == kWorkers ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace presto::bench
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    fprintf(stderr, "usage: %s <path-to-presto_worker> [iterations]\n",
+            argv[0]);
+    return 2;
+  }
+  int iterations = argc > 2 ? atoi(argv[2]) : 5;
+  return presto::bench::Run(argv[1], iterations);
+}

@@ -9,6 +9,14 @@
 //   WORKERS_ALIVE=<n>             heartbeats seen from every worker
 //   JOIN_ROWS=<n>                 distributed join result size
 //   JOIN_MATCHES_LOCAL=<0|1>      distributed result equals in-process result
+//   WORKER_METRICS_OK=<0|1>       a worker's own /v1/metrics exposition
+//                                 serves the expected gauge families
+//   CLUSTER_METRICS_WORKERS=<n>   workers scraped into the coordinator's
+//                                 federated /v1/cluster/metrics exposition
+//   CLUSTER_METRICS_RELABELED=<0|1> scraped samples carry worker="w<i>"
+//   TRACE_WORKER_PIDS=<n>         distinct worker pids with shipped spans
+//                                 in the join query's merged Chrome trace
+//   TRACE_DROPPED=<n>             worker spans dropped before shipping
 //   SPECULATIONS=<n>              speculative replicas launched against the
 //                                 deterministically stalled worker (ISSUE 9)
 //   SPECULATION_WINS=<n>          replicas that beat their original
@@ -29,13 +37,18 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/json.h"
 #include "connectors/tpch/tpch_connector.h"
 #include "engine/engine.h"
+#include "exchange/http/http_io.h"
 #include "worker/subprocess.h"
 
 using namespace presto;
@@ -54,6 +67,37 @@ std::vector<std::string> SortedRows(
   }
   std::sort(out.begin(), out.end());
   return out;
+}
+
+// GET `path` from 127.0.0.1:`port`; empty string on any failure.
+std::string HttpGetBody(int port, const std::string& path) {
+  auto conn = ConnectToLoopback(port, 2'000'000);
+  if (!conn.ok()) return "";
+  HttpRequest request;
+  request.method = "GET";
+  request.path = path;
+  if (!(*conn)->WriteRequest(request).ok()) return "";
+  auto response = (*conn)->ReadResponse();
+  if (!response.ok() || response->status != 200) return "";
+  return response->body;
+}
+
+// Distinct worker pids (pid >= 1) among the real — non-metadata — events of
+// a Chrome trace JSON document.
+int CountWorkerPids(const Result<std::string>& trace_json) {
+  if (!trace_json.ok()) return 0;
+  auto doc = Json::Parse(*trace_json);
+  if (!doc.ok()) return 0;
+  auto events = doc->GetArray("traceEvents");
+  if (!events.ok()) return 0;
+  std::set<int64_t> pids;
+  for (const Json& event : (*events)->items()) {
+    auto phase = event.GetString("ph");
+    if (!phase.ok() || *phase == "M") continue;
+    auto pid = event.GetInt("pid");
+    if (pid.ok() && *pid >= 1) pids.insert(*pid);
+  }
+  return static_cast<int>(pids.size());
 }
 
 std::unique_ptr<PrestoEngine> MakeEngine(
@@ -97,8 +141,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     RemoteWorkerAddress address;
-    if (sscanf(ready->c_str(), "READY task_port=%d exchange_port=%d",
-               &address.task_port, &address.exchange_port) != 2) {
+    if (sscanf(ready->c_str(),
+               "READY task_port=%d exchange_port=%d metrics_port=%d",
+               &address.task_port, &address.exchange_port,
+               &address.metrics_port) < 2) {
       fprintf(stderr, "worker %d: bad banner '%s'\n", i, ready->c_str());
       return 1;
     }
@@ -142,7 +188,13 @@ int main(int argc, char** argv) {
   const char* kill_sql =
       "SELECT count(*) FROM orders o JOIN lineitem l "
       "ON o.orderkey = l.orderkey";
-  auto remote = engine->ExecuteAndFetch(join_sql);
+  auto join_handle = engine->Execute(join_sql);
+  if (!join_handle.ok()) {
+    fprintf(stderr, "join: %s\n", join_handle.status().ToString().c_str());
+    return 1;
+  }
+  const std::string join_query_id = join_handle->query_id();
+  auto remote = join_handle->FetchAllRows();
   if (!remote.ok()) {
     fprintf(stderr, "join: %s\n", remote.status().ToString().c_str());
     return 1;
@@ -177,6 +229,65 @@ int main(int argc, char** argv) {
     spec_reference = std::move(*spec_ref);
   }
 
+  // Observability plane (ISSUE 10), while BOTH workers are still alive.
+  // A worker daemon serves its own Prometheus exposition on the metrics
+  // port it advertised in the READY banner.
+  {
+    std::string body =
+        HttpGetBody(addresses[0].metrics_port, "/v1/metrics");
+    bool ok = body.find("presto_worker_active_tasks") != std::string::npos &&
+              body.find("presto_worker_memory_general_used_bytes") !=
+                  std::string::npos;
+    printf("WORKER_METRICS_OK=%d\n", ok ? 1 : 0);
+  }
+
+  // The coordinator's /v1/cluster/metrics federates: it scrapes every live
+  // worker's /v1/metrics, relabels each sample with worker="w<i>", and
+  // merges them with its own registry into one exposition.
+  {
+    std::string body =
+        HttpGetBody(engine->observability_port(), "/v1/cluster/metrics");
+    long long scraped = -1;
+    // Match the sample line, not the "# HELP presto_cluster_..." header.
+    const char* key = "\npresto_cluster_scraped_workers ";
+    size_t pos = body.find(key);
+    if (pos != std::string::npos) {
+      scraped = atoll(body.c_str() + pos + strlen(key));
+    }
+    // A scraped-and-relabeled sample: this family only exists in worker
+    // registries, so the worker label can only come from federation.
+    bool relabeled =
+        body.find("presto_worker_active_tasks{worker=\"w1\"") !=
+        std::string::npos;
+    printf("CLUSTER_METRICS_WORKERS=%lld\n", scraped);
+    printf("CLUSTER_METRICS_RELABELED=%d\n", relabeled ? 1 : 0);
+  }
+
+  // Cross-process trace shipping: the join's merged Chrome trace must hold
+  // spans from both worker processes (pid = worker_id + 1) alongside the
+  // coordinator's pid-0 planning spans. The final flush rides the task
+  // DELETE round-trip, so allow a short settle window.
+  {
+    int worker_pids = 0;
+    auto trace_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (std::chrono::steady_clock::now() < trace_deadline) {
+      worker_pids = CountWorkerPids(engine->QueryTraceJson(join_query_id));
+      if (worker_pids >= 2) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    printf("TRACE_WORKER_PIDS=%d\n", worker_pids);
+    long long dropped = 0;
+    for (int w = 0; w < 2; ++w) {
+      dropped += engine->metrics()
+                     .RegisterCounter(
+                         "presto_trace_dropped_spans_total", "",
+                         {{"worker", "w" + std::to_string(w)}})
+                     ->value();
+    }
+    printf("TRACE_DROPPED=%lld\n", dropped);
+  }
+
   // Speculative execution (ISSUE 9), while BOTH workers are still alive:
   // worker 1 is deterministically stalled (every driver quantum pays one
   // second), so it never dies — recovery can't help. The speculative
@@ -204,11 +315,14 @@ int main(int argc, char** argv) {
     (void)workers[1]->WriteLine("arm_stall_micros=0");
     long long speculations =
         speculative->metrics()
-            .RegisterCounter("presto_task_speculations_total", "")
+            .RegisterCounter("presto_task_speculations_total", "",
+                             {{"trace_instant", "task_speculate"}})
             ->value();
-    long long wins = speculative->metrics()
-                         .RegisterCounter("presto_speculation_wins_total", "")
-                         ->value();
+    long long wins =
+        speculative->metrics()
+            .RegisterCounter("presto_speculation_wins_total", "",
+                             {{"trace_instant", "speculation_win"}})
+            ->value();
     printf("SPECULATIONS=%lld\n", speculations);
     printf("SPECULATION_WINS=%lld\n", wins);
     bool matches = raced.ok() &&
@@ -266,7 +380,8 @@ int main(int argc, char** argv) {
   printf("TASK_RETRIES=%lld\n",
          static_cast<long long>(
              engine->metrics()
-                 .RegisterCounter("presto_task_retries_total", "")
+                 .RegisterCounter("presto_task_retries_total", "",
+                                  {{"trace_instant", "task_recovery"}})
                  ->value()));
   printf("RECOVERY_MICROS=%lld\n", static_cast<long long>(micros));
 

@@ -7,6 +7,11 @@ Validates the KEY=VALUE output of examples/process_cluster:
   - both worker daemons heartbeated and were counted alive;
   - the distributed multi-fragment join produced rows identical to the
     in-process engine;
+  - a worker's own /v1/metrics endpoint served the expected Prometheus
+    families, the coordinator's federated /v1/cluster/metrics scraped both
+    workers with relabeled samples, and the join query's merged Chrome
+    trace held shipped spans from both worker processes with zero spans
+    dropped (ISSUE 10);
   - with one worker deterministically stalled (not dead), the coordinator
     launched at least one speculative replica that won the race (ISSUE 9),
     the speculated result matched the in-process engine, and no exchange
@@ -46,6 +51,11 @@ def main():
         "WORKERS_ALIVE",
         "JOIN_ROWS",
         "JOIN_MATCHES_LOCAL",
+        "WORKER_METRICS_OK",
+        "CLUSTER_METRICS_WORKERS",
+        "CLUSTER_METRICS_RELABELED",
+        "TRACE_WORKER_PIDS",
+        "TRACE_DROPPED",
         "SPECULATIONS",
         "SPECULATION_WINS",
         "SPECULATION_MATCHES_LOCAL",
@@ -66,6 +76,25 @@ def main():
     assert v["WORKERS_ALIVE"] == "2", f"workers alive: {v['WORKERS_ALIVE']}"
     assert int(v["JOIN_ROWS"]) > 0, "distributed join returned no rows"
     assert v["JOIN_MATCHES_LOCAL"] == "1", "distributed != in-process result"
+
+    assert v["WORKER_METRICS_OK"] == "1", (
+        "worker /v1/metrics did not serve the expected families"
+    )
+    assert v["CLUSTER_METRICS_WORKERS"] == "2", (
+        f"federated scrape covered {v['CLUSTER_METRICS_WORKERS']} workers, "
+        f"want 2"
+    )
+    assert v["CLUSTER_METRICS_RELABELED"] == "1", (
+        "federated exposition is missing worker-relabeled samples"
+    )
+    assert int(v["TRACE_WORKER_PIDS"]) >= 2, (
+        f"merged Chrome trace has spans from {v['TRACE_WORKER_PIDS']} "
+        f"worker pids, want >= 2"
+    )
+    assert v["TRACE_DROPPED"] == "0", (
+        f"worker trace spans were dropped before shipping: "
+        f"{v['TRACE_DROPPED']}"
+    )
 
     assert int(v["SPECULATIONS"]) >= 1, (
         f"no speculative replica launched against the stalled worker, "
@@ -112,7 +141,9 @@ def main():
     )
 
     print(
-        f"cluster smoke OK: join rows={v['JOIN_ROWS']}, "
+        f"cluster smoke OK: join rows={v['JOIN_ROWS']}, metrics federated "
+        f"from {v['CLUSTER_METRICS_WORKERS']} workers, trace spans from "
+        f"{v['TRACE_WORKER_PIDS']} worker pids (0 dropped), "
         f"{v['SPECULATION_WINS']}/{v['SPECULATIONS']} speculation wins on a "
         f"stalled worker, kill -9 recovered "
         f"in {recovery / 1e6:.2f}s with {v['TASK_RETRIES']} retr"

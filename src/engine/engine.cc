@@ -83,10 +83,16 @@ PrestoEngine::PrestoEngine(EngineOptions options)
       LogBuckets(100, 4, 8)));
   // ISSUE 7: task retry on worker death — how often tasks were re-created
   // and how long a recovery round takes end to end.
+  // Each counter is labeled with the trace-instant name the coordinator
+  // records at the same event (ISSUE 10), so a Prometheus sample can be
+  // cross-referenced against the query's Chrome trace timeline. Readers
+  // must register with the identical label set (labels are part of a
+  // sample's identity).
   coordinator_->SetRecoveryInstruments(
       metrics_->RegisterCounter(
           "presto_task_retries_total",
-          "Tasks re-created on a replacement worker after a worker death"),
+          "Tasks re-created on a replacement worker after a worker death",
+          {{"trace_instant", "task_recovery"}}),
       metrics_->RegisterHistogram(
           "presto_task_recovery_seconds",
           "Latency of one recovery round: restart-set computation through "
@@ -97,11 +103,29 @@ PrestoEngine::PrestoEngine(EngineOptions options)
   coordinator_->SetSpeculationInstruments(
       metrics_->RegisterCounter(
           "presto_task_speculations_total",
-          "Speculative replicas launched against straggling tasks"),
+          "Speculative replicas launched against straggling tasks",
+          {{"trace_instant", "task_speculate"}}),
       metrics_->RegisterCounter(
           "presto_speculation_wins_total",
           "Speculative replicas that finished before their original and "
-          "were promoted"));
+          "were promoted",
+          {{"trace_instant", "speculation_win"}}));
+  // ISSUE 10: cross-process trace shipping, per hosting worker — spans
+  // merged into coordinator traces and spans the worker's bounded recorder
+  // dropped before they could ship.
+  std::vector<Counter*> trace_shipped, trace_dropped;
+  for (int w = 0; w < cluster_->num_workers(); ++w) {
+    MetricLabels labels = {{"worker", "w" + std::to_string(w)}};
+    trace_shipped.push_back(metrics_->RegisterCounter(
+        "presto_trace_shipped_spans_total",
+        "Worker trace spans merged into coordinator query traces", labels));
+    trace_dropped.push_back(metrics_->RegisterCounter(
+        "presto_trace_dropped_spans_total",
+        "Worker trace spans dropped at the per-query cap before shipping",
+        labels));
+  }
+  coordinator_->SetTraceShippingInstruments(std::move(trace_shipped),
+                                            std::move(trace_dropped));
 }
 
 PrestoEngine::~PrestoEngine() { StopObservability(); }
@@ -416,6 +440,11 @@ Result<std::shared_ptr<QueryExecution>> PrestoEngine::Launch(
   lifecycle->SetLiveStatsProvider([weak] {
     std::shared_ptr<QueryExecution> live = weak.lock();
     return live != nullptr ? live->StatsSnapshot() : QueryStats{};
+  });
+  lifecycle->SetTaskProgressProvider([weak] {
+    std::shared_ptr<QueryExecution> live = weak.lock();
+    return live != nullptr ? live->TaskProgressSnapshot()
+                           : std::vector<TaskProgress>{};
   });
   return execution;
 }

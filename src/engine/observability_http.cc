@@ -1,9 +1,13 @@
 #include "engine/observability_http.h"
 
+#include <cstdio>
+#include <cstdlib>
+#include <map>
 #include <vector>
 
 #include "common/json.h"
 #include "engine/engine.h"
+#include "exchange/http/http_io.h"
 #include "stats/trace.h"
 #include "worker/task_protocol.h"
 
@@ -89,10 +93,189 @@ void AppendQueryInfoJson(const QueryInfo& info, std::string* out) {
     out->append("\":");
     out->append(std::to_string(tasks));
   }
-  out->append("}}");
+  // ISSUE 10: live per-task progress from the coordinator's status caches
+  // (empty once the query is terminal).
+  out->append("},\"taskProgress\":[");
+  first = true;
+  for (const TaskProgress& task : info.task_progress) {
+    if (!first) out->append(",");
+    first = false;
+    out->append("{\"fragment\":");
+    out->append(std::to_string(task.fragment_id));
+    out->append(",\"task\":");
+    out->append(std::to_string(task.task_index));
+    out->append(",\"worker\":");
+    out->append(std::to_string(task.worker));
+    out->append(",\"generation\":");
+    out->append(std::to_string(task.generation));
+    out->append(",\"rowsOut\":");
+    out->append(std::to_string(task.rows_out));
+    out->append(",\"progressAgeMicros\":");
+    out->append(std::to_string(task.progress_age_micros));
+    out->append("}");
+  }
+  out->append("]}");
+}
+
+/// One Prometheus family reassembled from text expositions (ISSUE 10
+/// federation): HELP/TYPE plus every sample line, possibly from several
+/// processes.
+struct MetricFamily {
+  std::string help;
+  std::string type;
+  std::vector<std::string> samples;
+};
+
+/// Inserts worker="<worker>" as the first label of one sample line.
+std::string RelabelSample(const std::string& line,
+                          const std::string& worker) {
+  std::string label = "worker=\"" + worker + "\"";
+  size_t brace = line.find('{');
+  size_t space = line.find(' ');
+  if (brace != std::string::npos &&
+      (space == std::string::npos || brace < space)) {
+    return line.substr(0, brace + 1) + label + "," + line.substr(brace + 1);
+  }
+  if (space == std::string::npos) return line;  // malformed; keep verbatim
+  return line.substr(0, space) + "{" + label + "}" + line.substr(space);
+}
+
+/// Parses one text exposition into `families`, re-labeling every sample
+/// with worker="<worker>" unless `worker` is empty. When `sums` is given,
+/// accumulates each sample's value keyed by its base metric name (for
+/// cluster roll-ups). Histogram/summary child samples (name_bucket, _sum,
+/// _count) attach to the family announced by the preceding HELP/TYPE.
+void ParseExposition(const std::string& text, const std::string& worker,
+                     std::map<std::string, MetricFamily>* families,
+                     std::map<std::string, double>* sums) {
+  std::string current;
+  size_t begin = 0;
+  while (begin < text.size()) {
+    size_t end = text.find('\n', begin);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(begin, end - begin);
+    begin = end + 1;
+    if (line.empty()) continue;
+    bool is_help = line.rfind("# HELP ", 0) == 0;
+    bool is_type = line.rfind("# TYPE ", 0) == 0;
+    if (is_help || is_type) {
+      size_t name_end = line.find(' ', 7);
+      if (name_end == std::string::npos) continue;
+      current = line.substr(7, name_end - 7);
+      MetricFamily& family = (*families)[current];
+      std::string rest = line.substr(name_end + 1);
+      (is_help ? family.help : family.type) = std::move(rest);
+      continue;
+    }
+    if (line[0] == '#') continue;
+    size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) continue;
+    std::string name = line.substr(0, name_end);
+    if (sums != nullptr) {
+      size_t value_begin = line.rfind(' ');
+      if (value_begin != std::string::npos) {
+        (*sums)[name] += strtod(line.c_str() + value_begin + 1, nullptr);
+      }
+    }
+    const std::string& key =
+        !current.empty() && name.compare(0, current.size(), current) == 0
+            ? current
+            : name;
+    (*families)[key].samples.push_back(
+        worker.empty() ? std::move(line) : RelabelSample(line, worker));
+  }
+}
+
+std::string RenderFamilies(const std::map<std::string, MetricFamily>& families) {
+  std::string out;
+  for (const auto& [name, family] : families) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    if (!family.type.empty()) {
+      out += "# TYPE " + name + " " + family.type + "\n";
+    }
+    for (const std::string& sample : family.samples) {
+      out += sample + "\n";
+    }
+  }
+  return out;
 }
 
 }  // namespace
+
+HttpResponse ObservabilityHttpService::HandleClusterMetrics() {
+  std::map<std::string, MetricFamily> families;
+  ParseExposition(engine_->metrics().RenderText(), "", &families, nullptr);
+
+  Cluster& cluster = engine_->cluster();
+  WorkerLivenessTracker& liveness = cluster.liveness();
+  const int num_workers = cluster.num_workers();
+  // A hung worker must not hang the scrape: short per-worker receive
+  // timeout, dead workers skipped entirely.
+  constexpr int64_t kScrapeTimeoutMicros = 500'000;
+  double scraped = 0, failures = 0;
+  double total_memory_bytes = 0, total_running_drivers = 0;
+  for (int w = 0; w < num_workers; ++w) {
+    int port = cluster.metrics_port(w);
+    if (port <= 0 || !liveness.IsAlive(w)) continue;
+    bool ok = false;
+    if (auto conn_or = ConnectToLoopback(port, kScrapeTimeoutMicros);
+        conn_or.ok()) {
+      HttpRequest request;
+      request.method = "GET";
+      request.path = "/v1/metrics";
+      if (conn_or.value()->WriteRequest(request).ok()) {
+        auto response_or = conn_or.value()->ReadResponse();
+        if (response_or.ok() && response_or.value().status == 200) {
+          std::map<std::string, double> sums;
+          ParseExposition(response_or.value().body, "w" + std::to_string(w),
+                          &families, &sums);
+          total_memory_bytes +=
+              sums["presto_worker_memory_general_used_bytes"];
+          total_running_drivers += sums["presto_worker_running_drivers"];
+          ok = true;
+        }
+      }
+    }
+    ok ? ++scraped : ++failures;
+  }
+
+  auto add_gauge = [&families](const std::string& name,
+                               const std::string& help,
+                               const std::string& labels, double value) {
+    MetricFamily& family = families[name];
+    family.help = help;
+    family.type = "gauge";
+    char formatted[64];
+    snprintf(formatted, sizeof(formatted), "%g", value);
+    family.samples.push_back(
+        labels.empty() ? name + " " + formatted
+                       : name + "{" + labels + "} " + formatted);
+  };
+  // (presto_cluster_alive_workers is already a coordinator-registry gauge
+  // and arrives via the exposition parsed above.)
+  add_gauge("presto_cluster_scraped_workers",
+            "Workers whose /v1/metrics answered this federation scrape", "",
+            scraped);
+  add_gauge("presto_cluster_scrape_failures",
+            "Live workers whose /v1/metrics scrape failed", "", failures);
+  add_gauge("presto_cluster_worker_memory_used_bytes",
+            "Sum of scraped workers' general-pool bytes in use", "",
+            total_memory_bytes);
+  add_gauge("presto_cluster_running_drivers",
+            "Sum of scraped workers' registered, undrained drivers", "",
+            total_running_drivers);
+  for (int w = 0; w < num_workers; ++w) {
+    int64_t rtt = liveness.last_rtt_micros(w);
+    if (rtt < 0) continue;
+    add_gauge("presto_cluster_worker_rtt_micros",
+              "Last heartbeat round trip reported by each worker",
+              "worker=\"w" + std::to_string(w) + "\"",
+              static_cast<double>(rtt));
+  }
+  return MakeOk("text/plain; version=0.0.4", RenderFamilies(families));
+}
 
 HttpResponse ObservabilityHttpService::HandleHeartbeat(
     const HttpRequest& request) {
@@ -111,6 +294,13 @@ HttpResponse ObservabilityHttpService::HandleHeartbeat(
   if (rtt.ok()) rtt_micros = *rtt;
   engine_->cluster().liveness().Heartbeat(static_cast<int>(*worker_id),
                                           rtt_micros);
+  // Observability-port advertisement (ISSUE 10): lets /v1/cluster/metrics
+  // scrape the worker without static port configuration.
+  if (Result<int64_t> metrics_port = body->GetInt("metricsPort");
+      metrics_port.ok()) {
+    engine_->cluster().liveness().SetMetricsPort(
+        static_cast<int>(*worker_id), static_cast<int>(*metrics_port));
+  }
   HttpResponse response;
   response.headers["content-type"] = "application/json";
   response.body = "{}";
@@ -149,6 +339,11 @@ HttpResponse ObservabilityHttpService::Handle(const HttpRequest& request) {
   }
   if (segments[1] == "info" && segments.size() == 2) {
     return HandleInfo();
+  }
+  // ISSUE 10: federated cluster metrics plane.
+  if (segments[1] == "cluster" && segments.size() == 3 &&
+      segments[2] == "metrics") {
+    return HandleClusterMetrics();
   }
   // ISSUE 8: planning-path cache observability — per-layer sizes, hit
   // ratios, invalidation counts, and per-table live metadata versions.

@@ -16,6 +16,13 @@ class PrestoEngine;
 /// the same HttpServer the exchange transport uses:
 ///
 ///   GET  /v1/metrics           Prometheus text exposition (MetricsRegistry)
+///   GET  /v1/cluster/metrics   Federated exposition (ISSUE 10): scrapes
+///                              every live worker's /v1/metrics, re-labels
+///                              each sample with worker="w<i>", merges the
+///                              families with the coordinator's own, and
+///                              appends cluster roll-up gauges (total
+///                              worker memory, total running drivers,
+///                              per-worker heartbeat RTT, scrape failures)
 ///   GET  /v1/info              Coordinator NodeInfo JSON (uptime, running
 ///                              queries, heartbeats, alive workers)
 ///   GET  /v1/query             JSON list of every tracked query
@@ -50,6 +57,7 @@ class ObservabilityHttpService {
  private:
   HttpResponse HandleHeartbeat(const HttpRequest& request);
   HttpResponse HandleInfo();
+  HttpResponse HandleClusterMetrics();
 
   PrestoEngine* engine_;
   std::chrono::steady_clock::time_point started_;

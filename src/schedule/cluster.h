@@ -27,6 +27,9 @@ enum class ClusterMode {
 struct RemoteWorkerAddress {
   int task_port = 0;      // /v1/task lifecycle + /v1/info
   int exchange_port = 0;  // /v1/task/.../results shuffle endpoint
+  /// /v1/metrics + /v1/status observability endpoint (ISSUE 10); -1 when
+  /// unknown at config time (the worker also advertises it in heartbeats).
+  int metrics_port = -1;
 };
 
 /// Configuration of the simulated cluster (§III): one coordinator plus
@@ -89,6 +92,12 @@ struct ClusterConfig {
   int64_t speculation_min_stall_micros = 1'000'000;
   /// Progress-sampling cadence of the SpeculationManager.
   int64_t speculation_interval_micros = 50'000;
+  /// Cross-process trace shipping (ISSUE 10): when a traced query runs in
+  /// kProcess mode, ask workers to record spans and ship them back on
+  /// status responses so EXPLAIN ANALYZE VERBOSE / the trace JSON show one
+  /// timeline across all processes. Off = pre-ISSUE-10 coordinator-only
+  /// traces.
+  bool ship_worker_trace = true;
 };
 
 /// One worker node: executor threads plus memory pools.
@@ -177,6 +186,16 @@ class Cluster {
   int task_port(int worker) const {
     if (config_.mode != ClusterMode::kProcess) return -1;
     return config_.remote_workers[static_cast<size_t>(worker)].task_port;
+  }
+
+  /// Observability endpoint port of a remote worker (ISSUE 10): the
+  /// heartbeat-advertised port when one arrived, else the configured one,
+  /// else -1 (kThreads mode or daemon without a metrics service).
+  int metrics_port(int worker) const {
+    if (config_.mode != ClusterMode::kProcess) return -1;
+    int advertised = liveness_.metrics_port(worker);
+    if (advertised > 0) return advertised;
+    return config_.remote_workers[static_cast<size_t>(worker)].metrics_port;
   }
 
   /// Aggregate executor busy time across workers (Fig. 8's CPU metric).

@@ -152,6 +152,31 @@ void QueryExecution::AbortAllTasks() {
   for (auto& task : snapshot) task->Abort();
 }
 
+std::vector<TaskProgress> QueryExecution::TaskProgressSnapshot() const {
+  std::vector<TaskProgress> progress;
+  std::lock_guard<std::mutex> tlock(tasks_mu_);
+  for (size_t f = 0; f < tasks_.size(); ++f) {
+    for (size_t t = 0; t < tasks_[f].size(); ++t) {
+      const std::shared_ptr<TaskClient>& task = tasks_[f][t];
+      if (task == nullptr) continue;
+      TaskProgress entry;
+      entry.fragment_id = static_cast<int>(f);
+      entry.task_index = static_cast<int>(t);
+      if (f < placement_.size() && t < placement_[f].size()) {
+        entry.worker = placement_[f][t];
+      }
+      if (f < generations_.size() && t < generations_[f].size()) {
+        entry.generation = generations_[f][t];
+      }
+      // Leaf locks (the client's status cache); safe under tasks_mu_.
+      entry.rows_out = task->rows_out();
+      entry.progress_age_micros = task->progress_age_micros();
+      progress.push_back(entry);
+    }
+  }
+  return progress;
+}
+
 QueryStats QueryExecution::StatsSnapshot() const {
   std::vector<std::shared_ptr<TaskClient>> snapshot;
   {
@@ -687,6 +712,21 @@ std::shared_ptr<TaskClient> QueryExecution::MakeRemoteClientForLocked(
   HttpTaskClient::Options options;
   options.task_port = cluster_->task_port(worker);
   options.liveness = &cluster_->liveness();
+  // Cross-process trace shipping (ISSUE 10): when the query is traced, ask
+  // the worker to record its spans and merge every shipped batch into the
+  // query's recorder, labeled per hosting worker.
+  if (config.ship_worker_trace && lifecycle_ != nullptr &&
+      lifecycle_->trace() != nullptr) {
+    create.enable_trace = true;
+    options.trace = lifecycle_->trace().get();
+    size_t w = static_cast<size_t>(worker);
+    if (w < trace_shipped_counters_.size()) {
+      options.trace_shipped = trace_shipped_counters_[w];
+    }
+    if (w < trace_dropped_counters_.size()) {
+      options.trace_dropped = trace_dropped_counters_[w];
+    }
+  }
   return std::make_shared<HttpTaskClient>(spec, create.ToJson(), options);
 }
 
@@ -1684,6 +1724,8 @@ Result<std::shared_ptr<QueryExecution>> Coordinator::Execute(
   execution->recovery_histogram_ = recovery_histogram_;
   execution->speculations_counter_ = speculations_counter_;
   execution->wins_counter_ = speculation_wins_counter_;
+  execution->trace_shipped_counters_ = trace_shipped_counters_;
+  execution->trace_dropped_counters_ = trace_dropped_counters_;
   // Speculation rides on the recovery machinery (journal replay,
   // generations, superseded clients) and needs a second worker to place
   // replicas on; off by default (max_speculative_tasks = 0).

@@ -67,6 +67,10 @@ class QueryExecution {
   /// the query runs (counters are atomics); exact once it finished.
   QueryStats StatsSnapshot() const;
 
+  /// Live per-slot progress from the status caches (ISSUE 10): the
+  /// /v1/query/{id} "taskProgress" payload. Safe to call at any time.
+  std::vector<TaskProgress> TaskProgressSnapshot() const;
+
  private:
   friend class Coordinator;
   QueryExecution() = default;
@@ -258,6 +262,12 @@ class QueryExecution {
   Counter* speculations_counter_ = nullptr;  // presto_task_speculations_total
   Counter* wins_counter_ = nullptr;          // presto_speculation_wins_total
 
+  /// Cross-process trace shipping instruments (ISSUE 10), indexed by
+  /// worker id: spans merged from / dropped by each worker's recorder.
+  /// Empty when the engine did not install them.
+  std::vector<Counter*> trace_shipped_counters_;
+  std::vector<Counter*> trace_dropped_counters_;
+
   /// Root result-stream epoch: the fetch loop rebinds its exchange client
   /// whenever recovery moved the root task. root_frames_consumed_ counts
   /// frames already delivered to the client under the current epoch — a
@@ -308,6 +318,17 @@ class Coordinator {
     speculation_wins_counter_ = wins;
   }
 
+  /// Installs the cross-process trace-shipping instruments (ISSUE 10),
+  /// indexed by worker id: presto_trace_shipped_spans_total and
+  /// presto_trace_dropped_spans_total, labeled {worker="w<i>"}. Registry-
+  /// owned; empty vectors are fine (tests that drive the coordinator
+  /// directly).
+  void SetTraceShippingInstruments(std::vector<Counter*> shipped,
+                                   std::vector<Counter*> dropped) {
+    trace_shipped_counters_ = std::move(shipped);
+    trace_dropped_counters_ = std::move(dropped);
+  }
+
   /// Installs the planning-path cache subsystem (ISSUE 8): split
   /// enumeration then goes through the manager's split cache. May be null
   /// (tests that drive the coordinator directly enumerate uncached).
@@ -338,6 +359,8 @@ class Coordinator {
   Histogram* recovery_histogram_ = nullptr;
   Counter* speculations_counter_ = nullptr;
   Counter* speculation_wins_counter_ = nullptr;
+  std::vector<Counter*> trace_shipped_counters_;
+  std::vector<Counter*> trace_dropped_counters_;
   MetadataManager* metadata_manager_ = nullptr;
 };
 

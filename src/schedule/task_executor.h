@@ -66,6 +66,26 @@ class TaskExecutor {
   int64_t quanta_at_level(int level) const {
     return quanta_[static_cast<size_t>(level)].load();
   }
+
+  /// Live scheduling-queue readings for the worker's /v1/metrics and
+  /// /v1/status endpoints (ISSUE 10). Each takes mu_ briefly.
+  /// Runnable drivers queued at MLFQ level `level` (0..4).
+  int64_t queue_depth(int level) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(levels_[static_cast<size_t>(level)].size());
+  }
+  /// Blocked drivers parked outside the runnable queues.
+  int64_t parked_drivers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return static_cast<int64_t>(parked_.size());
+  }
+  /// Drivers not yet drained, runnable or parked or mid-quantum.
+  int64_t running_drivers() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    int64_t total = 0;
+    for (const auto& entry : tasks_) total += entry->remaining_drivers;
+    return total;
+  }
   /// MLFQ level a task with `cpu_nanos` accumulated CPU runs at.
   int LevelForCpu(int64_t cpu_nanos) const { return LevelOf(cpu_nanos); }
 

@@ -93,6 +93,13 @@ void QueryLifecycle::SetLiveStatsProvider(
   live_stats_ = std::move(provider);
 }
 
+void QueryLifecycle::SetTaskProgressProvider(
+    std::function<std::vector<TaskProgress>()> provider) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finalized_) return;
+  task_progress_ = std::move(provider);
+}
+
 void QueryLifecycle::Finalize(const Status& final_status, bool cancelled,
                               QueryStats stats) {
   QueryCompletedEvent event;
@@ -115,6 +122,7 @@ void QueryLifecycle::Finalize(const Status& final_status, bool cancelled,
     final_status_ = final_status;
     final_stats_ = std::move(stats);
     live_stats_ = nullptr;
+    task_progress_ = nullptr;
     // Client cancellation surfaces as a kCancelled status; report it as
     // CANCELED, not FAILED. Any other error (even on a canceled query)
     // means the query genuinely failed first.
@@ -175,14 +183,19 @@ QueryInfo QueryLifecycle::InfoLocked() const {
 QueryInfo QueryLifecycle::Info() const {
   QueryInfo info;
   std::function<QueryStats()> live;
+  std::function<std::vector<TaskProgress>()> progress;
   {
     std::lock_guard<std::mutex> lock(mu_);
     info = InfoLocked();
-    if (!finalized_) live = live_stats_;
+    if (!finalized_) {
+      live = live_stats_;
+      progress = task_progress_;
+    }
   }
-  // The live provider snapshots task stats under the execution's own lock;
-  // call it outside mu_ to keep lock ordering acyclic with Finalize().
+  // The live providers snapshot task state under the execution's own locks;
+  // call them outside mu_ to keep lock ordering acyclic with Finalize().
   if (live) info.stats = live();
+  if (progress) info.task_progress = progress();
   return info;
 }
 

@@ -34,6 +34,20 @@ enum class QueryState : uint8_t {
 
 const char* QueryStateToString(QueryState state);
 
+/// Live progress of one task slot, surfaced in /v1/query/{id} (ISSUE 10):
+/// what the coordinator's status caches know about each (fragment, task)
+/// right now — which worker and generation hold the slot, rows emitted by
+/// its pipeline sinks, and how long the hosting worker has observed no
+/// progress advance (the straggler-detection signal, ISSUE 9).
+struct TaskProgress {
+  int fragment_id = 0;
+  int task_index = 0;
+  int worker = -1;
+  int generation = 0;
+  int64_t rows_out = 0;
+  int64_t progress_age_micros = 0;
+};
+
 /// Immutable snapshot of a query's lifecycle — the embedded analogue of the
 /// REST /v1/query resource.
 struct QueryInfo {
@@ -51,6 +65,10 @@ struct QueryInfo {
   QueryStats stats;
   /// Task count per fragment id (the per-stage breakdown).
   std::map<int, int> fragment_task_counts;
+  /// Live per-task progress while RUNNING (ISSUE 10): one entry per slot
+  /// from the coordinator's status caches. Empty in terminal states and in
+  /// tests that never install a progress provider.
+  std::vector<TaskProgress> task_progress;
 };
 
 class QueryTracker;
@@ -77,6 +95,12 @@ class QueryLifecycle {
   /// Supplies live stats for Info() while the query runs; cleared by
   /// Finalize(). The provider must stay valid until then.
   void SetLiveStatsProvider(std::function<QueryStats()> provider);
+
+  /// Supplies live per-task progress for Info() while the query runs
+  /// (ISSUE 10); cleared by Finalize(). Same validity contract as
+  /// SetLiveStatsProvider.
+  void SetTaskProgressProvider(
+      std::function<std::vector<TaskProgress>()> provider);
 
   /// Terminal transition: records the final status and stats, fires the
   /// QueryCompleted event, and updates completion metrics. Only the first
@@ -110,6 +134,7 @@ class QueryLifecycle {
   QueryStats final_stats_;
   std::map<int, int> fragment_task_counts_;
   std::function<QueryStats()> live_stats_;
+  std::function<std::vector<TaskProgress>()> task_progress_;
   bool finalized_ = false;
 };
 

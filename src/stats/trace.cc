@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <set>
 
 namespace presto {
 namespace {
@@ -135,6 +136,43 @@ void TraceRecorder::RecordInstant(
   Append(std::move(event));
 }
 
+size_t TraceRecorder::Drain(size_t max_events, std::vector<TraceEvent>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    pending_.insert(pending_.end(),
+                    std::make_move_iterator(buffer->events.begin()),
+                    std::make_move_iterator(buffer->events.end()));
+    buffer->events.clear();
+  }
+  size_t taken = std::min(max_events, pending_.size());
+  out->insert(out->end(), std::make_move_iterator(pending_.begin()),
+              std::make_move_iterator(pending_.begin() +
+                                      static_cast<ptrdiff_t>(taken)));
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<ptrdiff_t>(taken));
+  approx_count_.fetch_sub(static_cast<int64_t>(taken),
+                          std::memory_order_relaxed);
+  return taken;
+}
+
+void TraceRecorder::MergeEvent(TraceEvent event) { Append(std::move(event)); }
+
+void TraceRecorder::AddDropped(int64_t count) {
+  if (count > 0) dropped_.fetch_add(count, std::memory_order_relaxed);
+}
+
+std::map<int, std::string> TraceRecorder::ProcessNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return process_names_;
+}
+
+std::map<std::pair<int, int64_t>, std::string> TraceRecorder::ThreadNames()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_names_;
+}
+
 void TraceRecorder::SetProcessName(int pid, std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
   process_names_[pid] = std::move(name);
@@ -149,6 +187,7 @@ std::vector<TraceEvent> TraceRecorder::Snapshot() const {
   std::vector<TraceEvent> events;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    events = pending_;  // drained but not yet shipped
     for (const auto& buffer : buffers_) {
       std::lock_guard<std::mutex> buffer_lock(buffer->mu);
       events.insert(events.end(), buffer->events.begin(),
@@ -287,6 +326,66 @@ std::string TraceRecorder::ToTimelineText(size_t max_lines) const {
     out += "  (" + std::to_string(dropped()) + " events dropped at cap)\n";
   }
   return out;
+}
+
+const char* InternTraceCategory(const std::string& category) {
+  // The common layer names resolve to their literals; anything else lands
+  // in a process-lifetime set (never freed — categories are a tiny, finite
+  // vocabulary, so the leak is bounded).
+  static constexpr const char* kKnown[] = {
+      "coordinator", "scheduler", "executor", "driver",
+      "exchange",    "memory",    "spill",    "stream",
+  };
+  for (const char* known : kKnown) {
+    if (category == known) return known;
+  }
+  static std::mutex mu;
+  static std::set<std::string>* interned = new std::set<std::string>();
+  std::lock_guard<std::mutex> lock(mu);
+  return interned->insert(category).first->c_str();
+}
+
+Json TraceEventToJson(const TraceEvent& event) {
+  Json json = Json::Object();
+  json.Set("name", Json::Str(event.name))
+      .Set("cat", Json::Str(event.category))
+      .Set("ph", Json::Str(event.phase == TraceEvent::Phase::kSpan ? "X"
+                                                                   : "i"))
+      .Set("ts", Json::Int(event.start_nanos))
+      .Set("pid", Json::Int(event.pid))
+      .Set("tid", Json::Int(event.tid));
+  if (event.phase == TraceEvent::Phase::kSpan) {
+    json.Set("dur", Json::Int(event.duration_nanos));
+  }
+  if (!event.args.empty()) {
+    Json args = Json::Object();
+    for (const auto& [key, value] : event.args) args.Set(key, Json::Str(value));
+    json.Set("args", std::move(args));
+  }
+  return json;
+}
+
+Result<TraceEvent> TraceEventFromJson(const Json& json) {
+  TraceEvent event;
+  PRESTO_ASSIGN_OR_RETURN(event.name, json.GetString("name"));
+  PRESTO_ASSIGN_OR_RETURN(std::string category, json.GetString("cat"));
+  event.category = InternTraceCategory(category);
+  PRESTO_ASSIGN_OR_RETURN(std::string phase, json.GetString("ph"));
+  event.phase =
+      phase == "i" ? TraceEvent::Phase::kInstant : TraceEvent::Phase::kSpan;
+  PRESTO_ASSIGN_OR_RETURN(event.start_nanos, json.GetInt("ts"));
+  PRESTO_ASSIGN_OR_RETURN(int64_t pid, json.GetInt("pid"));
+  event.pid = static_cast<int>(pid);
+  PRESTO_ASSIGN_OR_RETURN(event.tid, json.GetInt("tid"));
+  if (event.phase == TraceEvent::Phase::kSpan) {
+    PRESTO_ASSIGN_OR_RETURN(event.duration_nanos, json.GetInt("dur"));
+  }
+  if (const Json* args = json.Find("args"); args != nullptr) {
+    for (const auto& [key, value] : args->members()) {
+      event.args.emplace_back(key, value.string_value());
+    }
+  }
+  return event;
 }
 
 void TraceRegistry::Register(const std::string& query_id,

@@ -12,6 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
+#include "common/status.h"
+
 namespace presto {
 
 /// Wire/request header carrying the trace context of an exchange fetch:
@@ -88,6 +91,31 @@ class TraceRecorder {
   /// All events so far, ordered by start time.
   std::vector<TraceEvent> Snapshot() const;
 
+  /// Destructively removes up to `max_events` buffered events for shipping
+  /// to a remote recorder (ISSUE 10). Removed events stop counting against
+  /// the cap, so `max_events_` bounds the backlog awaiting shipment rather
+  /// than lifetime volume — a long query drained regularly never drops.
+  /// Returns the number of events appended to `out`.
+  size_t Drain(size_t max_events, std::vector<TraceEvent>* out);
+
+  /// Appends an event recorded by another process. The caller must have
+  /// rebased `start_nanos` onto this recorder's epoch already.
+  void MergeEvent(TraceEvent event);
+
+  /// Folds a remote recorder's dropped count into this one so the rendered
+  /// trace reports end-to-end drops.
+  void AddDropped(int64_t count);
+
+  /// Returns the dropped count accumulated since the previous call and
+  /// resets it: a shipping worker reports each drop exactly once even when
+  /// several task clients poll the same per-query recorder.
+  int64_t TakeDropped() { return dropped_.exchange(0); }
+
+  /// Copies of the display-name maps, shipped alongside drained events so
+  /// the merged timeline keeps per-driver thread names.
+  std::map<int, std::string> ProcessNames() const;
+  std::map<std::pair<int, int64_t>, std::string> ThreadNames() const;
+
   /// Chrome trace_event JSON (load in Perfetto / chrome://tracing): one
   /// metadata process per worker, one thread per driver, "X" spans and "i"
   /// instants with microsecond timestamps.
@@ -115,12 +143,26 @@ class TraceRecorder {
   std::atomic<int64_t> approx_count_{0};
   std::atomic<int64_t> dropped_{0};
 
-  mutable std::mutex mu_;  // guards buffers_/by_thread_/names
+  mutable std::mutex mu_;  // guards buffers_/by_thread_/names/pending_
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::map<std::thread::id, ThreadBuffer*> by_thread_;
   std::map<int, std::string> process_names_;
   std::map<std::pair<int, int64_t>, std::string> thread_names_;
+  /// Events pulled out of the per-thread buffers by a previous Drain()
+  /// that exceeded its per-call budget; shipped first on the next call.
+  std::vector<TraceEvent> pending_;
 };
+
+/// JSON (de)serialization of one TraceEvent for cross-process shipping in
+/// /v1/task status responses. FromJson interns the category string so the
+/// returned event's `category` has static storage duration.
+Json TraceEventToJson(const TraceEvent& event);
+Result<TraceEvent> TraceEventFromJson(const Json& json);
+
+/// Maps `category` to an equal string with static storage duration
+/// (TraceEvent.category must outlive every recorder). Known categories
+/// resolve to their literal; novel ones are interned in a leaky set.
+const char* InternTraceCategory(const std::string& category);
 
 /// Engine-wide registry resolving a query/trace id (e.g. from an
 /// `x-presto-trace` header) to its recorder. Holds weak references: a

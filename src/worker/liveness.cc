@@ -29,9 +29,33 @@ void WorkerLivenessTracker::Heartbeat(int worker_id, int64_t rtt_micros) {
     death_fired_.erase(worker_id);  // revived: re-arm death notification
   }
   heartbeats_received_.fetch_add(1, std::memory_order_relaxed);
-  if (rtt_histogram_ != nullptr && rtt_micros > 0) {
-    rtt_histogram_->Observe(static_cast<double>(rtt_micros));
+  if (rtt_micros > 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      last_rtt_micros_[worker_id] = rtt_micros;
+    }
+    if (rtt_histogram_ != nullptr) {
+      rtt_histogram_->Observe(static_cast<double>(rtt_micros));
+    }
   }
+}
+
+void WorkerLivenessTracker::SetMetricsPort(int worker_id, int port) {
+  if (port <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ports_[worker_id] = port;
+}
+
+int WorkerLivenessTracker::metrics_port(int worker_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = metrics_ports_.find(worker_id);
+  return it == metrics_ports_.end() ? -1 : it->second;
+}
+
+int64_t WorkerLivenessTracker::last_rtt_micros(int worker_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = last_rtt_micros_.find(worker_id);
+  return it == last_rtt_micros_.end() ? -1 : it->second;
 }
 
 bool WorkerLivenessTracker::SeenHeartbeat(int worker_id) const {
@@ -185,6 +209,11 @@ bool HeartbeatSender::SendOnce() {
   int64_t last_rtt = last_rtt_micros_.load();
   body.Set("worker", Json::Int(worker_id_))
       .Set("rttMicros", Json::Int(last_rtt > 0 ? last_rtt : -1));
+  // Advertise the observability port (ISSUE 10) so the coordinator can
+  // federate /v1/metrics without static worker configuration.
+  if (metrics_port_ > 0) {
+    body.Set("metricsPort", Json::Int(metrics_port_));
+  }
 
   HttpRequest request;
   request.method = "POST";

@@ -49,6 +49,17 @@ class WorkerLivenessTracker {
   /// the round trip of its previous heartbeat POST).
   void Heartbeat(int worker_id, int64_t rtt_micros);
 
+  /// Observability-port advertisement (ISSUE 10): heartbeat bodies carry
+  /// the worker's /v1/metrics port so the coordinator can federate worker
+  /// metrics without static configuration.
+  void SetMetricsPort(int worker_id, int port);
+  /// -1 when the worker never advertised one.
+  int metrics_port(int worker_id) const;
+  /// Last heartbeat-reported round trip of this worker, micros; -1 before
+  /// the first beat carrying one. Feeds the per-worker RTT gauges of
+  /// /v1/cluster/metrics.
+  int64_t last_rtt_micros(int worker_id) const;
+
   bool SeenHeartbeat(int worker_id) const;
   /// False for workers that heartbeated and then went silent past the
   /// timeout, and for registered workers that never heartbeated within the
@@ -86,6 +97,8 @@ class WorkerLivenessTracker {
   mutable std::mutex mu_;
   std::map<int, Clock::time_point> last_beat_;
   std::map<int, Clock::time_point> registered_;
+  std::map<int, int> metrics_ports_;       // heartbeat-advertised (ISSUE 10)
+  std::map<int, int64_t> last_rtt_micros_;  // last reported round trip
   /// Set by the first heartbeat from any worker; grace clocks only run
   /// against an activated tracker so heartbeat-less setups never expire.
   std::optional<Clock::time_point> activated_at_;
@@ -127,6 +140,10 @@ class HeartbeatSender {
   void set_coordinator_port(int port) { coordinator_port_ = port; }
   int coordinator_port() const { return coordinator_port_; }
 
+  /// Advertises the worker's observability port in every heartbeat body
+  /// (ISSUE 10). Only valid while stopped; <= 0 omits the field.
+  void set_metrics_port(int port) { metrics_port_ = port; }
+
   int64_t sent() const { return sent_.load(); }
   int64_t failed() const { return failed_.load(); }
   int64_t last_rtt_micros() const { return last_rtt_micros_.load(); }
@@ -138,6 +155,7 @@ class HeartbeatSender {
   int coordinator_port_;
   const int worker_id_;
   const int64_t interval_micros_;
+  int metrics_port_ = -1;
   std::atomic<int64_t> sent_{0};
   std::atomic<int64_t> failed_{0};
   std::atomic<int64_t> last_rtt_micros_{0};

@@ -2,8 +2,9 @@
 //
 // Hosts a TaskExecutor + WorkerMemory + exchange fabric behind the
 // /v1/task and exchange HTTP endpoints, heartbeating to the coordinator.
-// Prints "READY task_port=<p> exchange_port=<p>" once serving, then runs
-// until stdin reaches EOF (parent died or closed the pipe) or SIGTERM.
+// Prints "READY task_port=<p> exchange_port=<p> metrics_port=<p>" once
+// serving, then runs until stdin reaches EOF (parent died or closed the
+// pipe) or SIGTERM.
 //
 // Usage:
 //   presto_worker --worker_id=0 --coordinator_port=12345
@@ -89,8 +90,9 @@ int main(int argc, char** argv) {
             started.ToString().c_str());
     return 1;
   }
-  printf("READY task_port=%d exchange_port=%d\n", runtime.task_port(),
-         runtime.exchange_port());
+  printf("READY task_port=%d exchange_port=%d metrics_port=%d\n",
+         runtime.task_port(), runtime.exchange_port(),
+         runtime.metrics_port());
   fflush(stdout);
 
   // Serve until asked to stop: SIGTERM, or stdin EOF (the parent process

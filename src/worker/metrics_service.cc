@@ -1,0 +1,91 @@
+#include "worker/metrics_service.h"
+
+#include <utility>
+
+#include "common/json.h"
+
+namespace presto {
+
+HttpResponse WorkerMetricsService::HandleStatus() const {
+  Json status = Json::Object();
+  status.Set("workerId", Json::Int(sources_.worker_id));
+  status.Set("state", Json::Str(sources_.manager != nullptr &&
+                                        sources_.manager->shutting_down()
+                                    ? "SHUTTING_DOWN"
+                                    : "ACTIVE"));
+  status.Set("uptimeMillis",
+             Json::Int(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - started_)
+                           .count()));
+  if (sources_.manager != nullptr) {
+    status.Set("activeTasks", Json::Int(sources_.manager->active_tasks()));
+  }
+  if (sources_.executor != nullptr) {
+    status.Set("runningDrivers",
+               Json::Int(sources_.executor->running_drivers()));
+    status.Set("parkedDrivers",
+               Json::Int(sources_.executor->parked_drivers()));
+    Json depths = Json::Array();
+    for (int level = 0; level < 5; ++level) {
+      depths.Append(Json::Int(sources_.executor->queue_depth(level)));
+    }
+    status.Set("queueDepths", std::move(depths));
+    status.Set("busyNanos", Json::Int(sources_.executor->busy_nanos()));
+  }
+  if (sources_.memory != nullptr) {
+    Json memory = Json::Object();
+    memory.Set("generalUsedBytes",
+               Json::Int(sources_.memory->general_used()));
+    memory.Set("reservedUsedBytes",
+               Json::Int(sources_.memory->reserved_used()));
+    memory.Set("peakGeneralUsedBytes",
+               Json::Int(sources_.memory->peak_general_used()));
+    memory.Set("revocations", Json::Int(sources_.memory->revocations()));
+    status.Set("memory", std::move(memory));
+  }
+  if (sources_.exchange != nullptr) {
+    status.Set("bufferedBytes",
+               Json::Int(sources_.exchange->TotalBufferedBytes()));
+    status.Set("retainedBytes",
+               Json::Int(sources_.exchange->TotalRetainedBytes()));
+  }
+  if (sources_.heartbeat != nullptr) {
+    status.Set("heartbeatsSent", Json::Int(sources_.heartbeat->sent()));
+    status.Set("heartbeatsFailed", Json::Int(sources_.heartbeat->failed()));
+    status.Set("lastRttMicros",
+               Json::Int(sources_.heartbeat->last_rtt_micros()));
+  }
+  HttpResponse response;
+  response.headers["content-type"] = "application/json";
+  response.body = status.Serialize();
+  return response;
+}
+
+HttpResponse WorkerMetricsService::Handle(const HttpRequest& request) {
+  auto error = [](int status, const std::string& reason,
+                  const std::string& message) {
+    HttpResponse response;
+    response.status = status;
+    response.reason = reason;
+    response.headers["content-type"] = "text/plain";
+    response.body = message;
+    return response;
+  };
+  if (request.method != "GET") {
+    return error(405, "Method Not Allowed", "only GET is supported");
+  }
+  if (request.path == "/v1/metrics") {
+    HttpResponse response;
+    response.headers["content-type"] = "text/plain; version=0.0.4";
+    response.body = sources_.metrics != nullptr
+                        ? sources_.metrics->RenderText()
+                        : std::string();
+    return response;
+  }
+  if (request.path == "/v1/status") {
+    return HandleStatus();
+  }
+  return error(404, "Not Found", "unknown path: " + request.path);
+}
+
+}  // namespace presto

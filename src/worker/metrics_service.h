@@ -1,0 +1,70 @@
+#ifndef PRESTOCPP_WORKER_METRICS_SERVICE_H_
+#define PRESTOCPP_WORKER_METRICS_SERVICE_H_
+
+#include <chrono>
+#include <string>
+
+#include "common/status.h"
+#include "exchange/exchange.h"
+#include "exchange/http/http_server.h"
+#include "memory/memory.h"
+#include "schedule/task_executor.h"
+#include "stats/metrics_registry.h"
+#include "worker/liveness.h"
+#include "worker/task_manager.h"
+
+namespace presto {
+
+/// Per-worker observability endpoint (ISSUE 10), the worker-daemon
+/// analogue of the coordinator's ObservabilityHttpService:
+///
+///   GET /v1/metrics  Prometheus text exposition of the worker's registry
+///                    (presto_worker_* gauges registered by WorkerRuntime)
+///   GET /v1/status   One JSON snapshot of the worker's live state: memory
+///                    pool usage, registered tasks, running drivers,
+///                    per-level MLFQ queue depths, exchange buffer bytes,
+///                    heartbeat counters, uptime
+///
+/// The port is advertised in the daemon's READY banner and in heartbeat
+/// bodies, so the coordinator's /v1/cluster/metrics can scrape it without
+/// static configuration. All reads go through thread-safe accessors, so
+/// scrapes may race task lifecycle freely.
+class WorkerMetricsService {
+ public:
+  /// All pointers are borrowed and must outlive the service; heartbeat may
+  /// be null (protocol unit tests without a coordinator).
+  struct Sources {
+    int worker_id = 0;
+    MetricsRegistry* metrics = nullptr;
+    WorkerTaskManager* manager = nullptr;
+    TaskExecutor* executor = nullptr;
+    WorkerMemory* memory = nullptr;
+    ExchangeManager* exchange = nullptr;
+    HeartbeatSender* heartbeat = nullptr;
+  };
+
+  explicit WorkerMetricsService(Sources sources)
+      : sources_(sources),
+        started_(std::chrono::steady_clock::now()),
+        server_([this](const HttpRequest& request) {
+          return Handle(request);
+        }) {}
+
+  Status Start() { return server_.Start(); }
+  void Stop() { server_.Stop(); }
+  int port() const { return server_.port(); }
+
+  /// Exposed for tests; normal traffic arrives via the server.
+  HttpResponse Handle(const HttpRequest& request);
+
+ private:
+  HttpResponse HandleStatus() const;
+
+  Sources sources_;
+  std::chrono::steady_clock::time_point started_;
+  HttpServer server_;
+};
+
+}  // namespace presto
+
+#endif  // PRESTOCPP_WORKER_METRICS_SERVICE_H_

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "stats/metrics_registry.h"
 #include "stats/trace.h"
 
 namespace presto {
@@ -92,6 +93,10 @@ Result<TaskStatusResponse> HttpTaskClient::PostControl(const Json& body) {
 }
 
 void HttpTaskClient::CacheStatus(const TaskStatusResponse& status) {
+  // Mine the response for shipped trace spans first: even a late response
+  // that loses the terminal-state race below still carries spans the
+  // worker drained exactly once.
+  MergeShippedTrace(status);
   std::lock_guard<std::mutex> lock(cache_mu_);
   // Never regress a terminal snapshot (a late control response racing the
   // poll thread's terminal status).
@@ -100,6 +105,46 @@ void HttpTaskClient::CacheStatus(const TaskStatusResponse& status) {
     return;
   }
   cached_ = status;
+}
+
+void HttpTaskClient::MergeShippedTrace(const TaskStatusResponse& status) {
+  if (options_.trace == nullptr || status.trace_now_nanos < 0) return;
+  int64_t offset = 0;
+  {
+    std::lock_guard<std::mutex> lock(trace_mu_);
+    if (!trace_offset_set_) {
+      // First traced response: the worker's recorder epoch differs from
+      // the coordinator's, so anchor "worker now" to "coordinator now".
+      // The error is one-way network latency — microseconds on loopback,
+      // far below span durations of interest.
+      trace_offset_nanos_ =
+          options_.trace->NowNanos() - status.trace_now_nanos;
+      trace_offset_set_ = true;
+    }
+    offset = trace_offset_nanos_;
+  }
+  if (status.trace_dropped > 0) {
+    options_.trace->AddDropped(status.trace_dropped);
+    if (options_.trace_dropped != nullptr) {
+      options_.trace_dropped->Increment(status.trace_dropped);
+    }
+  }
+  if (status.trace_events.empty()) return;
+  for (const auto& [pid, name] : status.trace_process_names) {
+    options_.trace->SetProcessName(pid, name);
+  }
+  for (const auto& [key, name] : status.trace_thread_names) {
+    options_.trace->SetThreadName(key.first, key.second, name);
+  }
+  for (const TraceEvent& event : status.trace_events) {
+    TraceEvent rebased = event;
+    rebased.start_nanos += offset;
+    options_.trace->MergeEvent(std::move(rebased));
+  }
+  if (options_.trace_shipped != nullptr) {
+    options_.trace_shipped->Increment(
+        static_cast<int64_t>(status.trace_events.size()));
+  }
 }
 
 Status HttpTaskClient::Launch(std::function<void(Status)> on_done) {
@@ -261,7 +306,15 @@ void HttpTaskClient::Abort() {
   request.path = "/v1/task/" + task_id_ + "?abort=1";
   request.headers[kTraceHeader] = spec_.query_id;
   std::lock_guard<std::mutex> lock(control_mu_);
-  (void)ControlRoundTrip(request);  // best-effort; the poll loop converges
+  // Best-effort (the poll loop converges), but parse a successful response:
+  // the DELETE drains the worker recorder's remaining spans (ISSUE 10).
+  auto response_or = ControlRoundTrip(request);
+  if (response_or.ok()) {
+    if (auto status_or = ParseStatusResponse(response_or.value());
+        status_or.ok()) {
+      CacheStatus(status_or.value());
+    }
+  }
 }
 
 void HttpTaskClient::ReleaseResources() {
@@ -273,7 +326,16 @@ void HttpTaskClient::ReleaseResources() {
   request.path = "/v1/task/" + task_id_;
   request.headers[kTraceHeader] = spec_.query_id;
   std::lock_guard<std::mutex> lock(control_mu_);
-  (void)ControlRoundTrip(request);
+  // The retire DELETE's response carries the final trace flush (the worker
+  // drains up to the full backlog cap into it) — parse it so cross-process
+  // spans recorded after the last long-poll still reach the merged trace.
+  auto response_or = ControlRoundTrip(request);
+  if (response_or.ok()) {
+    if (auto status_or = ParseStatusResponse(response_or.value());
+        status_or.ok()) {
+      CacheStatus(status_or.value());
+    }
+  }
 }
 
 void HttpTaskClient::FireDone(Status status) {

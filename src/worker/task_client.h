@@ -20,6 +20,8 @@
 
 namespace presto {
 
+class Counter;
+
 /// Coordinator-side handle to one task of one fragment. The coordinator
 /// drives every task — in-process or out-of-process — through this
 /// interface, so scheduling logic is transport-agnostic: DirectTaskClient
@@ -163,6 +165,15 @@ class HttpTaskClient final : public TaskClient {
     int max_consecutive_failures = 5;
     int64_t retry_backoff_micros = 10'000;
     WorkerLivenessTracker* liveness = nullptr;
+    /// ISSUE 10: merge target for worker-shipped trace spans. When set
+    /// (and the create request carried enableTrace), every status response
+    /// is mined for spans, which are rebased onto this recorder's epoch
+    /// and merged so one Chrome timeline covers all processes.
+    TraceRecorder* trace = nullptr;
+    /// Per-worker shipping instruments (may be null): spans merged, and
+    /// spans the worker dropped before they could ship.
+    Counter* trace_shipped = nullptr;
+    Counter* trace_dropped = nullptr;
   };
 
   HttpTaskClient(TaskSpec spec, Json create_request, Options options);
@@ -200,6 +211,9 @@ class HttpTaskClient final : public TaskClient {
       const HttpResponse& response);
   Result<TaskStatusResponse> PostControl(const Json& body);
   void CacheStatus(const TaskStatusResponse& status);
+  /// Rebases and merges worker-shipped spans from a traced status response
+  /// into options_.trace (ISSUE 10). Safe to call from any thread.
+  void MergeShippedTrace(const TaskStatusResponse& status);
   void PollLoop();
   void FireDone(Status status);
 
@@ -221,6 +235,12 @@ class HttpTaskClient final : public TaskClient {
   mutable std::mutex cache_mu_;
   TaskStatusResponse cached_;
   std::map<int, int64_t> pending_counts_;  // buffered, not yet on worker
+
+  /// Worker-epoch -> coordinator-epoch rebase offset, computed from the
+  /// first traced status response (guarded by trace_mu_).
+  std::mutex trace_mu_;
+  bool trace_offset_set_ = false;
+  int64_t trace_offset_nanos_ = 0;
 
   std::atomic<bool> launched_{false};
   std::atomic<bool> aborted_{false};

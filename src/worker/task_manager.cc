@@ -33,6 +33,9 @@ struct WorkerTaskManager::TaskEntry {
   TaskSpec spec;
   std::unique_ptr<PlanFragment> fragment;
   std::shared_ptr<QueryMemory> query_memory;
+  /// Worker-side span recorder shared by this query's tasks on this worker
+  /// (ISSUE 10); nullptr when the coordinator did not request tracing.
+  std::shared_ptr<TraceRecorder> trace;
   std::shared_ptr<TaskExec> exec;
   std::map<int, Connector*> scan_connectors;
   std::atomic<int> active_writers{1};
@@ -70,7 +73,8 @@ WorkerTaskManager::FindLocked(const std::string& task_id) {
   return it->second;
 }
 
-TaskStatusResponse WorkerTaskManager::BuildStatusLocked(TaskEntry& entry) {
+TaskStatusResponse WorkerTaskManager::BuildStatusLocked(TaskEntry& entry,
+                                                        size_t trace_budget) {
   TaskStatusResponse response;
   response.task_id = entry.id;
   response.state = entry.state;
@@ -118,6 +122,19 @@ TaskStatusResponse WorkerTaskManager::BuildStatusLocked(TaskEntry& entry) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - entry.progress_at)
           .count();
+  // Trace shipping (ISSUE 10): drain a bounded batch of worker-side spans
+  // into this response. The recorder is per-query on this worker, so any
+  // task's status poll ships sibling tasks' spans too; traceNowNanos lets
+  // the coordinator rebase timestamps onto its own epoch.
+  if (entry.trace != nullptr) {
+    response.trace_now_nanos = entry.trace->NowNanos();
+    entry.trace->Drain(trace_budget, &response.trace_events);
+    response.trace_dropped = entry.trace->TakeDropped();
+    if (!response.trace_events.empty()) {
+      response.trace_process_names = entry.trace->ProcessNames();
+      response.trace_thread_names = entry.trace->ThreadNames();
+    }
+  }
   return response;
 }
 
@@ -203,12 +220,21 @@ Result<TaskStatusResponse> WorkerTaskManager::CreateOrUpdate(
                         &entry->scan_connectors);
 
   auto& query_slot = queries_[request.spec.query_id];
-  if (query_slot.first == nullptr) {
-    query_slot.first = std::make_shared<QueryMemory>(request.spec.query_id,
-                                                     options_.memory_config);
+  if (query_slot.memory == nullptr) {
+    query_slot.memory = std::make_shared<QueryMemory>(request.spec.query_id,
+                                                      options_.memory_config);
   }
-  ++query_slot.second;
-  entry->query_memory = query_slot.first;
+  ++query_slot.refs;
+  entry->query_memory = query_slot.memory;
+  if (request.enable_trace) {
+    if (query_slot.trace == nullptr) {
+      query_slot.trace = std::make_shared<TraceRecorder>(
+          request.spec.query_id, kWorkerTraceMaxEvents);
+      // Memory-revocation waits record spans against the query context.
+      query_slot.memory->set_trace(query_slot.trace.get());
+    }
+    entry->trace = query_slot.trace;
+  }
 
   // Retention must be on before the sink creates its buffers during
   // Initialize(); the flag is sticky for the life of this manager.
@@ -231,6 +257,7 @@ Result<TaskStatusResponse> WorkerTaskManager::CreateOrUpdate(
   runtime.exchange_buffer_bytes = request.exchange_buffer_bytes;
   runtime.max_drivers_per_pipeline = request.max_drivers_per_pipeline;
   runtime.active_output_partitions = &entry->active_writers;
+  runtime.trace = entry->trace.get();
 
   entry->exec = std::make_shared<TaskExec>(entry->spec, runtime,
                                            entry->fragment.get());
@@ -314,7 +341,11 @@ Result<TaskStatusResponse> WorkerTaskManager::Delete(
   std::unique_lock<std::mutex> lock(mu_);
   PRESTO_ASSIGN_OR_RETURN(auto entry, FindLocked(task_id));
   if (IsTerminalTaskState(entry->state)) {
-    TaskStatusResponse response = BuildStatusLocked(*entry);
+    // Retire flush: drain up to the whole worker-side trace backlog into
+    // the DELETE response — the recorder may die with the query slot right
+    // after, and the cap guarantees the backlog fits one response.
+    TaskStatusResponse response =
+        BuildStatusLocked(*entry, kWorkerTraceMaxEvents);
     RemoveEntryLocked(entry);
     return response;
   }
@@ -332,7 +363,7 @@ Result<TaskStatusResponse> WorkerTaskManager::Delete(
   entry->exec->Kill(Status::Cancelled(
       "task " + task_id + (abort ? " aborted" : " canceled") +
       " by coordinator"));
-  return BuildStatusLocked(*entry);
+  return BuildStatusLocked(*entry, kWorkerTraceMaxEvents);
 }
 
 void WorkerTaskManager::OnTaskDone(const std::shared_ptr<TaskEntry>& entry,
@@ -387,7 +418,7 @@ void WorkerTaskManager::RemoveEntryLocked(
 void WorkerTaskManager::ReleaseQueryRefLocked(const std::string& query_id) {
   auto it = queries_.find(query_id);
   if (it == queries_.end()) return;
-  if (--it->second.second <= 0) {
+  if (--it->second.refs <= 0) {
     queries_.erase(it);
     // Last task of the query on this worker: drop its exchange buffers
     // and endpoint registrations.

@@ -51,10 +51,19 @@ class WorkerTaskManager {
 
   /// GET /v1/task/{taskId}/status?since=V&wait=micros. Blocks until the
   /// task's version exceeds `since` or the wait expires; the response
-  /// always carries live split/memory/cpu readings.
+  /// always carries live split/memory/cpu readings, plus up to
+  /// kMaxTraceEventsPerStatus drained trace spans when tracing (ISSUE 10).
   Result<TaskStatusResponse> GetStatus(const std::string& task_id,
                                        int64_t since_version,
                                        int64_t wait_micros);
+
+  /// Per-query worker-side trace cap: bounds the backlog of spans awaiting
+  /// shipment to the coordinator; overflow increments the recorder's
+  /// dropped counter (shipped in every traced status response).
+  static constexpr int64_t kWorkerTraceMaxEvents = 16'384;
+  /// Spans drained into one regular status response; a DELETE response
+  /// (task retire) drains up to the full cap so nothing pending is lost.
+  static constexpr size_t kMaxTraceEventsPerStatus = 512;
 
   /// DELETE /v1/task/{taskId}[?abort=1]: cancels a running task via its
   /// task-scoped kill switch (sibling tasks of the same query on this
@@ -77,7 +86,17 @@ class WorkerTaskManager {
  private:
   struct TaskEntry;
 
-  TaskStatusResponse BuildStatusLocked(TaskEntry& entry);
+  /// Per-query state shared by this worker's tasks of one query: the
+  /// memory context, a live-task refcount, and (when the coordinator asked
+  /// for tracing) the worker-side span recorder.
+  struct QuerySlot {
+    std::shared_ptr<QueryMemory> memory;
+    int refs = 0;
+    std::shared_ptr<TraceRecorder> trace;
+  };
+
+  TaskStatusResponse BuildStatusLocked(
+      TaskEntry& entry, size_t trace_budget = kMaxTraceEventsPerStatus);
   Result<std::shared_ptr<TaskEntry>> FindLocked(const std::string& task_id);
   Status ApplyUpdateLocked(TaskEntry& entry, const TaskUpdateRequest& update);
   void OnTaskDone(const std::shared_ptr<TaskEntry>& entry, Status status);
@@ -92,8 +111,7 @@ class WorkerTaskManager {
   /// Entries detached by a higher-generation create, still draining on the
   /// executor (their callbacks release them).
   std::vector<std::shared_ptr<TaskEntry>> retired_;
-  /// query id -> (memory context, live task refcount).
-  std::map<std::string, std::pair<std::shared_ptr<QueryMemory>, int>> queries_;
+  std::map<std::string, QuerySlot> queries_;
   int64_t running_tasks_ = 0;
   bool shutting_down_ = false;
 };

@@ -97,6 +97,7 @@ Json TaskCreateRequest::ToJson() const {
       .Set("activeWriters", Json::Int(active_writers))
       .Set("emitResultsViaExchange", Json::Bool(emit_results_via_exchange))
       .Set("retainExchangeFrames", Json::Bool(retain_exchange_frames))
+      .Set("enableTrace", Json::Bool(enable_trace))
       .Set("endpoints", std::move(endpoints_json));
   return out;
 }
@@ -156,6 +157,13 @@ Result<TaskCreateRequest> TaskCreateRequest::FromJson(const Json& json) {
       return Status::InvalidArgument("retainExchangeFrames must be a bool");
     }
     request.retain_exchange_frames = retain->bool_value();
+  }
+  // Optional (absent in pre-trace-shipping payloads).
+  if (const Json* trace = json.Find("enableTrace")) {
+    if (!trace->is_bool()) {
+      return Status::InvalidArgument("enableTrace must be a bool");
+    }
+    request.enable_trace = trace->bool_value();
   }
 
   PRESTO_ASSIGN_OR_RETURN(const Json* endpoints_json,
@@ -357,6 +365,33 @@ Json TaskStatusResponse::ToJson() const {
       .Set("stats", TaskStatsToJson(stats))
       .Set("rowsOut", Json::Int(rows_out))
       .Set("progressAgeMicros", Json::Int(progress_age_micros));
+  // Trace-shipping fields only appear when tracing is live on the worker,
+  // keeping untraced status payloads byte-identical to before ISSUE 10.
+  if (trace_now_nanos >= 0) {
+    out.Set("traceNowNanos", Json::Int(trace_now_nanos))
+        .Set("traceDropped", Json::Int(trace_dropped));
+    if (!trace_events.empty()) {
+      Json events = Json::Array();
+      for (const TraceEvent& event : trace_events) {
+        events.Append(TraceEventToJson(event));
+      }
+      out.Set("traceEvents", std::move(events));
+      Json process_names = Json::Object();
+      for (const auto& [pid, name] : trace_process_names) {
+        process_names.Set(std::to_string(pid), Json::Str(name));
+      }
+      out.Set("traceProcessNames", std::move(process_names));
+      Json thread_names = Json::Array();
+      for (const auto& [key, name] : trace_thread_names) {
+        Json entry = Json::Array();
+        entry.Append(Json::Int(key.first));
+        entry.Append(Json::Int(key.second));
+        entry.Append(Json::Str(name));
+        thread_names.Append(std::move(entry));
+      }
+      out.Set("traceThreadNames", std::move(thread_names));
+    }
+  }
   return out;
 }
 
@@ -395,6 +430,47 @@ Result<TaskStatusResponse> TaskStatusResponse::FromJson(const Json& json) {
   if (json.Find("progressAgeMicros") != nullptr) {
     PRESTO_ASSIGN_OR_RETURN(status.progress_age_micros,
                             json.GetInt("progressAgeMicros"));
+  }
+  // Optional (absent when the worker isn't tracing, ISSUE 10).
+  if (json.Find("traceNowNanos") != nullptr) {
+    PRESTO_ASSIGN_OR_RETURN(status.trace_now_nanos,
+                            json.GetInt("traceNowNanos"));
+    PRESTO_ASSIGN_OR_RETURN(status.trace_dropped, json.GetInt("traceDropped"));
+  }
+  if (const Json* events = json.Find("traceEvents")) {
+    if (!events->is_array()) {
+      return Status::InvalidArgument("'traceEvents' must be an array");
+    }
+    for (const Json& event_json : events->items()) {
+      PRESTO_ASSIGN_OR_RETURN(TraceEvent event,
+                              TraceEventFromJson(event_json));
+      status.trace_events.push_back(std::move(event));
+    }
+  }
+  if (const Json* process_names = json.Find("traceProcessNames")) {
+    for (const auto& [pid, name] : process_names->members()) {
+      if (!name.is_string()) {
+        return Status::InvalidArgument("process names must be strings");
+      }
+      status.trace_process_names[std::atoi(pid.c_str())] = name.string_value();
+    }
+  }
+  if (const Json* thread_names = json.Find("traceThreadNames")) {
+    if (!thread_names->is_array()) {
+      return Status::InvalidArgument("'traceThreadNames' must be an array");
+    }
+    for (const Json& entry : thread_names->items()) {
+      if (!entry.is_array() || entry.size() != 3 ||
+          !entry.items()[0].is_int() || !entry.items()[1].is_int() ||
+          !entry.items()[2].is_string()) {
+        return Status::InvalidArgument(
+            "thread name entry must be [pid, tid, name]");
+      }
+      status.trace_thread_names[{static_cast<int>(
+                                     entry.items()[0].int_value()),
+                                 entry.items()[1].int_value()}] =
+          entry.items()[2].string_value();
+    }
   }
   return status;
 }

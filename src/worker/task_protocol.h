@@ -3,6 +3,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.h"
@@ -10,6 +11,7 @@
 #include "exec/exec_context.h"
 #include "expr/evaluator.h"
 #include "stats/operator_stats.h"
+#include "stats/trace.h"
 
 namespace presto {
 
@@ -52,6 +54,10 @@ struct TaskCreateRequest {
   /// from token 0 after a task retry (ISSUE 7). Set by the coordinator when
   /// task recovery is enabled.
   bool retain_exchange_frames = false;
+  /// ISSUE 10: record this task's spans in a worker-side TraceRecorder and
+  /// ship them back on status responses (the coordinator sets this when the
+  /// owning query is traced).
+  bool enable_trace = false;
   /// [fragment, task, exchange HTTP port, producer generation] for every
   /// producer task feeding this task's RemoteSource operators.
   std::vector<std::array<int, 4>> endpoints;
@@ -100,6 +106,19 @@ struct TaskStatusResponse {
   /// splits changing).
   int64_t rows_out = 0;
   int64_t progress_age_micros = 0;
+  /// ISSUE 10: worker-side trace spans drained into this response (bounded
+  /// per response; the remainder ships at task retire), the drop count
+  /// accumulated since the previous traced response (a delta, so drops are
+  /// shipped exactly once even when sibling tasks share the recorder), and
+  /// the worker recorder's NowNanos() at response-build time (-1 = tracing
+  /// off) so the coordinator can rebase timestamps onto its own epoch.
+  std::vector<TraceEvent> trace_events;
+  int64_t trace_dropped = 0;
+  int64_t trace_now_nanos = -1;
+  /// Display names for the shipped events' pid/tid tracks (full maps;
+  /// merging is idempotent). Shipped only alongside events.
+  std::map<int, std::string> trace_process_names;
+  std::map<std::pair<int, int64_t>, std::string> trace_thread_names;
 
   int64_t completed_splits() const {
     int64_t added = 0, queued = 0;

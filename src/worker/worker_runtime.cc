@@ -29,6 +29,94 @@ WorkerRuntime::WorkerRuntime(WorkerRuntimeConfig config,
       config_.heartbeat_interval_micros);
   task_service_ = std::make_unique<TaskService>(
       manager_.get(), config_.worker_id, heartbeat_.get());
+  WorkerMetricsService::Sources sources;
+  sources.worker_id = config_.worker_id;
+  sources.metrics = &metrics_;
+  sources.manager = manager_.get();
+  sources.executor = executor_.get();
+  sources.memory = memory_.get();
+  sources.exchange = exchange_.get();
+  sources.heartbeat = heartbeat_.get();
+  metrics_service_ = std::make_unique<WorkerMetricsService>(sources);
+  RegisterWorkerGauges();
+}
+
+void WorkerRuntime::RegisterWorkerGauges() {
+  // presto_worker_* gauges (ISSUE 10): the worker-side slice of the state
+  // the coordinator's engine gauges cover for in-process workers. The
+  // coordinator's /v1/cluster/metrics scrapes these and re-labels them per
+  // worker, so names stay label-free here.
+  WorkerMemory* memory = memory_.get();
+  metrics_.RegisterGauge("presto_worker_memory_general_used_bytes",
+                         "Bytes allocated from the worker general pool",
+                         [memory] {
+                           return static_cast<double>(memory->general_used());
+                         });
+  metrics_.RegisterGauge(
+      "presto_worker_memory_reserved_used_bytes",
+      "Bytes allocated from the worker reserved pool",
+      [memory] { return static_cast<double>(memory->reserved_used()); });
+  metrics_.RegisterGauge("presto_worker_memory_peak_general_used_bytes",
+                         "Peak bytes allocated from the worker general pool",
+                         [memory] {
+                           return static_cast<double>(
+                               memory->peak_general_used());
+                         });
+  WorkerTaskManager* manager = manager_.get();
+  metrics_.RegisterGauge(
+      "presto_worker_active_tasks",
+      "Tasks currently registered with the worker task manager",
+      [manager] { return static_cast<double>(manager->active_tasks()); });
+  TaskExecutor* executor = executor_.get();
+  metrics_.RegisterGauge(
+      "presto_worker_running_drivers",
+      "Drivers registered with the executor and not yet drained",
+      [executor] { return static_cast<double>(executor->running_drivers()); });
+  metrics_.RegisterGauge(
+      "presto_worker_parked_drivers",
+      "Blocked drivers parked outside the runnable queues",
+      [executor] { return static_cast<double>(executor->parked_drivers()); });
+  for (int level = 0; level < 5; ++level) {
+    metrics_.RegisterGauge(
+        "presto_worker_queue_depth",
+        "Runnable drivers queued per MLFQ level",
+        [executor, level] {
+          return static_cast<double>(executor->queue_depth(level));
+        },
+        {{"level", std::to_string(level)}});
+  }
+  metrics_.RegisterGauge(
+      "presto_worker_executor_busy_nanos",
+      "Total CPU-busy nanoseconds across executor threads",
+      [executor] { return static_cast<double>(executor->busy_nanos()); });
+  ExchangeManager* exchange = exchange_.get();
+  metrics_.RegisterGauge("presto_worker_exchange_buffered_bytes",
+                         "Bytes sitting in live exchange output buffers",
+                         [exchange] {
+                           return static_cast<double>(
+                               exchange->TotalBufferedBytes());
+                         });
+  metrics_.RegisterGauge("presto_worker_exchange_retained_bytes",
+                         "Bytes retained for task-retry replay",
+                         [exchange] {
+                           return static_cast<double>(
+                               exchange->TotalRetainedBytes());
+                         });
+  HeartbeatSender* heartbeat = heartbeat_.get();
+  metrics_.RegisterGauge(
+      "presto_worker_heartbeats_sent",
+      "Heartbeat POSTs delivered to the coordinator",
+      [heartbeat] { return static_cast<double>(heartbeat->sent()); });
+  metrics_.RegisterGauge(
+      "presto_worker_heartbeats_failed",
+      "Heartbeat POSTs that failed in transport",
+      [heartbeat] { return static_cast<double>(heartbeat->failed()); });
+  metrics_.RegisterGauge("presto_worker_heartbeat_rtt_micros",
+                         "Round trip of the worker's last heartbeat POST",
+                         [heartbeat] {
+                           return static_cast<double>(
+                               heartbeat->last_rtt_micros());
+                         });
 }
 
 WorkerRuntime::~WorkerRuntime() { Stop(); }
@@ -36,6 +124,10 @@ WorkerRuntime::~WorkerRuntime() { Stop(); }
 Status WorkerRuntime::Start() {
   PRESTO_RETURN_IF_ERROR(exchange_service_->Start());
   PRESTO_RETURN_IF_ERROR(task_service_->Start());
+  // The metrics service starts before the heartbeat loop so every beat can
+  // advertise the observability port (ISSUE 10).
+  PRESTO_RETURN_IF_ERROR(metrics_service_->Start());
+  heartbeat_->set_metrics_port(metrics_service_->port());
   if (config_.coordinator_port >= 0) heartbeat_->Start();
   return Status::OK();
 }
@@ -44,6 +136,7 @@ void WorkerRuntime::StartHeartbeat(int coordinator_port) {
   if (coordinator_port < 0 || stopped_) return;
   heartbeat_->Stop();
   heartbeat_->set_coordinator_port(coordinator_port);
+  heartbeat_->set_metrics_port(metrics_service_->port());
   heartbeat_->Start();
 }
 
@@ -56,6 +149,7 @@ void WorkerRuntime::Stop() {
   manager_->Shutdown();
   task_service_->Stop();
   exchange_service_->Stop();
+  metrics_service_->Stop();
 }
 
 }  // namespace presto

@@ -7,7 +7,9 @@
 #include "exchange/http/exchange_http.h"
 #include "memory/memory.h"
 #include "schedule/task_executor.h"
+#include "stats/metrics_registry.h"
 #include "worker/liveness.h"
+#include "worker/metrics_service.h"
 #include "worker/task_manager.h"
 #include "worker/task_service.h"
 
@@ -59,16 +61,26 @@ class WorkerRuntime {
 
   int task_port() const { return task_service_->port(); }
   int exchange_port() const { return exchange_service_->port(); }
+  /// /v1/metrics + /v1/status observability endpoint (ISSUE 10).
+  int metrics_port() const { return metrics_service_->port(); }
 
   WorkerTaskManager& task_manager() { return *manager_; }
   TaskService& task_service() { return *task_service_; }
   WorkerMemory& memory() { return *memory_; }
   TaskExecutor& executor() { return *executor_; }
   ExchangeManager& exchange() { return *exchange_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  WorkerMetricsService& metrics_service() { return *metrics_service_; }
 
  private:
+  void RegisterWorkerGauges();
+
   WorkerRuntimeConfig config_;
   std::shared_ptr<const Catalog> catalog_;
+  /// Worker-local registry behind /v1/metrics. Gauge callbacks capture raw
+  /// component pointers; that is safe because Stop() halts the metrics
+  /// service (joining handler threads) before any component destructs.
+  MetricsRegistry metrics_;
   std::unique_ptr<WorkerMemory> memory_;
   std::unique_ptr<ExchangeManager> exchange_;
   std::unique_ptr<TaskExecutor> executor_;
@@ -76,6 +88,7 @@ class WorkerRuntime {
   std::unique_ptr<ExchangeHttpService> exchange_service_;
   std::unique_ptr<HeartbeatSender> heartbeat_;
   std::unique_ptr<TaskService> task_service_;
+  std::unique_ptr<WorkerMetricsService> metrics_service_;
   bool stopped_ = false;
 };
 

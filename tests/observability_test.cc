@@ -320,6 +320,78 @@ TEST_F(ObservabilityTest, MetricsEndpointIsPrometheusText) {
             std::string::npos);
 }
 
+TEST_F(ObservabilityTest, MetricsExposeLabeledRecoveryFamilies) {
+  ObservabilityHttpService service(engine_.get());
+  HttpResponse response = Get(service, "/v1/metrics");
+  ASSERT_EQ(response.status, 200);
+  const std::string& body = response.body;
+  // Recovery and speculation counters carry the trace-instant name they
+  // cross-reference in the query's Chrome trace timeline (DESIGN.md §16),
+  // so a dashboard can link a counter bump to its trace marker.
+  EXPECT_NE(
+      body.find("presto_task_retries_total{trace_instant=\"task_recovery\"}"),
+      std::string::npos);
+  EXPECT_NE(body.find("presto_task_speculations_total{"
+                      "trace_instant=\"task_speculate\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("presto_speculation_wins_total{"
+                      "trace_instant=\"speculation_win\"}"),
+            std::string::npos);
+  // Trace-shipping instruments are labeled per hosting worker.
+  EXPECT_NE(body.find("presto_trace_shipped_spans_total{worker=\"w0\"}"),
+            std::string::npos);
+  EXPECT_NE(body.find("presto_trace_dropped_spans_total{worker=\"w1\"}"),
+            std::string::npos);
+}
+
+TEST_F(ObservabilityTest, ClusterMetricsServeWithoutRemoteWorkers) {
+  // In-process mode has no worker metrics endpoints to scrape; the
+  // federation endpoint still serves the coordinator's own families plus
+  // roll-ups reporting an empty scrape.
+  ObservabilityHttpService service(engine_.get());
+  HttpResponse response = Get(service, "/v1/cluster/metrics");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.headers["content-type"].find("text/plain"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("presto_cluster_alive_workers"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\npresto_cluster_scraped_workers 0"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\npresto_cluster_scrape_failures 0"),
+            std::string::npos);
+}
+
+TEST_F(ObservabilityTest, QueryInfoIncludesTaskProgress) {
+  ObservabilityHttpService service(engine_.get());
+  auto result = engine_->Execute(
+      "SELECT c.mktsegment, count(*) FROM orders o "
+      "JOIN customer c ON o.custkey = c.custkey GROUP BY c.mktsegment");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::string query_id = result->query_id();
+
+  // Tasks exist as soon as Execute returns, so the live snapshot carries
+  // per-task progress rows: fragment/task coordinates, the worker the
+  // attempt runs on, its retry generation, rows produced, and staleness.
+  HttpResponse live = Get(service, "/v1/query/" + query_id);
+  ASSERT_EQ(live.status, 200);
+  EXPECT_TRUE(JsonChecker::Valid(live.body)) << live.body;
+  EXPECT_NE(live.body.find("\"taskProgress\""), std::string::npos);
+  EXPECT_NE(live.body.find("\"rowsOut\""), std::string::npos);
+  EXPECT_NE(live.body.find("\"generation\""), std::string::npos);
+  EXPECT_NE(live.body.find("\"progressAgeMicros\""), std::string::npos);
+  EXPECT_NE(live.body.find("\"worker\""), std::string::npos);
+
+  auto rows = result->FetchAllRows();
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+
+  // Progress is a live-query feature: once finalized the endpoint still
+  // serves valid JSON with the (now empty) list.
+  HttpResponse done = Get(service, "/v1/query/" + query_id);
+  ASSERT_EQ(done.status, 200);
+  EXPECT_TRUE(JsonChecker::Valid(done.body)) << done.body;
+  EXPECT_NE(done.body.find("\"taskProgress\""), std::string::npos);
+}
+
 TEST_F(ObservabilityTest, QueryEndpointsServeJson) {
   std::string query_id = RunJoin();
   ObservabilityHttpService service(engine_.get());

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,16 +29,22 @@ namespace {
 
 constexpr double kScale = 0.05;  // orders=750, lineitem=3000
 
-// Parses "READY task_port=A exchange_port=B".
+// Parses "READY task_port=A exchange_port=B metrics_port=C". The metrics
+// port is optional so the parser keeps accepting the pre-observability
+// banner shape.
 bool ParseReady(const std::string& line, RemoteWorkerAddress* address) {
   int task_port = -1;
   int exchange_port = -1;
-  if (sscanf(line.c_str(), "READY task_port=%d exchange_port=%d",
-             &task_port, &exchange_port) != 2) {
+  int metrics_port = -1;
+  int parsed =
+      sscanf(line.c_str(), "READY task_port=%d exchange_port=%d metrics_port=%d",
+             &task_port, &exchange_port, &metrics_port);
+  if (parsed < 2) {
     return false;
   }
   address->task_port = task_port;
   address->exchange_port = exchange_port;
+  address->metrics_port = metrics_port;
   return true;
 }
 
@@ -124,10 +131,12 @@ class ProcessClusterTest : public ::testing::Test {
   }
 
   // Reads the engine's task-retry counter (registration is idempotent by
-  // name, so this returns the same counter the coordinator increments).
+  // name + labels, so this returns the same counter the coordinator
+  // increments — the label set must match the engine's registration).
   int64_t RetriesTotal(PrestoEngine* engine) {
     return engine->metrics()
-        .RegisterCounter("presto_task_retries_total", "")
+        .RegisterCounter("presto_task_retries_total", "",
+                         {{"trace_instant", "task_recovery"}})
         ->value();
   }
 
@@ -570,11 +579,13 @@ TEST_F(ProcessClusterTest, StalledWorkerIsOutRacedBySpeculation) {
 
   // Speculation — not recovery — carried the query.
   EXPECT_GE(process->metrics()
-                .RegisterCounter("presto_task_speculations_total", "")
+                .RegisterCounter("presto_task_speculations_total", "",
+                                 {{"trace_instant", "task_speculate"}})
                 ->value(),
             1);
   EXPECT_GE(process->metrics()
-                .RegisterCounter("presto_speculation_wins_total", "")
+                .RegisterCounter("presto_speculation_wins_total", "",
+                                 {{"trace_instant", "speculation_win"}})
                 ->value(),
             1);
   EXPECT_EQ(RetriesTotal(process.get()), 0);
@@ -629,7 +640,8 @@ TEST_F(ProcessClusterTest, StalledWorkerIsOutRacedBySpeculation) {
   ASSERT_EQ(slow_rows->size(), 1u);
   EXPECT_EQ((*slow_rows)[0][0].ToString(), sorted_want[0][0].ToString());
   EXPECT_EQ(disabled->metrics()
-                .RegisterCounter("presto_task_speculations_total", "")
+                .RegisterCounter("presto_task_speculations_total", "",
+                                 {{"trace_instant", "task_speculate"}})
                 ->value(),
             0);
   EXPECT_LT(speculated_micros, disabled_micros)
@@ -663,6 +675,205 @@ TEST_F(ProcessClusterTest, TableWriteRejectedInProcessMode) {
   EXPECT_NE(result.status().message().find("out-of-process"),
             std::string::npos)
       << result.status().ToString();
+}
+
+TEST_F(ProcessClusterTest, WorkerMetricsEndpointServes) {
+  StartWorkers(1);
+  ASSERT_GT(addresses_[0].metrics_port, 0) << "banner lacks metrics_port";
+
+  // /v1/metrics: the worker's own Prometheus exposition.
+  {
+    auto conn = ConnectToLoopback(addresses_[0].metrics_port, 2'000'000);
+    ASSERT_TRUE(conn.ok());
+    HttpRequest request;
+    request.method = "GET";
+    request.path = "/v1/metrics";
+    ASSERT_TRUE((*conn)->WriteRequest(request).ok());
+    auto response = (*conn)->ReadResponse();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 200);
+    for (const char* family : {
+             "presto_worker_active_tasks",
+             "presto_worker_running_drivers",
+             "presto_worker_memory_general_used_bytes",
+             "presto_worker_exchange_buffered_bytes",
+             "presto_worker_queue_depth{level=\"0\"}",
+         }) {
+      EXPECT_NE(response->body.find(family), std::string::npos) << family;
+    }
+  }
+
+  // /v1/status: the human-facing JSON snapshot on the same port.
+  {
+    auto conn = ConnectToLoopback(addresses_[0].metrics_port, 2'000'000);
+    ASSERT_TRUE(conn.ok());
+    HttpRequest request;
+    request.method = "GET";
+    request.path = "/v1/status";
+    ASSERT_TRUE((*conn)->WriteRequest(request).ok());
+    auto response = (*conn)->ReadResponse();
+    ASSERT_TRUE(response.ok());
+    ASSERT_EQ(response->status, 200);
+    auto body = Json::Parse(response->body);
+    ASSERT_TRUE(body.ok());
+    auto state = body->GetString("state");
+    ASSERT_TRUE(state.ok());
+    EXPECT_EQ(*state, "ACTIVE");
+    EXPECT_TRUE(body->Find("activeTasks") != nullptr);
+    EXPECT_TRUE(body->Find("memory") != nullptr);
+    EXPECT_TRUE(body->Find("queueDepths") != nullptr);
+  }
+
+  // Unknown paths and non-GET methods are rejected, not crashed on.
+  {
+    auto conn = ConnectToLoopback(addresses_[0].metrics_port, 2'000'000);
+    ASSERT_TRUE(conn.ok());
+    HttpRequest request;
+    request.method = "GET";
+    request.path = "/v1/nope";
+    ASSERT_TRUE((*conn)->WriteRequest(request).ok());
+    auto response = (*conn)->ReadResponse();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->status, 404);
+  }
+}
+
+// Counts distinct worker pids (pid >= 1) among real (non-metadata) events
+// of a Chrome trace JSON document.
+int WorkerPidsInTrace(const std::string& trace_json) {
+  auto doc = Json::Parse(trace_json);
+  if (!doc.ok()) return 0;
+  auto events = doc->GetArray("traceEvents");
+  if (!events.ok()) return 0;
+  std::set<int64_t> pids;
+  for (const Json& event : (*events)->items()) {
+    auto phase = event.GetString("ph");
+    if (!phase.ok() || *phase == "M") continue;
+    auto pid = event.GetInt("pid");
+    if (pid.ok() && *pid >= 1) pids.insert(*pid);
+  }
+  return static_cast<int>(pids.size());
+}
+
+TEST_F(ProcessClusterTest, ShippedSpansMergeIntoCoordinatorTrace) {
+  StartWorkers(2);
+  auto process = MakeProcessEngine();
+
+  auto handle = process->Execute(
+      "SELECT o.orderpriority, count(*) FROM orders o "
+      "JOIN lineitem l ON o.orderkey = l.orderkey GROUP BY o.orderpriority");
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  std::string query_id = handle->query_id();
+  auto rows = handle->FetchAllRows();
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+
+  // Worker spans ride status long-polls during the query and a final
+  // flush on the task DELETE round-trip, so allow a short settle window.
+  int worker_pids = 0;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto trace = process->QueryTraceJson(query_id);
+    ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+    worker_pids = WorkerPidsInTrace(*trace);
+    if (worker_pids >= 2) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_GE(worker_pids, 2)
+      << "merged trace lacks spans from both worker processes";
+
+  // The per-worker shipping instruments saw the spans; nothing dropped.
+  int64_t shipped = 0;
+  int64_t dropped = 0;
+  for (int w = 0; w < 2; ++w) {
+    MetricLabels labels = {{"worker", "w" + std::to_string(w)}};
+    shipped += process->metrics()
+                   .RegisterCounter("presto_trace_shipped_spans_total", "",
+                                    labels)
+                   ->value();
+    dropped += process->metrics()
+                   .RegisterCounter("presto_trace_dropped_spans_total", "",
+                                    labels)
+                   ->value();
+  }
+  EXPECT_GT(shipped, 0);
+  EXPECT_EQ(dropped, 0);
+}
+
+TEST_F(ProcessClusterTest, ExplainAnalyzeAcrossProcesses) {
+  StartWorkers(2);
+  auto process = MakeProcessEngine();
+
+  // EXPLAIN ANALYZE: the fragmented plan annotated with actual runtime
+  // stats gathered from the remote workers' status responses.
+  auto analyzed = process->ExplainAnalyze(
+      "EXPLAIN ANALYZE SELECT orderstatus, count(*) FROM orders "
+      "GROUP BY orderstatus");
+  ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
+  EXPECT_NE(analyzed->find("Fragment"), std::string::npos);
+  EXPECT_NE(analyzed->find("rows"), std::string::npos);
+
+  // VERBOSE appends the compact cross-process timeline: shipped worker
+  // spans appear under their own pids (p1/p2) next to the coordinator's
+  // p0 planning spans. Spans ship during status polls, so a fast query
+  // can occasionally finish before any arrive — retry a couple times.
+  bool cross_process = false;
+  std::string verbose;
+  for (int attempt = 0; attempt < 3 && !cross_process; ++attempt) {
+    auto result = process->ExplainAnalyze(
+        "EXPLAIN ANALYZE VERBOSE SELECT o.orderpriority, count(*) "
+        "FROM orders o JOIN lineitem l ON o.orderkey = l.orderkey "
+        "GROUP BY o.orderpriority");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    verbose = *result;
+    cross_process = verbose.find("p1 ") != std::string::npos &&
+                    verbose.find("p2 ") != std::string::npos;
+  }
+  EXPECT_NE(verbose.find("Timeline:"), std::string::npos);
+  EXPECT_NE(verbose.find("p0 "), std::string::npos)
+      << "timeline lacks coordinator spans";
+  EXPECT_TRUE(cross_process)
+      << "timeline lacks worker spans:\n" << verbose;
+}
+
+TEST_F(ProcessClusterTest, ClusterMetricsFederateLiveWorkers) {
+  StartWorkers(2, /*heartbeat_interval_micros=*/50'000);
+  auto process = MakeProcessEngine();
+  StartHeartbeats(process.get());
+
+  // Federation only scrapes workers the liveness tracker considers alive.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline &&
+         !(process->cluster().liveness().SeenHeartbeat(0) &&
+           process->cluster().liveness().SeenHeartbeat(1))) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(process->cluster().liveness().SeenHeartbeat(0));
+  ASSERT_TRUE(process->cluster().liveness().SeenHeartbeat(1));
+
+  auto conn = ConnectToLoopback(process->observability_port(), 5'000'000);
+  ASSERT_TRUE(conn.ok());
+  HttpRequest request;
+  request.method = "GET";
+  request.path = "/v1/cluster/metrics";
+  ASSERT_TRUE((*conn)->WriteRequest(request).ok());
+  auto response = (*conn)->ReadResponse();
+  ASSERT_TRUE(response.ok());
+  ASSERT_EQ(response->status, 200);
+  const std::string& body = response->body;
+
+  // Both workers' samples arrive relabeled with their worker identity.
+  EXPECT_NE(body.find("presto_worker_active_tasks{worker=\"w0\"}"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("presto_worker_active_tasks{worker=\"w1\"}"),
+            std::string::npos);
+  // Coordinator families are merged in unlabeled.
+  EXPECT_NE(body.find("presto_cluster_alive_workers"), std::string::npos);
+  // Roll-up gauges summarize the scrape itself.
+  EXPECT_NE(body.find("\npresto_cluster_scraped_workers 2"),
+            std::string::npos);
+  EXPECT_NE(body.find("\npresto_cluster_scrape_failures 0"),
+            std::string::npos);
 }
 
 }  // namespace
